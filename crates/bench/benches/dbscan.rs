@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of DBSCAN itself: dataset size scaling and
+//! the effect of the index's `r` on one full clustering run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vbp_data::{SyntheticClass, SyntheticSpec};
+use vbp_dbscan::{dbscan, DbscanParams};
+use vbp_rtree::PackedRTree;
+
+fn dataset(n: usize) -> Vec<vbp_geom::Point2> {
+    SyntheticSpec::new(SyntheticClass::CF, n, 0.15, 77).generate()
+}
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan_size");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000, 32_000] {
+        let points = dataset(n);
+        let (tree, _) = PackedRTree::build(&points, 80);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(dbscan(&tree, DbscanParams::new(0.5, 4))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_r_effect(c: &mut Criterion) {
+    let points = dataset(16_000);
+    let mut group = c.benchmark_group("dbscan_by_r");
+    group.sample_size(10);
+    for r in [1usize, 10, 30, 70, 110, 200] {
+        let (tree, _) = PackedRTree::build(&points, r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| black_box(dbscan(&tree, DbscanParams::new(0.5, 4))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eps_effect(c: &mut Criterion) {
+    let points = dataset(16_000);
+    let (tree, _) = PackedRTree::build(&points, 80);
+    let mut group = c.benchmark_group("dbscan_by_eps");
+    group.sample_size(10);
+    for eps in [0.2f64, 0.5, 1.0, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| black_box(dbscan(&tree, DbscanParams::new(eps, 4))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_scaling, bench_r_effect, bench_eps_effect);
+criterion_main!(benches);

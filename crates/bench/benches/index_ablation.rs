@@ -1,0 +1,59 @@
+//! Ablation: index structure. The same DBSCAN run over the paper's packed
+//! bin-sorted tree, an STR bulk-loaded tree, a dynamic Guttman tree, a
+//! uniform grid, and brute force — quantifying how much of the §IV-A gain
+//! comes from the *structure* vs the `r` tuning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vbp_data::{SyntheticClass, SyntheticSpec};
+use vbp_dbscan::{dbscan, DbscanParams};
+use vbp_rtree::traits::shared_points;
+use vbp_rtree::{BruteForce, DynamicRTree, GridIndex, HilbertRTree, PackedRTree, StrRTree};
+
+fn bench_index_ablation(c: &mut Criterion) {
+    let points = SyntheticSpec::new(SyntheticClass::CF, 8_000, 0.15, 31).generate();
+    let params = DbscanParams::new(0.5, 4);
+    let mut group = c.benchmark_group("index_ablation");
+    group.sample_size(10);
+
+    let (packed, _) = PackedRTree::build(&points, 80);
+    group.bench_function("packed_r80", |b| {
+        b.iter(|| black_box(dbscan(&packed, params)))
+    });
+
+    let (packed1, _) = PackedRTree::build(&points, 1);
+    group.bench_function("packed_r1", |b| {
+        b.iter(|| black_box(dbscan(&packed1, params)))
+    });
+
+    let (str_tree, _) = StrRTree::build(&points, 80);
+    group.bench_function("str_r80", |b| {
+        b.iter(|| black_box(dbscan(&str_tree, params)))
+    });
+
+    let (hilbert, _) = HilbertRTree::build(&points, 80);
+    group.bench_function("hilbert_r80", |b| {
+        b.iter(|| black_box(dbscan(&hilbert, params)))
+    });
+
+    let dynamic = DynamicRTree::from_points(&points);
+    group.bench_function("guttman_dynamic", |b| {
+        b.iter(|| black_box(dbscan(&dynamic, params)))
+    });
+
+    // Grid cell tuned to ε — its best case.
+    let grid = GridIndex::build(shared_points(points.clone()), 0.5);
+    group.bench_function("uniform_grid", |b| {
+        b.iter(|| black_box(dbscan(&grid, params)))
+    });
+
+    let brute = BruteForce::new(shared_points(points.clone()));
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(dbscan(&brute, params)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_ablation);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Related-work comparison (§III of the paper), on the same variant sweep:
+//!
+//! - **VariantDBSCAN** (this paper): variant-level parallelism + reuse;
+//! - **intra-variant parallel DBSCAN** (Patwary et al. SC'12 style,
+//!   `vbp_dbscan::parallel`): each variant clustered with the disjoint-set
+//!   parallel algorithm, variants processed one after another — scales
+//!   inside a variant but shares nothing across variants;
+//! - **OPTICS + extraction** (Ankerst et al.): one OPTICS run at δ = max ε
+//!   followed by per-ε extractions — but only valid for a single minpts,
+//!   so it runs the ε-family sweep only (its fundamental limitation is the
+//!   paper's motivation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, VariantSet};
+use vbp_data::{SyntheticClass, SyntheticSpec};
+use vbp_dbscan::{parallel_dbscan, DbscanParams, Optics, OpticsParams};
+use vbp_rtree::PackedRTree;
+
+fn workload() -> Vec<vbp_geom::Point2> {
+    SyntheticSpec::new(SyntheticClass::CF, 8_000, 0.15, 1916).generate()
+}
+
+const EPS: [f64; 4] = [0.3, 0.4, 0.5, 0.6];
+const MINPTS: [usize; 3] = [4, 8, 16];
+
+fn bench_full_grid(c: &mut Criterion) {
+    let points = workload();
+    let variants = VariantSet::cartesian(&EPS, &MINPTS);
+    let mut group = c.benchmark_group("related_work_full_grid");
+    group.sample_size(10);
+
+    group.bench_function("variantdbscan_t4", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(4)
+                .with_r(80)
+                .with_reuse(ReuseScheme::ClusDensity)
+                .with_keep_results(false),
+        );
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+
+    group.bench_function("intra_variant_parallel_t4", |b| {
+        let (tree, _) = PackedRTree::build(&points, 80);
+        b.iter(|| {
+            for v in variants.iter() {
+                black_box(parallel_dbscan(
+                    &tree,
+                    DbscanParams::new(v.eps, v.minpts),
+                    4,
+                ));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_eps_family_only(c: &mut Criterion) {
+    // OPTICS can only cover one minpts; compare on the ε-family slice
+    // where it is applicable at all.
+    let points = workload();
+    let minpts = 4usize;
+    let variants = VariantSet::cartesian(&EPS, &[minpts]);
+    let mut group = c.benchmark_group("related_work_eps_family");
+    group.sample_size(10);
+
+    group.bench_function("variantdbscan_t1", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(80)
+                .with_reuse(ReuseScheme::ClusDensity)
+                .with_keep_results(false),
+        );
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+
+    group.bench_function("optics_plus_extractions", |b| {
+        let (tree, _) = PackedRTree::build(&points, 80);
+        b.iter(|| {
+            let optics = Optics::run(&tree, OpticsParams::new(0.6, minpts));
+            for &eps in &EPS {
+                black_box(optics.extract_dbscan(eps));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_grid, bench_eps_family_only);
+criterion_main!(benches);

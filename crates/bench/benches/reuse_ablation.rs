@@ -1,0 +1,43 @@
+//! Ablation: reuse scheme × dataset noise level at T = 1.
+//!
+//! Quantifies the paper's Figure 7a claim that noisier datasets benefit
+//! less from reuse (noise points are never copied — each variant must
+//! re-discover them), and compares the three seed-selection schemes
+//! against reuse disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, VariantSet};
+use vbp_data::{SyntheticClass, SyntheticSpec};
+
+fn bench_reuse_by_noise(c: &mut Criterion) {
+    let variants = VariantSet::cartesian(&[0.3, 0.45, 0.6], &[4, 8, 16]);
+    let mut group = c.benchmark_group("reuse_by_noise");
+    group.sample_size(10);
+    for noise in [0.05f64, 0.30] {
+        let points =
+            SyntheticSpec::new(SyntheticClass::CF, 8_000, noise, 999).generate();
+        for scheme in [
+            ReuseScheme::Disabled,
+            ReuseScheme::ClusDefault,
+            ReuseScheme::ClusDensity,
+            ReuseScheme::ClusPtsSquared,
+        ] {
+            let id = format!("{}N/{}", (noise * 100.0) as u32, scheme);
+            group.bench_with_input(BenchmarkId::from_parameter(id), &scheme, |b, &scheme| {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_threads(1)
+                        .with_r(80)
+                        .with_reuse(scheme)
+                        .with_keep_results(false),
+                );
+                b.iter(|| black_box(engine.run(&points, &variants)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse_by_noise);
+criterion_main!(benches);

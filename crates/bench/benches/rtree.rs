@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the packed R-tree: the §IV-A trade-off
+//! between `r` (points per leaf MBB), tree build time, and ε-neighborhood
+//! query throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vbp_data::{SyntheticClass, SyntheticSpec};
+use vbp_rtree::{PackedRTree, SpatialIndex};
+
+fn dataset(n: usize) -> Vec<vbp_geom::Point2> {
+    SyntheticSpec::new(SyntheticClass::CF, n, 0.15, 1234).generate()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let points = dataset(20_000);
+    let mut group = c.benchmark_group("rtree_build");
+    group.sample_size(10);
+    for r in [1usize, 10, 70, 110] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| PackedRTree::build(black_box(&points), r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_query(c: &mut Criterion) {
+    let points = dataset(20_000);
+    let mut group = c.benchmark_group("rtree_epsilon_query");
+    group.sample_size(20);
+    for r in [1usize, 10, 70, 110] {
+        let (tree, _) = PackedRTree::build(&points, r);
+        let centers: Vec<_> = tree.points().iter().step_by(97).copied().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut total = 0usize;
+                for &cpt in &centers {
+                    out.clear();
+                    tree.epsilon_neighbors(cpt, 0.5, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let points = dataset(20_000);
+    let (tree, _) = PackedRTree::build(&points, 70);
+    let centers: Vec<_> = tree.points().iter().step_by(211).copied().collect();
+    c.bench_function("rtree_knn_k4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &cpt in &centers {
+                acc += tree.kth_neighbor_dist(cpt, 4).unwrap_or(0.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_epsilon_query, bench_knn);
+criterion_main!(benches);

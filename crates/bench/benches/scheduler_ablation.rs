@@ -1,0 +1,52 @@
+//! Ablation: scheduler × thread count.
+//!
+//! The §IV-D trade-off: SchedMinpts buys reuse-source diversity with extra
+//! from-scratch work, which only pays off when the variant grid's ε axis
+//! is wide relative to T. Benchmarked on a V3-flavored grid (many ε, few
+//! minpts) and a V1-flavored grid (few ε, many minpts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use vbp_data::{SyntheticClass, SyntheticSpec};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let points = SyntheticSpec::new(SyntheticClass::CF, 8_000, 0.15, 4242).generate();
+    let grids: Vec<(&str, VariantSet)> = vec![
+        (
+            "V1_style", // few ε, many minpts
+            VariantSet::cartesian(&[0.3, 0.45, 0.6], &[4, 6, 8, 10, 12, 16, 20, 24]),
+        ),
+        (
+            "V3_style", // many ε, few minpts
+            VariantSet::cartesian(
+                &[0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65],
+                &[4, 8, 16],
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("scheduler_ablation");
+    group.sample_size(10);
+    for (grid_name, variants) in &grids {
+        for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+            for threads in [1usize, 4] {
+                let id = format!("{grid_name}/{scheduler}/T{threads}");
+                group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                    let engine = Engine::new(
+                        EngineConfig::default()
+                            .with_threads(threads)
+                            .with_r(80)
+                            .with_scheduler(scheduler)
+                            .with_reuse(ReuseScheme::ClusDensity)
+                            .with_keep_results(false),
+                    );
+                    b.iter(|| black_box(engine.run(&points, variants)));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the full VariantDBSCAN engine: reference vs
+//! optimized configurations on a paper-style variant grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use vbp_data::{SyntheticClass, SyntheticSpec};
+
+fn workload() -> (Vec<vbp_geom::Point2>, VariantSet) {
+    let points = SyntheticSpec::new(SyntheticClass::CF, 8_000, 0.15, 5150).generate();
+    let variants = VariantSet::cartesian(&[0.3, 0.45, 0.6], &[4, 8, 16, 32]);
+    (points, variants)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (points, variants) = workload();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    group.bench_function("reference_t1_r1_noreuse", |b| {
+        let engine = Engine::new(EngineConfig::reference().with_keep_results(false));
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+    group.bench_function("indexed_t1_r80_noreuse", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(80)
+                .with_reuse(ReuseScheme::Disabled)
+                .with_keep_results(false),
+        );
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+    group.bench_function("full_t1_r80_clusdensity", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(80)
+                .with_reuse(ReuseScheme::ClusDensity)
+                .with_keep_results(false),
+        );
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+    group.bench_function("full_t4_r80_clusdensity_greedy", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(4)
+                .with_r(80)
+                .with_scheduler(Scheduler::SchedGreedy)
+                .with_reuse(ReuseScheme::ClusDensity)
+                .with_keep_results(false),
+        );
+        b.iter(|| black_box(engine.run(&points, &variants)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 9 — per-thread makespans of the two schedulers.
+//!
+//! Processes V3 with ClusDensity on SW1 at T = 16 under SchedGreedy and
+//! SchedMinpts, and renders per-thread bars split into from-scratch vs
+//! reused time, against the no-idle lower bound.
+//!
+//! Paper shape to reproduce: SchedMinpts clusters more variants from
+//! scratch (it seeds one per distinct ε — V3 has 19), so its makespan
+//! sits further above the lower bound (33.0% vs 13.5% there).
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin fig9_makespan [--points N] [--full] [--threads T]
+//! ```
+
+use std::time::Duration;
+
+use variantdbscan::{EngineConfig, ExecutionPath, ReuseScheme, Scheduler};
+use vbp_bench::harness::{bar, fmt_time};
+use vbp_bench::scenarios::s3_variants;
+use vbp_bench::{generate, measure, BenchOpts};
+
+fn main() {
+    let (opts, _) = BenchOpts::parse();
+    let (name, points) = generate("SW1", opts.points, opts.full);
+    let variants = vbp_bench::adjust_variants_for("SW1", points.len(), &s3_variants("V3"));
+    println!(
+        "Figure 9: makespan of V3 (|V| = {}) with ClusDensity on {name}, T = {}\n",
+        variants.len(),
+        opts.threads
+    );
+
+    for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+        let cfg = EngineConfig::default()
+            .with_threads(opts.threads)
+            .with_r(70)
+            .with_scheduler(scheduler)
+            .with_reuse(ReuseScheme::ClusDensity)
+            .with_keep_results(false);
+        let m = measure(cfg, &points, &variants, opts.trials);
+        let report = &m.report;
+
+        // Split each thread's busy time into scratch vs reuse.
+        let mut scratch = vec![Duration::ZERO; opts.threads];
+        let mut reused = vec![Duration::ZERO; opts.threads];
+        for o in &report.outcomes {
+            match o.path {
+                ExecutionPath::FromScratch(_) => scratch[o.thread] += o.response_time(),
+                ExecutionPath::Reused { .. } => reused[o.thread] += o.response_time(),
+            }
+        }
+        let lb = report.lower_bound();
+        let max_busy = report
+            .per_thread_busy()
+            .into_iter()
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64()
+            .max(lb.as_secs_f64());
+
+        println!(
+            "{scheduler}: total {}, from scratch {}/{}, slowdown vs lower bound {:.1}%",
+            fmt_time(m.time),
+            report.from_scratch_count(),
+            variants.len(),
+            report.slowdown_vs_lower_bound() * 100.0
+        );
+        println!("  lower bound (no idle cores): {}", fmt_time(lb));
+        for t in 0..opts.threads {
+            let s = scratch[t].as_secs_f64();
+            let r = reused[t].as_secs_f64();
+            let sbar = bar(s, max_busy, 40);
+            let rbar = bar(r, max_busy, 40);
+            println!(
+                "  t{t:<3} scratch {:>10} {sbar}\n       reuse   {:>10} {rbar}",
+                fmt_time(scratch[t]),
+                fmt_time(reused[t]),
+            );
+        }
+        println!();
+    }
+}

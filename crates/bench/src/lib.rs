@@ -1,0 +1,28 @@
+//! Benchmark harness for the VariantDBSCAN paper's evaluation (§V).
+//!
+//! Each binary in `src/bin/` regenerates one table or figure:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1_datasets` | Table I — dataset characteristics |
+//! | `s1_indexing` | Table II + Figure 4 — indexing (S1) |
+//! | `s2_reuse` | Table III + Figures 5, 6, 7a–c — data reuse (S2) |
+//! | `s3_combined` | Table IV + Figure 8 — indexing + reuse + scheduling (S3) |
+//! | `fig9_makespan` | Figure 9 — per-thread makespans |
+//!
+//! All binaries accept `--points <n>` (per-dataset scale cap, default
+//! 10 000) and `--full` (paper-scale datasets — hours on laptop-class
+//! hardware), plus `--trials <k>` (default 3, the paper's trial count).
+//!
+//! Criterion microbenchmarks live in `benches/`: index/query performance,
+//! DBSCAN throughput, engine throughput, and three ablation studies
+//! (index structure, reuse scheme × noise, scheduler × thread count).
+
+pub mod harness;
+pub mod scenarios;
+
+pub use harness::{bar, fmt_time, measure, BenchOpts, Measurement};
+pub use scenarios::{
+    adjust_variants_for, generate, s1_datasets, s2_datasets, s2_variants, s3_combinations,
+    s3_variants, scale_dataset, sw_eps_multiplier, S1_R_VALUES, S3_GRIDS,
+};

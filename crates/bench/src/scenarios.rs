@@ -1,0 +1,244 @@
+//! The paper's three experimental scenarios (Tables II–IV), with scaling
+//! support.
+//!
+//! **ε values at reduced scale.** The paper's synthetic datasets appear to
+//! occupy a fixed region, so its Table II uses larger ε for smaller
+//! datasets. Our generators (see `vbp-data::synthetic`) instead keep the
+//! mean density constant (region side ∝ √|D|), which makes a *single* ε
+//! family valid across all sizes and scales — the variant values below are
+//! therefore fixed per scenario and documented in EXPERIMENTS.md next to
+//! every measured number.
+
+use variantdbscan::{Variant, VariantSet};
+use vbp_data::DatasetSpec;
+use vbp_geom::Point2;
+
+/// ε multiplier for SW datasets generated below full scale.
+///
+/// The paper's ε families (0.2°–0.6° in S2) are tuned to the density of
+/// the full 1.86M–5.16M-point maps. A scaled-down map is sparser, so the
+/// same ε yields all-noise clusterings and no reuse structure. Full
+/// density compensation (`√(full/actual)`) overshoots — ε then exceeds
+/// the TID band width (a few degrees, which does *not* scale with point
+/// count) and everything merges into one cluster. The fourth root is the
+/// empirically validated compromise: cluster counts and reuse fractions
+/// at 5k–100k points then resemble the full-scale structure (see
+/// EXPERIMENTS.md). Synthetic datasets need no scaling — their generators
+/// hold density constant by construction.
+pub fn sw_eps_multiplier(full: usize, actual: usize) -> f64 {
+    if actual >= full || actual == 0 {
+        1.0
+    } else {
+        (full as f64 / actual as f64).powf(0.25)
+    }
+}
+
+/// Applies [`sw_eps_multiplier`] to a variant set when `dataset_name` is
+/// an SW map at reduced size; returns the variants unchanged otherwise.
+pub fn adjust_variants_for(dataset_name: &str, actual_size: usize, v: &VariantSet) -> VariantSet {
+    if !dataset_name.starts_with("SW") {
+        return v.clone();
+    }
+    let index: u8 = dataset_name.as_bytes()[2] - b'0';
+    let full = vbp_data::SW_FULL_SIZES[index as usize - 1];
+    let m = sw_eps_multiplier(full, actual_size);
+    if m == 1.0 {
+        return v.clone();
+    }
+    VariantSet::new(
+        v.iter()
+            .map(|var| Variant::new(var.eps * m, var.minpts))
+            .collect(),
+    )
+}
+
+/// Scales a Table I dataset spec down to `cap` points (no-op when `full`
+/// or when the dataset is already smaller).
+pub fn scale_dataset(spec: &DatasetSpec, cap: usize, full: bool) -> DatasetSpec {
+    if full || spec.size() <= cap {
+        *spec
+    } else {
+        spec.at_size(cap)
+    }
+}
+
+/// Generates a dataset by catalog name at the requested scale.
+pub fn generate(name: &str, cap: usize, full: bool) -> (String, Vec<Point2>) {
+    let spec = DatasetSpec::by_name(name)
+        .unwrap_or_else(|| panic!("unknown Table I dataset {name}"));
+    let spec = scale_dataset(&spec, cap, full);
+    (spec.name(), spec.generate())
+}
+
+/// S1 (Table II): the seven datasets of the indexing experiment, with the
+/// single variant each is clustered under (16 identical copies). The
+/// paper's per-dataset ε values reflect its fixed-region generators; at
+/// constant density one family works everywhere (see module docs).
+pub fn s1_datasets() -> Vec<(&'static str, Variant)> {
+    vec![
+        ("cF_1M_5N", Variant::new(0.5, 4)),
+        ("cF_100k_5N", Variant::new(0.5, 4)),
+        ("cF_10k_5N", Variant::new(0.5, 4)),
+        ("cV_1M_30N", Variant::new(0.5, 4)),
+        ("cV_100k_30N", Variant::new(0.5, 4)),
+        ("cV_10k_30N", Variant::new(0.5, 4)),
+        ("SW1", Variant::new(0.5, 4)),
+    ]
+}
+
+/// The `r` sweep of Figure 4: `r = 1` (no index optimization) plus a sweep
+/// through the paper's good range 70–110.
+pub const S1_R_VALUES: [usize; 7] = [1, 10, 30, 70, 90, 110, 150];
+
+/// S2 (Table III): seven datasets × the |V| = 24 grid
+/// `A = {0.2, 0.4, 0.6}`, `B = {4, 8, …, 32}`.
+pub fn s2_datasets() -> Vec<&'static str> {
+    vec![
+        "cF_1M_5N",
+        "cV_1M_5N",
+        "cF_1M_15N",
+        "cV_1M_15N",
+        "cF_1M_30N",
+        "cV_1M_30N",
+        "SW1",
+    ]
+}
+
+/// The S2 variant grid (Table III).
+pub fn s2_variants() -> VariantSet {
+    VariantSet::cartesian(&[0.2, 0.4, 0.6], &[4, 8, 12, 16, 20, 24, 28, 32])
+}
+
+/// Builds one of the paper's three S3 grids (Table IV, each |V| = 57) by
+/// name.
+pub fn s3_variants(name: &str) -> VariantSet {
+    match name {
+        "V1" => VariantSet::cartesian(
+            &[0.2, 0.3, 0.4],
+            &(10..=100).step_by(5).collect::<Vec<_>>(),
+        ),
+        "V2" => VariantSet::cartesian(
+            &[0.15, 0.25, 0.35],
+            &(10..=100).step_by(5).collect::<Vec<_>>(),
+        ),
+        "V3" => {
+            let eps: Vec<f64> = (2..=20).map(|i| i as f64 * 0.02).collect(); // 0.04..0.40
+            VariantSet::cartesian(&eps, &[4, 8, 16])
+        }
+        other => panic!("unknown S3 grid {other} (want V1, V2, or V3)"),
+    }
+}
+
+/// Names of the S3 grids.
+pub const S3_GRIDS: [&str; 3] = ["V1", "V2", "V3"];
+
+/// Which (dataset, grid) combinations Table IV evaluates: SW1–SW3 with V1
+/// and V3; SW4 (the largest) with V2 and V3.
+pub fn s3_combinations() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("SW1", "V1"),
+        ("SW1", "V3"),
+        ("SW2", "V1"),
+        ("SW2", "V3"),
+        ("SW3", "V1"),
+        ("SW3", "V3"),
+        ("SW4", "V2"),
+        ("SW4", "V3"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s1_covers_table2_datasets() {
+        let names: Vec<&str> = s1_datasets().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cF_1M_5N",
+                "cF_100k_5N",
+                "cF_10k_5N",
+                "cV_1M_30N",
+                "cV_100k_30N",
+                "cV_10k_30N",
+                "SW1"
+            ]
+        );
+    }
+
+    #[test]
+    fn s2_grid_is_24_variants() {
+        let v = s2_variants();
+        assert_eq!(v.len(), 24);
+        assert_eq!(v.get(0), Variant::new(0.2, 32));
+    }
+
+    #[test]
+    fn s3_grids_are_57_variants() {
+        for g in S3_GRIDS {
+            let v = s3_variants(g);
+            assert_eq!(v.len(), 57, "grid {g}");
+        }
+        // V3's ε range matches the paper: 0.04 to 0.40.
+        let v3 = s3_variants("V3");
+        let min_eps = v3.iter().map(|v| v.eps).fold(f64::MAX, f64::min);
+        let max_eps = v3.iter().map(|v| v.eps).fold(f64::MIN, f64::max);
+        assert!((min_eps - 0.04).abs() < 1e-12);
+        assert!((max_eps - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_caps_large_datasets_only() {
+        let spec = DatasetSpec::by_name("cF_1M_5N").unwrap();
+        assert_eq!(scale_dataset(&spec, 10_000, false).size(), 10_000);
+        assert_eq!(scale_dataset(&spec, 10_000, true).size(), 1_000_000);
+        let small = DatasetSpec::by_name("cF_10k_5N").unwrap();
+        assert_eq!(scale_dataset(&small, 20_000, false).size(), 10_000);
+    }
+
+    #[test]
+    fn generate_by_name_works() {
+        let (name, pts) = generate("cV_10k_30N", 2_000, false);
+        assert_eq!(name, "cV_2k_30N");
+        assert_eq!(pts.len(), 2_000);
+    }
+
+    #[test]
+    fn s3_combinations_match_table4() {
+        let combos = s3_combinations();
+        assert_eq!(combos.len(), 8);
+        assert!(combos.contains(&("SW4", "V2")));
+        assert!(!combos.contains(&("SW4", "V1")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown S3 grid")]
+    fn bad_grid_rejected() {
+        s3_variants("V9");
+    }
+
+    #[test]
+    fn eps_multiplier_is_identity_at_full_scale() {
+        assert_eq!(sw_eps_multiplier(1_000_000, 1_000_000), 1.0);
+        assert_eq!(sw_eps_multiplier(1_000_000, 2_000_000), 1.0);
+        let m = sw_eps_multiplier(160_000, 10_000); // 16^(1/4) = 2
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjust_variants_scales_sw_only() {
+        let v = s2_variants();
+        let same = adjust_variants_for("cF_1M_5N", 5_000, &v);
+        assert_eq!(same, v);
+        let scaled = adjust_variants_for("SW1", 5_000, &v);
+        assert_eq!(scaled.len(), v.len());
+        let m = sw_eps_multiplier(vbp_data::SW_FULL_SIZES[0], 5_000);
+        assert!((scaled.get(0).eps - v.get(0).eps * m).abs() < 1e-12);
+        assert_eq!(scaled.get(0).minpts, v.get(0).minpts);
+        // Full-size SW is untouched.
+        let full = adjust_variants_for("SW1", vbp_data::SW_FULL_SIZES[0], &v);
+        assert_eq!(full, v);
+    }
+}

@@ -1,0 +1,545 @@
+//! The `vbp` subcommands. Every command renders its report into a
+//! `String` (so tests can assert on output) and performs file IO only
+//! where flags request it.
+
+use std::fmt::Write as _;
+
+use variantdbscan::{
+    simulate, Engine, EngineConfig, ReuseScheme, Scheduler, SimCostModel, VariantSet,
+};
+use vbp_data::DatasetSpec;
+use vbp_dbscan::{dbscan, suggest_eps, DbscanParams};
+use vbp_geom::Point2;
+use vbp_rtree::{PackedRTree, SpatialIndex};
+
+use crate::args::Args;
+
+/// Loads points either from a Table I dataset name (`--dataset`, with
+/// optional `@size`) or from a file (`--input`, CSV or binary).
+pub fn load_points(args: &Args) -> Result<(String, Vec<Point2>), String> {
+    match (args.get("dataset"), args.get("input")) {
+        (Some(name), None) => {
+            let spec = DatasetSpec::by_name(name)
+                .ok_or_else(|| format!("unknown dataset '{name}' (see `vbp datasets`)"))?;
+            Ok((spec.name(), spec.generate()))
+        }
+        (None, Some(path)) => {
+            let pts = vbp_data::io::load(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok((path.to_string(), pts))
+        }
+        (Some(_), Some(_)) => Err("--dataset and --input are mutually exclusive".into()),
+        (None, None) => Err("one of --dataset or --input is required".into()),
+    }
+}
+
+/// `vbp datasets` — list the Table I catalog.
+pub fn datasets() -> String {
+    let mut out = String::from("Table I datasets (append @<size> to scale):\n");
+    for spec in vbp_data::table1() {
+        let noise = spec
+            .noise_fraction()
+            .map_or("N/A".into(), |f| format!("{}%", (f * 100.0) as u32));
+        let _ = writeln!(out, "  {:<14} {:>10} points, noise {}", spec.name(), spec.size(), noise);
+    }
+    out
+}
+
+/// `vbp generate --dataset <name> --out <file>` — materialize a dataset.
+pub fn generate(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let out = args.require("out")?;
+    vbp_data::io::save(out, &points).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!("wrote {} ({} points) to {}", name, points.len(), out))
+}
+
+/// `vbp info` — dataset statistics and a data-driven ε suggestion.
+pub fn info(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset {name}: {} points", points.len());
+    if let Some(extent) = vbp_geom::Extent::of_points(&points) {
+        let _ = writeln!(
+            out,
+            "extent [{:.3}, {:.3}] × [{:.3}, {:.3}], mean density {:.4} pts/unit²",
+            extent.mbb().min.x,
+            extent.mbb().max.x,
+            extent.mbb().min.y,
+            extent.mbb().max.y,
+            extent.mean_density(points.len())
+        );
+    }
+    if !points.is_empty() {
+        let minpts = args.num("minpts", 4usize)?;
+        let (tree, _) = PackedRTree::build(&points, 80);
+        let stride = (points.len() / 2_000).max(1);
+        if let Some(eps) = suggest_eps(&tree, minpts, stride) {
+            let _ = writeln!(
+                out,
+                "k-distance knee (minpts = {minpts}): suggested ε ≈ {eps:.4}"
+            );
+        }
+        let _ = writeln!(out, "index: {}", tree.stats());
+    }
+    Ok(out)
+}
+
+/// `vbp cluster --eps E --minpts M` — one DBSCAN run.
+pub fn cluster(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let eps: f64 = args
+        .require("eps")?
+        .parse()
+        .map_err(|_| "--eps: not a number".to_string())?;
+    let minpts = args.num("minpts", 4usize)?;
+    let r = args.num("r", 80usize)?;
+    let (tree, perm) = PackedRTree::build(&points, r);
+    let t0 = std::time::Instant::now();
+    let result = dbscan(&tree, DbscanParams::new(eps, minpts));
+    let elapsed = t0.elapsed();
+
+    if let Some(out) = args.get("out") {
+        write_labeled_csv(out, tree.points(), &perm, result.labels())?;
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{name}: ε = {eps}, minpts = {minpts}, r = {r} → {} clusters, {} noise ({:.1}% clustered) in {:.1} ms",
+        result.num_clusters(),
+        result.noise_count(),
+        result.clustered_fraction() * 100.0,
+        elapsed.as_secs_f64() * 1e3
+    );
+    let mut sizes: Vec<usize> = result.iter_clusters().map(|(_, m)| m.len()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let preview: Vec<String> = sizes.iter().take(10).map(|s| s.to_string()).collect();
+    let _ = writeln!(s, "largest clusters: [{}]", preview.join(", "));
+
+    if args.has("render") {
+        // Reconstruct caller-order labels for the map.
+        let mut labels = vec![0u32; perm.len()];
+        for (tree_idx, &orig) in perm.iter().enumerate() {
+            labels[orig as usize] = result.labels().raw(tree_idx as u32);
+        }
+        let _ = writeln!(s, "cluster map ('·' = noise):");
+        for row in vbp_data::render::render_clusters(&points, &labels, 72, 20) {
+            let _ = writeln!(s, "  {row}");
+        }
+    }
+    Ok(s)
+}
+
+/// `vbp sweep --eps E1,E2 --minpts M1,M2 …` — a VariantDBSCAN run.
+pub fn sweep(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let eps = args.f64_list("eps")?;
+    let minpts = args.usize_list("minpts")?;
+    let variants = VariantSet::cartesian(&eps, &minpts);
+    let config = engine_config(args)?;
+    let engine = Engine::new(config);
+    let report = engine.run(&points, &variants);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{name}: |V| = {} on {} points, T = {}, r = {}, {} + {}",
+        variants.len(),
+        points.len(),
+        config.threads,
+        config.r,
+        config.scheduler,
+        config.reuse
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} {:>9} {:>11} {:>8}  source",
+        "variant", "clusters", "noise", "time(ms)", "reused"
+    );
+    for o in &report.outcomes {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9} {:>9} {:>11.2} {:>7.1}%  {}",
+            o.variant.to_string(),
+            o.clusters,
+            o.noise,
+            o.response_time().as_secs_f64() * 1e3,
+            o.fraction_reused() * 100.0,
+            o.reused_from()
+                .map_or_else(|| "scratch".into(), |v| v.to_string())
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total {:.1} ms, mean reuse {:.1}%, {} from scratch, makespan slowdown vs lower bound {:.1}%",
+        report.total_time.as_secs_f64() * 1e3,
+        report.mean_fraction_reused() * 100.0,
+        report.from_scratch_count(),
+        report.slowdown_vs_lower_bound() * 100.0
+    );
+    Ok(s)
+}
+
+/// `vbp simulate --eps … --minpts … --threads T` — analytic scheduling
+/// study (no clustering).
+pub fn simulate_cmd(args: &Args) -> Result<String, String> {
+    let eps = args.f64_list("eps")?;
+    let minpts = args.usize_list("minpts")?;
+    let threads = args.num("threads", 16usize)?;
+    let variants = VariantSet::cartesian(&eps, &minpts);
+    let model = SimCostModel::default();
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "simulating |V| = {} on T = {threads} (analytic cost model)",
+        variants.len()
+    );
+    for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+        let r = simulate(&variants, scheduler, threads, &model);
+        let _ = writeln!(
+            s,
+            "{:<12} makespan {:>9.1}  lower bound {:>9.1}  slowdown {:>5.1}%  scratch {}",
+            scheduler.to_string(),
+            r.makespan,
+            r.lower_bound(),
+            r.slowdown_vs_lower_bound() * 100.0,
+            r.from_scratch_count()
+        );
+    }
+    Ok(s)
+}
+
+/// `vbp suggest` — propose a variant grid around the k-distance knee.
+///
+/// The paper's §V-B notes that picking ε/minpts is non-trivial; this
+/// automates the heuristic it cites: minpts = 4, ε from the knee of the
+/// sorted 4-distance plot, with a grid spanning ±50% around it.
+pub fn suggest(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    if points.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let minpts = args.num("minpts", 4usize)?;
+    let (tree, _) = PackedRTree::build(&points, 80);
+    let stride = (points.len() / 2_000).max(1);
+    let eps = suggest_eps(&tree, minpts, stride)
+        .ok_or_else(|| "could not build a k-distance plot".to_string())?;
+    let eps_grid = [eps * 0.5, eps * 0.75, eps, eps * 1.25, eps * 1.5];
+    let minpts_grid = [minpts, minpts * 2, minpts * 4];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{name}: k-distance knee at ε ≈ {eps:.4} (minpts = {minpts})"
+    );
+    let eps_list = eps_grid
+        .iter()
+        .map(|e| format!("{e:.4}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let minpts_list = minpts_grid
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let _ = writeln!(s, "suggested sweep (|V| = {}):", eps_grid.len() * minpts_grid.len());
+    let source = args
+        .get("dataset")
+        .map(|d| format!("--dataset {d}"))
+        .or_else(|| args.get("input").map(|i| format!("--input {i}")))
+        .unwrap_or_default();
+    let _ = writeln!(
+        s,
+        "  vbp sweep {source} --eps {eps_list} --minpts {minpts_list}"
+    );
+    Ok(s)
+}
+
+/// `vbp tune --eps E` — empirical `r` sweep (§V-C's procedure).
+pub fn tune(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let eps: f64 = args
+        .require("eps")?
+        .parse()
+        .map_err(|_| "--eps: not a number".to_string())?;
+    let report = vbp_rtree::tune_r_default(&points, eps);
+    let mut s = String::new();
+    let _ = writeln!(s, "{name}: ε-query timings by r (ε = {eps}):");
+    let max = report
+        .timings
+        .iter()
+        .map(|(_, t)| t.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    for (r, t) in &report.timings {
+        let bar_len = if max > 0.0 {
+            ((t.as_secs_f64() / max) * 30.0).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            s,
+            "  r={r:<4} {:>9.2} ms {}{}",
+            t.as_secs_f64() * 1e3,
+            "█".repeat(bar_len),
+            if *r == report.best_r { "  ← best" } else { "" }
+        );
+    }
+    let _ = writeln!(s, "use: --r {}", report.best_r);
+    Ok(s)
+}
+
+/// Builds the engine configuration from common flags.
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let scheduler = match args.get("scheduler").unwrap_or("greedy") {
+        "greedy" => Scheduler::SchedGreedy,
+        "minpts" => Scheduler::SchedMinpts,
+        other => return Err(format!("--scheduler: unknown '{other}' (greedy|minpts)")),
+    };
+    let reuse = match args.get("reuse").unwrap_or("density") {
+        "off" => ReuseScheme::Disabled,
+        "default" => ReuseScheme::ClusDefault,
+        "density" => ReuseScheme::ClusDensity,
+        "ptssq" => ReuseScheme::ClusPtsSquared,
+        other => {
+            return Err(format!(
+                "--reuse: unknown '{other}' (off|default|density|ptssq)"
+            ))
+        }
+    };
+    Ok(EngineConfig::default()
+        .with_threads(args.num("threads", 4usize)?.max(1))
+        .with_r(args.num("r", 80usize)?.max(1))
+        .with_scheduler(scheduler)
+        .with_reuse(reuse))
+}
+
+/// Writes `x,y,label` CSV in the caller's original point order.
+fn write_labeled_csv(
+    path: &str,
+    tree_points: &[Point2],
+    perm: &[u32],
+    labels: &vbp_dbscan::Labels,
+) -> Result<(), String> {
+    use std::io::Write;
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    // Reconstruct caller order.
+    let mut rows: Vec<(Point2, u32)> = vec![(Point2::ORIGIN, 0); perm.len()];
+    for (tree_idx, &orig) in perm.iter().enumerate() {
+        rows[orig as usize] = (tree_points[tree_idx], labels.raw(tree_idx as u32));
+    }
+    for (p, l) in rows {
+        let label = if l == vbp_dbscan::NOISE {
+            "noise".to_string()
+        } else {
+            l.to_string()
+        };
+        writeln!(w, "{},{},{label}", p.x, p.y).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Help text.
+pub fn usage() -> String {
+    "vbp — VariantDBSCAN command line
+
+commands:
+  datasets                                    list the Table I catalog
+  generate --dataset NAME[@N] --out FILE      materialize a dataset (.csv or binary)
+  info     (--dataset NAME[@N] | --input F)   stats + k-distance ε suggestion [--minpts K]
+  cluster  (--dataset … | --input F) --eps E  one DBSCAN run
+           [--minpts M] [--r R] [--out F]     (labels as x,y,label CSV)
+           [--render]                         (ASCII cluster map)
+  suggest  (--dataset … | --input F)          propose a variant grid from the
+           [--minpts K]                        k-distance knee (§V-B heuristic)
+  tune     (--dataset … | --input F) --eps E  sweep r empirically (§V-C)
+  sweep    (--dataset … | --input F)          VariantDBSCAN over V = eps × minpts
+           --eps E1,E2,… --minpts M1,M2,…
+           [--threads T] [--r R] [--scheduler greedy|minpts]
+           [--reuse off|default|density|ptssq]
+  simulate --eps … --minpts … [--threads T]   analytic scheduler comparison
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Spec;
+
+    const SPEC: Spec = Spec {
+        valued: &[
+            "dataset", "input", "out", "eps", "minpts", "r", "threads", "scheduler", "reuse",
+        ],
+        switches: &["render"],
+    };
+
+    fn parse(parts: &[&str]) -> Args {
+        let raw: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw, &SPEC).unwrap()
+    }
+
+    #[test]
+    fn datasets_lists_all_sixteen() {
+        let out = datasets();
+        assert_eq!(out.lines().count(), 17); // header + 16
+        assert!(out.contains("SW4"));
+        assert!(out.contains("cV_100k_30N"));
+    }
+
+    #[test]
+    fn info_on_catalog_dataset() {
+        let out = info(&parse(&["info", "--dataset", "cF_10k_5N@2000"])).unwrap();
+        assert!(out.contains("2000 points"), "{out}");
+        assert!(out.contains("suggested ε"), "{out}");
+    }
+
+    #[test]
+    fn cluster_runs_and_reports() {
+        let out = cluster(&parse(&[
+            "cluster",
+            "--dataset",
+            "cF_10k_5N@2000",
+            "--eps",
+            "0.7",
+            "--minpts",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("clusters"), "{out}");
+        assert!(out.contains("largest clusters"), "{out}");
+    }
+
+    #[test]
+    fn sweep_runs_full_grid() {
+        let out = sweep(&parse(&[
+            "sweep",
+            "--dataset",
+            "cF_10k_5N@1500",
+            "--eps",
+            "0.5,0.8",
+            "--minpts",
+            "4,8",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("|V| = 4"), "{out}");
+        assert!(out.matches("scratch").count() >= 1, "{out}");
+    }
+
+    #[test]
+    fn simulate_compares_schedulers() {
+        let out = simulate_cmd(&parse(&[
+            "simulate",
+            "--eps",
+            "0.2,0.3,0.4",
+            "--minpts",
+            "4,8,16",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("SchedGreedy"));
+        assert!(out.contains("SchedMinpts"));
+    }
+
+    #[test]
+    fn generate_and_reload_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vbp_cli_test.csv");
+        let path_str = path.to_str().unwrap();
+        let out = generate(&parse(&[
+            "generate",
+            "--dataset",
+            "cV_10k_30N@500",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("500 points"), "{out}");
+        let info_out = info(&parse(&["info", "--input", path_str])).unwrap();
+        assert!(info_out.contains("500 points"), "{info_out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cluster_writes_labels_csv() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vbp_cli_labels.csv");
+        let path_str = path.to_str().unwrap();
+        cluster(&parse(&[
+            "cluster",
+            "--dataset",
+            "cF_10k_5N@800",
+            "--eps",
+            "0.7",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 800);
+        assert!(text.lines().all(|l| l.split(',').count() == 3));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tune_reports_a_best_r() {
+        let out = tune(&parse(&[
+            "tune",
+            "--dataset",
+            "cF_10k_5N@2000",
+            "--eps",
+            "0.7",
+        ]))
+        .unwrap();
+        assert!(out.contains("← best"), "{out}");
+        assert!(out.contains("use: --r "), "{out}");
+    }
+
+    #[test]
+    fn suggest_produces_a_runnable_sweep_line() {
+        let out = suggest(&parse(&["suggest", "--dataset", "cF_10k_5N@2000"])).unwrap();
+        assert!(out.contains("k-distance knee"), "{out}");
+        assert!(out.contains("vbp sweep --dataset cF_10k_5N@2000 --eps"), "{out}");
+        assert!(out.contains("--minpts 4,8,16"), "{out}");
+    }
+
+    #[test]
+    fn cluster_render_emits_map() {
+        let out = cluster(&parse(&[
+            "cluster",
+            "--dataset",
+            "cF_10k_5N@800",
+            "--eps",
+            "0.7",
+            "--render",
+        ]))
+        .unwrap();
+        assert!(out.contains("cluster map"), "{out}");
+        // 20 map rows of width 72.
+        let map_rows = out
+            .lines()
+            .filter(|l| l.starts_with("  ") && l.len() >= 72)
+            .count();
+        assert!(map_rows >= 20, "{out}");
+    }
+
+    #[test]
+    fn engine_config_validation() {
+        assert!(sweep(&parse(&[
+            "sweep",
+            "--dataset",
+            "cF_10k_5N@200",
+            "--eps",
+            "0.5",
+            "--minpts",
+            "4",
+            "--scheduler",
+            "bogus",
+        ]))
+        .is_err());
+        assert!(load_points(&parse(&["info"])).is_err());
+        assert!(load_points(&parse(&["info", "--dataset", "nope"])).is_err());
+    }
+}

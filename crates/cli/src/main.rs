@@ -1,0 +1,43 @@
+//! `vbp` — the VariantDBSCAN command line.
+//!
+//! See [`commands::usage`] (or run `vbp help`) for the command list.
+
+mod args;
+mod commands;
+
+use args::{Args, Spec};
+
+/// Flags accepted by each command (one shared spec keeps the parser
+/// simple; per-command validation happens in the command itself).
+const SPEC: Spec = Spec {
+    valued: &[
+        "dataset", "input", "out", "eps", "minpts", "r", "threads", "scheduler", "reuse",
+    ],
+    switches: &["render"],
+};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        print!("{}", commands::usage());
+        return;
+    }
+    let result = Args::parse(&raw, &SPEC).and_then(|args| match args.command.as_str() {
+        "datasets" => Ok(commands::datasets()),
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "cluster" => commands::cluster(&args),
+        "suggest" => commands::suggest(&args),
+        "tune" => commands::tune(&args),
+        "sweep" => commands::sweep(&args),
+        "simulate" => commands::simulate_cmd(&args),
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+    });
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

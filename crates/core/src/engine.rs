@@ -1,0 +1,570 @@
+//! The multithreaded VariantDBSCAN execution engine — Algorithm 3's
+//! `parallel for` over variants, realized as a completion-driven thread
+//! pool over the online schedule of §IV-D.
+//!
+//! One engine run:
+//!
+//! 1. bin-sorts the database and builds the two shared R-trees
+//!    (`T_low` with the tuned `r`, `T_high` with `r = 1`);
+//! 2. spawns `T` workers that repeatedly pull an [`Assignment`] from the
+//!    shared [`ScheduleState`] — either "cluster variant `v` from scratch"
+//!    or "cluster `v` reusing completed variant `u`";
+//! 3. records a [`VariantOutcome`] per variant (timings, reuse fraction,
+//!    search counters) and returns everything as a [`RunReport`].
+//!
+//! The paper's *reference implementation* — sequential DBSCAN, `r = 1`,
+//! no reuse — is the same engine under [`EngineConfig::reference`], so
+//! every speedup comparison runs identical code paths except for the three
+//! optimizations being measured.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
+use vbp_geom::{BinOrder, Point2};
+use vbp_rtree::PackedRTree;
+
+use crate::expand::cluster_with_reuse;
+use crate::metrics::{ExecutionPath, RunReport, VariantOutcome};
+use crate::scheduler::{Assignment, ScheduleState, Scheduler};
+use crate::seeds::ReuseScheme;
+use crate::variant::VariantSet;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads `T`.
+    pub threads: usize,
+    /// Points per leaf MBB of `T_low` (the paper's `r`; 70–110 works well,
+    /// see Figure 4).
+    pub r: usize,
+    /// Traversal order of the pre-index bin sort.
+    pub bin_order: BinOrder,
+    /// Thread scheduling heuristic.
+    pub scheduler: Scheduler,
+    /// Cluster reuse prioritization (or [`ReuseScheme::Disabled`]).
+    pub reuse: ReuseScheme,
+    /// Keep per-variant [`ClusterResult`]s in the report. Disable for
+    /// throughput measurements on huge variant sets.
+    pub keep_results: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            r: 80,
+            bin_order: BinOrder::Serpentine,
+            scheduler: Scheduler::SchedGreedy,
+            reuse: ReuseScheme::ClusDensity,
+            keep_results: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's reference implementation: one thread, `r = 1`, no
+    /// reuse (§V-B).
+    pub fn reference() -> Self {
+        Self {
+            threads: 1,
+            r: 1,
+            bin_order: BinOrder::Serpentine,
+            scheduler: Scheduler::SchedGreedy,
+            reuse: ReuseScheme::Disabled,
+            keep_results: true,
+        }
+    }
+
+    /// Builder-style setter for `threads`.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Builder-style setter for `r`.
+    pub fn with_r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Builder-style setter for the scheduler.
+    pub fn with_scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Builder-style setter for the reuse scheme.
+    pub fn with_reuse(mut self, scheme: ReuseScheme) -> Self {
+        self.reuse = scheme;
+        self
+    }
+
+    /// Builder-style setter for `keep_results`.
+    pub fn with_keep_results(mut self, keep: bool) -> Self {
+        self.keep_results = keep;
+        self
+    }
+}
+
+/// The VariantDBSCAN engine.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+/// State shared between workers, behind one mutex: the online schedule
+/// plus the completed results it hands out as reuse sources.
+struct Shared {
+    schedule: ScheduleState,
+    results: Vec<Option<Arc<ClusterResult>>>,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `r == 0`.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.threads >= 1, "need at least one worker thread");
+        assert!(config.r >= 1, "r must be ≥ 1");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Clusters every variant of `variants` over `points`, returning the
+    /// full run record. Results are reported in *tree order*; use
+    /// [`RunReport::result_in_caller_order`] or the report's
+    /// `permutation` to translate back.
+    pub fn run(&self, points: &[Point2], variants: &VariantSet) -> RunReport {
+        self.run_internal(points, variants, None)
+    }
+
+    /// Shared implementation of [`Engine::run`] and
+    /// [`Engine::run_with_progress`](crate::progress).
+    pub(crate) fn run_internal(
+        &self,
+        points: &[Point2],
+        variants: &VariantSet,
+        progress: Option<crossbeam::channel::Sender<crate::progress::ProgressEvent>>,
+    ) -> RunReport {
+        use crate::progress::ProgressEvent;
+        // Reject non-finite coordinates up front: they would otherwise
+        // poison MBB arithmetic deep inside the index with a far less
+        // actionable failure.
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            panic!("point {bad} has non-finite coordinates: {:?}", points[bad]);
+        }
+        let build_start = Instant::now();
+        let (t_low, permutation) =
+            PackedRTree::build_with_order(points, self.config.r, self.config.bin_order);
+        let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
+        let index_build_time = build_start.elapsed();
+        if let Some(tx) = &progress {
+            let _ = tx.send(ProgressEvent::IndexBuilt {
+                seconds: index_build_time.as_secs_f64(),
+            });
+        }
+
+        let shared = Mutex::new(Shared {
+            schedule: ScheduleState::new(
+                variants.clone(),
+                self.config.scheduler,
+                self.config.reuse.reuses(),
+            ),
+            results: vec![None; variants.len()],
+        });
+        let outcomes: Mutex<Vec<VariantOutcome>> = Mutex::new(Vec::with_capacity(variants.len()));
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for thread_id in 0..self.config.threads {
+                let shared = &shared;
+                let outcomes = &outcomes;
+                let t_low = &t_low;
+                let t_high = &t_high;
+                let progress = progress.clone();
+                scope.spawn(move || {
+                    worker_loop(
+                        thread_id,
+                        self.config.reuse,
+                        variants,
+                        t_low,
+                        t_high,
+                        shared,
+                        outcomes,
+                        t0,
+                        progress,
+                    );
+                });
+            }
+        });
+        let total_time = t0.elapsed();
+        if let Some(tx) = &progress {
+            let _ = tx.send(ProgressEvent::Finished {
+                variants: variants.len(),
+            });
+        }
+
+        let mut outcomes = outcomes.into_inner();
+        outcomes.sort_by_key(|o| o.index);
+        let results = if self.config.keep_results {
+            shared
+                .into_inner()
+                .results
+                .into_iter()
+                .map(|r| r.expect("every variant must have completed"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        RunReport {
+            outcomes,
+            total_time,
+            index_build_time,
+            threads: self.config.threads,
+            results,
+            permutation,
+        }
+    }
+}
+
+/// One worker: pull → cluster → publish, until the schedule drains.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    thread_id: usize,
+    reuse: ReuseScheme,
+    variants: &VariantSet,
+    t_low: &PackedRTree,
+    t_high: &PackedRTree,
+    shared: &Mutex<Shared>,
+    outcomes: &Mutex<Vec<VariantOutcome>>,
+    t0: Instant,
+    progress: Option<crossbeam::channel::Sender<crate::progress::ProgressEvent>>,
+) {
+    let mut scratch = DbscanScratch::new();
+    loop {
+        // Pull an assignment and, if it reuses, the source's result.
+        let (assignment, source_result): (Assignment, Option<Arc<ClusterResult>>) = {
+            let mut guard = shared.lock();
+            let Some(a) = guard.schedule.next_assignment() else {
+                return;
+            };
+            let src = a.reuse_from.map(|u| {
+                Arc::clone(
+                    guard.results[u]
+                        .as_ref()
+                        .expect("scheduler handed out an incomplete reuse source"),
+                )
+            });
+            (a, src)
+        };
+
+        let variant = variants[assignment.variant];
+        let started = t0.elapsed();
+        let (result, path) = match (source_result, assignment.reuse_from) {
+            (Some(prev), Some(u)) => {
+                let source_variant = variants[u];
+                let (result, stats) =
+                    cluster_with_reuse(t_low, t_high, variant, &prev, source_variant, reuse);
+                (
+                    result,
+                    ExecutionPath::Reused {
+                        source: source_variant,
+                        stats,
+                    },
+                )
+            }
+            _ => {
+                let (result, stats) =
+                    dbscan_with_scratch(t_low, variant.params(), &mut scratch);
+                (result, ExecutionPath::FromScratch(stats))
+            }
+        };
+        let finished = t0.elapsed();
+
+        let outcome = VariantOutcome {
+            index: assignment.variant,
+            variant,
+            thread: thread_id,
+            started,
+            finished,
+            path,
+            clusters: result.num_clusters(),
+            noise: result.noise_count(),
+        };
+
+        {
+            let mut guard = shared.lock();
+            guard.results[assignment.variant] = Some(Arc::new(result));
+            guard.schedule.complete(assignment.variant);
+        }
+        if let Some(tx) = &progress {
+            let _ = tx.send(crate::progress::ProgressEvent::VariantDone(outcome.clone()));
+        }
+        outcomes.lock().push(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::Variant;
+    use vbp_dbscan::{dbscan, quality_score};
+
+    /// Deterministic blob generator: `k` Gaussian-ish blobs on a grid plus
+    /// uniform noise.
+    fn blobs(n: usize, k: usize, seed: u64) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let centers: Vec<Point2> = (0..k)
+            .map(|_| Point2::new(rnd() * 100.0, rnd() * 100.0))
+            .collect();
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Point2::new(rnd() * 100.0, rnd() * 100.0) // noise
+                } else {
+                    let c = centers[i % k];
+                    Point2::new(c.x + (rnd() - 0.5) * 2.0, c.y + (rnd() - 0.5) * 2.0)
+                }
+            })
+            .collect()
+    }
+
+    fn small_grid() -> VariantSet {
+        VariantSet::cartesian(&[0.8, 1.2, 1.6], &[4, 8])
+    }
+
+    #[test]
+    fn engine_clusters_every_variant() {
+        let points = blobs(800, 5, 42);
+        let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
+        let report = engine.run(&points, &small_grid());
+        assert_eq!(report.outcomes.len(), 6);
+        assert_eq!(report.results.len(), 6);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(report.results[i].num_clusters(), o.clusters);
+        }
+    }
+
+    #[test]
+    fn engine_results_match_direct_dbscan() {
+        let points = blobs(600, 4, 7);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(20));
+        let report = engine.run(&points, &variants);
+
+        // Compare each variant against a direct DBSCAN over the same tree
+        // order using the paper's quality metric.
+        let (t_low, _) = PackedRTree::build(&points, 20);
+        for (i, v) in variants.iter().enumerate() {
+            let direct = dbscan(&t_low, v.params());
+            let got = &report.results[i];
+            assert_eq!(direct.num_clusters(), got.num_clusters(), "variant {v}");
+            assert_eq!(direct.noise_count(), got.noise_count(), "variant {v}");
+            let q = quality_score(&direct, got);
+            assert!(q.mean_score > 0.99, "variant {v}: quality {}", q.mean_score);
+        }
+    }
+
+    #[test]
+    fn reference_config_never_reuses() {
+        let points = blobs(300, 3, 11);
+        let engine = Engine::new(EngineConfig::reference());
+        let report = engine.run(&points, &small_grid());
+        assert_eq!(report.from_scratch_count(), 6);
+        assert_eq!(report.mean_fraction_reused(), 0.0);
+        assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn first_t_variants_cannot_reuse() {
+        // With |V| = 6 and T = 6, every variant starts before anything
+        // completes... except workers that start late; at minimum the
+        // first assignment per worker before any completion is scratch.
+        // The robust invariant: from_scratch ≥ 1 and every reused variant
+        // has a source satisfying the inclusion criteria.
+        let points = blobs(400, 3, 13);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        let report = engine.run(&points, &variants);
+        assert!(report.from_scratch_count() >= 1);
+        for o in &report.outcomes {
+            if let Some(src) = o.reused_from() {
+                assert!(o.variant.can_reuse(&src), "{} reused {}", o.variant, src);
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_actually_happens_at_t1() {
+        let points = blobs(500, 4, 17);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(16)
+                .with_reuse(ReuseScheme::ClusDensity),
+        );
+        let report = engine.run(&points, &small_grid());
+        // T = 1 ⇒ only the first variant is from scratch under SchedGreedy.
+        assert_eq!(report.from_scratch_count(), 1);
+        assert!(report.mean_fraction_reused() > 0.0);
+    }
+
+    #[test]
+    fn identical_variants_replicate_results() {
+        let points = blobs(400, 3, 23);
+        let variants = VariantSet::replicated(Variant::new(1.0, 4), 8);
+        let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
+        let report = engine.run(&points, &variants);
+        let first = &report.results[0];
+        for r in &report.results[1..] {
+            assert_eq!(first.num_clusters(), r.num_clusters());
+            assert_eq!(first.noise_count(), r.noise_count());
+        }
+    }
+
+    #[test]
+    fn caller_order_mapping_roundtrips() {
+        let points = blobs(200, 2, 31);
+        let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        let report = engine.run(&points, &variants);
+        let remapped = report.result_in_caller_order(0);
+        assert_eq!(remapped.len(), points.len());
+        // Label of original point i must equal the tree-order label of its
+        // tree position.
+        for (tree_idx, &orig) in report.permutation.iter().enumerate() {
+            assert_eq!(
+                remapped[orig as usize],
+                report.results[0].labels().raw(tree_idx as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_variant_set() {
+        let points = blobs(100, 2, 37);
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let report = engine.run(&points, &VariantSet::new(vec![]));
+        assert!(report.outcomes.is_empty());
+        assert!(report.results.is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(4));
+        let report = engine.run(&[], &small_grid());
+        assert_eq!(report.outcomes.len(), 6);
+        for r in &report.results {
+            assert_eq!(r.len(), 0);
+        }
+    }
+
+    #[test]
+    fn keep_results_false_drops_results() {
+        let points = blobs(200, 2, 41);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_r(8)
+                .with_keep_results(false),
+        );
+        let report = engine.run(&points, &small_grid());
+        assert!(report.results.is_empty());
+        assert_eq!(report.outcomes.len(), 6);
+    }
+
+    #[test]
+    fn timings_are_monotone_and_cover_threads() {
+        let points = blobs(600, 4, 43);
+        let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
+        let report = engine.run(&points, &small_grid());
+        for o in &report.outcomes {
+            assert!(o.finished >= o.started);
+            assert!(o.thread < 3);
+        }
+        assert!(report.total_time >= Duration::from_nanos(0));
+        assert!(report.lower_bound() <= report.total_time + Duration::from_millis(50));
+    }
+
+    use std::time::Duration;
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_rejected() {
+        Engine::new(EngineConfig::default().with_threads(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_points_rejected() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(4));
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
+        engine.run(&points, &small_grid());
+    }
+
+    #[test]
+    fn t1_runs_are_fully_deterministic() {
+        // At T = 1 the online schedule has no timing dependence, so two
+        // runs must produce identical labelings, identical reuse sources,
+        // and identical execution paths.
+        let points = blobs(700, 4, 77);
+        let variants = VariantSet::cartesian(&[0.7, 1.0, 1.3], &[4, 8]);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(32)
+                .with_reuse(ReuseScheme::ClusDensity),
+        );
+        let a = engine.run(&points, &variants);
+        let b = engine.run(&points, &variants);
+        assert_eq!(a.permutation, b.permutation);
+        for i in 0..variants.len() {
+            assert_eq!(a.results[i], b.results[i], "variant {i}");
+            assert_eq!(a.outcomes[i].reused_from(), b.outcomes[i].reused_from());
+            assert_eq!(
+                matches!(a.outcomes[i].path, ExecutionPath::FromScratch(_)),
+                matches!(b.outcomes[i].path, ExecutionPath::FromScratch(_))
+            );
+        }
+    }
+
+    use crate::metrics::ExecutionPath;
+
+    #[test]
+    fn stress_many_threads_many_variants() {
+        // Far more threads than cores and more variants than threads:
+        // exercises the scheduler's contention paths. Every variant must
+        // complete exactly once with a valid reuse source.
+        let points = blobs(300, 3, 99);
+        let eps: Vec<f64> = (1..=10).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let variants = VariantSet::cartesian(&eps, &[3, 4, 5, 6, 7]);
+        assert_eq!(variants.len(), 50);
+        let engine = Engine::new(EngineConfig::default().with_threads(16).with_r(16));
+        let report = engine.run(&points, &variants);
+        assert_eq!(report.outcomes.len(), 50);
+        let mut seen = [false; 50];
+        for o in &report.outcomes {
+            assert!(!seen[o.index]);
+            seen[o.index] = true;
+            if let Some(src) = o.reused_from() {
+                assert!(o.variant.can_reuse(&src));
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-variant and per-run metrics — the quantities the paper's evaluation
+//! plots: per-variant response time and fraction reused (Figure 5),
+//! relative speedups (Figures 4, 7a, 8), average reuse (Figure 7b), and
+//! per-thread makespans against the no-idle lower bound (Figure 9).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vbp_dbscan::{ClusterResult, DbscanStats};
+use vbp_geom::PointId;
+
+use crate::expand::ReuseStats;
+use crate::variant::Variant;
+
+/// How one variant was clustered.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecutionPath {
+    /// Plain DBSCAN (Algorithm 3, line 19).
+    FromScratch(DbscanStats),
+    /// Cluster reuse (Algorithm 3, lines 4–18) from the given source.
+    Reused {
+        /// The completed variant whose clusters were reused.
+        source: Variant,
+        /// Reuse instrumentation.
+        stats: ReuseStats,
+    },
+}
+
+/// The record of one variant's execution.
+#[derive(Clone, Debug)]
+pub struct VariantOutcome {
+    /// Canonical index in the [`VariantSet`](crate::VariantSet).
+    pub index: usize,
+    /// The variant parameters.
+    pub variant: Variant,
+    /// Worker thread (0-based) that executed it.
+    pub thread: usize,
+    /// Start offset from the run's t = 0.
+    pub started: Duration,
+    /// Finish offset from the run's t = 0.
+    pub finished: Duration,
+    /// Which code path ran and its instrumentation.
+    pub path: ExecutionPath,
+    /// Clusters produced.
+    pub clusters: usize,
+    /// Points labeled noise.
+    pub noise: usize,
+}
+
+impl VariantOutcome {
+    /// Wall-clock time this variant took (the paper's per-variant
+    /// "response time").
+    pub fn response_time(&self) -> Duration {
+        self.finished.saturating_sub(self.started)
+    }
+
+    /// Fraction of points whose assignment was copied from the reuse
+    /// source (0 for from-scratch executions).
+    pub fn fraction_reused(&self) -> f64 {
+        match &self.path {
+            ExecutionPath::FromScratch(_) => 0.0,
+            ExecutionPath::Reused { stats, .. } => stats.fraction_reused(),
+        }
+    }
+
+    /// The reuse source, if any.
+    pub fn reused_from(&self) -> Option<Variant> {
+        match &self.path {
+            ExecutionPath::FromScratch(_) => None,
+            ExecutionPath::Reused { source, .. } => Some(*source),
+        }
+    }
+
+    /// Total ε-neighborhood searches issued.
+    pub fn searches(&self) -> usize {
+        match &self.path {
+            ExecutionPath::FromScratch(s) => s.neighbor_searches,
+            ExecutionPath::Reused { stats, .. } => stats.total_searches(),
+        }
+    }
+}
+
+/// The complete record of an engine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-variant outcomes, sorted by canonical variant index.
+    pub outcomes: Vec<VariantOutcome>,
+    /// Wall-clock makespan of the whole run (tree construction excluded;
+    /// the paper indexes once and amortizes across variants).
+    pub total_time: Duration,
+    /// Time spent building T_low / T_high and bin-sorting.
+    pub index_build_time: Duration,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Clustering results per variant (in canonical variant order), in
+    /// *tree order* point ids. Empty when the engine is configured with
+    /// `keep_results = false`.
+    pub results: Vec<Arc<ClusterResult>>,
+    /// Permutation mapping tree order → caller point order.
+    pub permutation: Vec<PointId>,
+}
+
+impl RunReport {
+    /// Sum of per-variant response times — what a single thread would
+    /// spend executing this exact work distribution back to back.
+    pub fn total_busy(&self) -> Duration {
+        self.outcomes.iter().map(VariantOutcome::response_time).sum()
+    }
+
+    /// Busy time per thread (Figure 9's bar heights).
+    pub fn per_thread_busy(&self) -> Vec<Duration> {
+        let mut busy = vec![Duration::ZERO; self.threads];
+        for o in &self.outcomes {
+            busy[o.thread] += o.response_time();
+        }
+        busy
+    }
+
+    /// Per-thread makespan: when each thread finished its last variant.
+    pub fn per_thread_finish(&self) -> Vec<Duration> {
+        let mut finish = vec![Duration::ZERO; self.threads];
+        for o in &self.outcomes {
+            finish[o.thread] = finish[o.thread].max(o.finished);
+        }
+        finish
+    }
+
+    /// The Figure 9 lower bound: if no core ever idled, the run would take
+    /// `total_busy / threads`.
+    pub fn lower_bound(&self) -> Duration {
+        if self.threads == 0 {
+            return Duration::ZERO;
+        }
+        self.total_busy() / self.threads as u32
+    }
+
+    /// Slowdown of the actual makespan relative to the lower bound
+    /// (the paper reports 13.5% for SchedGreedy vs 33.0% for SchedMinpts
+    /// in its Figure 9 scenario). 0.0 means perfectly packed.
+    pub fn slowdown_vs_lower_bound(&self) -> f64 {
+        let lb = self.lower_bound().as_secs_f64();
+        if lb <= 0.0 {
+            return 0.0;
+        }
+        let makespan = self
+            .per_thread_finish()
+            .into_iter()
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64();
+        (makespan - lb).max(0.0) / lb
+    }
+
+    /// Mean fraction of points reused across all variants (Figure 7b).
+    pub fn mean_fraction_reused(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(VariantOutcome::fraction_reused)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// How many variants were clustered from scratch.
+    pub fn from_scratch_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.path, ExecutionPath::FromScratch(_)))
+            .count()
+    }
+
+    /// Relative speedup versus a reference run time — the paper's y-axis:
+    /// `time(reference) / time(this)`.
+    pub fn speedup_vs(&self, reference: Duration) -> f64 {
+        let own = self.total_time.as_secs_f64();
+        if own <= 0.0 {
+            return f64::INFINITY;
+        }
+        reference.as_secs_f64() / own
+    }
+
+    /// Maps one variant's clustering result back to the caller's original
+    /// point order.
+    pub fn result_in_caller_order(&self, variant_index: usize) -> Vec<u32> {
+        let result = &self.results[variant_index];
+        let mut remapped = vec![0u32; result.len()];
+        for (tree_idx, &orig) in self.permutation.iter().enumerate() {
+            remapped[orig as usize] = result.labels().raw(tree_idx as PointId);
+        }
+        remapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(index: usize, thread: usize, start_ms: u64, end_ms: u64) -> VariantOutcome {
+        VariantOutcome {
+            index,
+            variant: Variant::new(0.5, 4),
+            thread,
+            started: Duration::from_millis(start_ms),
+            finished: Duration::from_millis(end_ms),
+            path: ExecutionPath::FromScratch(DbscanStats::default()),
+            clusters: 1,
+            noise: 0,
+        }
+    }
+
+    fn report(outcomes: Vec<VariantOutcome>, threads: usize, total_ms: u64) -> RunReport {
+        RunReport {
+            outcomes,
+            total_time: Duration::from_millis(total_ms),
+            index_build_time: Duration::ZERO,
+            threads,
+            results: Vec::new(),
+            permutation: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn busy_and_lower_bound() {
+        let r = report(
+            vec![
+                outcome(0, 0, 0, 100),
+                outcome(1, 1, 0, 300),
+                outcome(2, 0, 100, 200),
+            ],
+            2,
+            300,
+        );
+        assert_eq!(r.total_busy(), Duration::from_millis(500));
+        assert_eq!(r.per_thread_busy(), vec![
+            Duration::from_millis(200),
+            Duration::from_millis(300)
+        ]);
+        assert_eq!(r.lower_bound(), Duration::from_millis(250));
+        // Makespan 300 vs lower bound 250 ⇒ 20% slowdown.
+        assert!((r.slowdown_vs_lower_bound() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup() {
+        let r = report(vec![outcome(0, 0, 0, 100)], 1, 100);
+        assert!((r.speedup_vs(Duration::from_millis(500)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_counting_and_reuse_fraction() {
+        let mut o2 = outcome(1, 0, 100, 150);
+        o2.path = ExecutionPath::Reused {
+            source: Variant::new(0.4, 8),
+            stats: ReuseStats {
+                points_reused: 75,
+                total_points: 100,
+                ..ReuseStats::default()
+            },
+        };
+        let r = report(vec![outcome(0, 0, 0, 100), o2], 1, 150);
+        assert_eq!(r.from_scratch_count(), 1);
+        assert!((r.mean_fraction_reused() - 0.375).abs() < 1e-12);
+        assert_eq!(r.outcomes[1].reused_from(), Some(Variant::new(0.4, 8)));
+        assert_eq!(r.outcomes[1].fraction_reused(), 0.75);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = report(vec![], 4, 0);
+        assert_eq!(r.total_busy(), Duration::ZERO);
+        assert_eq!(r.mean_fraction_reused(), 0.0);
+        assert_eq!(r.slowdown_vs_lower_bound(), 0.0);
+    }
+}

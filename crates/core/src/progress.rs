@@ -1,0 +1,124 @@
+//! Live progress reporting for long engine runs.
+//!
+//! A full-scale S3 run (|V| = 57 over five million points) takes minutes;
+//! the CLI and long-running examples want per-variant completion events
+//! as they happen rather than a report at the end. Workers publish
+//! completions into a `crossbeam` channel; the caller consumes them from
+//! its own thread (or after the run — the channel is unbounded and the
+//! events are small).
+
+use crossbeam::channel::{unbounded, Receiver};
+
+use vbp_geom::Point2;
+
+use crate::engine::Engine;
+use crate::metrics::{RunReport, VariantOutcome};
+use crate::variant::VariantSet;
+
+/// A progress event.
+#[derive(Clone, Debug)]
+pub enum ProgressEvent {
+    /// The shared indexes finished building (seconds spent).
+    IndexBuilt {
+        /// Build wall time in seconds.
+        seconds: f64,
+    },
+    /// One variant completed.
+    VariantDone(VariantOutcome),
+    /// The whole run completed.
+    Finished {
+        /// Total variants executed.
+        variants: usize,
+    },
+}
+
+impl Engine {
+    /// Like [`Engine::run`], but streams [`ProgressEvent`]s while the run
+    /// executes. The receiver can be consumed concurrently from another
+    /// thread or drained afterwards.
+    ///
+    /// ```
+    /// use variantdbscan::{Engine, EngineConfig, VariantSet, Variant, ProgressEvent};
+    /// use vbp_geom::Point2;
+    ///
+    /// let points: Vec<Point2> = (0..100)
+    ///     .map(|i| Point2::new((i % 10) as f64, (i / 10) as f64))
+    ///     .collect();
+    /// let variants = VariantSet::cartesian(&[1.1, 1.5], &[3]);
+    /// let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(8));
+    /// let (report, events) = engine.run_with_progress(&points, &variants);
+    /// let done = events
+    ///     .iter()
+    ///     .filter(|e| matches!(e, ProgressEvent::VariantDone(_)))
+    ///     .count();
+    /// assert_eq!(done, report.outcomes.len());
+    /// ```
+    pub fn run_with_progress(
+        &self,
+        points: &[Point2],
+        variants: &VariantSet,
+    ) -> (RunReport, Receiver<ProgressEvent>) {
+        let (tx, rx) = unbounded();
+        let report = self.run_internal(points, variants, Some(tx));
+        (report, rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::variant::Variant;
+
+    fn grid_points(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| Point2::new((i % 20) as f64 * 0.5, (i / 20) as f64 * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn events_cover_the_whole_run() {
+        let points = grid_points(400);
+        let variants = VariantSet::cartesian(&[0.8, 1.2], &[3, 5]);
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        let (report, rx) = engine.run_with_progress(&points, &variants);
+        let events: Vec<ProgressEvent> = rx.try_iter().collect();
+
+        let built = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::IndexBuilt { .. }))
+            .count();
+        assert_eq!(built, 1);
+        let done: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::VariantDone(o) => Some(o.index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done.len(), variants.len());
+        let mut sorted = done.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..variants.len()).collect::<Vec<_>>());
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished { variants: 4 })
+        ));
+        assert_eq!(report.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_consumption_works() {
+        let points = grid_points(400);
+        let variants = VariantSet::replicated(Variant::new(0.8, 3), 6);
+        let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
+        // Consume from a separate thread while the run progresses.
+        let (report, rx) = engine.run_with_progress(&points, &variants);
+        let consumer = std::thread::spawn(move || rx.iter().count());
+        // Dropping all senders happened when run_internal returned, so
+        // the consumer terminates.
+        let count = consumer.join().unwrap();
+        assert_eq!(count, 6 + 2); // 6 variants + IndexBuilt + Finished
+        assert_eq!(report.outcomes.len(), 6);
+    }
+}

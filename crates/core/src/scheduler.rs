@@ -1,0 +1,364 @@
+//! Online variant scheduling — §IV-D.
+//!
+//! Threads pull work from a shared schedule. An assignment pairs a pending
+//! variant with (optionally) a *completed* variant to reuse; the choice is
+//! made at pull time, because which variants have completed is exactly the
+//! online information the paper's heuristics exploit:
+//!
+//! - **SchedGreedy** — among all (pending, completed) pairs satisfying the
+//!   inclusion criteria, pick the one with the smallest normalized
+//!   parameter distance. If no pending variant can reuse anything
+//!   completed, cluster the pending variant with the smallest ε / largest
+//!   minpts from scratch (that is position 0 of the canonical order).
+//! - **SchedMinpts** — first cluster, from scratch, the max-minpts variant
+//!   of every distinct ε (the "priority list"), maximizing the diversity
+//!   of future reuse sources; afterwards behave exactly like SchedGreedy.
+
+use crate::variant::VariantSet;
+
+/// The paper's two thread-scheduling heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Minimize each variant's time to solution by reusing the most
+    /// similar completed variant (§IV-D heuristic 1).
+    #[default]
+    SchedGreedy,
+    /// Seed the schedule with a diverse set of from-scratch variants
+    /// (§IV-D heuristic 2).
+    SchedMinpts,
+}
+
+impl Scheduler {
+    /// Short stable name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduler::SchedGreedy => "SchedGreedy",
+            Scheduler::SchedMinpts => "SchedMinpts",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of work handed to a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index of the variant to cluster (into the canonical
+    /// [`VariantSet`] order).
+    pub variant: usize,
+    /// Completed variant whose clusters should be reused, or `None` to
+    /// cluster from scratch.
+    pub reuse_from: Option<usize>,
+}
+
+/// Shared scheduling state. The engine wraps this in a mutex; all methods
+/// are cheap relative to a clustering run.
+#[derive(Clone, Debug)]
+pub struct ScheduleState {
+    scheduler: Scheduler,
+    reuse_enabled: bool,
+    eps_range: f64,
+    minpts_range: f64,
+    /// Pending variant indices, ascending canonical order.
+    pending: Vec<usize>,
+    /// SchedMinpts scratch-first queue (ascending ε), subset of pending.
+    priority: Vec<usize>,
+    /// Completed variant indices in completion order.
+    completed: Vec<usize>,
+    /// In-flight count, to distinguish "done" from "temporarily empty".
+    in_flight: usize,
+    variants: VariantSet,
+}
+
+impl ScheduleState {
+    /// Creates the schedule for a variant set.
+    ///
+    /// `reuse_enabled = false` forces every assignment to be from scratch
+    /// (the reference-implementation configuration).
+    pub fn new(variants: VariantSet, scheduler: Scheduler, reuse_enabled: bool) -> Self {
+        let pending: Vec<usize> = (0..variants.len()).collect();
+        let priority = match scheduler {
+            Scheduler::SchedMinpts => variants.minpts_priority_indices(),
+            Scheduler::SchedGreedy => Vec::new(),
+        };
+        Self {
+            scheduler,
+            reuse_enabled,
+            eps_range: variants.eps_range(),
+            minpts_range: variants.minpts_range(),
+            pending,
+            priority,
+            completed: Vec::new(),
+            in_flight: 0,
+            variants,
+        }
+    }
+
+    /// The scheduling heuristic in use.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Variants not yet assigned.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Variants completed so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Returns `true` once every variant has been assigned and completed.
+    pub fn is_finished(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+
+    /// Pulls the next assignment, or `None` when no variants are pending.
+    pub fn next_assignment(&mut self) -> Option<Assignment> {
+        if self.pending.is_empty() {
+            return None;
+        }
+
+        // SchedMinpts: drain the scratch-first priority queue.
+        if let Some(&head) = self.priority.first() {
+            self.priority.remove(0);
+            self.take_pending(head);
+            return Some(Assignment {
+                variant: head,
+                reuse_from: None,
+            });
+        }
+
+        if self.reuse_enabled {
+            // Greedy rule: best (pending, completed) pair by parameter
+            // distance; ties resolved toward earlier canonical positions
+            // for determinism.
+            let mut best: Option<(f64, usize, usize)> = None;
+            for &v in &self.pending {
+                let vv = self.variants[v];
+                for &u in &self.completed {
+                    if !vv.can_reuse(&self.variants[u]) {
+                        continue;
+                    }
+                    let d =
+                        vv.param_distance(&self.variants[u], self.eps_range, self.minpts_range);
+                    let cand = (d, v, u);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, v, u)) = best {
+                self.take_pending(v);
+                // SchedMinpts keeps its priority list consistent if the
+                // greedy rule happens to grab one of its entries.
+                self.priority.retain(|&p| p != v);
+                return Some(Assignment {
+                    variant: v,
+                    reuse_from: Some(u),
+                });
+            }
+        }
+
+        // Nothing reusable (or reuse disabled): cluster from scratch the
+        // pending variant with the smallest ε and largest minpts — the
+        // first pending index in canonical order.
+        let v = self.pending[0];
+        self.take_pending(v);
+        self.priority.retain(|&p| p != v);
+        Some(Assignment {
+            variant: v,
+            reuse_from: None,
+        })
+    }
+
+    /// Records that `variant` finished, making it available as a reuse
+    /// source for future assignments.
+    pub fn complete(&mut self, variant: usize) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        self.completed.push(variant);
+    }
+
+    fn take_pending(&mut self, v: usize) {
+        let pos = self
+            .pending
+            .iter()
+            .position(|&p| p == v)
+            .expect("assigned variant must be pending");
+        self.pending.remove(pos);
+        self.in_flight += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::Variant;
+
+    fn figure3_set() -> VariantSet {
+        VariantSet::cartesian(&[0.2, 0.4, 0.6], &[20, 24, 28, 32])
+    }
+
+    /// Simulates a single-threaded run: pull, execute instantly, complete.
+    fn simulate_serial(mut state: ScheduleState) -> Vec<Assignment> {
+        let mut order = Vec::new();
+        while let Some(a) = state.next_assignment() {
+            state.complete(a.variant);
+            order.push(a);
+        }
+        assert!(state.is_finished());
+        order
+    }
+
+    #[test]
+    fn greedy_serial_starts_with_smallest_eps_largest_minpts() {
+        let set = figure3_set();
+        let order = simulate_serial(ScheduleState::new(
+            set.clone(),
+            Scheduler::SchedGreedy,
+            true,
+        ));
+        assert_eq!(order.len(), 12);
+        // First from scratch: (0.2, 32).
+        assert_eq!(order[0].reuse_from, None);
+        assert_eq!(set[order[0].variant], Variant::new(0.2, 32));
+        // Everything else reuses something.
+        for a in &order[1..] {
+            assert!(a.reuse_from.is_some(), "{a:?} should reuse");
+        }
+    }
+
+    #[test]
+    fn greedy_reuse_sources_satisfy_inclusion_criteria() {
+        let set = figure3_set();
+        let order = simulate_serial(ScheduleState::new(
+            set.clone(),
+            Scheduler::SchedGreedy,
+            true,
+        ));
+        for a in &order {
+            if let Some(u) = a.reuse_from {
+                assert!(
+                    set[a.variant].can_reuse(&set[u]),
+                    "{} cannot reuse {}",
+                    set[a.variant],
+                    set[u]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minpts_scheduler_seeds_one_scratch_variant_per_eps() {
+        let set = figure3_set();
+        let order = simulate_serial(ScheduleState::new(
+            set.clone(),
+            Scheduler::SchedMinpts,
+            true,
+        ));
+        // Figure 3 (c): the first three assignments are (0.2,32), (0.4,32),
+        // (0.6,32), all from scratch.
+        let head: Vec<Variant> = order[..3].iter().map(|a| set[a.variant]).collect();
+        assert_eq!(
+            head,
+            vec![
+                Variant::new(0.2, 32),
+                Variant::new(0.4, 32),
+                Variant::new(0.6, 32)
+            ]
+        );
+        for a in &order[..3] {
+            assert_eq!(a.reuse_from, None);
+        }
+        for a in &order[3..] {
+            assert!(a.reuse_from.is_some());
+        }
+    }
+
+    #[test]
+    fn every_variant_assigned_exactly_once() {
+        for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+            let set = figure3_set();
+            let order = simulate_serial(ScheduleState::new(set.clone(), sched, true));
+            let mut seen = vec![false; set.len()];
+            for a in &order {
+                assert!(!seen[a.variant], "variant {} assigned twice", a.variant);
+                seen[a.variant] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn reuse_disabled_forces_scratch_in_canonical_order() {
+        let set = figure3_set();
+        let order = simulate_serial(ScheduleState::new(
+            set.clone(),
+            Scheduler::SchedGreedy,
+            false,
+        ));
+        for (i, a) in order.iter().enumerate() {
+            assert_eq!(a.variant, i);
+            assert_eq!(a.reuse_from, None);
+        }
+    }
+
+    #[test]
+    fn concurrent_pulls_before_any_completion_are_scratch() {
+        // T = 4: the first 4 pulls happen before anything completes, so
+        // all must be from scratch (the paper's f = (|V|−T)/|V| bound).
+        let set = figure3_set();
+        let mut state = ScheduleState::new(set, Scheduler::SchedGreedy, true);
+        let first: Vec<Assignment> = (0..4).map(|_| state.next_assignment().unwrap()).collect();
+        for a in &first {
+            assert_eq!(a.reuse_from, None);
+        }
+        // Complete them; the 5th pull must now reuse.
+        for a in &first {
+            state.complete(a.variant);
+        }
+        let fifth = state.next_assignment().unwrap();
+        assert!(fifth.reuse_from.is_some());
+    }
+
+    #[test]
+    fn greedy_prefers_componentwise_nearest_source() {
+        // Complete (0.2, 32) and (0.6, 24); the best candidate pair should
+        // use a source at minimal normalized distance, reproducing the
+        // Figure 3 intuition that (0.6, 20) prefers (0.6, 24) over
+        // (0.2, 32).
+        let set = figure3_set();
+        let mut state = ScheduleState::new(set.clone(), Scheduler::SchedGreedy, true);
+        // Drain assignments until both desired variants have been pulled,
+        // completing them immediately; then inspect who reuses what.
+        let mut sources_used: Vec<(Variant, Option<Variant>)> = Vec::new();
+        while let Some(a) = state.next_assignment() {
+            state.complete(a.variant);
+            sources_used.push((set[a.variant], a.reuse_from.map(|u| set[u])));
+        }
+        let (_, src) = sources_used
+            .iter()
+            .find(|(v, _)| *v == Variant::new(0.6, 20))
+            .unwrap();
+        let src = src.unwrap();
+        // Its source must be strictly closer (normalized) than (0.2, 32).
+        let (er, mr) = (set.eps_range(), set.minpts_range());
+        let v = Variant::new(0.6, 20);
+        assert!(
+            v.param_distance(&src, er, mr) <= v.param_distance(&Variant::new(0.2, 32), er, mr)
+        );
+    }
+
+    #[test]
+    fn empty_set_finishes_immediately() {
+        let mut state = ScheduleState::new(VariantSet::new(vec![]), Scheduler::SchedGreedy, true);
+        assert!(state.next_assignment().is_none());
+        assert!(state.is_finished());
+    }
+}

@@ -1,0 +1,313 @@
+//! Deterministic scheduling simulator.
+//!
+//! The engine's makespan on real hardware depends on timing noise and on
+//! how many physical cores exist. This simulator executes the *same*
+//! online schedule ([`ScheduleState`]) against an analytic cost model, so
+//! scheduling questions — e.g. Figure 9's "why is SchedMinpts 33% over
+//! the lower bound while SchedGreedy is 13.5%?" — can be answered
+//! exactly, reproducibly, and for hypothetical machines (any `T`).
+//!
+//! Cost model: clustering variant `v` from scratch costs
+//! `base · (1 + κ·v.ε)` (neighborhoods grow with ε); reusing a completed
+//! source `u` costs the scratch cost scaled by the normalized parameter
+//! distance (a stand-in for "fraction of points that must be recomputed"),
+//! floored at a fixed fraction for the irreducible frontier work.
+
+use crate::scheduler::{ScheduleState, Scheduler};
+use crate::variant::{Variant, VariantSet};
+
+/// Analytic per-variant cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimCostModel {
+    /// Cost of clustering the ε = 0 variant from scratch (arbitrary time
+    /// units).
+    pub base: f64,
+    /// Linear growth of scratch cost with ε.
+    pub eps_slope: f64,
+    /// Floor of the reuse cost as a fraction of the scratch cost (the
+    /// frontier work that reuse can never remove).
+    pub reuse_floor: f64,
+    /// How fast reuse cost approaches scratch cost as the parameter
+    /// distance grows (1.0 = proportional).
+    pub distance_scale: f64,
+}
+
+impl Default for SimCostModel {
+    fn default() -> Self {
+        Self {
+            base: 100.0,
+            eps_slope: 1.0,
+            reuse_floor: 0.05,
+            distance_scale: 1.0,
+        }
+    }
+}
+
+impl SimCostModel {
+    /// Cost of clustering `v` from scratch.
+    pub fn scratch_cost(&self, v: Variant) -> f64 {
+        self.base * (1.0 + self.eps_slope * v.eps)
+    }
+
+    /// Cost of clustering `v` by reusing `u` (assumed eligible).
+    pub fn reuse_cost(&self, v: Variant, u: Variant, eps_range: f64, minpts_range: f64) -> f64 {
+        let d = v.param_distance(&u, eps_range, minpts_range);
+        let fraction = (self.reuse_floor + self.distance_scale * d).min(1.0);
+        self.scratch_cost(v) * fraction
+    }
+}
+
+/// One simulated variant execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Canonical variant index.
+    pub variant: usize,
+    /// Simulated worker.
+    pub thread: usize,
+    /// Start time.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+    /// Reuse source (canonical index), if any.
+    pub reused_from: Option<usize>,
+}
+
+/// The simulation result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Per-variant outcomes sorted by variant index.
+    pub outcomes: Vec<SimOutcome>,
+    /// Completion time of the last variant.
+    pub makespan: f64,
+    /// Simulated threads.
+    pub threads: usize,
+}
+
+impl SimReport {
+    /// Total busy time across threads.
+    pub fn total_busy(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.finish - o.start).sum()
+    }
+
+    /// The no-idle lower bound `total_busy / threads`.
+    pub fn lower_bound(&self) -> f64 {
+        self.total_busy() / self.threads as f64
+    }
+
+    /// Fractional slowdown of the makespan over the lower bound
+    /// (Figure 9's headline metric).
+    pub fn slowdown_vs_lower_bound(&self) -> f64 {
+        let lb = self.lower_bound();
+        if lb <= 0.0 {
+            0.0
+        } else {
+            (self.makespan - lb).max(0.0) / lb
+        }
+    }
+
+    /// Variants executed from scratch.
+    pub fn from_scratch_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.reused_from.is_none()).count()
+    }
+}
+
+/// Simulates executing `variants` on `threads` workers under `scheduler`
+/// with the given cost model. Uses the *identical* online scheduling
+/// logic as the real engine; only the clustering work is replaced by the
+/// analytic cost.
+pub fn simulate(
+    variants: &VariantSet,
+    scheduler: Scheduler,
+    threads: usize,
+    model: &SimCostModel,
+) -> SimReport {
+    assert!(threads >= 1, "need at least one simulated thread");
+    let eps_range = variants.eps_range();
+    let minpts_range = variants.minpts_range();
+    let mut state = ScheduleState::new(variants.clone(), scheduler, true);
+
+    // Event-driven: a min-heap of (free_time, thread). In-flight variants
+    // complete when their thread frees; completion order feeds the online
+    // schedule exactly as in the real engine.
+    #[derive(PartialEq)]
+    struct Free(f64, usize);
+    impl Eq for Free {}
+    impl Ord for Free {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reversed for min-heap; ties by thread id for determinism.
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Free {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: std::collections::BinaryHeap<Free> = (0..threads).map(|t| Free(0.0, t)).collect();
+    // Variant currently running per thread (None = idle pull next).
+    let mut running: Vec<Option<usize>> = vec![None; threads];
+    let mut outcomes: Vec<SimOutcome> = Vec::with_capacity(variants.len());
+    let mut makespan = 0.0f64;
+
+    while let Some(Free(now, thread)) = heap.pop() {
+        // Completing whatever this thread ran.
+        if let Some(v) = running[thread].take() {
+            state.complete(v);
+        }
+        // Pull next work.
+        match state.next_assignment() {
+            Some(a) => {
+                let v = variants[a.variant];
+                let cost = match a.reuse_from {
+                    Some(u) => model.reuse_cost(v, variants[u], eps_range, minpts_range),
+                    None => model.scratch_cost(v),
+                };
+                let finish = now + cost;
+                makespan = makespan.max(finish);
+                outcomes.push(SimOutcome {
+                    variant: a.variant,
+                    thread,
+                    start: now,
+                    finish,
+                    reused_from: a.reuse_from,
+                });
+                running[thread] = Some(a.variant);
+                heap.push(Free(finish, thread));
+            }
+            None => {
+                // Nothing pending; thread retires. (Other threads may
+                // still be running — their completions need no pulls.)
+                if running.iter().all(Option::is_none) && state.is_finished() {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert!(state.is_finished());
+
+    outcomes.sort_by_key(|o| o.variant);
+    SimReport {
+        outcomes,
+        makespan,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v3_like() -> VariantSet {
+        // 19 distinct ε, 3 minpts values — the paper's V3 shape.
+        let eps: Vec<f64> = (2..=20).map(|i| i as f64 * 0.02).collect();
+        VariantSet::cartesian(&eps, &[4, 8, 16])
+    }
+
+    fn v1_like() -> VariantSet {
+        // 3 distinct ε, 19 minpts values — the paper's V1 shape.
+        let minpts: Vec<usize> = (10..=100).step_by(5).collect();
+        VariantSet::cartesian(&[0.2, 0.3, 0.4], &minpts)
+    }
+
+    #[test]
+    fn all_variants_simulated_exactly_once() {
+        for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+            for t in [1usize, 4, 16] {
+                let r = simulate(&v3_like(), sched, t, &SimCostModel::default());
+                assert_eq!(r.outcomes.len(), 57);
+                for (i, o) in r.outcomes.iter().enumerate() {
+                    assert_eq!(o.variant, i);
+                    assert!(o.finish > o.start);
+                }
+                assert!(r.makespan >= r.lower_bound() - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn minpts_scheduler_does_more_scratch_work_on_v3() {
+        // V3 has 19 distinct ε ⇒ SchedMinpts seeds 19 scratch runs;
+        // SchedGreedy at T = 16 seeds at most 16.
+        let t = 16;
+        let greedy = simulate(&v3_like(), Scheduler::SchedGreedy, t, &SimCostModel::default());
+        let minpts = simulate(&v3_like(), Scheduler::SchedMinpts, t, &SimCostModel::default());
+        assert_eq!(minpts.from_scratch_count(), 19);
+        assert!(greedy.from_scratch_count() <= t);
+        // The Figure 9 claim: the extra scratch work costs makespan.
+        assert!(
+            minpts.makespan >= greedy.makespan,
+            "greedy {} vs minpts {}",
+            greedy.makespan,
+            minpts.makespan
+        );
+    }
+
+    #[test]
+    fn schedulers_converge_on_v1_at_low_thread_counts() {
+        // V1 has only 3 distinct ε; with T ≥ 3 both schedulers cluster a
+        // comparable number of variants from scratch and land close.
+        let t = 4;
+        let model = SimCostModel::default();
+        let greedy = simulate(&v1_like(), Scheduler::SchedGreedy, t, &model);
+        let minpts = simulate(&v1_like(), Scheduler::SchedMinpts, t, &model);
+        let rel = (minpts.makespan - greedy.makespan).abs() / greedy.makespan;
+        assert!(rel < 0.5, "relative gap {rel}");
+    }
+
+    #[test]
+    fn single_thread_serializes() {
+        let r = simulate(&v1_like(), Scheduler::SchedGreedy, 1, &SimCostModel::default());
+        assert!((r.makespan - r.total_busy()).abs() < 1e-9);
+        assert_eq!(r.slowdown_vs_lower_bound(), 0.0);
+        // Sequential execution: outcomes must not overlap in time.
+        let mut by_start: Vec<&SimOutcome> = r.outcomes.iter().collect();
+        by_start.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in by_start.windows(2) {
+            assert!(w[1].start >= w[0].finish - 1e-9);
+        }
+    }
+
+    #[test]
+    fn reuse_is_cheaper_than_scratch_in_the_model() {
+        let model = SimCostModel::default();
+        let v = Variant::new(0.4, 8);
+        let u = Variant::new(0.4, 12);
+        let reuse = model.reuse_cost(v, u, 0.2, 12.0);
+        assert!(reuse < model.scratch_cost(v));
+        assert!(reuse >= model.scratch_cost(v) * model.reuse_floor - 1e-12);
+    }
+
+    #[test]
+    fn more_threads_never_hurt_makespan_much() {
+        // Monotonicity sanity: T = 8 should beat T = 1 clearly.
+        let model = SimCostModel::default();
+        let t1 = simulate(&v3_like(), Scheduler::SchedGreedy, 1, &model);
+        let t8 = simulate(&v3_like(), Scheduler::SchedGreedy, 8, &model);
+        assert!(t8.makespan < t1.makespan * 0.6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let model = SimCostModel::default();
+        let a = simulate(&v3_like(), Scheduler::SchedMinpts, 7, &model);
+        let b = simulate(&v3_like(), Scheduler::SchedMinpts, 7, &model);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_variant_set() {
+        let r = simulate(
+            &VariantSet::new(vec![]),
+            Scheduler::SchedGreedy,
+            4,
+            &SimCostModel::default(),
+        );
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The Table I dataset catalog.
+//!
+//! Every dataset of the paper's evaluation, addressable by its paper name
+//! (`cF_1M_5N`, `SW3`, …), plus scaled presets (`@<size>` suffix) so
+//! benchmarks can run the same distributions at laptop-friendly sizes.
+
+use vbp_geom::Point2;
+
+use crate::spaceweather::SpaceWeatherSpec;
+use crate::synthetic::{SyntheticClass, SyntheticSpec};
+
+/// A dataset specification: either a synthetic class instance or a
+/// (simulated) space weather epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DatasetSpec {
+    /// A `cF-`/`cV-` synthetic dataset.
+    Synthetic(SyntheticSpec),
+    /// A simulated TEC map.
+    SpaceWeather(SpaceWeatherSpec),
+}
+
+impl DatasetSpec {
+    /// Paper-style name.
+    pub fn name(&self) -> String {
+        match self {
+            DatasetSpec::Synthetic(s) => s.name(),
+            DatasetSpec::SpaceWeather(s) => s.name(),
+        }
+    }
+
+    /// Number of points.
+    pub fn size(&self) -> usize {
+        match self {
+            DatasetSpec::Synthetic(s) => s.size,
+            DatasetSpec::SpaceWeather(s) => s.size,
+        }
+    }
+
+    /// Noise fraction for synthetic datasets (`None` for SW maps, where
+    /// the paper lists noise as N/A).
+    pub fn noise_fraction(&self) -> Option<f64> {
+        match self {
+            DatasetSpec::Synthetic(s) => Some(s.noise_fraction),
+            DatasetSpec::SpaceWeather(_) => None,
+        }
+    }
+
+    /// Generates the points.
+    pub fn generate(&self) -> Vec<Point2> {
+        match self {
+            DatasetSpec::Synthetic(s) => s.generate(),
+            DatasetSpec::SpaceWeather(s) => s.generate(),
+        }
+    }
+
+    /// Returns a copy scaled to `size` points (same distribution).
+    pub fn at_size(&self, size: usize) -> DatasetSpec {
+        match self {
+            DatasetSpec::Synthetic(s) => DatasetSpec::Synthetic(SyntheticSpec { size, ..*s }),
+            DatasetSpec::SpaceWeather(s) => {
+                DatasetSpec::SpaceWeather(SpaceWeatherSpec { size, ..*s })
+            }
+        }
+    }
+
+    /// Looks a dataset up by paper name, optionally scaled:
+    /// `"cF_1M_5N"`, `"SW2"`, `"SW2@100000"` (scaled to 100 000 points),
+    /// `"cV_1M_30N@50000"`.
+    pub fn by_name(name: &str) -> Option<DatasetSpec> {
+        let (base, size_override) = match name.split_once('@') {
+            Some((b, s)) => (b, Some(s.parse::<usize>().ok()?)),
+            None => (name, None),
+        };
+        let spec = table1().into_iter().find(|d| d.name() == base)?;
+        Some(match size_override {
+            Some(s) => spec.at_size(s),
+            None => spec,
+        })
+    }
+}
+
+/// Default seed for catalog synthetic datasets. One fixed value so every
+/// consumer of the catalog sees the same points.
+pub const CATALOG_SEED: u64 = 20160523; // the paper's IPDPSW year/month/day
+
+/// All 16 datasets of Table I, full size.
+pub fn table1() -> Vec<DatasetSpec> {
+    use SyntheticClass::{CF, CV};
+    let syn = |class, size, noise| {
+        DatasetSpec::Synthetic(SyntheticSpec::new(class, size, noise, CATALOG_SEED))
+    };
+    vec![
+        syn(CF, 1_000_000, 0.05),
+        syn(CF, 100_000, 0.05),
+        syn(CF, 10_000, 0.05),
+        syn(CF, 1_000_000, 0.15),
+        syn(CF, 1_000_000, 0.30),
+        syn(CF, 100_000, 0.30),
+        syn(CF, 10_000, 0.30),
+        syn(CV, 1_000_000, 0.05),
+        syn(CV, 1_000_000, 0.15),
+        syn(CV, 1_000_000, 0.30),
+        syn(CV, 100_000, 0.30),
+        syn(CV, 10_000, 0.30),
+        DatasetSpec::SpaceWeather(SpaceWeatherSpec::full(1)),
+        DatasetSpec::SpaceWeather(SpaceWeatherSpec::full(2)),
+        DatasetSpec::SpaceWeather(SpaceWeatherSpec::full(3)),
+        DatasetSpec::SpaceWeather(SpaceWeatherSpec::full(4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_sixteen_named_datasets() {
+        let t = table1();
+        assert_eq!(t.len(), 16);
+        let names: Vec<String> = t.iter().map(DatasetSpec::name).collect();
+        for expect in [
+            "cF_1M_5N",
+            "cF_100k_5N",
+            "cF_10k_5N",
+            "cF_1M_15N",
+            "cF_1M_30N",
+            "cF_100k_30N",
+            "cF_10k_30N",
+            "cV_1M_5N",
+            "cV_1M_15N",
+            "cV_1M_30N",
+            "cV_100k_30N",
+            "cV_10k_30N",
+            "SW1",
+            "SW2",
+            "SW3",
+            "SW4",
+        ] {
+            assert!(names.contains(&expect.to_string()), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = DatasetSpec::by_name("cF_10k_5N").unwrap();
+        assert_eq!(d.size(), 10_000);
+        assert_eq!(d.noise_fraction(), Some(0.05));
+        let sw = DatasetSpec::by_name("SW2").unwrap();
+        assert_eq!(sw.size(), 3_162_522);
+        assert_eq!(sw.noise_fraction(), None);
+        assert!(DatasetSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_lookup() {
+        let d = DatasetSpec::by_name("SW1@5000").unwrap();
+        assert_eq!(d.size(), 5_000);
+        assert_eq!(d.name(), "SW1_5k");
+        let d = DatasetSpec::by_name("cV_1M_30N@1000").unwrap();
+        assert_eq!(d.size(), 1_000);
+        assert!(DatasetSpec::by_name("SW1@notanumber").is_none());
+    }
+
+    #[test]
+    fn generation_respects_spec() {
+        let d = DatasetSpec::by_name("cF_10k_30N@2000").unwrap();
+        let pts = d.generate();
+        assert_eq!(pts.len(), 2_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! Datasets for the VariantDBSCAN evaluation (§V-A of the paper).
+//!
+//! - [`synthetic`] — the `cF-` (fixed points per cluster) and `cV-`
+//!   (variable points per cluster) generator classes of Table I.
+//! - [`spaceweather`] — a deterministic simulated ionospheric TEC map
+//!   standing in for the real SW1–SW4 GPS datasets (substitution
+//!   documented in DESIGN.md: the published download link is dead, and
+//!   what VariantDBSCAN's behavior depends on is the spatial distribution,
+//!   which the simulator reproduces — dense wave-like TID fronts and
+//!   storm blobs over sparse background scatter).
+//! - [`catalog`] — every Table I dataset addressable by its paper name,
+//!   with `@size` scaling for laptop-friendly runs.
+//! - [`io`] — CSV and binary point-set formats.
+//! - [`rng`] — the pinned PCG32 generator that makes everything
+//!   bit-reproducible.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod io;
+pub mod render;
+pub mod rng;
+pub mod spaceweather;
+pub mod synthetic;
+
+pub use catalog::{table1, DatasetSpec, CATALOG_SEED};
+pub use rng::Pcg32;
+pub use spaceweather::{SpaceWeatherSpec, TecField, SW_FULL_SIZES};
+pub use synthetic::{SyntheticClass, SyntheticSpec};

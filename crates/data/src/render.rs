@@ -1,0 +1,194 @@
+//! Terminal rendering of point sets, clusterings, and scalar fields.
+//!
+//! The examples and the CLI want a dependency-free way to *see* what the
+//! clustering did — TEC wave fronts, detected clusters, noise — directly
+//! in a terminal. Cells are character-sized buckets; clusters cycle
+//! through a glyph alphabet, noise renders as `·`, empty space as ` `.
+
+use vbp_geom::{Extent, Point2};
+
+/// Glyphs assigned to clusters, cycled in cluster-id order. Chosen to be
+/// visually distinct in monospace fonts.
+const CLUSTER_GLYPHS: &[u8] = b"#@%&*+=oxsABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Glyph for noise points.
+const NOISE_GLYPH: char = '\u{B7}'; // ·
+
+/// Renders a labeled point set. `labels[i]` uses the library convention:
+/// cluster id or `u32::MAX` for noise. Width/height are in character
+/// cells; each cell shows the most frequent non-empty content among its
+/// points (cluster beats noise on ties).
+///
+/// Returns one string per row, top row = maximum y.
+pub fn render_clusters(
+    points: &[Point2],
+    labels: &[u32],
+    width: usize,
+    height: usize,
+) -> Vec<String> {
+    assert_eq!(points.len(), labels.len(), "one label per point");
+    assert!(width >= 1 && height >= 1, "degenerate canvas");
+    let Some(extent) = Extent::of_points(points) else {
+        return vec![" ".repeat(width); height];
+    };
+
+    // Cell → (cluster counts map is overkill; track best-so-far per cell).
+    // We count points per (cell, label) with a dense cell array of small
+    // hash maps; datasets at render time are modest.
+    let mut cells: Vec<std::collections::HashMap<u32, usize>> =
+        vec![Default::default(); width * height];
+    for (p, &l) in points.iter().zip(labels) {
+        let (u, v) = extent.normalize(p);
+        let cx = ((u * width as f64) as usize).min(width - 1);
+        let cy = ((v * height as f64) as usize).min(height - 1);
+        *cells[cy * width + cx].entry(l).or_insert(0) += 1;
+    }
+
+    (0..height)
+        .rev()
+        .map(|cy| {
+            (0..width)
+                .map(|cx| {
+                    let counts = &cells[cy * width + cx];
+                    if counts.is_empty() {
+                        return ' ';
+                    }
+                    // Most frequent label; clusters outrank noise on ties,
+                    // then lower cluster ids win for determinism.
+                    let (&label, _) = counts
+                        .iter()
+                        .max_by_key(|(&l, &c)| (c, if l == u32::MAX { 0 } else { 1 }, std::cmp::Reverse(l)))
+                        .unwrap();
+                    if label == u32::MAX {
+                        NOISE_GLYPH
+                    } else {
+                        CLUSTER_GLYPHS[label as usize % CLUSTER_GLYPHS.len()] as char
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders a scalar field sampled over `extent` as an ASCII heat map
+/// (dark-to-bright ramp), top row = maximum y.
+pub fn render_field(
+    extent: &Extent,
+    field: impl Fn(f64, f64) -> f64,
+    width: usize,
+    height: usize,
+) -> Vec<String> {
+    assert!(width >= 2 && height >= 2, "degenerate canvas");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut values = vec![0.0f64; width * height];
+    let mut max = f64::MIN;
+    let mut min = f64::MAX;
+    for cy in 0..height {
+        for cx in 0..width {
+            let p = extent.lerp(
+                cx as f64 / (width - 1) as f64,
+                cy as f64 / (height - 1) as f64,
+            );
+            let v = field(p.x, p.y);
+            values[cy * width + cx] = v;
+            max = max.max(v);
+            min = min.min(v);
+        }
+    }
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    (0..height)
+        .rev()
+        .map(|cy| {
+            (0..width)
+                .map(|cx| {
+                    let t = (values[cy * width + cx] - min) / span;
+                    let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                    RAMP[idx.min(RAMP.len() - 1)] as char
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_clusters_and_noise() {
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0), // cluster 0, bottom-left
+            Point2::new(10.0, 10.0), // cluster 1, top-right
+            Point2::new(5.0, 5.0),   // noise, middle
+        ];
+        let labels = vec![0, 0, 1, u32::MAX];
+        let rows = render_clusters(&points, &labels, 11, 11);
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| r.chars().count() == 11));
+        // Bottom-left glyph is cluster 0's.
+        let bottom = rows.last().unwrap().chars().next().unwrap();
+        assert_eq!(bottom, '#');
+        // Top-right is cluster 1's.
+        let top = rows.first().unwrap().chars().last().unwrap();
+        assert_eq!(top, '@');
+        // Middle is noise.
+        let mid = rows[5].chars().nth(5).unwrap();
+        assert_eq!(mid, '·');
+    }
+
+    #[test]
+    fn cluster_beats_noise_on_cell_ties() {
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(0.0, 0.0), Point2::new(9.0, 9.0)];
+        let labels = vec![3, u32::MAX, 0];
+        let rows = render_clusters(&points, &labels, 4, 4);
+        let bottom_left = rows.last().unwrap().chars().next().unwrap();
+        // Label 3 ties 1–1 with noise in the cell; the cluster wins.
+        assert_ne!(bottom_left, '·');
+    }
+
+    #[test]
+    fn glyphs_cycle_for_many_clusters() {
+        let n = CLUSTER_GLYPHS.len() + 3;
+        let points: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let labels: Vec<u32> = (0..n as u32).collect();
+        let rows = render_clusters(&points, &labels, n, 1);
+        let row = &rows[0];
+        // Cluster k and cluster k + len share a glyph.
+        let chars: Vec<char> = row.chars().collect();
+        assert_eq!(chars[0], chars[CLUSTER_GLYPHS.len()]);
+    }
+
+    #[test]
+    fn empty_input_renders_blank_canvas() {
+        let rows = render_clusters(&[], &[], 5, 3);
+        assert_eq!(rows, vec!["     ".to_string(); 3]);
+    }
+
+    #[test]
+    fn field_rendering_shows_gradient() {
+        let extent = Extent::unit();
+        let rows = render_field(&extent, |x, _| x, 10, 3);
+        assert_eq!(rows.len(), 3);
+        // Left edge dark (space), right edge bright (@).
+        for r in &rows {
+            let chars: Vec<char> = r.chars().collect();
+            assert_eq!(chars[0], ' ');
+            assert_eq!(chars[9], '@');
+        }
+    }
+
+    #[test]
+    fn field_orientation_top_is_max_y() {
+        let extent = Extent::unit();
+        let rows = render_field(&extent, |_, y| y, 4, 4);
+        assert_eq!(rows[0].chars().next().unwrap(), '@'); // top row: y = 1
+        assert_eq!(rows[3].chars().next().unwrap(), ' '); // bottom: y = 0
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per point")]
+    fn label_mismatch_rejected() {
+        render_clusters(&[Point2::ORIGIN], &[], 4, 4);
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's synthetic dataset classes `cF-` and `cV-` (§V-A).
+//!
+//! Both classes place a fraction of points into synthetic clusters whose
+//! centers are uniformly random in a 2-D region, with the rest uniformly
+//! distributed noise:
+//!
+//! - **cF** ("fixed"): the number of clusters is `|D| × 10⁻⁴` and every
+//!   cluster receives the same number of points.
+//! - **cV** ("variable"): same cluster count and same *total* clustered
+//!   points, but each cluster's size is drawn uniformly from 0%–500% of
+//!   the cF per-cluster count.
+//!
+//! The paper does not specify the region size or the within-cluster
+//! distribution; we fix a square region whose side scales as `√|D|`
+//! (constant mean density across dataset sizes — consistent with Table II
+//! using larger ε for smaller datasets) and Gaussian clusters with
+//! σ = 2 length units. Both choices are recorded here so every number in
+//! EXPERIMENTS.md is reproducible.
+
+use vbp_geom::{Extent, Point2};
+
+use crate::rng::Pcg32;
+
+/// The two synthetic generator classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyntheticClass {
+    /// Fixed, equal points per cluster.
+    CF,
+    /// Variable points per cluster (0%–500% of the cF count).
+    CV,
+}
+
+impl SyntheticClass {
+    /// Paper-style name prefix (`cF` / `cV`).
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            SyntheticClass::CF => "cF",
+            SyntheticClass::CV => "cV",
+        }
+    }
+}
+
+/// Parameters of a synthetic dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    /// Generator class.
+    pub class: SyntheticClass,
+    /// Total number of points `|D|`.
+    pub size: usize,
+    /// Fraction of points that are uniform noise, e.g. `0.05` for the
+    /// paper's `5N` datasets.
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_fraction` is outside `[0, 1]`.
+    pub fn new(class: SyntheticClass, size: usize, noise_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&noise_fraction),
+            "noise fraction must be in [0, 1]"
+        );
+        Self {
+            class,
+            size,
+            noise_fraction,
+            seed,
+        }
+    }
+
+    /// Paper-style dataset name, e.g. `cF_100k_5N`.
+    pub fn name(&self) -> String {
+        let size = if self.size.is_multiple_of(1_000_000) && self.size > 0 {
+            format!("{}M", self.size / 1_000_000)
+        } else if self.size.is_multiple_of(1_000) && self.size > 0 {
+            format!("{}k", self.size / 1_000)
+        } else {
+            format!("{}", self.size)
+        };
+        format!(
+            "{}_{}_{}N",
+            self.class.prefix(),
+            size,
+            (self.noise_fraction * 100.0).round() as u32
+        )
+    }
+
+    /// Number of synthetic clusters: `|D| × 10⁻⁴`, at least 1 for
+    /// non-empty datasets (the paper's 10k datasets have exactly one
+    /// generated cluster).
+    pub fn cluster_count(&self) -> usize {
+        if self.size == 0 {
+            0
+        } else {
+            ((self.size as f64 * 1e-4) as usize).max(1)
+        }
+    }
+
+    /// Side length of the square generation region: `√|D|` length units,
+    /// keeping mean density at 1 point per unit area for every size.
+    pub fn region_side(&self) -> f64 {
+        (self.size as f64).sqrt().max(1.0)
+    }
+
+    /// The generation region.
+    pub fn extent(&self) -> Extent {
+        Extent::square(self.region_side())
+    }
+
+    /// Within-cluster Gaussian standard deviation (length units).
+    pub const CLUSTER_SIGMA: f64 = 2.0;
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Vec<Point2> {
+        let mut rng = Pcg32::seeded(self.seed ^ 0x5E1F_AB1E_0000_0000);
+        let extent = self.extent();
+        let side = self.region_side();
+        let n = self.size;
+        let noise_n = (n as f64 * self.noise_fraction).round() as usize;
+        let clustered_n = n - noise_n;
+        let k = self.cluster_count();
+
+        let mut points = Vec::with_capacity(n);
+        if k > 0 && clustered_n > 0 {
+            let centers: Vec<Point2> = (0..k)
+                .map(|_| Point2::new(rng.uniform(0.0, side), rng.uniform(0.0, side)))
+                .collect();
+            let sizes = self.cluster_sizes(clustered_n, k, &mut rng);
+            debug_assert_eq!(sizes.iter().sum::<usize>(), clustered_n);
+            for (center, &count) in centers.iter().zip(&sizes) {
+                for _ in 0..count {
+                    let p = Point2::new(
+                        rng.normal_with(center.x, Self::CLUSTER_SIGMA),
+                        rng.normal_with(center.y, Self::CLUSTER_SIGMA),
+                    );
+                    points.push(extent.clamp(&p));
+                }
+            }
+        }
+        for _ in 0..noise_n {
+            points.push(Point2::new(rng.uniform(0.0, side), rng.uniform(0.0, side)));
+        }
+        // Interleave cluster and noise points so dataset order carries no
+        // information (the bin sort would hide it anyway, but generators
+        // should not leak structure through ordering).
+        rng.shuffle(&mut points);
+        points
+    }
+
+    /// Per-cluster point counts. cF: as even as possible. cV: uniform in
+    /// 0%–500% of the cF share, then scaled/adjusted to sum exactly to
+    /// `total`.
+    fn cluster_sizes(&self, total: usize, k: usize, rng: &mut Pcg32) -> Vec<usize> {
+        match self.class {
+            SyntheticClass::CF => {
+                let base = total / k;
+                let extra = total % k;
+                (0..k).map(|i| base + usize::from(i < extra)).collect()
+            }
+            SyntheticClass::CV => {
+                let share = (total as f64 / k as f64).max(1.0);
+                let mut weights: Vec<f64> = (0..k).map(|_| rng.uniform(0.0, 5.0)).collect();
+                let wsum: f64 = weights.iter().sum();
+                if wsum <= 0.0 {
+                    weights = vec![1.0; k];
+                }
+                let wsum: f64 = weights.iter().sum();
+                let mut sizes: Vec<usize> = weights
+                    .iter()
+                    .map(|w| ((w / wsum) * total as f64).floor() as usize)
+                    .collect();
+                // Cap at 500% of the cF share, then distribute the
+                // remainder round-robin among uncapped clusters.
+                let cap = (share * 5.0).ceil() as usize;
+                for s in &mut sizes {
+                    *s = (*s).min(cap);
+                }
+                let mut assigned: usize = sizes.iter().sum();
+                let mut i = 0;
+                while assigned < total {
+                    if sizes[i] < cap {
+                        sizes[i] += 1;
+                        assigned += 1;
+                    }
+                    i = (i + 1) % k;
+                    // All clusters capped: spill the remainder evenly,
+                    // accepting counts above the cap (total must be met).
+                    if i == 0 && sizes.iter().all(|&s| s >= cap) {
+                        for s in sizes.iter_mut() {
+                            if assigned == total {
+                                break;
+                            }
+                            *s += 1;
+                            assigned += 1;
+                        }
+                    }
+                }
+                sizes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_convention() {
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CF, 1_000_000, 0.05, 1).name(),
+            "cF_1M_5N"
+        );
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CV, 100_000, 0.30, 1).name(),
+            "cV_100k_30N"
+        );
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CF, 10_000, 0.15, 1).name(),
+            "cF_10k_15N"
+        );
+    }
+
+    #[test]
+    fn generates_exact_size() {
+        for &n in &[0usize, 1, 999, 10_000] {
+            let spec = SyntheticSpec::new(SyntheticClass::CF, n, 0.05, 3);
+            assert_eq!(spec.generate().len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SyntheticSpec::new(SyntheticClass::CV, 5_000, 0.3, 99);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        let different = SyntheticSpec::new(SyntheticClass::CV, 5_000, 0.3, 100).generate();
+        assert_ne!(a, different);
+    }
+
+    #[test]
+    fn cluster_count_follows_paper_formula() {
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CF, 1_000_000, 0.05, 1).cluster_count(),
+            100
+        );
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CF, 10_000, 0.05, 1).cluster_count(),
+            1
+        );
+        assert_eq!(
+            SyntheticSpec::new(SyntheticClass::CF, 0, 0.05, 1).cluster_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn points_inside_region() {
+        let spec = SyntheticSpec::new(SyntheticClass::CF, 20_000, 0.1, 5);
+        let extent = spec.extent();
+        for p in spec.generate() {
+            assert!(extent.contains(&p), "{p} outside {extent:?}");
+        }
+    }
+
+    #[test]
+    fn clusters_are_denser_than_noise() {
+        // Count points in a small disc around each generated center proxy:
+        // clustered datasets must have hot spots well above the uniform
+        // expectation.
+        let spec = SyntheticSpec::new(SyntheticClass::CF, 50_000, 0.05, 7);
+        let pts = spec.generate();
+        let side = spec.region_side();
+        // Mean points within radius 3 under uniformity: π·9·(n/side²) ≈ 28.
+        let uniform_expect = std::f64::consts::PI * 9.0 * pts.len() as f64 / (side * side);
+        let max_local = pts
+            .iter()
+            .step_by(500)
+            .map(|c| pts.iter().filter(|p| p.within(c, 3.0)).count())
+            .max()
+            .unwrap();
+        assert!(
+            (max_local as f64) > 5.0 * uniform_expect,
+            "max local count {max_local} vs uniform {uniform_expect}"
+        );
+    }
+
+    #[test]
+    fn cv_sizes_vary_cf_sizes_do_not() {
+        let mut rng = Pcg32::seeded(1);
+        let cf = SyntheticSpec::new(SyntheticClass::CF, 100_000, 0.0, 1);
+        let sizes = cf.cluster_sizes(100_000, 10, &mut rng);
+        assert!(sizes.iter().all(|&s| s == 10_000));
+
+        let cv = SyntheticSpec::new(SyntheticClass::CV, 100_000, 0.0, 1);
+        let sizes = cv.cluster_sizes(100_000, 10, &mut rng);
+        assert_eq!(sizes.iter().sum::<usize>(), 100_000);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > min, "cV must produce unequal cluster sizes");
+        // 500% cap: no cluster above 5× the even share (plus spill slack).
+        assert!(*max <= 50_000 + 10);
+    }
+
+    #[test]
+    fn all_noise_dataset() {
+        let spec = SyntheticSpec::new(SyntheticClass::CF, 1_000, 1.0, 11);
+        let pts = spec.generate();
+        assert_eq!(pts.len(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn bad_noise_fraction_rejected() {
+        SyntheticSpec::new(SyntheticClass::CF, 100, 1.5, 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! ρ-approximate DBSCAN (after Gan & Tao, SIGMOD 2015, §7 — the paper's
+//! reference \[9\]; also the approximation idea behind Pardicle, reference
+//! \[15\]).
+//!
+//! Exact grid DBSCAN ([`crate::gridbscan`]) needs a *witness pair* of core
+//! points within ε to connect two cells — the expensive step. The
+//! ρ-approximation relaxes it: two cells **must** be connected when their
+//! closest core pair is within ε, **may** be connected when it is within
+//! `ε(1+ρ)`, and must not be connected beyond that. Clusterings under
+//! this rule are sandwiched between DBSCAN(ε) and DBSCAN(ε(1+ρ)) — the
+//! formal guarantee Gan & Tao prove, and the property our tests check.
+//!
+//! The connection test here is a bounding-box divide-and-conquer
+//! (BCP-style): recursively split the two point sets; accept without any
+//! distance computation when the boxes are entirely within `ε(1+ρ)` of
+//! each other, reject when entirely beyond ε, and only descend while the
+//! answer is ambiguous. With ρ > 0 the ambiguous band is thin, so the
+//! recursion terminates quickly — that is where the speedup over exact
+//! witness search comes from.
+
+use std::collections::HashMap;
+
+use vbp_geom::{Mbb, Point2, PointId};
+
+use crate::algorithm::DbscanParams;
+use crate::labels::{ClusterId, Labels, MAX_CLUSTER_ID};
+use crate::result::ClusterResult;
+use crate::unionfind::DisjointSets;
+
+/// Decides whether two point sets have a pair within ε (must-connect) or
+/// within ε(1+ρ) (may-connect), by box-pruned divide and conquer.
+/// Returns `true` iff the cells should be connected under the ρ-rule.
+fn approx_pair_within(
+    points: &[Point2],
+    a: &[PointId],
+    b: &[PointId],
+    eps: f64,
+    rho: f64,
+) -> bool {
+    let eps_sq = eps * eps;
+    let relaxed = eps * (1.0 + rho);
+    let relaxed_sq = relaxed * relaxed;
+
+    // Explicit stack of (subset_a, subset_b) index ranges, materialized as
+    // small vectors (cells hold few points; recursion depth is log).
+    let mut stack: Vec<(Vec<PointId>, Vec<PointId>)> = vec![(a.to_vec(), b.to_vec())];
+    while let Some((sa, sb)) = stack.pop() {
+        let mbb_a = Mbb::from_points(sa.iter().map(|&i| &points[i as usize])).unwrap();
+        let mbb_b = Mbb::from_points(sb.iter().map(|&i| &points[i as usize])).unwrap();
+        let min_sq = box_min_dist_sq(&mbb_a, &mbb_b);
+        if min_sq > eps_sq {
+            continue; // no must-edge possible from this branch
+        }
+        let max_sq = box_max_dist_sq(&mbb_a, &mbb_b);
+        if max_sq <= relaxed_sq {
+            return true; // entire branch within the may-connect band
+        }
+        if sa.len() == 1 && sb.len() == 1 {
+            let d = points[sa[0] as usize].dist_sq(&points[sb[0] as usize]);
+            if d <= eps_sq {
+                return true;
+            }
+            continue;
+        }
+        // Split the larger set along its box's longer axis.
+        let (split_a, longer) = if sa.len() >= sb.len() {
+            (true, mbb_a)
+        } else {
+            (false, mbb_b)
+        };
+        let by_x = longer.width() >= longer.height();
+        let split = |set: &[PointId]| -> (Vec<PointId>, Vec<PointId>) {
+            let mut sorted = set.to_vec();
+            sorted.sort_by(|&p, &q| {
+                let (pp, qq) = (&points[p as usize], &points[q as usize]);
+                let (kp, kq) = if by_x { (pp.x, qq.x) } else { (pp.y, qq.y) };
+                kp.partial_cmp(&kq).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mid = sorted.len() / 2;
+            let right = sorted.split_off(mid);
+            (sorted, right)
+        };
+        if split_a {
+            let (l, r) = split(&sa);
+            if !l.is_empty() {
+                stack.push((l, sb.clone()));
+            }
+            if !r.is_empty() {
+                stack.push((r, sb));
+            }
+        } else {
+            let (l, r) = split(&sb);
+            if !l.is_empty() {
+                stack.push((sa.clone(), l));
+            }
+            if !r.is_empty() {
+                stack.push((sa, r));
+            }
+        }
+    }
+    false
+}
+
+/// Squared minimum distance between two boxes (0 if intersecting).
+fn box_min_dist_sq(a: &Mbb, b: &Mbb) -> f64 {
+    let dx = (b.min.x - a.max.x).max(a.min.x - b.max.x).max(0.0);
+    let dy = (b.min.y - a.max.y).max(a.min.y - b.max.y).max(0.0);
+    dx * dx + dy * dy
+}
+
+/// Squared maximum distance between two boxes.
+fn box_max_dist_sq(a: &Mbb, b: &Mbb) -> f64 {
+    let dx = (b.max.x - a.min.x).abs().max((a.max.x - b.min.x).abs());
+    let dy = (b.max.y - a.min.y).abs().max((a.max.y - b.min.y).abs());
+    dx * dx + dy * dy
+}
+
+/// Runs ρ-approximate DBSCAN. Core detection is exact (it is cheap on the
+/// grid); only cell connectivity uses the ρ-relaxed rule, exactly as in
+/// Gan & Tao. `rho = 0` degenerates to exact connectivity.
+///
+/// # Panics
+///
+/// Panics if `rho` is negative or non-finite.
+pub fn approx_dbscan(points: &[Point2], params: DbscanParams, rho: f64) -> ClusterResult {
+    assert!(rho >= 0.0 && rho.is_finite(), "ρ must be finite and ≥ 0");
+    let n = points.len();
+    if n == 0 {
+        return ClusterResult::empty();
+    }
+    let eps = params.eps;
+    assert!(eps > 0.0, "approximate DBSCAN requires ε > 0");
+    let eps_sq = eps * eps;
+    let w = eps / std::f64::consts::SQRT_2;
+
+    // Bucket into cells (same construction as the exact grid algorithm).
+    let mut cells: HashMap<(i64, i64), Vec<PointId>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let key = ((p.x / w).floor() as i64, (p.y / w).floor() as i64);
+        cells.entry(key).or_default().push(i as PointId);
+    }
+    // Neighbor offsets reaching up to ε(1+ρ): the may-connect band can
+    // span more cells than ε alone when ρ is large.
+    let reach = ((eps * (1.0 + rho)) / w).ceil() as i64 + 1;
+    let mut offsets: Vec<(i64, i64)> = Vec::new();
+    let relaxed_sq = (eps * (1.0 + rho)) * (eps * (1.0 + rho));
+    for dx in -reach..=reach {
+        for dy in -reach..=reach {
+            let gx = (dx.abs() - 1).max(0) as f64 * w;
+            let gy = (dy.abs() - 1).max(0) as f64 * w;
+            if gx * gx + gy * gy <= relaxed_sq {
+                offsets.push((dx, dy));
+            }
+        }
+    }
+
+    // Exact core detection (ε, not relaxed).
+    let mut core = vec![false; n];
+    for (&(cx, cy), members) in &cells {
+        if members.len() >= params.minpts {
+            for &p in members {
+                core[p as usize] = true;
+            }
+            continue;
+        }
+        for &p in members {
+            let pp = points[p as usize];
+            let mut count = 0usize;
+            'cells: for &(dx, dy) in &offsets {
+                if let Some(neigh) = cells.get(&(cx + dx, cy + dy)) {
+                    for &q in neigh {
+                        if pp.dist_sq(&points[q as usize]) <= eps_sq {
+                            count += 1;
+                            if count >= params.minpts {
+                                break 'cells;
+                            }
+                        }
+                    }
+                }
+            }
+            core[p as usize] = core[p as usize] || count >= params.minpts;
+        }
+    }
+
+    // ρ-relaxed connectivity between cells' core subsets.
+    let mut sets = DisjointSets::new(n);
+    let mut claim: Vec<u32> = vec![u32::MAX; n];
+    let mut cell_keys: Vec<(i64, i64)> = cells.keys().copied().collect();
+    cell_keys.sort_unstable();
+    let core_subset = |ids: &[PointId]| -> Vec<PointId> {
+        ids.iter().copied().filter(|&p| core[p as usize]).collect()
+    };
+
+    for &(cx, cy) in &cell_keys {
+        let members = &cells[&(cx, cy)];
+        let my_cores = core_subset(members);
+        // Within-cell cores are within ε by cell construction.
+        for w2 in my_cores.windows(2) {
+            sets.union(w2[0], w2[1]);
+        }
+        // Border claims stay exact (ε), as in Gan & Tao.
+        for &p in members {
+            if core[p as usize] {
+                continue;
+            }
+            let pp = points[p as usize];
+            for &(dx, dy) in &offsets {
+                if let Some(neigh) = cells.get(&(cx + dx, cy + dy)) {
+                    for &q in neigh {
+                        if core[q as usize]
+                            && pp.dist_sq(&points[q as usize]) <= eps_sq
+                            && q < claim[p as usize]
+                        {
+                            claim[p as usize] = q;
+                        }
+                    }
+                }
+            }
+        }
+        if my_cores.is_empty() {
+            continue;
+        }
+        for &(dx, dy) in &offsets {
+            let other_key = (cx + dx, cy + dy);
+            if other_key <= (cx, cy) {
+                continue; // each unordered pair once
+            }
+            let Some(other) = cells.get(&other_key) else {
+                continue;
+            };
+            let other_cores = core_subset(other);
+            if other_cores.is_empty() {
+                continue;
+            }
+            // Skip if already same component (cheap check via roots).
+            if sets.same(my_cores[0], other_cores[0]) {
+                continue;
+            }
+            if approx_pair_within(points, &my_cores, &other_cores, eps, rho) {
+                sets.union(my_cores[0], other_cores[0]);
+            }
+        }
+    }
+
+    // Labeling identical to the exact grid algorithm.
+    let mut labels = Labels::unclassified(n);
+    let mut root_to_cluster: Vec<u32> = vec![u32::MAX; n];
+    let mut next: ClusterId = 0;
+    for (p, &is_core) in core.iter().enumerate() {
+        if is_core {
+            let root = sets.find(p as u32) as usize;
+            if root_to_cluster[root] == u32::MAX {
+                assert!(next <= MAX_CLUSTER_ID);
+                root_to_cluster[root] = next;
+                next += 1;
+            }
+            labels.assign(p as PointId, root_to_cluster[root]);
+        }
+    }
+    for (p, &is_core) in core.iter().enumerate() {
+        if is_core {
+            continue;
+        }
+        if claim[p] == u32::MAX {
+            labels.mark_noise(p as PointId);
+        } else {
+            let root = sets.find(claim[p]) as usize;
+            labels.assign(p as PointId, root_to_cluster[root]);
+        }
+    }
+    ClusterResult::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridbscan::grid_dbscan;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point2::new(rnd() * 12.0, rnd() * 12.0))
+            .collect()
+    }
+
+    /// The Gan–Tao sandwich, stated over *core* points (border assignment
+    /// is ambiguous in every DBSCAN variant): every ε-core point keeps
+    /// its co-membership from DBSCAN(ε) in the approximation, and
+    /// ε-core points co-clustered by the approximation stay co-clustered
+    /// under DBSCAN(ε(1+ρ)).
+    fn assert_sandwich(points: &[Point2], eps: f64, minpts: usize, rho: f64) {
+        let lower = grid_dbscan(points, DbscanParams::new(eps, minpts));
+        let approx = approx_dbscan(points, DbscanParams::new(eps, minpts), rho);
+        let upper = grid_dbscan(points, DbscanParams::new(eps * (1.0 + rho), minpts));
+
+        let is_core: Vec<bool> = points
+            .iter()
+            .map(|p| points.iter().filter(|q| p.within(q, eps)).count() >= minpts)
+            .collect();
+        let core_of = |members: &[PointId]| -> Vec<PointId> {
+            members
+                .iter()
+                .copied()
+                .filter(|&p| is_core[p as usize])
+                .collect()
+        };
+
+        for (_, members) in lower.iter_clusters() {
+            let targets: std::collections::HashSet<_> = core_of(members)
+                .iter()
+                .filter_map(|&p| approx.labels().cluster(p))
+                .collect();
+            assert!(
+                targets.len() <= 1,
+                "a DBSCAN(ε) cluster's cores split in the approximation"
+            );
+        }
+        for (_, members) in approx.iter_clusters() {
+            let targets: std::collections::HashSet<_> = core_of(members)
+                .iter()
+                .filter_map(|&p| upper.labels().cluster(p))
+                .collect();
+            assert!(
+                targets.len() <= 1,
+                "an approximate cluster's cores split under DBSCAN(ε(1+ρ))"
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_property_holds() {
+        for seed in [1u64, 2, 3] {
+            let points = cloud(400, seed);
+            for rho in [0.01, 0.1, 0.5] {
+                assert_sandwich(&points, 0.6, 4, rho);
+            }
+        }
+    }
+
+    #[test]
+    fn rho_zero_matches_exact_grid_dbscan() {
+        for seed in [5u64, 7] {
+            let points = cloud(350, seed);
+            let params = DbscanParams::new(0.7, 4);
+            let exact = grid_dbscan(&points, params);
+            let approx = approx_dbscan(&points, params, 0.0);
+            // ρ = 0: may-connect band is empty, so connectivity (and with
+            // identical claim rules, the entire labeling) matches.
+            assert_eq!(exact, approx, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn large_rho_can_merge_but_never_split() {
+        let points = cloud(300, 11);
+        let params = DbscanParams::new(0.5, 4);
+        let exact = grid_dbscan(&points, params);
+        let approx = approx_dbscan(&points, params, 1.0);
+        assert!(approx.num_clusters() <= exact.num_clusters());
+        assert_eq!(approx.noise_count(), exact.noise_count()); // cores exact
+    }
+
+    #[test]
+    fn two_blobs_at_the_boundary() {
+        // Blobs separated by 1.05·ε: exact keeps them apart; ρ = 0.1
+        // may merge them (allowed), ρ = 0.01 must not.
+        let eps = 1.0;
+        let mut points = Vec::new();
+        for i in 0..8 {
+            points.push(Point2::new((i % 3) as f64 * 0.3, (i / 3) as f64 * 0.3));
+            points.push(Point2::new(
+                1.05 * eps + 0.6 + (i % 3) as f64 * 0.3,
+                (i / 3) as f64 * 0.3,
+            ));
+        }
+        let params = DbscanParams::new(eps, 3);
+        let exact = grid_dbscan(&points, params);
+        assert_eq!(exact.num_clusters(), 2);
+        let tight = approx_dbscan(&points, params, 0.01);
+        assert_eq!(tight.num_clusters(), 2, "gap 1.05ε > ε(1.01) must stay split");
+    }
+
+    #[test]
+    fn box_distance_helpers() {
+        let a = Mbb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let b = Mbb::new(Point2::new(3.0, 0.0), Point2::new(4.0, 1.0));
+        assert_eq!(box_min_dist_sq(&a, &b), 4.0);
+        assert_eq!(box_max_dist_sq(&a, &b), 16.0 + 1.0);
+        assert_eq!(box_min_dist_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(approx_dbscan(&[], DbscanParams::new(1.0, 3), 0.1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ")]
+    fn negative_rho_rejected() {
+        approx_dbscan(&[Point2::ORIGIN], DbscanParams::new(1.0, 2), -0.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! External cluster-validity indices: Adjusted Rand Index and Normalized
+//! Mutual Information.
+//!
+//! The paper's §V-D uses the per-point DBDC metric ([`crate::quality`]).
+//! These two standard indices complement it with partition-level views:
+//! ARI is chance-corrected pair-counting, NMI is information-theoretic.
+//! Noise handling follows common practice for DBSCAN comparisons: every
+//! noise point is treated as its own singleton cluster, so "both say
+//! noise" counts as agreement without letting a big noise set masquerade
+//! as one giant matching cluster.
+
+use std::collections::HashMap;
+
+use crate::labels::NOISE;
+use crate::result::ClusterResult;
+
+/// Effective label of point `p`: real clusters keep their id, noise
+/// points get unique ids above the cluster range.
+#[inline]
+fn effective_label(result: &ClusterResult, p: usize) -> u64 {
+    let raw = result.labels().raw(p as u32);
+    if raw == NOISE {
+        // Unique per point; offset past any cluster id.
+        (1 << 32) | p as u64
+    } else {
+        raw as u64
+    }
+}
+
+/// Contingency table between two clusterings (with noise-as-singletons).
+fn contingency(a: &ClusterResult, b: &ClusterResult) -> ContingencyTable {
+    assert_eq!(a.len(), b.len(), "results must label the same database");
+    let n = a.len();
+    let mut cells: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut row_sums: HashMap<u64, u64> = HashMap::new();
+    let mut col_sums: HashMap<u64, u64> = HashMap::new();
+    for p in 0..n {
+        let (la, lb) = (effective_label(a, p), effective_label(b, p));
+        *cells.entry((la, lb)).or_insert(0) += 1;
+        *row_sums.entry(la).or_insert(0) += 1;
+        *col_sums.entry(lb).or_insert(0) += 1;
+    }
+    ContingencyTable {
+        n: n as u64,
+        cells,
+        row_sums,
+        col_sums,
+    }
+}
+
+struct ContingencyTable {
+    n: u64,
+    cells: HashMap<(u64, u64), u64>,
+    row_sums: HashMap<u64, u64>,
+    col_sums: HashMap<u64, u64>,
+}
+
+#[inline]
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) * 0.5
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; 1 = identical partitions, ≈0 =
+/// chance-level agreement.
+pub fn adjusted_rand_index(a: &ClusterResult, b: &ClusterResult) -> f64 {
+    let t = contingency(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let sum_cells: f64 = t.cells.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = t.row_sums.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = t.col_sums.values().map(|&v| choose2(v)).sum();
+    let total = choose2(t.n);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions are all-singletons or one block.
+        return if sum_cells == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Normalized Mutual Information in `[0, 1]` (arithmetic-mean
+/// normalization); 1 = identical partitions.
+pub fn normalized_mutual_information(a: &ClusterResult, b: &ClusterResult) -> f64 {
+    let t = contingency(a, b);
+    if t.n == 0 {
+        return 1.0;
+    }
+    let n = t.n as f64;
+    let mut mi = 0.0f64;
+    for (&(ra, cb), &count) in &t.cells {
+        let pxy = count as f64 / n;
+        let px = t.row_sums[&ra] as f64 / n;
+        let py = t.col_sums[&cb] as f64 / n;
+        if pxy > 0.0 {
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    let hx: f64 = t
+        .row_sums
+        .values()
+        .map(|&v| {
+            let p = v as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let hy: f64 = t
+        .col_sums
+        .values()
+        .map(|&v| {
+            let p = v as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let denom = 0.5 * (hx + hy);
+    if denom <= 0.0 {
+        // Both partitions are a single block: identical by definition.
+        return 1.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Labels;
+
+    fn result(raw: Vec<u32>) -> ClusterResult {
+        ClusterResult::from_labels(Labels::from_raw(raw))
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = result(vec![0, 0, 1, 1, NOISE]);
+        assert_eq!(adjusted_rand_index(&a, &a.clone()), 1.0);
+        assert!((normalized_mutual_information(&a, &a.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_is_invisible() {
+        let a = result(vec![0, 0, 1, 1]);
+        let b = result(vec![1, 1, 0, 0]);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_value_for_a_split() {
+        // a: {0,1,2,3} one cluster; b: {0,1},{2,3}.
+        let a = result(vec![0, 0, 0, 0]);
+        let b = result(vec![0, 0, 1, 1]);
+        // sum_cells = 2·C(2,2)=2, rows C(4,2)=6, cols 2, total C(4,2)=6,
+        // expected = 6·2/6 = 2, max = 4 ⇒ ARI = (2−2)/(4−2) = 0.
+        assert!((adjusted_rand_index(&a, &b) - 0.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&a, &b);
+        // H(a)=0 ⇒ MI=0 but H(b)>0 ⇒ NMI=0.
+        assert!(nmi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let a = result(vec![0, 0, 0, 1, 1, 1]);
+        let b = result(vec![0, 0, 1, 1, 1, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+        assert!(nmi > 0.0 && nmi < 1.0, "nmi {nmi}");
+    }
+
+    #[test]
+    fn noise_agreement_counts_as_agreement() {
+        let a = result(vec![0, 0, NOISE, NOISE]);
+        let b = result(vec![0, 0, NOISE, NOISE]);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn noise_disagreement_hurts() {
+        let a = result(vec![0, 0, 0, NOISE]);
+        let b = result(vec![0, 0, 0, 0]);
+        assert!(adjusted_rand_index(&a, &b) < 1.0);
+        assert!(normalized_mutual_information(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = result(vec![0, 0, 1, 1, NOISE, 2]);
+        let b = result(vec![0, 1, 1, 1, 2, NOISE]);
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+        assert!(
+            (normalized_mutual_information(&a, &b) - normalized_mutual_information(&b, &a))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = ClusterResult::empty();
+        assert_eq!(adjusted_rand_index(&empty, &ClusterResult::empty()), 1.0);
+        assert_eq!(
+            normalized_mutual_information(&empty, &ClusterResult::empty()),
+            1.0
+        );
+        let single = result(vec![0]);
+        assert_eq!(adjusted_rand_index(&single, &single.clone()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same database")]
+    fn size_mismatch_rejected() {
+        adjusted_rand_index(&result(vec![0]), &result(vec![0, 0]));
+    }
+}

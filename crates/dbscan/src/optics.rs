@@ -1,0 +1,394 @@
+//! OPTICS (Ankerst et al., 1999).
+//!
+//! §III of the paper discusses OPTICS as the pre-existing answer to
+//! parameter exploration: one run with a maximum radius δ and a fixed
+//! *minpts* yields an ordering from which DBSCAN-like clusterings for any
+//! ε ≤ δ can be extracted. Its limitation — a *single* minpts per run —
+//! is the gap VariantDBSCAN fills. Implementing it lets the benchmark
+//! suite compare "OPTICS + extractions" against VariantDBSCAN on variant
+//! grids that vary only ε (where OPTICS is applicable) and show why grids
+//! that also vary minpts need the paper's approach.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vbp_geom::PointId;
+use vbp_rtree::SpatialIndex;
+
+use crate::labels::{ClusterId, Labels, MAX_CLUSTER_ID};
+use crate::result::ClusterResult;
+
+/// OPTICS inputs: the maximum radius δ (the paper's notation for the
+/// generating distance) and *minpts*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpticsParams {
+    /// Maximum neighborhood radius δ; extractions are valid for ε ≤ δ.
+    pub max_eps: f64,
+    /// Core-point threshold (self-inclusive, as in [`crate::DbscanParams`]).
+    pub minpts: usize,
+}
+
+impl OpticsParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_eps` is negative/non-finite or `minpts == 0`.
+    pub fn new(max_eps: f64, minpts: usize) -> Self {
+        assert!(
+            max_eps >= 0.0 && max_eps.is_finite(),
+            "δ must be finite and ≥ 0"
+        );
+        assert!(minpts >= 1, "minpts must be ≥ 1");
+        Self { max_eps, minpts }
+    }
+}
+
+/// One entry of the OPTICS ordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReachabilityPoint {
+    /// Point id.
+    pub id: PointId,
+    /// Reachability distance (`None` = undefined, i.e. the point started
+    /// a new component).
+    pub reachability: Option<f64>,
+    /// Core distance under δ (`None` if the point is not core at δ).
+    pub core_dist: Option<f64>,
+}
+
+/// The result of an OPTICS run: the cluster ordering with reachability
+/// and core distances.
+#[derive(Clone, Debug)]
+pub struct Optics {
+    params: OpticsParams,
+    ordering: Vec<ReachabilityPoint>,
+}
+
+/// Min-heap entry for the seed list, with lazy-deletion semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Seed {
+    reach: f64,
+    id: PointId,
+}
+
+impl Eq for Seed {}
+
+impl Ord for Seed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; ties by id for determinism.
+        other
+            .reach
+            .partial_cmp(&self.reach)
+            .unwrap_or(Ordering::Equal)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Seed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Optics {
+    /// Runs OPTICS over every point of `index`.
+    pub fn run<I: SpatialIndex + ?Sized>(index: &I, params: OpticsParams) -> Self {
+        let n = index.len();
+        let mut ordering = Vec::with_capacity(n);
+        let mut processed = vec![false; n];
+        // Best known reachability per point; stale heap entries are
+        // skipped by comparing against this.
+        let mut best_reach = vec![f64::INFINITY; n];
+        let mut neighbors: Vec<PointId> = Vec::new();
+        let mut dists: Vec<f64> = Vec::new();
+
+        for start in 0..n as PointId {
+            if processed[start as usize] {
+                continue;
+            }
+            // Begin a new component at `start` with undefined reachability.
+            let mut heap: BinaryHeap<Seed> = BinaryHeap::new();
+            let core = Self::process_point(
+                index,
+                params,
+                start,
+                None,
+                &mut processed,
+                &mut best_reach,
+                &mut heap,
+                &mut ordering,
+                &mut neighbors,
+                &mut dists,
+            );
+            if !core {
+                continue;
+            }
+            while let Some(seed) = heap.pop() {
+                if processed[seed.id as usize] || seed.reach > best_reach[seed.id as usize] {
+                    continue; // stale entry
+                }
+                Self::process_point(
+                    index,
+                    params,
+                    seed.id,
+                    Some(seed.reach),
+                    &mut processed,
+                    &mut best_reach,
+                    &mut heap,
+                    &mut ordering,
+                    &mut neighbors,
+                    &mut dists,
+                );
+            }
+        }
+        Self { params, ordering }
+    }
+
+    /// Emits `p` into the ordering and, if it is core, relaxes its
+    /// neighbors' reachabilities. Returns whether `p` was core.
+    #[allow(clippy::too_many_arguments)]
+    fn process_point<I: SpatialIndex + ?Sized>(
+        index: &I,
+        params: OpticsParams,
+        p: PointId,
+        reachability: Option<f64>,
+        processed: &mut [bool],
+        best_reach: &mut [f64],
+        heap: &mut BinaryHeap<Seed>,
+        ordering: &mut Vec<ReachabilityPoint>,
+        neighbors: &mut Vec<PointId>,
+        dists: &mut Vec<f64>,
+    ) -> bool {
+        processed[p as usize] = true;
+        neighbors.clear();
+        let center = index.points()[p as usize];
+        index.epsilon_neighbors(center, params.max_eps, neighbors);
+
+        // Core distance: distance to the minpts-th entry of the
+        // self-inclusive neighbor list.
+        dists.clear();
+        dists.extend(
+            neighbors
+                .iter()
+                .map(|&q| index.points()[q as usize].dist_sq(&center)),
+        );
+        let core_dist = if dists.len() >= params.minpts {
+            let k = params.minpts - 1; // 0-based k-th including self
+            dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            Some(dists[k].sqrt())
+        } else {
+            None
+        };
+
+        ordering.push(ReachabilityPoint {
+            id: p,
+            reachability,
+            core_dist,
+        });
+
+        let Some(cd) = core_dist else {
+            return false;
+        };
+        for &q in neighbors.iter() {
+            if processed[q as usize] {
+                continue;
+            }
+            let d = index.points()[q as usize].dist(&center);
+            let new_reach = cd.max(d);
+            if new_reach < best_reach[q as usize] {
+                best_reach[q as usize] = new_reach;
+                heap.push(Seed {
+                    reach: new_reach,
+                    id: q,
+                });
+            }
+        }
+        true
+    }
+
+    /// The run's parameters.
+    pub fn params(&self) -> OpticsParams {
+        self.params
+    }
+
+    /// The cluster ordering.
+    pub fn ordering(&self) -> &[ReachabilityPoint] {
+        &self.ordering
+    }
+
+    /// Extracts a DBSCAN-equivalent clustering for `eps ≤ δ` from the
+    /// ordering (Ankerst et al., §4.3 `ExtractDBSCAN-Clustering`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps > δ` — the ordering does not contain enough
+    /// information beyond the generating distance.
+    pub fn extract_dbscan(&self, eps: f64) -> ClusterResult {
+        assert!(
+            eps <= self.params.max_eps,
+            "extraction ε {eps} exceeds the OPTICS generating distance {}",
+            self.params.max_eps
+        );
+        let n = self.ordering.len();
+        let mut labels = Labels::unclassified(n);
+        let mut current: Option<ClusterId> = None;
+        let mut next: ClusterId = 0;
+        for rp in &self.ordering {
+            let reach_in = rp.reachability.is_some_and(|r| r <= eps);
+            if !reach_in {
+                // Not reachable at ε from the previous points: either a
+                // new cluster starts here (if core at ε) or it is noise.
+                if rp.core_dist.is_some_and(|cd| cd <= eps) {
+                    assert!(next <= MAX_CLUSTER_ID);
+                    current = Some(next);
+                    next += 1;
+                    labels.assign(rp.id, current.unwrap());
+                } else {
+                    labels.mark_noise(rp.id);
+                    current = None;
+                }
+            } else {
+                // Reachable: joins the current cluster.
+                match current {
+                    Some(c) => labels.assign(rp.id, c),
+                    // Defensive: a reachable point can only follow a core
+                    // point, so `current` is set; treat violations as noise.
+                    None => labels.mark_noise(rp.id),
+                }
+            }
+        }
+        ClusterResult::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{dbscan, DbscanParams};
+    use crate::quality::quality_score;
+    use vbp_geom::Point2;
+    use vbp_rtree::traits::shared_points;
+    use vbp_rtree::BruteForce;
+
+    fn blobs_and_noise() -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            pts.push(Point2::new((i % 4) as f64 * 0.3, (i / 4) as f64 * 0.3));
+        }
+        for i in 0..12 {
+            pts.push(Point2::new(
+                20.0 + (i % 4) as f64 * 0.3,
+                20.0 + (i / 4) as f64 * 0.3,
+            ));
+        }
+        pts.push(Point2::new(100.0, -50.0));
+        pts
+    }
+
+    #[test]
+    fn ordering_covers_every_point_once() {
+        let pts = blobs_and_noise();
+        let idx = BruteForce::new(shared_points(pts.clone()));
+        let o = Optics::run(&idx, OpticsParams::new(2.0, 4));
+        assert_eq!(o.ordering().len(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        for rp in o.ordering() {
+            assert!(!seen[rp.id as usize]);
+            seen[rp.id as usize] = true;
+        }
+    }
+
+    #[test]
+    fn extraction_matches_dbscan_partition() {
+        let pts = blobs_and_noise();
+        let idx = BruteForce::new(shared_points(pts.clone()));
+        let o = Optics::run(&idx, OpticsParams::new(5.0, 4));
+        // ε values at which every blob point is core (grid diagonal 0.424):
+        // extraction and direct DBSCAN must then agree up to border-free
+        // relabeling.
+        for eps in [0.5, 1.0, 5.0] {
+            let from_optics = o.extract_dbscan(eps);
+            let direct = dbscan(&idx, DbscanParams::new(eps, 4));
+            assert_eq!(
+                from_optics.num_clusters(),
+                direct.num_clusters(),
+                "eps={eps}"
+            );
+            let q = quality_score(&direct, &from_optics);
+            assert!(q.mean_score > 0.99, "eps={eps}, score={}", q.mean_score);
+        }
+    }
+
+    #[test]
+    fn extraction_border_divergence_is_limited_to_non_core_points() {
+        // At ε = 0.35 the blob corners are border points (their 4th
+        // self-inclusive neighbor sits on the 0.424 diagonal). The OPTICS
+        // paper notes ExtractDBSCAN may classify such objects as noise when
+        // they precede their cluster's first core point in the ordering.
+        // The divergence must be confined to exactly those points.
+        let pts = blobs_and_noise();
+        let idx = BruteForce::new(shared_points(pts.clone()));
+        let o = Optics::run(&idx, OpticsParams::new(5.0, 4));
+        let eps = 0.35;
+        let from_optics = o.extract_dbscan(eps);
+        let direct = dbscan(&idx, DbscanParams::new(eps, 4));
+        assert_eq!(from_optics.num_clusters(), direct.num_clusters());
+        let is_core = |i: usize| {
+            pts.iter().filter(|q| pts[i].within(q, eps)).count() >= 4
+        };
+        for i in 0..pts.len() {
+            let a = direct.labels().is_noise(i as u32);
+            let b = from_optics.labels().is_noise(i as u32);
+            if a != b {
+                assert!(!is_core(i), "core point {i} flipped noise status");
+            }
+        }
+        let q = quality_score(&direct, &from_optics);
+        assert!(q.mean_score > 0.8, "score={}", q.mean_score);
+    }
+
+    #[test]
+    fn reachability_undefined_only_at_component_starts() {
+        let pts = blobs_and_noise();
+        let idx = BruteForce::new(shared_points(pts.clone()));
+        let o = Optics::run(&idx, OpticsParams::new(2.0, 4));
+        let undefined = o
+            .ordering()
+            .iter()
+            .filter(|rp| rp.reachability.is_none())
+            .count();
+        // Two blobs plus one isolated point = 3 component starts.
+        assert_eq!(undefined, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "generating distance")]
+    fn extraction_beyond_delta_rejected() {
+        let idx = BruteForce::new(shared_points(blobs_and_noise()));
+        let o = Optics::run(&idx, OpticsParams::new(1.0, 4));
+        o.extract_dbscan(2.0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let idx = BruteForce::new(shared_points([]));
+        let o = Optics::run(&idx, OpticsParams::new(1.0, 4));
+        assert!(o.ordering().is_empty());
+        assert_eq!(o.extract_dbscan(0.5).len(), 0);
+    }
+
+    #[test]
+    fn core_distances_bounded_by_delta() {
+        let pts = blobs_and_noise();
+        let idx = BruteForce::new(shared_points(pts));
+        let o = Optics::run(&idx, OpticsParams::new(1.5, 3));
+        for rp in o.ordering() {
+            if let Some(cd) = rp.core_dist {
+                assert!(cd <= 1.5 + 1e-12);
+            }
+            if let Some(r) = rp.reachability {
+                assert!(r <= 1.5 + 1e-9, "reachability {r} exceeds δ");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The cluster-quality metric of §V-D (Januzaj et al., DBDC).
+//!
+//! VariantDBSCAN may process points in a different order than DBSCAN, so
+//! border points can land in different (but adjacent) clusters. The paper
+//! quantifies the discrepancy per point:
+//!
+//! - noise in one result but not the other → score 0;
+//! - noise in both → correctly identified → score 1;
+//! - clustered in both → Jaccard similarity `|E ∩ F| / |E ∪ F|` of the two
+//!   clusters the point belongs to.
+//!
+//! The variant's score is the mean over all points; the paper reports
+//! ≥ 0.998 across every dataset (Figure 7c).
+
+use std::collections::HashMap;
+
+use crate::labels::NOISE;
+use crate::result::ClusterResult;
+
+/// Breakdown of a quality comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityReport {
+    /// Mean per-point score in `[0, 1]`.
+    pub mean_score: f64,
+    /// Points noise in both results.
+    pub both_noise: usize,
+    /// Points noise in exactly one result (score 0).
+    pub noise_mismatch: usize,
+    /// Points clustered in both results.
+    pub both_clustered: usize,
+    /// Among `both_clustered`, points whose two clusters match exactly
+    /// (Jaccard 1).
+    pub exact_matches: usize,
+}
+
+/// Computes the DBDC quality score of `candidate` against `reference`.
+///
+/// Symmetric in its arguments. Runs in `O(n + k_a·k_b_touched)` using a
+/// cluster-pair contingency table rather than per-point set operations.
+///
+/// ```
+/// use vbp_dbscan::{quality_score, ClusterResult, Labels, NOISE};
+///
+/// let a = ClusterResult::from_labels(Labels::from_raw(vec![0, 0, 1, 1, NOISE]));
+/// let b = ClusterResult::from_labels(Labels::from_raw(vec![1, 1, 0, 0, NOISE]));
+/// // Identical partition under relabeling: perfect score.
+/// assert_eq!(quality_score(&a, &b).mean_score, 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the results cover different numbers of points.
+pub fn quality_score(reference: &ClusterResult, candidate: &ClusterResult) -> QualityReport {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "results must label the same database"
+    );
+    let n = reference.len();
+    if n == 0 {
+        return QualityReport {
+            mean_score: 1.0,
+            both_noise: 0,
+            noise_mismatch: 0,
+            both_clustered: 0,
+            exact_matches: 0,
+        };
+    }
+
+    // Contingency table: (cluster in reference, cluster in candidate) →
+    // number of shared points.
+    let mut intersection: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut both_noise = 0usize;
+    let mut noise_mismatch = 0usize;
+    let mut both_clustered = 0usize;
+
+    let ref_labels = reference.labels();
+    let cand_labels = candidate.labels();
+    for p in 0..n {
+        let (a, b) = (ref_labels.raw(p as u32), cand_labels.raw(p as u32));
+        match (a == NOISE, b == NOISE) {
+            (true, true) => both_noise += 1,
+            (true, false) | (false, true) => noise_mismatch += 1,
+            (false, false) => {
+                both_clustered += 1;
+                *intersection.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Per-point Jaccard: every point in the (a, b) cell scores
+    // |a ∩ b| / (|a| + |b| − |a ∩ b|).
+    let mut score_sum = both_noise as f64; // both-noise points score 1
+    let mut exact_matches = 0usize;
+    for (&(a, b), &inter) in &intersection {
+        let e = reference.cluster(a).len();
+        let f = candidate.cluster(b).len();
+        let union = e + f - inter;
+        let jaccard = inter as f64 / union as f64;
+        score_sum += jaccard * inter as f64;
+        if inter == union {
+            exact_matches += inter;
+        }
+    }
+
+    QualityReport {
+        mean_score: score_sum / n as f64,
+        both_noise,
+        noise_mismatch,
+        both_clustered,
+        exact_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Labels;
+
+    fn result(raw: Vec<u32>) -> ClusterResult {
+        ClusterResult::from_labels(Labels::from_raw(raw))
+    }
+
+    #[test]
+    fn identical_results_score_one() {
+        let a = result(vec![0, 0, 1, 1, NOISE]);
+        let r = quality_score(&a, &a.clone());
+        assert_eq!(r.mean_score, 1.0);
+        assert_eq!(r.both_noise, 1);
+        assert_eq!(r.noise_mismatch, 0);
+        assert_eq!(r.exact_matches, 4);
+    }
+
+    #[test]
+    fn relabeled_clusters_still_score_one() {
+        // Same partition, permuted ids.
+        let a = result(vec![0, 0, 1, 1]);
+        let b = result(vec![1, 1, 0, 0]);
+        assert_eq!(quality_score(&a, &b).mean_score, 1.0);
+    }
+
+    #[test]
+    fn noise_flip_scores_zero_for_that_point() {
+        let a = result(vec![0, 0, NOISE]);
+        let b = result(vec![0, 0, 0]);
+        let r = quality_score(&a, &b);
+        assert_eq!(r.noise_mismatch, 1);
+        // Two points with Jaccard 2/3 each, one scoring 0:
+        // (2·(2/3) + 0) / 3 = 4/9.
+        assert!((r.mean_score - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_cluster_scores_jaccard() {
+        // Reference: one 4-cluster. Candidate: split into two 2-clusters.
+        let a = result(vec![0, 0, 0, 0]);
+        let b = result(vec![0, 0, 1, 1]);
+        let r = quality_score(&a, &b);
+        // Every point: |E∩F| = 2, |E∪F| = 4 ⇒ 0.5.
+        assert!((r.mean_score - 0.5).abs() < 1e-12);
+        assert_eq!(r.exact_matches, 0);
+        assert_eq!(r.both_clustered, 4);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = result(vec![0, 0, 0, NOISE, 1, 1]);
+        let b = result(vec![0, 0, 1, 1, 1, NOISE]);
+        let ab = quality_score(&a, &b).mean_score;
+        let ba = quality_score(&b, &a).mean_score;
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_results() {
+        let e = ClusterResult::empty();
+        assert_eq!(quality_score(&e, &ClusterResult::empty()).mean_score, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same database")]
+    fn size_mismatch_rejected() {
+        let a = result(vec![0, 0]);
+        let b = result(vec![0, 0, 0]);
+        quality_score(&a, &b);
+    }
+
+    #[test]
+    fn all_noise_vs_all_noise() {
+        let a = result(vec![NOISE; 5]);
+        let r = quality_score(&a, &a.clone());
+        assert_eq!(r.mean_score, 1.0);
+        assert_eq!(r.both_noise, 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! ST-DBSCAN — spatiotemporal density clustering (Birant & Kut, 2007),
+//! the paper's reference \[20\].
+//!
+//! TEC measurements are inherently spatiotemporal: a Traveling
+//! Ionospheric Disturbance is a *moving* front, so clustering a time
+//! window as a flat 2-D point set (as the core paper does per map frame)
+//! conflates disjoint events that cross the same location at different
+//! times. ST-DBSCAN separates the axes: a neighbor must be within the
+//! spatial radius `eps1` **and** the temporal radius `eps2`.
+//!
+//! Implementation: points are kept sorted by time; a neighborhood query
+//! binary-searches the `[t − eps2, t + eps2]` window and spatially filters
+//! inside it. For TEC-like data the temporal window is narrow, so this is
+//! within a small factor of a dedicated 3-D index while staying simple
+//! and exactly testable.
+
+use vbp_geom::{Point2, PointId};
+
+use crate::labels::{ClusterId, Labels, MAX_CLUSTER_ID};
+use crate::result::ClusterResult;
+
+/// A spatiotemporal sample: planar position plus a timestamp.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StPoint {
+    /// Planar position (e.g. longitude/latitude).
+    pub pos: Point2,
+    /// Timestamp in arbitrary consistent units (e.g. seconds).
+    pub t: f64,
+}
+
+impl StPoint {
+    /// Creates a sample.
+    pub fn new(x: f64, y: f64, t: f64) -> Self {
+        Self {
+            pos: Point2::new(x, y),
+            t,
+        }
+    }
+}
+
+/// ST-DBSCAN parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StDbscanParams {
+    /// Spatial radius (inclusive).
+    pub eps_space: f64,
+    /// Temporal radius (inclusive).
+    pub eps_time: f64,
+    /// Minimum self-inclusive neighborhood size for a core point.
+    pub minpts: usize,
+}
+
+impl StDbscanParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite radii or `minpts == 0`.
+    pub fn new(eps_space: f64, eps_time: f64, minpts: usize) -> Self {
+        assert!(
+            eps_space >= 0.0 && eps_space.is_finite(),
+            "spatial ε must be finite and ≥ 0"
+        );
+        assert!(
+            eps_time >= 0.0 && eps_time.is_finite(),
+            "temporal ε must be finite and ≥ 0"
+        );
+        assert!(minpts >= 1, "minpts must be ≥ 1");
+        Self {
+            eps_space,
+            eps_time,
+            minpts,
+        }
+    }
+}
+
+/// A time-sorted spatiotemporal index.
+#[derive(Clone, Debug)]
+pub struct StIndex {
+    /// Samples sorted by ascending `t`.
+    samples: Vec<StPoint>,
+    /// Mapping sorted position → caller id.
+    perm: Vec<PointId>,
+}
+
+impl StIndex {
+    /// Builds the index. `perm[i]` gives the caller's id of sorted sample
+    /// `i` (results from [`st_dbscan`] are reported in *sorted* order;
+    /// use [`StIndex::to_caller_order`] to translate).
+    pub fn build(samples: &[StPoint]) -> Self {
+        assert!(samples.len() <= PointId::MAX as usize);
+        debug_assert!(
+            samples.iter().all(|s| s.t.is_finite() && s.pos.is_finite()),
+            "non-finite sample"
+        );
+        let mut perm: Vec<PointId> = (0..samples.len() as PointId).collect();
+        perm.sort_by(|&a, &b| {
+            samples[a as usize]
+                .t
+                .partial_cmp(&samples[b as usize].t)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let sorted = perm.iter().map(|&i| samples[i as usize]).collect();
+        Self {
+            samples: sorted,
+            perm,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` for an empty index.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples in time order.
+    pub fn samples(&self) -> &[StPoint] {
+        &self.samples
+    }
+
+    /// First sorted position with `t ≥ bound`.
+    fn lower_bound(&self, bound: f64) -> usize {
+        self.samples
+            .partition_point(|s| s.t < bound)
+    }
+
+    /// Spatiotemporal neighborhood of sorted sample `p` (self-inclusive).
+    pub fn neighbors(&self, p: usize, params: &StDbscanParams, out: &mut Vec<PointId>) {
+        let center = self.samples[p];
+        let start = self.lower_bound(center.t - params.eps_time);
+        let eps_sq = params.eps_space * params.eps_space;
+        for (i, s) in self.samples[start..].iter().enumerate() {
+            if s.t > center.t + params.eps_time {
+                break;
+            }
+            if s.pos.dist_sq(&center.pos) <= eps_sq {
+                out.push((start + i) as PointId);
+            }
+        }
+    }
+
+    /// Translates a result over sorted ids into the caller's original
+    /// sample order.
+    pub fn to_caller_order(&self, labels_sorted: &Labels) -> Vec<u32> {
+        let mut out = vec![0u32; self.perm.len()];
+        for (sorted_idx, &orig) in self.perm.iter().enumerate() {
+            out[orig as usize] = labels_sorted.raw(sorted_idx as PointId);
+        }
+        out
+    }
+}
+
+/// Runs ST-DBSCAN over the index. The returned result labels samples in
+/// the index's *time-sorted* order.
+pub fn st_dbscan(index: &StIndex, params: StDbscanParams) -> ClusterResult {
+    let n = index.len();
+    let mut labels = Labels::unclassified(n);
+    let mut visited = vec![false; n];
+    let mut next_cluster: ClusterId = 0;
+    let mut neighbors: Vec<PointId> = Vec::new();
+    let mut seeds: Vec<PointId> = Vec::new();
+
+    for p in 0..n {
+        if visited[p] {
+            continue;
+        }
+        visited[p] = true;
+        neighbors.clear();
+        index.neighbors(p, &params, &mut neighbors);
+        if neighbors.len() < params.minpts {
+            labels.mark_noise(p as PointId);
+            continue;
+        }
+        assert!(next_cluster <= MAX_CLUSTER_ID, "cluster id space exhausted");
+        let c = next_cluster;
+        next_cluster += 1;
+        labels.assign(p as PointId, c);
+        seeds.clear();
+        seeds.extend(neighbors.iter().copied().filter(|&q| q as usize != p));
+        while let Some(q) = seeds.pop() {
+            let qi = q as usize;
+            if labels.cluster(q).is_none() {
+                labels.assign(q, c);
+            }
+            if visited[qi] {
+                continue;
+            }
+            visited[qi] = true;
+            neighbors.clear();
+            index.neighbors(qi, &params, &mut neighbors);
+            if neighbors.len() >= params.minpts {
+                for &nb in &neighbors {
+                    if !visited[nb as usize] || labels.cluster(nb).is_none() {
+                        seeds.push(nb);
+                    }
+                }
+            }
+        }
+    }
+    ClusterResult::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two spatially identical bursts, separated in time.
+    fn two_bursts() -> Vec<StPoint> {
+        let mut v = Vec::new();
+        for burst_t in [0.0, 100.0] {
+            for i in 0..10 {
+                v.push(StPoint::new(
+                    (i % 5) as f64 * 0.5,
+                    (i / 5) as f64 * 0.5,
+                    burst_t + i as f64 * 0.1,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn temporal_radius_splits_colocated_events() {
+        let samples = two_bursts();
+        let index = StIndex::build(&samples);
+        // Narrow time window: the two bursts are separate clusters.
+        let split = st_dbscan(&index, StDbscanParams::new(1.0, 5.0, 4));
+        assert_eq!(split.num_clusters(), 2);
+        assert_eq!(split.noise_count(), 0);
+        // Wide time window: one merged cluster — flat 2-D DBSCAN behavior.
+        let merged = st_dbscan(&index, StDbscanParams::new(1.0, 1_000.0, 4));
+        assert_eq!(merged.num_clusters(), 1);
+    }
+
+    #[test]
+    fn spatial_radius_still_applies() {
+        let mut samples = two_bursts();
+        samples.push(StPoint::new(50.0, 50.0, 0.5)); // spatially remote
+        let index = StIndex::build(&samples);
+        let r = st_dbscan(&index, StDbscanParams::new(1.0, 5.0, 4));
+        assert_eq!(r.num_clusters(), 2);
+        assert_eq!(r.noise_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_exactly_the_brute_force_set() {
+        let samples = two_bursts();
+        let index = StIndex::build(&samples);
+        let params = StDbscanParams::new(0.75, 0.35, 1);
+        let mut out = Vec::new();
+        for p in 0..index.len() {
+            out.clear();
+            index.neighbors(p, &params, &mut out);
+            let center = index.samples()[p];
+            let expect: Vec<PointId> = index
+                .samples()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.pos.within(&center.pos, params.eps_space)
+                        && (s.t - center.t).abs() <= params.eps_time
+                })
+                .map(|(i, _)| i as PointId)
+                .collect();
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect, "sample {p}");
+        }
+    }
+
+    #[test]
+    fn caller_order_mapping() {
+        // Deliberately unsorted input times.
+        let samples = vec![
+            StPoint::new(0.0, 0.0, 5.0),
+            StPoint::new(0.1, 0.0, 1.0),
+            StPoint::new(0.2, 0.0, 3.0),
+        ];
+        let index = StIndex::build(&samples);
+        assert!(index
+            .samples()
+            .windows(2)
+            .all(|w| w[0].t <= w[1].t));
+        let r = st_dbscan(&index, StDbscanParams::new(1.0, 10.0, 2));
+        let caller = index.to_caller_order(r.labels());
+        assert_eq!(caller.len(), 3);
+        // All three are one cluster; every caller slot carries that label.
+        assert!(caller.iter().all(|&l| l == caller[0]));
+    }
+
+    #[test]
+    fn zero_temporal_radius_clusters_per_instant() {
+        let samples = vec![
+            StPoint::new(0.0, 0.0, 1.0),
+            StPoint::new(0.1, 0.0, 1.0),
+            StPoint::new(0.0, 0.0, 2.0),
+            StPoint::new(0.1, 0.0, 2.0),
+        ];
+        let index = StIndex::build(&samples);
+        let r = st_dbscan(&index, StDbscanParams::new(1.0, 0.0, 2));
+        assert_eq!(r.num_clusters(), 2);
+    }
+
+    #[test]
+    fn moving_front_stays_one_cluster() {
+        // A wavefront moving 0.2 units per time step: consecutive frames
+        // overlap spatially within ε, so the whole track is one cluster —
+        // the TID use case.
+        let samples: Vec<StPoint> = (0..50)
+            .map(|i| StPoint::new(i as f64 * 0.2, 0.0, i as f64))
+            .collect();
+        let index = StIndex::build(&samples);
+        let r = st_dbscan(&index, StDbscanParams::new(0.5, 2.0, 3));
+        assert_eq!(r.num_clusters(), 1);
+        assert_eq!(r.noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let index = StIndex::build(&[]);
+        let r = st_dbscan(&index, StDbscanParams::new(1.0, 1.0, 2));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal ε")]
+    fn negative_temporal_radius_rejected() {
+        StDbscanParams::new(1.0, -1.0, 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Geometric primitives shared by every crate in the VariantDBSCAN
+//! workspace.
+//!
+//! The paper (Gowanlock, Blair, Pankratius, 2016) clusters 2-D point
+//! databases — thresholded ionospheric total-electron-content (TEC) maps —
+//! so the whole system is built on a small set of planar primitives:
+//!
+//! - [`Point2`]: a 2-D point with `f64` coordinates.
+//! - [`Mbb`]: an axis-aligned minimum bounding box, the unit of indexing in
+//!   the R-tree (§IV-A of the paper) and of cluster expansion (§IV-B).
+//! - [`distance`]: distance metrics; DBSCAN's ε-neighborhood uses Euclidean
+//!   distance, and the hot path uses the squared form to avoid `sqrt`.
+//! - [`binning`]: the unit-width bin sort the paper applies to the point
+//!   database before building the packed R-tree, so that points that are
+//!   spatially close end up contiguous in memory and share leaf MBBs.
+//! - [`extent`]: dataset extents and normalization helpers.
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod curves;
+pub mod distance;
+pub mod extent;
+pub mod mbb;
+pub mod point;
+
+pub use binning::{bin_sort, bin_sort_with_width, BinOrder};
+pub use curves::{hilbert_key, hilbert_sort, morton_key, morton_sort};
+pub use distance::{dist, dist_sq, haversine_km, DistanceMetric, EARTH_RADIUS_KM};
+pub use extent::Extent;
+pub use mbb::Mbb;
+pub use point::Point2;
+
+/// Index of a point within the point database `D`.
+///
+/// The paper's datasets reach ~5.2 million points, far below `u32::MAX`, so
+/// a 32-bit index halves the memory footprint of neighbor lists and cluster
+/// membership vectors relative to `usize` — which matters because
+/// VariantDBSCAN is memory-bound in 2-D (§IV-A).
+pub type PointId = u32;

@@ -1,0 +1,89 @@
+//! The no-index baseline: every query scans the full database.
+//!
+//! This is the `O(|D|²)` configuration the original DBSCAN paper warns
+//! about and the conservative oracle our property tests compare every real
+//! index against.
+
+use vbp_geom::{Mbb, Point2, PointId};
+
+use crate::traits::{SharedPoints, SpatialIndex};
+
+/// Linear-scan "index".
+#[derive(Clone, Debug)]
+pub struct BruteForce {
+    points: SharedPoints,
+}
+
+impl BruteForce {
+    /// Wraps a shared point database.
+    pub fn new(points: SharedPoints) -> Self {
+        Self { points }
+    }
+}
+
+impl SpatialIndex for BruteForce {
+    fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    fn range_candidates(&self, _query: &Mbb, out: &mut Vec<PointId>) {
+        out.extend(0..self.points.len() as PointId);
+    }
+
+    fn range_query(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        for (i, p) in self.points.iter().enumerate() {
+            if query.contains_point(p) {
+                out.push(i as PointId);
+            }
+        }
+    }
+
+    fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
+        let eps_sq = eps * eps;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.dist_sq(&center) <= eps_sq {
+                out.push(i as PointId);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::shared_points;
+
+    #[test]
+    fn epsilon_neighbors_exact() {
+        let idx = BruteForce::new(shared_points([
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(3.0, 0.0),
+        ]));
+        let mut out = Vec::new();
+        idx.epsilon_neighbors(Point2::new(0.0, 0.0), 1.0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn candidates_are_everything() {
+        let idx = BruteForce::new(shared_points([Point2::new(0.0, 0.0); 5]));
+        let mut out = Vec::new();
+        idx.range_candidates(&Mbb::around_point(Point2::new(99.0, 99.0), 0.1), &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn range_query_respects_box() {
+        let idx = BruteForce::new(shared_points([
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 2.0),
+        ]));
+        let mut out = Vec::new();
+        idx.range_query(
+            &Mbb::new(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0)),
+            &mut out,
+        );
+        assert_eq!(out, vec![0]);
+    }
+}

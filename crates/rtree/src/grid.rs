@@ -1,0 +1,165 @@
+//! A uniform-grid spatial index.
+//!
+//! The natural competitor to the paper's packed R-tree when ε is known in
+//! advance: bucket points into square cells of side `cell`, and answer an
+//! ε-query by scanning the `⌈ε/cell⌉`-ring of cells around the center.
+//! Included as an ablation baseline — it shows that the R-tree's advantage
+//! is robustness to *varying* ε across variants, which a grid tuned to one
+//! cell size lacks.
+
+use std::collections::HashMap;
+
+use vbp_geom::{Mbb, Point2, PointId};
+
+use crate::traits::{SharedPoints, SpatialIndex};
+
+/// Uniform grid over a point database.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    points: SharedPoints,
+    cell: f64,
+    /// Cell coordinates → point ids. A HashMap (rather than a dense 2-D
+    /// array) because TEC point clouds are extremely sparse relative to
+    /// their bounding box.
+    cells: HashMap<(i64, i64), Vec<PointId>>,
+}
+
+impl GridIndex {
+    /// Builds a grid with the given cell side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn build(points: SharedPoints, cell: f64) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "cell size must be positive and finite, got {cell}"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<PointId>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells
+                .entry(Self::key_of(p, cell))
+                .or_default()
+                .push(i as PointId);
+        }
+        Self {
+            points,
+            cell,
+            cells,
+        }
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn key_of(p: &Point2, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+}
+
+impl SpatialIndex for GridIndex {
+    fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    fn range_candidates(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        let (x0, y0) = Self::key_of(&query.min, self.cell);
+        let (x1, y1) = Self::key_of(&query.max, self.cell);
+        // Guard against query boxes vastly larger than the data: never
+        // enumerate more cells than exist.
+        let span = (x1 - x0 + 1).saturating_mul(y1 - y0 + 1) as usize;
+        if span > 4 * self.cells.len() + 4 {
+            for (&(cx, cy), ids) in &self.cells {
+                let cmbb = Mbb::new(
+                    Point2::new(cx as f64 * self.cell, cy as f64 * self.cell),
+                    Point2::new((cx + 1) as f64 * self.cell, (cy + 1) as f64 * self.cell),
+                );
+                if cmbb.intersects(query) {
+                    out.extend_from_slice(ids);
+                }
+            }
+            return;
+        }
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::shared_points;
+
+    fn cross(n: usize) -> SharedPoints {
+        let mut v = Vec::new();
+        for i in 0..n {
+            v.push(Point2::new(i as f64, 0.0));
+            v.push(Point2::new(0.0, i as f64));
+        }
+        shared_points(v)
+    }
+
+    #[test]
+    fn epsilon_query_matches_brute_force() {
+        let pts = cross(50);
+        let grid = GridIndex::build(pts.clone(), 2.5);
+        for eps in [0.0, 1.0, 3.3, 10.0] {
+            let center = Point2::new(3.0, 0.0);
+            let mut got = Vec::new();
+            grid.epsilon_neighbors(center, eps, &mut got);
+            got.sort_unstable();
+            let expect: Vec<PointId> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.within(&center, eps))
+                .map(|(i, _)| i as PointId)
+                .collect();
+            assert_eq!(got, expect, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = shared_points([Point2::new(-1.5, -1.5), Point2::new(1.5, 1.5)]);
+        let grid = GridIndex::build(pts, 1.0);
+        let mut got = Vec::new();
+        grid.epsilon_neighbors(Point2::new(-1.5, -1.5), 0.1, &mut got);
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn huge_query_box_does_not_blow_up() {
+        let pts = cross(10);
+        let grid = GridIndex::build(pts.clone(), 0.001); // many potential cells
+        let mut got = Vec::new();
+        grid.range_query(
+            &Mbb::new(Point2::new(-1e8, -1e8), Point2::new(1e8, 1e8)),
+            &mut got,
+        );
+        assert_eq!(got.len(), pts.len());
+    }
+
+    #[test]
+    fn occupied_cells_counted() {
+        let pts = shared_points([
+            Point2::new(0.5, 0.5),
+            Point2::new(0.6, 0.6),
+            Point2::new(5.0, 5.0),
+        ]);
+        let grid = GridIndex::build(pts, 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! k-nearest-neighbor search on the packed R-tree.
+//!
+//! Needed by the k-distance heuristic of the original DBSCAN paper (used
+//! in §V-B here to justify `minpts = 4`): for each point, find the distance
+//! to its k-th nearest neighbor; the knee of the sorted k-dist plot is a
+//! good ε. Implemented as classic best-first traversal with a min-heap of
+//! tree regions ordered by distance lower bound.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vbp_geom::{Point2, PointId};
+
+use crate::packed::PackedRTree;
+use crate::traits::SpatialIndex;
+
+/// A `(distance², id)` pair ordered by distance — max-heap friendly so the
+/// k-best set can evict its worst member in O(log k).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Squared Euclidean distance from the query point.
+    pub dist_sq: f64,
+    /// Id of the neighbor in tree order.
+    pub id: PointId,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A heap entry for the best-first frontier: a tree node or leaf range with
+/// the *lower bound* of its distance to the query. Reversed ordering turns
+/// `BinaryHeap` (a max-heap) into a min-heap on distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Frontier {
+    lower_sq: f64,
+    level: usize,
+    idx: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .lower_sq
+            .partial_cmp(&self.lower_sq)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PackedRTree {
+    /// Returns the `k` nearest neighbors of `query` (including the query
+    /// point itself when indexed), sorted by ascending distance. Returns
+    /// fewer than `k` if the tree is smaller than `k`.
+    pub fn knn(&self, query: Point2, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let pts = self.points();
+        // Best-so-far: max-heap of size ≤ k keyed on distance.
+        let mut best: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        let mut frontier: BinaryHeap<Frontier> = BinaryHeap::new();
+        let top = self.depth() - 1;
+        frontier.push(Frontier {
+            lower_sq: 0.0,
+            level: top,
+            idx: 0,
+        });
+
+        while let Some(f) = frontier.pop() {
+            if best.len() == k && f.lower_sq > best.peek().unwrap().dist_sq {
+                break; // no remaining region can improve the k-best set
+            }
+            if f.level == 0 {
+                let start = f.idx * self.points_per_leaf();
+                let end = (start + self.points_per_leaf()).min(pts.len());
+                for (i, p) in pts[start..end].iter().enumerate() {
+                    let d = p.dist_sq(&query);
+                    if best.len() < k {
+                        best.push(Neighbor {
+                            dist_sq: d,
+                            id: (start + i) as PointId,
+                        });
+                    } else if d < best.peek().unwrap().dist_sq {
+                        best.pop();
+                        best.push(Neighbor {
+                            dist_sq: d,
+                            id: (start + i) as PointId,
+                        });
+                    }
+                }
+            } else {
+                for (child_idx, mbb) in self.level_children(f.level, f.idx) {
+                    let lower = mbb.dist_sq_to_point(&query);
+                    if best.len() < k || lower <= best.peek().unwrap().dist_sq {
+                        frontier.push(Frontier {
+                            lower_sq: lower,
+                            level: f.level - 1,
+                            idx: child_idx,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut result = best.into_vec();
+        result.sort_unstable();
+        result
+    }
+
+    /// Distance from `query` to its k-th nearest neighbor (1-based `k`).
+    /// `None` if the tree holds fewer than `k` points.
+    pub fn kth_neighbor_dist(&self, query: Point2, k: usize) -> Option<f64> {
+        let nn = self.knn(query, k);
+        (nn.len() == k).then(|| nn[k - 1].dist_sq.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::shared_points;
+
+    fn line(n: usize) -> PackedRTree {
+        let pts: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        PackedRTree::from_sorted(shared_points(pts), 4)
+    }
+
+    #[test]
+    fn knn_on_a_line() {
+        let t = line(100);
+        let nn = t.knn(Point2::new(50.0, 0.0), 3);
+        let ids: Vec<PointId> = nn.iter().map(|n| n.id).collect();
+        assert_eq!(ids[0], 50);
+        // Neighbors 49 and 51 are tied; both must appear.
+        assert!(ids.contains(&49) && ids.contains(&51));
+        assert_eq!(nn[1].dist_sq, 1.0);
+        assert_eq!(nn[2].dist_sq, 1.0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        // Deterministic pseudo-random cloud.
+        let pts: Vec<Point2> = (0..500u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Point2::new((h >> 40) as f64 / 100.0, ((h >> 20) & 0xFFFFF) as f64 / 10000.0)
+            })
+            .collect();
+        let t = PackedRTree::from_sorted(shared_points(pts.clone()), 16);
+        let q = Point2::new(5.0, 50.0);
+        for k in [1, 4, 17] {
+            let got: Vec<f64> = t.knn(q, k).iter().map(|n| n.dist_sq).collect();
+            let mut all: Vec<f64> = t.points().iter().map(|p| p.dist_sq(&q)).collect();
+            all.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect = &all[..k];
+            assert_eq!(got.len(), k);
+            for (g, e) in got.iter().zip(expect) {
+                assert_eq!(g, e, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree() {
+        let t = line(3);
+        assert_eq!(t.knn(Point2::ORIGIN, 10).len(), 3);
+        assert!(t.kth_neighbor_dist(Point2::ORIGIN, 10).is_none());
+        assert_eq!(t.kth_neighbor_dist(Point2::ORIGIN, 3), Some(2.0));
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let t = line(5);
+        assert!(t.knn(Point2::ORIGIN, 0).is_empty());
+        let empty = PackedRTree::from_sorted(shared_points([]), 4);
+        assert!(empty.knn(Point2::ORIGIN, 3).is_empty());
+    }
+}

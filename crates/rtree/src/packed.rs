@@ -1,0 +1,427 @@
+//! The paper's packed R-tree: `r` points per leaf MBB over a bin-sorted
+//! point database.
+//!
+//! Layout. The tree is *implicit*: no child pointers are stored. Level 0
+//! holds one MBB per leaf; leaf `j` covers the contiguous point range
+//! `[j·r, min((j+1)·r, n))`. Level `k+1` holds one MBB per group of
+//! `FANOUT` consecutive level-`k` nodes. Because children of node `i` are
+//! exactly `[i·FANOUT, (i+1)·FANOUT)`, traversal is pure arithmetic over
+//! flat `Vec<Mbb>`s — the minimal-memory-traffic structure the paper's
+//! analysis calls for.
+//!
+//! `r` is the paper's tuning knob (§IV-A, Figure 4): `r = 1` gives exact
+//! leaves (the `T_high` configuration), larger `r` trades filter work for
+//! fewer node visits (the `T_low` configuration, good values 70–110).
+
+use std::sync::Arc;
+
+use vbp_geom::{bin_sort, BinOrder, Mbb, Point2, PointId};
+
+use crate::stats::TreeStats;
+use crate::traits::{SharedPoints, SpatialIndex};
+
+/// Internal-node fanout. 16 keeps the tree shallow while each node's child
+/// MBB array (16 × 32 B = 512 B) spans only a few cache lines.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// A static, bulk-loaded R-tree with `r` points per leaf MBB.
+#[derive(Clone, Debug)]
+pub struct PackedRTree {
+    points: SharedPoints,
+    /// Points per leaf MBB (the paper's `r`).
+    r: usize,
+    /// Internal fanout.
+    fanout: usize,
+    /// `levels[0]` = leaf MBBs, `levels.last()` = single root MBB
+    /// (absent only for an empty tree).
+    levels: Vec<Vec<Mbb>>,
+}
+
+impl PackedRTree {
+    /// Builds a tree over `points`, which the caller guarantees are already
+    /// in packing order (e.g. the output of [`vbp_geom::bin_sort`], or an
+    /// STR tiling). Leaf `j` takes points `[j·r, (j+1)·r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn from_sorted(points: SharedPoints, r: usize) -> Self {
+        Self::from_sorted_with_fanout(points, r, DEFAULT_FANOUT)
+    }
+
+    /// [`PackedRTree::from_sorted`] with an explicit internal fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0` or `fanout < 2`.
+    pub fn from_sorted_with_fanout(points: SharedPoints, r: usize, fanout: usize) -> Self {
+        assert!(r >= 1, "r (points per leaf MBB) must be ≥ 1");
+        assert!(fanout >= 2, "fanout must be ≥ 2");
+
+        let n = points.len();
+        let mut levels: Vec<Vec<Mbb>> = Vec::new();
+        if n > 0 {
+            // Leaf level: one MBB per r consecutive points.
+            let mut leaves = Vec::with_capacity(n.div_ceil(r));
+            for chunk in points.chunks(r) {
+                // chunks() never yields an empty slice.
+                leaves.push(Mbb::from_points(chunk.iter()).unwrap());
+            }
+            levels.push(leaves);
+            // Pack parents until a single root remains.
+            while levels.last().unwrap().len() > 1 {
+                let below = levels.last().unwrap();
+                let mut level = Vec::with_capacity(below.len().div_ceil(fanout));
+                for chunk in below.chunks(fanout) {
+                    let mut mbb = chunk[0];
+                    for child in &chunk[1..] {
+                        mbb = mbb.union(child);
+                    }
+                    level.push(mbb);
+                }
+                levels.push(level);
+            }
+        }
+        Self {
+            points,
+            r,
+            fanout,
+            levels,
+        }
+    }
+
+    /// Builds the paper's full pipeline: bin-sort `points` into unit-width
+    /// bins, then pack. Returns the tree together with the permutation
+    /// mapping *tree order → caller order* (`perm[i]` is the caller index
+    /// of tree point `i`), so cluster results can be reported against the
+    /// caller's ids.
+    ///
+    /// ```
+    /// use vbp_geom::Point2;
+    /// use vbp_rtree::{PackedRTree, SpatialIndex};
+    ///
+    /// let points: Vec<Point2> = (0..100)
+    ///     .map(|i| Point2::new((i % 10) as f64, (i / 10) as f64))
+    ///     .collect();
+    /// let (tree, _perm) = PackedRTree::build(&points, 8);
+    ///
+    /// let mut neighbors = Vec::new();
+    /// tree.epsilon_neighbors(Point2::new(5.0, 5.0), 1.0, &mut neighbors);
+    /// assert_eq!(neighbors.len(), 5); // the point itself + 4 axis neighbors
+    /// ```
+    pub fn build(points: &[Point2], r: usize) -> (Self, Vec<PointId>) {
+        Self::build_with_order(points, r, BinOrder::Serpentine)
+    }
+
+    /// [`PackedRTree::build`] with an explicit traversal order for the bin
+    /// sort.
+    pub fn build_with_order(
+        points: &[Point2],
+        r: usize,
+        order: BinOrder,
+    ) -> (Self, Vec<PointId>) {
+        let perm = bin_sort(points, order);
+        let sorted: SharedPoints = perm.iter().map(|&i| points[i as usize]).collect();
+        (Self::from_sorted(sorted, r), perm)
+    }
+
+    /// The paper's `r`: points per leaf MBB.
+    #[inline]
+    pub fn points_per_leaf(&self) -> usize {
+        self.r
+    }
+
+    /// Internal fanout.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Shared handle to the indexed points (tree order).
+    #[inline]
+    pub fn shared_points(&self) -> SharedPoints {
+        Arc::clone(&self.points)
+    }
+
+    /// Number of tree levels (0 for an empty tree, 1 for a single leaf).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// MBB of the whole dataset, if non-empty.
+    pub fn root_mbb(&self) -> Option<Mbb> {
+        self.levels.last().map(|l| l[0])
+    }
+
+    /// Point range `[start, end)` covered by leaf `leaf`.
+    #[inline]
+    fn leaf_range(&self, leaf: usize) -> (usize, usize) {
+        let start = leaf * self.r;
+        let end = ((leaf + 1) * self.r).min(self.points.len());
+        (start, end)
+    }
+
+    /// Core traversal: invokes `visit(start, end)` for the contiguous point
+    /// range of every leaf whose MBB intersects `query`. This is the
+    /// "search the index tree, then map indexed MBBs to data points via the
+    /// lookup array" of Algorithm 2 — here the lookup is arithmetic because
+    /// leaves cover contiguous ranges of the sorted database.
+    pub fn for_each_overlapping_leaf(&self, query: &Mbb, mut visit: impl FnMut(usize, usize)) {
+        let Some(top) = self.levels.len().checked_sub(1) else {
+            return;
+        };
+        // Depth-first over (level, node index) pairs; a small inline stack
+        // would also do, but Vec keeps it simple and is not on the critical
+        // path compared to the leaf scans.
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(64);
+        for (i, mbb) in self.levels[top].iter().enumerate() {
+            if mbb.intersects(query) {
+                stack.push((top, i));
+            }
+        }
+        while let Some((level, idx)) = stack.pop() {
+            if level == 0 {
+                let (s, e) = self.leaf_range(idx);
+                visit(s, e);
+                continue;
+            }
+            let below = &self.levels[level - 1];
+            let first = idx * self.fanout;
+            let last = ((idx + 1) * self.fanout).min(below.len());
+            for (child, mbb) in below[first..last].iter().enumerate() {
+                if mbb.intersects(query) {
+                    stack.push((level - 1, first + child));
+                }
+            }
+        }
+    }
+
+    /// Iterates over the children `(index, MBB)` of internal node `idx` at
+    /// `level` (`level ≥ 1`; children live at `level - 1`). Exposed for
+    /// best-first traversals such as [k-NN](crate::knn).
+    pub fn level_children(&self, level: usize, idx: usize) -> impl Iterator<Item = (usize, Mbb)> + '_ {
+        debug_assert!(level >= 1 && level < self.levels.len());
+        let below = &self.levels[level - 1];
+        let first = idx * self.fanout;
+        let last = ((idx + 1) * self.fanout).min(below.len());
+        (first..last).map(move |i| (i, below[i]))
+    }
+
+    /// Number of leaf MBBs.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// Structural statistics, for the index ablation benches and for
+    /// sanity-checking `r` sweeps.
+    pub fn stats(&self) -> TreeStats {
+        let leaf_mbbs = self.levels.first().map(Vec::as_slice).unwrap_or(&[]);
+        let node_count: usize = self.levels.iter().map(Vec::len).sum();
+        let leaf_area_total: f64 = leaf_mbbs.iter().map(Mbb::area).sum();
+        TreeStats {
+            points: self.points.len(),
+            depth: self.depth(),
+            node_count,
+            leaf_count: leaf_mbbs.len(),
+            points_per_leaf: self.r,
+            mean_leaf_area: if leaf_mbbs.is_empty() {
+                0.0
+            } else {
+                leaf_area_total / leaf_mbbs.len() as f64
+            },
+        }
+    }
+}
+
+impl SpatialIndex for PackedRTree {
+    fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    fn range_candidates(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        self.for_each_overlapping_leaf(query, |s, e| {
+            out.extend(s as PointId..e as PointId);
+        });
+    }
+
+    // Specialized to scan leaf ranges directly instead of materializing a
+    // candidate id list first: the candidate set for a tuned-r tree is the
+    // hot allocation of the whole clustering run.
+    fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
+        let query = Mbb::around_point(center, eps);
+        let eps_sq = eps * eps;
+        let pts: &[Point2] = &self.points;
+        self.for_each_overlapping_leaf(&query, |s, e| {
+            for (i, p) in pts[s..e].iter().enumerate() {
+                if p.dist_sq(&center) <= eps_sq {
+                    out.push((s + i) as PointId);
+                }
+            }
+        });
+    }
+
+    fn range_query(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        let pts: &[Point2] = &self.points;
+        self.for_each_overlapping_leaf(query, |s, e| {
+            for (i, p) in pts[s..e].iter().enumerate() {
+                if query.contains_point(p) {
+                    out.push((s + i) as PointId);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::shared_points;
+
+    fn grid_points(w: usize, h: usize) -> Vec<Point2> {
+        let mut v = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                v.push(Point2::new(x as f64, y as f64));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = PackedRTree::from_sorted(shared_points([]), 4);
+        assert_eq!(t.depth(), 0);
+        assert!(t.root_mbb().is_none());
+        let mut out = Vec::new();
+        t.range_query(&Mbb::around_point(Point2::ORIGIN, 10.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let t = PackedRTree::from_sorted(shared_points([Point2::new(1.0, 1.0)]), 4);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        let mut out = Vec::new();
+        t.epsilon_neighbors(Point2::new(1.0, 1.0), 0.0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn leaf_ranges_partition_points() {
+        let pts = grid_points(10, 10);
+        for r in [1, 3, 7, 100, 1000] {
+            let t = PackedRTree::from_sorted(shared_points(pts.clone()), r);
+            let mut covered = vec![false; pts.len()];
+            t.for_each_overlapping_leaf(&t.root_mbb().unwrap(), |s, e| {
+                assert!(s < e && e <= pts.len());
+                for c in &mut covered[s..e] {
+                    assert!(!*c, "leaf ranges overlap");
+                    *c = true;
+                }
+            });
+            assert!(covered.iter().all(|&c| c), "r={r}: leaf ranges must cover");
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = grid_points(20, 20);
+        let query = Mbb::new(Point2::new(3.5, 4.5), Point2::new(9.0, 11.0));
+        let expect: Vec<PointId> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains_point(p))
+            .map(|(i, _)| i as PointId)
+            .collect();
+        for r in [1, 4, 16, 64] {
+            let t = PackedRTree::from_sorted(shared_points(pts.clone()), r);
+            let mut got = Vec::new();
+            t.range_query(&query, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, expect, "r={r}");
+        }
+    }
+
+    #[test]
+    fn epsilon_neighbors_includes_self_and_is_inclusive() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let t = PackedRTree::from_sorted(shared_points(pts), 2);
+        let mut out = Vec::new();
+        t.epsilon_neighbors(Point2::new(0.0, 0.0), 1.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 3]); // self, right neighbor at exactly ε, top
+    }
+
+    #[test]
+    fn candidates_superset_of_exact() {
+        let pts = grid_points(16, 16);
+        let t = PackedRTree::from_sorted(shared_points(pts), 8);
+        let q = Mbb::new(Point2::new(2.2, 2.2), Point2::new(5.8, 5.8));
+        let (mut cand, mut exact) = (Vec::new(), Vec::new());
+        t.range_candidates(&q, &mut cand);
+        t.range_query(&q, &mut exact);
+        for id in &exact {
+            assert!(cand.contains(id));
+        }
+        assert!(cand.len() >= exact.len());
+    }
+
+    #[test]
+    fn build_returns_consistent_permutation() {
+        let pts = vec![
+            Point2::new(9.0, 9.0),
+            Point2::new(0.1, 0.1),
+            Point2::new(5.0, 0.2),
+            Point2::new(0.2, 9.0),
+        ];
+        let (t, perm) = PackedRTree::build(&pts, 2);
+        assert_eq!(perm.len(), 4);
+        for (tree_idx, &orig) in perm.iter().enumerate() {
+            assert_eq!(t.points()[tree_idx], pts[orig as usize]);
+        }
+    }
+
+    #[test]
+    fn depth_shrinks_as_r_grows() {
+        let pts = grid_points(50, 50); // 2500 points
+        let d1 = PackedRTree::from_sorted(shared_points(pts.clone()), 1).depth();
+        let d100 = PackedRTree::from_sorted(shared_points(pts), 100).depth();
+        assert!(d100 < d1, "d1={d1}, d100={d100}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let pts = grid_points(30, 30);
+        let t = PackedRTree::from_sorted(shared_points(pts), 7);
+        let s = t.stats();
+        assert_eq!(s.points, 900);
+        assert_eq!(s.leaf_count, 900usize.div_ceil(7));
+        assert_eq!(s.points_per_leaf, 7);
+        assert!(s.node_count >= s.leaf_count);
+        assert!(s.depth >= 2);
+    }
+
+    #[test]
+    fn fanout_two_still_correct() {
+        let pts = grid_points(9, 9);
+        let t = PackedRTree::from_sorted_with_fanout(shared_points(pts.clone()), 3, 2);
+        let mut out = Vec::new();
+        t.epsilon_neighbors(Point2::new(4.0, 4.0), 1.0, &mut out);
+        out.sort_unstable();
+        // Plus-shaped neighborhood of (4,4) in the integer grid.
+        let expect: Vec<PointId> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.within(&Point2::new(4.0, 4.0), 1.0))
+            .map(|(i, _)| i as PointId)
+            .collect();
+        assert_eq!(out, expect);
+    }
+}

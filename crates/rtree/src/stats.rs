@@ -1,0 +1,58 @@
+//! Structural statistics for spatial indexes.
+
+use std::fmt;
+
+/// Summary of an index's structure — the quantities §V-C of the paper says
+/// govern good choices of `r`: number of MBBs (`⌈|D|/r⌉`), tree depth, and
+/// leaf geometry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of indexed points.
+    pub points: usize,
+    /// Number of levels (leaf level included).
+    pub depth: usize,
+    /// Total nodes across all levels.
+    pub node_count: usize,
+    /// Number of leaf MBBs.
+    pub leaf_count: usize,
+    /// Configured points per leaf MBB (`r`).
+    pub points_per_leaf: usize,
+    /// Mean leaf MBB area — grows with `r`, driving the filter overhead.
+    pub mean_leaf_area: f64,
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "points={} depth={} nodes={} leaves={} r={} mean_leaf_area={:.4}",
+            self.points,
+            self.depth,
+            self.node_count,
+            self.leaf_count,
+            self.points_per_leaf,
+            self.mean_leaf_area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let s = TreeStats {
+            points: 10,
+            depth: 2,
+            node_count: 4,
+            leaf_count: 3,
+            points_per_leaf: 4,
+            mean_leaf_area: 1.5,
+        };
+        assert_eq!(
+            s.to_string(),
+            "points=10 depth=2 nodes=4 leaves=3 r=4 mean_leaf_area=1.5000"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Triangle-inequality neighborhood index (TI-DBSCAN, Kryszkiewicz &
+//! Lasek 2010 — the paper's reference \[21\]).
+//!
+//! No spatial structure at all: points are sorted by their distance to a
+//! fixed reference point, and the triangle inequality
+//! `|dist(q, ref) − dist(p, ref)| ≤ dist(p, q)` prunes the ε-search to a
+//! contiguous window of that order. Against the R-tree it trades
+//! dimensional pruning (a window is a 1-D annulus, not a box) for perfect
+//! memory locality and zero build complexity — an instructive baseline
+//! for the paper's "indexing is essential" claim.
+
+use vbp_geom::{Mbb, Point2, PointId};
+
+use crate::traits::{SharedPoints, SpatialIndex};
+
+/// Points ordered by distance to a reference point.
+#[derive(Clone, Debug)]
+pub struct TiIndex {
+    points: SharedPoints,
+    /// Distance of each stored point to the reference, ascending; the
+    /// stored points are in this order.
+    ref_dist: Vec<f64>,
+    reference: Point2,
+}
+
+impl TiIndex {
+    /// Builds the index using the dataset's MBB corner as the reference
+    /// point (a corner maximizes distance spread, improving pruning).
+    /// Returns the index plus the permutation *index order → caller
+    /// order*.
+    pub fn build(points: &[Point2]) -> (Self, Vec<PointId>) {
+        let reference = Mbb::from_points(points.iter())
+            .map(|m| m.min)
+            .unwrap_or(Point2::ORIGIN);
+        Self::build_with_reference(points, reference)
+    }
+
+    /// Builds the index with an explicit reference point.
+    pub fn build_with_reference(points: &[Point2], reference: Point2) -> (Self, Vec<PointId>) {
+        assert!(points.len() <= PointId::MAX as usize);
+        let mut perm: Vec<PointId> = (0..points.len() as PointId).collect();
+        perm.sort_by(|&a, &b| {
+            let da = points[a as usize].dist(&reference);
+            let db = points[b as usize].dist(&reference);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let sorted: SharedPoints = perm.iter().map(|&i| points[i as usize]).collect();
+        let ref_dist: Vec<f64> = sorted.iter().map(|p| p.dist(&reference)).collect();
+        (
+            Self {
+                points: sorted,
+                ref_dist,
+                reference,
+            },
+            perm,
+        )
+    }
+
+    /// The reference point.
+    pub fn reference(&self) -> Point2 {
+        self.reference
+    }
+
+    /// The candidate window `[lo, hi)` of index positions whose reference
+    /// distance lies within `±eps` of `d`.
+    fn window(&self, d: f64, eps: f64) -> (usize, usize) {
+        let lo = self.ref_dist.partition_point(|&x| x < d - eps);
+        let hi = self.ref_dist.partition_point(|&x| x <= d + eps);
+        (lo, hi)
+    }
+}
+
+impl SpatialIndex for TiIndex {
+    fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    fn range_candidates(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        // Conservative annulus around the box: distances from the
+        // reference to the nearest and farthest corner of the query.
+        let near = query.dist_sq_to_point(&self.reference).sqrt();
+        let corners = [
+            query.min,
+            query.max,
+            Point2::new(query.min.x, query.max.y),
+            Point2::new(query.max.x, query.min.y),
+        ];
+        let far = corners
+            .iter()
+            .map(|c| c.dist(&self.reference))
+            .fold(0.0f64, f64::max);
+        let lo = self.ref_dist.partition_point(|&x| x < near);
+        let hi = self.ref_dist.partition_point(|&x| x <= far);
+        out.extend(lo as PointId..hi as PointId);
+    }
+
+    fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
+        let d = center.dist(&self.reference);
+        let (lo, hi) = self.window(d, eps);
+        let eps_sq = eps * eps;
+        for (i, p) in self.points[lo..hi].iter().enumerate() {
+            if p.dist_sq(&center) <= eps_sq {
+                out.push((lo + i) as PointId);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scattered(n: usize) -> Vec<Point2> {
+        (0..n as u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Point2::new((h >> 44) as f64 / 50.0, ((h >> 24) & 0xFFFFF) as f64 / 50_000.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epsilon_neighbors_match_brute_force() {
+        let pts = scattered(500);
+        let (index, _) = TiIndex::build(&pts);
+        for (cx, cy, eps) in [(100.0, 10.0, 5.0), (200.0, 15.0, 0.5), (0.0, 0.0, 50.0)] {
+            let center = Point2::new(cx, cy);
+            let mut got = Vec::new();
+            index.epsilon_neighbors(center, eps, &mut got);
+            let mut got_coords: Vec<(u64, u64)> = got
+                .iter()
+                .map(|&i| {
+                    let p = index.points()[i as usize];
+                    (p.x.to_bits(), p.y.to_bits())
+                })
+                .collect();
+            let mut expect: Vec<(u64, u64)> = pts
+                .iter()
+                .filter(|p| p.within(&center, eps))
+                .map(|p| (p.x.to_bits(), p.y.to_bits()))
+                .collect();
+            got_coords.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got_coords, expect, "({cx}, {cy}), ε={eps}");
+        }
+    }
+
+    #[test]
+    fn window_actually_prunes() {
+        let pts = scattered(2_000);
+        let (index, _) = TiIndex::build(&pts);
+        let center = pts[700];
+        let d = center.dist(&index.reference());
+        let (lo, hi) = index.window(d, 1.0);
+        assert!(hi - lo < pts.len() / 2, "window {} of {}", hi - lo, pts.len());
+    }
+
+    #[test]
+    fn range_candidates_cover_exact_results() {
+        let pts = scattered(300);
+        let (index, _) = TiIndex::build(&pts);
+        let query = Mbb::new(Point2::new(50.0, 2.0), Point2::new(150.0, 12.0));
+        let (mut cand, mut exact) = (Vec::new(), Vec::new());
+        index.range_candidates(&query, &mut cand);
+        index.range_query(&query, &mut exact);
+        for e in &exact {
+            assert!(cand.contains(e));
+        }
+    }
+
+    #[test]
+    fn custom_reference_still_correct() {
+        let pts = scattered(200);
+        let (index, _) = TiIndex::build_with_reference(&pts, Point2::new(1e6, 1e6));
+        let center = pts[50];
+        let mut got = Vec::new();
+        index.epsilon_neighbors(center, 3.0, &mut got);
+        let expect = pts.iter().filter(|p| p.within(&center, 3.0)).count();
+        assert_eq!(got.len(), expect);
+    }
+
+    #[test]
+    fn permutation_is_sorted_by_reference_distance() {
+        let pts = scattered(100);
+        let (index, perm) = TiIndex::build(&pts);
+        assert_eq!(perm.len(), 100);
+        for w in index.ref_dist.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let (index, perm) = TiIndex::build(&[]);
+        assert!(index.is_empty());
+        assert!(perm.is_empty());
+        let mut out = Vec::new();
+        index.epsilon_neighbors(Point2::ORIGIN, 1.0, &mut out);
+        assert!(out.is_empty());
+    }
+}

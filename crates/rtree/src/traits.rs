@@ -1,0 +1,115 @@
+//! The query interface the clustering substrate is generic over.
+
+use std::sync::Arc;
+
+use vbp_geom::{Mbb, Point2, PointId};
+
+/// A spatial index over an immutable 2-D point database.
+///
+/// The contract mirrors Algorithm 2 of the paper (`NeighborSearch`): a
+/// query proceeds *filter* (walk the index, gather candidate points whose
+/// leaf MBB overlaps the query MBB) then *refine* (test each candidate
+/// against the exact predicate). Implementations may over-approximate in
+/// the filter step — that is the whole point of `r > 1` — but must never
+/// miss a qualifying point.
+///
+/// Indexes own (a shared handle to) their point database so they can be
+/// moved freely between the engine's worker threads.
+pub trait SpatialIndex: Send + Sync {
+    /// The indexed points, in index order.
+    fn points(&self) -> &[Point2];
+
+    /// Number of indexed points.
+    fn len(&self) -> usize {
+        self.points().len()
+    }
+
+    /// Returns `true` if the index contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Filter step: appends to `out` the ids of every point whose **leaf
+    /// MBB** intersects `query`. May contain false positives (points whose
+    /// leaf overlaps but which lie outside `query`); must contain every
+    /// point inside `query`.
+    fn range_candidates(&self, query: &Mbb, out: &mut Vec<PointId>);
+
+    /// Exact rectangle query: appends the ids of every point inside the
+    /// closed box `query`.
+    fn range_query(&self, query: &Mbb, out: &mut Vec<PointId>) {
+        let start = out.len();
+        self.range_candidates(query, out);
+        let pts = self.points();
+        let new_len = retain_from(out, start, |id| query.contains_point(&pts[id as usize]));
+        out.truncate(new_len);
+    }
+
+    /// ε-neighborhood query (Algorithm 2): appends the ids of every point
+    /// `q` with `dist(center, q) ≤ eps`. Includes `center`'s own id when
+    /// `center` is an indexed point — DBSCAN counts a point as its own
+    /// neighbor, matching `N_ε(p) = {q ∈ D | dist(p,q) ≤ ε}`.
+    fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
+        let start = out.len();
+        let query = Mbb::around_point(center, eps);
+        self.range_candidates(&query, out);
+        let pts = self.points();
+        let eps_sq = eps * eps;
+        let new_len = retain_from(out, start, |id| pts[id as usize].dist_sq(&center) <= eps_sq);
+        out.truncate(new_len);
+    }
+
+    /// Counts the ε-neighborhood without materializing it. Useful for
+    /// noise detection passes and statistics.
+    fn epsilon_count(&self, center: Point2, eps: f64, scratch: &mut Vec<PointId>) -> usize {
+        scratch.clear();
+        self.epsilon_neighbors(center, eps, scratch);
+        scratch.len()
+    }
+}
+
+/// In-place partition helper: keeps elements of `v[start..]` satisfying
+/// `keep`, preserving order, and returns the new logical length of `v`.
+fn retain_from(v: &mut [PointId], start: usize, mut keep: impl FnMut(PointId) -> bool) -> usize {
+    let mut write = start;
+    for read in start..v.len() {
+        if keep(v[read]) {
+            v[write] = v[read];
+            write += 1;
+        }
+    }
+    write
+}
+
+/// Shared, immutable point database handle.
+///
+/// Every index implementation stores one of these; clones are cheap
+/// reference-count bumps, so `T_low` and `T_high` (and all engine worker
+/// threads) share a single allocation — the paper's "we assume that we can
+/// store all relevant data in memory" made concrete.
+pub type SharedPoints = Arc<[Point2]>;
+
+/// Builds a [`SharedPoints`] from any point collection.
+pub fn shared_points<I: IntoIterator<Item = Point2>>(points: I) -> SharedPoints {
+    points.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retain_from_preserves_prefix_and_order() {
+        let mut v = vec![10, 11, 1, 2, 3, 4, 5];
+        let n = retain_from(&mut v, 2, |x| x % 2 == 1);
+        v.truncate(n);
+        assert_eq!(v, vec![10, 11, 1, 3, 5]);
+    }
+
+    #[test]
+    fn shared_points_roundtrip() {
+        let sp = shared_points([Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)]);
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp[1], Point2::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Parameter study: how the three optimization axes interact.
+//!
+//! Sweeps scheduler × reuse scheme × thread count on one dataset and
+//! prints a throughput matrix plus scheduling efficiency (makespan vs the
+//! no-idle lower bound, the paper's Figure 9 analysis).
+//!
+//! ```text
+//! cargo run --release --example parameter_study [n_points]
+//! ```
+
+use std::time::Duration;
+
+use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use vbp::vbp_data::{SyntheticClass, SyntheticSpec};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    let spec = SyntheticSpec::new(SyntheticClass::CF, n, 0.15, 99);
+    let points = spec.generate();
+    // A grid stressing both axes, as in the paper's S3.
+    let variants = VariantSet::cartesian(&[1.0, 1.4, 1.8], &[4, 8, 12, 16, 20, 24]);
+    println!(
+        "dataset {} ({} points), |V| = {}\n",
+        spec.name(),
+        points.len(),
+        variants.len()
+    );
+
+    // Reference for all speedups.
+    let reference = Engine::new(EngineConfig::reference())
+        .run(&points, &variants)
+        .total_time;
+    println!(
+        "reference (T=1, r=1, no reuse): {:.1} ms\n",
+        reference.as_secs_f64() * 1e3
+    );
+
+    println!(
+        "{:<14} {:<16} {:>3} {:>11} {:>9} {:>8} {:>9} {:>9}",
+        "scheduler", "reuse", "T", "time(ms)", "speedup", "reuse%", "scratch", "slowdown"
+    );
+    for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+        for scheme in [
+            ReuseScheme::Disabled,
+            ReuseScheme::ClusDefault,
+            ReuseScheme::ClusDensity,
+            ReuseScheme::ClusPtsSquared,
+        ] {
+            for threads in [1usize, 4] {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_threads(threads)
+                        .with_r(80)
+                        .with_scheduler(scheduler)
+                        .with_reuse(scheme)
+                        .with_keep_results(false),
+                );
+                let report = engine.run(&points, &variants);
+                print_row(
+                    scheduler,
+                    scheme,
+                    threads,
+                    report.total_time,
+                    reference,
+                    report.mean_fraction_reused(),
+                    report.from_scratch_count(),
+                    report.slowdown_vs_lower_bound(),
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nnotes: 'slowdown' is makespan over the no-idle lower bound (Figure 9's \
+         metric); speedups on a single hardware core reflect algorithmic gains \
+         (indexing + reuse), not thread-level parallelism."
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_row(
+    scheduler: Scheduler,
+    scheme: ReuseScheme,
+    threads: usize,
+    time: Duration,
+    reference: Duration,
+    reuse_frac: f64,
+    scratch: usize,
+    slowdown: f64,
+) {
+    println!(
+        "{:<14} {:<16} {:>3} {:>11.1} {:>8.2}x {:>7.1}% {:>9} {:>8.1}%",
+        scheduler.to_string(),
+        scheme.to_string(),
+        threads,
+        time.as_secs_f64() * 1e3,
+        reference.as_secs_f64() / time.as_secs_f64(),
+        reuse_frac * 100.0,
+        scratch,
+        slowdown * 100.0
+    );
+}

@@ -1,0 +1,92 @@
+//! Quickstart: cluster one dataset under a grid of DBSCAN parameter
+//! variants with VariantDBSCAN, and compare against the sequential
+//! reference implementation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use vbp::prelude::*;
+use vbp::variantdbscan::Engine as VEngine;
+use vbp::variantdbscan::{EngineConfig, Scheduler};
+use vbp::vbp_data::SyntheticSpec;
+
+fn main() {
+    // 1. A 20k-point synthetic dataset: ~2 clusters per 10⁴ points plus 10%
+    //    uniform noise (the paper's cF class, scaled down).
+    let spec = SyntheticSpec::new(SyntheticClass::CF, 20_000, 0.10, 7);
+    let points = spec.generate();
+    println!("dataset {} ({} points)", spec.name(), points.len());
+
+    // 2. The variant grid, in the paper's V = A × B notation: three ε
+    //    values crossed with four minpts values.
+    let variants = VariantSet::cartesian(&[1.0, 1.5, 2.0], &[4, 8, 16, 32]);
+    println!("|V| = {} variants\n", variants.len());
+
+    // 3. The reference implementation: one thread, r = 1, no reuse.
+    let t0 = Instant::now();
+    let reference = VEngine::new(EngineConfig::reference()).run(&points, &variants);
+    let ref_time = t0.elapsed();
+
+    // 4. VariantDBSCAN with everything on: tuned index (r = 80),
+    //    ClusDensity reuse, SchedGreedy scheduling, 4 threads.
+    let engine = VEngine::new(
+        EngineConfig::default()
+            .with_threads(4)
+            .with_r(80)
+            .with_scheduler(Scheduler::SchedGreedy)
+            .with_reuse(ReuseScheme::ClusDensity),
+    );
+    let t0 = Instant::now();
+    let report = engine.run(&points, &variants);
+    let opt_time = t0.elapsed();
+
+    // 5. Per-variant summary.
+    println!(
+        "{:<14} {:>9} {:>8} {:>10} {:>8}  source",
+        "variant", "clusters", "noise", "time(ms)", "reused"
+    );
+    for o in &report.outcomes {
+        println!(
+            "{:<14} {:>9} {:>8} {:>10.2} {:>7.1}%  {}",
+            o.variant.to_string(),
+            o.clusters,
+            o.noise,
+            o.response_time().as_secs_f64() * 1e3,
+            o.fraction_reused() * 100.0,
+            o.reused_from()
+                .map_or_else(|| "from scratch".to_string(), |v| v.to_string()),
+        );
+    }
+
+    // 6. Aggregates: throughput gain over the reference and the quality of
+    //    the reused results against direct DBSCAN.
+    println!();
+    println!(
+        "reference (T=1, r=1, no reuse): {:>8.2} ms",
+        ref_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "VariantDBSCAN (T=4, r=80, ClusDensity): {:>8.2} ms",
+        opt_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "relative speedup: {:.2}x   mean fraction reused: {:.1}%   from scratch: {}/{}",
+        ref_time.as_secs_f64() / opt_time.as_secs_f64(),
+        report.mean_fraction_reused() * 100.0,
+        report.from_scratch_count(),
+        variants.len()
+    );
+
+    // Cross-check one variant against the reference run's result.
+    let q = vbp::vbp_dbscan::quality_score(&reference.results[5], &report.results[5]);
+    println!(
+        "quality of variant {} vs reference: {:.4}",
+        variants.get(5),
+        q.mean_score
+    );
+}

@@ -1,0 +1,60 @@
+//! Scheduling demo: reproduces the paper's Figure 3 walkthrough.
+//!
+//! Builds the variant dependency tree for `V = {0.2, 0.4, 0.6} ×
+//! {20, 24, 28, 32}`, prints it (and its Graphviz form), then simulates
+//! the SchedGreedy and SchedMinpts orderings at T = 1 — matching the
+//! schedules shown in Figure 3(b) and 3(c).
+//!
+//! ```text
+//! cargo run --release --example scheduling_demo
+//! ```
+
+use vbp::variantdbscan::{DependencyTree, ScheduleState, Scheduler, VariantSet};
+
+fn main() {
+    let variants = VariantSet::cartesian(&[0.2, 0.4, 0.6], &[20, 24, 28, 32]);
+    println!("V = {{0.2, 0.4, 0.6}} × {{20, 24, 28, 32}}, |V| = {}\n", variants.len());
+
+    // Figure 3(a): the dependency tree minimizing component-wise parameter
+    // differences.
+    let tree = DependencyTree::build(variants.clone());
+    println!("dependency tree (variant ← preferred reuse source):");
+    for i in 0..variants.len() {
+        match tree.parent(i) {
+            Some(p) => println!(
+                "  {} ← {}   (depth {})",
+                variants.get(i),
+                variants.get(p),
+                tree.depth(i)
+            ),
+            None => println!("  {} ← (from scratch — root)", variants.get(i)),
+        }
+    }
+
+    println!("\ndepth-first schedule over the tree (Figure 3(b) flavor):");
+    let dfs: Vec<String> = tree
+        .depth_first_order()
+        .into_iter()
+        .map(|i| variants.get(i).to_string())
+        .collect();
+    println!("  {}", dfs.join(", "));
+
+    // Online simulations at T = 1: each assignment completes before the
+    // next pull, exactly the single-thread premise of Figure 3.
+    for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+        println!("\n{scheduler} at T = 1:");
+        let mut state = ScheduleState::new(variants.clone(), scheduler, true);
+        let mut step = 1;
+        while let Some(a) = state.next_assignment() {
+            let v = variants.get(a.variant);
+            match a.reuse_from {
+                Some(u) => println!("  {step:>2}. {v}  reusing {}", variants.get(u)),
+                None => println!("  {step:>2}. {v}  FROM SCRATCH"),
+            }
+            state.complete(a.variant);
+            step += 1;
+        }
+    }
+
+    println!("\nGraphviz (paste into `dot -Tsvg`):\n{}", tree.to_dot());
+}

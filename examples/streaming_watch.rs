@@ -1,0 +1,75 @@
+//! Streaming early-warning scenario: incremental DBSCAN over a TEC
+//! measurement stream.
+//!
+//! The paper motivates VariantDBSCAN with natural-hazard early warning —
+//! a setting where measurements *arrive continuously*. This example feeds
+//! a simulated TEC map point-by-point into [`IncrementalDbscan`] and
+//! raises an alert whenever a cluster first exceeds an area/size
+//! threshold (a TID-front candidate), also reporting cluster merges —
+//! fronts connecting into larger structures.
+//!
+//! ```text
+//! cargo run --release --example streaming_watch [n_points]
+//! ```
+
+use vbp::vbp_data::SpaceWeatherSpec;
+use vbp::vbp_dbscan::{DbscanParams, IncrementalDbscan};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    let spec = SpaceWeatherSpec::scaled(1, n);
+    let stream = spec.generate();
+    // ε chosen for the scaled map density (see the s2_reuse harness for
+    // the principled scaling rule); minpts 4 per the DBSCAN heuristic.
+    // The strictest ε of the paper's S2 family (0.2°), scaled for the
+    // reduced map density as in the s2_reuse harness: strict enough that
+    // the finished stream holds distinct fronts rather than one blob.
+    let eps = 0.2 * (1_864_620.0f64 / n as f64).powf(0.25);
+    let params = DbscanParams::new(eps, 4);
+    println!(
+        "streaming {} points of {} into incremental DBSCAN (ε = {:.2}, minpts = 4)\n",
+        stream.len(),
+        spec.name(),
+        eps
+    );
+
+    let mut inc = IncrementalDbscan::new(params);
+    let alert_size = (n / 100).max(25);
+    let mut alerted = 0usize;
+    let mut merges_total = 0usize;
+    let mut checkpoints = Vec::new();
+
+    for (i, &p) in stream.iter().enumerate() {
+        let outcome = inc.insert(p);
+        merges_total += outcome.merges;
+        if outcome.merges > 0 && alerted < 12 {
+            println!(
+                "  t={i:>6}: {} cluster structure(s) merged — fronts connecting",
+                outcome.merges
+            );
+            alerted += 1;
+        }
+        if (i + 1) % (n / 4) == 0 {
+            let snap = inc.snapshot();
+            let big = snap
+                .iter_clusters()
+                .filter(|(_, m)| m.len() >= alert_size)
+                .count();
+            checkpoints.push((i + 1, snap.num_clusters(), big, snap.noise_count()));
+        }
+    }
+
+    println!("\n{:<10} {:>9} {:>18} {:>8}", "points", "clusters", "alert-size fronts", "noise");
+    for (seen, clusters, big, noise) in checkpoints {
+        println!("{seen:<10} {clusters:>9} {big:>18} {noise:>8}");
+    }
+    println!(
+        "\n{merges_total} merge events total; alert threshold {alert_size} points. \
+         A batch re-cluster per arrival would cost O(n) ε-searches each — the \
+         incremental structure does O(|N_ε|) per insertion."
+    );
+}

@@ -1,0 +1,148 @@
+//! Tsunami early-warning scenario: tracking a circular ionospheric
+//! disturbance with spatiotemporal clustering.
+//!
+//! The paper's introduction motivates VariantDBSCAN with tsunami- and
+//! earthquake-induced ionospheric signatures (Occhipinti et al., their
+//! reference [4]): an undersea earthquake launches concentric
+//! gravity-wave rings through the ionosphere, expanding at roughly the
+//! tsunami propagation speed (~200 m/s ≈ 0.1°/min at TEC heights).
+//!
+//! This example simulates thresholded TEC detections of such a ring over
+//! a background of unrelated scatter, clusters the stream with ST-DBSCAN
+//! (time-windowed), and estimates the ring's expansion speed from the
+//! per-window cluster geometry — the quantity a warning system compares
+//! against tsunami physics to confirm the hazard.
+//!
+//! ```text
+//! cargo run --release --example tsunami_warning
+//! ```
+
+use vbp::vbp_data::Pcg32;
+use vbp::vbp_dbscan::{st_dbscan, StDbscanParams, StIndex, StPoint};
+use vbp::vbp_geom::Point2;
+
+/// Ring expansion speed in degrees per minute (ground truth).
+const TRUE_SPEED: f64 = 0.12;
+/// Epicenter (longitude, latitude).
+const EPICENTER: Point2 = Point2::new(-96.0, 36.0);
+
+fn main() {
+    let samples = simulate_detections(40, 400);
+    println!(
+        "{} TEC detections over 40 minutes around epicenter {}",
+        samples.len(),
+        EPICENTER
+    );
+
+    // Spatiotemporal clustering separates the moving disturbance (a
+    // single connected spatiotemporal cluster — the ring sweeps less than
+    // the spatial ε between temporally adjacent windows) from the
+    // unrelated background scatter, which stays noise at this density.
+    let index = StIndex::build(&samples);
+    let result = st_dbscan(&index, StDbscanParams::new(0.5, 3.0, 6));
+    println!(
+        "ST-DBSCAN: {} spatiotemporal clusters, {} noise of {} samples",
+        result.num_clusters(),
+        result.noise_count(),
+        samples.len()
+    );
+
+    // The disturbance = the largest cluster. Slice it into 5-minute bins
+    // and measure the mean epicentral distance per bin: a hazard ring
+    // shows distance growing linearly with time.
+    let (ring_id, ring) = result
+        .iter_clusters()
+        .max_by_key(|(_, m)| m.len())
+        .expect("no clusters found");
+    println!(
+        "largest cluster ({ring_id}) holds {} detections — tracking it\n",
+        ring.len()
+    );
+    let mut bins: Vec<(f64, f64, usize)> = Vec::new(); // (Σt, Σr, count) per bin
+    const BIN_MINUTES: f64 = 5.0;
+    for &p in ring {
+        let s = index.samples()[p as usize];
+        let b = (s.t / BIN_MINUTES) as usize;
+        if bins.len() <= b {
+            bins.resize(b + 1, (0.0, 0.0, 0));
+        }
+        bins[b].0 += s.t;
+        bins[b].1 += s.pos.dist(&EPICENTER);
+        bins[b].2 += 1;
+    }
+    let mut track: Vec<(f64, f64)> = Vec::new(); // (mean minute, mean radius °)
+    for (b, &(st, sr, n)) in bins.iter().enumerate() {
+        if n < 30 {
+            continue;
+        }
+        let (mean_t, mean_r) = (st / n as f64, sr / n as f64);
+        track.push((mean_t, mean_r));
+        println!(
+            "  window {b:>2} ({:>4} detections): t ≈ {mean_t:>5.1} min, radius ≈ {mean_r:.2}°",
+            n
+        );
+    }
+    if track.len() < 2 {
+        println!("\nnot enough ring windows tracked — no warning issued");
+        return;
+    }
+    let speed = linear_slope(&track);
+    println!(
+        "\nestimated expansion speed: {speed:.3}°/min (ground truth {TRUE_SPEED:.3}°/min, \
+         error {:.0}%)",
+        ((speed - TRUE_SPEED) / TRUE_SPEED * 100.0).abs()
+    );
+    let plausible = (0.05..0.25).contains(&speed);
+    println!(
+        "tsunami-speed plausibility check: {}",
+        if plausible {
+            "PASS — issue early warning"
+        } else {
+            "fail — signature inconsistent with tsunami physics"
+        }
+    );
+}
+
+/// Simulates `minutes` of detections: each minute contributes points on
+/// the expanding ring (with angular gaps — receivers are not uniform)
+/// plus uniform background scatter.
+fn simulate_detections(minutes: usize, per_minute: usize) -> Vec<StPoint> {
+    let mut rng = Pcg32::seeded(0x7507_2026);
+    let mut samples = Vec::new();
+    for minute in 0..minutes {
+        let t = minute as f64;
+        let radius = 0.8 + TRUE_SPEED * t;
+        let ring_points = per_minute * 3 / 4;
+        for _ in 0..ring_points {
+            // Receivers cover ~2/3 of azimuths.
+            let theta = rng.uniform(0.3, 2.0 * std::f64::consts::PI * 0.7);
+            let r = radius + rng.normal_with(0.0, 0.08);
+            samples.push(StPoint::new(
+                EPICENTER.x + r * theta.cos(),
+                EPICENTER.y + r * theta.sin(),
+                t + rng.uniform(0.0, 1.0),
+            ));
+        }
+        for _ in ring_points..per_minute {
+            samples.push(StPoint::new(
+                EPICENTER.x + rng.uniform(-8.0, 8.0),
+                EPICENTER.y + rng.uniform(-8.0, 8.0),
+                t + rng.uniform(0.0, 1.0),
+            ));
+        }
+    }
+    samples
+}
+
+/// Least-squares slope of y over x.
+fn linear_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov = points
+        .iter()
+        .map(|p| (p.0 - mx) * (p.1 - my))
+        .sum::<f64>();
+    let var = points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+    cov / var.max(f64::MIN_POSITIVE)
+}
