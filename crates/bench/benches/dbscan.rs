@@ -51,5 +51,10 @@ fn bench_eps_effect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_size_scaling, bench_r_effect, bench_eps_effect);
+criterion_group!(
+    benches,
+    bench_size_scaling,
+    bench_r_effect,
+    bench_eps_effect
+);
 criterion_main!(benches);

@@ -15,8 +15,7 @@ fn bench_reuse_by_noise(c: &mut Criterion) {
     let mut group = c.benchmark_group("reuse_by_noise");
     group.sample_size(10);
     for noise in [0.05f64, 0.30] {
-        let points =
-            SyntheticSpec::new(SyntheticClass::CF, 8_000, noise, 999).generate();
+        let points = SyntheticSpec::new(SyntheticClass::CF, 8_000, noise, 999).generate();
         for scheme in [
             ReuseScheme::Disabled,
             ReuseScheme::ClusDefault,

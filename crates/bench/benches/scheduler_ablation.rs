@@ -19,10 +19,7 @@ fn bench_scheduler(c: &mut Criterion) {
         ),
         (
             "V3_style", // many ε, few minpts
-            VariantSet::cartesian(
-                &[0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65],
-                &[4, 8, 16],
-            ),
+            VariantSet::cartesian(&[0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65], &[4, 8, 16]),
         ),
     ];
     let mut group = c.benchmark_group("scheduler_ablation");
@@ -31,15 +28,24 @@ fn bench_scheduler(c: &mut Criterion) {
         for scheduler in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
             for threads in [1usize, 4] {
                 let id = format!("{grid_name}/{scheduler}/T{threads}");
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_threads(threads)
+                        .with_r(80)
+                        .with_scheduler(scheduler)
+                        .with_reuse(ReuseScheme::ClusDensity)
+                        .with_keep_results(false),
+                );
+                // One instrumented run per configuration: how much of the
+                // workers' time went to the schedule mutex vs clustering.
+                let probe = engine.run(&points, variants);
+                println!(
+                    "{id:<40} lock-wait share {:6.3}% (sched {:?}, idle {:?})",
+                    probe.lock_wait_share() * 100.0,
+                    probe.total_sched_time(),
+                    probe.total_idle(),
+                );
                 group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
-                    let engine = Engine::new(
-                        EngineConfig::default()
-                            .with_threads(threads)
-                            .with_r(80)
-                            .with_scheduler(scheduler)
-                            .with_reuse(ReuseScheme::ClusDensity)
-                            .with_keep_results(false),
-                    );
                     b.iter(|| black_box(engine.run(&points, variants)));
                 });
             }

@@ -65,6 +65,13 @@ fn main() {
             report.slowdown_vs_lower_bound() * 100.0
         );
         println!("  lower bound (no idle cores): {}", fmt_time(lb));
+        println!(
+            "  contention: lock-wait {} ({:.2}% of worker time), schedule decisions {}, idle {}",
+            fmt_time(report.total_lock_wait()),
+            report.lock_wait_share() * 100.0,
+            fmt_time(report.total_sched_time()),
+            fmt_time(report.total_idle()),
+        );
         for t in 0..opts.threads {
             let s = scratch[t].as_secs_f64();
             let r = reused[t].as_secs_f64();

@@ -20,8 +20,8 @@
 
 use variantdbscan::{EngineConfig, ReuseScheme, VariantSet};
 use vbp_bench::harness::fmt_time;
-use vbp_bench::{generate, measure, BenchOpts, S1_R_VALUES};
 use vbp_bench::scenarios::s1_datasets;
+use vbp_bench::{generate, measure, BenchOpts, S1_R_VALUES};
 
 fn main() {
     let (opts, _) = BenchOpts::parse();

@@ -115,8 +115,7 @@ fn main() {
         for name in s2_datasets() {
             let (scaled_name, points) = generate(name, opts.points, opts.full);
             let variants = vbp_bench::adjust_variants_for(name, points.len(), &variants);
-            let reference =
-                measure(EngineConfig::reference(), &points, &variants, opts.trials);
+            let reference = measure(EngineConfig::reference(), &points, &variants, opts.trials);
             let mut speedups = Vec::new();
             let mut qualities = Vec::new();
             let mut density_reuse = 0.0;
@@ -131,8 +130,7 @@ fn main() {
                 // results are directly comparable).
                 let q = (0..variants.len())
                     .map(|i| {
-                        quality_score(&reference.report.results[i], &m.report.results[i])
-                            .mean_score
+                        quality_score(&reference.report.results[i], &m.report.results[i]).mean_score
                     })
                     .sum::<f64>()
                     / variants.len() as f64;

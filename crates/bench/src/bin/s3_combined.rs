@@ -27,13 +27,7 @@ fn main() {
     );
     println!(
         "{:<12} {:<4} {:>11} | {:>12} {:>12} {:>12} {:>12}",
-        "dataset",
-        "V",
-        "reference",
-        "Greedy/Dens",
-        "Minpts/Dens",
-        "Greedy/PtsSq",
-        "Minpts/PtsSq"
+        "dataset", "V", "reference", "Greedy/Dens", "Minpts/Dens", "Greedy/PtsSq", "Minpts/PtsSq"
     );
 
     for (dataset, grid) in s3_combinations() {

@@ -35,16 +35,15 @@ fn main() {
         let noise = spec
             .noise_fraction()
             .map_or("N/A".to_string(), |f| format!("{}%", (f * 100.0) as u32));
-        let extent = vbp_geom::Extent::of_points(&points)
-            .map_or("(empty)".to_string(), |e| {
-                format!(
-                    "[{:.1}, {:.1}] × [{:.1}, {:.1}]",
-                    e.mbb().min.x,
-                    e.mbb().max.x,
-                    e.mbb().min.y,
-                    e.mbb().max.y
-                )
-            });
+        let extent = vbp_geom::Extent::of_points(&points).map_or("(empty)".to_string(), |e| {
+            format!(
+                "[{:.1}, {:.1}] × [{:.1}, {:.1}]",
+                e.mbb().min.x,
+                e.mbb().max.x,
+                e.mbb().min.y,
+                e.mbb().max.y
+            )
+        });
         println!(
             "{:<14} {:>10} {:>7} | {:>8} pts ok  extent {}",
             spec.name(),

@@ -64,8 +64,8 @@ pub fn scale_dataset(spec: &DatasetSpec, cap: usize, full: bool) -> DatasetSpec 
 
 /// Generates a dataset by catalog name at the requested scale.
 pub fn generate(name: &str, cap: usize, full: bool) -> (String, Vec<Point2>) {
-    let spec = DatasetSpec::by_name(name)
-        .unwrap_or_else(|| panic!("unknown Table I dataset {name}"));
+    let spec =
+        DatasetSpec::by_name(name).unwrap_or_else(|| panic!("unknown Table I dataset {name}"));
     let spec = scale_dataset(&spec, cap, full);
     (spec.name(), spec.generate())
 }
@@ -113,10 +113,7 @@ pub fn s2_variants() -> VariantSet {
 /// name.
 pub fn s3_variants(name: &str) -> VariantSet {
     match name {
-        "V1" => VariantSet::cartesian(
-            &[0.2, 0.3, 0.4],
-            &(10..=100).step_by(5).collect::<Vec<_>>(),
-        ),
+        "V1" => VariantSet::cartesian(&[0.2, 0.3, 0.4], &(10..=100).step_by(5).collect::<Vec<_>>()),
         "V2" => VariantSet::cartesian(
             &[0.15, 0.25, 0.35],
             &(10..=100).step_by(5).collect::<Vec<_>>(),

@@ -46,11 +46,7 @@ impl Args {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("--{name} requires a value"))?;
-                if args
-                    .flags
-                    .insert(name.to_string(), value.clone())
-                    .is_some()
-                {
+                if args.flags.insert(name.to_string(), value.clone()).is_some() {
                     return Err(format!("--{name} given twice"));
                 }
             } else {
@@ -144,9 +140,11 @@ mod tests {
         assert!(Args::parse(&raw(&["sweep", "--eps"]), &SPEC)
             .unwrap_err()
             .contains("requires a value"));
-        assert!(Args::parse(&raw(&["sweep", "--eps", "1", "--eps", "2"]), &SPEC)
-            .unwrap_err()
-            .contains("twice"));
+        assert!(
+            Args::parse(&raw(&["sweep", "--eps", "1", "--eps", "2"]), &SPEC)
+                .unwrap_err()
+                .contains("twice")
+        );
     }
 
     #[test]

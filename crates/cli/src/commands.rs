@@ -39,7 +39,13 @@ pub fn datasets() -> String {
         let noise = spec
             .noise_fraction()
             .map_or("N/A".into(), |f| format!("{}%", (f * 100.0) as u32));
-        let _ = writeln!(out, "  {:<14} {:>10} points, noise {}", spec.name(), spec.size(), noise);
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} points, noise {}",
+            spec.name(),
+            spec.size(),
+            noise
+        );
     }
     out
 }
@@ -49,7 +55,12 @@ pub fn generate(args: &Args) -> Result<String, String> {
     let (name, points) = load_points(args)?;
     let out = args.require("out")?;
     vbp_data::io::save(out, &points).map_err(|e| format!("{out}: {e}"))?;
-    Ok(format!("wrote {} ({} points) to {}", name, points.len(), out))
+    Ok(format!(
+        "wrote {} ({} points) to {}",
+        name,
+        points.len(),
+        out
+    ))
 }
 
 /// `vbp info` — dataset statistics and a data-driven ε suggestion.
@@ -137,7 +148,9 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     let variants = VariantSet::cartesian(&eps, &minpts);
     let config = engine_config(args)?;
     let engine = Engine::new(config);
-    let report = engine.run(&points, &variants);
+    let report = engine
+        .try_run(&points, &variants)
+        .map_err(|e| e.to_string())?;
 
     let mut s = String::new();
     let _ = writeln!(
@@ -175,6 +188,14 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         report.mean_fraction_reused() * 100.0,
         report.from_scratch_count(),
         report.slowdown_vs_lower_bound() * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "contention: lock-wait {:.3} ms ({:.2}% of worker time), schedule decisions {:.3} ms, idle {:.1} ms",
+        report.total_lock_wait().as_secs_f64() * 1e3,
+        report.lock_wait_share() * 100.0,
+        report.total_sched_time().as_secs_f64() * 1e3,
+        report.total_idle().as_secs_f64() * 1e3
     );
     Ok(s)
 }
@@ -241,7 +262,11 @@ pub fn suggest(args: &Args) -> Result<String, String> {
         .map(usize::to_string)
         .collect::<Vec<_>>()
         .join(",");
-    let _ = writeln!(s, "suggested sweep (|V| = {}):", eps_grid.len() * minpts_grid.len());
+    let _ = writeln!(
+        s,
+        "suggested sweep (|V| = {}):",
+        eps_grid.len() * minpts_grid.len()
+    );
     let source = args
         .get("dataset")
         .map(|d| format!("--dataset {d}"))
@@ -280,7 +305,11 @@ pub fn tune(args: &Args) -> Result<String, String> {
             "  r={r:<4} {:>9.2} ms {}{}",
             t.as_secs_f64() * 1e3,
             "█".repeat(bar_len),
-            if *r == report.best_r { "  ← best" } else { "" }
+            if *r == report.best_r {
+                "  ← best"
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(s, "use: --r {}", report.best_r);
@@ -368,7 +397,15 @@ mod tests {
 
     const SPEC: Spec = Spec {
         valued: &[
-            "dataset", "input", "out", "eps", "minpts", "r", "threads", "scheduler", "reuse",
+            "dataset",
+            "input",
+            "out",
+            "eps",
+            "minpts",
+            "r",
+            "threads",
+            "scheduler",
+            "reuse",
         ],
         switches: &["render"],
     };
@@ -501,7 +538,10 @@ mod tests {
     fn suggest_produces_a_runnable_sweep_line() {
         let out = suggest(&parse(&["suggest", "--dataset", "cF_10k_5N@2000"])).unwrap();
         assert!(out.contains("k-distance knee"), "{out}");
-        assert!(out.contains("vbp sweep --dataset cF_10k_5N@2000 --eps"), "{out}");
+        assert!(
+            out.contains("vbp sweep --dataset cF_10k_5N@2000 --eps"),
+            "{out}"
+        );
         assert!(out.contains("--minpts 4,8,16"), "{out}");
     }
 

@@ -11,7 +11,15 @@ use args::{Args, Spec};
 /// simple; per-command validation happens in the command itself).
 const SPEC: Spec = Spec {
     valued: &[
-        "dataset", "input", "out", "eps", "minpts", "r", "threads", "scheduler", "reuse",
+        "dataset",
+        "input",
+        "out",
+        "eps",
+        "minpts",
+        "r",
+        "threads",
+        "scheduler",
+        "reuse",
     ],
     switches: &["render"],
 };
@@ -31,7 +39,10 @@ fn main() {
         "tune" => commands::tune(&args),
         "sweep" => commands::sweep(&args),
         "simulate" => commands::simulate_cmd(&args),
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+        other => Err(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::usage()
+        )),
     });
     match result {
         Ok(output) => print!("{output}"),

@@ -12,22 +12,43 @@
 //! 3. records a [`VariantOutcome`] per variant (timings, reuse fraction,
 //!    search counters) and returns everything as a [`RunReport`].
 //!
+//! # Concurrency structure
+//!
+//! The paper's premise is that variant-level parallelism keeps `T` threads
+//! busy, so the shared state is deliberately split three ways to keep
+//! workers off each other's backs:
+//!
+//! - a **small mutex** guards only the [`ScheduleState`], whose methods
+//!   are O(log n) amortized (see the scheduler's incremental best-pair
+//!   heap) — the critical section no longer scales with |V|²;
+//! - per-variant results are published through `Vec<OnceLock<…>>` slots,
+//!   so reuse sources are **read lock-free**: publication happens *before*
+//!   the completion is announced under the schedule mutex, which is the
+//!   happens-before edge that makes the unsynchronized read safe;
+//! - per-variant outcomes stream over an **mpsc channel** instead of a
+//!   shared `Mutex<Vec<_>>`, so bookkeeping never contends with pulls.
+//!
+//! Each worker additionally samples its own lock-wait, schedule-decision,
+//! busy, and idle time into [`WorkerStats`], surfaced via
+//! [`RunReport::worker_stats`] — the observability used by the
+//! `engine_contention` bench to demonstrate the de-serialized hot path.
+//!
 //! The paper's *reference implementation* — sequential DBSCAN, `r = 1`,
 //! no reuse — is the same engine under [`EngineConfig::reference`], so
 //! every speedup comparison runs identical code paths except for the three
 //! optimizations being measured.
 
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
 use vbp_geom::{BinOrder, Point2};
 use vbp_rtree::PackedRTree;
 
 use crate::expand::cluster_with_reuse;
-use crate::metrics::{ExecutionPath, RunReport, VariantOutcome};
-use crate::scheduler::{Assignment, ScheduleState, Scheduler};
+use crate::metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
+use crate::scheduler::{ScheduleState, Scheduler};
 use crate::seeds::ReuseScheme;
 use crate::variant::VariantSet;
 
@@ -108,17 +129,36 @@ impl EngineConfig {
     }
 }
 
+/// Input validation failure reported by [`Engine::try_run`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineError {
+    /// A database point has a NaN or infinite coordinate. Rejected up
+    /// front because it would otherwise poison MBB arithmetic deep inside
+    /// the index with a far less actionable failure.
+    NonFinitePoint {
+        /// Index of the offending point in the caller's order.
+        index: usize,
+        /// The offending point.
+        point: Point2,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NonFinitePoint { index, point } => {
+                write!(f, "point {index} has non-finite coordinates: {point:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// The VariantDBSCAN engine.
 #[derive(Clone, Debug, Default)]
 pub struct Engine {
     config: EngineConfig,
-}
-
-/// State shared between workers, behind one mutex: the online schedule
-/// plus the completed results it hands out as reuse sources.
-struct Shared {
-    schedule: ScheduleState,
-    results: Vec<Option<Arc<ClusterResult>>>,
 }
 
 impl Engine {
@@ -142,7 +182,25 @@ impl Engine {
     /// full run record. Results are reported in *tree order*; use
     /// [`RunReport::result_in_caller_order`] or the report's
     /// `permutation` to translate back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has non-finite coordinates; use
+    /// [`Engine::try_run`] to handle that case as a typed error instead.
     pub fn run(&self, points: &[Point2], variants: &VariantSet) -> RunReport {
+        match self.try_run(points, variants) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Engine::run`], but returns invalid input as an
+    /// [`EngineError`] instead of panicking.
+    pub fn try_run(
+        &self,
+        points: &[Point2],
+        variants: &VariantSet,
+    ) -> Result<RunReport, EngineError> {
         self.run_internal(points, variants, None)
     }
 
@@ -152,14 +210,14 @@ impl Engine {
         &self,
         points: &[Point2],
         variants: &VariantSet,
-        progress: Option<crossbeam::channel::Sender<crate::progress::ProgressEvent>>,
-    ) -> RunReport {
+        progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+    ) -> Result<RunReport, EngineError> {
         use crate::progress::ProgressEvent;
-        // Reject non-finite coordinates up front: they would otherwise
-        // poison MBB arithmetic deep inside the index with a far less
-        // actionable failure.
         if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
-            panic!("point {bad} has non-finite coordinates: {:?}", points[bad]);
+            return Err(EngineError::NonFinitePoint {
+                index: bad,
+                point: points[bad],
+            });
         }
         let build_start = Instant::now();
         let (t_low, permutation) =
@@ -172,38 +230,48 @@ impl Engine {
             });
         }
 
-        let shared = Mutex::new(Shared {
-            schedule: ScheduleState::new(
-                variants.clone(),
-                self.config.scheduler,
-                self.config.reuse.reuses(),
-            ),
-            results: vec![None; variants.len()],
-        });
-        let outcomes: Mutex<Vec<VariantOutcome>> = Mutex::new(Vec::with_capacity(variants.len()));
+        // The three-way shared state split (see module docs): a small
+        // mutex for the schedule, lock-free once-cells for results, and a
+        // channel for outcome bookkeeping.
+        let schedule = Mutex::new(ScheduleState::new(
+            variants.clone(),
+            self.config.scheduler,
+            self.config.reuse.reuses(),
+        ));
+        let results: Vec<OnceLock<Arc<ClusterResult>>> =
+            (0..variants.len()).map(|_| OnceLock::new()).collect();
+        let (outcome_tx, outcome_rx) = mpsc::channel::<VariantOutcome>();
 
         let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            for thread_id in 0..self.config.threads {
-                let shared = &shared;
-                let outcomes = &outcomes;
-                let t_low = &t_low;
-                let t_high = &t_high;
-                let progress = progress.clone();
-                scope.spawn(move || {
-                    worker_loop(
-                        thread_id,
-                        self.config.reuse,
-                        variants,
-                        t_low,
-                        t_high,
-                        shared,
-                        outcomes,
-                        t0,
-                        progress,
-                    );
-                });
-            }
+        let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.config.threads)
+                .map(|thread_id| {
+                    let schedule = &schedule;
+                    let results = &results[..];
+                    let t_low = &t_low;
+                    let t_high = &t_high;
+                    let progress = progress.clone();
+                    let outcome_tx = outcome_tx.clone();
+                    scope.spawn(move || {
+                        worker_loop(
+                            thread_id,
+                            self.config.reuse,
+                            variants,
+                            t_low,
+                            t_high,
+                            schedule,
+                            results,
+                            outcome_tx,
+                            t0,
+                            progress,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
         });
         let total_time = t0.elapsed();
         if let Some(tx) = &progress {
@@ -212,31 +280,36 @@ impl Engine {
             });
         }
 
-        let mut outcomes = outcomes.into_inner();
+        // All worker-held senders are gone; drop ours and drain.
+        drop(outcome_tx);
+        let mut outcomes: Vec<VariantOutcome> = outcome_rx.try_iter().collect();
         outcomes.sort_by_key(|o| o.index);
         let results = if self.config.keep_results {
-            shared
-                .into_inner()
-                .results
+            results
                 .into_iter()
-                .map(|r| r.expect("every variant must have completed"))
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("every variant must have completed")
+                })
                 .collect()
         } else {
             Vec::new()
         };
 
-        RunReport {
+        Ok(RunReport {
             outcomes,
             total_time,
             index_build_time,
             threads: self.config.threads,
             results,
             permutation,
-        }
+            worker_stats,
+        })
     }
 }
 
 /// One worker: pull → cluster → publish, until the schedule drains.
+/// Returns its contention/idle accounting.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     thread_id: usize,
@@ -244,28 +317,41 @@ fn worker_loop(
     variants: &VariantSet,
     t_low: &PackedRTree,
     t_high: &PackedRTree,
-    shared: &Mutex<Shared>,
-    outcomes: &Mutex<Vec<VariantOutcome>>,
+    schedule: &Mutex<ScheduleState>,
+    results: &[OnceLock<Arc<ClusterResult>>],
+    outcome_tx: mpsc::Sender<VariantOutcome>,
     t0: Instant,
-    progress: Option<crossbeam::channel::Sender<crate::progress::ProgressEvent>>,
-) {
+    progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+) -> WorkerStats {
     let mut scratch = DbscanScratch::new();
+    let mut stats = WorkerStats::new(thread_id);
+    let worker_start = Instant::now();
     loop {
-        // Pull an assignment and, if it reuses, the source's result.
-        let (assignment, source_result): (Assignment, Option<Arc<ClusterResult>>) = {
-            let mut guard = shared.lock();
-            let Some(a) = guard.schedule.next_assignment() else {
-                return;
-            };
-            let src = a.reuse_from.map(|u| {
-                Arc::clone(
-                    guard.results[u]
-                        .as_ref()
-                        .expect("scheduler handed out an incomplete reuse source"),
-                )
-            });
-            (a, src)
+        // Pull an assignment under the schedule mutex, timing how long the
+        // lock took to acquire vs how long the decision itself ran.
+        let wait_start = Instant::now();
+        let assignment = {
+            let mut guard = schedule.lock().expect("schedule mutex poisoned");
+            let acquired = Instant::now();
+            stats.lock_wait += acquired.duration_since(wait_start);
+            let a = guard.next_assignment();
+            stats.sched_time += acquired.elapsed();
+            a
         };
+        let Some(assignment) = assignment else {
+            break;
+        };
+        stats.assignments += 1;
+
+        // Reuse sources are read lock-free: the slot was filled before the
+        // source's completion was announced under the schedule mutex.
+        let source_result: Option<Arc<ClusterResult>> = assignment.reuse_from.map(|u| {
+            Arc::clone(
+                results[u]
+                    .get()
+                    .expect("scheduler handed out an incomplete reuse source"),
+            )
+        });
 
         let variant = variants[assignment.variant];
         let started = t0.elapsed();
@@ -283,12 +369,12 @@ fn worker_loop(
                 )
             }
             _ => {
-                let (result, stats) =
-                    dbscan_with_scratch(t_low, variant.params(), &mut scratch);
+                let (result, stats) = dbscan_with_scratch(t_low, variant.params(), &mut scratch);
                 (result, ExecutionPath::FromScratch(stats))
             }
         };
         let finished = t0.elapsed();
+        stats.busy += finished.saturating_sub(started);
 
         let outcome = VariantOutcome {
             index: assignment.variant,
@@ -301,22 +387,40 @@ fn worker_loop(
             noise: result.noise_count(),
         };
 
+        // Publish the result BEFORE announcing completion: any worker that
+        // is handed this variant as a reuse source observed the completion
+        // under the schedule mutex, which orders this `set` before its
+        // lock-free `get`.
+        results[assignment.variant]
+            .set(Arc::new(result))
+            .expect("variant completed twice");
         {
-            let mut guard = shared.lock();
-            guard.results[assignment.variant] = Some(Arc::new(result));
-            guard.schedule.complete(assignment.variant);
+            let wait_start = Instant::now();
+            let mut guard = schedule.lock().expect("schedule mutex poisoned");
+            let acquired = Instant::now();
+            stats.lock_wait += acquired.duration_since(wait_start);
+            guard.complete(assignment.variant);
+            stats.sched_time += acquired.elapsed();
         }
         if let Some(tx) = &progress {
             let _ = tx.send(crate::progress::ProgressEvent::VariantDone(outcome.clone()));
         }
-        outcomes.lock().push(outcome);
+        let _ = outcome_tx.send(outcome);
     }
+    // Whatever wall time wasn't clustering, waiting for the lock, or
+    // deciding the schedule was spent idle (thread startup/teardown and
+    // channel sends included — both negligible and honest to count here).
+    stats.idle = worker_start
+        .elapsed()
+        .saturating_sub(stats.busy + stats.lock_wait + stats.sched_time);
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::variant::Variant;
+    use std::time::Duration;
     use vbp_dbscan::{dbscan, quality_score};
 
     /// Deterministic blob generator: `k` Gaussian-ish blobs on a grid plus
@@ -502,7 +606,35 @@ mod tests {
         assert!(report.lower_bound() <= report.total_time + Duration::from_millis(50));
     }
 
-    use std::time::Duration;
+    #[test]
+    fn worker_stats_cover_every_thread_and_assignment() {
+        let points = blobs(600, 4, 47);
+        let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
+        let report = engine.run(&points, &small_grid());
+        assert_eq!(report.worker_stats.len(), 3);
+        let mut threads_seen: Vec<usize> = report.worker_stats.iter().map(|w| w.thread).collect();
+        threads_seen.sort_unstable();
+        assert_eq!(threads_seen, vec![0, 1, 2]);
+        let total_assignments: usize = report.worker_stats.iter().map(|w| w.assignments).sum();
+        assert_eq!(total_assignments, report.outcomes.len());
+        // Busy time accounted per worker matches the outcomes' view.
+        let busy_from_stats: Duration = report.worker_stats.iter().map(|w| w.busy).sum();
+        assert_eq!(busy_from_stats, report.total_busy());
+    }
+
+    #[test]
+    fn try_run_reports_non_finite_points() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(4));
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
+        let err = engine.try_run(&points, &small_grid()).unwrap_err();
+        match err {
+            EngineError::NonFinitePoint { index, point } => {
+                assert_eq!(index, 1);
+                assert!(point.x.is_nan());
+            }
+        }
+        assert!(err.to_string().contains("non-finite"));
+    }
 
     #[test]
     #[should_panic(expected = "worker thread")]
@@ -544,8 +676,6 @@ mod tests {
         }
     }
 
-    use crate::metrics::ExecutionPath;
-
     #[test]
     fn stress_many_threads_many_variants() {
         // Far more threads than cores and more variants than threads:
@@ -564,6 +694,69 @@ mod tests {
             seen[o.index] = true;
             if let Some(src) = o.reused_from() {
                 assert!(o.variant.can_reuse(&src));
+            }
+        }
+    }
+
+    // ----- termination edge cases: every variant completes exactly once
+    // and the "every variant must have completed" invariant never trips.
+
+    fn assert_all_complete_once(report: &RunReport, expect: usize) {
+        assert_eq!(report.outcomes.len(), expect);
+        assert_eq!(report.results.len(), expect);
+        let mut seen = vec![false; expect];
+        for o in &report.outcomes {
+            assert!(!seen[o.index], "variant {} completed twice", o.index);
+            seen[o.index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn more_threads_than_variants_terminates() {
+        // T = 8 over |V| = 2: six workers never get an assignment and must
+        // exit cleanly without tripping the completion invariant.
+        let points = blobs(300, 3, 101);
+        let variants = VariantSet::cartesian(&[1.0], &[4, 8]);
+        for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+            let engine = Engine::new(
+                EngineConfig::default()
+                    .with_threads(8)
+                    .with_r(16)
+                    .with_scheduler(sched),
+            );
+            let report = engine.run(&points, &variants);
+            assert_all_complete_once(&report, 2);
+            assert_eq!(report.worker_stats.len(), 8);
+        }
+    }
+
+    #[test]
+    fn single_variant_terminates() {
+        let points = blobs(200, 2, 103);
+        let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
+        for threads in [1usize, 2, 7] {
+            let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(8));
+            let report = engine.run(&points, &variants);
+            assert_all_complete_once(&report, 1);
+            assert_eq!(report.from_scratch_count(), 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_point_sets_terminate() {
+        // Empty, singleton, and all-identical databases, with T > |V| too.
+        let variants = small_grid();
+        for points in [
+            Vec::new(),
+            vec![Point2::new(1.0, 1.0)],
+            vec![Point2::new(2.0, 3.0); 64],
+        ] {
+            let engine = Engine::new(EngineConfig::default().with_threads(8).with_r(4));
+            let report = engine.run(&points, &variants);
+            assert_all_complete_once(&report, variants.len());
+            for r in &report.results {
+                assert_eq!(r.len(), points.len());
             }
         }
     }

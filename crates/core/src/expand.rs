@@ -87,8 +87,16 @@ pub fn cluster_with_reuse(
     scheme: ReuseScheme,
 ) -> (ClusterResult, ReuseStats) {
     let n = t_low.len();
-    assert_eq!(n, t_high.len(), "T_low and T_high must index the same database");
-    assert_eq!(n, previous.len(), "previous result covers a different database");
+    assert_eq!(
+        n,
+        t_high.len(),
+        "T_low and T_high must index the same database"
+    );
+    assert_eq!(
+        n,
+        previous.len(),
+        "previous result covers a different database"
+    );
     debug_assert!(
         !scheme.reuses() || variant.can_reuse(&source_variant),
         "inclusion criteria violated: {variant} cannot reuse {source_variant}"
@@ -366,17 +374,21 @@ mod tests {
     fn lowering_minpts_grows_clusters() {
         // Chain with a sparse tail: at minpts 4 only the dense head
         // clusters; at minpts 2 the tail joins.
-        let mut pts: Vec<Point2> = (0..20)
-            .map(|i| Point2::new(i as f64 * 0.2, 0.0))
-            .collect();
+        let mut pts: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 0.2, 0.0)).collect();
         pts.extend((0..5).map(|i| Point2::new(4.0 + 0.9 * (i + 1) as f64, 0.0)));
         let (t_low, t_high) = trees(&pts, 4);
 
         let strict = Variant::new(0.95, 4);
         let loose = Variant::new(0.95, 2);
         let base = dbscan(&t_low, strict.params());
-        let (reused, stats) =
-            cluster_with_reuse(&t_low, &t_high, loose, &base, strict, ReuseScheme::ClusDensity);
+        let (reused, stats) = cluster_with_reuse(
+            &t_low,
+            &t_high,
+            loose,
+            &base,
+            strict,
+            ReuseScheme::ClusDensity,
+        );
         let direct = dbscan(&t_low, loose.params());
         assert_eq!(reused.num_clusters(), direct.num_clusters());
         assert_eq!(reused.noise_count(), direct.noise_count());
@@ -461,8 +473,14 @@ mod tests {
         assert_eq!(base.num_clusters(), 0);
         // Target clusters normally; nothing to reuse but must be correct.
         let target = Variant::new(0.5, 4);
-        let (result, stats) =
-            cluster_with_reuse(&t_low, &t_high, target, &base, strict, ReuseScheme::ClusDensity);
+        let (result, stats) = cluster_with_reuse(
+            &t_low,
+            &t_high,
+            target,
+            &base,
+            strict,
+            ReuseScheme::ClusDensity,
+        );
         let direct = dbscan(&t_low, target.params());
         assert_eq!(result.num_clusters(), direct.num_clusters());
         assert_eq!(stats.points_reused, 0);
@@ -491,8 +509,7 @@ mod tests {
         let base = dbscan(&t_low, v.params());
         let (_, with_reuse) =
             cluster_with_reuse(&t_low, &t_high, v, &base, v, ReuseScheme::ClusDensity);
-        let (_, without) =
-            cluster_with_reuse(&t_low, &t_high, v, &base, v, ReuseScheme::Disabled);
+        let (_, without) = cluster_with_reuse(&t_low, &t_high, v, &base, v, ReuseScheme::Disabled);
         assert!(
             with_reuse.total_searches() < without.total_searches(),
             "reuse {} vs scratch {}",

@@ -54,11 +54,11 @@ pub mod sim;
 pub mod variant;
 
 pub use deptree::DependencyTree;
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineError};
 pub use expand::{cluster_with_reuse, ReuseStats};
-pub use metrics::{ExecutionPath, RunReport, VariantOutcome};
+pub use metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
 pub use progress::ProgressEvent;
-pub use scheduler::{Assignment, ScheduleState, Scheduler};
+pub use scheduler::{Assignment, ReferenceScheduleState, ScheduleSource, ScheduleState, Scheduler};
 pub use seeds::{seed_list, ReuseScheme};
-pub use sim::{simulate, SimCostModel, SimOutcome, SimReport};
+pub use sim::{simulate, simulate_with, SimCostModel, SimOutcome, SimReport};
 pub use variant::{Variant, VariantSet};

@@ -80,6 +80,47 @@ impl VariantOutcome {
     }
 }
 
+/// Per-worker contention and utilization accounting.
+///
+/// Sampled by each worker thread around its two schedule-mutex critical
+/// sections (pull and complete) and its clustering work; everything that
+/// is neither is attributed to `idle`. These are the observability hooks
+/// behind the `engine_contention` bench: with the monolithic
+/// `Mutex<Shared>` split into a small scheduler mutex plus lock-free
+/// result slots, the lock-wait share should stay small even at high `T`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker thread id (0-based).
+    pub thread: usize,
+    /// Assignments this worker executed.
+    pub assignments: usize,
+    /// Time spent blocked acquiring the schedule mutex.
+    pub lock_wait: Duration,
+    /// Time spent inside the schedule mutex making decisions
+    /// (`next_assignment` + `complete`).
+    pub sched_time: Duration,
+    /// Time spent clustering variants.
+    pub busy: Duration,
+    /// Residual wall time: waiting for work that never came, thread
+    /// startup/teardown, channel sends.
+    pub idle: Duration,
+}
+
+impl WorkerStats {
+    /// Fresh zeroed stats for one worker.
+    pub fn new(thread: usize) -> Self {
+        Self {
+            thread,
+            ..Self::default()
+        }
+    }
+
+    /// The worker's accounted wall time.
+    pub fn total(&self) -> Duration {
+        self.busy + self.lock_wait + self.sched_time + self.idle
+    }
+}
+
 /// The complete record of an engine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -98,13 +139,19 @@ pub struct RunReport {
     pub results: Vec<Arc<ClusterResult>>,
     /// Permutation mapping tree order → caller point order.
     pub permutation: Vec<PointId>,
+    /// Per-worker contention/utilization accounting, one entry per
+    /// thread (unordered; see [`WorkerStats::thread`]).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl RunReport {
     /// Sum of per-variant response times — what a single thread would
     /// spend executing this exact work distribution back to back.
     pub fn total_busy(&self) -> Duration {
-        self.outcomes.iter().map(VariantOutcome::response_time).sum()
+        self.outcomes
+            .iter()
+            .map(VariantOutcome::response_time)
+            .sum()
     }
 
     /// Busy time per thread (Figure 9's bar heights).
@@ -181,6 +228,33 @@ impl RunReport {
         reference.as_secs_f64() / own
     }
 
+    /// Total time all workers spent blocked on the schedule mutex.
+    pub fn total_lock_wait(&self) -> Duration {
+        self.worker_stats.iter().map(|w| w.lock_wait).sum()
+    }
+
+    /// Total time all workers spent inside schedule decisions.
+    pub fn total_sched_time(&self) -> Duration {
+        self.worker_stats.iter().map(|w| w.sched_time).sum()
+    }
+
+    /// Total residual idle time across workers.
+    pub fn total_idle(&self) -> Duration {
+        self.worker_stats.iter().map(|w| w.idle).sum()
+    }
+
+    /// Fraction of total accounted worker time spent blocked on the
+    /// schedule mutex — the headline contention number of the
+    /// `engine_contention` bench. 0.0 when no stats were recorded.
+    pub fn lock_wait_share(&self) -> f64 {
+        let accounted: Duration = self.worker_stats.iter().map(WorkerStats::total).sum();
+        let accounted = accounted.as_secs_f64();
+        if accounted <= 0.0 {
+            return 0.0;
+        }
+        self.total_lock_wait().as_secs_f64() / accounted
+    }
+
     /// Maps one variant's clustering result back to the caller's original
     /// point order.
     pub fn result_in_caller_order(&self, variant_index: usize) -> Vec<u32> {
@@ -218,6 +292,7 @@ mod tests {
             threads,
             results: Vec::new(),
             permutation: Vec::new(),
+            worker_stats: Vec::new(),
         }
     }
 
@@ -233,10 +308,10 @@ mod tests {
             300,
         );
         assert_eq!(r.total_busy(), Duration::from_millis(500));
-        assert_eq!(r.per_thread_busy(), vec![
-            Duration::from_millis(200),
-            Duration::from_millis(300)
-        ]);
+        assert_eq!(
+            r.per_thread_busy(),
+            vec![Duration::from_millis(200), Duration::from_millis(300)]
+        );
         assert_eq!(r.lower_bound(), Duration::from_millis(250));
         // Makespan 300 vs lower bound 250 ⇒ 20% slowdown.
         assert!((r.slowdown_vs_lower_bound() - 0.2).abs() < 1e-9);
@@ -264,6 +339,42 @@ mod tests {
         assert!((r.mean_fraction_reused() - 0.375).abs() < 1e-12);
         assert_eq!(r.outcomes[1].reused_from(), Some(Variant::new(0.4, 8)));
         assert_eq!(r.outcomes[1].fraction_reused(), 0.75);
+    }
+
+    #[test]
+    fn contention_aggregates() {
+        let mut r = report(vec![], 2, 100);
+        r.worker_stats = vec![
+            WorkerStats {
+                thread: 0,
+                assignments: 3,
+                lock_wait: Duration::from_millis(10),
+                sched_time: Duration::from_millis(5),
+                busy: Duration::from_millis(70),
+                idle: Duration::from_millis(15),
+            },
+            WorkerStats {
+                thread: 1,
+                assignments: 2,
+                lock_wait: Duration::from_millis(30),
+                sched_time: Duration::from_millis(5),
+                busy: Duration::from_millis(50),
+                idle: Duration::from_millis(15),
+            },
+        ];
+        assert_eq!(r.total_lock_wait(), Duration::from_millis(40));
+        assert_eq!(r.total_sched_time(), Duration::from_millis(10));
+        assert_eq!(r.total_idle(), Duration::from_millis(30));
+        // 40 ms of 200 ms accounted ⇒ 20% lock-wait share.
+        assert!((r.lock_wait_share() - 0.2).abs() < 1e-9);
+        assert_eq!(r.worker_stats[0].total(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_contention_is_zero() {
+        let r = report(vec![], 2, 100);
+        assert_eq!(r.total_lock_wait(), Duration::ZERO);
+        assert_eq!(r.lock_wait_share(), 0.0);
     }
 
     #[test]

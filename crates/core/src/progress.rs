@@ -3,11 +3,11 @@
 //! A full-scale S3 run (|V| = 57 over five million points) takes minutes;
 //! the CLI and long-running examples want per-variant completion events
 //! as they happen rather than a report at the end. Workers publish
-//! completions into a `crossbeam` channel; the caller consumes them from
-//! its own thread (or after the run — the channel is unbounded and the
-//! events are small).
+//! completions into an unbounded `std::sync::mpsc` channel; the caller
+//! consumes them from its own thread (or after the run — the events are
+//! small).
 
-use crossbeam::channel::{unbounded, Receiver};
+use std::sync::mpsc::{channel, Receiver};
 
 use vbp_geom::Point2;
 
@@ -58,8 +58,11 @@ impl Engine {
         points: &[Point2],
         variants: &VariantSet,
     ) -> (RunReport, Receiver<ProgressEvent>) {
-        let (tx, rx) = unbounded();
-        let report = self.run_internal(points, variants, Some(tx));
+        let (tx, rx) = channel();
+        let report = match self.run_internal(points, variants, Some(tx)) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        };
         (report, rx)
     }
 }

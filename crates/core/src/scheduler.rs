@@ -13,6 +13,24 @@
 //! - **SchedMinpts** — first cluster, from scratch, the max-minpts variant
 //!   of every distinct ε (the "priority list"), maximizing the diversity
 //!   of future reuse sources; afterwards behave exactly like SchedGreedy.
+//!
+//! # Incremental best-pair selection
+//!
+//! The original implementation rescanned every (pending, completed) pair
+//! on *each* pull — O(|pending| · |completed|) inside the engine's shared
+//! lock, which serializes workers on Table IV-scale grids. This module now
+//! pays an amortized cost per **completion** instead: `complete(u)` pushes
+//! the eligible (pending, u) pairs into a min-heap keyed by
+//! (`param_distance`, variant, source) — the same deterministic tie-break
+//! as the scan — and `next_assignment` pops the heap top in O(log n),
+//! lazily discarding entries whose pending variant was already taken.
+//! Pending variants only ever leave the pending set, so a heap entry is
+//! stale iff its variant is no longer pending; sources are never
+//! invalidated because completed variants stay completed. The emitted
+//! assignment sequence is therefore *identical* to the exhaustive scan's
+//! (see [`ReferenceScheduleState`] and the property tests).
+
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::variant::VariantSet;
 
@@ -55,20 +73,74 @@ pub struct Assignment {
     pub reuse_from: Option<usize>,
 }
 
-/// Shared scheduling state. The engine wraps this in a mutex; all methods
-/// are cheap relative to a clustering run.
+/// The common schedule interface, implemented by both the production
+/// [`ScheduleState`] and the executable specification
+/// [`ReferenceScheduleState`]. The simulator and the equivalence tests are
+/// generic over it.
+pub trait ScheduleSource {
+    /// Pulls the next assignment, or `None` when no variants are pending.
+    fn next_assignment(&mut self) -> Option<Assignment>;
+    /// Records that `variant` finished, making it available as a reuse
+    /// source for future assignments.
+    fn complete(&mut self, variant: usize);
+    /// Returns `true` once every variant has been assigned and completed.
+    fn is_finished(&self) -> bool;
+}
+
+/// A candidate (pending, completed) reuse pair, ordered exactly like the
+/// reference scan's `(distance, variant, source)` tuples: ascending
+/// distance, ties toward earlier canonical positions.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    dist: f64,
+    variant: usize,
+    source: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Distances are sums of absolute values, so never NaN and never
+        // -0.0; total_cmp matches the reference scan's partial_cmp.
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.variant.cmp(&other.variant))
+            .then(self.source.cmp(&other.source))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shared scheduling state. The engine wraps this in a small mutex; every
+/// method is O(log n) amortized, so the critical section stays tiny even
+/// on large variant grids.
 #[derive(Clone, Debug)]
 pub struct ScheduleState {
     scheduler: Scheduler,
     reuse_enabled: bool,
     eps_range: f64,
     minpts_range: f64,
-    /// Pending variant indices, ascending canonical order.
-    pending: Vec<usize>,
+    /// Pending variant indices; a BTreeSet so membership tests, removal,
+    /// and "first pending in canonical order" are all logarithmic.
+    pending: BTreeSet<usize>,
     /// SchedMinpts scratch-first queue (ascending ε), subset of pending.
-    priority: Vec<usize>,
-    /// Completed variant indices in completion order.
-    completed: Vec<usize>,
+    priority: VecDeque<usize>,
+    /// Completed count (sources live forever; no list needed).
+    completed: usize,
+    /// Min-heap of candidate reuse pairs; entries whose variant has been
+    /// taken are discarded lazily on pop.
+    candidates: BinaryHeap<std::cmp::Reverse<Candidate>>,
     /// In-flight count, to distinguish "done" from "temporarily empty".
     in_flight: usize,
     variants: VariantSet,
@@ -79,6 +151,180 @@ impl ScheduleState {
     ///
     /// `reuse_enabled = false` forces every assignment to be from scratch
     /// (the reference-implementation configuration).
+    pub fn new(variants: VariantSet, scheduler: Scheduler, reuse_enabled: bool) -> Self {
+        let pending: BTreeSet<usize> = (0..variants.len()).collect();
+        let priority: VecDeque<usize> = match scheduler {
+            Scheduler::SchedMinpts => variants.minpts_priority_indices().into(),
+            Scheduler::SchedGreedy => VecDeque::new(),
+        };
+        Self {
+            scheduler,
+            reuse_enabled,
+            eps_range: variants.eps_range(),
+            minpts_range: variants.minpts_range(),
+            pending,
+            priority,
+            completed: 0,
+            candidates: BinaryHeap::new(),
+            in_flight: 0,
+            variants,
+        }
+    }
+
+    /// The scheduling heuristic in use.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Variants not yet assigned.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Variants completed so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// Entries currently in the SchedMinpts scratch-first queue.
+    pub fn priority_len(&self) -> usize {
+        self.priority.len()
+    }
+
+    fn take_pending(&mut self, v: usize) {
+        let was_pending = self.pending.remove(&v);
+        debug_assert!(was_pending, "assigned variant must be pending");
+        self.in_flight += 1;
+    }
+
+    fn pull_impl(&mut self) -> Option<Assignment> {
+        if self.pending.is_empty() {
+            return None;
+        }
+
+        // SchedMinpts: drain the scratch-first priority queue.
+        if let Some(head) = self.priority.pop_front() {
+            self.take_pending(head);
+            return Some(Assignment {
+                variant: head,
+                reuse_from: None,
+            });
+        }
+
+        if self.reuse_enabled {
+            // Greedy rule: pop the globally best (pending, completed) pair
+            // by parameter distance; stale entries (variant already taken)
+            // are discarded lazily. Ordering — (distance, variant, source)
+            // ascending — reproduces the reference scan's tie-break.
+            while let Some(&std::cmp::Reverse(cand)) = self.candidates.peek() {
+                if !self.pending.contains(&cand.variant) {
+                    self.candidates.pop();
+                    continue;
+                }
+                self.candidates.pop();
+                self.take_pending(cand.variant);
+                // SchedMinpts keeps its priority list consistent if the
+                // greedy rule happens to grab one of its entries.
+                self.priority.retain(|&p| p != cand.variant);
+                return Some(Assignment {
+                    variant: cand.variant,
+                    reuse_from: Some(cand.source),
+                });
+            }
+        }
+
+        // Nothing reusable (or reuse disabled): cluster from scratch the
+        // pending variant with the smallest ε and largest minpts — the
+        // first pending index in canonical order.
+        let v = *self.pending.first().expect("pending is non-empty");
+        self.take_pending(v);
+        self.priority.retain(|&p| p != v);
+        Some(Assignment {
+            variant: v,
+            reuse_from: None,
+        })
+    }
+
+    fn complete_impl(&mut self, variant: usize) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        self.completed += 1;
+        if !self.reuse_enabled {
+            return;
+        }
+        // Amortized insertion: every pending variant that can reuse the
+        // newly completed one becomes a candidate pair. Pending variants
+        // only ever leave the set, so no future pair is missed.
+        let u = self.variants[variant];
+        for &v in &self.pending {
+            let vv = self.variants[v];
+            if !vv.can_reuse(&u) {
+                continue;
+            }
+            let dist = vv.param_distance(&u, self.eps_range, self.minpts_range);
+            self.candidates.push(std::cmp::Reverse(Candidate {
+                dist,
+                variant: v,
+                source: variant,
+            }));
+        }
+    }
+}
+
+impl ScheduleSource for ScheduleState {
+    fn next_assignment(&mut self) -> Option<Assignment> {
+        self.pull_impl()
+    }
+
+    fn complete(&mut self, variant: usize) {
+        self.complete_impl(variant)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+}
+
+// Inherent forwarding so callers don't need the trait in scope.
+impl ScheduleState {
+    /// Pulls the next assignment, or `None` when no variants are pending.
+    pub fn next_assignment(&mut self) -> Option<Assignment> {
+        self.pull_impl()
+    }
+
+    /// Records that `variant` finished, making it available as a reuse
+    /// source for future assignments.
+    pub fn complete(&mut self, variant: usize) {
+        self.complete_impl(variant)
+    }
+
+    /// Returns `true` once every variant has been assigned and completed.
+    pub fn is_finished(&self) -> bool {
+        ScheduleSource::is_finished(self)
+    }
+}
+
+/// The original exhaustive-scan scheduler, kept verbatim as the executable
+/// specification of §IV-D: `next_assignment` rescans every
+/// (pending, completed) pair. O(|pending| · |completed|) per pull — do not
+/// use in the engine; it exists so tests and benches can prove the
+/// incremental [`ScheduleState`] emits an *identical* assignment sequence.
+#[derive(Clone, Debug)]
+pub struct ReferenceScheduleState {
+    scheduler: Scheduler,
+    reuse_enabled: bool,
+    eps_range: f64,
+    minpts_range: f64,
+    pending: Vec<usize>,
+    priority: Vec<usize>,
+    completed: Vec<usize>,
+    in_flight: usize,
+    variants: VariantSet,
+}
+
+impl ReferenceScheduleState {
+    /// Creates the reference schedule (same semantics as
+    /// [`ScheduleState::new`]).
     pub fn new(variants: VariantSet, scheduler: Scheduler, reuse_enabled: bool) -> Self {
         let pending: Vec<usize> = (0..variants.len()).collect();
         let priority = match scheduler {
@@ -98,91 +344,9 @@ impl ScheduleState {
         }
     }
 
-    /// The scheduling heuristic in use.
+    /// The heuristic this schedule was built with.
     pub fn scheduler(&self) -> Scheduler {
         self.scheduler
-    }
-
-    /// Variants not yet assigned.
-    pub fn pending_count(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Variants completed so far.
-    pub fn completed_count(&self) -> usize {
-        self.completed.len()
-    }
-
-    /// Returns `true` once every variant has been assigned and completed.
-    pub fn is_finished(&self) -> bool {
-        self.pending.is_empty() && self.in_flight == 0
-    }
-
-    /// Pulls the next assignment, or `None` when no variants are pending.
-    pub fn next_assignment(&mut self) -> Option<Assignment> {
-        if self.pending.is_empty() {
-            return None;
-        }
-
-        // SchedMinpts: drain the scratch-first priority queue.
-        if let Some(&head) = self.priority.first() {
-            self.priority.remove(0);
-            self.take_pending(head);
-            return Some(Assignment {
-                variant: head,
-                reuse_from: None,
-            });
-        }
-
-        if self.reuse_enabled {
-            // Greedy rule: best (pending, completed) pair by parameter
-            // distance; ties resolved toward earlier canonical positions
-            // for determinism.
-            let mut best: Option<(f64, usize, usize)> = None;
-            for &v in &self.pending {
-                let vv = self.variants[v];
-                for &u in &self.completed {
-                    if !vv.can_reuse(&self.variants[u]) {
-                        continue;
-                    }
-                    let d =
-                        vv.param_distance(&self.variants[u], self.eps_range, self.minpts_range);
-                    let cand = (d, v, u);
-                    if best.is_none_or(|b| cand < b) {
-                        best = Some(cand);
-                    }
-                }
-            }
-            if let Some((_, v, u)) = best {
-                self.take_pending(v);
-                // SchedMinpts keeps its priority list consistent if the
-                // greedy rule happens to grab one of its entries.
-                self.priority.retain(|&p| p != v);
-                return Some(Assignment {
-                    variant: v,
-                    reuse_from: Some(u),
-                });
-            }
-        }
-
-        // Nothing reusable (or reuse disabled): cluster from scratch the
-        // pending variant with the smallest ε and largest minpts — the
-        // first pending index in canonical order.
-        let v = self.pending[0];
-        self.take_pending(v);
-        self.priority.retain(|&p| p != v);
-        Some(Assignment {
-            variant: v,
-            reuse_from: None,
-        })
-    }
-
-    /// Records that `variant` finished, making it available as a reuse
-    /// source for future assignments.
-    pub fn complete(&mut self, variant: usize) {
-        debug_assert!(self.in_flight > 0);
-        self.in_flight -= 1;
-        self.completed.push(variant);
     }
 
     fn take_pending(&mut self, v: usize) {
@@ -196,6 +360,66 @@ impl ScheduleState {
     }
 }
 
+impl ScheduleSource for ReferenceScheduleState {
+    fn next_assignment(&mut self) -> Option<Assignment> {
+        if self.pending.is_empty() {
+            return None;
+        }
+
+        if let Some(&head) = self.priority.first() {
+            self.priority.remove(0);
+            self.take_pending(head);
+            return Some(Assignment {
+                variant: head,
+                reuse_from: None,
+            });
+        }
+
+        if self.reuse_enabled {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for &v in &self.pending {
+                let vv = self.variants[v];
+                for &u in &self.completed {
+                    if !vv.can_reuse(&self.variants[u]) {
+                        continue;
+                    }
+                    let d = vv.param_distance(&self.variants[u], self.eps_range, self.minpts_range);
+                    let cand = (d, v, u);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, v, u)) = best {
+                self.take_pending(v);
+                self.priority.retain(|&p| p != v);
+                return Some(Assignment {
+                    variant: v,
+                    reuse_from: Some(u),
+                });
+            }
+        }
+
+        let v = self.pending[0];
+        self.take_pending(v);
+        self.priority.retain(|&p| p != v);
+        Some(Assignment {
+            variant: v,
+            reuse_from: None,
+        })
+    }
+
+    fn complete(&mut self, variant: usize) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        self.completed.push(variant);
+    }
+
+    fn is_finished(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +430,7 @@ mod tests {
     }
 
     /// Simulates a single-threaded run: pull, execute instantly, complete.
-    fn simulate_serial(mut state: ScheduleState) -> Vec<Assignment> {
+    fn simulate_serial(mut state: impl ScheduleSource) -> Vec<Assignment> {
         let mut order = Vec::new();
         while let Some(a) = state.next_assignment() {
             state.complete(a.variant);
@@ -282,6 +506,30 @@ mod tests {
     }
 
     #[test]
+    fn minpts_priority_queue_drains_before_any_reuse() {
+        // §IV-D: SchedMinpts must exhaust its scratch-first queue before
+        // the greedy reuse rule may hand out a single reuse assignment —
+        // even when completed variants are already available as sources.
+        let set = figure3_set(); // 3 distinct ε ⇒ priority length 3
+        let mut state = ScheduleState::new(set, Scheduler::SchedMinpts, true);
+        assert_eq!(state.priority_len(), 3);
+        for pull in 0..3 {
+            let a = state.next_assignment().unwrap();
+            assert_eq!(
+                a.reuse_from, None,
+                "priority pull {pull} must be from scratch"
+            );
+            // Complete immediately: reuse sources now exist, yet the
+            // remaining priority entries must still run from scratch.
+            state.complete(a.variant);
+        }
+        assert_eq!(state.priority_len(), 0);
+        // Queue drained: the very next pull reuses.
+        let next = state.next_assignment().unwrap();
+        assert!(next.reuse_from.is_some());
+    }
+
+    #[test]
     fn every_variant_assigned_exactly_once() {
         for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
             let set = figure3_set();
@@ -350,9 +598,7 @@ mod tests {
         // Its source must be strictly closer (normalized) than (0.2, 32).
         let (er, mr) = (set.eps_range(), set.minpts_range());
         let v = Variant::new(0.6, 20);
-        assert!(
-            v.param_distance(&src, er, mr) <= v.param_distance(&Variant::new(0.2, 32), er, mr)
-        );
+        assert!(v.param_distance(&src, er, mr) <= v.param_distance(&Variant::new(0.2, 32), er, mr));
     }
 
     #[test]
@@ -360,5 +606,55 @@ mod tests {
         let mut state = ScheduleState::new(VariantSet::new(vec![]), Scheduler::SchedGreedy, true);
         assert!(state.next_assignment().is_none());
         assert!(state.is_finished());
+    }
+
+    /// Drives incremental and reference schedules through the same
+    /// interleaving (a `workers`-slot FIFO pipeline) and asserts the
+    /// assignment sequences match element for element.
+    fn assert_sequences_identical(set: &VariantSet, sched: Scheduler, workers: usize) {
+        let mut inc = ScheduleState::new(set.clone(), sched, true);
+        let mut reference = ReferenceScheduleState::new(set.clone(), sched, true);
+        let mut in_flight: std::collections::VecDeque<usize> = Default::default();
+        let mut step = 0usize;
+        loop {
+            while in_flight.len() < workers {
+                let a = inc.next_assignment();
+                let b = reference.next_assignment();
+                assert_eq!(a, b, "divergence at step {step} (T = {workers})");
+                step += 1;
+                match a {
+                    Some(a) => in_flight.push_back(a.variant),
+                    None => break,
+                }
+            }
+            match in_flight.pop_front() {
+                Some(v) => {
+                    inc.complete(v);
+                    reference.complete(v);
+                }
+                None => break,
+            }
+        }
+        assert!(inc.is_finished());
+        assert!(reference.is_finished());
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_paper_grids() {
+        let v3_eps: Vec<f64> = (2..=20).map(|i| i as f64 * 0.02).collect();
+        let v1_minpts: Vec<usize> = (10..=100).step_by(5).collect();
+        let grids = [
+            figure3_set(),
+            VariantSet::cartesian(&v3_eps, &[4, 8, 16]), // V3, |V|=57
+            VariantSet::cartesian(&[0.2, 0.3, 0.4], &v1_minpts), // V1, |V|=57
+            VariantSet::replicated(Variant::new(0.5, 4), 16),
+        ];
+        for set in &grids {
+            for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+                for workers in [1usize, 2, 7, 16, 64] {
+                    assert_sequences_identical(set, sched, workers);
+                }
+            }
+        }
     }
 }

@@ -76,9 +76,7 @@ pub fn seed_list(
     match scheme {
         ReuseScheme::Disabled => Vec::new(),
         ReuseScheme::ClusDefault => (0..k).collect(),
-        ReuseScheme::ClusDensity => {
-            sorted_by_score(k, |c| previous.cluster_density(c, points))
-        }
+        ReuseScheme::ClusDensity => sorted_by_score(k, |c| previous.cluster_density(c, points)),
         ReuseScheme::ClusPtsSquared => {
             sorted_by_score(k, |c| previous.cluster_pts_squared(c, points))
         }
@@ -114,7 +112,10 @@ mod tests {
             raw.push(0);
         }
         for i in 0..9 {
-            points.push(Point2::new(10.0 + i as f64 * 9.0 / 8.0, 10.0 + (i % 2) as f64));
+            points.push(Point2::new(
+                10.0 + i as f64 * 9.0 / 8.0,
+                10.0 + (i % 2) as f64,
+            ));
             raw.push(1);
         }
         points.push(Point2::new(50.0, 50.0));
@@ -129,7 +130,10 @@ mod tests {
     #[test]
     fn default_scheme_is_generation_order() {
         let (res, pts) = fixture();
-        assert_eq!(seed_list(ReuseScheme::ClusDefault, &res, &pts), vec![0, 1, 2]);
+        assert_eq!(
+            seed_list(ReuseScheme::ClusDefault, &res, &pts),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -159,7 +163,10 @@ mod tests {
         let mut raw = Vec::new();
         // Cluster 0: 100 points over a 10×10 box (density 1, |C|²/a 100).
         for i in 0..100 {
-            points.push(Point2::new((i % 10) as f64 * 10.0 / 9.0, (i / 10) as f64 * 10.0 / 9.0));
+            points.push(Point2::new(
+                (i % 10) as f64 * 10.0 / 9.0,
+                (i / 10) as f64 * 10.0 / 9.0,
+            ));
             raw.push(0);
         }
         // Cluster 1: 3 points in a 0.5×0.5 box (density 12, |C|²/a 36).

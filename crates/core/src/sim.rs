@@ -13,7 +13,7 @@
 //! distance (a stand-in for "fraction of points that must be recomputed"),
 //! floored at a fixed fraction for the irreducible frontier work.
 
-use crate::scheduler::{ScheduleState, Scheduler};
+use crate::scheduler::{ScheduleSource, ScheduleState, Scheduler};
 use crate::variant::{Variant, VariantSet};
 
 /// Analytic per-variant cost model.
@@ -107,7 +107,10 @@ impl SimReport {
 
     /// Variants executed from scratch.
     pub fn from_scratch_count(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.reused_from.is_none()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.reused_from.is_none())
+            .count()
     }
 }
 
@@ -121,10 +124,22 @@ pub fn simulate(
     threads: usize,
     model: &SimCostModel,
 ) -> SimReport {
+    let state = ScheduleState::new(variants.clone(), scheduler, true);
+    simulate_with(variants, state, threads, model)
+}
+
+/// [`simulate`] generalized over the schedule source, so alternative
+/// implementations (e.g. the reference exhaustive-scan scheduler used by
+/// the equivalence tests) can drive the identical event loop.
+pub fn simulate_with<S: ScheduleSource>(
+    variants: &VariantSet,
+    mut state: S,
+    threads: usize,
+    model: &SimCostModel,
+) -> SimReport {
     assert!(threads >= 1, "need at least one simulated thread");
     let eps_range = variants.eps_range();
     let minpts_range = variants.minpts_range();
-    let mut state = ScheduleState::new(variants.clone(), scheduler, true);
 
     // Event-driven: a min-heap of (free_time, thread). In-flight variants
     // complete when their thread frees; completion order feeds the online
@@ -234,8 +249,18 @@ mod tests {
         // V3 has 19 distinct ε ⇒ SchedMinpts seeds 19 scratch runs;
         // SchedGreedy at T = 16 seeds at most 16.
         let t = 16;
-        let greedy = simulate(&v3_like(), Scheduler::SchedGreedy, t, &SimCostModel::default());
-        let minpts = simulate(&v3_like(), Scheduler::SchedMinpts, t, &SimCostModel::default());
+        let greedy = simulate(
+            &v3_like(),
+            Scheduler::SchedGreedy,
+            t,
+            &SimCostModel::default(),
+        );
+        let minpts = simulate(
+            &v3_like(),
+            Scheduler::SchedMinpts,
+            t,
+            &SimCostModel::default(),
+        );
         assert_eq!(minpts.from_scratch_count(), 19);
         assert!(greedy.from_scratch_count() <= t);
         // The Figure 9 claim: the extra scratch work costs makespan.
@@ -261,7 +286,12 @@ mod tests {
 
     #[test]
     fn single_thread_serializes() {
-        let r = simulate(&v1_like(), Scheduler::SchedGreedy, 1, &SimCostModel::default());
+        let r = simulate(
+            &v1_like(),
+            Scheduler::SchedGreedy,
+            1,
+            &SimCostModel::default(),
+        );
         assert!((r.makespan - r.total_busy()).abs() < 1e-9);
         assert_eq!(r.slowdown_vs_lower_bound(), 0.0);
         // Sequential execution: outcomes must not overlap in time.
@@ -297,6 +327,29 @@ mod tests {
         let a = simulate(&v3_like(), Scheduler::SchedMinpts, 7, &model);
         let b = simulate(&v3_like(), Scheduler::SchedMinpts, 7, &model);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_scheduler_simulates_identically() {
+        // The incremental ScheduleState and the exhaustive-scan reference
+        // must produce byte-identical simulated schedules — same variant →
+        // thread placement, same reuse sources, same timings.
+        use crate::scheduler::ReferenceScheduleState;
+        let model = SimCostModel::default();
+        for set in [v3_like(), v1_like()] {
+            for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+                for t in [1usize, 4, 16] {
+                    let fast = simulate(&set, sched, t, &model);
+                    let reference = simulate_with(
+                        &set,
+                        ReferenceScheduleState::new(set.clone(), sched, true),
+                        t,
+                        &model,
+                    );
+                    assert_eq!(fast, reference, "{sched:?} T={t}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl Variant {
     /// and minpts (often ≫ 1) weigh equally.
     pub fn param_distance(&self, other: &Variant, eps_range: f64, minpts_range: f64) -> f64 {
         let de = (self.eps - other.eps).abs() / eps_range.max(f64::MIN_POSITIVE);
-        let dm = (self.minpts as f64 - other.minpts as f64).abs()
-            / minpts_range.max(f64::MIN_POSITIVE);
+        let dm =
+            (self.minpts as f64 - other.minpts as f64).abs() / minpts_range.max(f64::MIN_POSITIVE);
         de + dm
     }
 }
@@ -256,10 +256,7 @@ mod tests {
     fn minpts_priority_list() {
         let set = VariantSet::cartesian(&[0.2, 0.4, 0.6], &[20, 24, 28, 32]);
         let prio = set.minpts_priority_indices();
-        let picks: Vec<(f64, usize)> = prio
-            .iter()
-            .map(|&i| (set[i].eps, set[i].minpts))
-            .collect();
+        let picks: Vec<(f64, usize)> = prio.iter().map(|&i| (set[i].eps, set[i].minpts)).collect();
         assert_eq!(picks, vec![(0.2, 32), (0.4, 32), (0.6, 32)]);
     }
 
@@ -274,10 +271,8 @@ mod tests {
     #[test]
     fn max_reuse_fraction_matches_paper_s3() {
         // |V| = 57, T = 16 ⇒ f = 41/57 ≈ 0.719.
-        let set = VariantSet::cartesian(
-            &[0.2, 0.3, 0.4],
-            &(10..=100).step_by(5).collect::<Vec<_>>(),
-        );
+        let set =
+            VariantSet::cartesian(&[0.2, 0.3, 0.4], &(10..=100).step_by(5).collect::<Vec<_>>());
         assert_eq!(set.len(), 57);
         assert!((set.max_reuse_fraction(16) - 41.0 / 57.0).abs() < 1e-12);
     }

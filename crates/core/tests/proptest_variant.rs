@@ -11,8 +11,8 @@
 
 use proptest::prelude::*;
 use variantdbscan::{
-    cluster_with_reuse, Engine, EngineConfig, ReuseScheme, ScheduleState, Scheduler, Variant,
-    VariantSet,
+    cluster_with_reuse, Engine, EngineConfig, ReferenceScheduleState, ReuseScheme, ScheduleSource,
+    ScheduleState, Scheduler, Variant, VariantSet,
 };
 use vbp_dbscan::{dbscan, quality_score};
 use vbp_geom::{Point2, PointId};
@@ -187,6 +187,53 @@ proptest! {
         }
         prop_assert!(state.is_finished());
         prop_assert!(executed.iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn incremental_scheduler_matches_reference_on_random_grids(
+        eps in proptest::collection::vec(0.05f64..2.0, 1..8),
+        minpts in proptest::collection::vec(1usize..40, 1..8),
+        sched in prop_oneof![Just(Scheduler::SchedGreedy), Just(Scheduler::SchedMinpts)],
+        workers in 1usize..9,
+        reuse in any::<bool>(),
+    ) {
+        // The tentpole invariant: the incremental best-pair scheduler must
+        // emit the *exact* assignment sequence of the original exhaustive
+        // (pending × completed) rescan, for any grid, worker count,
+        // heuristic, and reuse setting, under identical completion
+        // interleavings.
+        let variants = VariantSet::cartesian(&eps, &minpts);
+        let mut fast = ScheduleState::new(variants.clone(), sched, reuse);
+        let mut reference = ReferenceScheduleState::new(variants.clone(), sched, reuse);
+
+        // Drive both through the same FIFO interleaving: fill `workers`
+        // slots, complete the oldest, refill, until drained.
+        let mut in_flight: std::collections::VecDeque<usize> = Default::default();
+        let mut assigned = 0usize;
+        loop {
+            while in_flight.len() < workers {
+                let a = fast.next_assignment();
+                let b = reference.next_assignment();
+                prop_assert_eq!(&a, &b, "divergence after {} assignments", assigned);
+                match a {
+                    Some(a) => {
+                        assigned += 1;
+                        in_flight.push_back(a.variant);
+                    }
+                    None => break,
+                }
+            }
+            match in_flight.pop_front() {
+                Some(v) => {
+                    fast.complete(v);
+                    ScheduleSource::complete(&mut reference, v);
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(assigned, variants.len());
+        prop_assert!(fast.is_finished());
+        prop_assert!(ScheduleSource::is_finished(&reference));
     }
 
     #[test]

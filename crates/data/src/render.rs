@@ -57,7 +57,9 @@ pub fn render_clusters(
                     // then lower cluster ids win for determinism.
                     let (&label, _) = counts
                         .iter()
-                        .max_by_key(|(&l, &c)| (c, if l == u32::MAX { 0 } else { 1 }, std::cmp::Reverse(l)))
+                        .max_by_key(|(&l, &c)| {
+                            (c, if l == u32::MAX { 0 } else { 1 }, std::cmp::Reverse(l))
+                        })
                         .unwrap();
                     if label == u32::MAX {
                         NOISE_GLYPH
@@ -118,7 +120,7 @@ mod tests {
     fn renders_two_clusters_and_noise() {
         let points = vec![
             Point2::new(0.0, 0.0),
-            Point2::new(0.5, 0.0), // cluster 0, bottom-left
+            Point2::new(0.5, 0.0),   // cluster 0, bottom-left
             Point2::new(10.0, 10.0), // cluster 1, top-right
             Point2::new(5.0, 5.0),   // noise, middle
         ];
@@ -139,7 +141,11 @@ mod tests {
 
     #[test]
     fn cluster_beats_noise_on_cell_ties() {
-        let points = vec![Point2::new(0.0, 0.0), Point2::new(0.0, 0.0), Point2::new(9.0, 9.0)];
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(9.0, 9.0),
+        ];
         let labels = vec![3, u32::MAX, 0];
         let rows = render_clusters(&points, &labels, 4, 4);
         let bottom_left = rows.last().unwrap().chars().next().unwrap();

@@ -242,8 +242,7 @@ fn field_value(
         let along = (x - wt.cx) * cos_t + (y - wt.cy) * sin_t;
         let across = -(x - wt.cx) * sin_t + (y - wt.cy) * cos_t;
         let envelope = (-across * across / (2.0 * wt.width * wt.width)).exp();
-        let carrier =
-            0.5 + 0.5 * (std::f64::consts::TAU * along / wt.wavelength + wt.phase).cos();
+        let carrier = 0.5 + 0.5 * (std::f64::consts::TAU * along / wt.wavelength + wt.phase).cos();
         f += wt.amplitude * envelope * carrier * carrier;
     }
     for b in blobs {

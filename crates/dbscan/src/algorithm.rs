@@ -118,7 +118,11 @@ pub fn dbscan_with_scratch<I: SpatialIndex + ?Sized>(
         visited[p as usize] = true;
 
         scratch.neighbors.clear();
-        index.epsilon_neighbors(index.points()[p as usize], params.eps, &mut scratch.neighbors);
+        index.epsilon_neighbors(
+            index.points()[p as usize],
+            params.eps,
+            &mut scratch.neighbors,
+        );
         stats.neighbor_searches += 1;
         stats.neighbors_found += scratch.neighbors.len();
 
@@ -137,13 +141,9 @@ pub fn dbscan_with_scratch<I: SpatialIndex + ?Sized>(
         labels.assign(p, c);
 
         scratch.seeds.clear();
-        scratch.seeds.extend(
-            scratch
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&q| q != p),
-        );
+        scratch
+            .seeds
+            .extend(scratch.neighbors.iter().copied().filter(|&q| q != p));
 
         while let Some(q) = scratch.seeds.pop() {
             // Assign q to the cluster if it has no cluster yet (it may be

@@ -30,13 +30,7 @@ use crate::unionfind::DisjointSets;
 /// Decides whether two point sets have a pair within ε (must-connect) or
 /// within ε(1+ρ) (may-connect), by box-pruned divide and conquer.
 /// Returns `true` iff the cells should be connected under the ρ-rule.
-fn approx_pair_within(
-    points: &[Point2],
-    a: &[PointId],
-    b: &[PointId],
-    eps: f64,
-    rho: f64,
-) -> bool {
+fn approx_pair_within(points: &[Point2], a: &[PointId], b: &[PointId], eps: f64, rho: f64) -> bool {
     let eps_sq = eps * eps;
     let relaxed = eps * (1.0 + rho);
     let relaxed_sq = relaxed * relaxed;
@@ -383,7 +377,11 @@ mod tests {
         let exact = grid_dbscan(&points, params);
         assert_eq!(exact.num_clusters(), 2);
         let tight = approx_dbscan(&points, params, 0.01);
-        assert_eq!(tight.num_clusters(), 2, "gap 1.05ε > ε(1.01) must stay split");
+        assert_eq!(
+            tight.num_clusters(),
+            2,
+            "gap 1.05ε > ε(1.01) must stay split"
+        );
     }
 
     #[test]

@@ -229,12 +229,12 @@ mod tests {
             for (eps, minpts) in [(0.7, 4), (1.2, 6), (0.3, 2)] {
                 let params = DbscanParams::new(eps, minpts);
                 let from_grid = grid_dbscan(&points, params);
-                let reference = parallel_dbscan(
-                    &BruteForce::new(shared_points(points.clone())),
-                    params,
-                    1,
+                let reference =
+                    parallel_dbscan(&BruteForce::new(shared_points(points.clone())), params, 1);
+                assert_eq!(
+                    from_grid, reference,
+                    "seed {seed}, eps {eps}, minpts {minpts}"
                 );
-                assert_eq!(from_grid, reference, "seed {seed}, eps {eps}, minpts {minpts}");
             }
         }
     }
@@ -248,10 +248,7 @@ mod tests {
         assert_eq!(from_grid.num_clusters(), classic.num_clusters());
         assert_eq!(from_grid.noise_count(), classic.noise_count());
         for p in 0..points.len() as PointId {
-            assert_eq!(
-                from_grid.labels().is_noise(p),
-                classic.labels().is_noise(p)
-            );
+            assert_eq!(from_grid.labels().is_noise(p), classic.labels().is_noise(p));
         }
     }
 

@@ -127,15 +127,13 @@ impl IncrementalDbscan {
         // which *pre-existing* cores are adjacent so the merge count can
         // be computed exactly as (distinct components among them before
         // unions) − (after unions).
-        let is_newly_core =
-            |q: PointId| newly_core.binary_search(&q).is_ok();
+        let is_newly_core = |q: PointId| newly_core.binary_search(&q).is_ok();
         let mut adjacency: Vec<Vec<PointId>> = Vec::with_capacity(newly_core.len());
         let mut old_core_adjacent: Vec<PointId> = Vec::new();
         for &c in &newly_core {
             let mut list = Vec::new();
             let cp = self.tree.points()[c as usize];
-            self.tree
-                .epsilon_neighbors(cp, self.params.eps, &mut list);
+            self.tree.epsilon_neighbors(cp, self.params.eps, &mut list);
             for &q in &list {
                 if q != c && self.core[q as usize] && !is_newly_core(q) {
                     old_core_adjacent.push(q);
@@ -305,11 +303,7 @@ mod tests {
                 inc.insert(p);
             }
             let snapshot = inc.snapshot();
-            let batch = parallel_dbscan(
-                &BruteForce::new(shared_points(points.clone())),
-                params,
-                1,
-            );
+            let batch = parallel_dbscan(&BruteForce::new(shared_points(points.clone())), params, 1);
             assert_eq!(snapshot, batch, "seed {seed}");
         }
     }

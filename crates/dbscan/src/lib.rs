@@ -33,12 +33,12 @@ pub mod stdbscan;
 pub mod unionfind;
 
 pub use algorithm::{dbscan, dbscan_with_scratch, DbscanParams, DbscanScratch, DbscanStats};
-pub use kdist::{kdist_plot, suggest_eps, KneePoint};
-pub use labels::{ClusterId, Labels, MAX_CLUSTER_ID, NOISE, UNCLASSIFIED};
 pub use approx::approx_dbscan;
 pub use external::{adjusted_rand_index, normalized_mutual_information};
 pub use gridbscan::grid_dbscan;
 pub use incremental::{IncrementalDbscan, InsertOutcome};
+pub use kdist::{kdist_plot, suggest_eps, KneePoint};
+pub use labels::{ClusterId, Labels, MAX_CLUSTER_ID, NOISE, UNCLASSIFIED};
 pub use optics::{Optics, OpticsParams, ReachabilityPoint};
 pub use parallel::parallel_dbscan;
 pub use quality::{quality_score, QualityReport};

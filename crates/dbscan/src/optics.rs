@@ -333,9 +333,7 @@ mod tests {
         let from_optics = o.extract_dbscan(eps);
         let direct = dbscan(&idx, DbscanParams::new(eps, 4));
         assert_eq!(from_optics.num_clusters(), direct.num_clusters());
-        let is_core = |i: usize| {
-            pts.iter().filter(|q| pts[i].within(q, eps)).count() >= 4
-        };
+        let is_core = |i: usize| pts.iter().filter(|q| pts[i].within(q, eps)).count() >= 4;
         for i in 0..pts.len() {
             let a = direct.labels().is_noise(i as u32);
             let b = from_optics.labels().is_noise(i as u32);

@@ -123,8 +123,7 @@ impl StIndex {
 
     /// First sorted position with `t ≥ bound`.
     fn lower_bound(&self, bound: f64) -> usize {
-        self.samples
-            .partition_point(|s| s.t < bound)
+        self.samples.partition_point(|s| s.t < bound)
     }
 
     /// Spatiotemporal neighborhood of sorted sample `p` (self-inclusive).
@@ -280,10 +279,7 @@ mod tests {
             StPoint::new(0.2, 0.0, 3.0),
         ];
         let index = StIndex::build(&samples);
-        assert!(index
-            .samples()
-            .windows(2)
-            .all(|w| w[0].t <= w[1].t));
+        assert!(index.samples().windows(2).all(|w| w[0].t <= w[1].t));
         let r = st_dbscan(&index, StDbscanParams::new(1.0, 10.0, 2));
         let caller = index.to_caller_order(r.labels());
         assert_eq!(caller.len(), 3);

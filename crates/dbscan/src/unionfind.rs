@@ -186,7 +186,9 @@ impl ConcurrentDisjointSets {
 
     /// Snapshot of each element's root. Call after all unions complete.
     pub fn roots(&self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 }
 

@@ -28,9 +28,7 @@ fn arb_cloud() -> impl Strategy<Value = Vec<Point2>> {
 fn core_mask(points: &[Point2], params: DbscanParams) -> Vec<bool> {
     points
         .iter()
-        .map(|p| {
-            points.iter().filter(|q| p.within(q, params.eps)).count() >= params.minpts
-        })
+        .map(|p| points.iter().filter(|q| p.within(q, params.eps)).count() >= params.minpts)
         .collect()
 }
 

@@ -76,7 +76,10 @@ mod tests {
         (0..n as u64)
             .map(|i| {
                 let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                Point2::new((h >> 40) as f64 / 200.0, ((h >> 20) & 0xFFFFF) as f64 / 10_000.0)
+                Point2::new(
+                    (h >> 40) as f64 / 200.0,
+                    ((h >> 20) & 0xFFFFF) as f64 / 10_000.0,
+                )
             })
             .collect()
     }

@@ -164,7 +164,10 @@ mod tests {
         let pts: Vec<Point2> = (0..500u64)
             .map(|i| {
                 let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                Point2::new((h >> 40) as f64 / 100.0, ((h >> 20) & 0xFFFFF) as f64 / 10000.0)
+                Point2::new(
+                    (h >> 40) as f64 / 100.0,
+                    ((h >> 20) & 0xFFFFF) as f64 / 10000.0,
+                )
             })
             .collect();
         let t = PackedRTree::from_sorted(shared_points(pts.clone()), 16);

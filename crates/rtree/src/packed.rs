@@ -115,11 +115,7 @@ impl PackedRTree {
 
     /// [`PackedRTree::build`] with an explicit traversal order for the bin
     /// sort.
-    pub fn build_with_order(
-        points: &[Point2],
-        r: usize,
-        order: BinOrder,
-    ) -> (Self, Vec<PointId>) {
+    pub fn build_with_order(points: &[Point2], r: usize, order: BinOrder) -> (Self, Vec<PointId>) {
         let perm = bin_sort(points, order);
         let sorted: SharedPoints = perm.iter().map(|&i| points[i as usize]).collect();
         (Self::from_sorted(sorted, r), perm)
@@ -200,7 +196,11 @@ impl PackedRTree {
     /// Iterates over the children `(index, MBB)` of internal node `idx` at
     /// `level` (`level ≥ 1`; children live at `level - 1`). Exposed for
     /// best-first traversals such as [k-NN](crate::knn).
-    pub fn level_children(&self, level: usize, idx: usize) -> impl Iterator<Item = (usize, Mbb)> + '_ {
+    pub fn level_children(
+        &self,
+        level: usize,
+        idx: usize,
+    ) -> impl Iterator<Item = (usize, Mbb)> + '_ {
         debug_assert!(level >= 1 && level < self.levels.len());
         let below = &self.levels[level - 1];
         let first = idx * self.fanout;

@@ -114,7 +114,10 @@ mod tests {
         (0..n as u64)
             .map(|i| {
                 let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                Point2::new((h >> 44) as f64 / 50.0, ((h >> 24) & 0xFFFFF) as f64 / 50_000.0)
+                Point2::new(
+                    (h >> 44) as f64 / 50.0,
+                    ((h >> 24) & 0xFFFFF) as f64 / 50_000.0,
+                )
             })
             .collect()
     }
@@ -152,7 +155,12 @@ mod tests {
         let center = pts[700];
         let d = center.dist(&index.reference());
         let (lo, hi) = index.window(d, 1.0);
-        assert!(hi - lo < pts.len() / 2, "window {} of {}", hi - lo, pts.len());
+        assert!(
+            hi - lo < pts.len() / 2,
+            "window {} of {}",
+            hi - lo,
+            pts.len()
+        );
     }
 
     #[test]

@@ -34,12 +34,7 @@ pub struct TuneReport {
 /// # Panics
 ///
 /// Panics on an empty candidate list or non-positive `eps`.
-pub fn tune_r(
-    points: &[Point2],
-    eps: f64,
-    candidates: &[usize],
-    queries: usize,
-) -> TuneReport {
+pub fn tune_r(points: &[Point2], eps: f64, candidates: &[usize], queries: usize) -> TuneReport {
     assert!(!candidates.is_empty(), "need at least one candidate r");
     assert!(eps > 0.0 && eps.is_finite(), "ε must be positive");
     let mut timings = Vec::with_capacity(candidates.len());

@@ -8,12 +8,11 @@
 //! (collinear) clouds.
 
 use proptest::prelude::*;
+use vbp_geom::{Mbb, Point2, PointId};
 use vbp_rtree::traits::shared_points;
 use vbp_rtree::{
-    BruteForce, DynamicRTree, GridIndex, HilbertRTree, PackedRTree, SpatialIndex, StrRTree,
-    TiIndex,
+    BruteForce, DynamicRTree, GridIndex, HilbertRTree, PackedRTree, SpatialIndex, StrRTree, TiIndex,
 };
-use vbp_geom::{Mbb, Point2, PointId};
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point2>> {
     proptest::collection::vec(

@@ -13,7 +13,10 @@ use vbp::variantdbscan::{DependencyTree, ScheduleState, Scheduler, VariantSet};
 
 fn main() {
     let variants = VariantSet::cartesian(&[0.2, 0.4, 0.6], &[20, 24, 28, 32]);
-    println!("V = {{0.2, 0.4, 0.6}} × {{20, 24, 28, 32}}, |V| = {}\n", variants.len());
+    println!(
+        "V = {{0.2, 0.4, 0.6}} × {{20, 24, 28, 32}}, |V| = {}\n",
+        variants.len()
+    );
 
     // Figure 3(a): the dependency tree minimizing component-wise parameter
     // differences.

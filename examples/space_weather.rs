@@ -43,10 +43,7 @@ fn main() {
     println!("k-distance knee suggests ε ≈ {eps0:.3}°\n");
 
     // Variant grid around the suggested ε.
-    let variants = VariantSet::cartesian(
-        &[eps0, eps0 * 1.5, eps0 * 2.0],
-        &[4, 8, 16],
-    );
+    let variants = VariantSet::cartesian(&[eps0, eps0 * 1.5, eps0 * 2.0], &[4, 8, 16]);
     let engine = Engine::new(
         EngineConfig::default()
             .with_threads(4)
@@ -115,7 +112,8 @@ fn main() {
 fn render_field(spec: &SpaceWeatherSpec) {
     let field = spec.field();
     println!("TEC intensity (lon → , lat ↑):");
-    for row in vbp::vbp_data::render::render_field(&field.extent(), |x, y| field.value(x, y), 70, 18)
+    for row in
+        vbp::vbp_data::render::render_field(&field.extent(), |x, y| field.value(x, y), 70, 18)
     {
         println!("  {row}");
     }

@@ -63,7 +63,10 @@ fn main() {
         }
     }
 
-    println!("\n{:<10} {:>9} {:>18} {:>8}", "points", "clusters", "alert-size fronts", "noise");
+    println!(
+        "\n{:<10} {:>9} {:>18} {:>8}",
+        "points", "clusters", "alert-size fronts", "noise"
+    );
     for (seen, clusters, big, noise) in checkpoints {
         println!("{seen:<10} {clusters:>9} {big:>18} {noise:>8}");
     }

@@ -139,10 +139,7 @@ fn linear_slope(points: &[(f64, f64)]) -> f64 {
     let n = points.len() as f64;
     let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
     let my = points.iter().map(|p| p.1).sum::<f64>() / n;
-    let cov = points
-        .iter()
-        .map(|p| (p.0 - mx) * (p.1 - my))
-        .sum::<f64>();
+    let cov = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
     let var = points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
     cov / var.max(f64::MIN_POSITIVE)
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification gate: format, lints, build, tests.
+#
+#   scripts/check.sh          # run everything
+#   scripts/check.sh --fast   # skip the release build (debug tests only)
+#
+# This is the bar every change must clear before merging. Tier-1 is the
+# build + test pair; fmt and clippy (warnings denied) keep the tree clean.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

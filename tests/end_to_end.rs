@@ -119,10 +119,9 @@ fn io_roundtrip_preserves_clustering() {
     assert_eq!(points, from_bin);
 
     let variants = VariantSet::cartesian(&[0.5], &[4]);
-    let a = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
-        .run(&points, &variants);
-    let b = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
-        .run(&from_bin, &variants);
+    let a = Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&points, &variants);
+    let b =
+        Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&from_bin, &variants);
     assert_eq!(a.results[0].num_clusters(), b.results[0].num_clusters());
     assert_eq!(a.results[0].noise_count(), b.results[0].noise_count());
 }
@@ -133,8 +132,8 @@ fn io_roundtrip_preserves_clustering() {
 fn caller_order_results_are_consistent() {
     let points = SyntheticSpec::new(SyntheticClass::CF, 1_500, 0.1, 55).generate();
     let variants = VariantSet::cartesian(&[0.5, 0.7], &[4]);
-    let report = Engine::new(EngineConfig::default().with_threads(2).with_r(32))
-        .run(&points, &variants);
+    let report =
+        Engine::new(EngineConfig::default().with_threads(2).with_r(32)).run(&points, &variants);
 
     for i in 0..variants.len() {
         let remapped = report.result_in_caller_order(i);

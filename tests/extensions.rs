@@ -38,10 +38,7 @@ fn four_dbscan_implementations_agree() {
     assert_eq!(from_parallel, from_incremental);
 
     // Classic (tree order) vs the trio: same structure.
-    assert_eq!(
-        classic_tree_order.num_clusters(),
-        from_grid.num_clusters()
-    );
+    assert_eq!(classic_tree_order.num_clusters(), from_grid.num_clusters());
     assert_eq!(classic_tree_order.noise_count(), from_grid.noise_count());
     // Per-point noise agreement through the permutation.
     for (tree_idx, &orig) in perm.iter().enumerate() {
@@ -159,8 +156,8 @@ fn prelude_is_sufficient_for_the_quickstart_flow() {
     use vbp::prelude::*;
     let points = DatasetSpec::by_name("cF_10k_5N@1000").unwrap().generate();
     let variants = VariantSet::cartesian(&[0.8], &[4]);
-    let report = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
-        .run(&points, &variants);
+    let report =
+        Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&points, &variants);
     assert_eq!(report.outcomes.len(), 1);
     let result: &ClusterResult = &report.results[0];
     assert!(result.num_clusters() >= 1);
