@@ -37,6 +37,35 @@ fn bench_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_contention");
     group.sample_size(10);
 
+    // One self-tuning datapoint: RChoice::Auto on the paper-scale grid,
+    // so the committed results show the chosen r and the end-to-end cost
+    // of tuning inside a contended run.
+    {
+        let variants = grid(57);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(8)
+                .with_auto_r()
+                .with_scheduler(Scheduler::SchedGreedy)
+                .with_reuse(ReuseScheme::ClusDensity)
+                .with_keep_results(false),
+        );
+        let probe = engine.run(&points, &variants);
+        println!(
+            "V{}/auto-r/T8: chose r={} (index build incl. tuning {:?})",
+            variants.len(),
+            probe.chosen_r,
+            probe.index_build_time,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("V{}/auto-r/T8", variants.len())),
+            &(),
+            |b, _| {
+                b.iter(|| black_box(engine.run(&points, &variants)));
+            },
+        );
+    }
+
     for size in [12usize, 57, 114] {
         let variants = grid(size);
         for threads in [1usize, 2, 4, 8, 16] {

@@ -163,6 +163,20 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         config.scheduler,
         config.reuse
     );
+    if let Some(tune) = &report.tune {
+        let sweep: Vec<String> = tune
+            .timings
+            .iter()
+            .map(|(r, t)| format!("r={r}:{:.2}ms", t.as_secs_f64() * 1e3))
+            .collect();
+        let _ = writeln!(
+            s,
+            "auto-tuned r = {} over a {}-point sample [{}]",
+            report.chosen_r,
+            tune.sample_size,
+            sweep.join(" ")
+        );
+    }
     let _ = writeln!(
         s,
         "{:<14} {:>9} {:>9} {:>11} {:>8}  source",
@@ -334,11 +348,16 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
             ))
         }
     };
-    Ok(EngineConfig::default()
+    let config = EngineConfig::default()
         .with_threads(args.num("threads", 4usize)?.max(1))
-        .with_r(args.num("r", 80usize)?.max(1))
         .with_scheduler(scheduler)
-        .with_reuse(reuse))
+        .with_reuse(reuse);
+    let config = match args.get("r") {
+        Some("auto") => config.with_auto_r(),
+        Some(_) => config.with_r(args.num("r", 80usize)?.max(1)),
+        None => config.with_r(80),
+    };
+    Ok(config)
 }
 
 /// Writes `x,y,label` CSV in the caller's original point order.
@@ -383,8 +402,9 @@ commands:
   tune     (--dataset … | --input F) --eps E  sweep r empirically (§V-C)
   sweep    (--dataset … | --input F)          VariantDBSCAN over V = eps × minpts
            --eps E1,E2,… --minpts M1,M2,…
-           [--threads T] [--r R] [--scheduler greedy|minpts]
+           [--threads T] [--r R|auto] [--scheduler greedy|minpts]
            [--reuse off|default|density|ptssq]
+           (--r auto tunes r empirically at index-build time)
   simulate --eps … --minpts … [--threads T]   analytic scheduler comparison
 "
     .to_string()
@@ -462,6 +482,27 @@ mod tests {
         .unwrap();
         assert!(out.contains("|V| = 4"), "{out}");
         assert!(out.matches("scratch").count() >= 1, "{out}");
+    }
+
+    #[test]
+    fn sweep_with_auto_r_reports_the_tuned_value() {
+        let out = sweep(&parse(&[
+            "sweep",
+            "--dataset",
+            "cF_10k_5N@1500",
+            "--eps",
+            "0.5,0.8",
+            "--minpts",
+            "4",
+            "--threads",
+            "1",
+            "--r",
+            "auto",
+        ]))
+        .unwrap();
+        assert!(out.contains("r = auto"), "{out}");
+        assert!(out.contains("auto-tuned r = "), "{out}");
+        assert!(out.contains("-point sample"), "{out}");
     }
 
     #[test]

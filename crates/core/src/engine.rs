@@ -44,7 +44,7 @@ use std::time::Instant;
 
 use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
 use vbp_geom::{BinOrder, Point2};
-use vbp_rtree::PackedRTree;
+use vbp_rtree::{tune_r_sampled, PackedRTree};
 
 use crate::expand::cluster_with_reuse;
 use crate::metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
@@ -52,14 +52,52 @@ use crate::scheduler::{ScheduleState, Scheduler};
 use crate::seeds::ReuseScheme;
 use crate::variant::VariantSet;
 
+/// How the engine picks `r` (points per leaf MBB of `T_low`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RChoice {
+    /// Use this `r` as given.
+    Fixed(usize),
+    /// Run a sampled [`tune_r`](vbp_rtree::tune_r) sweep at index-build
+    /// time and use the winner. The sweep is capped (sample ≤
+    /// [`AUTO_TUNE_MAX_SAMPLE`] points, [`AUTO_TUNE_CANDIDATES`]
+    /// candidates, [`AUTO_TUNE_QUERIES`] queries each) so tuning stays well
+    /// under one variant's clustering cost; the chosen `r` and the full
+    /// [`TuneReport`](vbp_rtree::TuneReport) land in the [`RunReport`].
+    Auto,
+}
+
+impl std::fmt::Display for RChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RChoice::Fixed(r) => write!(f, "{r}"),
+            RChoice::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Largest point sample [`RChoice::Auto`] builds candidate trees over.
+pub const AUTO_TUNE_MAX_SAMPLE: usize = 4_096;
+
+/// Candidate `r` values [`RChoice::Auto`] sweeps — a pruned version of
+/// [`vbp_rtree::DEFAULT_R_CANDIDATES`] (neighboring values time within
+/// noise of each other; fewer builds keeps tuning cheap).
+pub const AUTO_TUNE_CANDIDATES: [usize; 5] = [1, 10, 30, 70, 110];
+
+/// ε-queries timed per candidate tree by [`RChoice::Auto`].
+pub const AUTO_TUNE_QUERIES: usize = 256;
+
+/// The `r` [`RChoice::Auto`] falls back to when there is nothing to tune
+/// against (an empty variant set). Middle of the paper's good band.
+pub const AUTO_TUNE_FALLBACK_R: usize = 80;
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads `T`.
     pub threads: usize,
     /// Points per leaf MBB of `T_low` (the paper's `r`; 70–110 works well,
-    /// see Figure 4).
-    pub r: usize,
+    /// see Figure 4), or [`RChoice::Auto`] to tune it at index-build time.
+    pub r: RChoice,
     /// Traversal order of the pre-index bin sort.
     pub bin_order: BinOrder,
     /// Thread scheduling heuristic.
@@ -75,7 +113,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-            r: 80,
+            r: RChoice::Fixed(80),
             bin_order: BinOrder::Serpentine,
             scheduler: Scheduler::SchedGreedy,
             reuse: ReuseScheme::ClusDensity,
@@ -90,7 +128,7 @@ impl EngineConfig {
     pub fn reference() -> Self {
         Self {
             threads: 1,
-            r: 1,
+            r: RChoice::Fixed(1),
             bin_order: BinOrder::Serpentine,
             scheduler: Scheduler::SchedGreedy,
             reuse: ReuseScheme::Disabled,
@@ -104,9 +142,16 @@ impl EngineConfig {
         self
     }
 
-    /// Builder-style setter for `r`.
+    /// Builder-style setter for a fixed `r`.
     pub fn with_r(mut self, r: usize) -> Self {
-        self.r = r;
+        self.r = RChoice::Fixed(r);
+        self
+    }
+
+    /// Builder-style switch to [`RChoice::Auto`]: tune `r` empirically at
+    /// index-build time.
+    pub fn with_auto_r(mut self) -> Self {
+        self.r = RChoice::Auto;
         self
     }
 
@@ -169,7 +214,9 @@ impl Engine {
     /// Panics if `threads == 0` or `r == 0`.
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.threads >= 1, "need at least one worker thread");
-        assert!(config.r >= 1, "r must be ≥ 1");
+        if let RChoice::Fixed(r) = config.r {
+            assert!(r >= 1, "r must be ≥ 1");
+        }
         Self { config }
     }
 
@@ -219,9 +266,28 @@ impl Engine {
                 point: points[bad],
             });
         }
+        // Tuning (when enabled) is part of index construction: it runs
+        // once per engine run, before any variant, and its cost is
+        // reported inside `index_build_time`.
         let build_start = Instant::now();
+        let (chosen_r, tune) = match self.config.r {
+            RChoice::Fixed(r) => (r, None),
+            RChoice::Auto => match representative_eps(variants) {
+                Some(eps) => {
+                    let report = tune_r_sampled(
+                        points,
+                        eps,
+                        AUTO_TUNE_MAX_SAMPLE,
+                        &AUTO_TUNE_CANDIDATES,
+                        AUTO_TUNE_QUERIES,
+                    );
+                    (report.best_r, Some(report))
+                }
+                None => (AUTO_TUNE_FALLBACK_R, None),
+            },
+        };
         let (t_low, permutation) =
-            PackedRTree::build_with_order(points, self.config.r, self.config.bin_order);
+            PackedRTree::build_with_order(points, chosen_r, self.config.bin_order);
         let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
         let index_build_time = build_start.elapsed();
         if let Some(tx) = &progress {
@@ -301,11 +367,25 @@ impl Engine {
             total_time,
             index_build_time,
             threads: self.config.threads,
+            chosen_r,
+            tune,
             results,
             permutation,
             worker_stats,
         })
     }
+}
+
+/// The ε the auto-tuner sweeps with: the median of the variant set's ε
+/// values — robust to a few outlier variants and exact for the common
+/// replicated-variant scenarios. `None` for an empty set.
+fn representative_eps(variants: &VariantSet) -> Option<f64> {
+    if variants.is_empty() {
+        return None;
+    }
+    let mut eps: Vec<f64> = variants.iter().map(|v| v.eps).collect();
+    eps.sort_by(|a, b| a.partial_cmp(b).expect("variant ε is always finite"));
+    Some(eps[eps.len() / 2])
 }
 
 /// One worker: pull → cluster → publish, until the schedule drains.
@@ -620,6 +700,56 @@ mod tests {
         // Busy time accounted per worker matches the outcomes' view.
         let busy_from_stats: Duration = report.worker_stats.iter().map(|w| w.busy).sum();
         assert_eq!(busy_from_stats, report.total_busy());
+    }
+
+    #[test]
+    fn auto_r_tunes_and_reports() {
+        let points = blobs(1_500, 4, 53);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_auto_r());
+        let report = engine.run(&points, &variants);
+        assert!(AUTO_TUNE_CANDIDATES.contains(&report.chosen_r));
+        let tune = report.tune.as_ref().expect("auto mode must record a sweep");
+        assert_eq!(tune.best_r, report.chosen_r);
+        assert_eq!(tune.timings.len(), AUTO_TUNE_CANDIDATES.len());
+        assert!(tune.sample_size <= AUTO_TUNE_MAX_SAMPLE);
+        // Results must match a fixed-r run (r only affects speed).
+        let fixed = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_r(report.chosen_r),
+        )
+        .run(&points, &variants);
+        assert_eq!(fixed.chosen_r, report.chosen_r);
+        assert!(fixed.tune.is_none());
+        for (a, b) in report.results.iter().zip(&fixed.results) {
+            assert_eq!(a.num_clusters(), b.num_clusters());
+            assert_eq!(a.noise_count(), b.noise_count());
+        }
+    }
+
+    #[test]
+    fn auto_r_on_empty_variant_set_falls_back() {
+        let points = blobs(200, 2, 59);
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_auto_r());
+        let report = engine.run(&points, &VariantSet::new(vec![]));
+        assert_eq!(report.chosen_r, AUTO_TUNE_FALLBACK_R);
+        assert!(report.tune.is_none());
+    }
+
+    #[test]
+    fn fixed_r_is_recorded() {
+        let points = blobs(100, 2, 61);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(17));
+        let report = engine.run(&points, &small_grid());
+        assert_eq!(report.chosen_r, 17);
+        assert!(report.tune.is_none());
+    }
+
+    #[test]
+    fn rchoice_displays() {
+        assert_eq!(RChoice::Fixed(70).to_string(), "70");
+        assert_eq!(RChoice::Auto.to_string(), "auto");
     }
 
     #[test]

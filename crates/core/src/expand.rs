@@ -119,6 +119,8 @@ pub fn cluster_with_reuse(
     let mut candidates: Vec<PointId> = Vec::new();
     let mut neighbors: Vec<PointId> = Vec::new();
     let mut queue: Vec<PointId> = Vec::new();
+    let mut wave: Vec<PointId> = Vec::new();
+    let mut frontier: Vec<PointId> = Vec::new();
     let mut expand_set: Vec<PointId> = Vec::new();
     let mut in_expand = vec![false; n];
 
@@ -154,20 +156,32 @@ pub fn cluster_with_reuse(
 
         // Lines 13–15: ε-search each outside point; its neighbors inside
         // the cluster are the boundary through which growth can happen.
+        // The searches go through the batched entry point, which reorders
+        // the frontier into tree order so consecutive probes hit warm
+        // leaves. No label changes happen in this loop, so the reordering
+        // cannot change the resulting expand set (only its order, which
+        // the closure below is insensitive to).
         expand_set.clear();
-        for &p in &candidates {
-            if labels.cluster(p) == Some(c) {
-                continue; // inside the cluster
-            }
-            neighbors.clear();
-            t_low.epsilon_neighbors(points[p as usize], eps, &mut neighbors);
-            stats.frontier_searches += 1;
-            for &q in &neighbors {
-                if labels.cluster(q) == Some(c) && !in_expand[q as usize] {
-                    in_expand[q as usize] = true;
-                    expand_set.push(q);
+        frontier.clear();
+        frontier.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&p| labels.cluster(p) != Some(c)),
+        );
+        stats.frontier_searches += frontier.len();
+        {
+            let expand_set = &mut expand_set;
+            let in_expand = &mut in_expand;
+            let labels = &labels;
+            t_low.epsilon_neighbors_batch(&mut frontier, eps, &mut neighbors, &mut |_, ns| {
+                for &q in ns {
+                    if labels.cluster(q) == Some(c) && !in_expand[q as usize] {
+                        in_expand[q as usize] = true;
+                        expand_set.push(q);
+                    }
                 }
-            }
+            });
         }
 
         // Line 16: unmark the boundary so ExpandCluster searches it.
@@ -179,31 +193,21 @@ pub fn cluster_with_reuse(
         // Line 17 / Algorithm 4: grow the cluster from the boundary.
         queue.clear();
         queue.extend_from_slice(&expand_set);
-        while let Some(i) = queue.pop() {
-            if labels.cluster(i).is_none() {
-                labels.assign(i, c);
-                if let Some(old) = previous.labels().cluster(i) {
-                    if !destroyed[old as usize] {
-                        destroyed[old as usize] = true;
-                        stats.clusters_destroyed += 1;
-                    }
-                }
-            }
-            if visited[i as usize] {
-                continue;
-            }
-            visited[i as usize] = true;
-            neighbors.clear();
-            t_low.epsilon_neighbors(points[i as usize], eps, &mut neighbors);
-            stats.expand_searches += 1;
-            if neighbors.len() >= minpts {
-                for &nb in &neighbors {
-                    if !visited[nb as usize] || labels.cluster(nb).is_none() {
-                        queue.push(nb);
-                    }
-                }
-            }
-        }
+        expand_wave(
+            t_low,
+            eps,
+            minpts,
+            c,
+            &mut labels,
+            &mut visited,
+            previous,
+            &mut destroyed,
+            &mut queue,
+            &mut wave,
+            &mut neighbors,
+            &mut stats.expand_searches,
+            &mut stats.clusters_destroyed,
+        );
     }
 
     // Line 18: cluster the remainder with plain DBSCAN, continuing the
@@ -238,31 +242,21 @@ pub fn cluster_with_reuse(
         };
         queue.clear();
         queue.extend(neighbors.iter().copied().filter(|&q| q != p));
-        while let Some(q) = queue.pop() {
-            if labels.cluster(q).is_none() {
-                labels.assign(q, c);
-                if let Some(old) = previous.labels().cluster(q) {
-                    if !destroyed[old as usize] {
-                        destroyed[old as usize] = true;
-                        stats.clusters_destroyed += 1;
-                    }
-                }
-            }
-            if visited[q as usize] {
-                continue;
-            }
-            visited[q as usize] = true;
-            neighbors.clear();
-            t_low.epsilon_neighbors(points[q as usize], eps, &mut neighbors);
-            stats.remainder_searches += 1;
-            if neighbors.len() >= minpts {
-                for &nb in &neighbors {
-                    if !visited[nb as usize] || labels.cluster(nb).is_none() {
-                        queue.push(nb);
-                    }
-                }
-            }
-        }
+        expand_wave(
+            t_low,
+            eps,
+            minpts,
+            c,
+            &mut labels,
+            &mut visited,
+            previous,
+            &mut destroyed,
+            &mut queue,
+            &mut wave,
+            &mut neighbors,
+            &mut stats.remainder_searches,
+            &mut stats.clusters_destroyed,
+        );
     }
 
     // Compact cluster ids: destruction-free runs already have dense ids,
@@ -273,6 +267,68 @@ pub fn cluster_with_reuse(
     // ClusterResult enforces).
     let result = ClusterResult::from_labels(compact_labels(labels));
     (result, stats)
+}
+
+/// Algorithm 4's queue expansion, wave-batched: each round drains the
+/// queue — assigning labels (and destroy bookkeeping) exactly as the
+/// depth-first formulation's pop did — collects the not-yet-visited points
+/// into a wave, and hands the whole wave to
+/// [`SpatialIndex::epsilon_neighbors_batch`] so consecutive ε-searches
+/// probe warm leaves.
+///
+/// Order-equivalence: the set of searched points is the
+/// density-reachability closure of the seeds over points not visited at
+/// loop entry — independent of visit order — and every label written is
+/// the same `c`, so final labels, `searches`, and the destroyed-cluster
+/// set are identical to the depth-first version (the exact-count unit
+/// tests below pin this).
+#[allow(clippy::too_many_arguments)]
+fn expand_wave(
+    t_low: &PackedRTree,
+    eps: f64,
+    minpts: usize,
+    c: ClusterId,
+    labels: &mut Labels,
+    visited: &mut [bool],
+    previous: &ClusterResult,
+    destroyed: &mut [bool],
+    queue: &mut Vec<PointId>,
+    wave: &mut Vec<PointId>,
+    neighbors: &mut Vec<PointId>,
+    searches: &mut usize,
+    clusters_destroyed: &mut usize,
+) {
+    while !queue.is_empty() {
+        wave.clear();
+        for i in queue.drain(..) {
+            if labels.cluster(i).is_none() {
+                labels.assign(i, c);
+                if let Some(old) = previous.labels().cluster(i) {
+                    if !destroyed[old as usize] {
+                        destroyed[old as usize] = true;
+                        *clusters_destroyed += 1;
+                    }
+                }
+            }
+            if visited[i as usize] {
+                continue;
+            }
+            visited[i as usize] = true;
+            wave.push(i);
+        }
+        *searches += wave.len();
+        let labels = &*labels;
+        let visited = &*visited;
+        t_low.epsilon_neighbors_batch(wave, eps, neighbors, &mut |_, ns| {
+            if ns.len() >= minpts {
+                for &nb in ns {
+                    if !visited[nb as usize] || labels.cluster(nb).is_none() {
+                        queue.push(nb);
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Renumbers cluster ids to be dense `0..k` while preserving noise, in

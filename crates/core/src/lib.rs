@@ -54,7 +54,7 @@ pub mod sim;
 pub mod variant;
 
 pub use deptree::DependencyTree;
-pub use engine::{Engine, EngineConfig, EngineError};
+pub use engine::{Engine, EngineConfig, EngineError, RChoice};
 pub use expand::{cluster_with_reuse, ReuseStats};
 pub use metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
 pub use progress::ProgressEvent;

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use vbp_dbscan::{ClusterResult, DbscanStats};
 use vbp_geom::PointId;
+use vbp_rtree::TuneReport;
 
 use crate::expand::ReuseStats;
 use crate::variant::Variant;
@@ -129,10 +130,19 @@ pub struct RunReport {
     /// Wall-clock makespan of the whole run (tree construction excluded;
     /// the paper indexes once and amortizes across variants).
     pub total_time: Duration,
-    /// Time spent building T_low / T_high and bin-sorting.
+    /// Time spent building T_low / T_high and bin-sorting — including the
+    /// auto-tuning sweep when [`RChoice::Auto`](crate::RChoice) ran.
     pub index_build_time: Duration,
     /// Number of worker threads.
     pub threads: usize,
+    /// The `r` (points per leaf MBB) `T_low` was actually built with —
+    /// the configured value under [`RChoice::Fixed`](crate::RChoice), the
+    /// sweep winner under [`RChoice::Auto`](crate::RChoice).
+    pub chosen_r: usize,
+    /// The auto-tuning sweep's full record; `None` unless
+    /// [`RChoice::Auto`](crate::RChoice) ran (and found variants to tune
+    /// against).
+    pub tune: Option<TuneReport>,
     /// Clustering results per variant (in canonical variant order), in
     /// *tree order* point ids. Empty when the engine is configured with
     /// `keep_results = false`.
@@ -290,6 +300,8 @@ mod tests {
             total_time: Duration::from_millis(total_ms),
             index_build_time: Duration::ZERO,
             threads,
+            chosen_r: 1,
+            tune: None,
             results: Vec::new(),
             permutation: Vec::new(),
             worker_stats: Vec::new(),

@@ -1,0 +1,177 @@
+//! Metamorphic reuse-equivalence suite.
+//!
+//! The metamorphic relation under test: for **every** valid reuse pair
+//! `(source, target)` of a random variant grid — not just one constructed
+//! pair — the Algorithm 3/4 reuse path (including its batched frontier
+//! queries) must produce results *label-isomorphic* to clustering the
+//! target from scratch, under all three seed-selection schemes.
+//!
+//! Label isomorphism is checked structurally, with no tolerance:
+//!
+//! 1. the noise sets are identical (noise status is order-independent);
+//! 2. the cluster counts are identical;
+//! 3. the map `direct cluster → reused cluster` restricted to *core*
+//!    points (whose assignment is order-independent, unlike border
+//!    points) is a well-defined bijection — core status is established by
+//!    brute-force neighbor counting, independent of every index backend.
+//!
+//! Budget: case count scales 4× under `VBP_CONFORMANCE_FULL=1` (the
+//! `CHECK_FULL=1` path of `scripts/check.sh`).
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use variantdbscan::{cluster_with_reuse, ReuseScheme, VariantSet};
+use vbp_dbscan::{dbscan, ClusterId, ClusterResult};
+use vbp_geom::{Point2, PointId};
+use vbp_rtree::PackedRTree;
+
+fn cases() -> u32 {
+    match std::env::var("VBP_CONFORMANCE_FULL") {
+        Ok(v) if v != "0" && !v.is_empty() => 48,
+        _ => 12,
+    }
+}
+
+/// Clustered cloud: a few blob centers plus background noise, so every
+/// variant finds real structure.
+fn arb_cloud() -> impl Strategy<Value = Vec<Point2>> {
+    (
+        proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 2..6),
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0usize..6), 40..220),
+    )
+        .prop_map(|(centers, raw)| {
+            raw.into_iter()
+                .map(|(dx, dy, which)| {
+                    if which < centers.len() {
+                        let (cx, cy) = centers[which];
+                        Point2::new(cx + dx, cy + dy)
+                    } else {
+                        Point2::new(dx * 10.0, dy * 10.0)
+                    }
+                })
+                .collect()
+        })
+}
+
+/// Core points of `(eps, minpts)` by brute force — the oracle no index
+/// backend can bias.
+fn brute_core_points(points: &[Point2], eps: f64, minpts: usize) -> Vec<PointId> {
+    let eps_sq = eps * eps;
+    (0..points.len())
+        .filter(|&i| {
+            points
+                .iter()
+                .filter(|q| points[i].dist_sq(q) <= eps_sq)
+                .count()
+                >= minpts
+        })
+        .map(|i| i as PointId)
+        .collect()
+}
+
+/// Checks the three-part label-isomorphism relation between a from-scratch
+/// clustering and a reuse-path clustering of the same variant.
+fn check_isomorphic(
+    direct: &ClusterResult,
+    reused: &ClusterResult,
+    n: usize,
+    cores: &[PointId],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    for p in 0..n as PointId {
+        prop_assert_eq!(
+            direct.labels().is_noise(p),
+            reused.labels().is_noise(p),
+            "{ctx}: noise status of point {} differs",
+            p
+        );
+    }
+    prop_assert_eq!(
+        direct.num_clusters(),
+        reused.num_clusters(),
+        "{ctx}: cluster counts differ"
+    );
+
+    // Core points belong to exactly one cluster regardless of expansion
+    // order, so the induced cluster map must be a bijection.
+    let mut forward: HashMap<ClusterId, ClusterId> = HashMap::new();
+    let mut images: HashSet<ClusterId> = HashSet::new();
+    for &p in cores {
+        let a = direct.labels().cluster(p);
+        let b = reused.labels().cluster(p);
+        prop_assert!(
+            a.is_some() && b.is_some(),
+            "{ctx}: core point {} left unclustered (direct {:?}, reused {:?})",
+            p,
+            a,
+            b
+        );
+        let (a, b) = (a.unwrap(), b.unwrap());
+        match forward.get(&a) {
+            Some(&mapped) => prop_assert_eq!(
+                mapped,
+                b,
+                "{ctx}: direct cluster {} split across reused clusters at core {}",
+                a,
+                p
+            ),
+            None => {
+                prop_assert!(
+                    images.insert(b),
+                    "{ctx}: two direct clusters merged into reused cluster {} at core {}",
+                    b,
+                    p
+                );
+                forward.insert(a, b);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn every_valid_reuse_pair_is_label_isomorphic_to_from_scratch(
+        points in arb_cloud(),
+        eps in proptest::collection::vec(0.15f64..1.0, 2..4),
+        minpts in proptest::collection::vec(2usize..8, 2..4),
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = ReuseScheme::REUSING[scheme_idx];
+        let variants = VariantSet::cartesian(&eps, &minpts);
+        let (t_low, _) = PackedRTree::build(&points, 16);
+        let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
+        // Index order == caller order for from_sorted trees built off
+        // t_low's shared points, so labels are comparable point-for-point.
+        let pts = t_low.shared_points();
+
+        let direct: Vec<ClusterResult> =
+            variants.iter().map(|v| dbscan(&t_low, v.params())).collect();
+        let cores: Vec<Vec<PointId>> = variants
+            .iter()
+            .map(|v| brute_core_points(&pts, v.eps, v.minpts))
+            .collect();
+
+        let mut pairs = 0usize;
+        for (si, src) in variants.iter().enumerate() {
+            for (ti, dst) in variants.iter().enumerate() {
+                if si == ti || !dst.can_reuse(&src) {
+                    continue;
+                }
+                pairs += 1;
+                let (reused, stats) =
+                    cluster_with_reuse(&t_low, &t_high, dst, &direct[si], src, scheme);
+                prop_assert!(reused.check_consistency().is_ok());
+                prop_assert!(stats.fraction_reused() <= 1.0);
+                let ctx = format!("{scheme:?}: reuse {src} -> {dst}");
+                check_isomorphic(&direct[ti], &reused, pts.len(), &cores[ti], &ctx)?;
+            }
+        }
+        // A cartesian grid with ≥ 2 distinct ε columns always contains a
+        // valid pair; deterministic seeding makes this assert stable.
+        prop_assert!(pairs >= 1, "grid {:?}/{:?} produced no valid reuse pair", eps, minpts);
+    }
+}

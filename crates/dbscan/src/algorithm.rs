@@ -65,6 +65,9 @@ pub struct DbscanStats {
 pub struct DbscanScratch {
     neighbors: Vec<PointId>,
     seeds: Vec<PointId>,
+    /// One round of the seed queue, handed as a whole to the index's
+    /// batched query entry point (which may reorder it into tree order).
+    wave: Vec<PointId>,
 }
 
 impl DbscanScratch {
@@ -145,37 +148,53 @@ pub fn dbscan_with_scratch<I: SpatialIndex + ?Sized>(
             .seeds
             .extend(scratch.neighbors.iter().copied().filter(|&q| q != p));
 
-        while let Some(q) = scratch.seeds.pop() {
-            // Assign q to the cluster if it has no cluster yet (it may be
-            // provisional noise — that makes it a border point).
-            if labels.cluster(q).is_none() {
-                labels.assign(q, c);
+        // Wave-batched expansion: each round drains the seed queue —
+        // assigning border labels exactly as the per-seed pop did — then
+        // hands all not-yet-visited seeds to the index's batched query
+        // entry point, which may reorder them so consecutive ε-searches
+        // probe warm leaves. The searched set is the density-reachability
+        // closure of the seeds (order-independent), so labels and all
+        // counters match the one-seed-at-a-time formulation exactly.
+        while !scratch.seeds.is_empty() {
+            scratch.wave.clear();
+            for q in scratch.seeds.drain(..) {
+                // Assign q to the cluster if it has no cluster yet (it may
+                // be provisional noise — that makes it a border point).
+                if labels.cluster(q).is_none() {
+                    labels.assign(q, c);
+                }
+                if visited[q as usize] {
+                    continue;
+                }
+                visited[q as usize] = true;
+                scratch.wave.push(q);
             }
-            if visited[q as usize] {
-                continue;
-            }
-            visited[q as usize] = true;
+            stats.neighbor_searches += scratch.wave.len();
 
-            scratch.neighbors.clear();
-            index.epsilon_neighbors(
-                index.points()[q as usize],
+            let seeds = &mut scratch.seeds;
+            let stats = &mut stats;
+            let labels = &labels;
+            let visited = &visited;
+            index.epsilon_neighbors_batch(
+                &mut scratch.wave,
                 params.eps,
                 &mut scratch.neighbors,
-            );
-            stats.neighbor_searches += 1;
-            stats.neighbors_found += scratch.neighbors.len();
-
-            if scratch.neighbors.len() >= params.minpts {
-                stats.core_points += 1;
-                // q is core: its neighbors join the seed set. Points that
-                // already belong to this cluster and were visited add no
-                // work (the loop's checks skip them cheaply).
-                for &nb in scratch.neighbors.iter() {
-                    if !visited[nb as usize] || labels.cluster(nb).is_none() {
-                        scratch.seeds.push(nb);
+                &mut |_, ns| {
+                    stats.neighbors_found += ns.len();
+                    if ns.len() >= params.minpts {
+                        stats.core_points += 1;
+                        // The searched point is core: its neighbors join
+                        // the seed set. Points that already belong to this
+                        // cluster and were visited add no work (the
+                        // drain's checks skip them cheaply).
+                        for &nb in ns {
+                            if !visited[nb as usize] || labels.cluster(nb).is_none() {
+                                seeds.push(nb);
+                            }
+                        }
                     }
-                }
-            }
+                },
+            );
         }
     }
 

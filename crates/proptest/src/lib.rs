@@ -9,10 +9,16 @@
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
-//! - **no shrinking** — a failing case reports its case number and the
-//!   deterministic seed, which reproduces it exactly on re-run;
+//! - **shrinking by re-generation** — instead of walking a shrink tree, a
+//!   failing case is re-generated at smaller size factors (spans of every
+//!   ranged draw compressed toward their lower bound, which also shortens
+//!   collections); the smallest factor that still fails is reported
+//!   alongside the original inputs;
 //! - **fixed seeding** — cases are derived from the fully-qualified test
-//!   name, so runs are reproducible across machines and never flaky.
+//!   name, so runs are reproducible across machines and never flaky. Every
+//!   failure prints its seed and a `VBP_PROPTEST_SEED=0xSEED:CASE` replay
+//!   command that re-runs exactly that case (see
+//!   [`test_runner::replay_override`]).
 
 #![warn(missing_docs)]
 
@@ -71,24 +77,67 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::config::ProptestConfig = $cfg;
-                let seed_base =
+                let default_seed =
                     $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
-                    let mut __rng = $crate::test_runner::TestRng::for_case(seed_base, case);
-                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
-                            $body
-                            Ok(())
-                        })();
-                    if let ::core::result::Result::Err(e) = __outcome {
-                        panic!(
-                            "property test {} failed at case {}/{} (seed {:#x}): {}",
-                            stringify!($name),
-                            case,
-                            config.cases,
+                // `VBP_PROPTEST_SEED=0xSEED[:CASE]` replays a reported
+                // failure (run with a test filter so only this test sees
+                // it).
+                let replay = $crate::test_runner::replay_override();
+                let seed_base = match replay {
+                    ::core::option::Option::Some((seed, _)) => seed,
+                    ::core::option::Option::None => default_seed,
+                };
+                let cases: ::std::vec::Vec<u32> = match replay {
+                    ::core::option::Option::Some((_, ::core::option::Option::Some(case))) => {
+                        ::std::vec![case]
+                    }
+                    _ => (0..config.cases).collect(),
+                };
+                for case in cases {
+                    let __run = |__size: f64| {
+                        $crate::test_runner::execute_case(
                             seed_base,
-                            e
+                            case,
+                            __size,
+                            |__rng, __inputs| {
+                                $(
+                                    let __value =
+                                        $crate::strategy::Strategy::generate(&($strat), __rng);
+                                    $crate::test_runner::record_input(
+                                        __inputs,
+                                        stringify!($pat),
+                                        &__value,
+                                    );
+                                    let $pat = __value;
+                                )+
+                                $body
+                                ::core::result::Result::Ok(())
+                            },
+                        )
+                    };
+                    let __original = __run(1.0);
+                    if __original.failure.is_some() {
+                        // Shrink pass: re-generate at smaller size
+                        // factors, smallest first; the first one that
+                        // still fails is the minimal report.
+                        let mut __shrunk = ::core::option::Option::None;
+                        for &__factor in $crate::test_runner::SHRINK_SIZES {
+                            let __attempt = __run(__factor);
+                            if __attempt.failure.is_some() {
+                                __shrunk = ::core::option::Option::Some((__factor, __attempt));
+                                break;
+                            }
+                        }
+                        panic!(
+                            "{}",
+                            $crate::test_runner::failure_report(
+                                stringify!($name),
+                                case,
+                                config.cases,
+                                seed_base,
+                                &__original,
+                                __shrunk.as_ref().map(|(f, r)| (*f, r)),
+                            )
                         );
                     }
                 }

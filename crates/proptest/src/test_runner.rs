@@ -1,6 +1,10 @@
-//! Deterministic case generation and failure reporting.
+//! Deterministic case generation, shrinking, replay, and failure
+//! reporting.
 
+use std::any::Any;
 use std::fmt;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// FNV-1a hash of a string, used to derive a per-test seed from the test's
 /// fully-qualified name so every test draws an independent but stable
@@ -17,10 +21,21 @@ pub const fn fnv1a(s: &str) -> u64 {
     hash
 }
 
+/// Generation-size factors tried, smallest first, when re-generating a
+/// failing case in search of a smaller input that still fails.
+pub const SHRINK_SIZES: &[f64] = &[0.0625, 0.125, 0.25, 0.5];
+
 /// splitmix64 — tiny, high-quality, and exactly reproducible everywhere.
+///
+/// The `size` factor (1.0 by default) scales the *span* of every ranged
+/// draw: at `size = 0.25`, `f64_in(lo, hi)` and `usize_in(lo, hi)` stay
+/// near `lo`, which shrinks both magnitudes and collection lengths. At
+/// `size = 1.0` the stream is bit-identical to the unscaled generator, so
+/// existing seeds keep reproducing.
 #[derive(Clone, Debug)]
 pub struct TestRng {
     state: u64,
+    size: f64,
 }
 
 impl TestRng {
@@ -29,7 +44,15 @@ impl TestRng {
     pub fn for_case(seed_base: u64, case: u32) -> Self {
         Self {
             state: seed_base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+            size: 1.0,
         }
+    }
+
+    /// Same stream, with ranged draws compressed toward their lower bound
+    /// by `size ∈ [0, 1]` (used by the shrinking pass).
+    pub fn with_size(mut self, size: f64) -> Self {
+        self.size = size.clamp(0.0, 1.0);
+        self
     }
 
     /// Next raw 64-bit draw.
@@ -46,20 +69,23 @@ impl TestRng {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Uniform `f64` in `[lo, hi)`; `lo` when the range is empty.
+    /// Uniform `f64` in `[lo, lo + size·(hi − lo))`; `lo` when the range
+    /// is empty.
     pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
         if hi <= lo {
             return lo;
         }
-        lo + self.unit_f64() * (hi - lo)
+        lo + self.unit_f64() * self.size * (hi - lo)
     }
 
-    /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+    /// Uniform `usize` in `[lo, lo + ⌈size·(hi − lo)⌉)`; `lo` when the
+    /// range is empty.
     pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
         if hi <= lo {
             return lo;
         }
-        lo + (self.next_u64() % (hi - lo) as u64) as usize
+        let span = (((hi - lo) as f64 * self.size).ceil() as u64).max(1);
+        lo + (self.next_u64() % span) as usize
     }
 
     /// Fair coin.
@@ -90,6 +116,113 @@ impl fmt::Display for TestCaseError {
 
 impl std::error::Error for TestCaseError {}
 
+/// The outcome of running one case at one generation size.
+pub struct CaseResult {
+    /// Debug rendering of every generated input, one per line.
+    pub inputs: String,
+    /// `None` on success; the assertion/panic message otherwise.
+    pub failure: Option<String>,
+}
+
+/// Runs one generated case, catching panics from both generation and the
+/// test body so the harness can attach the seed and inputs to *any*
+/// failure, not just `prop_assert!` ones.
+pub fn execute_case<F>(seed_base: u64, case: u32, size: f64, body: F) -> CaseResult
+where
+    F: FnOnce(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_case(seed_base, case).with_size(size);
+    let mut inputs = String::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut inputs)));
+    let failure = match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => Some(format!("panicked: {}", panic_message(payload.as_ref()))),
+    };
+    CaseResult { inputs, failure }
+}
+
+/// Appends `  name = value` to the inputs transcript.
+pub fn record_input<T: Debug>(buf: &mut String, name: &str, value: &T) {
+    use fmt::Write;
+    let _ = writeln!(buf, "      {name} = {value:?}");
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Parses the `VBP_PROPTEST_SEED` replay override.
+///
+/// Accepted forms: `0xSEED` / `SEED` (re-seed every case of the filtered
+/// test) and `0xSEED:CASE` (run exactly that case). Run it with a test
+/// filter so only the test being replayed picks it up:
+///
+/// ```text
+/// VBP_PROPTEST_SEED=0x9c31e4a7:17 cargo test -p <crate> failing_test_name
+/// ```
+pub fn replay_override() -> Option<(u64, Option<u32>)> {
+    let raw = std::env::var("VBP_PROPTEST_SEED").ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    let (seed_str, case) = match raw.split_once(':') {
+        Some((s, c)) => (s.trim(), Some(c.trim().parse::<u32>().ok()?)),
+        None => (raw, None),
+    };
+    let seed = match seed_str
+        .strip_prefix("0x")
+        .or_else(|| seed_str.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16).ok()?,
+        None => seed_str.parse::<u64>().ok()?,
+    };
+    Some((seed, case))
+}
+
+/// Formats the panic message for a failing case: the assertion, the
+/// original inputs, the smallest re-generated inputs that still fail (if
+/// the shrink pass found any), and a copy-pasteable replay command.
+pub fn failure_report(
+    test: &str,
+    case: u32,
+    total_cases: u32,
+    seed_base: u64,
+    original: &CaseResult,
+    shrunk: Option<(f64, &CaseResult)>,
+) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    let message = original.failure.as_deref().unwrap_or("<no message>");
+    let _ = writeln!(
+        out,
+        "property test {test} failed at case {case}/{total_cases} (seed {seed_base:#x}): {message}"
+    );
+    let _ = writeln!(out, "    inputs:");
+    out.push_str(&original.inputs);
+    if let Some((size, smaller)) = shrunk {
+        let _ = writeln!(
+            out,
+            "    shrunk (size factor {size}) still fails: {}",
+            smaller.failure.as_deref().unwrap_or("<no message>")
+        );
+        out.push_str(&smaller.inputs);
+    }
+    let _ = write!(
+        out,
+        "    replay: VBP_PROPTEST_SEED={seed_base:#x}:{case} cargo test {test}"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +249,81 @@ mod tests {
         }
         assert_eq!(rng.usize_in(4, 4), 4);
         assert_eq!(rng.f64_in(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn full_size_stream_is_unchanged_by_the_size_field() {
+        // size = 1.0 must reproduce the historical unscaled draws so old
+        // failure seeds stay valid.
+        let mut plain = TestRng::for_case(77, 3);
+        let mut sized = TestRng::for_case(77, 3).with_size(1.0);
+        for _ in 0..200 {
+            assert_eq!(plain.f64_in(-5.0, 5.0), sized.f64_in(-5.0, 5.0));
+            assert_eq!(plain.usize_in(0, 1000), sized.usize_in(0, 1000));
+        }
+    }
+
+    #[test]
+    fn reduced_size_compresses_spans_toward_lo() {
+        let mut rng = TestRng::for_case(5, 0).with_size(0.125);
+        for _ in 0..1000 {
+            let x = rng.f64_in(0.0, 80.0);
+            assert!((0.0..10.0 + 1e-9).contains(&x), "{x}");
+            let n = rng.usize_in(10, 90);
+            assert!((10..20).contains(&n), "{n}");
+        }
+        // Degenerate spans still produce a value inside the range.
+        assert_eq!(rng.usize_in(7, 8), 7);
+    }
+
+    #[test]
+    fn execute_case_catches_panics_and_records_inputs() {
+        let result = execute_case(1, 0, 1.0, |rng, inputs| {
+            let v = rng.usize_in(0, 10);
+            record_input(inputs, "v", &v);
+            panic!("boom {v}");
+        });
+        assert!(result.inputs.contains("v = "));
+        let msg = result.failure.expect("panic must be captured");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn replay_parsing() {
+        // Exercised via the env var to cover the exact production path.
+        // Serialized against nothing else: no other test touches this var.
+        let check = |val: &str, expect: Option<(u64, Option<u32>)>| {
+            std::env::set_var("VBP_PROPTEST_SEED", val);
+            assert_eq!(replay_override(), expect, "input {val:?}");
+        };
+        check("0xff", Some((255, None)));
+        check("0XFF:3", Some((255, Some(3))));
+        check("1234:0", Some((1234, Some(0))));
+        check(" 0xab : 7 ", Some((0xab, Some(7))));
+        check("", None);
+        check("nonsense", None);
+        check("0xff:nope", None);
+        std::env::remove_var("VBP_PROPTEST_SEED");
+        assert_eq!(replay_override(), None);
+    }
+
+    #[test]
+    fn failure_report_mentions_seed_inputs_and_replay() {
+        let original = CaseResult {
+            inputs: "      xs = [1, 2, 3]\n".to_string(),
+            failure: Some("assertion failed: xs.is_empty()".to_string()),
+        };
+        let shrunk = CaseResult {
+            inputs: "      xs = [1]\n".to_string(),
+            failure: Some("assertion failed: xs.is_empty()".to_string()),
+        };
+        let report = failure_report("my_test", 4, 64, 0xabcd, &original, Some((0.125, &shrunk)));
+        assert!(report.contains("case 4/64"));
+        assert!(report.contains("0xabcd"));
+        assert!(report.contains("xs = [1, 2, 3]"));
+        assert!(report.contains("shrunk (size factor 0.125)"));
+        assert!(report.contains("xs = [1]"));
+        assert!(report.contains("VBP_PROPTEST_SEED=0xabcd:4"));
     }
 
     #[test]

@@ -94,18 +94,23 @@ impl PackedRTree {
             if f.level == 0 {
                 let start = f.idx * self.points_per_leaf();
                 let end = (start + self.points_per_leaf()).min(pts.len());
-                for (i, p) in pts[start..end].iter().enumerate() {
-                    let d = p.dist_sq(&query);
+                // Leaf scan over the SoA coordinate arrays — same dense
+                // streaming access as the ε-kernel.
+                let (xs, ys) = self.coords();
+                for i in start..end {
+                    let dx = xs[i] - query.x;
+                    let dy = ys[i] - query.y;
+                    let d = dx * dx + dy * dy;
                     if best.len() < k {
                         best.push(Neighbor {
                             dist_sq: d,
-                            id: (start + i) as PointId,
+                            id: i as PointId,
                         });
                     } else if d < best.peek().unwrap().dist_sq {
                         best.pop();
                         best.push(Neighbor {
                             dist_sq: d,
-                            id: (start + i) as PointId,
+                            id: i as PointId,
                         });
                     }
                 }

@@ -50,4 +50,4 @@ pub use stats::TreeStats;
 pub use str_bulk::StrRTree;
 pub use ti::TiIndex;
 pub use traits::SpatialIndex;
-pub use tuner::{tune_r, tune_r_default, TuneReport, DEFAULT_R_CANDIDATES};
+pub use tuner::{tune_r, tune_r_default, tune_r_sampled, TuneReport, DEFAULT_R_CANDIDATES};

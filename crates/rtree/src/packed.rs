@@ -28,6 +28,13 @@ pub const DEFAULT_FANOUT: usize = 16;
 #[derive(Clone, Debug)]
 pub struct PackedRTree {
     points: SharedPoints,
+    /// SoA mirror of `points`: all x coordinates, contiguous in tree
+    /// order. The ε-query hot loop streams `xs`/`ys` instead of chasing
+    /// `Point2` structs — the coordinates of a leaf's points sit in two
+    /// dense `f64` runs the compiler can vectorize over.
+    xs: Vec<f64>,
+    /// SoA mirror of `points`: all y coordinates.
+    ys: Vec<f64>,
     /// Points per leaf MBB (the paper's `r`).
     r: usize,
     /// Internal fanout.
@@ -82,8 +89,12 @@ impl PackedRTree {
                 levels.push(level);
             }
         }
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
         Self {
             points,
+            xs,
+            ys,
             r,
             fanout,
             levels,
@@ -213,6 +224,37 @@ impl PackedRTree {
         self.levels.first().map_or(0, Vec::len)
     }
 
+    /// The SoA coordinate arrays `(xs, ys)`, in tree order. Exposed for
+    /// leaf-scanning traversals ([k-NN](crate::knn)) and for the kernel
+    /// differential tests.
+    #[inline]
+    pub fn coords(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+
+    /// The pre-SoA reference formulation of the ε-query: filter through
+    /// [`SpatialIndex::range_candidates`] into an id list, then refine each
+    /// candidate against the exact predicate by loading its `Point2`.
+    ///
+    /// Semantically identical to [`SpatialIndex::epsilon_neighbors`] (the
+    /// conformance suite pins this); kept as the naive baseline the SoA
+    /// kernel is differentially checked — and benchmarked — against.
+    pub fn epsilon_neighbors_naive(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
+        let start = out.len();
+        let query = Mbb::around_point(center, eps);
+        self.range_candidates(&query, out);
+        let eps_sq = eps * eps;
+        let mut write = start;
+        for read in start..out.len() {
+            let id = out[read];
+            if self.points[id as usize].dist_sq(&center) <= eps_sq {
+                out[write] = id;
+                write += 1;
+            }
+        }
+        out.truncate(write);
+    }
+
     /// Structural statistics, for the index ablation benches and for
     /// sanity-checking `r` sweeps.
     pub fn stats(&self) -> TreeStats {
@@ -245,19 +287,29 @@ impl SpatialIndex for PackedRTree {
         });
     }
 
-    // Specialized to scan leaf ranges directly instead of materializing a
-    // candidate id list first: the candidate set for a tuned-r tree is the
-    // hot allocation of the whole clustering run.
+    // The SoA kernel. Two deviations from the textbook loop, both for the
+    // memory-bound regime §IV-A tunes `r` for: (1) coordinates stream from
+    // the dense `xs`/`ys` arrays instead of strided `Point2` loads; (2) the
+    // inner loop is branch-light — it writes every candidate id and bumps
+    // the cursor by the predicate (0 or 1), so there is no data-dependent
+    // branch for the compiler to guard vectorization on. NaN coordinates
+    // compare false and are correctly skipped.
     fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
         let query = Mbb::around_point(center, eps);
         let eps_sq = eps * eps;
-        let pts: &[Point2] = &self.points;
+        let (cx, cy) = (center.x, center.y);
+        let (xs, ys) = (&self.xs[..], &self.ys[..]);
         self.for_each_overlapping_leaf(&query, |s, e| {
-            for (i, p) in pts[s..e].iter().enumerate() {
-                if p.dist_sq(&center) <= eps_sq {
-                    out.push((s + i) as PointId);
-                }
+            let base = out.len();
+            out.resize(base + (e - s), 0);
+            let mut w = base;
+            for i in s..e {
+                let dx = xs[i] - cx;
+                let dy = ys[i] - cy;
+                out[w] = i as PointId;
+                w += usize::from(dx * dx + dy * dy <= eps_sq);
             }
+            out.truncate(w);
         });
     }
 
@@ -270,6 +322,25 @@ impl SpatialIndex for PackedRTree {
                 }
             }
         });
+    }
+
+    // Batched queries sorted into tree order: point ids *are* positions in
+    // the bin-sorted database, so ascending id order visits leaves
+    // left-to-right and consecutive queries hit the leaf MBBs (and point
+    // runs) the previous query just pulled into cache.
+    fn epsilon_neighbors_batch(
+        &self,
+        ids: &mut [PointId],
+        eps: f64,
+        scratch: &mut Vec<PointId>,
+        emit: &mut dyn FnMut(PointId, &[PointId]),
+    ) {
+        ids.sort_unstable();
+        for &id in ids.iter() {
+            scratch.clear();
+            self.epsilon_neighbors(self.points[id as usize], eps, scratch);
+            emit(id, scratch);
+        }
     }
 }
 
@@ -406,6 +477,68 @@ mod tests {
         assert_eq!(s.points_per_leaf, 7);
         assert!(s.node_count >= s.leaf_count);
         assert!(s.depth >= 2);
+    }
+
+    #[test]
+    fn soa_kernel_matches_naive_path() {
+        let pts = grid_points(25, 25);
+        for r in [1, 7, 70] {
+            let (t, _) = PackedRTree::build(&pts, r);
+            for (cx, cy, eps) in [
+                (12.0, 12.0, 2.5),
+                (0.0, 0.0, 1.0),
+                (24.0, 24.0, 40.0),
+                (5.5, 5.5, 0.0),
+                (7.0, 7.0, 3.0), // boundary: many points at distance exactly 3
+            ] {
+                let center = Point2::new(cx, cy);
+                let (mut soa, mut naive) = (Vec::new(), Vec::new());
+                t.epsilon_neighbors(center, eps, &mut soa);
+                t.epsilon_neighbors_naive(center, eps, &mut naive);
+                soa.sort_unstable();
+                naive.sort_unstable();
+                assert_eq!(soa, naive, "r={r}, center=({cx},{cy}), ε={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_emits_each_id_once_with_matching_neighbors() {
+        let pts = grid_points(12, 12);
+        let (t, _) = PackedRTree::build(&pts, 8);
+        // Deliberately shuffled query order; the override may reorder.
+        let mut ids: Vec<PointId> = (0..pts.len() as PointId).rev().step_by(3).collect();
+        let expected_count = ids.len();
+        let mut seen = vec![false; pts.len()];
+        let mut scratch = Vec::new();
+        let mut emitted = 0usize;
+        let ids_copy = ids.clone();
+        t.epsilon_neighbors_batch(&mut ids, 1.5, &mut scratch, &mut |id, neighbors| {
+            assert!(!seen[id as usize], "id {id} emitted twice");
+            seen[id as usize] = true;
+            emitted += 1;
+            let mut single = Vec::new();
+            t.epsilon_neighbors(t.points()[id as usize], 1.5, &mut single);
+            let mut got = neighbors.to_vec();
+            got.sort_unstable();
+            single.sort_unstable();
+            assert_eq!(got, single, "batch result diverges for id {id}");
+        });
+        assert_eq!(emitted, expected_count);
+        for id in ids_copy {
+            assert!(seen[id as usize]);
+        }
+    }
+
+    #[test]
+    fn coords_mirror_points() {
+        let pts = grid_points(9, 4);
+        let (t, _) = PackedRTree::build(&pts, 5);
+        let (xs, ys) = t.coords();
+        assert_eq!(xs.len(), t.len());
+        for (i, p) in t.points().iter().enumerate() {
+            assert_eq!((xs[i], ys[i]), (p.x, p.y));
+        }
     }
 
     #[test]

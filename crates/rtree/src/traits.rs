@@ -49,6 +49,13 @@ pub trait SpatialIndex: Send + Sync {
     /// `q` with `dist(center, q) ≤ eps`. Includes `center`'s own id when
     /// `center` is an indexed point — DBSCAN counts a point as its own
     /// neighbor, matching `N_ε(p) = {q ∈ D | dist(p,q) ≤ ε}`.
+    ///
+    /// The predicate is **closed** for every `eps ≥ 0`: points at distance
+    /// exactly `eps` are neighbors. In particular `eps == 0` is legal and
+    /// returns every point coincident with `center` (so ≥ 1 id when
+    /// `center` is itself indexed, more under duplicates). All backends and
+    /// [`crate::tune_r`] honor this contract; the cross-backend conformance
+    /// suite pins it, boundary cases included.
     fn epsilon_neighbors(&self, center: Point2, eps: f64, out: &mut Vec<PointId>) {
         let start = out.len();
         let query = Mbb::around_point(center, eps);
@@ -65,6 +72,30 @@ pub trait SpatialIndex: Send + Sync {
         scratch.clear();
         self.epsilon_neighbors(center, eps, scratch);
         scratch.len()
+    }
+
+    /// Batched ε-neighborhood queries: runs [`Self::epsilon_neighbors`] for
+    /// every indexed point id in `ids` and hands each result to `emit(id,
+    /// neighbors)`. Implementations may **reorder `ids` in place** so that
+    /// consecutive queries probe nearby index nodes (warm leaves) — callers
+    /// must not rely on emission order, only on every id being emitted
+    /// exactly once. `scratch` is the reused neighbor buffer.
+    ///
+    /// The default runs queries in the given order; [`crate::PackedRTree`]
+    /// overrides this to sort `ids` into tree order first.
+    fn epsilon_neighbors_batch(
+        &self,
+        ids: &mut [PointId],
+        eps: f64,
+        scratch: &mut Vec<PointId>,
+        emit: &mut dyn FnMut(PointId, &[PointId]),
+    ) {
+        let pts = self.points();
+        for &id in ids.iter() {
+            scratch.clear();
+            self.epsilon_neighbors(pts[id as usize], eps, scratch);
+            emit(id, scratch);
+        }
     }
 }
 

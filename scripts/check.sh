@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Repo verification gate: format, lints, build, tests.
 #
-#   scripts/check.sh          # run everything
-#   scripts/check.sh --fast   # skip the release build (debug tests only)
+#   scripts/check.sh              # run everything
+#   scripts/check.sh --fast       # skip the release build (debug tests only)
+#   CHECK_FULL=1 scripts/check.sh # + release conformance stage, 4x budget
 #
 # This is the bar every change must clear before merging. Tier-1 is the
 # build + test pair; fmt and clippy (warnings denied) keep the tree clean.
+# CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
+# ε-neighborhood conformance, metamorphic reuse equivalence) in release
+# mode with a 4x-larger case budget; the default run already executes them
+# at the fast budget via the workspace test pass, so tier-1 runtime is
+# unchanged.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,5 +32,11 @@ fi
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+if [[ "${CHECK_FULL:-0}" != "0" ]]; then
+  echo "==> conformance (release, VBP_CONFORMANCE_FULL=1)"
+  VBP_CONFORMANCE_FULL=1 cargo test -q --release -p vbp-rtree --test conformance
+  VBP_CONFORMANCE_FULL=1 cargo test -q --release -p variantdbscan --test metamorphic_reuse
+fi
 
 echo "All checks passed."
