@@ -152,6 +152,10 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         .try_run(&points, &variants)
         .map_err(|e| e.to_string())?;
 
+    if args.has("json") {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -330,6 +334,175 @@ pub fn tune(args: &Args) -> Result<String, String> {
     Ok(s)
 }
 
+/// Default bind address shared by `serve` and `submit`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7711";
+
+/// Parses the `--datasets a,b,c` list.
+fn dataset_list(args: &Args, default: &str) -> Vec<String> {
+    args.get("datasets")
+        .unwrap_or(default)
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Builds a registry with every requested dataset prepared.
+fn build_registry(engine: &Engine, names: &[String]) -> Result<vbp_service::Registry, String> {
+    if names.is_empty() {
+        return Err("--datasets: at least one dataset is required".into());
+    }
+    let mut registry = vbp_service::Registry::new();
+    for name in names {
+        registry.load(engine, name)?;
+    }
+    Ok(registry)
+}
+
+/// The service tunables shared by `serve` and `bench-service`.
+fn service_config(args: &Args, addr: String) -> Result<vbp_service::ServiceConfig, String> {
+    Ok(vbp_service::ServiceConfig {
+        addr,
+        queue_cap: args.num("queue-cap", 256usize)?.max(1),
+        cache_bytes: args.num("cache-mb", 64usize)? << 20,
+        batch_window: std::time::Duration::from_millis(args.num("batch-ms", 2u64)?),
+        ..vbp_service::ServiceConfig::default()
+    })
+}
+
+/// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT]` — run the daemon
+/// until a client sends `SHUTDOWN`.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let config = engine_config(args)?;
+    let engine = Engine::new(config);
+    let names = dataset_list(args, "");
+    let registry = build_registry(&engine, &names)?;
+    let loaded: Vec<String> = registry
+        .list()
+        .into_iter()
+        .map(|(n, s)| format!("{n} ({s} points)"))
+        .collect();
+    let service = service_config(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?;
+    let mut handle =
+        vbp_service::Server::start(engine, registry, service).map_err(|e| e.to_string())?;
+    // Announce readiness immediately — scripts parse this line for the
+    // resolved (possibly ephemeral) port; the command only returns after
+    // the drain completes.
+    println!(
+        "vbp-service listening on {} with {}",
+        handle.local_addr(),
+        loaded.join(", ")
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(format!("drained; final stats: {}\n", handle.stats_json()))
+}
+
+/// `vbp submit --dataset NAME --eps E [--minpts M] [--addr HOST:PORT]
+/// [--labels]` — send one variant request to a running daemon.
+pub fn submit(args: &Args) -> Result<String, String> {
+    let dataset = args.require("dataset")?;
+    let eps: f64 = args
+        .require("eps")?
+        .parse()
+        .map_err(|_| "--eps: not a number".to_string())?;
+    let minpts = args.num("minpts", 4usize)?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = vbp_service::Client::connect(addr).map_err(|e| e.to_string())?;
+    let reply = client
+        .submit(dataset, eps, minpts, args.has("labels"))
+        .map_err(|e| e.to_string())?;
+    client.quit();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{dataset}: ε = {eps}, minpts = {minpts} → {} clusters, {} noise in {:.2} ms ({})",
+        reply.clusters,
+        reply.noise,
+        reply.ms,
+        match (reply.warm, reply.reused) {
+            (true, _) => "cache reuse",
+            (false, true) => "in-batch reuse",
+            (false, false) => "from scratch",
+        }
+    );
+    if let Some(labels) = reply.labels {
+        let rendered: Vec<String> = labels.iter().map(u32::to_string).collect();
+        let _ = writeln!(s, "labels: {}", rendered.join(","));
+    }
+    Ok(s)
+}
+
+/// `vbp bench-service [--datasets …]` — in-process cold-vs-warm
+/// throughput probe: start a daemon, submit a grid of variants per
+/// dataset twice over TCP, and compare variants/second.
+pub fn bench_service(args: &Args) -> Result<String, String> {
+    let config = engine_config(args)?;
+    let engine = Engine::new(config);
+    let names = dataset_list(args, "cF_10k_5N@2000,SW1@2000");
+    let registry = build_registry(&engine, &names)?;
+
+    // Ten variants per dataset around its k-dist knee, mirroring the
+    // loopback smoke workload.
+    let mut requests = Vec::new();
+    for name in &names {
+        let base = registry
+            .get(name)
+            .and_then(|e| e.suggested_eps)
+            .unwrap_or(1.0);
+        for scale in [0.8, 1.0, 1.2, 1.5, 2.0] {
+            for minpts in [4usize, 8] {
+                requests.push((name.clone(), base * scale, minpts));
+            }
+        }
+    }
+
+    let service = service_config(args, "127.0.0.1:0".to_string())?;
+    let mut handle =
+        vbp_service::Server::start(engine, registry, service).map_err(|e| e.to_string())?;
+    let report =
+        vbp_service::run_cold_warm(handle.local_addr(), &requests).map_err(|e| e.to_string())?;
+    handle.shutdown();
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "service cold-vs-warm throughput ({} requests/round over {} datasets, T = {}):",
+        report.requests,
+        names.len(),
+        config.threads
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:>12} {:>16} {:>11}",
+        "round", "seconds", "variants/sec", "cache hits"
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:>12.4} {:>16.1} {:>11}",
+        "cold",
+        report.cold_secs,
+        report.cold_vps(),
+        0
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:>12.4} {:>16.1} {:>11}",
+        "warm",
+        report.warm_secs,
+        report.warm_vps(),
+        report.warm_hits
+    );
+    let _ = writeln!(s, "warm speedup over cold: {:.2}×", report.speedup());
+    let _ = writeln!(s, "final STATS: {}", report.stats_json);
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &s).map_err(|e| format!("{out}: {e}"))?;
+    }
+    Ok(s)
+}
+
 /// Builds the engine configuration from common flags.
 fn engine_config(args: &Args) -> Result<EngineConfig, String> {
     let scheduler = match args.get("scheduler").unwrap_or("greedy") {
@@ -403,9 +576,18 @@ commands:
   sweep    (--dataset … | --input F)          VariantDBSCAN over V = eps × minpts
            --eps E1,E2,… --minpts M1,M2,…
            [--threads T] [--r R|auto] [--scheduler greedy|minpts]
-           [--reuse off|default|density|ptssq]
-           (--r auto tunes r empirically at index-build time)
+           [--reuse off|default|density|ptssq] [--json]
+           (--r auto tunes r empirically at index-build time;
+            --json emits the full RunReport as one JSON line)
   simulate --eps … --minpts … [--threads T]   analytic scheduler comparison
+  serve    --datasets NAME[@N],…              run the clustering daemon until a
+           [--addr HOST:PORT] [--threads T]   client sends SHUTDOWN; datasets are
+           [--r R|auto] [--queue-cap N]       indexed once at startup and results
+           [--cache-mb MB] [--batch-ms MS]    are cached across requests
+  submit   --dataset NAME --eps E             send one variant to a daemon
+           [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
+  bench-service [--datasets …] [--out F]      in-process cold-vs-warm cache
+           [--threads T] [--cache-mb MB]      throughput probe over loopback TCP
 "
     .to_string()
 }
@@ -426,8 +608,13 @@ mod tests {
             "threads",
             "scheduler",
             "reuse",
+            "addr",
+            "datasets",
+            "queue-cap",
+            "cache-mb",
+            "batch-ms",
         ],
-        switches: &["render"],
+        switches: &["render", "json", "labels"],
     };
 
     fn parse(parts: &[&str]) -> Args {
@@ -604,6 +791,82 @@ mod tests {
             .filter(|l| l.starts_with("  ") && l.len() >= 72)
             .count();
         assert!(map_rows >= 20, "{out}");
+    }
+
+    #[test]
+    fn sweep_json_emits_one_json_line() {
+        let out = sweep(&parse(&[
+            "sweep",
+            "--dataset",
+            "cF_10k_5N@800",
+            "--eps",
+            "0.5,0.8",
+            "--minpts",
+            "4",
+            "--threads",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        let line = out.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{out}");
+        assert!(line.contains("\"variants\":2"), "{out}");
+        assert!(line.contains("\"outcomes\":["), "{out}");
+        assert!(line.contains("\"worker_stats\":["), "{out}");
+    }
+
+    #[test]
+    fn bench_service_reports_warm_speedup_and_writes_out() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vbp_cli_service_throughput.txt");
+        let path_str = path.to_str().unwrap();
+        let out = bench_service(&parse(&[
+            "bench-service",
+            "--datasets",
+            "cF_10k_5N@500",
+            "--threads",
+            "2",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("cold"), "{out}");
+        assert!(out.contains("warm speedup over cold"), "{out}");
+        assert!(out.contains("\"reuse_hits\":"), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, out);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn submit_against_a_live_serve_roundtrips() {
+        // Start a daemon on an ephemeral port directly (the serve()
+        // command blocks until drained, so drive the pieces it wraps).
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let registry = build_registry(&engine, &["cF_10k_5N@400".to_string()]).unwrap();
+        let mut handle =
+            vbp_service::Server::start(engine, registry, vbp_service::ServiceConfig::default())
+                .unwrap();
+        let addr = handle.local_addr().to_string();
+        let out = submit(&parse(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "cF_10k_5N@400",
+            "--eps",
+            "0.7",
+            "--minpts",
+            "4",
+            "--labels",
+        ]))
+        .unwrap();
+        assert!(out.contains("clusters"), "{out}");
+        assert!(out.contains("from scratch"), "{out}");
+        let labels_line = out.lines().find(|l| l.starts_with("labels:")).unwrap();
+        assert_eq!(labels_line.split(',').count(), 400);
+        handle.shutdown();
     }
 
     #[test]

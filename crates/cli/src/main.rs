@@ -20,8 +20,13 @@ const SPEC: Spec = Spec {
         "threads",
         "scheduler",
         "reuse",
+        "addr",
+        "datasets",
+        "queue-cap",
+        "cache-mb",
+        "batch-ms",
     ],
-    switches: &["render"],
+    switches: &["render", "json", "labels"],
 };
 
 fn main() {
@@ -39,6 +44,9 @@ fn main() {
         "tune" => commands::tune(&args),
         "sweep" => commands::sweep(&args),
         "simulate" => commands::simulate_cmd(&args),
+        "serve" => commands::serve(&args),
+        "submit" => commands::submit(&args),
+        "bench-service" => commands::bench_service(&args),
         other => Err(format!(
             "unknown command '{other}'\n\n{}",
             commands::usage()

@@ -40,17 +40,17 @@
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
-use vbp_geom::{BinOrder, Point2};
-use vbp_rtree::{tune_r_sampled, PackedRTree};
+use vbp_geom::{BinOrder, Point2, PointId};
+use vbp_rtree::{tune_r_sampled, PackedRTree, TuneReport};
 
 use crate::expand::cluster_with_reuse;
 use crate::metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
 use crate::scheduler::{ScheduleState, Scheduler};
 use crate::seeds::ReuseScheme;
-use crate::variant::VariantSet;
+use crate::variant::{Variant, VariantSet};
 
 /// How the engine picks `r` (points per leaf MBB of `T_low`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -200,6 +200,103 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// A prebuilt, reusable index pair over one point database.
+///
+/// [`Engine::run`] rebuilds `T_low`/`T_high` on every call even when the
+/// point set is unchanged — fine for one-shot sweeps, wasteful for a
+/// long-running service answering many variant requests against the same
+/// datasets. `PreparedIndex` hoists the bin sort, the (optional) `r`
+/// auto-tune, and both tree builds out of the run loop: build once with
+/// [`Engine::prepare`], then call [`Engine::run_prepared`] any number of
+/// times. Runs over a prepared index report `index_build_time == 0` — the
+/// build cost lives in [`PreparedIndex::build_time`], amortized across
+/// every run that shares the handle.
+#[derive(Clone, Debug)]
+pub struct PreparedIndex {
+    t_low: PackedRTree,
+    t_high: PackedRTree,
+    permutation: Vec<PointId>,
+    chosen_r: usize,
+    tune: Option<TuneReport>,
+    build_time: Duration,
+}
+
+impl PreparedIndex {
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.permutation.len()
+    }
+
+    /// Returns `true` for an index over the empty database.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.permutation.is_empty()
+    }
+
+    /// The tuned-`r` tree used for ε-neighborhood searches.
+    #[inline]
+    pub fn t_low(&self) -> &PackedRTree {
+        &self.t_low
+    }
+
+    /// The `r = 1` tree used for cluster-MBB harvests.
+    #[inline]
+    pub fn t_high(&self) -> &PackedRTree {
+        &self.t_high
+    }
+
+    /// Permutation mapping tree order → caller point order.
+    #[inline]
+    pub fn permutation(&self) -> &[PointId] {
+        &self.permutation
+    }
+
+    /// The `r` the index was actually built with.
+    #[inline]
+    pub fn chosen_r(&self) -> usize {
+        self.chosen_r
+    }
+
+    /// The auto-tuning sweep record, when [`RChoice::Auto`] ran.
+    pub fn tune(&self) -> Option<&TuneReport> {
+        self.tune.as_ref()
+    }
+
+    /// Wall time spent bin-sorting, tuning, and building both trees.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Maps a tree-order clustering of this index back to the caller's
+    /// original point order (raw label values, noise included).
+    pub fn labels_in_caller_order(&self, result: &ClusterResult) -> Vec<u32> {
+        assert_eq!(
+            result.len(),
+            self.permutation.len(),
+            "result covers a different database"
+        );
+        let mut remapped = vec![0u32; result.len()];
+        for (tree_idx, &orig) in self.permutation.iter().enumerate() {
+            remapped[orig as usize] = result.labels().raw(tree_idx as PointId);
+        }
+        remapped
+    }
+}
+
+/// An externally completed clustering offered to a run as a reuse source
+/// — the unit the service's cross-run dominance cache feeds back into
+/// [`Engine::run_prepared_warm`]. The result must be in the *tree order*
+/// of the prepared index the warm run executes against (which it is, when
+/// it came out of a previous run over the same handle).
+#[derive(Clone, Debug)]
+pub struct WarmSource {
+    /// The variant the cached result was clustered with.
+    pub variant: Variant,
+    /// Its clustering, in the prepared index's tree order.
+    pub result: Arc<ClusterResult>,
+}
+
 /// The VariantDBSCAN engine.
 #[derive(Clone, Debug, Default)]
 pub struct Engine {
@@ -251,28 +348,36 @@ impl Engine {
         self.run_internal(points, variants, None)
     }
 
-    /// Shared implementation of [`Engine::run`] and
-    /// [`Engine::run_with_progress`](crate::progress).
-    pub(crate) fn run_internal(
+    /// Builds the two shared R-trees (and runs the [`RChoice::Auto`]
+    /// sweep, when configured) over `points` without clustering anything,
+    /// returning a handle that any number of [`Engine::run_prepared`]
+    /// calls can share. `representative_eps` feeds the auto-tuner; pass
+    /// `None` to fall back to [`AUTO_TUNE_FALLBACK_R`] (a fixed `r`
+    /// ignores it entirely).
+    pub fn prepare(
         &self,
         points: &[Point2],
-        variants: &VariantSet,
-        progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
-    ) -> Result<RunReport, EngineError> {
-        use crate::progress::ProgressEvent;
+        representative_eps: Option<f64>,
+    ) -> Result<PreparedIndex, EngineError> {
         if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
             return Err(EngineError::NonFinitePoint {
                 index: bad,
                 point: points[bad],
             });
         }
+        Ok(self.prepare_unchecked(points, representative_eps))
+    }
+
+    /// [`Engine::prepare`] minus the finiteness check (already done by
+    /// callers on the classic `run` path).
+    fn prepare_unchecked(&self, points: &[Point2], eps_hint: Option<f64>) -> PreparedIndex {
         // Tuning (when enabled) is part of index construction: it runs
-        // once per engine run, before any variant, and its cost is
-        // reported inside `index_build_time`.
+        // once per prepare, before any variant, and its cost is reported
+        // in `build_time`.
         let build_start = Instant::now();
         let (chosen_r, tune) = match self.config.r {
             RChoice::Fixed(r) => (r, None),
-            RChoice::Auto => match representative_eps(variants) {
+            RChoice::Auto => match eps_hint {
                 Some(eps) => {
                     let report = tune_r_sampled(
                         points,
@@ -289,23 +394,111 @@ impl Engine {
         let (t_low, permutation) =
             PackedRTree::build_with_order(points, chosen_r, self.config.bin_order);
         let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
-        let index_build_time = build_start.elapsed();
-        if let Some(tx) = &progress {
-            let _ = tx.send(ProgressEvent::IndexBuilt {
-                seconds: index_build_time.as_secs_f64(),
+        PreparedIndex {
+            t_low,
+            t_high,
+            permutation,
+            chosen_r,
+            tune,
+            build_time: build_start.elapsed(),
+        }
+    }
+
+    /// Clusters `variants` over a prebuilt index — [`Engine::run`] minus
+    /// the per-run index construction. The returned report's
+    /// `index_build_time` is zero (see [`PreparedIndex`]).
+    pub fn run_prepared(&self, index: &PreparedIndex, variants: &VariantSet) -> RunReport {
+        self.execute(index, variants, &[], None)
+    }
+
+    /// Like [`Engine::run_prepared`], but seeds the schedule with warm
+    /// reuse sources: clusterings completed by *earlier* runs over the
+    /// same index (the service's cross-run cache). Warm sources compete
+    /// with in-run completions under the normal greedy rule; assignments
+    /// that reuse one are flagged [`VariantOutcome::warm`] and counted by
+    /// [`RunReport::warm_hits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a warm result covers a different database size than the
+    /// index.
+    pub fn run_prepared_warm(
+        &self,
+        index: &PreparedIndex,
+        variants: &VariantSet,
+        warm: &[WarmSource],
+    ) -> RunReport {
+        for w in warm {
+            assert_eq!(
+                w.result.len(),
+                index.len(),
+                "warm source {} covers a different database",
+                w.variant
+            );
+        }
+        self.execute(index, variants, warm, None)
+    }
+
+    /// Shared implementation of [`Engine::run`] and
+    /// [`Engine::run_with_progress`](crate::progress): prepare, then
+    /// execute, folding the index build time back into the report.
+    pub(crate) fn run_internal(
+        &self,
+        points: &[Point2],
+        variants: &VariantSet,
+        progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+    ) -> Result<RunReport, EngineError> {
+        use crate::progress::ProgressEvent;
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(EngineError::NonFinitePoint {
+                index: bad,
+                point: points[bad],
             });
         }
+        let prepared = self.prepare_unchecked(points, representative_eps(variants));
+        if let Some(tx) = &progress {
+            let _ = tx.send(ProgressEvent::IndexBuilt {
+                seconds: prepared.build_time.as_secs_f64(),
+            });
+        }
+        let mut report = self.execute(&prepared, variants, &[], progress);
+        // One-shot runs own their index, so they pay (and report) its
+        // construction; prepared runs amortize it and report zero.
+        report.index_build_time = prepared.build_time;
+        Ok(report)
+    }
+
+    /// The engine core: clusters `variants` over a prepared index with
+    /// optional warm sources.
+    fn execute(
+        &self,
+        index: &PreparedIndex,
+        variants: &VariantSet,
+        warm: &[WarmSource],
+        progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+    ) -> RunReport {
+        use crate::progress::ProgressEvent;
+        let n_var = variants.len();
 
         // The three-way shared state split (see module docs): a small
         // mutex for the schedule, lock-free once-cells for results, and a
-        // channel for outcome bookkeeping.
-        let schedule = Mutex::new(ScheduleState::new(
+        // channel for outcome bookkeeping. Warm sources occupy the result
+        // slots past `n_var`, pre-filled before any worker starts, so the
+        // lock-free read path is identical for both source kinds.
+        let warm_variants: Vec<Variant> = warm.iter().map(|w| w.variant).collect();
+        let schedule = Mutex::new(ScheduleState::with_warm_sources(
             variants.clone(),
             self.config.scheduler,
             self.config.reuse.reuses(),
+            &warm_variants,
         ));
         let results: Vec<OnceLock<Arc<ClusterResult>>> =
-            (0..variants.len()).map(|_| OnceLock::new()).collect();
+            (0..n_var + warm.len()).map(|_| OnceLock::new()).collect();
+        for (i, w) in warm.iter().enumerate() {
+            results[n_var + i]
+                .set(Arc::clone(&w.result))
+                .expect("fresh slot");
+        }
         let (outcome_tx, outcome_rx) = mpsc::channel::<VariantOutcome>();
 
         let t0 = Instant::now();
@@ -314,8 +507,6 @@ impl Engine {
                 .map(|thread_id| {
                     let schedule = &schedule;
                     let results = &results[..];
-                    let t_low = &t_low;
-                    let t_high = &t_high;
                     let progress = progress.clone();
                     let outcome_tx = outcome_tx.clone();
                     scope.spawn(move || {
@@ -323,8 +514,9 @@ impl Engine {
                             thread_id,
                             self.config.reuse,
                             variants,
-                            t_low,
-                            t_high,
+                            warm,
+                            index.t_low(),
+                            index.t_high(),
                             schedule,
                             results,
                             outcome_tx,
@@ -341,9 +533,7 @@ impl Engine {
         });
         let total_time = t0.elapsed();
         if let Some(tx) = &progress {
-            let _ = tx.send(ProgressEvent::Finished {
-                variants: variants.len(),
-            });
+            let _ = tx.send(ProgressEvent::Finished { variants: n_var });
         }
 
         // All worker-held senders are gone; drop ours and drain.
@@ -353,6 +543,7 @@ impl Engine {
         let results = if self.config.keep_results {
             results
                 .into_iter()
+                .take(n_var)
                 .map(|slot| {
                     slot.into_inner()
                         .expect("every variant must have completed")
@@ -362,17 +553,18 @@ impl Engine {
             Vec::new()
         };
 
-        Ok(RunReport {
+        RunReport {
             outcomes,
             total_time,
-            index_build_time,
+            index_build_time: Duration::ZERO,
             threads: self.config.threads,
-            chosen_r,
-            tune,
+            chosen_r: index.chosen_r,
+            tune: index.tune.clone(),
             results,
-            permutation,
+            permutation: index.permutation.clone(),
             worker_stats,
-        })
+            warm_seeds: warm.len(),
+        }
     }
 }
 
@@ -395,6 +587,7 @@ fn worker_loop(
     thread_id: usize,
     reuse: ReuseScheme,
     variants: &VariantSet,
+    warm: &[WarmSource],
     t_low: &PackedRTree,
     t_high: &PackedRTree,
     schedule: &Mutex<ScheduleState>,
@@ -423,7 +616,8 @@ fn worker_loop(
         };
         stats.assignments += 1;
 
-        // Reuse sources are read lock-free: the slot was filled before the
+        // Reuse sources are read lock-free: warm slots were filled before
+        // the workers started; in-run slots were filled before the
         // source's completion was announced under the schedule mutex.
         let source_result: Option<Arc<ClusterResult>> = assignment.reuse_from.map(|u| {
             Arc::clone(
@@ -435,9 +629,15 @@ fn worker_loop(
 
         let variant = variants[assignment.variant];
         let started = t0.elapsed();
-        let (result, path) = match (source_result, assignment.reuse_from) {
+        let (result, path, from_warm) = match (source_result, assignment.reuse_from) {
             (Some(prev), Some(u)) => {
-                let source_variant = variants[u];
+                // Ids past the variant range address warm sources.
+                let from_warm = u >= variants.len();
+                let source_variant = if from_warm {
+                    warm[u - variants.len()].variant
+                } else {
+                    variants[u]
+                };
                 let (result, stats) =
                     cluster_with_reuse(t_low, t_high, variant, &prev, source_variant, reuse);
                 (
@@ -446,11 +646,12 @@ fn worker_loop(
                         source: source_variant,
                         stats,
                     },
+                    from_warm,
                 )
             }
             _ => {
                 let (result, stats) = dbscan_with_scratch(t_low, variant.params(), &mut scratch);
-                (result, ExecutionPath::FromScratch(stats))
+                (result, ExecutionPath::FromScratch(stats), false)
             }
         };
         let finished = t0.elapsed();
@@ -463,6 +664,7 @@ fn worker_loop(
             started,
             finished,
             path,
+            warm: from_warm,
             clusters: result.num_clusters(),
             noise: result.noise_count(),
         };
@@ -826,6 +1028,180 @@ mod tests {
                 assert!(o.variant.can_reuse(&src));
             }
         }
+    }
+
+    // ----- prepared indexes: build once, run many
+
+    #[test]
+    fn prepared_index_builds_once_across_runs() {
+        // Regression: `run` used to rebuild T_low/T_high per call even on
+        // an unchanged point set. Two runs over one prepared handle must
+        // not pay (or report) any index construction — the build cost
+        // lives in the handle, once.
+        let points = blobs(800, 4, 63);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        let prepared = engine.prepare(&points, None).unwrap();
+        assert!(prepared.build_time() > Duration::ZERO);
+        assert_eq!(prepared.len(), points.len());
+        assert_eq!(prepared.chosen_r(), 16);
+
+        let a = engine.run_prepared(&prepared, &variants);
+        let b = engine.run_prepared(&prepared, &variants);
+        assert_eq!(a.index_build_time, Duration::ZERO);
+        assert_eq!(b.index_build_time, Duration::ZERO);
+        assert_eq!(a.permutation, prepared.permutation());
+        assert_eq!(b.permutation, prepared.permutation());
+
+        // Same handle ⇒ same tree order ⇒ same cluster structure as the
+        // classic one-shot path.
+        let direct = engine.run(&points, &variants);
+        assert!(direct.index_build_time > Duration::ZERO);
+        for i in 0..variants.len() {
+            assert_eq!(
+                a.results[i].num_clusters(),
+                direct.results[i].num_clusters()
+            );
+            assert_eq!(a.results[i].noise_count(), direct.results[i].noise_count());
+        }
+    }
+
+    #[test]
+    fn prepared_auto_r_uses_eps_hint() {
+        let points = blobs(1_200, 4, 67);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_auto_r());
+        let with_hint = engine.prepare(&points, Some(1.0)).unwrap();
+        assert!(AUTO_TUNE_CANDIDATES.contains(&with_hint.chosen_r()));
+        assert!(with_hint.tune().is_some());
+        let without = engine.prepare(&points, None).unwrap();
+        assert_eq!(without.chosen_r(), AUTO_TUNE_FALLBACK_R);
+        assert!(without.tune().is_none());
+    }
+
+    #[test]
+    fn prepare_rejects_non_finite_points() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(4));
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(1.0, f64::INFINITY)];
+        assert!(matches!(
+            engine.prepare(&points, None),
+            Err(EngineError::NonFinitePoint { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn labels_in_caller_order_roundtrips() {
+        let points = blobs(300, 3, 69);
+        let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        let prepared = engine.prepare(&points, None).unwrap();
+        let report = engine.run_prepared(&prepared, &variants);
+        let remapped = prepared.labels_in_caller_order(&report.results[0]);
+        assert_eq!(remapped, report.result_in_caller_order(0));
+    }
+
+    // ----- warm starts: cross-run reuse sources
+
+    #[test]
+    fn warm_start_reuses_cached_results() {
+        let points = blobs(700, 4, 71);
+        let variants = small_grid();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(16)
+                .with_reuse(ReuseScheme::ClusDensity),
+        );
+        let prepared = engine.prepare(&points, None).unwrap();
+        let cold = engine.run_prepared(&prepared, &variants);
+        assert_eq!(cold.warm_seeds, 0);
+        assert_eq!(cold.warm_hits(), 0);
+        assert_eq!(cold.from_scratch_count(), 1); // T = 1 + SchedGreedy
+
+        // Seed the next run with the cold run's most dominant result
+        // (smallest ε, largest minpts — canonical position 0): every
+        // variant can reuse it, so nothing runs from scratch.
+        let warm = vec![WarmSource {
+            variant: variants.get(0),
+            result: Arc::clone(&cold.results[0]),
+        }];
+        let warm_run = engine.run_prepared_warm(&prepared, &variants, &warm);
+        assert_eq!(warm_run.warm_seeds, 1);
+        assert!(warm_run.warm_hits() >= 1, "cache seed was never reused");
+        assert_eq!(warm_run.from_scratch_count(), 0);
+        // Cluster structure must match the cold run variant-for-variant.
+        for i in 0..variants.len() {
+            assert_eq!(
+                warm_run.results[i].num_clusters(),
+                cold.results[i].num_clusters(),
+                "variant {i}"
+            );
+            assert_eq!(
+                warm_run.results[i].noise_count(),
+                cold.results[i].noise_count(),
+                "variant {i}"
+            );
+        }
+        // The identity seed is at parameter distance 0 from variant 0, so
+        // that variant reuses it (the frontier re-check still touches the
+        // non-dense remainder, so the fraction is high but below 1).
+        assert!(warm_run.outcomes[0].warm);
+        assert!(warm_run.outcomes[0].fraction_reused() > 0.5);
+    }
+
+    #[test]
+    fn warm_sources_ignored_when_nothing_dominates() {
+        // A warm source with *larger* ε and *smaller* minpts than every
+        // variant dominates nothing; the run must behave exactly cold.
+        let points = blobs(400, 3, 73);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let prepared = engine.prepare(&points, None).unwrap();
+        let donor =
+            engine.run_prepared(&prepared, &VariantSet::replicated(Variant::new(5.0, 1), 1));
+        let warm = vec![WarmSource {
+            variant: Variant::new(5.0, 1),
+            result: Arc::clone(&donor.results[0]),
+        }];
+        let report = engine.run_prepared_warm(&prepared, &variants, &warm);
+        assert_eq!(report.warm_seeds, 1);
+        assert_eq!(report.warm_hits(), 0);
+        assert_eq!(report.from_scratch_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different database")]
+    fn warm_source_of_wrong_size_rejected() {
+        let points = blobs(200, 2, 79);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        let prepared = engine.prepare(&points, None).unwrap();
+        let small = engine.prepare(&points[..50], None).unwrap();
+        let donor = engine.run_prepared(&small, &VariantSet::replicated(Variant::new(1.0, 4), 1));
+        let warm = vec![WarmSource {
+            variant: Variant::new(1.0, 4),
+            result: Arc::clone(&donor.results[0]),
+        }];
+        engine.run_prepared_warm(&prepared, &small_grid(), &warm);
+    }
+
+    #[test]
+    fn warm_start_with_many_threads_terminates_cleanly() {
+        let points = blobs(500, 4, 83);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(8).with_r(16));
+        let prepared = engine.prepare(&points, None).unwrap();
+        let cold = engine.run_prepared(&prepared, &variants);
+        let warm: Vec<WarmSource> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, v)| WarmSource {
+                variant: v,
+                result: Arc::clone(&cold.results[i]),
+            })
+            .collect();
+        let report = engine.run_prepared_warm(&prepared, &variants, &warm);
+        assert_all_complete_once(&report, variants.len());
+        // Every variant has an identity seed at distance 0: all warm.
+        assert_eq!(report.warm_hits(), variants.len());
     }
 
     // ----- termination edge cases: every variant completes exactly once

@@ -54,9 +54,12 @@ pub mod sim;
 pub mod variant;
 
 pub use deptree::DependencyTree;
-pub use engine::{Engine, EngineConfig, EngineError, RChoice};
+pub use engine::{Engine, EngineConfig, EngineError, PreparedIndex, RChoice, WarmSource};
 pub use expand::{cluster_with_reuse, ReuseStats};
-pub use metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
+pub use metrics::{
+    tune_report_to_json, ExecutionPath, JsonArray, JsonObject, RunReport, VariantOutcome,
+    WorkerStats,
+};
 pub use progress::ProgressEvent;
 pub use scheduler::{Assignment, ReferenceScheduleState, ScheduleSource, ScheduleState, Scheduler};
 pub use seeds::{seed_list, ReuseScheme};

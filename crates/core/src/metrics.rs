@@ -3,6 +3,7 @@
 //! relative speedups (Figures 4, 7a, 8), average reuse (Figure 7b), and
 //! per-thread makespans against the no-idle lower bound (Figure 9).
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,6 +43,12 @@ pub struct VariantOutcome {
     pub finished: Duration,
     /// Which code path ran and its instrumentation.
     pub path: ExecutionPath,
+    /// `true` when the reuse source was a *warm* one — a cached
+    /// clustering completed by an earlier run over the same prepared
+    /// index (see [`Engine::run_prepared_warm`](crate::Engine)) rather
+    /// than a variant of this run. Always `false` for from-scratch
+    /// executions.
+    pub warm: bool,
     /// Clusters produced.
     pub clusters: usize,
     /// Points labeled noise.
@@ -152,6 +159,9 @@ pub struct RunReport {
     /// Per-worker contention/utilization accounting, one entry per
     /// thread (unordered; see [`WorkerStats::thread`]).
     pub worker_stats: Vec<WorkerStats>,
+    /// Warm reuse sources the run was seeded with (0 outside
+    /// [`Engine::run_prepared_warm`](crate::Engine)).
+    pub warm_seeds: usize,
 }
 
 impl RunReport {
@@ -228,6 +238,12 @@ impl RunReport {
             .count()
     }
 
+    /// How many variants reused a *warm* (cross-run cached) source — the
+    /// service cache's per-run hit count.
+    pub fn warm_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.warm).count()
+    }
+
     /// Relative speedup versus a reference run time — the paper's y-axis:
     /// `time(reference) / time(this)`.
     pub fn speedup_vs(&self, reference: Duration) -> f64 {
@@ -275,6 +291,286 @@ impl RunReport {
         }
         remapped
     }
+
+    /// Renders the whole run machine-readably (one JSON object, no
+    /// trailing newline): totals, tuning, per-variant outcomes, and
+    /// per-worker stats. Emitted by `vbp sweep --json` and embedded in
+    /// the service's `STATS` output.
+    pub fn to_json(&self) -> String {
+        let mut outcomes = JsonArray::new();
+        for o in &self.outcomes {
+            outcomes.push_raw(&o.to_json());
+        }
+        let mut workers = JsonArray::new();
+        for w in &self.worker_stats {
+            workers.push_raw(&w.to_json());
+        }
+        let tune = self
+            .tune
+            .as_ref()
+            .map_or_else(|| "null".to_string(), tune_report_to_json);
+        JsonObject::new()
+            .uint("variants", self.outcomes.len() as u64)
+            .uint("threads", self.threads as u64)
+            .uint("chosen_r", self.chosen_r as u64)
+            .float("total_ms", self.total_time.as_secs_f64() * 1e3)
+            .float("index_build_ms", self.index_build_time.as_secs_f64() * 1e3)
+            .uint("warm_seeds", self.warm_seeds as u64)
+            .uint("warm_hits", self.warm_hits() as u64)
+            .uint("from_scratch", self.from_scratch_count() as u64)
+            .float("mean_fraction_reused", self.mean_fraction_reused())
+            .float("makespan_slowdown", self.slowdown_vs_lower_bound())
+            .float("lock_wait_ms", self.total_lock_wait().as_secs_f64() * 1e3)
+            .float("sched_ms", self.total_sched_time().as_secs_f64() * 1e3)
+            .float("idle_ms", self.total_idle().as_secs_f64() * 1e3)
+            .float("lock_wait_share", self.lock_wait_share())
+            .raw("tune", &tune)
+            .raw("outcomes", &outcomes.finish())
+            .raw("worker_stats", &workers.finish())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output — a hand-rolled JSON writer. The build
+// environment is offline (no serde), and both `vbp sweep --json` and the
+// service's `STATS` command need structured reports, so a minimal
+// RFC 8259 emitter lives here next to the types it serializes.
+
+/// Appends `s` to `out` as a double-quoted JSON string, escaping quotes,
+/// backslashes, and control characters.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number. NaN and ±∞ have no JSON
+/// representation and become `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's f64 Display prints plain decimal notation that
+        // round-trips — valid JSON as-is.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental JSON object builder (chainable, consuming).
+///
+/// ```
+/// use variantdbscan::metrics::JsonObject;
+/// let s = JsonObject::new().str("name", "SW4").uint("points", 4).finish();
+/// assert_eq!(s, r#"{"name":"SW4","points":4}"#);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        push_json_str(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a number field (`null` for non-finite values).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        push_json_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a `null` field.
+    pub fn null(mut self, key: &str) -> Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (a nested object or
+    /// array built with this module's writers).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Incremental JSON array builder.
+#[derive(Clone, Debug)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("["),
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    /// Appends a pre-rendered JSON element.
+    pub fn push_raw(&mut self, element: &str) {
+        self.sep();
+        self.buf.push_str(element);
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, element: &str) {
+        self.sep();
+        push_json_str(&mut self.buf, element);
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_uint(&mut self, element: u64) {
+        self.sep();
+        let _ = write!(self.buf, "{element}");
+    }
+
+    /// Appends a number element (`null` for non-finite values).
+    pub fn push_float(&mut self, element: f64) {
+        self.sep();
+        push_json_f64(&mut self.buf, element);
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+/// JSON for a [`TuneReport`] (rendered here because the writer lives
+/// here; `vbp-rtree` stays serialization-free).
+pub fn tune_report_to_json(tune: &TuneReport) -> String {
+    let mut timings = JsonArray::new();
+    for (r, t) in &tune.timings {
+        timings.push_raw(
+            &JsonObject::new()
+                .uint("r", *r as u64)
+                .float("ms", t.as_secs_f64() * 1e3)
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .uint("best_r", tune.best_r as u64)
+        .uint("sample_size", tune.sample_size as u64)
+        .raw("timings", &timings.finish())
+        .finish()
+}
+
+impl WorkerStats {
+    /// One worker's accounting as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .uint("thread", self.thread as u64)
+            .uint("assignments", self.assignments as u64)
+            .float("lock_wait_ms", self.lock_wait.as_secs_f64() * 1e3)
+            .float("sched_ms", self.sched_time.as_secs_f64() * 1e3)
+            .float("busy_ms", self.busy.as_secs_f64() * 1e3)
+            .float("idle_ms", self.idle.as_secs_f64() * 1e3)
+            .finish()
+    }
+}
+
+impl VariantOutcome {
+    /// One variant's record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let o = JsonObject::new()
+            .uint("index", self.index as u64)
+            .float("eps", self.variant.eps)
+            .uint("minpts", self.variant.minpts as u64)
+            .uint("thread", self.thread as u64)
+            .float("started_ms", self.started.as_secs_f64() * 1e3)
+            .float("finished_ms", self.finished.as_secs_f64() * 1e3)
+            .float("response_ms", self.response_time().as_secs_f64() * 1e3)
+            .uint("clusters", self.clusters as u64)
+            .uint("noise", self.noise as u64)
+            .boolean("warm", self.warm)
+            .float("fraction_reused", self.fraction_reused())
+            .uint("searches", self.searches() as u64);
+        match &self.path {
+            ExecutionPath::FromScratch(_) => o.str("path", "scratch").null("source"),
+            ExecutionPath::Reused { source, .. } => o.str("path", "reused").raw(
+                "source",
+                &JsonObject::new()
+                    .float("eps", source.eps)
+                    .uint("minpts", source.minpts as u64)
+                    .finish(),
+            ),
+        }
+        .finish()
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +585,7 @@ mod tests {
             started: Duration::from_millis(start_ms),
             finished: Duration::from_millis(end_ms),
             path: ExecutionPath::FromScratch(DbscanStats::default()),
+            warm: false,
             clusters: 1,
             noise: 0,
         }
@@ -305,6 +602,7 @@ mod tests {
             results: Vec::new(),
             permutation: Vec::new(),
             worker_stats: Vec::new(),
+            warm_seeds: 0,
         }
     }
 
@@ -395,5 +693,133 @@ mod tests {
         assert_eq!(r.total_busy(), Duration::ZERO);
         assert_eq!(r.mean_fraction_reused(), 0.0);
         assert_eq!(r.slowdown_vs_lower_bound(), 0.0);
+    }
+
+    // ----- the hand-rolled JSON writer
+
+    /// Minimal JSON well-formedness scanner: strings (with escapes),
+    /// balanced {}/[], and at least one top-level value. Not a full
+    /// parser — enough to catch unbalanced or unescaped output.
+    fn assert_well_formed_json(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {s}");
+                }
+                c => assert!(
+                    !c.is_control(),
+                    "unescaped control character {:?} in {s}",
+                    c
+                ),
+            }
+        }
+        assert!(!in_str, "unterminated string in {s}");
+        assert_eq!(depth, 0, "unbalanced brackets in {s}");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001""#);
+        assert_well_formed_json(&out);
+    }
+
+    #[test]
+    fn json_non_finite_floats_become_null() {
+        let s = JsonObject::new()
+            .float("nan", f64::NAN)
+            .float("inf", f64::INFINITY)
+            .float("x", 1.5)
+            .finish();
+        assert_eq!(s, r#"{"nan":null,"inf":null,"x":1.5}"#);
+    }
+
+    #[test]
+    fn json_object_and_array_shapes() {
+        let mut a = JsonArray::new();
+        a.push_uint(1);
+        a.push_float(0.5);
+        a.push_str("x");
+        let s = JsonObject::new()
+            .str("k", "v")
+            .boolean("b", true)
+            .null("n")
+            .raw("a", &a.finish())
+            .finish();
+        assert_eq!(s, r#"{"k":"v","b":true,"n":null,"a":[1,0.5,"x"]}"#);
+        assert_well_formed_json(&s);
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+
+    #[test]
+    fn run_report_json_carries_outcomes_and_counters() {
+        let mut o2 = outcome(1, 0, 100, 150);
+        o2.path = ExecutionPath::Reused {
+            source: Variant::new(0.4, 8),
+            stats: ReuseStats {
+                points_reused: 75,
+                total_points: 100,
+                ..ReuseStats::default()
+            },
+        };
+        o2.warm = true;
+        let mut r = report(vec![outcome(0, 0, 0, 100), o2], 1, 150);
+        r.warm_seeds = 3;
+        r.worker_stats = vec![WorkerStats::new(0)];
+        let json = r.to_json();
+        assert_well_formed_json(&json);
+        assert!(json.contains(r#""warm_seeds":3"#), "{json}");
+        assert!(json.contains(r#""warm_hits":1"#), "{json}");
+        assert!(json.contains(r#""from_scratch":1"#), "{json}");
+        assert!(json.contains(r#""path":"reused""#), "{json}");
+        assert!(
+            json.contains(r#""source":{"eps":0.4,"minpts":8}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""tune":null"#), "{json}");
+        assert!(json.contains(r#""worker_stats":[{"thread":0"#), "{json}");
+    }
+
+    #[test]
+    fn tune_report_json_shape() {
+        let t = vbp_rtree::TuneReport {
+            best_r: 30,
+            timings: vec![
+                (1, Duration::from_millis(2)),
+                (30, Duration::from_millis(1)),
+            ],
+            sample_size: 512,
+        };
+        let json = tune_report_to_json(&t);
+        assert_well_formed_json(&json);
+        assert!(json.contains(r#""best_r":30"#), "{json}");
+        assert!(json.contains(r#""timings":[{"r":1,"ms":2}"#), "{json}");
+    }
+
+    #[test]
+    fn warm_hits_counts_only_warm_outcomes() {
+        let mut a = outcome(0, 0, 0, 10);
+        a.warm = true;
+        let b = outcome(1, 0, 10, 20);
+        let r = report(vec![a, b], 1, 20);
+        assert_eq!(r.warm_hits(), 1);
     }
 }

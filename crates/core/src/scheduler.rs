@@ -29,6 +29,19 @@
 //! invalidated because completed variants stay completed. The emitted
 //! assignment sequence is therefore *identical* to the exhaustive scan's
 //! (see [`ReferenceScheduleState`] and the property tests).
+//!
+//! # Warm sources
+//!
+//! The service layer's cross-run cache seeds a schedule with *externally*
+//! completed variants ([`ScheduleState::with_warm_sources`]): clusterings
+//! produced by an earlier engine run over the same prepared index. Warm
+//! sources occupy the id range `variants.len()..variants.len() + warm`,
+//! never appear as pending work, and never complete — they only add
+//! candidate reuse pairs up front, so a warm-started run can hand out
+//! reuse assignments from its very first pull. Ties between a warm and an
+//! in-run source at equal distance resolve toward the in-run source (its
+//! id is smaller), keeping cold-run behavior bit-identical when the warm
+//! list is empty.
 
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
@@ -152,12 +165,27 @@ impl ScheduleState {
     /// `reuse_enabled = false` forces every assignment to be from scratch
     /// (the reference-implementation configuration).
     pub fn new(variants: VariantSet, scheduler: Scheduler, reuse_enabled: bool) -> Self {
+        Self::with_warm_sources(variants, scheduler, reuse_enabled, &[])
+    }
+
+    /// Creates a schedule seeded with externally completed *warm sources*
+    /// (see the module docs): `warm[i]` is addressable as reuse source
+    /// `variants.len() + i` in the assignments this schedule emits. Warm
+    /// sources contribute candidate reuse pairs immediately but are never
+    /// pending and never counted as completions. With an empty `warm`
+    /// slice this is exactly [`ScheduleState::new`].
+    pub fn with_warm_sources(
+        variants: VariantSet,
+        scheduler: Scheduler,
+        reuse_enabled: bool,
+        warm: &[crate::variant::Variant],
+    ) -> Self {
         let pending: BTreeSet<usize> = (0..variants.len()).collect();
         let priority: VecDeque<usize> = match scheduler {
             Scheduler::SchedMinpts => variants.minpts_priority_indices().into(),
             Scheduler::SchedGreedy => VecDeque::new(),
         };
-        Self {
+        let mut state = Self {
             scheduler,
             reuse_enabled,
             eps_range: variants.eps_range(),
@@ -168,6 +196,31 @@ impl ScheduleState {
             candidates: BinaryHeap::new(),
             in_flight: 0,
             variants,
+        };
+        if state.reuse_enabled {
+            for (i, &w) in warm.iter().enumerate() {
+                state.push_candidates_for_source(state.variants.len() + i, w);
+            }
+        }
+        state
+    }
+
+    /// Pushes the (pending, `source`) candidate pairs a newly available
+    /// reuse source enables. `source_id` may address a warm source (id ≥
+    /// `variants.len()`) — the heap and the emitted assignments carry it
+    /// through untouched.
+    fn push_candidates_for_source(&mut self, source_id: usize, source: crate::variant::Variant) {
+        for &v in &self.pending {
+            let vv = self.variants[v];
+            if !vv.can_reuse(&source) {
+                continue;
+            }
+            let dist = vv.param_distance(&source, self.eps_range, self.minpts_range);
+            self.candidates.push(std::cmp::Reverse(Candidate {
+                dist,
+                variant: v,
+                source: source_id,
+            }));
         }
     }
 
@@ -256,18 +309,7 @@ impl ScheduleState {
         // newly completed one becomes a candidate pair. Pending variants
         // only ever leave the set, so no future pair is missed.
         let u = self.variants[variant];
-        for &v in &self.pending {
-            let vv = self.variants[v];
-            if !vv.can_reuse(&u) {
-                continue;
-            }
-            let dist = vv.param_distance(&u, self.eps_range, self.minpts_range);
-            self.candidates.push(std::cmp::Reverse(Candidate {
-                dist,
-                variant: v,
-                source: variant,
-            }));
-        }
+        self.push_candidates_for_source(variant, u);
     }
 }
 
@@ -637,6 +679,87 @@ mod tests {
         }
         assert!(inc.is_finished());
         assert!(reference.is_finished());
+    }
+
+    #[test]
+    fn warm_sources_enable_reuse_from_the_first_pull() {
+        // A warm source dominating the whole grid: every assignment —
+        // including the very first — can reuse it, so nothing runs from
+        // scratch.
+        let set = figure3_set();
+        let warm = [Variant::new(0.1, 40)]; // ε smaller, minpts larger than all
+        let mut state =
+            ScheduleState::with_warm_sources(set.clone(), Scheduler::SchedGreedy, true, &warm);
+        let mut pulls = 0;
+        while let Some(a) = state.next_assignment() {
+            assert!(a.reuse_from.is_some(), "pull {pulls} should reuse: {a:?}");
+            state.complete(a.variant);
+            pulls += 1;
+        }
+        assert_eq!(pulls, set.len());
+        assert!(state.is_finished());
+    }
+
+    #[test]
+    fn warm_source_ids_live_past_the_variant_range() {
+        let set = figure3_set();
+        let warm = [Variant::new(0.1, 40)];
+        let mut state =
+            ScheduleState::with_warm_sources(set.clone(), Scheduler::SchedGreedy, true, &warm);
+        let first = state.next_assignment().unwrap();
+        // The only completed source is the warm one, addressed past the
+        // variant range.
+        assert_eq!(first.reuse_from, Some(set.len()));
+    }
+
+    #[test]
+    fn in_run_source_wins_distance_ties_over_warm() {
+        // Warm copy of (0.2, 32) and an in-run completion of the same
+        // variant: identical distance for every candidate; the in-run id
+        // (smaller) must win the tie so cold-run determinism is preserved.
+        let set = figure3_set();
+        let warm = [Variant::new(0.2, 32)];
+        let mut state =
+            ScheduleState::with_warm_sources(set.clone(), Scheduler::SchedMinpts, true, &warm);
+        // Drain the 3-entry priority queue (scratch-first), completing
+        // each so (0.2, 32) — index 0 — becomes an in-run source.
+        for _ in 0..3 {
+            let a = state.next_assignment().unwrap();
+            state.complete(a.variant);
+        }
+        let next = state.next_assignment().unwrap();
+        let src = next.reuse_from.unwrap();
+        assert!(src < set.len(), "tie must resolve to the in-run source");
+    }
+
+    #[test]
+    fn empty_warm_list_is_bit_identical_to_new() {
+        let set = figure3_set();
+        for sched in [Scheduler::SchedGreedy, Scheduler::SchedMinpts] {
+            let a = simulate_serial(ScheduleState::new(set.clone(), sched, true));
+            let b = simulate_serial(ScheduleState::with_warm_sources(
+                set.clone(),
+                sched,
+                true,
+                &[],
+            ));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn warm_sources_ignored_when_reuse_disabled() {
+        let set = figure3_set();
+        let warm = [Variant::new(0.1, 40)];
+        let order = simulate_serial(ScheduleState::with_warm_sources(
+            set,
+            Scheduler::SchedGreedy,
+            false,
+            &warm,
+        ));
+        for a in &order {
+            assert_eq!(a.reuse_from, None);
+        }
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! `CHECK_FULL=1` path of `scripts/check.sh`).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use proptest::prelude::*;
-use variantdbscan::{cluster_with_reuse, ReuseScheme, VariantSet};
-use vbp_dbscan::{dbscan, ClusterId, ClusterResult};
+use variantdbscan::{
+    cluster_with_reuse, Engine, EngineConfig, ReuseScheme, Variant, VariantSet, WarmSource,
+};
+use vbp_dbscan::{dbscan, ClusterId, ClusterResult, Labels};
 use vbp_geom::{Point2, PointId};
 use vbp_rtree::PackedRTree;
 
@@ -173,5 +176,57 @@ proptest! {
         // A cartesian grid with ≥ 2 distinct ε columns always contains a
         // valid pair; deterministic seeding makes this assert stable.
         prop_assert!(pairs >= 1, "grid {:?}/{:?} produced no valid reuse pair", eps, minpts);
+    }
+
+    /// The cross-run (cache-seeded) warm-start path: results of one run,
+    /// selected by the service cache's dominance rule, seed a later run
+    /// over the same prepared index. Every variant answered through a
+    /// warm source must stay label-isomorphic to its own from-scratch
+    /// clustering — the cache must be invisible in the labels.
+    #[test]
+    fn cache_seeded_warm_start_is_label_isomorphic_to_from_scratch(
+        points in arb_cloud(),
+        eps in proptest::collection::vec(0.15f64..1.0, 2..4),
+        minpts in proptest::collection::vec(2usize..8, 2..4),
+    ) {
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        let variants = VariantSet::cartesian(&eps, &minpts);
+        let prepared = engine.prepare(&points, None).unwrap();
+
+        // "Earlier run" whose results populate the cache.
+        let donor = engine.run_prepared(&prepared, &variants);
+
+        for (i, v) in variants.iter().enumerate() {
+            // The dominance cache's lookup rule: among donor entries v
+            // can reuse, seed with the nearest by parameter distance.
+            let (er, mr) = (variants.eps_range(), variants.minpts_range());
+            let seed = (0..variants.len())
+                .filter(|&j| v.can_reuse(&variants.get(j)))
+                .min_by(|&a, &b| {
+                    v.param_distance(&variants.get(a), er, mr)
+                        .total_cmp(&v.param_distance(&variants.get(b), er, mr))
+                });
+            let Some(j) = seed else { continue };
+            let warm = [WarmSource {
+                variant: variants.get(j),
+                result: Arc::clone(&donor.results[j]),
+            }];
+            let single = VariantSet::new(vec![Variant::new(v.eps, v.minpts)]);
+            let warm_run = engine.run_prepared_warm(&prepared, &single, &warm);
+            prop_assert_eq!(warm_run.warm_hits(), 1, "seed {} not reused for {}", j, i);
+            prop_assert!(warm_run.results[0].check_consistency().is_ok());
+
+            let scratch = engine.run_prepared(&prepared, &single);
+            let cores = brute_core_points(&points, v.eps, v.minpts);
+            // Both label vectors come back in prepared-index caller order.
+            let direct = ClusterResult::from_labels(Labels::from_raw(
+                prepared.labels_in_caller_order(&scratch.results[0]),
+            ));
+            let served = ClusterResult::from_labels(Labels::from_raw(
+                prepared.labels_in_caller_order(&warm_run.results[0]),
+            ));
+            let ctx = format!("warm {} -> {}", variants.get(j), v);
+            check_isomorphic(&direct, &served, points.len(), &cores, &ctx)?;
+        }
     }
 }

@@ -1,0 +1,356 @@
+//! Cross-run reuse cache over the `(ε, minpts)` dominance lattice.
+//!
+//! The engine already exploits the paper's inclusion criteria (§IV-B,
+//! Algorithm 3) *within* one batch run; this cache extends the same
+//! criteria *across* runs. A completed [`ClusterResult`] for variant
+//! `v_j` is a valid warm-start source for a later request `v_i` exactly
+//! when `v_i` dominates it:
+//!
+//! ```text
+//! v_i.ε ≥ v_j.ε  ∧  v_i.minpts ≤ v_j.minpts
+//! ```
+//!
+//! (the mirror of [`Variant::can_reuse`], which asks the question from
+//! the consumer's side). Among the dominated entries of the same dataset,
+//! [`DominanceCache::lookup`] returns the nearest by normalized parameter
+//! distance — the same criterion `SchedGreedy` applies to in-run sources,
+//! so the cache behaves like a persistent extension of the scheduler's
+//! completed set.
+//!
+//! Memory is bounded by an LRU byte budget: every hit refreshes an
+//! entry's clock stamp, and inserts evict the stalest entries until the
+//! new total fits. Entries larger than the whole budget are rejected
+//! outright. All traffic is counted in [`CacheStats`] so the service's
+//! `STATS` command can report hit/miss/eviction rates.
+
+use std::sync::Arc;
+
+use variantdbscan::{JsonObject, Variant};
+use vbp_dbscan::ClusterResult;
+
+/// Fixed per-entry bookkeeping charge (strings, stamps, vec headers).
+const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// A successful [`DominanceCache::lookup`].
+#[derive(Clone, Debug)]
+pub struct CacheHit {
+    /// The cached variant whose clusters may be reused.
+    pub variant: Variant,
+    /// Its completed clustering, in the dataset's tree order.
+    pub result: Arc<ClusterResult>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    dataset: String,
+    variant: Variant,
+    result: Arc<ClusterResult>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Counters exposed through the service `STATS` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+    /// Lookups that returned a dominated entry.
+    pub hits: u64,
+    /// Lookups that found nothing valid to reuse.
+    pub misses: u64,
+    /// Results stored (refreshes of an identical variant count too).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+    /// Inserts rejected because one entry exceeded the whole budget.
+    pub rejected_oversize: u64,
+}
+
+impl CacheStats {
+    /// Machine-readable form for the `STATS` line protocol command.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .uint("entries", self.entries as u64)
+            .uint("bytes", self.bytes as u64)
+            .uint("budget_bytes", self.budget_bytes as u64)
+            .uint("hits", self.hits)
+            .uint("misses", self.misses)
+            .uint("insertions", self.insertions)
+            .uint("evictions", self.evictions)
+            .uint("evicted_bytes", self.evicted_bytes)
+            .uint("rejected_oversize", self.rejected_oversize)
+            .finish()
+    }
+}
+
+/// An LRU-bounded store of completed clusterings, keyed by dataset name
+/// and searched by parameter dominance.
+///
+/// Results are stored (and returned) in the owning dataset's *tree
+/// order*; they are only meaningful together with the
+/// [`PreparedIndex`](variantdbscan::PreparedIndex) they were computed on,
+/// which the registry keeps alive for the dataset's whole lifetime.
+#[derive(Debug)]
+pub struct DominanceCache {
+    entries: Vec<CacheEntry>,
+    bytes: usize,
+    budget: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+    rejected_oversize: u64,
+}
+
+/// Estimated resident size of one cached result: the label array plus the
+/// per-cluster member lists, four bytes per id each.
+pub fn result_bytes(result: &ClusterResult) -> usize {
+    let members: usize = result.iter_clusters().map(|(_, m)| m.len()).sum();
+    (result.len() + members) * 4 + ENTRY_OVERHEAD_BYTES
+}
+
+impl DominanceCache {
+    /// An empty cache with the given byte budget. A budget of zero
+    /// disables storage entirely (every lookup misses, every insert is
+    /// rejected as oversize).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            bytes: 0,
+            budget: budget_bytes,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            evicted_bytes: 0,
+            rejected_oversize: 0,
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds the best warm-start source for `v` on `dataset`: among the
+    /// entries `v` dominates, the one at minimal normalized parameter
+    /// distance (ties broken by ascending ε then descending minpts, so
+    /// the answer is deterministic). Refreshes the winner's LRU stamp.
+    pub fn lookup(&mut self, dataset: &str, v: Variant) -> Option<CacheHit> {
+        // Normalize distances over the candidate neighborhood: the spread
+        // of parameters across v and everything it dominates here.
+        let (mut eps_lo, mut eps_hi) = (v.eps, v.eps);
+        let (mut mp_lo, mut mp_hi) = (v.minpts, v.minpts);
+        let mut any = false;
+        for e in &self.entries {
+            if e.dataset == dataset && v.can_reuse(&e.variant) {
+                any = true;
+                eps_lo = eps_lo.min(e.variant.eps);
+                eps_hi = eps_hi.max(e.variant.eps);
+                mp_lo = mp_lo.min(e.variant.minpts);
+                mp_hi = mp_hi.max(e.variant.minpts);
+            }
+        }
+        if !any {
+            self.misses += 1;
+            return None;
+        }
+        let eps_range = (eps_hi - eps_lo).max(f64::MIN_POSITIVE);
+        let minpts_range = (mp_hi - mp_lo).max(1) as f64;
+
+        let mut best: Option<(f64, usize)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.dataset != dataset || !v.can_reuse(&e.variant) {
+                continue;
+            }
+            let d = v.param_distance(&e.variant, eps_range, minpts_range);
+            let better = match best {
+                None => true,
+                Some((bd, bi)) => {
+                    let b = &self.entries[bi].variant;
+                    d < bd
+                        || (d == bd
+                            && (e.variant.eps < b.eps
+                                || (e.variant.eps == b.eps && e.variant.minpts > b.minpts)))
+                }
+            };
+            if better {
+                best = Some((d, i));
+            }
+        }
+        let (_, i) = best.expect("candidate set was non-empty");
+        self.hits += 1;
+        self.clock += 1;
+        self.entries[i].stamp = self.clock;
+        Some(CacheHit {
+            variant: self.entries[i].variant,
+            result: Arc::clone(&self.entries[i].result),
+        })
+    }
+
+    /// Stores a completed clustering. An existing entry for the same
+    /// `(dataset, variant)` is refreshed in place; otherwise stale
+    /// entries are evicted (least-recently-used first) until the new
+    /// entry fits the budget.
+    pub fn insert(&mut self, dataset: &str, variant: Variant, result: Arc<ClusterResult>) {
+        let bytes = result_bytes(&result);
+        if bytes > self.budget {
+            self.rejected_oversize += 1;
+            return;
+        }
+        self.clock += 1;
+        self.insertions += 1;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.dataset == dataset && e.variant == variant)
+        {
+            self.bytes = self.bytes - e.bytes + bytes;
+            e.result = result;
+            e.bytes = bytes;
+            e.stamp = self.clock;
+        } else {
+            self.entries.push(CacheEntry {
+                dataset: dataset.to_string(),
+                variant,
+                result,
+                bytes,
+                stamp: self.clock,
+            });
+            self.bytes += bytes;
+        }
+        while self.bytes > self.budget {
+            let stalest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("bytes > 0 implies entries");
+            let gone = self.entries.swap_remove(stalest);
+            self.bytes -= gone.bytes;
+            self.evictions += 1;
+            self.evicted_bytes += gone.bytes as u64;
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            budget_bytes: self.budget,
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            evicted_bytes: self.evicted_bytes,
+            rejected_oversize: self.rejected_oversize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbp_dbscan::ClusterResult;
+
+    fn result_of(labels: Vec<u32>) -> Arc<ClusterResult> {
+        Arc::new(ClusterResult::from_labels(vbp_dbscan::Labels::from_raw(
+            labels,
+        )))
+    }
+
+    #[test]
+    fn lookup_honors_dominance() {
+        let mut cache = DominanceCache::new(1 << 20);
+        cache.insert("d", Variant::new(1.0, 8), result_of(vec![0, 0, 1, 1]));
+        // ε too small: the cached ε exceeds the request's.
+        assert!(cache.lookup("d", Variant::new(0.5, 8)).is_none());
+        // minpts too large on the request side is fine; too small cached
+        // minpts is not representable here — the valid direction:
+        let hit = cache.lookup("d", Variant::new(1.5, 4)).unwrap();
+        assert_eq!(hit.variant, Variant::new(1.0, 8));
+        // Wrong dataset never matches.
+        assert!(cache.lookup("other", Variant::new(1.5, 4)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn lookup_prefers_nearest_dominated_entry() {
+        let mut cache = DominanceCache::new(1 << 20);
+        cache.insert("d", Variant::new(0.2, 9), result_of(vec![0; 4]));
+        cache.insert("d", Variant::new(0.9, 6), result_of(vec![0; 4]));
+        cache.insert("d", Variant::new(1.0, 5), result_of(vec![0; 4]));
+        let hit = cache.lookup("d", Variant::new(1.0, 5)).unwrap();
+        assert_eq!(hit.variant, Variant::new(1.0, 5), "identity is distance 0");
+        let hit = cache.lookup("d", Variant::new(0.95, 6)).unwrap();
+        assert_eq!(hit.variant, Variant::new(0.9, 6));
+    }
+
+    #[test]
+    fn identity_insert_refreshes_in_place() {
+        let mut cache = DominanceCache::new(1 << 20);
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 0]));
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 1]));
+        assert_eq!(cache.len(), 1);
+        let hit = cache.lookup("d", Variant::new(1.0, 4)).unwrap();
+        assert_eq!(hit.result.num_clusters(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_counts() {
+        // Each 4-point result costs (4 + members)*4 + 96 bytes; pick a
+        // budget that holds exactly two.
+        // Mutually non-dominating variants, so each probe below can only
+        // be answered by its own exact entry.
+        let one = result_bytes(&result_of(vec![0, 0, 1, 1]));
+        let mut cache = DominanceCache::new(2 * one);
+        cache.insert("d", Variant::new(1.0, 9), result_of(vec![0, 0, 1, 1]));
+        cache.insert("d", Variant::new(0.5, 5), result_of(vec![0, 0, 1, 1]));
+        // Touch the older entry so the newer one is the LRU victim.
+        assert!(cache.lookup("d", Variant::new(1.0, 9)).is_some());
+        cache.insert("d", Variant::new(2.0, 20), result_of(vec![0, 0, 1, 1]));
+        assert_eq!(cache.len(), 2);
+        let s = cache.stats();
+        assert!(s.bytes <= s.budget_bytes);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, one as u64);
+        assert!(cache.lookup("d", Variant::new(1.0, 9)).is_some());
+        assert!(cache.lookup("d", Variant::new(0.5, 5)).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_storage() {
+        let mut cache = DominanceCache::new(0);
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 0]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected_oversize, 1);
+        assert!(cache.lookup("d", Variant::new(2.0, 2)).is_none());
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let mut cache = DominanceCache::new(1024);
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 0]));
+        let json = cache.stats().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"hits\":0"));
+        assert!(json.contains("\"insertions\":1"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Blocking client for the `vbp-service` line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{ErrorCode, Request};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level trouble.
+    Io(std::io::Error),
+    /// The server answered `ERR`.
+    Rejected {
+        /// Typed rejection code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Rejected { code, message } => write!(f, "rejected ({code}): {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Returns the typed rejection code, if this is a server rejection.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Rejected { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// The answer to a successful `SUBMIT`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitReply {
+    /// Clusters found.
+    pub clusters: usize,
+    /// Noise points.
+    pub noise: usize,
+    /// `true` when the variant reused a *cached* (cross-run) result.
+    pub warm: bool,
+    /// `true` when it reused any completed result (cached or in-batch).
+    pub reused: bool,
+    /// Server-side engine time for the batch this request rode in.
+    pub ms: f64,
+    /// Labels in submission point order, when requested.
+    pub labels: Option<Vec<u32>>,
+}
+
+/// One connection to a `vbp-service` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the `HELLO` handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer: stream,
+        };
+        let line = client.round_trip(&Request::Hello)?;
+        if !line.starts_with("vbp-service") {
+            return Err(ClientError::Protocol(format!(
+                "unexpected HELLO reply '{line}'"
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Sets the read timeout for replies (useful against a draining
+    /// server).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Sends `request`, returns the `OK` payload or a typed rejection.
+    fn round_trip(&mut self, request: &Request) -> Result<String, ClientError> {
+        self.send(request)?;
+        let line = self.read_line()?;
+        if let Some(payload) = line.strip_prefix("OK") {
+            return Ok(payload.trim_start().to_string());
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code_token, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            let code = ErrorCode::from_str_token(code_token)
+                .ok_or_else(|| ClientError::Protocol(format!("unknown ERR code '{code_token}'")))?;
+            return Err(ClientError::Rejected {
+                code,
+                message: message.to_string(),
+            });
+        }
+        Err(ClientError::Protocol(format!("unparseable reply '{line}'")))
+    }
+
+    /// Lists datasets as `(name, points)` pairs.
+    pub fn datasets(&mut self) -> Result<Vec<(String, usize)>, ClientError> {
+        let payload = self.round_trip(&Request::Datasets)?;
+        payload
+            .split_ascii_whitespace()
+            .map(|tok| {
+                let (name, size) = tok
+                    .split_once('=')
+                    .ok_or_else(|| ClientError::Protocol(format!("bad dataset token '{tok}'")))?;
+                let size = size
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("bad dataset size '{tok}'")))?;
+                Ok((name.to_string(), size))
+            })
+            .collect()
+    }
+
+    /// Clusters one variant on a named dataset.
+    pub fn submit(
+        &mut self,
+        dataset: &str,
+        eps: f64,
+        minpts: usize,
+        want_labels: bool,
+    ) -> Result<SubmitReply, ClientError> {
+        let payload = self.round_trip(&Request::Submit {
+            dataset: dataset.to_string(),
+            eps,
+            minpts,
+            labels: want_labels,
+        })?;
+        let mut reply = SubmitReply {
+            clusters: 0,
+            noise: 0,
+            warm: false,
+            reused: false,
+            ms: 0.0,
+            labels: None,
+        };
+        for tok in payload.split_ascii_whitespace() {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(ClientError::Protocol(format!("bad reply token '{tok}'")));
+            };
+            match key {
+                "clusters" => reply.clusters = parse_num(tok, value)?,
+                "noise" => reply.noise = parse_num(tok, value)?,
+                "warm" => reply.warm = value == "1",
+                "reused" => reply.reused = value == "1",
+                "ms" => {
+                    reply.ms = value
+                        .parse()
+                        .map_err(|_| ClientError::Protocol(format!("bad ms '{tok}'")))?
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        if want_labels {
+            let line = self.read_line()?;
+            let mut tokens = line.split_ascii_whitespace();
+            if tokens.next() != Some("LABELS") {
+                return Err(ClientError::Protocol(format!(
+                    "expected LABELS line, got '{line}'"
+                )));
+            }
+            let n: usize = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ClientError::Protocol("bad LABELS count".into()))?;
+            let labels: Result<Vec<u32>, _> = tokens.map(str::parse).collect();
+            let labels = labels.map_err(|_| ClientError::Protocol("non-numeric label".into()))?;
+            if labels.len() != n {
+                return Err(ClientError::Protocol(format!(
+                    "LABELS promised {n} labels, carried {}",
+                    labels.len()
+                )));
+            }
+            reply.labels = Some(labels);
+        }
+        Ok(reply)
+    }
+
+    /// Fetches the service counters as one JSON line.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        self.round_trip(&Request::Stats)
+    }
+
+    /// Asks the server to drain and shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Polite connection close.
+    pub fn quit(&mut self) {
+        let _ = self.send(&Request::Quit);
+    }
+}
+
+fn parse_num(tok: &str, value: &str) -> Result<usize, ClientError> {
+    value
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad number '{tok}'")))
+}

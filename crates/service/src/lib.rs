@@ -1,0 +1,40 @@
+//! **vbp-service** — a long-running VariantDBSCAN daemon.
+//!
+//! The paper's core result (§IV-B) is that a variant `(ε, minpts)` is
+//! answered faster by *reusing* a dominated variant's completed clusters
+//! than by clustering from scratch — but a batch engine forgets
+//! everything between runs. This crate keeps the investment alive:
+//!
+//! - [`registry`] — named datasets with their
+//!   [`PreparedIndex`](variantdbscan::PreparedIndex)es built once at
+//!   startup (`T_low`/`T_high` and the tuned `r` of §IV-A);
+//! - [`cache`] — completed [`ClusterResult`](vbp_dbscan::ClusterResult)s
+//!   kept across runs, searched by parameter dominance, bounded by an
+//!   LRU byte budget;
+//! - [`server`] — a `std::net`-only TCP daemon with a bounded admission
+//!   queue (typed `Overloaded` backpressure), a dispatcher that batches
+//!   same-dataset requests into single engine runs seeded from the
+//!   cache, and graceful drain on shutdown;
+//! - [`protocol`] / [`client`] — the line protocol and a blocking
+//!   client;
+//! - [`workload`] — the cold-vs-warm throughput probe used by
+//!   `vbp bench-service` and the `service_throughput` bench.
+//!
+//! Everything is plain `std` — the build environment is offline, so no
+//! async runtime, serialization crate, or protocol framework is used.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod workload;
+
+pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache};
+pub use client::{Client, ClientError, SubmitReply};
+pub use protocol::{parse_request, ErrorCode, Request};
+pub use registry::{DatasetEntry, Registry};
+pub use server::{Server, ServerHandle, ServiceConfig, SubmitError};
+pub use workload::{run_cold_warm, ColdWarmReport};

@@ -1,0 +1,254 @@
+//! The `vbp-service` line protocol.
+//!
+//! The build environment is offline, so the wire format is deliberately
+//! something `std::net::TcpStream` + `BufRead::read_line` can speak with
+//! no external crates: UTF-8 lines, space-separated tokens, one request
+//! per line, one response line per request (plus an optional `LABELS`
+//! continuation line).
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  = "HELLO"
+//!          | "DATASETS"
+//!          | "SUBMIT" SP dataset SP eps SP minpts [SP "LABELS"]
+//!          | "STATS"
+//!          | "SHUTDOWN"
+//!          | "QUIT"
+//! response = "OK" [SP payload]
+//!          | "ERR" SP code SP message
+//! code     = "bad-request" | "unknown-dataset" | "overloaded" | "draining"
+//! ```
+//!
+//! `SUBMIT` answers `OK clusters=<n> noise=<n> warm=<0|1> reused=<0|1>
+//! ms=<float>`; with the `LABELS` flag the next line is
+//! `LABELS <n> <l_0> … <l_{n-1}>` in the submitter's point order (noise
+//! is `u32::MAX`). `STATS` answers `OK <json>` with a single-line JSON
+//! document. `SHUTDOWN` flips the server into draining mode: queued and
+//! in-flight requests complete, new `SUBMIT`s get `ERR draining`.
+
+use std::fmt;
+
+/// Typed rejection codes carried in `ERR` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse.
+    BadRequest,
+    /// `SUBMIT` named a dataset the registry does not hold.
+    UnknownDataset,
+    /// Admission control: the bounded queue is full.
+    Overloaded,
+    /// The server is shutting down and no longer admits work.
+    Draining,
+    /// The request failed inside the engine (should not happen).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownDataset => "unknown-dataset",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_str_token(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-dataset" => ErrorCode::UnknownDataset,
+            "overloaded" => ErrorCode::Overloaded,
+            "draining" => ErrorCode::Draining,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Protocol handshake; answers the service name and version.
+    Hello,
+    /// Lists registered datasets.
+    Datasets,
+    /// Clusters one variant on a named dataset.
+    Submit {
+        /// Registry key.
+        dataset: String,
+        /// Variant ε.
+        eps: f64,
+        /// Variant minpts.
+        minpts: usize,
+        /// Ask for the full label vector as a continuation line.
+        labels: bool,
+    },
+    /// Service counters as one JSON line.
+    Stats,
+    /// Begin graceful drain.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+impl Request {
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Hello => "HELLO".into(),
+            Request::Datasets => "DATASETS".into(),
+            Request::Submit {
+                dataset,
+                eps,
+                minpts,
+                labels,
+            } => {
+                let mut s = format!("SUBMIT {dataset} {eps} {minpts}");
+                if *labels {
+                    s.push_str(" LABELS");
+                }
+                s
+            }
+            Request::Stats => "STATS".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+            Request::Quit => "QUIT".into(),
+        }
+    }
+}
+
+/// Parses one request line (without its newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or("empty request")?;
+    let req = match verb {
+        "HELLO" => Request::Hello,
+        "DATASETS" => Request::Datasets,
+        "STATS" => Request::Stats,
+        "SHUTDOWN" => Request::Shutdown,
+        "QUIT" => Request::Quit,
+        "SUBMIT" => {
+            let dataset = tokens.next().ok_or("SUBMIT: missing dataset")?.to_string();
+            let eps: f64 = tokens
+                .next()
+                .ok_or("SUBMIT: missing eps")?
+                .parse()
+                .map_err(|_| "SUBMIT: eps is not a number")?;
+            if !eps.is_finite() || eps <= 0.0 {
+                return Err("SUBMIT: eps must be finite and positive".into());
+            }
+            let minpts: usize = tokens
+                .next()
+                .ok_or("SUBMIT: missing minpts")?
+                .parse()
+                .map_err(|_| "SUBMIT: minpts is not an integer")?;
+            if minpts == 0 {
+                return Err("SUBMIT: minpts must be at least 1".into());
+            }
+            let labels = match tokens.next() {
+                None => false,
+                Some("LABELS") => true,
+                Some(t) => return Err(format!("SUBMIT: unexpected token '{t}'")),
+            };
+            Request::Submit {
+                dataset,
+                eps,
+                minpts,
+                labels,
+            }
+        }
+        other => return Err(format!("unknown verb '{other}'")),
+    };
+    if tokens.next().is_some() {
+        return Err(format!("{verb}: trailing tokens"));
+    }
+    Ok(req)
+}
+
+/// Renders an `ERR` response line.
+pub fn err_line(code: ErrorCode, message: &str) -> String {
+    // Keep the message single-line so the framing survives.
+    let clean: String = message
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {code} {clean}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrips() {
+        let req = Request::Submit {
+            dataset: "SW1@2000".into(),
+            eps: 1.5,
+            minpts: 4,
+            labels: true,
+        };
+        assert_eq!(req.encode(), "SUBMIT SW1@2000 1.5 4 LABELS");
+        assert_eq!(parse_request(&req.encode()).unwrap(), req);
+        let plain = Request::Submit {
+            dataset: "d".into(),
+            eps: 0.25,
+            minpts: 10,
+            labels: false,
+        };
+        assert_eq!(parse_request(&plain.encode()).unwrap(), plain);
+    }
+
+    #[test]
+    fn keywords_roundtrip() {
+        for req in [
+            Request::Hello,
+            Request::Datasets,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Quit,
+        ] {
+            assert_eq!(parse_request(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "   ",
+            "NOPE",
+            "SUBMIT",
+            "SUBMIT d",
+            "SUBMIT d x 4",
+            "SUBMIT d 1.0 x",
+            "SUBMIT d 0 4",
+            "SUBMIT d -1 4",
+            "SUBMIT d inf 4",
+            "SUBMIT d 1.0 0",
+            "SUBMIT d 1.0 4 EXTRA",
+            "SUBMIT d 1.0 4 LABELS extra",
+            "HELLO there",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn err_line_stays_single_line() {
+        let line = err_line(ErrorCode::Overloaded, "queue\nfull");
+        assert_eq!(line, "ERR overloaded queue full");
+        assert_eq!(
+            ErrorCode::from_str_token("overloaded"),
+            Some(ErrorCode::Overloaded)
+        );
+    }
+}

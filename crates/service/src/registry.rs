@@ -1,0 +1,150 @@
+//! Named datasets with prebuilt indexes.
+//!
+//! The daemon's whole reason to stay resident is that index construction
+//! and `r` tuning are paid once per dataset, not once per request: each
+//! registered dataset keeps its points plus a [`PreparedIndex`] (the
+//! `T_low`/`T_high` pair of the paper's §IV-A) alive for the process
+//! lifetime. Requests then run through
+//! [`Engine::run_prepared_warm`](variantdbscan::Engine) against the
+//! stored handle.
+//!
+//! Datasets are addressed by their Table I catalog names
+//! ([`DatasetSpec::by_name`]), including `@size` scaling —
+//! `"SW2@5000"` is the SW2 distribution at 5 000 points.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use variantdbscan::{Engine, PreparedIndex};
+use vbp_data::DatasetSpec;
+use vbp_dbscan::suggest_eps;
+use vbp_geom::Point2;
+use vbp_rtree::PackedRTree;
+
+/// The k-dist knee is estimated at this minpts (the DBSCAN paper's
+/// recommended default neighborhood size).
+const SUGGEST_MINPTS: usize = 4;
+
+/// One registered dataset.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    /// Registry key (the catalog name it was loaded under).
+    pub name: String,
+    /// The points, in caller order.
+    pub points: Vec<Point2>,
+    /// Prebuilt `T_low`/`T_high`, shared by every request.
+    pub index: PreparedIndex,
+    /// k-dist-estimated representative ε (fed to the auto-tuner and
+    /// reported by `DATASETS`).
+    pub suggested_eps: Option<f64>,
+}
+
+/// Name → dataset map owned by the server.
+#[derive(Debug, Default)]
+pub struct Registry {
+    datasets: BTreeMap<String, Arc<DatasetEntry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a catalog dataset by name (`"cF_10k_5N"`, `"SW1@2000"`, …)
+    /// and prebuilds its indexes with `engine`'s configuration.
+    pub fn load(&mut self, engine: &Engine, name: &str) -> Result<(), String> {
+        let spec = DatasetSpec::by_name(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (try `vbp datasets`)"))?;
+        let points = spec.generate();
+        self.register(engine, name, points)
+    }
+
+    /// Registers an arbitrary point set under `name`, prebuilding its
+    /// indexes. A representative ε is estimated from the k-dist plot so
+    /// [`RChoice::Auto`](variantdbscan::RChoice) tunes against realistic
+    /// query radii even before the first request arrives.
+    pub fn register(
+        &mut self,
+        engine: &Engine,
+        name: &str,
+        points: Vec<Point2>,
+    ) -> Result<(), String> {
+        let suggested_eps = representative_eps(&points);
+        let index = engine
+            .prepare(&points, suggested_eps)
+            .map_err(|e| format!("dataset '{name}': {e}"))?;
+        self.datasets.insert(
+            name.to_string(),
+            Arc::new(DatasetEntry {
+                name: name.to_string(),
+                points,
+                index,
+                suggested_eps,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Looks a dataset up by registry key.
+    pub fn get(&self, name: &str) -> Option<&Arc<DatasetEntry>> {
+        self.datasets.get(name)
+    }
+
+    /// Registered names with sizes, in name order.
+    pub fn list(&self) -> Vec<(String, usize)> {
+        self.datasets
+            .iter()
+            .map(|(k, v)| (k.clone(), v.points.len()))
+            .collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Returns `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+}
+
+/// Estimates a representative ε for auto-tuning: the k-dist knee over a
+/// throwaway coarse index, sampled with a stride that caps the estimate
+/// at a few thousand queries.
+fn representative_eps(points: &[Point2]) -> Option<f64> {
+    if points.len() < SUGGEST_MINPTS + 1 {
+        return None;
+    }
+    let (tree, _) = PackedRTree::build(points, 80);
+    let stride = (points.len() / 2_000).max(1);
+    suggest_eps(&tree, SUGGEST_MINPTS, stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use variantdbscan::EngineConfig;
+
+    #[test]
+    fn load_by_catalog_name_prebuilds_index() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let mut reg = Registry::new();
+        reg.load(&engine, "cF_10k_5N@500").unwrap();
+        let entry = reg.get("cF_10k_5N@500").unwrap();
+        assert_eq!(entry.points.len(), 500);
+        assert_eq!(entry.index.len(), 500);
+        assert!(entry.suggested_eps.is_some());
+        assert_eq!(reg.list(), vec![("cF_10k_5N@500".to_string(), 500)]);
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let mut reg = Registry::new();
+        let err = reg.load(&engine, "no_such_dataset").unwrap_err();
+        assert!(err.contains("unknown dataset"));
+        assert!(reg.is_empty());
+    }
+}

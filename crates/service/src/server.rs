@@ -1,0 +1,707 @@
+//! The daemon: accept loop, per-connection handlers, bounded admission
+//! queue, and the batching dispatcher that turns queued requests into
+//! engine runs.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept thread ──spawns──▶ handler threads (one per connection)
+//!                                │  submit()          ▲ reply mpsc
+//!                                ▼                    │
+//!                        bounded VecDeque ──▶ dispatcher thread
+//!                                                 │
+//!                                                 ▼
+//!                              Engine::run_prepared_warm (batch)
+//! ```
+//!
+//! Handlers parse lines and *admit* work; they never touch the engine.
+//! Admission is a bounded queue: when it is full the submit is rejected
+//! with a typed [`ErrorCode::Overloaded`] — backpressure reaches the
+//! client as an `ERR` line instead of unbounded buffering.
+//!
+//! The dispatcher pops the oldest request, waits one *batch window* for
+//! compatible work to pile up, then drains every queued request for the
+//! same dataset into a single [`VariantSet`] run. Cache lookups seed the
+//! run with warm sources; every fresh result is inserted back.
+//!
+//! # Graceful drain
+//!
+//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) flips the draining flag:
+//! new `SUBMIT`s are rejected with `ERR draining`, the dispatcher
+//! finishes everything already queued, the accept loop is woken by a
+//! self-connection and exits, and handlers notice the stop flag at their
+//! next read-timeout poll. Every thread join is therefore bounded by the
+//! poll interval plus the time of the in-flight engine run.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use variantdbscan::{Engine, JsonObject, Variant, VariantSet, WarmSource};
+
+use crate::cache::DominanceCache;
+use crate::protocol::{err_line, parse_request, ErrorCode, Request};
+use crate::registry::Registry;
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Admission queue capacity (requests, not bytes).
+    pub queue_cap: usize,
+    /// Reuse cache budget in bytes; 0 disables the cache.
+    pub cache_bytes: usize,
+    /// How long the dispatcher lingers after the first request to batch
+    /// compatible ones.
+    pub batch_window: Duration,
+    /// Handler read-timeout; bounds how fast connections notice a drain.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            queue_cap: 256,
+            cache_bytes: 64 << 20,
+            batch_window: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a submit was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue full — try again later.
+    Overloaded,
+    /// Server is shutting down.
+    Draining,
+}
+
+impl SubmitError {
+    fn code(self) -> ErrorCode {
+        match self {
+            SubmitError::Overloaded => ErrorCode::Overloaded,
+            SubmitError::Draining => ErrorCode::Draining,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    dataset: String,
+    variant: Variant,
+    want_labels: bool,
+    reply: mpsc::Sender<Result<JobDone, String>>,
+}
+
+/// A finished job, as the handler reports it to the client.
+struct JobDone {
+    clusters: usize,
+    noise: usize,
+    warm: bool,
+    reused: bool,
+    ms: f64,
+    labels: Option<Vec<u32>>,
+}
+
+/// Service-level counters (the engine and cache keep their own).
+#[derive(Clone, Copy, Debug, Default)]
+struct ServiceStats {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected_overloaded: u64,
+    rejected_draining: u64,
+    unknown_dataset: u64,
+    bad_request: u64,
+    batches: u64,
+    max_batch: usize,
+    engine_warm_hits: u64,
+    engine_in_run_reused: u64,
+    engine_scratch: u64,
+    engine_busy: Duration,
+}
+
+struct Shared {
+    engine: Engine,
+    registry: Registry,
+    cache: Mutex<DominanceCache>,
+    cache_enabled: bool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_cap: usize,
+    batch_window: Duration,
+    poll_interval: Duration,
+    draining: AtomicBool,
+    stats: Mutex<ServiceStats>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Admission control: reject when draining or full, enqueue and wake
+    /// the dispatcher otherwise.
+    fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        if self.draining.load(Ordering::Acquire) {
+            self.stats.lock().unwrap().rejected_draining += 1;
+            return Err(SubmitError::Draining);
+        }
+        let mut q = self.queue.lock().unwrap();
+        if q.len() >= self.queue_cap {
+            drop(q);
+            self.stats.lock().unwrap().rejected_overloaded += 1;
+            return Err(SubmitError::Overloaded);
+        }
+        q.push_back(job);
+        drop(q);
+        self.stats.lock().unwrap().submitted += 1;
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    fn stats_json(&self) -> String {
+        let s = *self.stats.lock().unwrap();
+        let cache = self.cache.lock().unwrap().stats();
+        let mut datasets = variantdbscan::JsonArray::new();
+        for (name, size) in self.registry.list() {
+            datasets.push_raw(
+                &JsonObject::new()
+                    .str("name", &name)
+                    .uint("points", size as u64)
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .uint("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .boolean("draining", self.draining.load(Ordering::Acquire))
+            .uint("submitted", s.submitted)
+            .uint("completed", s.completed)
+            .uint("failed", s.failed)
+            .uint("rejected_overloaded", s.rejected_overloaded)
+            .uint("rejected_draining", s.rejected_draining)
+            .uint("unknown_dataset", s.unknown_dataset)
+            .uint("bad_request", s.bad_request)
+            .uint("batches", s.batches)
+            .uint("max_batch", s.max_batch as u64)
+            .uint("reuse_hits", s.engine_warm_hits)
+            .uint("in_run_reused", s.engine_in_run_reused)
+            .uint("from_scratch", s.engine_scratch)
+            .float("engine_busy_ms", s.engine_busy.as_secs_f64() * 1e3)
+            .raw("cache", &cache.to_json())
+            .raw("datasets", &datasets.finish())
+            .finish()
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the daemon;
+/// call [`ServerHandle::shutdown`] (or send `SHUTDOWN` over the wire and
+/// [`ServerHandle::wait`]).
+pub struct Server;
+
+/// Join/shutdown handle returned by [`Server::start`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop_accept: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept and dispatcher threads, and returns.
+    pub fn start(
+        engine: Engine,
+        registry: Registry,
+        config: ServiceConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            registry,
+            cache: Mutex::new(DominanceCache::new(config.cache_bytes)),
+            cache_enabled: config.cache_bytes > 0,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_cap: config.queue_cap.max(1),
+            batch_window: config.batch_window,
+            poll_interval: config.poll_interval,
+            draining: AtomicBool::new(false),
+            stats: Mutex::new(ServiceStats::default()),
+            started: Instant::now(),
+        });
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vbp-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_accept);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("vbp-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let stop = Arc::clone(&stop);
+                        let handle = std::thread::Builder::new()
+                            .name("vbp-conn".into())
+                            .spawn(move || handle_connection(stream, &shared, &stop));
+                        if let Ok(h) = handle {
+                            handlers.lock().unwrap().push(h);
+                        }
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            stop_accept,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            handlers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Begins a graceful drain (idempotent): stop admitting, finish
+    /// what's queued, wake the accept loop.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        self.stop_accept.store(true, Ordering::Release);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Waits for every server thread to finish. Only returns once a
+    /// drain has started (via [`Self::begin_shutdown`] or a `SHUTDOWN`
+    /// request) and completed.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        // Dispatcher exit implies draining; make sure accept wakes too.
+        self.stop_accept.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Any job enqueued in the shutdown race has no dispatcher left;
+        // dropping it disconnects the reply channel and the handler
+        // answers `ERR draining`.
+        self.shared.queue.lock().unwrap().clear();
+        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+
+    /// Convenience: [`Self::begin_shutdown`] + [`Self::wait`].
+    pub fn shutdown(&mut self) {
+        self.begin_shutdown();
+        self.wait();
+    }
+
+    /// Current service counters as one JSON line (same payload as the
+    /// `STATS` wire command).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+}
+
+/// Dispatcher: pop → linger one batch window → drain same-dataset queue
+/// entries → one engine run. Exits once draining *and* empty.
+fn dispatcher_loop(shared: &Shared) {
+    loop {
+        let first = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        if !shared.batch_window.is_zero() && !shared.draining.load(Ordering::Acquire) {
+            std::thread::sleep(shared.batch_window);
+        }
+        let mut batch = vec![first];
+        {
+            let mut q = shared.queue.lock().unwrap();
+            let mut rest = VecDeque::with_capacity(q.len());
+            while let Some(job) = q.pop_front() {
+                if job.dataset == batch[0].dataset {
+                    batch.push(job);
+                } else {
+                    rest.push_back(job);
+                }
+            }
+            *q = rest;
+        }
+        run_batch(shared, batch);
+    }
+}
+
+/// Executes one same-dataset batch and answers every job in it.
+fn run_batch(shared: &Shared, batch: Vec<Job>) {
+    let Some(entry) = shared.registry.get(&batch[0].dataset) else {
+        // Handlers validate the dataset before enqueueing; this is a
+        // belt-and-braces path, not an expected one.
+        for job in batch {
+            let _ = job
+                .reply
+                .send(Err(format!("dataset '{}' disappeared", job.dataset)));
+        }
+        return;
+    };
+
+    // Unique variants of the batch, in canonical order.
+    let mut unique: Vec<Variant> = Vec::new();
+    for job in &batch {
+        if !unique.contains(&job.variant) {
+            unique.push(job.variant);
+        }
+    }
+    let variants = VariantSet::new(unique.clone());
+
+    // Seed from the cache: one warm source per distinct best hit.
+    let mut warm: Vec<WarmSource> = Vec::new();
+    if shared.cache_enabled {
+        let mut cache = shared.cache.lock().unwrap();
+        for &v in variants.as_slice() {
+            if let Some(hit) = cache.lookup(&entry.name, v) {
+                if !warm.iter().any(|w| w.variant == hit.variant) {
+                    warm.push(WarmSource {
+                        variant: hit.variant,
+                        result: hit.result,
+                    });
+                }
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let report = shared
+        .engine
+        .run_prepared_warm(&entry.index, &variants, &warm);
+    let busy = t0.elapsed();
+
+    if shared.cache_enabled {
+        let mut cache = shared.cache.lock().unwrap();
+        for (i, &v) in variants.as_slice().iter().enumerate() {
+            cache.insert(&entry.name, v, Arc::clone(&report.results[i]));
+        }
+    }
+
+    {
+        let mut s = shared.stats.lock().unwrap();
+        s.batches += 1;
+        s.max_batch = s.max_batch.max(batch.len());
+        s.engine_warm_hits += report.warm_hits() as u64;
+        s.engine_scratch += report.from_scratch_count() as u64;
+        s.engine_in_run_reused += report
+            .outcomes
+            .iter()
+            .filter(|o| o.reused_from().is_some() && !o.warm)
+            .count() as u64;
+        s.engine_busy += busy;
+        s.completed += batch.len() as u64;
+    }
+
+    let ms = busy.as_secs_f64() * 1e3;
+    for job in batch {
+        let i = variants
+            .as_slice()
+            .iter()
+            .position(|v| *v == job.variant)
+            .expect("job variant is in the batch set");
+        let outcome = &report.outcomes[i];
+        let labels = job
+            .want_labels
+            .then(|| entry.index.labels_in_caller_order(&report.results[i]));
+        let _ = job.reply.send(Ok(JobDone {
+            clusters: outcome.clusters,
+            noise: outcome.noise,
+            warm: outcome.warm,
+            reused: outcome.reused_from().is_some(),
+            ms,
+            labels,
+        }));
+    }
+}
+
+/// Per-connection request loop.
+fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // `line` persists across timeout polls so a request split over
+        // packets is not dropped.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    continue; // partial line, keep accumulating
+                }
+                let quit = respond(line.trim(), shared, &mut writer).is_err();
+                line.clear();
+                if quit {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one request line; `Err(())` means "close this connection".
+fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()> {
+    if line.is_empty() {
+        return Ok(());
+    }
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.stats.lock().unwrap().bad_request += 1;
+            return send_line(writer, &err_line(ErrorCode::BadRequest, &msg));
+        }
+    };
+    match request {
+        Request::Hello => send_line(writer, "OK vbp-service 1"),
+        Request::Quit => {
+            let _ = send_line(writer, "OK bye");
+            Err(())
+        }
+        Request::Datasets => {
+            let mut out = String::from("OK");
+            for (name, size) in shared.registry.list() {
+                out.push_str(&format!(" {name}={size}"));
+            }
+            send_line(writer, &out)
+        }
+        Request::Stats => send_line(writer, &format!("OK {}", shared.stats_json())),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::Release);
+            shared.queue_cv.notify_all();
+            send_line(writer, "OK draining")
+        }
+        Request::Submit {
+            dataset,
+            eps,
+            minpts,
+            labels,
+        } => {
+            if shared.registry.get(&dataset).is_none() {
+                shared.stats.lock().unwrap().unknown_dataset += 1;
+                return send_line(
+                    writer,
+                    &err_line(
+                        ErrorCode::UnknownDataset,
+                        &format!("dataset '{dataset}' is not registered"),
+                    ),
+                );
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                dataset,
+                variant: Variant::new(eps, minpts),
+                want_labels: labels,
+                reply: tx,
+            };
+            if let Err(e) = shared.submit(job) {
+                let msg = match e {
+                    SubmitError::Overloaded => "queue full",
+                    SubmitError::Draining => "server is shutting down",
+                };
+                return send_line(writer, &err_line(e.code(), msg));
+            }
+            // The dispatcher drains the queue before exiting, so this
+            // blocks at most one full engine run (plus queue delay); the
+            // generous timeout only guards against a wedged engine.
+            match rx.recv_timeout(Duration::from_secs(600)) {
+                Ok(Ok(done)) => {
+                    let head = format!(
+                        "OK clusters={} noise={} warm={} reused={} ms={:.3}",
+                        done.clusters,
+                        done.noise,
+                        u8::from(done.warm),
+                        u8::from(done.reused),
+                        done.ms
+                    );
+                    send_line(writer, &head)?;
+                    if let Some(labels) = done.labels {
+                        let mut out = String::with_capacity(labels.len() * 7 + 16);
+                        out.push_str(&format!("LABELS {}", labels.len()));
+                        for l in labels {
+                            out.push_str(&format!(" {l}"));
+                        }
+                        send_line(writer, &out)?;
+                    }
+                    Ok(())
+                }
+                Ok(Err(msg)) => {
+                    shared.stats.lock().unwrap().failed += 1;
+                    send_line(writer, &err_line(ErrorCode::Internal, &msg))
+                }
+                Err(_) => {
+                    // Reply channel died: the server drained underneath us.
+                    send_line(
+                        writer,
+                        &err_line(ErrorCode::Draining, "request dropped during shutdown"),
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn send_line(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use variantdbscan::EngineConfig;
+
+    fn tiny_server(queue_cap: usize, cache_bytes: usize) -> ServerHandle {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        let mut registry = Registry::new();
+        registry.load(&engine, "cF_10k_5N@300").unwrap();
+        Server::start(
+            engine,
+            registry,
+            ServiceConfig {
+                queue_cap,
+                cache_bytes,
+                batch_window: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// A `Shared` with no threads attached: admission control can be
+    /// unit-tested without racing a live dispatcher.
+    fn bare_shared(queue_cap: usize) -> Shared {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        Shared {
+            engine,
+            registry: Registry::new(),
+            cache: Mutex::new(DominanceCache::new(0)),
+            cache_enabled: false,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_cap,
+            batch_window: Duration::ZERO,
+            poll_interval: Duration::from_millis(10),
+            draining: AtomicBool::new(false),
+            stats: Mutex::new(ServiceStats::default()),
+            started: Instant::now(),
+        }
+    }
+
+    fn dummy_job() -> Job {
+        let (tx, rx) = mpsc::channel();
+        std::mem::forget(rx);
+        Job {
+            dataset: "d".into(),
+            variant: Variant::new(1.0, 4),
+            want_labels: false,
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn draining_rejects_new_submits_at_admission() {
+        let shared = bare_shared(4);
+        shared.draining.store(true, Ordering::Release);
+        assert_eq!(
+            shared.submit(dummy_job()).unwrap_err(),
+            SubmitError::Draining
+        );
+        assert_eq!(shared.stats.lock().unwrap().rejected_draining, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let shared = bare_shared(2);
+        shared.submit(dummy_job()).unwrap();
+        shared.submit(dummy_job()).unwrap();
+        assert_eq!(
+            shared.submit(dummy_job()).unwrap_err(),
+            SubmitError::Overloaded
+        );
+        let s = *shared.stats.lock().unwrap();
+        assert_eq!((s.submitted, s.rejected_overloaded), (2, 1));
+    }
+
+    #[test]
+    fn stats_json_is_one_well_formed_line() {
+        let mut handle = tiny_server(4, 1 << 20);
+        let json = handle.stats_json();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"reuse_hits\":0"));
+        assert!(json.contains("\"cache\":{"));
+        assert!(json.contains("\"datasets\":[{\"name\":\"cF_10k_5N@300\""));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_empty_queue_joins_quickly() {
+        let mut handle = tiny_server(4, 0);
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

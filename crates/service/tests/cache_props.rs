@@ -1,0 +1,134 @@
+//! Property tests for the dominance cache.
+//!
+//! The safety property behind cross-run reuse: whatever sequence of
+//! inserts, lookups, and evictions the cache has seen, `lookup(v)` may
+//! only ever return an entry that is *valid to reuse* for `v` — same
+//! dataset, `v.ε ≥ entry.ε`, `v.minpts ≤ entry.minpts` — because the
+//! engine will copy that entry's clusters wholesale (Algorithm 3) and an
+//! invalid source silently corrupts labels rather than failing loudly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use variantdbscan::Variant;
+use vbp_dbscan::{ClusterResult, Labels};
+use vbp_service::{result_bytes, DominanceCache};
+
+fn result_of(n: usize) -> Arc<ClusterResult> {
+    // Alternating two clusters — content is irrelevant to cache policy,
+    // only the byte size matters.
+    Arc::new(ClusterResult::from_labels(Labels::from_raw(
+        (0..n as u32).map(|i| i % 2).collect(),
+    )))
+}
+
+fn arb_variant() -> impl Strategy<Value = Variant> {
+    (1u32..40, 1usize..10).prop_map(|(e, m)| Variant::new(f64::from(e) * 0.1, m))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(&'static str, Variant, usize),
+    Lookup(&'static str, Variant),
+}
+
+fn arb_dataset() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("alpha"), Just("beta")]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_dataset(), arb_variant(), 8usize..64).prop_map(|(d, v, n)| Op::Insert(d, v, n)),
+        (arb_dataset(), arb_variant()).prop_map(|(d, v)| Op::Lookup(d, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of inserts and lookups: every hit is dominance-
+    /// valid for the probe, the byte budget is never exceeded, and the
+    /// hit/miss counters account for every lookup.
+    #[test]
+    fn lookup_only_returns_valid_reuse_sources(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        budget_entries in 1usize..8,
+    ) {
+        // Budget in units of a mid-sized entry so evictions actually
+        // happen within 60 ops.
+        let budget = budget_entries * result_bytes(&result_of(32));
+        let mut cache = DominanceCache::new(budget);
+        let mut lookups = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Insert(dataset, v, n) => {
+                    cache.insert(dataset, v, result_of(n));
+                    prop_assert!(cache.stats().bytes <= budget);
+                }
+                Op::Lookup(dataset, v) => {
+                    lookups += 1;
+                    if let Some(hit) = cache.lookup(dataset, v) {
+                        prop_assert!(
+                            v.can_reuse(&hit.variant),
+                            "lookup({dataset}, {v}) returned non-dominated {}",
+                            hit.variant
+                        );
+                    }
+                }
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        prop_assert!(stats.bytes <= budget);
+        // Every insert either landed or was rejected as oversize.
+        prop_assert_eq!(
+            stats.insertions + stats.rejected_oversize,
+            ops.iter().filter(|o| matches!(o, Op::Insert(..))).count() as u64
+        );
+    }
+
+    /// The hit is not merely valid but *optimal*: no other valid entry of
+    /// the same dataset sits strictly closer in parameter space. Verified
+    /// against a naive mirror of the cache contents.
+    #[test]
+    fn lookup_returns_the_nearest_dominated_entry(
+        inserts in proptest::collection::vec(arb_variant(), 1..12),
+        probe in arb_variant(),
+    ) {
+        let mut cache = DominanceCache::new(usize::MAX);
+        let mut mirror: Vec<Variant> = Vec::new();
+        for v in &inserts {
+            cache.insert("d", *v, result_of(16));
+            if !mirror.contains(v) {
+                mirror.push(*v);
+            }
+        }
+        let hit = cache.lookup("d", probe);
+        let valid: Vec<Variant> = mirror
+            .iter()
+            .copied()
+            .filter(|s| probe.can_reuse(s))
+            .collect();
+        match hit {
+            None => prop_assert!(valid.is_empty(), "cache missed despite {valid:?}"),
+            Some(hit) => {
+                // Recompute the cache's own normalization and check no
+                // valid candidate beats the returned one.
+                let eps_lo = valid.iter().map(|v| v.eps).fold(probe.eps, f64::min);
+                let eps_hi = valid.iter().map(|v| v.eps).fold(probe.eps, f64::max);
+                let mp_lo = valid.iter().map(|v| v.minpts).fold(probe.minpts, usize::min);
+                let mp_hi = valid.iter().map(|v| v.minpts).fold(probe.minpts, usize::max);
+                let er = (eps_hi - eps_lo).max(f64::MIN_POSITIVE);
+                let mr = (mp_hi - mp_lo).max(1) as f64;
+                let got = probe.param_distance(&hit.variant, er, mr);
+                for cand in &valid {
+                    prop_assert!(
+                        probe.param_distance(cand, er, mr) >= got,
+                        "{cand} is closer to {probe} than returned {}",
+                        hit.variant
+                    );
+                }
+            }
+        }
+    }
+}

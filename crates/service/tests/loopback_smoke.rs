@@ -1,0 +1,284 @@
+//! End-to-end loopback smoke test — the `scripts/check.sh` service stage.
+//!
+//! Starts a real daemon on an ephemeral port with two registered
+//! datasets, drives a 20-variant workload through the TCP line protocol,
+//! and checks the three properties the service exists for:
+//!
+//! 1. **Correctness** — every label vector the daemon returns is
+//!    label-isomorphic to a direct `Engine::run` over the same points
+//!    (and bit-identical for the fully-cold first request per dataset,
+//!    where no reuse is possible);
+//! 2. **Cross-run reuse** — resubmitting the same workload hits the
+//!    dominance cache (`warm=1` replies, `reuse_hits > 0` in `STATS`);
+//! 3. **Graceful drain** — `SHUTDOWN` completes in-flight requests,
+//!    rejects new ones with the typed `draining` code, and every server
+//!    thread joins within a bounded timeout.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use variantdbscan::{Engine, EngineConfig, VariantSet};
+use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
+use vbp_geom::{Point2, PointId};
+use vbp_rtree::PackedRTree;
+use vbp_service::{Client, ErrorCode, Registry, Server, ServerHandle, ServiceConfig};
+
+const DATASETS: [&str; 2] = ["cF_10k_5N@600", "SW1@600"];
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::default().with_threads(2).with_r(16)
+}
+
+fn start_server(cache_bytes: usize) -> ServerHandle {
+    let engine = Engine::new(engine_config());
+    let mut registry = Registry::new();
+    for name in DATASETS {
+        registry.load(&engine, name).unwrap();
+    }
+    Server::start(
+        engine,
+        registry,
+        ServiceConfig {
+            cache_bytes,
+            batch_window: Duration::ZERO,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Ten variants per dataset, scaled off the dataset's k-dist knee so the
+/// grid finds real structure at any size.
+fn workload(points: &[Point2]) -> Vec<(f64, usize)> {
+    let (tree, _) = PackedRTree::build(points, 16);
+    let base = suggest_eps(&tree, 4, 1).expect("dataset has a knee");
+    let mut variants = Vec::new();
+    for scale in [0.8, 1.0, 1.2, 1.5, 2.0] {
+        for minpts in [4usize, 8] {
+            variants.push((base * scale, minpts));
+        }
+    }
+    variants
+}
+
+fn brute_core_points(points: &[Point2], eps: f64, minpts: usize) -> Vec<PointId> {
+    let eps_sq = eps * eps;
+    (0..points.len())
+        .filter(|&i| {
+            points
+                .iter()
+                .filter(|q| points[i].dist_sq(q) <= eps_sq)
+                .count()
+                >= minpts
+        })
+        .map(|i| i as PointId)
+        .collect()
+}
+
+/// The metamorphic suite's structural label-isomorphism check: identical
+/// noise sets, identical cluster counts, and a core-point cluster
+/// bijection (border points may legally differ between execution paths).
+fn assert_isomorphic(direct: &ClusterResult, served: &ClusterResult, cores: &[PointId], ctx: &str) {
+    assert_eq!(direct.len(), served.len(), "{ctx}: size mismatch");
+    for p in 0..direct.len() as PointId {
+        assert_eq!(
+            direct.labels().is_noise(p),
+            served.labels().is_noise(p),
+            "{ctx}: noise status of point {p} differs"
+        );
+    }
+    assert_eq!(
+        direct.num_clusters(),
+        served.num_clusters(),
+        "{ctx}: cluster counts differ"
+    );
+    let mut forward: HashMap<u32, u32> = HashMap::new();
+    let mut images: HashSet<u32> = HashSet::new();
+    for &p in cores {
+        let a = direct
+            .labels()
+            .cluster(p)
+            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered in direct run"));
+        let b = served
+            .labels()
+            .cluster(p)
+            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered in served run"));
+        match forward.get(&a) {
+            Some(&mapped) => assert_eq!(mapped, b, "{ctx}: cluster {a} split at core {p}"),
+            None => {
+                assert!(
+                    images.insert(b),
+                    "{ctx}: clusters merged into {b} at core {p}"
+                );
+                forward.insert(a, b);
+            }
+        }
+    }
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
+    let mut handle = start_server(64 << 20);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let listed = client.datasets().unwrap();
+    assert_eq!(listed.len(), 2);
+    assert!(listed.iter().all(|(_, size)| *size == 600));
+
+    for name in DATASETS {
+        let points = vbp_data::DatasetSpec::by_name(name).unwrap().generate();
+        let engine = Engine::new(engine_config());
+        let variants = workload(&points);
+
+        // Round 1 — cold cache. Each label vector must be isomorphic to
+        // a direct single-variant engine run over the same points; the
+        // very first request has an empty cache and a single-variant
+        // batch, so it must match the direct run *exactly*.
+        for (i, &(eps, minpts)) in variants.iter().enumerate() {
+            let reply = client.submit(name, eps, minpts, true).unwrap();
+            let direct = engine.run(
+                &points,
+                &VariantSet::new(vec![variantdbscan::Variant::new(eps, minpts)]),
+            );
+            let direct_labels = direct.result_in_caller_order(0);
+            let served_labels = reply.labels.clone().unwrap();
+            assert_eq!(reply.clusters, direct.results[0].num_clusters());
+            assert_eq!(reply.noise, direct.results[0].noise_count());
+            if i == 0 {
+                assert!(!reply.warm, "first request cannot be warm");
+                assert_eq!(
+                    served_labels, direct_labels,
+                    "{name}: cold run must be exact"
+                );
+            } else {
+                let cores = brute_core_points(&points, eps, minpts);
+                assert_isomorphic(
+                    &ClusterResult::from_labels(Labels::from_raw(direct_labels)),
+                    &ClusterResult::from_labels(Labels::from_raw(served_labels)),
+                    &cores,
+                    &format!("{name} variant {i} ({eps:.3}, {minpts})"),
+                );
+            }
+        }
+
+        // Round 2 — warm cache: every identical resubmission finds its
+        // own distance-0 entry and must be answered via reuse.
+        for (i, &(eps, minpts)) in variants.iter().enumerate() {
+            let reply = client.submit(name, eps, minpts, true).unwrap();
+            assert!(reply.warm, "{name} variant {i}: expected a cache hit");
+            let cores = brute_core_points(&points, eps, minpts);
+            let direct = engine.run(
+                &points,
+                &VariantSet::new(vec![variantdbscan::Variant::new(eps, minpts)]),
+            );
+            assert_isomorphic(
+                &ClusterResult::from_labels(Labels::from_raw(direct.result_in_caller_order(0))),
+                &ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap())),
+                &cores,
+                &format!("{name} warm variant {i}"),
+            );
+        }
+    }
+
+    let stats = client.stats_json().unwrap();
+    assert!(
+        field_u64(&stats, "reuse_hits") > 0,
+        "no cache reuse in {stats}"
+    );
+    assert_eq!(field_u64(&stats, "completed"), 40);
+    assert_eq!(field_u64(&stats, "failed"), 0);
+    let cache_at = stats.find("\"cache\":").unwrap();
+    assert!(field_u64(&stats[cache_at..], "hits") > 0);
+
+    client.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "drain did not bound"
+    );
+}
+
+#[test]
+fn unknown_dataset_and_bad_requests_get_typed_errors() {
+    let mut handle = start_server(1 << 20);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let err = client.submit("nonexistent", 1.0, 4, false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::UnknownDataset));
+    // A live connection survives a rejected request.
+    assert_eq!(client.datasets().unwrap().len(), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_rejects_new_work() {
+    let mut handle = start_server(1 << 20);
+    let addr = handle.local_addr();
+
+    // Several writers race the drain; every request must get a definite
+    // answer — success or a typed draining/overloaded rejection.
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut ok = 0usize;
+                let mut rejected = 0usize;
+                for i in 0..4 {
+                    let eps = 0.3 + 0.1 * (w * 4 + i) as f64;
+                    match client.submit(DATASETS[0], eps, 4, false) {
+                        Ok(_) => ok += 1,
+                        Err(e) => match e.code() {
+                            Some(ErrorCode::Draining) | Some(ErrorCode::Overloaded) => {
+                                rejected += 1
+                            }
+                            other => panic!("unexpected failure {other:?}: {e}"),
+                        },
+                    }
+                }
+                (ok, rejected)
+            })
+        })
+        .collect();
+
+    // Let at least one request land, then pull the plug from a separate
+    // control connection.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut control = Client::connect(addr).unwrap();
+    control.shutdown().unwrap();
+
+    let mut total_ok = 0;
+    let mut total_rejected = 0;
+    for w in writers {
+        let (ok, rejected) = w.join().unwrap();
+        total_ok += ok;
+        total_rejected += rejected;
+    }
+    assert_eq!(total_ok + total_rejected, 12, "a request vanished");
+
+    // New work after the drain began is refused with the typed code; a
+    // failed connect means the accept loop is already gone — equally fine.
+    if let Ok(mut late) = Client::connect(addr) {
+        let err = late.submit(DATASETS[0], 1.0, 4, false).unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::Draining));
+    }
+
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "drain did not bound"
+    );
+}

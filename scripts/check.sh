@@ -7,6 +7,9 @@
 #
 # This is the bar every change must clear before merging. Tier-1 is the
 # build + test pair; fmt and clippy (warnings denied) keep the tree clean.
+# A loopback service smoke stage drives the vbp-service daemon over real
+# TCP (two datasets, twenty variants, cold and warm rounds) after the
+# workspace test pass.
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget; the default run already executes them
@@ -32,6 +35,9 @@ fi
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> service loopback smoke (2 datasets x 20 variants over TCP)"
+timeout 300 cargo test -q -p vbp-service --test loopback_smoke
 
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   echo "==> conformance (release, VBP_CONFORMANCE_FULL=1)"
