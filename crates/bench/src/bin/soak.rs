@@ -1,0 +1,277 @@
+//! Soak run: sustained mixed healthy/hostile traffic against a live
+//! daemon, reporting throughput the crash-proofing has to sustain.
+//!
+//! Boots `vbp-service` in-process with two registered datasets, then for
+//! a fixed wall-clock window (`--trials` is reused as *seconds*, default
+//! 3 — `scripts/check.sh` keeps the default; longer soaks pass more)
+//! runs, concurrently:
+//!
+//! - **healthy clients** (one per dataset) submitting a rotating variant
+//!   grid around each dataset's k-dist knee, labels included every few
+//!   requests;
+//! - **fault clients** replaying the chaos suite's hostile moves on a
+//!   seeded schedule: torn-write submits split at arbitrary byte
+//!   boundaries, garbage lines, oversized lines, truncated requests, and
+//!   disconnects before the reply;
+//! - a **STATS poller** asserting the counter invariant
+//!   (`submitted = completed + failed + in_flight`) on every observation.
+//!
+//! At the end: per-class request counts, sustained requests/second, the
+//! daemon's final `STATS` line, a cache structural self-check, and a
+//! bounded drain. Any invariant violation or unexpected rejection
+//! aborts with a non-zero exit. Capture to `results/soak.txt`.
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin soak [--points N] [--threads T] [--trials SECONDS]
+//! ```
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use variantdbscan::{Engine, EngineConfig};
+use vbp_bench::BenchOpts;
+use vbp_data::Pcg32;
+use vbp_service::{
+    Client, ErrorCode, FaultPlan, FaultTransport, Registry, Server, ServiceConfig, TcpTransport,
+    Transport,
+};
+
+const DATASETS: [&str; 2] = ["cF_10k_5N", "SW1"];
+
+struct Counters {
+    healthy_ok: AtomicU64,
+    healthy_rejected: AtomicU64,
+    torn_ok: AtomicU64,
+    hostile_sent: AtomicU64,
+    stats_checks: AtomicU64,
+}
+
+fn main() {
+    let (opts, _) = BenchOpts::parse();
+    let threads = opts.threads.min(8);
+    let soak_secs = opts.trials.max(1) as u64;
+    let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(70));
+
+    let mut registry = Registry::new();
+    let mut grids: Vec<(String, Vec<(f64, usize)>)> = Vec::new();
+    for base in DATASETS {
+        let name = if opts.full {
+            base.to_string()
+        } else {
+            format!("{base}@{}", opts.points)
+        };
+        registry.load(&engine, &name).expect("catalog dataset");
+        let knee = registry
+            .get(&name)
+            .and_then(|e| e.suggested_eps)
+            .unwrap_or(1.0);
+        let mut grid = Vec::new();
+        for scale in [0.8, 1.0, 1.2, 1.5, 2.0] {
+            for minpts in [4usize, 8] {
+                grid.push((knee * scale, minpts));
+            }
+        }
+        grids.push((name, grid));
+    }
+
+    let mut handle = Server::start(
+        engine,
+        registry,
+        ServiceConfig {
+            batch_window: Duration::from_millis(2),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+
+    println!(
+        "soak: {} datasets x {} variants, T = {threads}, {} s window, \
+         2 healthy + 2 fault clients + 1 poller",
+        grids.len(),
+        grids[0].1.len(),
+        soak_secs
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters {
+        healthy_ok: AtomicU64::new(0),
+        healthy_rejected: AtomicU64::new(0),
+        torn_ok: AtomicU64::new(0),
+        hostile_sent: AtomicU64::new(0),
+        stats_checks: AtomicU64::new(0),
+    });
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+
+    // Healthy clients: one per dataset, rotating through its grid.
+    for (name, grid) in grids.clone() {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("healthy connect");
+            client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let (eps, minpts) = grid[i % grid.len()];
+                match client.submit(&name, eps, minpts, i.is_multiple_of(5)) {
+                    Ok(_) => {
+                        counters.healthy_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) if e.code() == Some(ErrorCode::Overloaded) => {
+                        counters.healthy_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("healthy client on {name}: {e}"),
+                }
+                i += 1;
+            }
+        }));
+    }
+
+    // Fault clients: the chaos suite's hostile schedule, endlessly.
+    for fc in 0..2u64 {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let (name, grid) = grids[fc as usize % grids.len()].clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = Pcg32::seeded(0x50AC ^ fc);
+            while !stop.load(Ordering::Acquire) {
+                let (eps, minpts) = grid[rng.below(grid.len() as u32) as usize];
+                match rng.below(4) {
+                    0 => {
+                        // Torn-write healthy submit: reply must be OK.
+                        let Ok(stream) = TcpStream::connect(addr) else {
+                            continue;
+                        };
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(60)))
+                            .unwrap();
+                        let reader = stream.try_clone().unwrap();
+                        let mut t = FaultTransport::new(
+                            TcpTransport::new(stream),
+                            FaultPlan::torn_writes(rng.next_u64()),
+                        );
+                        t.write_all(format!("SUBMIT {name} {eps} {minpts}\n").as_bytes())
+                            .unwrap();
+                        let mut line = String::new();
+                        BufReader::new(reader).read_line(&mut line).unwrap();
+                        if line.starts_with("OK") {
+                            counters.torn_ok.fetch_add(1, Ordering::Relaxed);
+                        } else if !line.starts_with("ERR overloaded") {
+                            panic!("torn submit answered {line:?}");
+                        }
+                    }
+                    1 => {
+                        // Garbage line; any ERR (or silence) is fine.
+                        let n = 1 + rng.below(64) as usize;
+                        let mut payload: Vec<u8> =
+                            (0..n).map(|_| 33 + rng.below(94) as u8).collect();
+                        payload.push(b'\n');
+                        if let Ok(mut s) = TcpStream::connect(addr) {
+                            let _ = s.write_all(&payload);
+                        }
+                        counters.hostile_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    2 => {
+                        // Oversized line.
+                        let mut payload = vec![b'y'; 16 << 10];
+                        payload.push(b'\n');
+                        if let Ok(mut s) = TcpStream::connect(addr) {
+                            let _ = s.write_all(&payload);
+                        }
+                        counters.hostile_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        // Truncated request or submit-and-vanish.
+                        let full = format!("SUBMIT {name} {eps} {minpts}\n");
+                        let cut = if rng.below(2) == 0 {
+                            full.len() - 1 - rng.below(8).min(full.len() as u32 - 2) as usize
+                        } else {
+                            full.len()
+                        };
+                        if let Ok(mut s) = TcpStream::connect(addr) {
+                            let _ = s.write_all(&full.as_bytes()[..cut]);
+                        }
+                        counters.hostile_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    // STATS poller: the invariant is checked on every observation.
+    {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("poller connect");
+            client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                let stats = client.stats_json().expect("STATS");
+                let get = |key: &str| -> u64 {
+                    let pat = format!("\"{key}\":");
+                    let at = stats.find(&pat).expect(key);
+                    stats[at + pat.len()..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .unwrap()
+                };
+                assert_eq!(
+                    get("submitted"),
+                    get("completed") + get("failed") + get("in_flight"),
+                    "stats invariant broken mid-soak: {stats}"
+                );
+                counters.stats_checks.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(soak_secs));
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().expect("soak worker panicked");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let healthy_ok = counters.healthy_ok.load(Ordering::Relaxed);
+    let torn_ok = counters.torn_ok.load(Ordering::Relaxed);
+    let hostile = counters.hostile_sent.load(Ordering::Relaxed);
+    let rejected = counters.healthy_rejected.load(Ordering::Relaxed);
+    let checks = counters.stats_checks.load(Ordering::Relaxed);
+
+    println!("{:<22} {:>10} {:>14}", "class", "requests", "requests/sec");
+    for (label, n) in [
+        ("healthy OK", healthy_ok),
+        ("torn-write OK", torn_ok),
+        ("hostile (no reply owed)", hostile),
+        ("overload rejections", rejected),
+        ("STATS checks", checks),
+    ] {
+        println!("{:<22} {:>10} {:>14.1}", label, n, n as f64 / elapsed);
+    }
+    println!(
+        "sustained clustering throughput: {:.1} jobs/sec over {:.2} s under fault load",
+        (healthy_ok + torn_ok) as f64 / elapsed,
+        elapsed
+    );
+
+    let stats = handle.stats_json();
+    println!("final STATS: {stats}");
+    handle
+        .cache_invariants()
+        .expect("cache structural self-check");
+
+    let drain0 = Instant::now();
+    handle.shutdown();
+    println!("drain: {:?} (all threads joined)", drain0.elapsed());
+
+    assert!(healthy_ok > 0, "no healthy request completed");
+    assert!(torn_ok > 0, "no torn-write request completed");
+    assert!(checks > 0, "the stats poller never ran");
+}

@@ -200,6 +200,46 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// A clustering job panicked inside a worker thread.
+///
+/// Workers contain per-assignment panics with `catch_unwind`: the first
+/// panic poisons the schedule (no further assignments are handed out),
+/// every worker drains, and the run fails as a unit with this typed
+/// error instead of unwinding through the caller. The service layer maps
+/// it to `ERR internal` for the affected request(s) while its dispatcher,
+/// queue, and cache stay live — see
+/// [`Engine::try_run_prepared_warm`].
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// The variant whose job panicked.
+    pub variant: Variant,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clustering job for variant {} panicked: {}",
+            self.variant, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a caught panic payload for [`JobPanic::message`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".into(),
+        },
+    }
+}
+
 /// A prebuilt, reusable index pair over one point database.
 ///
 /// [`Engine::run`] rebuilds `T_low`/`T_high` on every call even when the
@@ -408,7 +448,23 @@ impl Engine {
     /// the per-run index construction. The returned report's
     /// `index_build_time` is zero (see [`PreparedIndex`]).
     pub fn run_prepared(&self, index: &PreparedIndex, variants: &VariantSet) -> RunReport {
-        self.execute(index, variants, &[], None)
+        match self.try_run_prepared(index, variants) {
+            Ok(report) => report,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`Engine::run_prepared`], but a panicking clustering job is
+    /// contained inside its worker and surfaced as a typed [`JobPanic`]
+    /// instead of unwinding through the caller. The schedule is aborted on
+    /// the first panic, so the whole run fails as a unit; the index and
+    /// engine stay fully usable for subsequent runs.
+    pub fn try_run_prepared(
+        &self,
+        index: &PreparedIndex,
+        variants: &VariantSet,
+    ) -> Result<RunReport, JobPanic> {
+        self.try_execute(index, variants, &[], None)
     }
 
     /// Like [`Engine::run_prepared`], but seeds the schedule with warm
@@ -428,6 +484,23 @@ impl Engine {
         variants: &VariantSet,
         warm: &[WarmSource],
     ) -> RunReport {
+        match self.try_run_prepared_warm(index, variants, warm) {
+            Ok(report) => report,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`Engine::run_prepared_warm`], but with the panic containment
+    /// of [`Engine::try_run_prepared`]: a panic inside any clustering job
+    /// (e.g. one injected through [`fault`](crate::fault)) aborts the
+    /// schedule, drains every worker, and returns a [`JobPanic`] naming
+    /// the offending variant — the caller's threads never unwind.
+    pub fn try_run_prepared_warm(
+        &self,
+        index: &PreparedIndex,
+        variants: &VariantSet,
+        warm: &[WarmSource],
+    ) -> Result<RunReport, JobPanic> {
         for w in warm {
             assert_eq!(
                 w.result.len(),
@@ -436,7 +509,7 @@ impl Engine {
                 w.variant
             );
         }
-        self.execute(index, variants, warm, None)
+        self.try_execute(index, variants, warm, None)
     }
 
     /// Shared implementation of [`Engine::run`] and
@@ -461,7 +534,12 @@ impl Engine {
                 seconds: prepared.build_time.as_secs_f64(),
             });
         }
-        let mut report = self.execute(&prepared, variants, &[], progress);
+        // `run`'s contract predates containment: a job panic propagates as
+        // a panic here, exactly as it did when workers unwound directly.
+        let mut report = match self.try_execute(&prepared, variants, &[], progress) {
+            Ok(report) => report,
+            Err(p) => panic!("{p}"),
+        };
         // One-shot runs own their index, so they pay (and report) its
         // construction; prepared runs amortize it and report zero.
         report.index_build_time = prepared.build_time;
@@ -469,14 +547,16 @@ impl Engine {
     }
 
     /// The engine core: clusters `variants` over a prepared index with
-    /// optional warm sources.
-    fn execute(
+    /// optional warm sources. A panic inside any clustering job is caught
+    /// in its worker, recorded first-wins in a shared slot, and turned
+    /// into `Err(JobPanic)` after every worker has drained.
+    fn try_execute(
         &self,
         index: &PreparedIndex,
         variants: &VariantSet,
         warm: &[WarmSource],
         progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
-    ) -> RunReport {
+    ) -> Result<RunReport, JobPanic> {
         use crate::progress::ProgressEvent;
         let n_var = variants.len();
 
@@ -500,6 +580,7 @@ impl Engine {
                 .expect("fresh slot");
         }
         let (outcome_tx, outcome_rx) = mpsc::channel::<VariantOutcome>();
+        let panic_slot: OnceLock<JobPanic> = OnceLock::new();
 
         let t0 = Instant::now();
         let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -507,6 +588,7 @@ impl Engine {
                 .map(|thread_id| {
                     let schedule = &schedule;
                     let results = &results[..];
+                    let panic_slot = &panic_slot;
                     let progress = progress.clone();
                     let outcome_tx = outcome_tx.clone();
                     scope.spawn(move || {
@@ -519,6 +601,7 @@ impl Engine {
                             index.t_high(),
                             schedule,
                             results,
+                            panic_slot,
                             outcome_tx,
                             t0,
                             progress,
@@ -532,6 +615,12 @@ impl Engine {
                 .collect()
         });
         let total_time = t0.elapsed();
+        if let Some(panic) = panic_slot.into_inner() {
+            // The schedule was aborted on the first caught panic, so some
+            // result slots are legitimately empty — skip report assembly
+            // entirely and fail the run as a unit.
+            return Err(panic);
+        }
         if let Some(tx) = &progress {
             let _ = tx.send(ProgressEvent::Finished { variants: n_var });
         }
@@ -553,7 +642,7 @@ impl Engine {
             Vec::new()
         };
 
-        RunReport {
+        Ok(RunReport {
             outcomes,
             total_time,
             index_build_time: Duration::ZERO,
@@ -564,7 +653,7 @@ impl Engine {
             permutation: index.permutation.clone(),
             worker_stats,
             warm_seeds: warm.len(),
-        }
+        })
     }
 }
 
@@ -582,6 +671,11 @@ fn representative_eps(variants: &VariantSet) -> Option<f64> {
 
 /// One worker: pull → cluster → publish, until the schedule drains.
 /// Returns its contention/idle accounting.
+///
+/// Each assignment's clustering work runs under `catch_unwind`: on a
+/// panic the worker records the first [`JobPanic`] in `panic_slot`,
+/// aborts the schedule (so peers stop pulling and drain), and exits its
+/// loop — the panic never crosses the thread boundary.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     thread_id: usize,
@@ -592,6 +686,7 @@ fn worker_loop(
     t_high: &PackedRTree,
     schedule: &Mutex<ScheduleState>,
     results: &[OnceLock<Arc<ClusterResult>>],
+    panic_slot: &OnceLock<JobPanic>,
     outcome_tx: mpsc::Sender<VariantOutcome>,
     t0: Instant,
     progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
@@ -629,29 +724,48 @@ fn worker_loop(
 
         let variant = variants[assignment.variant];
         let started = t0.elapsed();
-        let (result, path, from_warm) = match (source_result, assignment.reuse_from) {
-            (Some(prev), Some(u)) => {
-                // Ids past the variant range address warm sources.
-                let from_warm = u >= variants.len();
-                let source_variant = if from_warm {
-                    warm[u - variants.len()].variant
-                } else {
-                    variants[u]
-                };
-                let (result, stats) =
-                    cluster_with_reuse(t_low, t_high, variant, &prev, source_variant, reuse);
-                (
-                    result,
-                    ExecutionPath::Reused {
-                        source: source_variant,
-                        stats,
-                    },
-                    from_warm,
-                )
+        let clustered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::fault::check(variant);
+            match (source_result, assignment.reuse_from) {
+                (Some(prev), Some(u)) => {
+                    // Ids past the variant range address warm sources.
+                    let from_warm = u >= variants.len();
+                    let source_variant = if from_warm {
+                        warm[u - variants.len()].variant
+                    } else {
+                        variants[u]
+                    };
+                    let (result, stats) =
+                        cluster_with_reuse(t_low, t_high, variant, &prev, source_variant, reuse);
+                    (
+                        result,
+                        ExecutionPath::Reused {
+                            source: source_variant,
+                            stats,
+                        },
+                        from_warm,
+                    )
+                }
+                _ => {
+                    let (result, stats) =
+                        dbscan_with_scratch(t_low, variant.params(), &mut scratch);
+                    (result, ExecutionPath::FromScratch(stats), false)
+                }
             }
-            _ => {
-                let (result, stats) = dbscan_with_scratch(t_low, variant.params(), &mut scratch);
-                (result, ExecutionPath::FromScratch(stats), false)
+        }));
+        let (result, path, from_warm) = match clustered {
+            Ok(done) => done,
+            Err(payload) => {
+                // Containment: record the first panic, poison the schedule
+                // so every peer drains at its next pull, and exit without
+                // publishing — the scratch space may be mid-mutation, but
+                // this worker never touches it again.
+                let _ = panic_slot.set(JobPanic {
+                    variant,
+                    message: panic_message(payload),
+                });
+                schedule.lock().expect("schedule mutex poisoned").abort();
+                break;
             }
         };
         let finished = t0.elapsed();
@@ -1265,5 +1379,60 @@ mod tests {
                 assert_eq!(r.len(), points.len());
             }
         }
+    }
+
+    // The fault seam is a process-global atomic shared by every test in
+    // this binary, so all containment scenarios run inside one #[test]
+    // (parallel harness ordering must not matter). The poisoned ε values
+    // (11.x) are chosen outside every other test's variant pool, so an
+    // armed seam here cannot fire for concurrent traffic.
+    #[test]
+    fn job_panic_is_contained_and_engine_stays_usable() {
+        let points = blobs(400, 3, 57);
+        let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
+        let index = engine.prepare(&points, Some(1.0)).unwrap();
+
+        // A poisoned variant in the middle of an otherwise healthy set
+        // fails the whole run with a typed error naming the variant —
+        // without unwinding through try_run_prepared.
+        let poisoned = Variant::new(11.25, 4);
+        let mixed = VariantSet::new(vec![
+            Variant::new(0.8, 4),
+            poisoned,
+            Variant::new(1.2, 8),
+            Variant::new(1.6, 4),
+        ]);
+        {
+            let _armed = crate::fault::ArmedFault::new(11.25);
+            let err = engine
+                .try_run_prepared(&index, &mixed)
+                .expect_err("poisoned variant must fail the run");
+            assert_eq!(err.variant, poisoned);
+            assert!(
+                err.message.contains(crate::fault::INJECTED_PANIC_PREFIX),
+                "unexpected panic message: {}",
+                err.message
+            );
+            assert!(err.to_string().contains("11.25"), "{err}");
+
+            // Same containment on the warm path.
+            let warm_err = engine
+                .try_run_prepared_warm(&index, &VariantSet::new(vec![poisoned]), &[])
+                .expect_err("warm path must contain the panic too");
+            assert_eq!(warm_err.variant, poisoned);
+        }
+
+        // Seam disarmed: the exact same engine, index, and variant set now
+        // complete — the failed run leaked nothing that poisons later runs.
+        let report = engine.try_run_prepared(&index, &mixed).unwrap();
+        assert_all_complete_once(&report, 4);
+
+        // The panicking wrapper preserves the legacy contract.
+        let _armed = crate::fault::ArmedFault::new(11.5);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_prepared(&index, &VariantSet::new(vec![Variant::new(11.5, 4)]))
+        }));
+        let msg = *unwound.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(crate::fault::INJECTED_PANIC_PREFIX), "{msg}");
     }
 }

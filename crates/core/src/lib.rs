@@ -46,6 +46,7 @@
 pub mod deptree;
 pub mod engine;
 pub mod expand;
+pub mod fault;
 pub mod metrics;
 pub mod progress;
 pub mod scheduler;
@@ -54,7 +55,7 @@ pub mod sim;
 pub mod variant;
 
 pub use deptree::DependencyTree;
-pub use engine::{Engine, EngineConfig, EngineError, PreparedIndex, RChoice, WarmSource};
+pub use engine::{Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, WarmSource};
 pub use expand::{cluster_with_reuse, ReuseStats};
 pub use metrics::{
     tune_report_to_json, ExecutionPath, JsonArray, JsonObject, RunReport, VariantOutcome,

@@ -156,6 +156,9 @@ pub struct ScheduleState {
     candidates: BinaryHeap<std::cmp::Reverse<Candidate>>,
     /// In-flight count, to distinguish "done" from "temporarily empty".
     in_flight: usize,
+    /// Set when a worker hit a panic: no further assignments are handed
+    /// out, so every worker drains and the run can fail as a unit.
+    aborted: bool,
     variants: VariantSet,
 }
 
@@ -195,6 +198,7 @@ impl ScheduleState {
             completed: 0,
             candidates: BinaryHeap::new(),
             in_flight: 0,
+            aborted: false,
             variants,
         };
         if state.reuse_enabled {
@@ -250,8 +254,21 @@ impl ScheduleState {
         self.in_flight += 1;
     }
 
+    /// Poisons the schedule: [`ScheduleState::next_assignment`] returns
+    /// `None` from now on, so every worker exits at its next pull. Called
+    /// by the engine when a job panics — the run is going to fail as a
+    /// whole, and handing out more work would only delay that verdict.
+    pub fn abort(&mut self) {
+        self.aborted = true;
+    }
+
+    /// Returns `true` once [`ScheduleState::abort`] has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
     fn pull_impl(&mut self) -> Option<Assignment> {
-        if self.pending.is_empty() {
+        if self.aborted || self.pending.is_empty() {
             return None;
         }
 
@@ -760,6 +777,19 @@ mod tests {
         for a in &order {
             assert_eq!(a.reuse_from, None);
         }
+    }
+
+    #[test]
+    fn abort_stops_assignment_flow_immediately() {
+        let set = figure3_set();
+        let mut state = ScheduleState::new(set, Scheduler::SchedGreedy, true);
+        let a = state.next_assignment().unwrap();
+        state.abort();
+        assert!(state.is_aborted());
+        assert!(state.next_assignment().is_none());
+        // Completing in-flight work is still legal after an abort.
+        state.complete(a.variant);
+        assert!(state.next_assignment().is_none());
     }
 
     #[test]

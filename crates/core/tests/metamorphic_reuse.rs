@@ -230,3 +230,101 @@ proptest! {
         }
     }
 }
+
+/// Thread-count determinism: the same dataset and variant grid, run at
+/// `T ∈ {1, 2, 8}`, must agree — pointwise-identical noise sets and a
+/// core-point cluster bijection — on both the cold path and the warm
+/// (identity warm-source) path. Scheduling order may differ wildly
+/// across thread counts; the labels may not.
+#[test]
+fn thread_counts_agree_cold_and_warm() {
+    // A deterministic cloud (three blobs + background) so all thread
+    // counts see the exact same bytes.
+    let mut points = Vec::new();
+    for (cx, cy) in [(2.0f64, 2.0), (7.0, 3.0), (4.5, 8.0)] {
+        for i in 0..60 {
+            let dx = (i as f64 * 0.618_033_988_749_894_9).fract();
+            let dy = (i as f64 * 0.754_877_666_246_693).fract();
+            points.push(Point2::new(cx + dx, cy + dy));
+        }
+    }
+    for i in 0..40 {
+        let dx = (i as f64 * 0.569_840_290_998_053_2).fract();
+        let dy = (i as f64 * 0.493_406_585_013_595_4).fract();
+        points.push(Point2::new(dx * 10.0, dy * 10.0));
+    }
+
+    let variants = VariantSet::cartesian(&[0.3, 0.45, 0.7], &[3, 6]);
+    let cores: Vec<Vec<PointId>> = variants
+        .iter()
+        .map(|v| brute_core_points(&points, v.eps, v.minpts))
+        .collect();
+
+    // T=1 is the reference; every other thread count must match it.
+    let reference_engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+    let reference_prepared = reference_engine.prepare(&points, None).unwrap();
+    let reference = reference_engine.run_prepared(&reference_prepared, &variants);
+    let ref_labels: Vec<ClusterResult> = (0..variants.len())
+        .map(|i| {
+            ClusterResult::from_labels(Labels::from_raw(
+                reference_prepared.labels_in_caller_order(&reference.results[i]),
+            ))
+        })
+        .collect();
+    let ref_noise: Vec<usize> = ref_labels.iter().map(|r| r.noise_count()).collect();
+
+    for threads in [2usize, 8] {
+        let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(16));
+        let prepared = engine.prepare(&points, None).unwrap();
+
+        // Cold: straight run of the whole grid.
+        let cold = engine.run_prepared(&prepared, &variants);
+        for (i, v) in variants.iter().enumerate() {
+            let got = ClusterResult::from_labels(Labels::from_raw(
+                prepared.labels_in_caller_order(&cold.results[i]),
+            ));
+            assert_eq!(
+                got.noise_count(),
+                ref_noise[i],
+                "T={threads} cold {v}: noise set size drifted"
+            );
+            check_isomorphic(
+                &ref_labels[i],
+                &got,
+                points.len(),
+                &cores[i],
+                &format!("T={threads} cold {v}"),
+            )
+            .unwrap();
+        }
+
+        // Warm: every variant seeded with its own cold result (identity
+        // warm sources — `can_reuse` admits equality), the service
+        // cache's distance-0 hit. Must still agree with T=1.
+        let warm_sources: Vec<WarmSource> = (0..variants.len())
+            .map(|i| WarmSource {
+                variant: variants.get(i),
+                result: Arc::clone(&cold.results[i]),
+            })
+            .collect();
+        let warm = engine.run_prepared_warm(&prepared, &variants, &warm_sources);
+        assert_eq!(
+            warm.warm_hits(),
+            variants.len(),
+            "T={threads}: identity warm sources must all hit"
+        );
+        for (i, v) in variants.iter().enumerate() {
+            let got = ClusterResult::from_labels(Labels::from_raw(
+                prepared.labels_in_caller_order(&warm.results[i]),
+            ));
+            check_isomorphic(
+                &ref_labels[i],
+                &got,
+                points.len(),
+                &cores[i],
+                &format!("T={threads} warm {v}"),
+            )
+            .unwrap();
+        }
+    }
+}

@@ -248,6 +248,40 @@ impl DominanceCache {
         }
     }
 
+    /// Structural self-check, used by the chaos suite after every fault
+    /// schedule: the byte ledger matches the entries, the budget holds,
+    /// no stamp outruns the clock, and no `(dataset, variant)` key is
+    /// duplicated. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let summed: usize = self.entries.iter().map(|e| e.bytes).sum();
+        if summed != self.bytes {
+            return Err(format!(
+                "byte ledger drift: entries sum to {summed}, ledger says {}",
+                self.bytes
+            ));
+        }
+        if self.bytes > self.budget {
+            return Err(format!(
+                "over budget: {} bytes held, {} allowed",
+                self.bytes, self.budget
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.stamp > self.clock {
+                return Err(format!(
+                    "entry {} stamp {} outruns clock {}",
+                    e.variant, e.stamp, self.clock
+                ));
+            }
+            for other in &self.entries[i + 1..] {
+                if other.dataset == e.dataset && other.variant == e.variant {
+                    return Err(format!("duplicate key ({}, {})", e.dataset, e.variant));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -342,6 +376,19 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().rejected_oversize, 1);
         assert!(cache.lookup("d", Variant::new(2.0, 2)).is_none());
+    }
+
+    #[test]
+    fn invariants_hold_through_churn() {
+        let one = result_bytes(&result_of(vec![0, 0, 1, 1]));
+        let mut cache = DominanceCache::new(3 * one);
+        for i in 0..20u32 {
+            let v = Variant::new(0.1 + f64::from(i) * 0.07, 3 + (i as usize % 7));
+            cache.insert("d", v, result_of(vec![0, 0, 1, 1]));
+            let _ = cache.lookup("d", v);
+            cache.check_invariants().unwrap();
+        }
+        assert!(cache.stats().evictions > 0, "churn must have evicted");
     }
 
     #[test]

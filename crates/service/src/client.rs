@@ -1,6 +1,6 @@
 //! Blocking client for the `vbp-service` line protocol.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -65,6 +65,29 @@ pub struct SubmitReply {
     pub labels: Option<Vec<u32>>,
 }
 
+/// The client-side framing cap: a reply line longer than this is a
+/// protocol violation, not something to buffer. Sized for the worst
+/// legitimate line (a `LABELS` continuation for a millions-of-points
+/// dataset), far under anything a corrupt or hostile server could use
+/// to balloon client memory.
+const MAX_REPLY_BYTES: u64 = 64 << 20;
+
+/// Reads one newline-terminated line, refusing to buffer more than
+/// `cap` bytes of it.
+fn bounded_line<R: BufRead>(reader: &mut R, cap: u64) -> Result<String, ClientError> {
+    let mut line = String::new();
+    let n = reader.by_ref().take(cap).read_line(&mut line)?;
+    if n == 0 {
+        return Err(ClientError::Protocol("server closed the connection".into()));
+    }
+    if n as u64 == cap && !line.ends_with('\n') {
+        return Err(ClientError::Protocol(format!(
+            "reply line exceeded {cap} bytes"
+        )));
+    }
+    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+}
+
 /// One connection to a `vbp-service` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -105,12 +128,7 @@ impl Client {
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
-        }
-        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+        bounded_line(&mut self.reader, MAX_REPLY_BYTES)
     }
 
     /// Sends `request`, returns the `OK` payload or a typed rejection.
@@ -233,4 +251,35 @@ fn parse_num(tok: &str, value: &str) -> Result<usize, ClientError> {
     value
         .parse()
         .map_err(|_| ClientError::Protocol(format!("bad number '{tok}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_line_frames_and_refuses() {
+        let mut ok = Cursor::new(b"OK hello\nrest".to_vec());
+        assert_eq!(bounded_line(&mut ok, 64).unwrap(), "OK hello");
+        assert_eq!(bounded_line(&mut ok, 64).unwrap(), "rest"); // EOF-terminated tail
+
+        let mut eof = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            bounded_line(&mut eof, 64),
+            Err(ClientError::Protocol(_))
+        ));
+
+        // A line that is exactly the cap, newline included, still fits.
+        let mut exact = Cursor::new(b"abc\n".to_vec());
+        assert_eq!(bounded_line(&mut exact, 4).unwrap(), "abc");
+
+        // One past the cap is refused without buffering the rest.
+        let mut over = Cursor::new(vec![b'x'; 4096]);
+        let err = bounded_line(&mut over, 64).unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Protocol(m) if m.contains("exceeded 64 bytes")),
+            "{err}"
+        );
+    }
 }

@@ -17,6 +17,10 @@
 //!   cache, and graceful drain on shutdown;
 //! - [`protocol`] / [`client`] — the line protocol and a blocking
 //!   client;
+//! - [`transport`] / [`fault`] — the connection I/O seam (bounded line
+//!   framing over a [`Transport`] trait) and its deterministic
+//!   fault-injecting test implementations (seeded torn writes, scripted
+//!   byte schedules, mid-stream cuts);
 //! - [`workload`] — the cold-vs-warm throughput probe used by
 //!   `vbp bench-service` and the `service_throughput` bench.
 //!
@@ -27,14 +31,18 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod transport;
 pub mod workload;
 
 pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache};
 pub use client::{Client, ClientError, SubmitReply};
+pub use fault::{FaultPlan, FaultTransport, MemTransport, Step};
 pub use protocol::{parse_request, ErrorCode, Request};
 pub use registry::{DatasetEntry, Registry};
 pub use server::{Server, ServerHandle, ServiceConfig, SubmitError};
+pub use transport::{LineEvent, LineIo, TcpTransport, Transport};
 pub use workload::{run_cold_warm, ColdWarmReport};

@@ -17,7 +17,8 @@
 //!          | "QUIT"
 //! response = "OK" [SP payload]
 //!          | "ERR" SP code SP message
-//! code     = "bad-request" | "unknown-dataset" | "overloaded" | "draining"
+//! code     = "bad-request" | "unknown-dataset" | "overloaded"
+//!          | "draining" | "internal" | "protocol"
 //! ```
 //!
 //! `SUBMIT` answers `OK clusters=<n> noise=<n> warm=<0|1> reused=<0|1>
@@ -42,6 +43,10 @@ pub enum ErrorCode {
     Draining,
     /// The request failed inside the engine (should not happen).
     Internal,
+    /// The byte stream itself broke framing rules (oversized line,
+    /// invalid UTF-8) — the offending line was discarded and the
+    /// connection resynchronized at the next newline.
+    Protocol,
 }
 
 impl ErrorCode {
@@ -53,6 +58,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::Protocol => "protocol",
         }
     }
 
@@ -64,6 +70,7 @@ impl ErrorCode {
             "overloaded" => ErrorCode::Overloaded,
             "draining" => ErrorCode::Draining,
             "internal" => ErrorCode::Internal,
+            "protocol" => ErrorCode::Protocol,
             _ => return None,
         })
     }

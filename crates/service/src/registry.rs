@@ -91,6 +91,13 @@ impl Registry {
         self.datasets.get(name)
     }
 
+    /// Iterates over the registered entries in name order — the soak
+    /// bench uses this to spread load across every dataset without
+    /// re-resolving names per request.
+    pub fn entries(&self) -> impl Iterator<Item = &Arc<DatasetEntry>> {
+        self.datasets.values()
+    }
+
     /// Registered names with sizes, in name order.
     pub fn list(&self) -> Vec<(String, usize)> {
         self.datasets

@@ -11,7 +11,7 @@
 //!                        bounded VecDeque ──▶ dispatcher thread
 //!                                                 │
 //!                                                 ▼
-//!                              Engine::run_prepared_warm (batch)
+//!                           Engine::try_run_prepared_warm (batch)
 //! ```
 //!
 //! Handlers parse lines and *admit* work; they never touch the engine.
@@ -24,6 +24,19 @@
 //! same dataset into a single [`VariantSet`] run. Cache lookups seed the
 //! run with warm sources; every fresh result is inserted back.
 //!
+//! # Fault posture
+//!
+//! Connections are handled through the [`Transport`] seam with bounded
+//! line framing ([`LineIo`]): an oversized or non-UTF-8 line costs the
+//! client one `ERR protocol` and a resync, never unbounded buffering or
+//! a dead handler. A panic inside a clustering job is contained at the
+//! engine boundary ([`Engine::try_run_prepared_warm`]): the dispatcher
+//! isolates the batch, retries each distinct variant alone, fails only
+//! the poisoned jobs with `ERR internal`, and keeps serving. Every
+//! admitted job is accounted exactly once — `submitted` always equals
+//! `completed + failed + in_flight` under the stats lock, which the
+//! chaos suite asserts at arbitrary observation points.
+//!
 //! # Graceful drain
 //!
 //! `SHUTDOWN` (or [`ServerHandle::shutdown`]) flips the draining flag:
@@ -34,7 +47,6 @@
 //! poll interval plus the time of the in-flight engine run.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -47,6 +59,7 @@ use variantdbscan::{Engine, JsonObject, Variant, VariantSet, WarmSource};
 use crate::cache::DominanceCache;
 use crate::protocol::{err_line, parse_request, ErrorCode, Request};
 use crate::registry::Registry;
+use crate::transport::{LineEvent, LineIo, TcpTransport, Transport};
 
 /// Tunables of one server instance.
 #[derive(Clone, Debug)]
@@ -62,6 +75,16 @@ pub struct ServiceConfig {
     pub batch_window: Duration,
     /// Handler read-timeout; bounds how fast connections notice a drain.
     pub poll_interval: Duration,
+    /// Hard cap on one request line (bytes, newline excluded); longer
+    /// lines cost `ERR protocol` and are discarded.
+    pub max_line_bytes: usize,
+    /// How long a handler waits for its job's reply before giving up
+    /// with `ERR internal`. Contained panics answer far faster; this
+    /// only bounds a genuinely wedged engine.
+    pub job_timeout: Duration,
+    /// Socket write timeout, so a client that stops draining its
+    /// receive buffer cannot wedge a handler mid-reply forever.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +95,9 @@ impl Default for ServiceConfig {
             cache_bytes: 64 << 20,
             batch_window: Duration::from_millis(2),
             poll_interval: Duration::from_millis(50),
+            max_line_bytes: 8192,
+            job_timeout: Duration::from_secs(600),
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -113,15 +139,23 @@ struct JobDone {
 }
 
 /// Service-level counters (the engine and cache keep their own).
+///
+/// Invariant, held at every instant the lock is free: `submitted ==
+/// completed + failed + in_flight`. Admission increments `submitted`
+/// and `in_flight` together; terminal accounting moves a job from
+/// `in_flight` to exactly one of `completed`/`failed` under the same
+/// lock.
 #[derive(Clone, Copy, Debug, Default)]
 struct ServiceStats {
     submitted: u64,
     completed: u64,
     failed: u64,
+    in_flight: u64,
     rejected_overloaded: u64,
     rejected_draining: u64,
     unknown_dataset: u64,
     bad_request: u64,
+    protocol_errors: u64,
     batches: u64,
     max_batch: usize,
     engine_warm_hits: u64,
@@ -140,6 +174,9 @@ struct Shared {
     queue_cap: usize,
     batch_window: Duration,
     poll_interval: Duration,
+    max_line_bytes: usize,
+    job_timeout: Duration,
+    write_timeout: Duration,
     draining: AtomicBool,
     stats: Mutex<ServiceStats>,
     started: Instant,
@@ -161,9 +198,25 @@ impl Shared {
         }
         q.push_back(job);
         drop(q);
-        self.stats.lock().unwrap().submitted += 1;
+        {
+            let mut s = self.stats.lock().unwrap();
+            s.submitted += 1;
+            s.in_flight += 1;
+        }
         self.queue_cv.notify_one();
         Ok(())
+    }
+
+    /// Moves `n` jobs from in-flight to a terminal counter; the single
+    /// place the stats invariant is allowed to change on the exit side.
+    fn account_terminal(&self, n: u64, failed: bool) {
+        let mut s = self.stats.lock().unwrap();
+        if failed {
+            s.failed += n;
+        } else {
+            s.completed += n;
+        }
+        s.in_flight = s.in_flight.saturating_sub(n);
     }
 
     fn stats_json(&self) -> String {
@@ -184,10 +237,12 @@ impl Shared {
             .uint("submitted", s.submitted)
             .uint("completed", s.completed)
             .uint("failed", s.failed)
+            .uint("in_flight", s.in_flight)
             .uint("rejected_overloaded", s.rejected_overloaded)
             .uint("rejected_draining", s.rejected_draining)
             .uint("unknown_dataset", s.unknown_dataset)
             .uint("bad_request", s.bad_request)
+            .uint("protocol_errors", s.protocol_errors)
             .uint("batches", s.batches)
             .uint("max_batch", s.max_batch as u64)
             .uint("reuse_hits", s.engine_warm_hits)
@@ -234,6 +289,9 @@ impl Server {
             queue_cap: config.queue_cap.max(1),
             batch_window: config.batch_window,
             poll_interval: config.poll_interval,
+            max_line_bytes: config.max_line_bytes,
+            job_timeout: config.job_timeout,
+            write_timeout: config.write_timeout,
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
             started: Instant::now(),
@@ -259,13 +317,30 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(shared.write_timeout));
                         let shared = Arc::clone(&shared);
                         let stop = Arc::clone(&stop);
-                        let handle = std::thread::Builder::new()
-                            .name("vbp-conn".into())
-                            .spawn(move || handle_connection(stream, &shared, &stop));
+                        let handle =
+                            std::thread::Builder::new()
+                                .name("vbp-conn".into())
+                                .spawn(move || {
+                                    handle_connection(TcpTransport::new(stream), &shared, &stop)
+                                });
+                        let mut hs = handlers.lock().unwrap();
+                        // Reap finished handlers so the registry stays
+                        // proportional to *live* connections instead of
+                        // growing for the daemon's lifetime.
+                        let mut i = 0;
+                        while i < hs.len() {
+                            if hs[i].is_finished() {
+                                let _ = hs.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
                         if let Ok(h) = handle {
-                            handlers.lock().unwrap().push(h);
+                            hs.push(h);
                         }
                     }
                 })?
@@ -286,6 +361,20 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Runs the full connection-handler loop over an arbitrary
+    /// [`Transport`] — the fault-injection entry point. The returned
+    /// thread is *not* in the accept loop's registry; the caller owns
+    /// the join. It observes the same shared state (queue, cache,
+    /// stats, stop flag) as socket-accepted connections.
+    pub fn serve_transport<T: Transport + 'static>(&self, transport: T) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::clone(&self.stop_accept);
+        std::thread::Builder::new()
+            .name("vbp-conn-test".into())
+            .spawn(move || handle_connection(transport, &shared, &stop))
+            .expect("spawn transport handler")
     }
 
     /// Begins a graceful drain (idempotent): stop admitting, finish
@@ -312,9 +401,16 @@ impl ServerHandle {
             let _ = h.join();
         }
         // Any job enqueued in the shutdown race has no dispatcher left;
-        // dropping it disconnects the reply channel and the handler
-        // answers `ERR draining`.
-        self.shared.queue.lock().unwrap().clear();
+        // dropping it disconnects the reply channel (the handler answers
+        // `ERR draining`) and must still reach a terminal counter, or
+        // the stats invariant would leak phantom in-flight jobs.
+        let dropped = {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.drain(..).count() as u64
+        };
+        if dropped > 0 {
+            self.shared.account_terminal(dropped, true);
+        }
         let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
         for h in handlers {
             let _ = h.join();
@@ -331,6 +427,13 @@ impl ServerHandle {
     /// `STATS` wire command).
     pub fn stats_json(&self) -> String {
         self.shared.stats_json()
+    }
+
+    /// Runs the dominance cache's structural self-check
+    /// ([`DominanceCache::check_invariants`]) — the chaos suite calls
+    /// this after every fault schedule.
+    pub fn cache_invariants(&self) -> Result<(), String> {
+        self.shared.cache.lock().unwrap().check_invariants()
     }
 }
 
@@ -374,11 +477,13 @@ fn dispatcher_loop(shared: &Shared) {
     }
 }
 
-/// Executes one same-dataset batch and answers every job in it.
+/// Executes one same-dataset batch and answers every job in it. Every
+/// job reaches exactly one terminal counter before its reply is sent.
 fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let Some(entry) = shared.registry.get(&batch[0].dataset) else {
         // Handlers validate the dataset before enqueueing; this is a
         // belt-and-braces path, not an expected one.
+        shared.account_terminal(batch.len() as u64, true);
         for job in batch {
             let _ = job
                 .reply
@@ -413,9 +518,39 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 
     let t0 = Instant::now();
-    let report = shared
+    let report = match shared
         .engine
-        .run_prepared_warm(&entry.index, &variants, &warm);
+        .try_run_prepared_warm(&entry.index, &variants, &warm)
+    {
+        Ok(report) => report,
+        Err(panic) => {
+            if variants.len() == 1 {
+                // The poisoned variant is isolated: fail exactly these
+                // jobs with a typed message, keep the dispatcher alive.
+                shared.account_terminal(batch.len() as u64, true);
+                let msg = panic.to_string();
+                for job in batch {
+                    let _ = job.reply.send(Err(msg.clone()));
+                }
+            } else {
+                // A multi-variant batch failed as a unit — the engine
+                // cannot say which peers would have succeeded. Retry
+                // each distinct variant as its own single-variant batch
+                // so only the genuinely poisoned jobs fail.
+                let mut groups: Vec<(Variant, Vec<Job>)> = Vec::new();
+                for job in batch {
+                    match groups.iter_mut().find(|(v, _)| *v == job.variant) {
+                        Some((_, group)) => group.push(job),
+                        None => groups.push((job.variant, vec![job])),
+                    }
+                }
+                for (_, group) in groups {
+                    run_batch(shared, group);
+                }
+            }
+            return;
+        }
+    };
     let busy = t0.elapsed();
 
     if shared.cache_enabled {
@@ -438,6 +573,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             .count() as u64;
         s.engine_busy += busy;
         s.completed += batch.len() as u64;
+        s.in_flight = s.in_flight.saturating_sub(batch.len() as u64);
     }
 
     let ms = busy.as_secs_f64() * 1e3;
@@ -462,46 +598,52 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 }
 
-/// Per-connection request loop.
-fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(shared.poll_interval));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
+/// Per-connection request loop over any [`Transport`], with bounded
+/// line framing. Framing violations cost one `ERR protocol` each and
+/// resynchronize; only EOF, a fatal I/O error, `QUIT`, or the stop flag
+/// end the loop.
+fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &AtomicBool) {
+    let _ = transport.set_read_timeout(Some(shared.poll_interval));
+    let mut io = LineIo::new(transport, shared.max_line_bytes);
     loop {
-        // `line` persists across timeout polls so a request split over
-        // packets is not dropped.
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                if !line.ends_with('\n') {
-                    continue; // partial line, keep accumulating
-                }
-                let quit = respond(line.trim(), shared, &mut writer).is_err();
-                line.clear();
-                if quit {
+        match io.next_event() {
+            Ok(LineEvent::Line(line)) => {
+                if respond(line.trim(), shared, &mut io).is_err() {
                     break;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            Ok(LineEvent::Overflow) => {
+                shared.stats.lock().unwrap().protocol_errors += 1;
+                let reply = err_line(
+                    ErrorCode::Protocol,
+                    &format!("line exceeds {} bytes", shared.max_line_bytes),
+                );
+                if io.send_line(&reply).is_err() {
+                    break;
+                }
+            }
+            Ok(LineEvent::InvalidUtf8) => {
+                shared.stats.lock().unwrap().protocol_errors += 1;
+                if io
+                    .send_line(&err_line(ErrorCode::Protocol, "line is not valid UTF-8"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(LineEvent::Timeout) => {
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
             }
-            Err(_) => break,
+            Ok(LineEvent::Eof) | Err(_) => break,
         }
     }
+    io.transport_mut().close();
 }
 
 /// Handles one request line; `Err(())` means "close this connection".
-fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()> {
+fn respond<T: Transport>(line: &str, shared: &Shared, io: &mut LineIo<T>) -> Result<(), ()> {
     if line.is_empty() {
         return Ok(());
     }
@@ -509,13 +651,13 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
         Ok(r) => r,
         Err(msg) => {
             shared.stats.lock().unwrap().bad_request += 1;
-            return send_line(writer, &err_line(ErrorCode::BadRequest, &msg));
+            return send_line(io, &err_line(ErrorCode::BadRequest, &msg));
         }
     };
     match request {
-        Request::Hello => send_line(writer, "OK vbp-service 1"),
+        Request::Hello => send_line(io, "OK vbp-service 1"),
         Request::Quit => {
-            let _ = send_line(writer, "OK bye");
+            let _ = send_line(io, "OK bye");
             Err(())
         }
         Request::Datasets => {
@@ -523,13 +665,13 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
             for (name, size) in shared.registry.list() {
                 out.push_str(&format!(" {name}={size}"));
             }
-            send_line(writer, &out)
+            send_line(io, &out)
         }
-        Request::Stats => send_line(writer, &format!("OK {}", shared.stats_json())),
+        Request::Stats => send_line(io, &format!("OK {}", shared.stats_json())),
         Request::Shutdown => {
             shared.draining.store(true, Ordering::Release);
             shared.queue_cv.notify_all();
-            send_line(writer, "OK draining")
+            send_line(io, "OK draining")
         }
         Request::Submit {
             dataset,
@@ -540,7 +682,7 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
             if shared.registry.get(&dataset).is_none() {
                 shared.stats.lock().unwrap().unknown_dataset += 1;
                 return send_line(
-                    writer,
+                    io,
                     &err_line(
                         ErrorCode::UnknownDataset,
                         &format!("dataset '{dataset}' is not registered"),
@@ -559,12 +701,14 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
                     SubmitError::Overloaded => "queue full",
                     SubmitError::Draining => "server is shutting down",
                 };
-                return send_line(writer, &err_line(e.code(), msg));
+                return send_line(io, &err_line(e.code(), msg));
             }
-            // The dispatcher drains the queue before exiting, so this
-            // blocks at most one full engine run (plus queue delay); the
-            // generous timeout only guards against a wedged engine.
-            match rx.recv_timeout(Duration::from_secs(600)) {
+            // The dispatcher drains the queue before exiting, and panic
+            // containment turns a crashing job into a prompt typed
+            // failure — the timeout only guards a genuinely wedged
+            // engine (the job stays in-flight in that case, which is
+            // what the counters honestly say).
+            match rx.recv_timeout(shared.job_timeout) {
                 Ok(Ok(done)) => {
                     let head = format!(
                         "OK clusters={} noise={} warm={} reused={} ms={:.3}",
@@ -574,25 +718,26 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
                         u8::from(done.reused),
                         done.ms
                     );
-                    send_line(writer, &head)?;
+                    send_line(io, &head)?;
                     if let Some(labels) = done.labels {
                         let mut out = String::with_capacity(labels.len() * 7 + 16);
                         out.push_str(&format!("LABELS {}", labels.len()));
                         for l in labels {
                             out.push_str(&format!(" {l}"));
                         }
-                        send_line(writer, &out)?;
+                        send_line(io, &out)?;
                     }
                     Ok(())
                 }
-                Ok(Err(msg)) => {
-                    shared.stats.lock().unwrap().failed += 1;
-                    send_line(writer, &err_line(ErrorCode::Internal, &msg))
-                }
-                Err(_) => {
+                Ok(Err(msg)) => send_line(io, &err_line(ErrorCode::Internal, &msg)),
+                Err(mpsc::RecvTimeoutError::Timeout) => send_line(
+                    io,
+                    &err_line(ErrorCode::Internal, "job timed out in the engine"),
+                ),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
                     // Reply channel died: the server drained underneath us.
                     send_line(
-                        writer,
+                        io,
                         &err_line(ErrorCode::Draining, "request dropped during shutdown"),
                     )
                 }
@@ -601,16 +746,14 @@ fn respond(line: &str, shared: &Shared, writer: &mut TcpStream) -> Result<(), ()
     }
 }
 
-fn send_line(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
-    writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .map_err(|_| ())
+fn send_line<T: Transport>(io: &mut LineIo<T>, line: &str) -> Result<(), ()> {
+    io.send_line(line).map_err(|_| ())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{MemTransport, Step};
     use variantdbscan::EngineConfig;
 
     fn tiny_server(queue_cap: usize, cache_bytes: usize) -> ServerHandle {
@@ -644,6 +787,9 @@ mod tests {
             queue_cap,
             batch_window: Duration::ZERO,
             poll_interval: Duration::from_millis(10),
+            max_line_bytes: 256,
+            job_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
             started: Instant::now(),
@@ -683,6 +829,23 @@ mod tests {
         );
         let s = *shared.stats.lock().unwrap();
         assert_eq!((s.submitted, s.rejected_overloaded), (2, 1));
+        assert_eq!(s.in_flight, 2, "admitted jobs are in flight");
+    }
+
+    #[test]
+    fn terminal_accounting_preserves_the_stats_invariant() {
+        let shared = bare_shared(8);
+        for _ in 0..5 {
+            shared.submit(dummy_job()).unwrap();
+        }
+        shared.account_terminal(2, false);
+        shared.account_terminal(1, true);
+        let s = *shared.stats.lock().unwrap();
+        assert_eq!(
+            (s.submitted, s.completed, s.failed, s.in_flight),
+            (5, 2, 1, 2)
+        );
+        assert_eq!(s.submitted, s.completed + s.failed + s.in_flight);
     }
 
     #[test]
@@ -692,6 +855,8 @@ mod tests {
         assert!(!json.contains('\n'));
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"reuse_hits\":0"));
+        assert!(json.contains("\"in_flight\":0"));
+        assert!(json.contains("\"protocol_errors\":0"));
         assert!(json.contains("\"cache\":{"));
         assert!(json.contains("\"datasets\":[{\"name\":\"cF_10k_5N@300\""));
         handle.shutdown();
@@ -703,5 +868,23 @@ mod tests {
         let t0 = Instant::now();
         handle.shutdown();
         assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn scripted_transport_drives_the_real_handler() {
+        let handle = tiny_server(4, 0);
+        let (mem, out) = MemTransport::new(vec![
+            Step::Recv(b"HELLO\nNOPE\n".to_vec()),
+            Step::Idle,
+            Step::Recv(b"QUIT\n".to_vec()),
+        ]);
+        handle.serve_transport(mem).join().unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "OK vbp-service 1");
+        assert!(lines[1].starts_with("ERR bad-request"), "{text}");
+        assert_eq!(lines[2], "OK bye");
+        let mut handle = handle;
+        handle.shutdown();
     }
 }

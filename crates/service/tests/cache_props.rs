@@ -7,8 +7,12 @@
 //! engine will copy that entry's clusters wholesale (Algorithm 3) and an
 //! invalid source silently corrupts labels rather than failing loudly.
 
-use std::sync::Arc;
+mod common;
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::Watchdog;
 use proptest::prelude::*;
 use variantdbscan::Variant;
 use vbp_dbscan::{ClusterResult, Labels};
@@ -54,6 +58,7 @@ proptest! {
         ops in proptest::collection::vec(arb_op(), 1..60),
         budget_entries in 1usize..8,
     ) {
+        let _wd = Watchdog::arm("cache-props-validity", Duration::from_secs(120));
         // Budget in units of a mid-sized entry so evictions actually
         // happen within 60 ops.
         let budget = budget_entries * result_bytes(&result_of(32));
@@ -95,6 +100,7 @@ proptest! {
         inserts in proptest::collection::vec(arb_variant(), 1..12),
         probe in arb_variant(),
     ) {
+        let _wd = Watchdog::arm("cache-props-nearest", Duration::from_secs(120));
         let mut cache = DominanceCache::new(usize::MAX);
         let mut mirror: Vec<Variant> = Vec::new();
         for v in &inserts {

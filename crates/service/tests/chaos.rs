@@ -1,0 +1,456 @@
+//! Chaos suite: seeded fault schedules against a live daemon.
+//!
+//! Each schedule boots a fresh server, then drives a deterministic,
+//! seed-derived mix of hostile traffic at it — garbage lines, oversized
+//! lines, torn writes split at arbitrary byte boundaries, requests cut
+//! mid-line, connections dropped before the reply — interleaved with
+//! healthy `SUBMIT`s, across a cold round and a warm (cache-populated)
+//! round. After every schedule three invariants must hold:
+//!
+//! 1. **Consistent STATS** — the daemon still answers `STATS`, and
+//!    `submitted == completed + failed + in_flight` (plus the cache's
+//!    structural self-check);
+//! 2. **Isomorphic survivors** — every `SUBMIT` that got an `OK` carries
+//!    labels label-isomorphic to a direct engine run of that variant;
+//! 3. **Bounded drain** — `SHUTDOWN` completes and every server thread
+//!    joins under a hard timeout.
+//!
+//! Schedules replay exactly from their seed: a failure prints
+//! `VBP_CHAOS_SEED=0x...`; re-run with that environment variable (and
+//! this test's filter) to replay only the failing schedule, in the
+//! style of the proptest shim. `VBP_CHAOS_FULL=1` widens the sweep.
+//!
+//! The engine-boundary fault (a *panicking* clustering job, injected
+//! through `variantdbscan::fault`) gets its own test below: the poisoned
+//! job must fail with `ERR internal` while the same connection, dataset,
+//! and daemon keep serving — and must fail *fast*, not after the old
+//! 600 s reply timeout.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use common::{assert_isomorphic, assert_stats_consistent, brute_core_points, field_u64, Watchdog};
+use variantdbscan::{Engine, Variant, VariantSet};
+use vbp_data::Pcg32;
+use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
+use vbp_geom::{Point2, PointId};
+use vbp_rtree::PackedRTree;
+use vbp_service::{
+    Client, ErrorCode, FaultPlan, FaultTransport, ServerHandle, ServiceConfig, TcpTransport,
+    Transport,
+};
+
+const DATASET: &str = "cF_10k_5N@300";
+const MAX_LINE: usize = 512;
+
+/// Precomputed ground truth for the fixed variant pool: direct engine
+/// labels (caller order) and brute-force core sets, computed once for
+/// the whole binary.
+struct Oracle {
+    points: Vec<Point2>,
+    pool: Vec<(f64, usize)>,
+    direct: Vec<ClusterResult>,
+    cores: Vec<Vec<PointId>>,
+}
+
+fn oracle() -> &'static Oracle {
+    static ORACLE: OnceLock<Oracle> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let points = vbp_data::DatasetSpec::by_name(DATASET).unwrap().generate();
+        let (tree, _) = PackedRTree::build(&points, 16);
+        let base = suggest_eps(&tree, 4, 1).expect("dataset has a knee");
+        let mut pool = Vec::new();
+        for scale in [0.9, 1.1, 1.4] {
+            for minpts in [4usize, 8] {
+                pool.push((base * scale, minpts));
+            }
+        }
+        let engine = Engine::new(common::engine_config(2));
+        let mut direct = Vec::new();
+        let mut cores = Vec::new();
+        for &(eps, minpts) in &pool {
+            let report = engine.run(&points, &VariantSet::new(vec![Variant::new(eps, minpts)]));
+            direct.push(ClusterResult::from_labels(Labels::from_raw(
+                report.result_in_caller_order(0),
+            )));
+            cores.push(brute_core_points(&points, eps, minpts));
+        }
+        Oracle {
+            points,
+            pool,
+            direct,
+            cores,
+        }
+    })
+}
+
+fn chaos_server() -> ServerHandle {
+    common::start_server(
+        &[DATASET],
+        2,
+        ServiceConfig {
+            queue_cap: 8,
+            cache_bytes: 8 << 20,
+            batch_window: Duration::ZERO,
+            max_line_bytes: MAX_LINE,
+            job_timeout: Duration::from_secs(30),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Submits pool variant `i` over a healthy client and checks the reply
+/// against the oracle.
+fn healthy_submit(client: &mut Client, i: usize, ctx: &str) -> bool {
+    let o = oracle();
+    let (eps, minpts) = o.pool[i];
+    let reply = client
+        .submit(DATASET, eps, minpts, true)
+        .unwrap_or_else(|e| panic!("{ctx}: healthy submit failed: {e}"));
+    let served = ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap()));
+    assert_eq!(served.len(), o.points.len(), "{ctx}: label count");
+    assert_isomorphic(&o.direct[i], &served, &o.cores[i], ctx);
+    reply.warm
+}
+
+/// Writes raw bytes on a fresh connection and reads one reply line
+/// (None on EOF/timeout — acceptable for connection-killing payloads).
+fn raw_exchange(handle: &ServerHandle, payload: &[u8]) -> Option<String> {
+    let stream = TcpStream::connect(handle.local_addr()).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(payload).ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    let line = line.trim_end().to_string();
+    (!line.is_empty()).then_some(line)
+}
+
+/// Submits pool variant `i` through a torn-write transport (client side
+/// split at seeded byte boundaries) and verifies the reply exactly like
+/// a healthy submit.
+fn torn_submit(handle: &ServerHandle, sub_seed: u64, i: usize, ctx: &str) {
+    let o = oracle();
+    let (eps, minpts) = o.pool[i];
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = stream.try_clone().unwrap();
+    let mut transport =
+        FaultTransport::new(TcpTransport::new(stream), FaultPlan::torn_writes(sub_seed));
+    transport
+        .write_all(format!("SUBMIT {DATASET} {eps} {minpts} LABELS\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(reader);
+    let mut head = String::new();
+    reader.read_line(&mut head).unwrap();
+    assert!(
+        head.starts_with("OK clusters="),
+        "{ctx}: torn submit answered {head:?}"
+    );
+    let mut labels_line = String::new();
+    reader.read_line(&mut labels_line).unwrap();
+    let labels: Vec<u32> = labels_line
+        .split_ascii_whitespace()
+        .skip(2) // "LABELS <n>"
+        .map(|t| t.parse().unwrap())
+        .collect();
+    let served = ClusterResult::from_labels(Labels::from_raw(labels));
+    assert_isomorphic(&o.direct[i], &served, &o.cores[i], ctx);
+}
+
+/// One seeded fault schedule: boot, cold round, warm round, invariants,
+/// bounded drain.
+fn run_schedule(seed: u64) {
+    let ctx_seed = format!("schedule 0x{seed:x}");
+    let mut rng = Pcg32::seeded(seed);
+    let o = oracle();
+    let mut handle = chaos_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    for round in ["cold", "warm"] {
+        // The anchor submit: pool[0] every round, so the warm round is
+        // guaranteed a distance-0 cache entry to hit.
+        let warm = healthy_submit(&mut client, 0, &format!("{ctx_seed} {round} anchor"));
+        if round == "warm" {
+            assert!(warm, "{ctx_seed}: warm-round anchor missed the cache");
+        }
+
+        let actions = 5 + rng.below(4) as usize;
+        for a in 0..actions {
+            let ctx = format!("{ctx_seed} {round} action {a}");
+            match rng.below(7) {
+                0 => {
+                    let i = rng.below(o.pool.len() as u32) as usize;
+                    healthy_submit(&mut client, i, &ctx);
+                }
+                1 => {
+                    // Garbage line: random printable-ish bytes.
+                    let n = 1 + rng.below(40) as usize;
+                    let mut payload: Vec<u8> = (0..n).map(|_| 33 + (rng.below(94) as u8)).collect();
+                    payload.push(b'\n');
+                    if let Some(reply) = raw_exchange(&handle, &payload) {
+                        assert!(reply.starts_with("ERR "), "{ctx}: garbage got {reply:?}");
+                    }
+                }
+                2 => {
+                    // Oversized line: blows the byte cap, must get the
+                    // typed protocol error and leave the daemon alive.
+                    let n = MAX_LINE + 1 + rng.below(2048) as usize;
+                    let mut payload = vec![b'x'; n];
+                    payload.push(b'\n');
+                    let reply = raw_exchange(&handle, &payload)
+                        .unwrap_or_else(|| panic!("{ctx}: oversized line got no reply"));
+                    assert!(
+                        reply.starts_with("ERR protocol"),
+                        "{ctx}: oversized line got {reply:?}"
+                    );
+                }
+                3 => {
+                    // Truncated request: partial line, then disconnect.
+                    // No reply is owed, so write-and-vanish (reading
+                    // would only wait out a timeout nobody will break).
+                    let (eps, minpts) = o.pool[rng.below(o.pool.len() as u32) as usize];
+                    let full = format!("SUBMIT {DATASET} {eps} {minpts}");
+                    let cut = 1 + rng.below(full.len() as u32 - 1) as usize;
+                    if let Ok(mut s) = TcpStream::connect(handle.local_addr()) {
+                        let _ = s.write_all(&full.as_bytes()[..cut]);
+                        drop(s);
+                    }
+                }
+                4 => {
+                    // Full request, then vanish before the reply: the
+                    // job must still be accounted exactly once.
+                    let (eps, minpts) = o.pool[rng.below(o.pool.len() as u32) as usize];
+                    if let Ok(mut s) = TcpStream::connect(handle.local_addr()) {
+                        let _ =
+                            s.write_all(format!("SUBMIT {DATASET} {eps} {minpts}\n").as_bytes());
+                        drop(s);
+                    }
+                }
+                5 => {
+                    let i = rng.below(o.pool.len() as u32) as usize;
+                    torn_submit(&handle, rng.next_u64(), i, &ctx);
+                }
+                _ => {
+                    // Embedded NUL / invalid UTF-8 probes on one socket.
+                    let payload: &[u8] = if rng.below(2) == 0 {
+                        b"SUB\0MIT d 1.0 4\n"
+                    } else {
+                        b"\xff\xfe garbage \xf0\x28\n"
+                    };
+                    if let Some(reply) = raw_exchange(&handle, payload) {
+                        assert!(reply.starts_with("ERR "), "{ctx}: NUL/UTF-8 got {reply:?}");
+                    }
+                }
+            }
+        }
+
+        // Invariant 1 after every round, mid-flight traffic included.
+        let stats = client.stats_json().unwrap();
+        assert_stats_consistent(&stats, &format!("{ctx_seed} {round}"));
+    }
+
+    // Invariant 1 (full): consistent STATS + cache self-check.
+    let stats = client.stats_json().unwrap();
+    assert_stats_consistent(&stats, &ctx_seed);
+    assert_eq!(
+        field_u64(&stats, "failed"),
+        0,
+        "{ctx_seed}: no job may fail"
+    );
+    handle
+        .cache_invariants()
+        .unwrap_or_else(|e| panic!("{ctx_seed}: cache invariant broken: {e}"));
+
+    // Invariant 3: bounded full drain with every thread joined.
+    client.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "{ctx_seed}: drain did not bound"
+    );
+}
+
+fn schedule_seeds() -> Vec<u64> {
+    if let Ok(replay) = std::env::var("VBP_CHAOS_SEED") {
+        let hex = replay.trim().trim_start_matches("0x");
+        let seed = u64::from_str_radix(hex, 16)
+            .unwrap_or_else(|_| panic!("VBP_CHAOS_SEED={replay} is not hex"));
+        return vec![seed];
+    }
+    let full = matches!(std::env::var("VBP_CHAOS_FULL"), Ok(v) if v != "0" && !v.is_empty());
+    let count = if full { 96 } else { 24 };
+    // Distinct, stable seeds; the constant is the golden-ratio increment
+    // so seeds differ in every bit position.
+    (0..count)
+        .map(|i: u64| 0x5EED_C0DE ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+#[test]
+fn seeded_fault_schedules_preserve_all_three_invariants() {
+    let _wd = Watchdog::arm("chaos-schedules", Duration::from_secs(570));
+    for seed in schedule_seeds() {
+        if let Err(panic) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_schedule(seed)))
+        {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            panic!(
+                "chaos schedule failed: {msg}\n\
+                 replay with: VBP_CHAOS_SEED=0x{seed:x} cargo test -p vbp-service --test chaos"
+            );
+        }
+    }
+}
+
+/// The engine-boundary fault: an intentionally panicking variant,
+/// injected through `variantdbscan::fault`, must fail *that job* with
+/// `ERR internal` — fast — while the dispatcher, cache, and the very
+/// same connection keep serving. Also the regression test for the old
+/// wedge path, where a panicked job stalled its handler for the full
+/// 600 s reply timeout (and killed the dispatcher outright).
+#[test]
+fn panicking_variant_fails_one_job_and_daemon_keeps_serving() {
+    let _wd = Watchdog::arm("chaos-panic-containment", Duration::from_secs(240));
+    let o = oracle();
+    // Bit-exact poison ε, far outside the oracle pool so concurrent
+    // schedules never trip it.
+    let poison_eps = 77.625;
+    let mut handle = chaos_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    {
+        let _armed = variantdbscan::fault::ArmedFault::new(poison_eps);
+        let t0 = Instant::now();
+        let err = client
+            .submit(DATASET, poison_eps, 4, false)
+            .expect_err("poisoned job must fail");
+        let elapsed = t0.elapsed();
+        assert_eq!(err.code(), Some(ErrorCode::Internal), "{err}");
+        assert!(
+            err.to_string()
+                .contains(variantdbscan::fault::INJECTED_PANIC_PREFIX),
+            "unexpected failure detail: {err}"
+        );
+        // Wedge regression: containment answers promptly; the old path
+        // killed the dispatcher and left the handler waiting out its
+        // 600 s timeout.
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "poisoned job took {elapsed:?} to fail — wedge is back"
+        );
+
+        // Same connection, same dataset, same armed seam: healthy
+        // variants sail through.
+        healthy_submit(&mut client, 0, "containment: healthy after poison");
+        healthy_submit(&mut client, 3, "containment: second healthy after poison");
+    }
+
+    // Seam disarmed: the previously poisoned ε now completes, isomorphic
+    // to its direct run.
+    let reply = client.submit(DATASET, poison_eps, 4, true).unwrap();
+    let served = ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap()));
+    let engine = Engine::new(common::engine_config(2));
+    let direct = engine.run(
+        &o.points,
+        &VariantSet::new(vec![Variant::new(poison_eps, 4)]),
+    );
+    assert_isomorphic(
+        &ClusterResult::from_labels(Labels::from_raw(direct.result_in_caller_order(0))),
+        &served,
+        &brute_core_points(&o.points, poison_eps, 4),
+        "containment: disarmed resubmission",
+    );
+
+    // Accounting: exactly one failure, invariant intact.
+    let stats = client.stats_json().unwrap();
+    assert_eq!(field_u64(&stats, "failed"), 1, "{stats}");
+    assert_stats_consistent(&stats, "containment");
+
+    client.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "drain did not bound"
+    );
+}
+
+/// A poisoned variant riding in a *multi-variant batch* must not drag
+/// its batch peers down: the dispatcher isolates the batch, retries
+/// each variant alone, and only the poisoned jobs answer `ERR internal`.
+#[test]
+fn poisoned_batch_peer_is_isolated() {
+    let _wd = Watchdog::arm("chaos-batch-isolation", Duration::from_secs(240));
+    let o = oracle();
+    let poison_eps = 88.375; // distinct from the other test's poison
+    let mut handle = common::start_server(
+        &[DATASET],
+        2,
+        ServiceConfig {
+            queue_cap: 16,
+            cache_bytes: 8 << 20,
+            // A real batching window, so concurrent submits coalesce
+            // into one engine run.
+            batch_window: Duration::from_millis(40),
+            max_line_bytes: MAX_LINE,
+            job_timeout: Duration::from_secs(30),
+            ..ServiceConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let _armed = variantdbscan::fault::ArmedFault::new(poison_eps);
+    let healthy: Vec<_> = (0..3)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                let (eps, minpts) = oracle().pool[k];
+                c.submit(DATASET, eps, minpts, true)
+            })
+        })
+        .collect();
+    let poisoned = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        c.submit(DATASET, poison_eps, 4, false)
+    });
+
+    let err = poisoned
+        .join()
+        .unwrap()
+        .expect_err("poisoned job must fail");
+    assert_eq!(err.code(), Some(ErrorCode::Internal), "{err}");
+    for (k, h) in healthy.into_iter().enumerate() {
+        let reply = h.join().unwrap().unwrap_or_else(|e| {
+            panic!("healthy batch peer {k} dragged down by poisoned variant: {e}")
+        });
+        let served = ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap()));
+        assert_isomorphic(
+            &o.direct[k],
+            &served,
+            &o.cores[k],
+            &format!("batch isolation peer {k}"),
+        );
+    }
+
+    let stats = handle.stats_json();
+    assert_stats_consistent(&stats, "batch isolation");
+    handle.shutdown();
+}

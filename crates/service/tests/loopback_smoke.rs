@@ -14,37 +14,29 @@
 //!    rejects new ones with the typed `draining` code, and every server
 //!    thread joins within a bounded timeout.
 
-use std::collections::{HashMap, HashSet};
+mod common;
+
 use std::time::{Duration, Instant};
 
-use variantdbscan::{Engine, EngineConfig, VariantSet};
+use common::{assert_isomorphic, brute_core_points, field_u64, start_server, Watchdog};
+use variantdbscan::{Engine, VariantSet};
 use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
-use vbp_geom::{Point2, PointId};
+use vbp_geom::Point2;
 use vbp_rtree::PackedRTree;
-use vbp_service::{Client, ErrorCode, Registry, Server, ServerHandle, ServiceConfig};
+use vbp_service::{Client, ErrorCode, ServerHandle, ServiceConfig};
 
 const DATASETS: [&str; 2] = ["cF_10k_5N@600", "SW1@600"];
 
-fn engine_config() -> EngineConfig {
-    EngineConfig::default().with_threads(2).with_r(16)
-}
-
-fn start_server(cache_bytes: usize) -> ServerHandle {
-    let engine = Engine::new(engine_config());
-    let mut registry = Registry::new();
-    for name in DATASETS {
-        registry.load(&engine, name).unwrap();
-    }
-    Server::start(
-        engine,
-        registry,
+fn smoke_server(cache_bytes: usize) -> ServerHandle {
+    start_server(
+        &DATASETS,
+        2,
         ServiceConfig {
             cache_bytes,
             batch_window: Duration::ZERO,
             ..ServiceConfig::default()
         },
     )
-    .unwrap()
 }
 
 /// Ten variants per dataset, scaled off the dataset's k-dist knee so the
@@ -61,77 +53,10 @@ fn workload(points: &[Point2]) -> Vec<(f64, usize)> {
     variants
 }
 
-fn brute_core_points(points: &[Point2], eps: f64, minpts: usize) -> Vec<PointId> {
-    let eps_sq = eps * eps;
-    (0..points.len())
-        .filter(|&i| {
-            points
-                .iter()
-                .filter(|q| points[i].dist_sq(q) <= eps_sq)
-                .count()
-                >= minpts
-        })
-        .map(|i| i as PointId)
-        .collect()
-}
-
-/// The metamorphic suite's structural label-isomorphism check: identical
-/// noise sets, identical cluster counts, and a core-point cluster
-/// bijection (border points may legally differ between execution paths).
-fn assert_isomorphic(direct: &ClusterResult, served: &ClusterResult, cores: &[PointId], ctx: &str) {
-    assert_eq!(direct.len(), served.len(), "{ctx}: size mismatch");
-    for p in 0..direct.len() as PointId {
-        assert_eq!(
-            direct.labels().is_noise(p),
-            served.labels().is_noise(p),
-            "{ctx}: noise status of point {p} differs"
-        );
-    }
-    assert_eq!(
-        direct.num_clusters(),
-        served.num_clusters(),
-        "{ctx}: cluster counts differ"
-    );
-    let mut forward: HashMap<u32, u32> = HashMap::new();
-    let mut images: HashSet<u32> = HashSet::new();
-    for &p in cores {
-        let a = direct
-            .labels()
-            .cluster(p)
-            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered in direct run"));
-        let b = served
-            .labels()
-            .cluster(p)
-            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered in served run"));
-        match forward.get(&a) {
-            Some(&mapped) => assert_eq!(mapped, b, "{ctx}: cluster {a} split at core {p}"),
-            None => {
-                assert!(
-                    images.insert(b),
-                    "{ctx}: clusters merged into {b} at core {p}"
-                );
-                forward.insert(a, b);
-            }
-        }
-    }
-}
-
-fn field_u64(json: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let at = json
-        .find(&pat)
-        .unwrap_or_else(|| panic!("no {key} in {json}"));
-    json[at + pat.len()..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .unwrap()
-}
-
 #[test]
 fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
-    let mut handle = start_server(64 << 20);
+    let _wd = Watchdog::arm("loopback-workload", Duration::from_secs(240));
+    let mut handle = smoke_server(64 << 20);
     let mut client = Client::connect(handle.local_addr()).unwrap();
 
     let listed = client.datasets().unwrap();
@@ -140,7 +65,7 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
 
     for name in DATASETS {
         let points = vbp_data::DatasetSpec::by_name(name).unwrap().generate();
-        let engine = Engine::new(engine_config());
+        let engine = Engine::new(common::engine_config(2));
         let variants = workload(&points);
 
         // Round 1 — cold cache. Each label vector must be isomorphic to
@@ -200,6 +125,7 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
     );
     assert_eq!(field_u64(&stats, "completed"), 40);
     assert_eq!(field_u64(&stats, "failed"), 0);
+    common::assert_stats_consistent(&stats, "post-workload");
     let cache_at = stats.find("\"cache\":").unwrap();
     assert!(field_u64(&stats[cache_at..], "hits") > 0);
 
@@ -214,7 +140,8 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
 
 #[test]
 fn unknown_dataset_and_bad_requests_get_typed_errors() {
-    let mut handle = start_server(1 << 20);
+    let _wd = Watchdog::arm("loopback-typed-errors", Duration::from_secs(120));
+    let mut handle = smoke_server(1 << 20);
     let mut client = Client::connect(handle.local_addr()).unwrap();
     let err = client.submit("nonexistent", 1.0, 4, false).unwrap_err();
     assert_eq!(err.code(), Some(ErrorCode::UnknownDataset));
@@ -225,7 +152,8 @@ fn unknown_dataset_and_bad_requests_get_typed_errors() {
 
 #[test]
 fn shutdown_drains_in_flight_and_rejects_new_work() {
-    let mut handle = start_server(1 << 20);
+    let _wd = Watchdog::arm("loopback-drain", Duration::from_secs(120));
+    let mut handle = smoke_server(1 << 20);
     let addr = handle.local_addr();
 
     // Several writers race the drain; every request must get a definite
@@ -281,4 +209,5 @@ fn shutdown_drains_in_flight_and_rejects_new_work() {
         t0.elapsed() < Duration::from_secs(30),
         "drain did not bound"
     );
+    common::assert_stats_consistent(&handle.stats_json(), "post-drain");
 }

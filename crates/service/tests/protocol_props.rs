@@ -1,0 +1,146 @@
+//! Protocol robustness properties (seed-replayable via the proptest
+//! shim's `VBP_PROPTEST_SEED`).
+//!
+//! Three layers, hostile to trusting:
+//!
+//! 1. the pure parser — arbitrary byte soup (truncated UTF-8, embedded
+//!    NULs, oversized tokens) must never panic and must always come back
+//!    as a typed error with a non-empty reason;
+//! 2. encode/parse — every well-formed request round-trips to itself,
+//!    including ε values at the mercy of float formatting;
+//! 3. the live handler — arbitrary byte streams pushed through
+//!    [`ServerHandle::serve_transport`] over a scripted in-memory
+//!    transport may only ever produce `OK ...` or `ERR <typed-code> ...`
+//!    reply lines, and must leave the daemon's counters consistent.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{assert_stats_consistent, Watchdog};
+use proptest::prelude::*;
+use proptest::{collection, proptest};
+use variantdbscan::Engine;
+use vbp_service::{parse_request, ErrorCode, MemTransport, Registry, Request, Server, Step};
+
+/// Charset for generated dataset tokens: protocol-legal, whitespace-free.
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_@.-";
+
+fn dataset_name(indices: &[u8]) -> String {
+    indices
+        .iter()
+        .map(|&i| NAME_CHARS[i as usize % NAME_CHARS.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Layer 1: the parser is total. Whatever bytes arrive — interpreted
+    /// leniently as UTF-8 the way a hostile peer could force — it either
+    /// returns a request or a typed error; it never panics, and every
+    /// rejection carries a human-readable reason.
+    #[test]
+    fn parser_is_total_on_byte_soup(bytes in collection::vec(any::<u8>(), 0..96)) {
+        let line = String::from_utf8_lossy(&bytes);
+        match parse_request(&line) {
+            Ok(req) => {
+                // Anything accepted must re-encode to something the
+                // parser accepts again (idempotence of acceptance).
+                prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+            }
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
+    }
+
+    /// Layer 1b: NUL bytes and truncated multi-byte sequences never
+    /// smuggle a verb past the tokenizer.
+    #[test]
+    fn nul_and_truncation_probes(prefix in 0usize..6, junk in collection::vec(any::<u8>(), 0..16)) {
+        let verb: &[u8] = [&b"HELLO"[..], b"DATASETS", b"SUBMIT", b"STATS", b"SHUTDOWN", b"QUIT"][prefix];
+        let mut bytes = verb.to_vec();
+        bytes.push(0);
+        bytes.extend_from_slice(&junk);
+        let line = String::from_utf8_lossy(&bytes);
+        // "VERB\0..." is one whitespace-delimited token, not the verb.
+        let parsed = parse_request(&line);
+        if let Ok(req) = parsed {
+            // Only possible if the junk happened to spell a full valid
+            // request after lossy decoding — then it must round-trip.
+            prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+        }
+    }
+
+    /// Layer 2: well-formed SUBMITs round-trip exactly — dataset name,
+    /// ε through float formatting, minpts, and the LABELS flag.
+    #[test]
+    fn submit_roundtrip_is_identity(
+        name_idx in collection::vec(any::<u8>(), 1..24),
+        eps in 1e-9f64..1e9,
+        minpts in 1usize..100_000,
+        labels in any::<bool>(),
+    ) {
+        let req = Request::Submit {
+            dataset: dataset_name(&name_idx),
+            eps,
+            minpts,
+            labels,
+        };
+        prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+    }
+
+    /// Layer 3: arbitrary byte streams through the real connection
+    /// handler. Replies must all be typed; counters must stay
+    /// consistent; the handler must terminate once the script ends.
+    #[test]
+    fn live_handler_answers_only_typed_replies(
+        // Inner chunks are non-empty: a zero-length read is EOF by
+        // `Read` contract, which would (correctly) end the connection.
+        chunks in collection::vec(collection::vec(any::<u8>(), 1..48), 1..6),
+        newline_every in 1usize..5,
+    ) {
+        let _wd = Watchdog::arm("protocol-props-live", Duration::from_secs(120));
+        let engine = Engine::new(common::engine_config(1));
+        let handle = Server::start(engine, Registry::new(), Default::default()).unwrap();
+
+        let mut steps = Vec::new();
+        for (i, mut chunk) in chunks.into_iter().enumerate() {
+            // Sprinkle newlines so some lines actually complete.
+            if i % newline_every == 0 {
+                chunk.push(b'\n');
+            }
+            steps.push(Step::Recv(chunk));
+        }
+        // The leading newline terminates any partial junk line, so the
+        // STATS request is guaranteed to sit on a line of its own.
+        steps.push(Step::Recv(b"\nSTATS\n".to_vec()));
+        steps.push(Step::Close);
+
+        let (transport, out) = MemTransport::new(steps);
+        handle.serve_transport(transport).join().unwrap();
+
+        let out = out.lock().unwrap();
+        let text = String::from_utf8(out.clone()).expect("server replies are UTF-8");
+        let mut saw_ok_stats = false;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("ERR ") {
+                let code = rest.split_ascii_whitespace().next().unwrap_or("");
+                prop_assert!(
+                    ErrorCode::from_str_token(code).is_some(),
+                    "untyped ERR line {:?}", line
+                );
+            } else {
+                prop_assert!(line.starts_with("OK"), "unframed reply {:?}", line);
+                saw_ok_stats |= line.contains("\"submitted\":");
+            }
+        }
+        // The trailing well-formed STATS must have survived whatever the
+        // byte soup did to the connection state.
+        prop_assert!(saw_ok_stats, "no STATS reply in {:?}", text);
+
+        let stats = handle.stats_json();
+        assert_stats_consistent(&stats, "protocol-props live handler");
+        let mut handle = handle;
+        handle.shutdown();
+    }
+}

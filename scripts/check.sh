@@ -9,12 +9,17 @@
 # build + test pair; fmt and clippy (warnings denied) keep the tree clean.
 # A loopback service smoke stage drives the vbp-service daemon over real
 # TCP (two datasets, twenty variants, cold and warm rounds) after the
-# workspace test pass.
+# workspace test pass, and a chaos stage replays 24 seeded fault
+# schedules (torn writes, garbage/oversized lines, mid-request
+# disconnects, injected engine panics) against live daemons, asserting
+# consistent counters, label-isomorphic replies, and bounded drains
+# after every schedule. Every service stage is wrapped in a hard wall
+# clock so a wedged daemon fails the gate instead of hanging it.
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
-# mode with a 4x-larger case budget; the default run already executes them
-# at the fast budget via the workspace test pass, so tier-1 runtime is
-# unchanged.
+# mode with a 4x-larger case budget and widens the chaos sweep to 96
+# seeded schedules; the default run already executes the fast budgets
+# via the workspace test pass, so tier-1 runtime is unchanged.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,10 +44,19 @@ cargo test --workspace -q
 echo "==> service loopback smoke (2 datasets x 20 variants over TCP)"
 timeout 300 cargo test -q -p vbp-service --test loopback_smoke
 
+echo "==> service chaos (24 seeded fault schedules + panic containment)"
+timeout 300 cargo test -q -p vbp-service --test chaos
+
+echo "==> service protocol properties + stats consistency"
+timeout 300 cargo test -q -p vbp-service --test protocol_props
+timeout 300 cargo test -q -p vbp-service --test stats_consistency
+
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   echo "==> conformance (release, VBP_CONFORMANCE_FULL=1)"
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p vbp-rtree --test conformance
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p variantdbscan --test metamorphic_reuse
+  echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 schedules)"
+  VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test chaos
 fi
 
 echo "All checks passed."
