@@ -21,7 +21,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
 use vbp_data::{SyntheticClass, SyntheticSpec};
 
 /// V3-shaped grid scaled to the requested size: many distinct ε, 3 minpts
@@ -50,7 +50,9 @@ fn bench_contention(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::ClusDensity)
                 .with_keep_results(false),
         );
-        let probe = engine.run(&points, &variants);
+        let probe = engine
+            .execute(&RunRequest::new(&points, &variants))
+            .unwrap();
         println!(
             "V{}/auto-r/T8: chose r={} (index build incl. tuning {:?})",
             variants.len(),
@@ -61,7 +63,13 @@ fn bench_contention(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("V{}/auto-r/T8", variants.len())),
             &(),
             |b, _| {
-                b.iter(|| black_box(engine.run(&points, &variants)));
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .execute(&RunRequest::new(&points, &variants))
+                            .unwrap(),
+                    )
+                });
             },
         );
     }
@@ -80,7 +88,9 @@ fn bench_contention(c: &mut Criterion) {
                 );
                 // Instrumented probe outside the timing loop: where did
                 // the workers' wall time go for this configuration?
-                let probe = engine.run(&points, &variants);
+                let probe = engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap();
                 let id = format!("V{}/{scheduler}/T{threads}", variants.len());
                 println!(
                     "{id:<40} lock-wait {:9.4}%  sched {:9.4}%  idle {:9.4}%  (busy {:?})",
@@ -90,7 +100,13 @@ fn bench_contention(c: &mut Criterion) {
                     probe.total_busy(),
                 );
                 group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
-                    b.iter(|| black_box(engine.run(&points, &variants)));
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .execute(&RunRequest::new(&points, &variants))
+                                .unwrap(),
+                        )
+                    });
                 });
             }
         }

@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use variantdbscan::{Engine, EngineConfig, ReuseScheme, VariantSet};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, VariantSet};
 use vbp_data::{SyntheticClass, SyntheticSpec};
 use vbp_dbscan::{parallel_dbscan, DbscanParams, Optics, OpticsParams};
 use vbp_rtree::PackedRTree;
@@ -38,7 +38,13 @@ fn bench_full_grid(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::ClusDensity)
                 .with_keep_results(false),
         );
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
 
     group.bench_function("intra_variant_parallel_t4", |b| {
@@ -74,7 +80,13 @@ fn bench_eps_family_only(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::ClusDensity)
                 .with_keep_results(false),
         );
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
 
     group.bench_function("optics_plus_extractions", |b| {

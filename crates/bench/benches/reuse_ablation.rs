@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use variantdbscan::{Engine, EngineConfig, ReuseScheme, VariantSet};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, VariantSet};
 use vbp_data::{SyntheticClass, SyntheticSpec};
 
 fn bench_reuse_by_noise(c: &mut Criterion) {
@@ -31,7 +31,13 @@ fn bench_reuse_by_noise(c: &mut Criterion) {
                         .with_reuse(scheme)
                         .with_keep_results(false),
                 );
-                b.iter(|| black_box(engine.run(&points, &variants)));
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .execute(&RunRequest::new(&points, &variants))
+                            .unwrap(),
+                    )
+                });
             });
         }
     }

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
 use vbp_data::{SyntheticClass, SyntheticSpec};
 
 fn bench_scheduler(c: &mut Criterion) {
@@ -38,7 +38,7 @@ fn bench_scheduler(c: &mut Criterion) {
                 );
                 // One instrumented run per configuration: how much of the
                 // workers' time went to the schedule mutex vs clustering.
-                let probe = engine.run(&points, variants);
+                let probe = engine.execute(&RunRequest::new(&points, variants)).unwrap();
                 println!(
                     "{id:<40} lock-wait share {:6.3}% (sched {:?}, idle {:?})",
                     probe.lock_wait_share() * 100.0,
@@ -46,7 +46,9 @@ fn bench_scheduler(c: &mut Criterion) {
                     probe.total_idle(),
                 );
                 group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
-                    b.iter(|| black_box(engine.run(&points, variants)));
+                    b.iter(|| {
+                        black_box(engine.execute(&RunRequest::new(&points, variants)).unwrap())
+                    });
                 });
             }
         }

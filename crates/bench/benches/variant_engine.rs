@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
 use vbp_data::{SyntheticClass, SyntheticSpec};
 
 fn workload() -> (Vec<vbp_geom::Point2>, VariantSet) {
@@ -19,7 +19,13 @@ fn bench_engine(c: &mut Criterion) {
 
     group.bench_function("reference_t1_r1_noreuse", |b| {
         let engine = Engine::new(EngineConfig::reference().with_keep_results(false));
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("indexed_t1_r80_noreuse", |b| {
         let engine = Engine::new(
@@ -29,7 +35,13 @@ fn bench_engine(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::Disabled)
                 .with_keep_results(false),
         );
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("full_t1_r80_clusdensity", |b| {
         let engine = Engine::new(
@@ -39,7 +51,13 @@ fn bench_engine(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::ClusDensity)
                 .with_keep_results(false),
         );
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("full_t4_r80_clusdensity_greedy", |b| {
         let engine = Engine::new(
@@ -50,7 +68,13 @@ fn bench_engine(c: &mut Criterion) {
                 .with_reuse(ReuseScheme::ClusDensity)
                 .with_keep_results(false),
         );
-        b.iter(|| black_box(engine.run(&points, &variants)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

@@ -1,0 +1,180 @@
+//! Tracing-overhead gate — proves the observability subsystem is free
+//! when disabled and cheap when enabled.
+//!
+//! Runs the engine_contention workload (cF synthetic points, the V3-style
+//! ε × minpts grid) with interleaved trials at `TraceLevel::Off`,
+//! `Spans`, and `Full` — interleaving, rather than arm-at-a-time blocks,
+//! cancels thermal / frequency drift out of the comparison. Reports the
+//! per-arm medians and two derived numbers:
+//!
+//! - **disabled-mode overhead** — the A/A delta between the medians of
+//!   the even- and odd-indexed `Off` trials. Tracing seams are compiled
+//!   into the hot path unconditionally (a branch on
+//!   [`TraceLevel::enabled`] per event site), so their residual cost when
+//!   off is bounded by this pure-noise split; the gate fails if it
+//!   exceeds `max(1%, measured noise)`.
+//! - **enabled-mode overhead** — `Spans` / `Full` medians vs `Off`,
+//!   informational (ring writes are O(1) and allocation-free, but they
+//!   are real work).
+//!
+//! A per-call microbench of [`WorkerTracer::record`] (disabled vs
+//! enabled) closes the table. Non-zero exit on gate failure makes this a
+//! `scripts/check.sh` stage; a positional argument also writes the table
+//! to that path (e.g. `results/trace_overhead.txt`).
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin trace_overhead -- \
+//!     [--points N] [--trials K] [--threads T] [results/trace_overhead.txt]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use variantdbscan::trace::{TraceEvent, TraceLevel, TraceSource, WorkerTracer};
+use variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
+use vbp_bench::BenchOpts;
+use vbp_data::{SyntheticClass, SyntheticSpec};
+
+/// The engine_contention grid shape: many distinct ε columns, 3 minpts
+/// rows.
+fn grid(size: usize) -> VariantSet {
+    let cols = size.div_ceil(3).max(1);
+    let eps: Vec<f64> = (0..cols).map(|i| 0.30 + i as f64 * 0.02).collect();
+    VariantSet::cartesian(&eps, &[4, 8, 16])
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+/// Per-call cost of one `record` on a tracer, in nanoseconds.
+fn record_cost_ns(tracer: &mut WorkerTracer) -> f64 {
+    const CALLS: u64 = 4_000_000;
+    let event = TraceEvent::Pull {
+        variant: 7,
+        source: TraceSource::Scratch,
+        pending: 3,
+    };
+    let t0 = Instant::now();
+    for _ in 0..CALLS {
+        tracer.record(std::hint::black_box(event));
+    }
+    t0.elapsed().as_nanos() as f64 / CALLS as f64
+}
+
+fn main() {
+    let (opts, positional) = BenchOpts::parse();
+    let out_path = positional.first().cloned();
+    let rounds = opts.trials.max(6); // A/A split needs >= 3 per half
+    let points =
+        SyntheticSpec::new(SyntheticClass::CF, opts.points.min(6_000), 0.15, 4242).generate();
+    let variants = grid(57);
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_threads(opts.threads)
+            .with_r(80)
+            .with_scheduler(Scheduler::SchedGreedy)
+            .with_reuse(ReuseScheme::ClusDensity)
+            .with_keep_results(false),
+    );
+
+    const ARMS: [TraceLevel; 3] = [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full];
+    // Warm-up: one untimed run per arm (page cache, allocator, branch
+    // predictors).
+    for level in ARMS {
+        let request = RunRequest::new(&points, &variants).trace(level);
+        engine.execute(&request).unwrap();
+    }
+
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..rounds {
+        for (arm, level) in ARMS.into_iter().enumerate() {
+            let request = RunRequest::new(&points, &variants).trace(level);
+            let t0 = Instant::now();
+            let report = engine.execute(&request).unwrap();
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(&report);
+            samples[arm].push(wall);
+        }
+    }
+
+    let m_off = median(&samples[0]);
+    let m_spans = median(&samples[1]);
+    let m_full = median(&samples[2]);
+    // Noise band of the Off arm: half the full spread, relative.
+    let (min_off, max_off) = samples[0]
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let noise = (max_off - min_off) / 2.0 / m_off;
+    // A/A: even- vs odd-indexed Off trials.
+    let even: Vec<f64> = samples[0].iter().copied().step_by(2).collect();
+    let odd: Vec<f64> = samples[0].iter().copied().skip(1).step_by(2).collect();
+    let aa_delta = (median(&even) - median(&odd)).abs() / m_off;
+    let threshold = noise.max(0.01);
+    let pass = aa_delta <= threshold;
+
+    let ns_disabled = record_cost_ns(&mut WorkerTracer::disabled());
+    let ns_enabled = record_cost_ns(&mut WorkerTracer::new(0, TraceLevel::Full, Instant::now()));
+
+    let mut table = String::new();
+    let w = &mut table;
+    let _ = writeln!(
+        w,
+        "# trace_overhead — tracing cost on the engine_contention workload\n\
+         # (cargo run --release -p vbp-bench --bin trace_overhead).\n\
+         # cF {} points, |V| = {}, T = {}, r = 80, SchedGreedy/ClusDensity;\n\
+         # {rounds} interleaved trials per arm, medians reported.\n#",
+        points.len(),
+        variants.len(),
+        opts.threads,
+    );
+    let _ = writeln!(w, "arm        median      samples");
+    for (arm, level) in ARMS.into_iter().enumerate() {
+        let rendered: Vec<String> = samples[arm].iter().map(|v| format!("{v:.2}")).collect();
+        let _ = writeln!(
+            w,
+            "{:<8} {:>8.2} ms   [{}]",
+            level.as_str(),
+            median(&samples[arm]),
+            rendered.join(", ")
+        );
+    }
+    let _ = writeln!(
+        w,
+        "\nenabled-mode overhead vs off:   spans {:+.2}%   full {:+.2}%",
+        (m_spans / m_off - 1.0) * 100.0,
+        (m_full / m_off - 1.0) * 100.0,
+    );
+    let _ = writeln!(
+        w,
+        "per-call WorkerTracer::record:  disabled {ns_disabled:.2} ns   enabled {ns_enabled:.2} ns",
+    );
+    let _ = writeln!(
+        w,
+        "\ndisabled-mode overhead (A/A split of the off arm): {:.2}% \
+         vs gate max(1%, noise {:.2}%) -> {}",
+        aa_delta * 100.0,
+        noise * 100.0,
+        if pass { "PASS" } else { "FAIL" },
+    );
+
+    print!("{table}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &table).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if !pass {
+        eprintln!("trace_overhead gate FAILED: disabled-mode overhead above noise");
+        std::process::exit(1);
+    }
+}

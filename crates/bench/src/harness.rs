@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use variantdbscan::{Engine, EngineConfig, RunReport, VariantSet};
+use variantdbscan::{Engine, EngineConfig, RunReport, RunRequest, VariantSet};
 use vbp_geom::Point2;
 
 /// Command-line options common to every harness binary.
@@ -99,7 +99,9 @@ pub fn measure(
     let mut total = Duration::ZERO;
     let mut last = None;
     for _ in 0..trials {
-        let report = engine.run(points, variants);
+        let report = engine
+            .execute(&RunRequest::new(points, variants))
+            .expect("bench workload is panic-free");
         total += report.total_time;
         last = Some(report);
     }

@@ -5,7 +5,8 @@
 use std::fmt::Write as _;
 
 use variantdbscan::{
-    simulate, Engine, EngineConfig, ReuseScheme, Scheduler, SimCostModel, VariantSet,
+    simulate, Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, SimCostModel, TraceLevel,
+    VariantSet,
 };
 use vbp_data::DatasetSpec;
 use vbp_dbscan::{dbscan, suggest_eps, DbscanParams};
@@ -149,7 +150,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     let config = engine_config(args)?;
     let engine = Engine::new(config);
     let report = engine
-        .try_run(&points, &variants)
+        .execute(&RunRequest::new(&points, &variants))
         .map_err(|e| e.to_string())?;
 
     if args.has("json") {
@@ -216,6 +217,70 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         report.total_idle().as_secs_f64() * 1e3
     );
     Ok(s)
+}
+
+/// `vbp trace --eps … --minpts … [--level spans|full] [--json]` — a
+/// traced VariantDBSCAN run: per-variant flame-style span dump plus the
+/// per-phase latency histograms, or the full `RunReport` (trace snapshot
+/// embedded) as one JSON line.
+pub fn trace(args: &Args) -> Result<String, String> {
+    let (name, points) = load_points(args)?;
+    let eps = args.f64_list("eps")?;
+    let minpts = args.usize_list("minpts")?;
+    let variants = VariantSet::cartesian(&eps, &minpts);
+    let config = engine_config(args)?;
+    let engine = Engine::new(config);
+    let level_str = args.get("level").unwrap_or("full");
+    let level = TraceLevel::parse(level_str)
+        .ok_or_else(|| format!("--level: unknown '{level_str}' (spans|full)"))?;
+    if !level.enabled() {
+        return Err("--level off records nothing; use spans or full".into());
+    }
+    let report = engine
+        .execute(&RunRequest::new(&points, &variants).trace(level))
+        .map_err(|e| e.to_string())?;
+
+    if args.has("json") {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+
+    let snap = report.trace.as_ref().expect("tracing was requested");
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{name}: traced |V| = {} on {} points at level {} ({} events, {} dropped)",
+        variants.len(),
+        points.len(),
+        level.as_str(),
+        snap.records.len(),
+        snap.dropped
+    );
+    s.push_str(&snap.render_text(&variants));
+    let _ = writeln!(s, "phase latency (log₂-bucketed upper bounds):");
+    for (phase, hist) in report.phases.phases() {
+        if hist.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {phase:<10} n={:<6} mean={:>10.1}µs p50≤{:>10.1}µs p99≤{:>10.1}µs",
+            hist.count(),
+            hist.mean_ns() / 1e3,
+            hist.quantile_upper_ns(0.5) as f64 / 1e3,
+            hist.quantile_upper_ns(0.99) as f64 / 1e3
+        );
+    }
+    Ok(s)
+}
+
+/// `vbp metrics [--addr HOST:PORT]` — fetch a running daemon's
+/// Prometheus-style text exposition (`METRICS`, protocol version ≥ 2).
+pub fn metrics_cmd(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = vbp_service::Client::connect(addr).map_err(|e| e.to_string())?;
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    client.quit();
+    Ok(text)
 }
 
 /// `vbp simulate --eps … --minpts … --threads T` — analytic scheduling
@@ -579,6 +644,10 @@ commands:
            [--reuse off|default|density|ptssq] [--json]
            (--r auto tunes r empirically at index-build time;
             --json emits the full RunReport as one JSON line)
+  trace    (--dataset … | --input F)          traced VariantDBSCAN run: per-variant
+           --eps E1,… --minpts M1,…            span dump + per-phase latency
+           [--level spans|full] [--json]       histograms (--json embeds the trace
+           [--threads T] [--r R|auto] …        snapshot in the RunReport line)
   simulate --eps … --minpts … [--threads T]   analytic scheduler comparison
   serve    --datasets NAME[@N],…              run the clustering daemon until a
            [--addr HOST:PORT] [--threads T]   client sends SHUTDOWN; datasets are
@@ -586,6 +655,8 @@ commands:
            [--cache-mb MB] [--batch-ms MS]    are cached across requests
   submit   --dataset NAME --eps E             send one variant to a daemon
            [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
+  metrics  [--addr HOST:PORT]                 fetch a daemon's Prometheus-style
+                                              text exposition (METRICS verb)
   bench-service [--datasets …] [--out F]      in-process cold-vs-warm cache
            [--threads T] [--cache-mb MB]      throughput probe over loopback TCP
 "
@@ -613,6 +684,7 @@ mod tests {
             "queue-cap",
             "cache-mb",
             "batch-ms",
+            "level",
         ],
         switches: &["render", "json", "labels"],
     };
@@ -866,6 +938,114 @@ mod tests {
         assert!(out.contains("from scratch"), "{out}");
         let labels_line = out.lines().find(|l| l.starts_with("labels:")).unwrap();
         assert_eq!(labels_line.split(',').count(), 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_renders_spans_and_phase_histograms() {
+        let out = trace(&parse(&[
+            "trace",
+            "--dataset",
+            "cF_10k_5N@800",
+            "--eps",
+            "0.5,0.8",
+            "--minpts",
+            "4",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("traced |V| = 2"), "{out}");
+        assert!(out.contains("thread 0"), "{out}");
+        assert!(out.contains("v0 "), "{out}");
+        assert!(out.contains("scratch"), "{out}");
+        assert!(out.contains("phase latency"), "{out}");
+        assert!(out.contains("p99≤"), "{out}");
+        // Full level carries ε-query batch detail on scratch spans.
+        assert!(out.contains("batches="), "{out}");
+    }
+
+    #[test]
+    fn trace_json_embeds_the_snapshot_and_rejects_level_off() {
+        let out = trace(&parse(&[
+            "trace",
+            "--dataset",
+            "cF_10k_5N@600",
+            "--eps",
+            "0.6",
+            "--minpts",
+            "4",
+            "--threads",
+            "1",
+            "--level",
+            "spans",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.contains("\"trace\":{"), "{out}");
+        assert!(out.contains("\"records\":["), "{out}");
+        assert!(out.contains("\"phases\":{"), "{out}");
+
+        let err = trace(&parse(&[
+            "trace",
+            "--dataset",
+            "cF_10k_5N@600",
+            "--eps",
+            "0.6",
+            "--minpts",
+            "4",
+            "--level",
+            "off",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("off"), "{err}");
+        assert!(trace(&parse(&[
+            "trace",
+            "--dataset",
+            "cF_10k_5N@600",
+            "--eps",
+            "0.6",
+            "--minpts",
+            "4",
+            "--level",
+            "bogus",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn metrics_against_a_live_serve_exposes_counters() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let registry = build_registry(&engine, &["cF_10k_5N@300".to_string()]).unwrap();
+        let mut handle =
+            vbp_service::Server::start(engine, registry, vbp_service::ServiceConfig::default())
+                .unwrap();
+        let addr = handle.local_addr().to_string();
+        submit(&parse(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "cF_10k_5N@300",
+            "--eps",
+            "0.7",
+            "--minpts",
+            "4",
+        ]))
+        .unwrap();
+        let out = metrics_cmd(&parse(&["metrics", "--addr", &addr])).unwrap();
+        assert!(
+            out.lines().all(|l| l.starts_with("vbp_")),
+            "non-exposition line in {out}"
+        );
+        let submitted = out
+            .lines()
+            .find(|l| l.starts_with("vbp_jobs_submitted_total "))
+            .and_then(|l| l.split_ascii_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+        assert_eq!(submitted, 1, "{out}");
         handle.shutdown();
     }
 

@@ -25,6 +25,7 @@ const SPEC: Spec = Spec {
         "queue-cap",
         "cache-mb",
         "batch-ms",
+        "level",
     ],
     switches: &["render", "json", "labels"],
 };
@@ -43,9 +44,11 @@ fn main() {
         "suggest" => commands::suggest(&args),
         "tune" => commands::tune(&args),
         "sweep" => commands::sweep(&args),
+        "trace" => commands::trace(&args),
         "simulate" => commands::simulate_cmd(&args),
         "serve" => commands::serve(&args),
         "submit" => commands::submit(&args),
+        "metrics" => commands::metrics_cmd(&args),
         "bench-service" => commands::bench_service(&args),
         other => Err(format!(
             "unknown command '{other}'\n\n{}",

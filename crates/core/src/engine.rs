@@ -12,6 +12,29 @@
 //! 3. records a [`VariantOutcome`] per variant (timings, reuse fraction,
 //!    search counters) and returns everything as a [`RunReport`].
 //!
+//! # Entry point
+//!
+//! Every run goes through [`Engine::execute`] with a [`RunRequest`]
+//! describing the database (raw points or a [`PreparedIndex`]), the
+//! variant set, optional warm reuse sources, the [`TraceLevel`], and an
+//! optional progress channel:
+//!
+//! ```
+//! use variantdbscan::{Engine, EngineConfig, RunRequest, VariantSet};
+//! use vbp_geom::Point2;
+//!
+//! let points: Vec<Point2> = (0..100)
+//!     .map(|i| Point2::new((i % 10) as f64, (i / 10) as f64))
+//!     .collect();
+//! let variants = VariantSet::cartesian(&[1.1, 1.5], &[3]);
+//! let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(8));
+//! let report = engine.execute(&RunRequest::new(&points, &variants)).unwrap();
+//! assert_eq!(report.outcomes.len(), 2);
+//! ```
+//!
+//! The pre-consolidation method matrix (`run`/`try_run` ×
+//! `prepared` × `warm`) survives as thin deprecated wrappers.
+//!
 //! # Concurrency structure
 //!
 //! The paper's premise is that variant-level parallelism keeps `T` threads
@@ -29,9 +52,11 @@
 //!   shared `Mutex<Vec<_>>`, so bookkeeping never contends with pulls.
 //!
 //! Each worker additionally samples its own lock-wait, schedule-decision,
-//! busy, and idle time into [`WorkerStats`], surfaced via
-//! [`RunReport::worker_stats`] — the observability used by the
-//! `engine_contention` bench to demonstrate the de-serialized hot path.
+//! busy, and idle time into [`WorkerStats`] and the per-phase latency
+//! [`PhaseHistograms`], and — when the request enables tracing — records
+//! typed [`TraceEvent`](crate::trace::TraceEvent)s into a private ring
+//! buffer (see [`crate::trace`]), surfaced via [`RunReport::worker_stats`],
+//! [`RunReport::phases`], and [`RunReport::trace`].
 //!
 //! The paper's *reference implementation* — sequential DBSCAN, `r = 1`,
 //! no reuse — is the same engine under [`EngineConfig::reference`], so
@@ -46,10 +71,13 @@ use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
 use vbp_geom::{BinOrder, Point2, PointId};
 use vbp_rtree::{tune_r_sampled, PackedRTree, TuneReport};
 
-use crate::expand::cluster_with_reuse;
+use crate::expand::cluster_with_reuse_traced;
 use crate::metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
 use crate::scheduler::{ScheduleState, Scheduler};
 use crate::seeds::ReuseScheme;
+use crate::trace::{
+    PhaseHistograms, TraceEvent, TraceLevel, TraceSnapshot, TraceSource, WorkerTracer,
+};
 use crate::variant::{Variant, VariantSet};
 
 /// How the engine picks `r` (points per leaf MBB of `T_low`).
@@ -174,8 +202,8 @@ impl EngineConfig {
     }
 }
 
-/// Input validation failure reported by [`Engine::try_run`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// A failed [`Engine::execute`] run, as one typed error.
+#[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     /// A database point has a NaN or infinite coordinate. Rejected up
     /// front because it would otherwise poison MBB arithmetic deep inside
@@ -186,6 +214,20 @@ pub enum EngineError {
         /// The offending point.
         point: Point2,
     },
+    /// A clustering job panicked inside a worker; the panic was contained
+    /// and the run failed as a unit (see [`JobPanic`]). The engine and any
+    /// prepared index stay fully usable.
+    JobPanic(JobPanic),
+    /// A warm source's result covers a different database size than the
+    /// run's index, so its labels cannot be meaningful here.
+    WarmSourceMismatch {
+        /// The offending warm source's variant.
+        variant: Variant,
+        /// Points in the run's index.
+        expected: usize,
+        /// Points the warm result actually covers.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -194,11 +236,27 @@ impl std::fmt::Display for EngineError {
             EngineError::NonFinitePoint { index, point } => {
                 write!(f, "point {index} has non-finite coordinates: {point:?}")
             }
+            EngineError::JobPanic(p) => write!(f, "{p}"),
+            EngineError::WarmSourceMismatch {
+                variant,
+                expected,
+                got,
+            } => write!(
+                f,
+                "warm source {variant} covers a different database: \
+                 {got} points vs the index's {expected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<JobPanic> for EngineError {
+    fn from(p: JobPanic) -> Self {
+        EngineError::JobPanic(p)
+    }
+}
 
 /// A clustering job panicked inside a worker thread.
 ///
@@ -207,9 +265,8 @@ impl std::error::Error for EngineError {}
 /// every worker drains, and the run fails as a unit with this typed
 /// error instead of unwinding through the caller. The service layer maps
 /// it to `ERR internal` for the affected request(s) while its dispatcher,
-/// queue, and cache stay live — see
-/// [`Engine::try_run_prepared_warm`].
-#[derive(Clone, Debug)]
+/// queue, and cache stay live.
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobPanic {
     /// The variant whose job panicked.
     pub variant: Variant,
@@ -242,15 +299,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// A prebuilt, reusable index pair over one point database.
 ///
-/// [`Engine::run`] rebuilds `T_low`/`T_high` on every call even when the
-/// point set is unchanged — fine for one-shot sweeps, wasteful for a
-/// long-running service answering many variant requests against the same
-/// datasets. `PreparedIndex` hoists the bin sort, the (optional) `r`
-/// auto-tune, and both tree builds out of the run loop: build once with
-/// [`Engine::prepare`], then call [`Engine::run_prepared`] any number of
-/// times. Runs over a prepared index report `index_build_time == 0` — the
-/// build cost lives in [`PreparedIndex::build_time`], amortized across
-/// every run that shares the handle.
+/// Rebuilding `T_low`/`T_high` on every run is fine for one-shot sweeps
+/// but wasteful for a long-running service answering many variant
+/// requests against the same datasets. `PreparedIndex` hoists the bin
+/// sort, the (optional) `r` auto-tune, and both tree builds out of the
+/// run loop: build once with [`Engine::prepare`], then execute any number
+/// of [`RunRequest::prepared`] runs. Runs over a prepared index report
+/// `index_build_time == 0` — the build cost lives in
+/// [`PreparedIndex::build_time`], amortized across every run that shares
+/// the handle.
 #[derive(Clone, Debug)]
 pub struct PreparedIndex {
     t_low: PackedRTree,
@@ -326,15 +383,116 @@ impl PreparedIndex {
 
 /// An externally completed clustering offered to a run as a reuse source
 /// — the unit the service's cross-run dominance cache feeds back into
-/// [`Engine::run_prepared_warm`]. The result must be in the *tree order*
-/// of the prepared index the warm run executes against (which it is, when
-/// it came out of a previous run over the same handle).
+/// warm [`RunRequest`]s. The result must be in the *tree order* of the
+/// prepared index the warm run executes against (which it is, when it
+/// came out of a previous run over the same handle).
 #[derive(Clone, Debug)]
 pub struct WarmSource {
     /// The variant the cached result was clustered with.
     pub variant: Variant,
     /// Its clustering, in the prepared index's tree order.
     pub result: Arc<ClusterResult>,
+}
+
+/// The database a [`RunRequest`] executes over.
+#[derive(Clone, Copy, Debug)]
+pub enum RunSource<'a> {
+    /// Raw points: the run builds its own index pair and reports the
+    /// build cost in [`RunReport::index_build_time`].
+    Points(&'a [Point2]),
+    /// A prebuilt index: the run reports `index_build_time == 0` (the
+    /// cost is amortized in [`PreparedIndex::build_time`]).
+    Prepared(&'a PreparedIndex),
+}
+
+/// One engine run, described declaratively: the database, the variant
+/// set, and the run's options — warm reuse sources, [`TraceLevel`], and
+/// an optional progress channel. The builder replaces the former
+/// `run`/`try_run` × `prepared` × `warm` method matrix:
+///
+/// ```no_run
+/// # use variantdbscan::{Engine, RunRequest, TraceLevel, VariantSet};
+/// # fn demo(engine: &Engine, points: &[vbp_geom::Point2], variants: &VariantSet) {
+/// let report = engine
+///     .execute(&RunRequest::new(points, variants).trace(TraceLevel::Spans))
+///     .unwrap();
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunRequest<'a> {
+    source: RunSource<'a>,
+    variants: &'a VariantSet,
+    warm: &'a [WarmSource],
+    trace: TraceLevel,
+    progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A run over raw `points` (index built per run).
+    pub fn new(points: &'a [Point2], variants: &'a VariantSet) -> RunRequest<'a> {
+        Self::from_source(RunSource::Points(points), variants)
+    }
+
+    /// A run over a prebuilt [`PreparedIndex`].
+    pub fn prepared(index: &'a PreparedIndex, variants: &'a VariantSet) -> RunRequest<'a> {
+        Self::from_source(RunSource::Prepared(index), variants)
+    }
+
+    /// A run over an explicit [`RunSource`].
+    pub fn from_source(source: RunSource<'a>, variants: &'a VariantSet) -> RunRequest<'a> {
+        RunRequest {
+            source,
+            variants,
+            warm: &[],
+            trace: TraceLevel::Off,
+            progress: None,
+        }
+    }
+
+    /// Seeds the schedule with warm reuse sources: clusterings completed
+    /// by earlier runs over the same index (the service's cross-run
+    /// cache). Warm sources compete with in-run completions under the
+    /// normal greedy rule; assignments that reuse one are flagged
+    /// [`VariantOutcome::warm`] and counted by [`RunReport::warm_hits`].
+    pub fn warm(mut self, sources: &'a [WarmSource]) -> RunRequest<'a> {
+        self.warm = sources;
+        self
+    }
+
+    /// Sets the run's [`TraceLevel`] (default [`TraceLevel::Off`]). Any
+    /// enabled level makes the report carry a [`RunReport::trace`]
+    /// snapshot.
+    pub fn trace(mut self, level: TraceLevel) -> RunRequest<'a> {
+        self.trace = level;
+        self
+    }
+
+    /// Streams [`ProgressEvent`](crate::progress::ProgressEvent)s into
+    /// `tx` while the run executes.
+    pub fn progress(mut self, tx: mpsc::Sender<crate::progress::ProgressEvent>) -> RunRequest<'a> {
+        self.progress = Some(tx);
+        self
+    }
+
+    /// The request's database source.
+    pub fn source(&self) -> &RunSource<'a> {
+        &self.source
+    }
+
+    /// The request's variant set.
+    pub fn variants(&self) -> &'a VariantSet {
+        self.variants
+    }
+
+    /// The request's warm reuse sources.
+    pub fn warm_sources(&self) -> &'a [WarmSource] {
+        self.warm
+    }
+
+    /// The request's trace level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace
+    }
 }
 
 /// The VariantDBSCAN engine.
@@ -362,36 +520,101 @@ impl Engine {
         &self.config
     }
 
-    /// Clusters every variant of `variants` over `points`, returning the
-    /// full run record. Results are reported in *tree order*; use
-    /// [`RunReport::result_in_caller_order`] or the report's
-    /// `permutation` to translate back.
+    /// Executes one [`RunRequest`]: clusters every variant over the
+    /// request's database, returning the full run record. Results are
+    /// reported in *tree order*; use [`RunReport::result_in_caller_order`]
+    /// or the report's `permutation` to translate back.
+    ///
+    /// All failures are typed: invalid points
+    /// ([`EngineError::NonFinitePoint`]), mismatched warm sources
+    /// ([`EngineError::WarmSourceMismatch`]), and contained job panics
+    /// ([`EngineError::JobPanic`] — the schedule is aborted on the first
+    /// panic, every worker drains, and the engine plus any prepared index
+    /// stay fully usable). This method never unwinds on engine-side
+    /// failures.
+    pub fn execute(&self, request: &RunRequest<'_>) -> Result<RunReport, EngineError> {
+        let variants = request.variants;
+        let prepared_local;
+        let (index, build_time) = match request.source {
+            RunSource::Points(points) => {
+                if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+                    return Err(EngineError::NonFinitePoint {
+                        index: bad,
+                        point: points[bad],
+                    });
+                }
+                prepared_local = self.prepare_unchecked(points, representative_eps(variants));
+                if let Some(tx) = &request.progress {
+                    let _ = tx.send(crate::progress::ProgressEvent::IndexBuilt {
+                        seconds: prepared_local.build_time.as_secs_f64(),
+                    });
+                }
+                (&prepared_local, prepared_local.build_time)
+            }
+            RunSource::Prepared(index) => (index, Duration::ZERO),
+        };
+        for w in request.warm {
+            if w.result.len() != index.len() {
+                return Err(EngineError::WarmSourceMismatch {
+                    variant: w.variant,
+                    expected: index.len(),
+                    got: w.result.len(),
+                });
+            }
+        }
+        // One-shot runs own their index, so they pay (and report) its
+        // construction; prepared runs amortize it and report zero.
+        let mut report = self.run_scheduled(
+            index,
+            variants,
+            request.warm,
+            request.progress.clone(),
+            request.trace,
+        )?;
+        report.index_build_time = build_time;
+        Ok(report)
+    }
+
+    /// Clusters every variant of `variants` over `points`.
     ///
     /// # Panics
     ///
-    /// Panics if any point has non-finite coordinates; use
-    /// [`Engine::try_run`] to handle that case as a typed error instead.
+    /// Panics on any [`EngineError`], including contained job panics —
+    /// the legacy contract. Use [`Engine::execute`] for typed errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::new(points, variants))`"
+    )]
     pub fn run(&self, points: &[Point2], variants: &VariantSet) -> RunReport {
-        match self.try_run(points, variants) {
+        match self.execute(&RunRequest::new(points, variants)) {
             Ok(report) => report,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Like [`Engine::run`], but returns invalid input as an
-    /// [`EngineError`] instead of panicking.
+    /// Like the legacy `run`, but returns invalid input as an
+    /// [`EngineError`] instead of panicking. A contained job panic still
+    /// propagates as a panic (the legacy contract).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::new(points, variants))`"
+    )]
     pub fn try_run(
         &self,
         points: &[Point2],
         variants: &VariantSet,
     ) -> Result<RunReport, EngineError> {
-        self.run_internal(points, variants, None)
+        match self.execute(&RunRequest::new(points, variants)) {
+            Ok(report) => Ok(report),
+            Err(EngineError::JobPanic(p)) => panic!("{p}"),
+            Err(e) => Err(e),
+        }
     }
 
     /// Builds the two shared R-trees (and runs the [`RChoice::Auto`]
     /// sweep, when configured) over `points` without clustering anything,
-    /// returning a handle that any number of [`Engine::run_prepared`]
-    /// calls can share. `representative_eps` feeds the auto-tuner; pass
+    /// returning a handle that any number of [`RunRequest::prepared`]
+    /// runs can share. `representative_eps` feeds the auto-tuner; pass
     /// `None` to fall back to [`AUTO_TUNE_FALLBACK_R`] (a fixed `r`
     /// ignores it entirely).
     pub fn prepare(
@@ -409,7 +632,7 @@ impl Engine {
     }
 
     /// [`Engine::prepare`] minus the finiteness check (already done by
-    /// callers on the classic `run` path).
+    /// [`Engine::execute`] on the raw-points path).
     fn prepare_unchecked(&self, points: &[Point2], eps_hint: Option<f64>) -> PreparedIndex {
         // Tuning (when enabled) is part of index construction: it runs
         // once per prepare, before any variant, and its cost is reported
@@ -444,118 +667,94 @@ impl Engine {
         }
     }
 
-    /// Clusters `variants` over a prebuilt index — [`Engine::run`] minus
-    /// the per-run index construction. The returned report's
-    /// `index_build_time` is zero (see [`PreparedIndex`]).
+    /// Clusters `variants` over a prebuilt index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`EngineError`] — the legacy contract.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::prepared(index, variants))`"
+    )]
     pub fn run_prepared(&self, index: &PreparedIndex, variants: &VariantSet) -> RunReport {
-        match self.try_run_prepared(index, variants) {
+        match self.execute(&RunRequest::prepared(index, variants)) {
             Ok(report) => report,
-            Err(p) => panic!("{p}"),
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Like [`Engine::run_prepared`], but a panicking clustering job is
+    /// Like the legacy `run_prepared`, but a panicking clustering job is
     /// contained inside its worker and surfaced as a typed [`JobPanic`]
-    /// instead of unwinding through the caller. The schedule is aborted on
-    /// the first panic, so the whole run fails as a unit; the index and
-    /// engine stay fully usable for subsequent runs.
+    /// instead of unwinding through the caller.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::prepared(index, variants))`"
+    )]
     pub fn try_run_prepared(
         &self,
         index: &PreparedIndex,
         variants: &VariantSet,
     ) -> Result<RunReport, JobPanic> {
-        self.try_execute(index, variants, &[], None)
+        match self.execute(&RunRequest::prepared(index, variants)) {
+            Ok(report) => Ok(report),
+            Err(EngineError::JobPanic(p)) => Err(p),
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Like [`Engine::run_prepared`], but seeds the schedule with warm
-    /// reuse sources: clusterings completed by *earlier* runs over the
-    /// same index (the service's cross-run cache). Warm sources compete
-    /// with in-run completions under the normal greedy rule; assignments
-    /// that reuse one are flagged [`VariantOutcome::warm`] and counted by
-    /// [`RunReport::warm_hits`].
+    /// Clusters `variants` over a prebuilt index with warm reuse sources.
     ///
     /// # Panics
     ///
     /// Panics if a warm result covers a different database size than the
-    /// index.
+    /// index, and on contained job panics — the legacy contract.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::prepared(index, variants).warm(sources))`"
+    )]
     pub fn run_prepared_warm(
         &self,
         index: &PreparedIndex,
         variants: &VariantSet,
         warm: &[WarmSource],
     ) -> RunReport {
-        match self.try_run_prepared_warm(index, variants, warm) {
+        match self.execute(&RunRequest::prepared(index, variants).warm(warm)) {
             Ok(report) => report,
-            Err(p) => panic!("{p}"),
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Like [`Engine::run_prepared_warm`], but with the panic containment
-    /// of [`Engine::try_run_prepared`]: a panic inside any clustering job
-    /// (e.g. one injected through [`fault`](crate::fault)) aborts the
-    /// schedule, drains every worker, and returns a [`JobPanic`] naming
-    /// the offending variant — the caller's threads never unwind.
+    /// Like the legacy `run_prepared_warm`, but with contained panics
+    /// surfaced as a typed [`JobPanic`]. A mismatched warm source still
+    /// panics (the legacy contract; [`Engine::execute`] types it).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::execute(&RunRequest::prepared(index, variants).warm(sources))`"
+    )]
     pub fn try_run_prepared_warm(
         &self,
         index: &PreparedIndex,
         variants: &VariantSet,
         warm: &[WarmSource],
     ) -> Result<RunReport, JobPanic> {
-        for w in warm {
-            assert_eq!(
-                w.result.len(),
-                index.len(),
-                "warm source {} covers a different database",
-                w.variant
-            );
+        match self.execute(&RunRequest::prepared(index, variants).warm(warm)) {
+            Ok(report) => Ok(report),
+            Err(EngineError::JobPanic(p)) => Err(p),
+            Err(e) => panic!("{e}"),
         }
-        self.try_execute(index, variants, warm, None)
-    }
-
-    /// Shared implementation of [`Engine::run`] and
-    /// [`Engine::run_with_progress`](crate::progress): prepare, then
-    /// execute, folding the index build time back into the report.
-    pub(crate) fn run_internal(
-        &self,
-        points: &[Point2],
-        variants: &VariantSet,
-        progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
-    ) -> Result<RunReport, EngineError> {
-        use crate::progress::ProgressEvent;
-        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
-            return Err(EngineError::NonFinitePoint {
-                index: bad,
-                point: points[bad],
-            });
-        }
-        let prepared = self.prepare_unchecked(points, representative_eps(variants));
-        if let Some(tx) = &progress {
-            let _ = tx.send(ProgressEvent::IndexBuilt {
-                seconds: prepared.build_time.as_secs_f64(),
-            });
-        }
-        // `run`'s contract predates containment: a job panic propagates as
-        // a panic here, exactly as it did when workers unwound directly.
-        let mut report = match self.try_execute(&prepared, variants, &[], progress) {
-            Ok(report) => report,
-            Err(p) => panic!("{p}"),
-        };
-        // One-shot runs own their index, so they pay (and report) its
-        // construction; prepared runs amortize it and report zero.
-        report.index_build_time = prepared.build_time;
-        Ok(report)
     }
 
     /// The engine core: clusters `variants` over a prepared index with
     /// optional warm sources. A panic inside any clustering job is caught
     /// in its worker, recorded first-wins in a shared slot, and turned
     /// into `Err(JobPanic)` after every worker has drained.
-    fn try_execute(
+    fn run_scheduled(
         &self,
         index: &PreparedIndex,
         variants: &VariantSet,
         warm: &[WarmSource],
         progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+        trace: TraceLevel,
     ) -> Result<RunReport, JobPanic> {
         use crate::progress::ProgressEvent;
         let n_var = variants.len();
@@ -583,7 +782,7 @@ impl Engine {
         let panic_slot: OnceLock<JobPanic> = OnceLock::new();
 
         let t0 = Instant::now();
-        let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.config.threads)
                 .map(|thread_id| {
                     let schedule = &schedule;
@@ -605,6 +804,7 @@ impl Engine {
                             outcome_tx,
                             t0,
                             progress,
+                            trace,
                         )
                     })
                 })
@@ -615,12 +815,26 @@ impl Engine {
                 .collect()
         });
         let total_time = t0.elapsed();
+
+        // Fold per-worker observability before the panic check: a failed
+        // run surfaces no report, but the fold is cheap either way.
+        let mut worker_stats = Vec::with_capacity(outputs.len());
+        let mut phases = PhaseHistograms::new();
+        let mut tracers = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            phases.merge(&out.phases);
+            worker_stats.push(out.stats);
+            tracers.push(out.tracer);
+        }
         if let Some(panic) = panic_slot.into_inner() {
             // The schedule was aborted on the first caught panic, so some
             // result slots are legitimately empty — skip report assembly
             // entirely and fail the run as a unit.
             return Err(panic);
         }
+        let trace_snapshot = trace
+            .enabled()
+            .then(|| TraceSnapshot::from_workers(tracers));
         if let Some(tx) = &progress {
             let _ = tx.send(ProgressEvent::Finished { variants: n_var });
         }
@@ -653,6 +867,8 @@ impl Engine {
             permutation: index.permutation.clone(),
             worker_stats,
             warm_seeds: warm.len(),
+            phases,
+            trace: trace_snapshot,
         })
     }
 }
@@ -669,8 +885,18 @@ fn representative_eps(variants: &VariantSet) -> Option<f64> {
     Some(eps[eps.len() / 2])
 }
 
+/// Everything one worker hands back when its loop drains: contention
+/// accounting, its trace ring, and its share of the per-phase latency
+/// histograms.
+struct WorkerOutput {
+    stats: WorkerStats,
+    tracer: WorkerTracer,
+    phases: PhaseHistograms,
+}
+
 /// One worker: pull → cluster → publish, until the schedule drains.
-/// Returns its contention/idle accounting.
+/// Returns its contention/idle accounting, trace ring, and phase
+/// histograms.
 ///
 /// Each assignment's clustering work runs under `catch_unwind`: on a
 /// panic the worker records the first [`JobPanic`] in `panic_slot`,
@@ -690,26 +916,45 @@ fn worker_loop(
     outcome_tx: mpsc::Sender<VariantOutcome>,
     t0: Instant,
     progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
-) -> WorkerStats {
+    trace: TraceLevel,
+) -> WorkerOutput {
     let mut scratch = DbscanScratch::new();
     let mut stats = WorkerStats::new(thread_id);
+    let mut phases = PhaseHistograms::new();
+    let mut tracer = WorkerTracer::new(u16::try_from(thread_id).unwrap_or(u16::MAX - 1), trace, t0);
     let worker_start = Instant::now();
     loop {
         // Pull an assignment under the schedule mutex, timing how long the
         // lock took to acquire vs how long the decision itself ran.
         let wait_start = Instant::now();
-        let assignment = {
+        let (assignment, pending) = {
             let mut guard = schedule.lock().expect("schedule mutex poisoned");
             let acquired = Instant::now();
-            stats.lock_wait += acquired.duration_since(wait_start);
+            let lock_wait = acquired.duration_since(wait_start);
+            stats.lock_wait += lock_wait;
+            phases.lock_wait.record(lock_wait);
             let a = guard.next_assignment();
-            stats.sched_time += acquired.elapsed();
-            a
+            let pending = guard.pending_count();
+            let sched = acquired.elapsed();
+            stats.sched_time += sched;
+            phases.sched.record(sched);
+            (a, pending)
         };
         let Some(assignment) = assignment else {
             break;
         };
         stats.assignments += 1;
+        let variant_idx = assignment.variant as u32;
+        let source_tag = match assignment.reuse_from {
+            None => TraceSource::Scratch,
+            Some(u) if u >= variants.len() => TraceSource::Warm((u - variants.len()) as u32),
+            Some(u) => TraceSource::InRun(u as u32),
+        };
+        tracer.record(TraceEvent::Pull {
+            variant: variant_idx,
+            source: source_tag,
+            pending: pending.min(u32::MAX as usize) as u32,
+        });
 
         // Reuse sources are read lock-free: warm slots were filled before
         // the workers started; in-run slots were filled before the
@@ -723,36 +968,51 @@ fn worker_loop(
         });
 
         let variant = variants[assignment.variant];
+        tracer.record(TraceEvent::Started {
+            variant: variant_idx,
+            source: source_tag,
+        });
         let started = t0.elapsed();
-        let clustered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            crate::fault::check(variant);
-            match (source_result, assignment.reuse_from) {
-                (Some(prev), Some(u)) => {
-                    // Ids past the variant range address warm sources.
-                    let from_warm = u >= variants.len();
-                    let source_variant = if from_warm {
-                        warm[u - variants.len()].variant
-                    } else {
-                        variants[u]
-                    };
-                    let (result, stats) =
-                        cluster_with_reuse(t_low, t_high, variant, &prev, source_variant, reuse);
-                    (
-                        result,
-                        ExecutionPath::Reused {
-                            source: source_variant,
-                            stats,
-                        },
-                        from_warm,
-                    )
+        let clustered = {
+            let tracer = &mut tracer;
+            let scratch = &mut scratch;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                crate::fault::check(variant);
+                match (source_result, assignment.reuse_from) {
+                    (Some(prev), Some(u)) => {
+                        // Ids past the variant range address warm sources.
+                        let from_warm = u >= variants.len();
+                        let source_variant = if from_warm {
+                            warm[u - variants.len()].variant
+                        } else {
+                            variants[u]
+                        };
+                        let (result, stats) = cluster_with_reuse_traced(
+                            t_low,
+                            t_high,
+                            variant,
+                            &prev,
+                            source_variant,
+                            reuse,
+                            tracer,
+                            variant_idx,
+                        );
+                        (
+                            result,
+                            ExecutionPath::Reused {
+                                source: source_variant,
+                                stats,
+                            },
+                            from_warm,
+                        )
+                    }
+                    _ => {
+                        let (result, stats) = dbscan_with_scratch(t_low, variant.params(), scratch);
+                        (result, ExecutionPath::FromScratch(stats), false)
+                    }
                 }
-                _ => {
-                    let (result, stats) =
-                        dbscan_with_scratch(t_low, variant.params(), &mut scratch);
-                    (result, ExecutionPath::FromScratch(stats), false)
-                }
-            }
-        }));
+            }))
+        };
         let (result, path, from_warm) = match clustered {
             Ok(done) => done,
             Err(payload) => {
@@ -760,6 +1020,9 @@ fn worker_loop(
                 // so every peer drains at its next pull, and exit without
                 // publishing — the scratch space may be mid-mutation, but
                 // this worker never touches it again.
+                tracer.record(TraceEvent::PanicContained {
+                    variant: variant_idx,
+                });
                 let _ = panic_slot.set(JobPanic {
                     variant,
                     message: panic_message(payload),
@@ -769,7 +1032,17 @@ fn worker_loop(
             }
         };
         let finished = t0.elapsed();
-        stats.busy += finished.saturating_sub(started);
+        let busy = finished.saturating_sub(started);
+        stats.busy += busy;
+        match &path {
+            ExecutionPath::FromScratch(_) => phases.scratch.record(busy),
+            ExecutionPath::Reused { .. } => phases.reuse.record(busy),
+        }
+        tracer.record(TraceEvent::Finished {
+            variant: variant_idx,
+            clusters: result.num_clusters().min(u32::MAX as usize) as u32,
+            noise: result.noise_count().min(u32::MAX as usize) as u32,
+        });
 
         let outcome = VariantOutcome {
             index: assignment.variant,
@@ -794,9 +1067,13 @@ fn worker_loop(
             let wait_start = Instant::now();
             let mut guard = schedule.lock().expect("schedule mutex poisoned");
             let acquired = Instant::now();
-            stats.lock_wait += acquired.duration_since(wait_start);
+            let lock_wait = acquired.duration_since(wait_start);
+            stats.lock_wait += lock_wait;
+            phases.lock_wait.record(lock_wait);
             guard.complete(assignment.variant);
-            stats.sched_time += acquired.elapsed();
+            let sched = acquired.elapsed();
+            stats.sched_time += sched;
+            phases.sched.record(sched);
         }
         if let Some(tx) = &progress {
             let _ = tx.send(crate::progress::ProgressEvent::VariantDone(outcome.clone()));
@@ -809,7 +1086,11 @@ fn worker_loop(
     stats.idle = worker_start
         .elapsed()
         .saturating_sub(stats.busy + stats.lock_wait + stats.sched_time);
-    stats
+    WorkerOutput {
+        stats,
+        tracer,
+        phases,
+    }
 }
 
 #[cfg(test)]
@@ -848,11 +1129,39 @@ mod tests {
         VariantSet::cartesian(&[0.8, 1.2, 1.6], &[4, 8])
     }
 
+    /// [`Engine::execute`] over raw points, unwrapped — the shape most
+    /// tests want.
+    fn run(engine: &Engine, points: &[Point2], variants: &VariantSet) -> RunReport {
+        engine
+            .execute(&RunRequest::new(points, variants))
+            .expect("test input is valid")
+    }
+
+    /// [`Engine::execute`] over a prepared index, unwrapped.
+    fn run_prepared(engine: &Engine, index: &PreparedIndex, variants: &VariantSet) -> RunReport {
+        engine
+            .execute(&RunRequest::prepared(index, variants))
+            .expect("test input is valid")
+    }
+
+    /// [`Engine::execute`] over a prepared index with warm sources,
+    /// unwrapped.
+    fn run_warm(
+        engine: &Engine,
+        index: &PreparedIndex,
+        variants: &VariantSet,
+        warm: &[WarmSource],
+    ) -> RunReport {
+        engine
+            .execute(&RunRequest::prepared(index, variants).warm(warm))
+            .expect("test input is valid")
+    }
+
     #[test]
     fn engine_clusters_every_variant() {
         let points = blobs(800, 5, 42);
         let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         assert_eq!(report.outcomes.len(), 6);
         assert_eq!(report.results.len(), 6);
         for (i, o) in report.outcomes.iter().enumerate() {
@@ -866,7 +1175,7 @@ mod tests {
         let points = blobs(600, 4, 7);
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(20));
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
 
         // Compare each variant against a direct DBSCAN over the same tree
         // order using the paper's quality metric.
@@ -885,7 +1194,7 @@ mod tests {
     fn reference_config_never_reuses() {
         let points = blobs(300, 3, 11);
         let engine = Engine::new(EngineConfig::reference());
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         assert_eq!(report.from_scratch_count(), 6);
         assert_eq!(report.mean_fraction_reused(), 0.0);
         assert_eq!(report.threads, 1);
@@ -901,7 +1210,7 @@ mod tests {
         let points = blobs(400, 3, 13);
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
         assert!(report.from_scratch_count() >= 1);
         for o in &report.outcomes {
             if let Some(src) = o.reused_from() {
@@ -919,7 +1228,7 @@ mod tests {
                 .with_r(16)
                 .with_reuse(ReuseScheme::ClusDensity),
         );
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         // T = 1 ⇒ only the first variant is from scratch under SchedGreedy.
         assert_eq!(report.from_scratch_count(), 1);
         assert!(report.mean_fraction_reused() > 0.0);
@@ -930,7 +1239,7 @@ mod tests {
         let points = blobs(400, 3, 23);
         let variants = VariantSet::replicated(Variant::new(1.0, 4), 8);
         let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
         let first = &report.results[0];
         for r in &report.results[1..] {
             assert_eq!(first.num_clusters(), r.num_clusters());
@@ -943,7 +1252,7 @@ mod tests {
         let points = blobs(200, 2, 31);
         let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
         let remapped = report.result_in_caller_order(0);
         assert_eq!(remapped.len(), points.len());
         // Label of original point i must equal the tree-order label of its
@@ -960,7 +1269,7 @@ mod tests {
     fn empty_variant_set() {
         let points = blobs(100, 2, 37);
         let engine = Engine::new(EngineConfig::default().with_threads(2));
-        let report = engine.run(&points, &VariantSet::new(vec![]));
+        let report = run(&engine, &points, &VariantSet::new(vec![]));
         assert!(report.outcomes.is_empty());
         assert!(report.results.is_empty());
     }
@@ -968,7 +1277,7 @@ mod tests {
     #[test]
     fn empty_database() {
         let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(4));
-        let report = engine.run(&[], &small_grid());
+        let report = run(&engine, &[], &small_grid());
         assert_eq!(report.outcomes.len(), 6);
         for r in &report.results {
             assert_eq!(r.len(), 0);
@@ -984,7 +1293,7 @@ mod tests {
                 .with_r(8)
                 .with_keep_results(false),
         );
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         assert!(report.results.is_empty());
         assert_eq!(report.outcomes.len(), 6);
     }
@@ -993,7 +1302,7 @@ mod tests {
     fn timings_are_monotone_and_cover_threads() {
         let points = blobs(600, 4, 43);
         let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         for o in &report.outcomes {
             assert!(o.finished >= o.started);
             assert!(o.thread < 3);
@@ -1006,7 +1315,7 @@ mod tests {
     fn worker_stats_cover_every_thread_and_assignment() {
         let points = blobs(600, 4, 47);
         let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         assert_eq!(report.worker_stats.len(), 3);
         let mut threads_seen: Vec<usize> = report.worker_stats.iter().map(|w| w.thread).collect();
         threads_seen.sort_unstable();
@@ -1019,23 +1328,109 @@ mod tests {
     }
 
     #[test]
+    fn phase_histograms_account_every_assignment() {
+        let points = blobs(600, 4, 49);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(3).with_r(16));
+        let report = run(&engine, &points, &variants);
+        // One busy sample per assignment, split across scratch/reuse.
+        assert_eq!(
+            report.phases.scratch.count() + report.phases.reuse.count(),
+            variants.len() as u64
+        );
+        assert_eq!(
+            report.phases.scratch.count(),
+            report.from_scratch_count() as u64
+        );
+        // Two lock acquisitions per assignment (pull + completion), plus
+        // one final empty pull per worker.
+        assert_eq!(
+            report.phases.lock_wait.count(),
+            (2 * variants.len() + report.threads) as u64
+        );
+        assert_eq!(report.phases.lock_wait.count(), report.phases.sched.count());
+        // Histograms land in the JSON report.
+        assert!(report.to_json().contains("\"phases\":{"));
+    }
+
+    #[test]
+    fn trace_off_by_default_spans_when_asked() {
+        let points = blobs(500, 4, 51);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+
+        let untraced = run(&engine, &points, &variants);
+        assert!(untraced.trace.is_none(), "tracing must be opt-in");
+        assert!(!untraced.to_json().contains("\"trace\":"));
+
+        let traced = engine
+            .execute(&RunRequest::new(&points, &variants).trace(TraceLevel::Spans))
+            .unwrap();
+        let snap = traced.trace.as_ref().expect("requested level records");
+        // Pull + Started + Finished per variant, nothing dropped.
+        assert_eq!(snap.records.len(), 3 * variants.len());
+        assert_eq!(snap.dropped, 0);
+        let kinds = snap.kind_counts();
+        assert_eq!(
+            kinds,
+            vec![
+                ("finished", variants.len() as u64),
+                ("pull", variants.len() as u64),
+                ("started", variants.len() as u64),
+            ]
+        );
+        assert!(traced.to_json().contains("\"trace\":{"));
+    }
+
+    #[test]
+    fn trace_full_records_reuse_detail() {
+        let points = blobs(500, 4, 53);
+        let variants = small_grid();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_r(16)
+                .with_reuse(ReuseScheme::ClusDensity),
+        );
+        let report = engine
+            .execute(&RunRequest::new(&points, &variants).trace(TraceLevel::Full))
+            .unwrap();
+        let snap = report.trace.as_ref().unwrap();
+        // T = 1 under SchedGreedy reuses 5 of 6 variants; each reuse pass
+        // emits at least one frontier batch (there is at least one old
+        // cluster with a candidate frontier on this dataset).
+        let batches: u64 = snap
+            .kind_counts()
+            .iter()
+            .filter(|(k, _)| *k == "frontier-batch")
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(batches > 0, "full level must record reuse detail");
+        // The flame dump renders something for every variant.
+        let text = snap.render_text(&variants);
+        for i in 0..variants.len() {
+            assert!(text.contains(&format!("v{i} ")), "missing v{i} in:\n{text}");
+        }
+    }
+
+    #[test]
     fn auto_r_tunes_and_reports() {
         let points = blobs(1_500, 4, 53);
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(2).with_auto_r());
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
         assert!(AUTO_TUNE_CANDIDATES.contains(&report.chosen_r));
         let tune = report.tune.as_ref().expect("auto mode must record a sweep");
         assert_eq!(tune.best_r, report.chosen_r);
         assert_eq!(tune.timings.len(), AUTO_TUNE_CANDIDATES.len());
         assert!(tune.sample_size <= AUTO_TUNE_MAX_SAMPLE);
         // Results must match a fixed-r run (r only affects speed).
-        let fixed = Engine::new(
+        let fixed_engine = Engine::new(
             EngineConfig::default()
                 .with_threads(2)
                 .with_r(report.chosen_r),
-        )
-        .run(&points, &variants);
+        );
+        let fixed = run(&fixed_engine, &points, &variants);
         assert_eq!(fixed.chosen_r, report.chosen_r);
         assert!(fixed.tune.is_none());
         for (a, b) in report.results.iter().zip(&fixed.results) {
@@ -1048,7 +1443,7 @@ mod tests {
     fn auto_r_on_empty_variant_set_falls_back() {
         let points = blobs(200, 2, 59);
         let engine = Engine::new(EngineConfig::default().with_threads(2).with_auto_r());
-        let report = engine.run(&points, &VariantSet::new(vec![]));
+        let report = run(&engine, &points, &VariantSet::new(vec![]));
         assert_eq!(report.chosen_r, AUTO_TUNE_FALLBACK_R);
         assert!(report.tune.is_none());
     }
@@ -1057,7 +1452,7 @@ mod tests {
     fn fixed_r_is_recorded() {
         let points = blobs(100, 2, 61);
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(17));
-        let report = engine.run(&points, &small_grid());
+        let report = run(&engine, &points, &small_grid());
         assert_eq!(report.chosen_r, 17);
         assert!(report.tune.is_none());
     }
@@ -1069,31 +1464,55 @@ mod tests {
     }
 
     #[test]
-    fn try_run_reports_non_finite_points() {
+    fn execute_reports_non_finite_points() {
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(4));
         let points = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
-        let err = engine.try_run(&points, &small_grid()).unwrap_err();
+        let err = engine
+            .execute(&RunRequest::new(&points, &small_grid()))
+            .unwrap_err();
         match err {
-            EngineError::NonFinitePoint { index, point } => {
+            EngineError::NonFinitePoint { index, ref point } => {
                 assert_eq!(index, 1);
                 assert!(point.x.is_nan());
             }
+            ref other => panic!("wrong error: {other:?}"),
         }
         assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn execute_reports_warm_mismatch_typed() {
+        let points = blobs(200, 2, 79);
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
+        let prepared = engine.prepare(&points, None).unwrap();
+        let small = engine.prepare(&points[..50], None).unwrap();
+        let donor_variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
+        let donor = run_prepared(&engine, &small, &donor_variants);
+        let warm = vec![WarmSource {
+            variant: Variant::new(1.0, 4),
+            result: Arc::clone(&donor.results[0]),
+        }];
+        let err = engine
+            .execute(&RunRequest::prepared(&prepared, &small_grid()).warm(&warm))
+            .unwrap_err();
+        match err {
+            EngineError::WarmSourceMismatch {
+                variant,
+                expected,
+                got,
+            } => {
+                assert_eq!(variant, Variant::new(1.0, 4));
+                assert_eq!(expected, 200);
+                assert_eq!(got, 50);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
     }
 
     #[test]
     #[should_panic(expected = "worker thread")]
     fn zero_threads_rejected() {
         Engine::new(EngineConfig::default().with_threads(0));
-    }
-
-    #[test]
-    #[should_panic(expected = "non-finite")]
-    fn non_finite_points_rejected() {
-        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(4));
-        let points = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
-        engine.run(&points, &small_grid());
     }
 
     #[test]
@@ -1109,8 +1528,8 @@ mod tests {
                 .with_r(32)
                 .with_reuse(ReuseScheme::ClusDensity),
         );
-        let a = engine.run(&points, &variants);
-        let b = engine.run(&points, &variants);
+        let a = run(&engine, &points, &variants);
+        let b = run(&engine, &points, &variants);
         assert_eq!(a.permutation, b.permutation);
         for i in 0..variants.len() {
             assert_eq!(a.results[i], b.results[i], "variant {i}");
@@ -1132,7 +1551,7 @@ mod tests {
         let variants = VariantSet::cartesian(&eps, &[3, 4, 5, 6, 7]);
         assert_eq!(variants.len(), 50);
         let engine = Engine::new(EngineConfig::default().with_threads(16).with_r(16));
-        let report = engine.run(&points, &variants);
+        let report = run(&engine, &points, &variants);
         assert_eq!(report.outcomes.len(), 50);
         let mut seen = [false; 50];
         for o in &report.outcomes {
@@ -1148,10 +1567,10 @@ mod tests {
 
     #[test]
     fn prepared_index_builds_once_across_runs() {
-        // Regression: `run` used to rebuild T_low/T_high per call even on
-        // an unchanged point set. Two runs over one prepared handle must
-        // not pay (or report) any index construction — the build cost
-        // lives in the handle, once.
+        // Regression: one-shot runs used to rebuild T_low/T_high per call
+        // even on an unchanged point set. Two runs over one prepared
+        // handle must not pay (or report) any index construction — the
+        // build cost lives in the handle, once.
         let points = blobs(800, 4, 63);
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
@@ -1160,8 +1579,8 @@ mod tests {
         assert_eq!(prepared.len(), points.len());
         assert_eq!(prepared.chosen_r(), 16);
 
-        let a = engine.run_prepared(&prepared, &variants);
-        let b = engine.run_prepared(&prepared, &variants);
+        let a = run_prepared(&engine, &prepared, &variants);
+        let b = run_prepared(&engine, &prepared, &variants);
         assert_eq!(a.index_build_time, Duration::ZERO);
         assert_eq!(b.index_build_time, Duration::ZERO);
         assert_eq!(a.permutation, prepared.permutation());
@@ -1169,7 +1588,7 @@ mod tests {
 
         // Same handle ⇒ same tree order ⇒ same cluster structure as the
         // classic one-shot path.
-        let direct = engine.run(&points, &variants);
+        let direct = run(&engine, &points, &variants);
         assert!(direct.index_build_time > Duration::ZERO);
         for i in 0..variants.len() {
             assert_eq!(
@@ -1208,7 +1627,7 @@ mod tests {
         let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
         let prepared = engine.prepare(&points, None).unwrap();
-        let report = engine.run_prepared(&prepared, &variants);
+        let report = run_prepared(&engine, &prepared, &variants);
         let remapped = prepared.labels_in_caller_order(&report.results[0]);
         assert_eq!(remapped, report.result_in_caller_order(0));
     }
@@ -1226,7 +1645,7 @@ mod tests {
                 .with_reuse(ReuseScheme::ClusDensity),
         );
         let prepared = engine.prepare(&points, None).unwrap();
-        let cold = engine.run_prepared(&prepared, &variants);
+        let cold = run_prepared(&engine, &prepared, &variants);
         assert_eq!(cold.warm_seeds, 0);
         assert_eq!(cold.warm_hits(), 0);
         assert_eq!(cold.from_scratch_count(), 1); // T = 1 + SchedGreedy
@@ -1238,7 +1657,7 @@ mod tests {
             variant: variants.get(0),
             result: Arc::clone(&cold.results[0]),
         }];
-        let warm_run = engine.run_prepared_warm(&prepared, &variants, &warm);
+        let warm_run = run_warm(&engine, &prepared, &variants, &warm);
         assert_eq!(warm_run.warm_seeds, 1);
         assert!(warm_run.warm_hits() >= 1, "cache seed was never reused");
         assert_eq!(warm_run.from_scratch_count(), 0);
@@ -1270,31 +1689,16 @@ mod tests {
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
         let prepared = engine.prepare(&points, None).unwrap();
-        let donor =
-            engine.run_prepared(&prepared, &VariantSet::replicated(Variant::new(5.0, 1), 1));
+        let donor_variants = VariantSet::replicated(Variant::new(5.0, 1), 1);
+        let donor = run_prepared(&engine, &prepared, &donor_variants);
         let warm = vec![WarmSource {
             variant: Variant::new(5.0, 1),
             result: Arc::clone(&donor.results[0]),
         }];
-        let report = engine.run_prepared_warm(&prepared, &variants, &warm);
+        let report = run_warm(&engine, &prepared, &variants, &warm);
         assert_eq!(report.warm_seeds, 1);
         assert_eq!(report.warm_hits(), 0);
         assert_eq!(report.from_scratch_count(), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "different database")]
-    fn warm_source_of_wrong_size_rejected() {
-        let points = blobs(200, 2, 79);
-        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
-        let prepared = engine.prepare(&points, None).unwrap();
-        let small = engine.prepare(&points[..50], None).unwrap();
-        let donor = engine.run_prepared(&small, &VariantSet::replicated(Variant::new(1.0, 4), 1));
-        let warm = vec![WarmSource {
-            variant: Variant::new(1.0, 4),
-            result: Arc::clone(&donor.results[0]),
-        }];
-        engine.run_prepared_warm(&prepared, &small_grid(), &warm);
     }
 
     #[test]
@@ -1303,7 +1707,7 @@ mod tests {
         let variants = small_grid();
         let engine = Engine::new(EngineConfig::default().with_threads(8).with_r(16));
         let prepared = engine.prepare(&points, None).unwrap();
-        let cold = engine.run_prepared(&prepared, &variants);
+        let cold = run_prepared(&engine, &prepared, &variants);
         let warm: Vec<WarmSource> = variants
             .iter()
             .enumerate()
@@ -1312,7 +1716,7 @@ mod tests {
                 result: Arc::clone(&cold.results[i]),
             })
             .collect();
-        let report = engine.run_prepared_warm(&prepared, &variants, &warm);
+        let report = run_warm(&engine, &prepared, &variants, &warm);
         assert_all_complete_once(&report, variants.len());
         // Every variant has an identity seed at distance 0: all warm.
         assert_eq!(report.warm_hits(), variants.len());
@@ -1345,7 +1749,7 @@ mod tests {
                     .with_r(16)
                     .with_scheduler(sched),
             );
-            let report = engine.run(&points, &variants);
+            let report = run(&engine, &points, &variants);
             assert_all_complete_once(&report, 2);
             assert_eq!(report.worker_stats.len(), 8);
         }
@@ -1357,7 +1761,7 @@ mod tests {
         let variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
         for threads in [1usize, 2, 7] {
             let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(8));
-            let report = engine.run(&points, &variants);
+            let report = run(&engine, &points, &variants);
             assert_all_complete_once(&report, 1);
             assert_eq!(report.from_scratch_count(), 1);
         }
@@ -1373,12 +1777,61 @@ mod tests {
             vec![Point2::new(2.0, 3.0); 64],
         ] {
             let engine = Engine::new(EngineConfig::default().with_threads(8).with_r(4));
-            let report = engine.run(&points, &variants);
+            let report = run(&engine, &points, &variants);
             assert_all_complete_once(&report, variants.len());
             for r in &report.results {
                 assert_eq!(r.len(), points.len());
             }
         }
+    }
+
+    /// The deprecated method matrix must keep its exact legacy contracts
+    /// (panic text included) while forwarding to [`Engine::execute`].
+    #[test]
+    #[allow(deprecated, clippy::disallowed_methods)]
+    fn legacy_wrappers_preserve_contracts() {
+        let points = blobs(300, 3, 105);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+
+        // run / try_run match execute over raw points.
+        let legacy = engine.run(&points, &variants);
+        let new = run(&engine, &points, &variants);
+        assert_eq!(legacy.outcomes.len(), new.outcomes.len());
+        for i in 0..variants.len() {
+            assert_eq!(
+                legacy.results[i].num_clusters(),
+                new.results[i].num_clusters()
+            );
+        }
+        let bad = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
+        match engine.try_run(&bad, &variants).unwrap_err() {
+            EngineError::NonFinitePoint { index, .. } => assert_eq!(index, 1),
+            other => panic!("wrong error: {other:?}"),
+        }
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&bad, &variants)));
+        let msg = *unwound.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("non-finite"), "{msg}");
+
+        // run_prepared / run_prepared_warm forward too; a mismatched warm
+        // source keeps the legacy panic text.
+        let prepared = engine.prepare(&points, None).unwrap();
+        let via_wrapper = engine.run_prepared(&prepared, &variants);
+        assert_eq!(via_wrapper.outcomes.len(), variants.len());
+        assert!(engine.try_run_prepared(&prepared, &variants).is_ok());
+        let small = engine.prepare(&points[..50], None).unwrap();
+        let donor_variants = VariantSet::replicated(Variant::new(1.0, 4), 1);
+        let donor = engine.run_prepared(&small, &donor_variants);
+        let warm = vec![WarmSource {
+            variant: Variant::new(1.0, 4),
+            result: Arc::clone(&donor.results[0]),
+        }];
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_prepared_warm(&prepared, &variants, &warm)
+        }));
+        let msg = *unwound.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("different database"), "{msg}");
     }
 
     // The fault seam is a process-global atomic shared by every test in
@@ -1394,7 +1847,7 @@ mod tests {
 
         // A poisoned variant in the middle of an otherwise healthy set
         // fails the whole run with a typed error naming the variant —
-        // without unwinding through try_run_prepared.
+        // without unwinding through execute.
         let poisoned = Variant::new(11.25, 4);
         let mixed = VariantSet::new(vec![
             Variant::new(0.8, 4),
@@ -1405,32 +1858,41 @@ mod tests {
         {
             let _armed = crate::fault::ArmedFault::new(11.25);
             let err = engine
-                .try_run_prepared(&index, &mixed)
+                .execute(&RunRequest::prepared(&index, &mixed))
                 .expect_err("poisoned variant must fail the run");
-            assert_eq!(err.variant, poisoned);
+            let EngineError::JobPanic(ref p) = err else {
+                panic!("wrong error: {err:?}");
+            };
+            assert_eq!(p.variant, poisoned);
             assert!(
-                err.message.contains(crate::fault::INJECTED_PANIC_PREFIX),
+                p.message.contains(crate::fault::INJECTED_PANIC_PREFIX),
                 "unexpected panic message: {}",
-                err.message
+                p.message
             );
             assert!(err.to_string().contains("11.25"), "{err}");
 
             // Same containment on the warm path.
+            let poison_set = VariantSet::new(vec![poisoned]);
             let warm_err = engine
-                .try_run_prepared_warm(&index, &VariantSet::new(vec![poisoned]), &[])
+                .execute(&RunRequest::prepared(&index, &poison_set).warm(&[]))
                 .expect_err("warm path must contain the panic too");
-            assert_eq!(warm_err.variant, poisoned);
+            assert!(matches!(
+                warm_err,
+                EngineError::JobPanic(JobPanic { variant, .. }) if variant == poisoned
+            ));
         }
 
         // Seam disarmed: the exact same engine, index, and variant set now
         // complete — the failed run leaked nothing that poisons later runs.
-        let report = engine.try_run_prepared(&index, &mixed).unwrap();
+        let report = run_prepared(&engine, &index, &mixed);
         assert_all_complete_once(&report, 4);
 
-        // The panicking wrapper preserves the legacy contract.
+        // The panicking wrappers preserve the legacy contract.
         let _armed = crate::fault::ArmedFault::new(11.5);
+        let poison_set = VariantSet::new(vec![Variant::new(11.5, 4)]);
+        #[allow(deprecated, clippy::disallowed_methods)]
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run_prepared(&index, &VariantSet::new(vec![Variant::new(11.5, 4)]))
+            engine.run_prepared(&index, &poison_set)
         }));
         let msg = *unwound.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains(crate::fault::INJECTED_PANIC_PREFIX), "{msg}");

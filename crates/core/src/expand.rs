@@ -26,6 +26,7 @@ use vbp_geom::{Mbb, PointId};
 use vbp_rtree::{PackedRTree, SpatialIndex};
 
 use crate::seeds::{seed_list, ReuseScheme};
+use crate::trace::{TraceEvent, WorkerTracer};
 use crate::variant::Variant;
 
 /// Instrumentation of one reuse run — the quantities Figures 5–7 of the
@@ -85,6 +86,35 @@ pub fn cluster_with_reuse(
     previous: &ClusterResult,
     source_variant: Variant,
     scheme: ReuseScheme,
+) -> (ClusterResult, ReuseStats) {
+    let mut tracer = WorkerTracer::disabled();
+    cluster_with_reuse_traced(
+        t_low,
+        t_high,
+        variant,
+        previous,
+        source_variant,
+        scheme,
+        &mut tracer,
+        0,
+    )
+}
+
+/// [`cluster_with_reuse`] with the engine's per-worker tracer threaded
+/// through: at [`TraceLevel::Full`](crate::trace::TraceLevel) every
+/// frontier ε-query batch and every ExpandCluster wave lands in the ring
+/// as a typed event tagged with `variant_idx`. With a disabled tracer the
+/// extra cost is one inlined level compare per batch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cluster_with_reuse_traced(
+    t_low: &PackedRTree,
+    t_high: &PackedRTree,
+    variant: Variant,
+    previous: &ClusterResult,
+    source_variant: Variant,
+    scheme: ReuseScheme,
+    tracer: &mut WorkerTracer,
+    variant_idx: u32,
 ) -> (ClusterResult, ReuseStats) {
     let n = t_low.len();
     assert_eq!(
@@ -170,6 +200,10 @@ pub fn cluster_with_reuse(
                 .filter(|&p| labels.cluster(p) != Some(c)),
         );
         stats.frontier_searches += frontier.len();
+        tracer.record_full(TraceEvent::FrontierBatch {
+            variant: variant_idx,
+            queries: frontier.len().min(u32::MAX as usize) as u32,
+        });
         {
             let expand_set = &mut expand_set;
             let in_expand = &mut in_expand;
@@ -207,6 +241,8 @@ pub fn cluster_with_reuse(
             &mut neighbors,
             &mut stats.expand_searches,
             &mut stats.clusters_destroyed,
+            tracer,
+            variant_idx,
         );
     }
 
@@ -256,6 +292,8 @@ pub fn cluster_with_reuse(
             &mut neighbors,
             &mut stats.remainder_searches,
             &mut stats.clusters_destroyed,
+            tracer,
+            variant_idx,
         );
     }
 
@@ -297,6 +335,8 @@ fn expand_wave(
     neighbors: &mut Vec<PointId>,
     searches: &mut usize,
     clusters_destroyed: &mut usize,
+    tracer: &mut WorkerTracer,
+    variant_idx: u32,
 ) {
     while !queue.is_empty() {
         wave.clear();
@@ -317,6 +357,10 @@ fn expand_wave(
             wave.push(i);
         }
         *searches += wave.len();
+        tracer.record_full(TraceEvent::ExpandWave {
+            variant: variant_idx,
+            points: wave.len().min(u32::MAX as usize) as u32,
+        });
         let labels = &*labels;
         let visited = &*visited;
         t_low.epsilon_neighbors_batch(wave, eps, neighbors, &mut |_, ns| {

@@ -19,7 +19,7 @@
 //! # Quick start
 //!
 //! ```
-//! use variantdbscan::{Engine, EngineConfig, VariantSet};
+//! use variantdbscan::{Engine, EngineConfig, RunRequest, VariantSet};
 //! use vbp_geom::Point2;
 //!
 //! // Two square blobs, 10 apart.
@@ -33,7 +33,7 @@
 //! // V = A × B as in the paper's §V-B notation.
 //! let variants = VariantSet::cartesian(&[0.3, 0.5], &[3, 5]);
 //! let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(8));
-//! let report = engine.run(&points, &variants);
+//! let report = engine.execute(&RunRequest::new(&points, &variants)).unwrap();
 //!
 //! assert_eq!(report.outcomes.len(), 4);
 //! for result in &report.results {
@@ -52,10 +52,14 @@ pub mod progress;
 pub mod scheduler;
 pub mod seeds;
 pub mod sim;
+pub mod trace;
 pub mod variant;
 
 pub use deptree::DependencyTree;
-pub use engine::{Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, WarmSource};
+pub use engine::{
+    Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, RunRequest, RunSource,
+    WarmSource,
+};
 pub use expand::{cluster_with_reuse, ReuseStats};
 pub use metrics::{
     tune_report_to_json, ExecutionPath, JsonArray, JsonObject, RunReport, VariantOutcome,
@@ -65,4 +69,8 @@ pub use progress::ProgressEvent;
 pub use scheduler::{Assignment, ReferenceScheduleState, ScheduleSource, ScheduleState, Scheduler};
 pub use seeds::{seed_list, ReuseScheme};
 pub use sim::{simulate, simulate_with, SimCostModel, SimOutcome, SimReport};
+pub use trace::{
+    Histogram, Metrics, MetricsSnapshot, PhaseHistograms, TraceEvent, TraceLevel, TraceRecord,
+    TraceSnapshot, TraceSource, WorkerTracer,
+};
 pub use variant::{Variant, VariantSet};

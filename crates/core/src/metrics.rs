@@ -12,6 +12,7 @@ use vbp_geom::PointId;
 use vbp_rtree::TuneReport;
 
 use crate::expand::ReuseStats;
+use crate::trace::{PhaseHistograms, TraceSnapshot};
 use crate::variant::Variant;
 
 /// How one variant was clustered.
@@ -162,6 +163,13 @@ pub struct RunReport {
     /// Warm reuse sources the run was seeded with (0 outside
     /// [`Engine::run_prepared_warm`](crate::Engine)).
     pub warm_seeds: usize,
+    /// Per-phase latency histograms (scratch/reuse busy time, lock wait,
+    /// schedule decisions), merged across workers. Always recorded — the
+    /// per-sample cost is one `leading_zeros` and two adds.
+    pub phases: PhaseHistograms,
+    /// The run's merged trace, when the request asked for a
+    /// [`TraceLevel`](crate::trace::TraceLevel) above `Off`.
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl RunReport {
@@ -309,7 +317,7 @@ impl RunReport {
             .tune
             .as_ref()
             .map_or_else(|| "null".to_string(), tune_report_to_json);
-        JsonObject::new()
+        let o = JsonObject::new()
             .uint("variants", self.outcomes.len() as u64)
             .uint("threads", self.threads as u64)
             .uint("chosen_r", self.chosen_r as u64)
@@ -325,9 +333,14 @@ impl RunReport {
             .float("idle_ms", self.total_idle().as_secs_f64() * 1e3)
             .float("lock_wait_share", self.lock_wait_share())
             .raw("tune", &tune)
+            .raw("phases", &self.phases.to_json())
             .raw("outcomes", &outcomes.finish())
-            .raw("worker_stats", &workers.finish())
-            .finish()
+            .raw("worker_stats", &workers.finish());
+        match &self.trace {
+            Some(snap) => o.raw("trace", &snap.to_json()),
+            None => o,
+        }
+        .finish()
     }
 }
 
@@ -338,7 +351,10 @@ impl RunReport {
 // RFC 8259 emitter lives here next to the types it serializes.
 
 /// Appends `s` to `out` as a double-quoted JSON string, escaping quotes,
-/// backslashes, and control characters.
+/// backslashes, and control characters — including DEL (`\u{7f}`), which
+/// RFC 8259 permits raw but terminals and log scrapers do not. Non-ASCII
+/// text (dataset names arrive from untrusted clients) passes through as
+/// raw UTF-8, which JSON allows.
 pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -348,7 +364,7 @@ pub fn push_json_str(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c as u32 == 0x7f => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -603,6 +619,8 @@ mod tests {
             permutation: Vec::new(),
             worker_stats: Vec::new(),
             warm_seeds: 0,
+            phases: PhaseHistograms::new(),
+            trace: None,
         }
     }
 
@@ -739,6 +757,43 @@ mod tests {
         push_json_str(&mut out, "a\"b\\c\nd\te\u{1}");
         assert_eq!(out, r#""a\"b\\c\nd\te\u0001""#);
         assert_well_formed_json(&out);
+    }
+
+    #[test]
+    fn json_escapes_del_and_every_c0_control() {
+        // DEL is a control character too: terminals and log scrapers choke
+        // on it even though RFC 8259 technically permits it raw.
+        let mut out = String::new();
+        push_json_str(&mut out, "x\u{7f}y");
+        assert_eq!(out, "\"x\\u007fy\"");
+        assert_well_formed_json(&out);
+
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let mut out = String::new();
+            push_json_str(&mut out, &c.to_string());
+            assert!(
+                out.chars().all(|c| !c.is_control()),
+                "U+{code:04X} leaked raw: {out:?}"
+            );
+            assert_well_formed_json(&out);
+        }
+    }
+
+    #[test]
+    fn json_passes_non_ascii_through_raw() {
+        // Dataset names can legitimately be non-ASCII; JSON allows raw
+        // UTF-8 inside strings, so no escaping (and no mangling).
+        let mut out = String::new();
+        push_json_str(&mut out, "µ-blobs·日本語 ✓");
+        assert_eq!(out, "\"µ-blobs·日本語 ✓\"");
+        assert_well_formed_json(&out);
+        // U+009F (a C1 control) is not in the C0 range and not DEL: JSON
+        // permits it raw and we keep it byte-faithful — only C0 + DEL are
+        // escaped, pinned here so the policy is explicit.
+        let mut out = String::new();
+        push_json_str(&mut out, "\u{9f}");
+        assert_eq!(out, "\"\u{9f}\"");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::mpsc::{channel, Receiver};
 
 use vbp_geom::Point2;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RunRequest};
 use crate::metrics::{RunReport, VariantOutcome};
 use crate::variant::VariantSet;
 
@@ -33,9 +33,10 @@ pub enum ProgressEvent {
 }
 
 impl Engine {
-    /// Like [`Engine::run`], but streams [`ProgressEvent`]s while the run
-    /// executes. The receiver can be consumed concurrently from another
-    /// thread or drained afterwards.
+    /// Convenience over [`Engine::execute`] with
+    /// [`RunRequest::progress`]: runs over raw points while streaming
+    /// [`ProgressEvent`]s. The receiver can be consumed concurrently from
+    /// another thread or drained afterwards.
     ///
     /// ```
     /// use variantdbscan::{Engine, EngineConfig, VariantSet, Variant, ProgressEvent};
@@ -59,7 +60,7 @@ impl Engine {
         variants: &VariantSet,
     ) -> (RunReport, Receiver<ProgressEvent>) {
         let (tx, rx) = channel();
-        let report = match self.run_internal(points, variants, Some(tx)) {
+        let report = match self.execute(&RunRequest::new(points, variants).progress(tx)) {
             Ok(report) => report,
             Err(e) => panic!("{e}"),
         };
@@ -118,8 +119,8 @@ mod tests {
         // Consume from a separate thread while the run progresses.
         let (report, rx) = engine.run_with_progress(&points, &variants);
         let consumer = std::thread::spawn(move || rx.iter().count());
-        // Dropping all senders happened when run_internal returned, so
-        // the consumer terminates.
+        // Dropping all senders happened when execute returned, so the
+        // consumer terminates.
         let count = consumer.join().unwrap();
         assert_eq!(count, 6 + 2); // 6 variants + IndexBuilt + Finished
         assert_eq!(report.outcomes.len(), 6);

@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use variantdbscan::{
-    cluster_with_reuse, Engine, EngineConfig, ReuseScheme, Variant, VariantSet, WarmSource,
+    cluster_with_reuse, Engine, EngineConfig, ReuseScheme, RunRequest, Variant, VariantSet,
+    WarmSource,
 };
 use vbp_dbscan::{dbscan, ClusterId, ClusterResult, Labels};
 use vbp_geom::{Point2, PointId};
@@ -194,7 +195,7 @@ proptest! {
         let prepared = engine.prepare(&points, None).unwrap();
 
         // "Earlier run" whose results populate the cache.
-        let donor = engine.run_prepared(&prepared, &variants);
+        let donor = engine.execute(&RunRequest::prepared(&prepared, &variants)).unwrap();
 
         for (i, v) in variants.iter().enumerate() {
             // The dominance cache's lookup rule: among donor entries v
@@ -212,11 +213,11 @@ proptest! {
                 result: Arc::clone(&donor.results[j]),
             }];
             let single = VariantSet::new(vec![Variant::new(v.eps, v.minpts)]);
-            let warm_run = engine.run_prepared_warm(&prepared, &single, &warm);
+            let warm_run = engine.execute(&RunRequest::prepared(&prepared, &single).warm(&warm)).unwrap();
             prop_assert_eq!(warm_run.warm_hits(), 1, "seed {} not reused for {}", j, i);
             prop_assert!(warm_run.results[0].check_consistency().is_ok());
 
-            let scratch = engine.run_prepared(&prepared, &single);
+            let scratch = engine.execute(&RunRequest::prepared(&prepared, &single)).unwrap();
             let cores = brute_core_points(&points, v.eps, v.minpts);
             // Both label vectors come back in prepared-index caller order.
             let direct = ClusterResult::from_labels(Labels::from_raw(
@@ -263,7 +264,9 @@ fn thread_counts_agree_cold_and_warm() {
     // T=1 is the reference; every other thread count must match it.
     let reference_engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
     let reference_prepared = reference_engine.prepare(&points, None).unwrap();
-    let reference = reference_engine.run_prepared(&reference_prepared, &variants);
+    let reference = reference_engine
+        .execute(&RunRequest::prepared(&reference_prepared, &variants))
+        .unwrap();
     let ref_labels: Vec<ClusterResult> = (0..variants.len())
         .map(|i| {
             ClusterResult::from_labels(Labels::from_raw(
@@ -278,7 +281,9 @@ fn thread_counts_agree_cold_and_warm() {
         let prepared = engine.prepare(&points, None).unwrap();
 
         // Cold: straight run of the whole grid.
-        let cold = engine.run_prepared(&prepared, &variants);
+        let cold = engine
+            .execute(&RunRequest::prepared(&prepared, &variants))
+            .unwrap();
         for (i, v) in variants.iter().enumerate() {
             let got = ClusterResult::from_labels(Labels::from_raw(
                 prepared.labels_in_caller_order(&cold.results[i]),
@@ -307,7 +312,9 @@ fn thread_counts_agree_cold_and_warm() {
                 result: Arc::clone(&cold.results[i]),
             })
             .collect();
-        let warm = engine.run_prepared_warm(&prepared, &variants, &warm_sources);
+        let warm = engine
+            .execute(&RunRequest::prepared(&prepared, &variants).warm(&warm_sources))
+            .unwrap();
         assert_eq!(
             warm.warm_hits(),
             variants.len(),

@@ -11,8 +11,8 @@
 
 use proptest::prelude::*;
 use variantdbscan::{
-    cluster_with_reuse, Engine, EngineConfig, ReferenceScheduleState, ReuseScheme, ScheduleSource,
-    ScheduleState, Scheduler, Variant, VariantSet,
+    cluster_with_reuse, Engine, EngineConfig, ReferenceScheduleState, ReuseScheme, RunRequest,
+    ScheduleSource, ScheduleState, Scheduler, Variant, VariantSet,
 };
 use vbp_dbscan::{dbscan, quality_score};
 use vbp_geom::{Point2, PointId};
@@ -128,7 +128,7 @@ proptest! {
                 .with_scheduler(sched)
                 .with_reuse(ReuseScheme::REUSING[scheme_idx]),
         );
-        let report = engine.run(&points, &variants);
+        let report = engine.execute(&RunRequest::new(&points, &variants)).unwrap();
         prop_assert_eq!(report.outcomes.len(), variants.len());
 
         let (t_low, _) = PackedRTree::build(&points, 16);
@@ -250,7 +250,7 @@ proptest! {
         let engine = Engine::new(
             EngineConfig::default().with_threads(threads).with_r(16),
         );
-        let report = engine.run(&points, &variants);
+        let report = engine.execute(&RunRequest::new(&points, &variants)).unwrap();
         let reused = report.outcomes.iter().filter(|o| o.reused_from().is_some()).count();
         prop_assert!(report.from_scratch_count() >= 1);
         prop_assert!(reused < variants.len());

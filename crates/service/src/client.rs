@@ -92,10 +92,15 @@ fn bounded_line<R: BufRead>(reader: &mut R, cap: u64) -> Result<String, ClientEr
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    protocol_version: u32,
 }
 
 impl Client {
-    /// Connects and performs the `HELLO` handshake.
+    /// Connects and performs the `HELLO` handshake, remembering the
+    /// protocol version the server advertised (see
+    /// [`crate::protocol::PROTOCOL_VERSION`]) so version-gated calls like
+    /// [`Client::metrics`] can fail with a typed error against an older
+    /// daemon instead of a confusing wire rejection.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -103,6 +108,7 @@ impl Client {
         let mut client = Client {
             reader,
             writer: stream,
+            protocol_version: 0,
         };
         let line = client.round_trip(&Request::Hello)?;
         if !line.starts_with("vbp-service") {
@@ -110,7 +116,19 @@ impl Client {
                 "unexpected HELLO reply '{line}'"
             )));
         }
+        // Pre-versioning servers said just `vbp-service`; treat a missing
+        // or unparseable number as version 1 (the original verb set).
+        client.protocol_version = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|tok| tok.parse().ok())
+            .unwrap_or(1);
         Ok(client)
+    }
+
+    /// The protocol version the server advertised at connect time.
+    pub fn protocol_version(&self) -> u32 {
+        self.protocol_version
     }
 
     /// Sets the read timeout for replies (useful against a draining
@@ -234,6 +252,29 @@ impl Client {
     /// Fetches the service counters as one JSON line.
     pub fn stats_json(&mut self) -> Result<String, ClientError> {
         self.round_trip(&Request::Stats)
+    }
+
+    /// Fetches the Prometheus-style text exposition (`METRICS`,
+    /// protocol version ≥ 2). The reply is framed as `OK <n>` plus `n`
+    /// continuation lines; the returned string joins them with newlines.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        if self.protocol_version < 2 {
+            return Err(ClientError::Protocol(format!(
+                "server protocol version {} predates METRICS (needs >= 2)",
+                self.protocol_version
+            )));
+        }
+        let payload = self.round_trip(&Request::Metrics)?;
+        let n: usize = payload
+            .trim()
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad METRICS count '{payload}'")))?;
+        let mut out = String::new();
+        for _ in 0..n {
+            out.push_str(&self.read_line()?);
+            out.push('\n');
+        }
+        Ok(out)
     }
 
     /// Asks the server to drain and shut down.

@@ -13,6 +13,7 @@
 //!          | "DATASETS"
 //!          | "SUBMIT" SP dataset SP eps SP minpts [SP "LABELS"]
 //!          | "STATS"
+//!          | "METRICS"
 //!          | "SHUTDOWN"
 //!          | "QUIT"
 //! response = "OK" [SP payload]
@@ -21,14 +22,24 @@
 //!          | "draining" | "internal" | "protocol"
 //! ```
 //!
-//! `SUBMIT` answers `OK clusters=<n> noise=<n> warm=<0|1> reused=<0|1>
-//! ms=<float>`; with the `LABELS` flag the next line is
-//! `LABELS <n> <l_0> … <l_{n-1}>` in the submitter's point order (noise
-//! is `u32::MAX`). `STATS` answers `OK <json>` with a single-line JSON
-//! document. `SHUTDOWN` flips the server into draining mode: queued and
+//! `HELLO` answers `OK vbp-service <protocol-version>`; the version is an
+//! integer clients use for capability detection ([`PROTOCOL_VERSION`] —
+//! version 2 added `METRICS`). `SUBMIT` answers `OK clusters=<n>
+//! noise=<n> warm=<0|1> reused=<0|1> ms=<float>`; with the `LABELS` flag
+//! the next line is `LABELS <n> <l_0> … <l_{n-1}>` in the submitter's
+//! point order (noise is `u32::MAX`). `STATS` answers `OK <json>` with a
+//! single-line JSON document. `METRICS` answers `OK <n>` followed by `n`
+//! continuation lines of Prometheus-style text exposition (counters and
+//! `_bucket{le=…}` histograms derived from the same counters `STATS`
+//! reports). `SHUTDOWN` flips the server into draining mode: queued and
 //! in-flight requests complete, new `SUBMIT`s get `ERR draining`.
 
 use std::fmt;
+
+/// The protocol version `HELLO` advertises. History: 1 = the original
+/// verb set; 2 = added `METRICS`. Clients gate version-dependent calls on
+/// the number they saw at connect time.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Typed rejection codes carried in `ERR` responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +113,10 @@ pub enum Request {
     },
     /// Service counters as one JSON line.
     Stats,
+    /// Prometheus-style text exposition of service counters and latency
+    /// histograms (`OK <n>` + `n` continuation lines). Protocol
+    /// version ≥ 2.
+    Metrics,
     /// Begin graceful drain.
     Shutdown,
     /// Close this connection.
@@ -127,6 +142,7 @@ impl Request {
                 s
             }
             Request::Stats => "STATS".into(),
+            Request::Metrics => "METRICS".into(),
             Request::Shutdown => "SHUTDOWN".into(),
             Request::Quit => "QUIT".into(),
         }
@@ -141,6 +157,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "HELLO" => Request::Hello,
         "DATASETS" => Request::Datasets,
         "STATS" => Request::Stats,
+        "METRICS" => Request::Metrics,
         "SHUTDOWN" => Request::Shutdown,
         "QUIT" => Request::Quit,
         "SUBMIT" => {
@@ -220,11 +237,19 @@ mod tests {
             Request::Hello,
             Request::Datasets,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Quit,
         ] {
             assert_eq!(parse_request(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn metrics_rejects_arguments() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert!(parse_request("METRICS all").is_err());
+        assert!(parse_request("METRICS 1").is_err());
     }
 
     #[test]

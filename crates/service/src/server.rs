@@ -11,7 +11,7 @@
 //!                        bounded VecDeque ──▶ dispatcher thread
 //!                                                 │
 //!                                                 ▼
-//!                           Engine::try_run_prepared_warm (batch)
+//!                               Engine::execute (batch RunRequest)
 //! ```
 //!
 //! Handlers parse lines and *admit* work; they never touch the engine.
@@ -30,7 +30,8 @@
 //! line framing ([`LineIo`]): an oversized or non-UTF-8 line costs the
 //! client one `ERR protocol` and a resync, never unbounded buffering or
 //! a dead handler. A panic inside a clustering job is contained at the
-//! engine boundary ([`Engine::try_run_prepared_warm`]): the dispatcher
+//! engine boundary ([`Engine::execute`] answers a typed
+//! [`EngineError::JobPanic`]): the dispatcher
 //! isolates the batch, retries each distinct variant alone, fails only
 //! the poisoned jobs with `ERR internal`, and keeps serving. Every
 //! admitted job is accounted exactly once — `submitted` always equals
@@ -54,10 +55,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use variantdbscan::{Engine, JsonObject, Variant, VariantSet, WarmSource};
+use variantdbscan::{
+    Engine, EngineError, JsonObject, Metrics, RunRequest, TraceEvent, Variant, VariantSet,
+    WarmSource,
+};
 
 use crate::cache::DominanceCache;
-use crate::protocol::{err_line, parse_request, ErrorCode, Request};
+use crate::protocol::{err_line, parse_request, ErrorCode, Request, PROTOCOL_VERSION};
 use crate::registry::Registry;
 use crate::transport::{LineEvent, LineIo, TcpTransport, Transport};
 
@@ -179,6 +183,7 @@ struct Shared {
     write_timeout: Duration,
     draining: AtomicBool,
     stats: Mutex<ServiceStats>,
+    metrics: Metrics,
     started: Instant,
 }
 
@@ -253,6 +258,111 @@ impl Shared {
             .raw("datasets", &datasets.finish())
             .finish()
     }
+
+    /// Prometheus-style text exposition of the service counters, cache
+    /// counters, and per-phase latency histograms, one metric per line.
+    ///
+    /// The service counters are rendered from a *single copy* of the same
+    /// [`ServiceStats`] that [`Shared::stats_json`] serializes, taken
+    /// under the stats lock — so the exposition can never structurally
+    /// disagree with `STATS`, and the admission invariant (`submitted ==
+    /// completed + failed + in_flight`) holds inside any one exposition.
+    fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let s = *self.stats.lock().unwrap();
+        let cache = self.cache.lock().unwrap().stats();
+        let m = self.metrics.snapshot();
+        let mut out = String::with_capacity(4096);
+        let u = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "{name} {v}");
+        };
+        u(&mut out, "vbp_jobs_submitted_total", s.submitted);
+        u(&mut out, "vbp_jobs_completed_total", s.completed);
+        u(&mut out, "vbp_jobs_failed_total", s.failed);
+        u(&mut out, "vbp_jobs_in_flight", s.in_flight);
+        u(
+            &mut out,
+            "vbp_rejected_total{reason=\"overloaded\"}",
+            s.rejected_overloaded,
+        );
+        u(
+            &mut out,
+            "vbp_rejected_total{reason=\"draining\"}",
+            s.rejected_draining,
+        );
+        u(&mut out, "vbp_unknown_dataset_total", s.unknown_dataset);
+        u(&mut out, "vbp_bad_request_total", s.bad_request);
+        u(&mut out, "vbp_protocol_errors_total", s.protocol_errors);
+        u(&mut out, "vbp_batches_total", s.batches);
+        u(&mut out, "vbp_batch_max_jobs", s.max_batch as u64);
+        u(&mut out, "vbp_reuse_hits_total", s.engine_warm_hits);
+        u(&mut out, "vbp_in_run_reused_total", s.engine_in_run_reused);
+        u(&mut out, "vbp_from_scratch_total", s.engine_scratch);
+        let _ = writeln!(
+            out,
+            "vbp_engine_busy_seconds_total {:.6}",
+            s.engine_busy.as_secs_f64()
+        );
+        u(&mut out, "vbp_cache_entries", cache.entries as u64);
+        u(&mut out, "vbp_cache_bytes", cache.bytes as u64);
+        u(
+            &mut out,
+            "vbp_cache_budget_bytes",
+            cache.budget_bytes as u64,
+        );
+        u(&mut out, "vbp_cache_hits_total", cache.hits);
+        u(&mut out, "vbp_cache_misses_total", cache.misses);
+        u(&mut out, "vbp_cache_insertions_total", cache.insertions);
+        u(&mut out, "vbp_cache_evictions_total", cache.evictions);
+        u(
+            &mut out,
+            "vbp_cache_evicted_bytes_total",
+            cache.evicted_bytes,
+        );
+        u(
+            &mut out,
+            "vbp_cache_rejected_oversize_total",
+            cache.rejected_oversize,
+        );
+        u(&mut out, "vbp_engine_runs_total", m.runs);
+        u(
+            &mut out,
+            "vbp_engine_variants_completed_total",
+            m.variants_completed,
+        );
+        u(
+            &mut out,
+            "vbp_engine_panics_contained_total",
+            m.panics_contained,
+        );
+        u(&mut out, "vbp_events_recorded_total", m.events_recorded);
+        for (phase, hist) in m.phases.phases() {
+            for (le, cum) in hist.cumulative_buckets() {
+                if le == u64::MAX {
+                    let _ = writeln!(
+                        out,
+                        "vbp_phase_latency_ns_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {cum}"
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "vbp_phase_latency_ns_bucket{{phase=\"{phase}\",le=\"{le}\"}} {cum}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "vbp_phase_latency_ns_count{{phase=\"{phase}\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(
+                out,
+                "vbp_phase_latency_ns_sum{{phase=\"{phase}\"}} {}",
+                hist.sum_ns()
+            );
+        }
+        out
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop the daemon;
@@ -294,6 +404,7 @@ impl Server {
             write_timeout: config.write_timeout,
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
+            metrics: Metrics::new(),
             started: Instant::now(),
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
@@ -429,6 +540,13 @@ impl ServerHandle {
         self.shared.stats_json()
     }
 
+    /// Prometheus-style text exposition (same payload as the `METRICS`
+    /// wire command's continuation lines). Rendered from the same
+    /// counters as [`Self::stats_json`], so the two always agree.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
     /// Runs the dominance cache's structural self-check
     /// ([`DominanceCache::check_invariants`]) — the chaos suite calls
     /// this after every fault schedule.
@@ -504,26 +622,32 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     // Seed from the cache: one warm source per distinct best hit.
     let mut warm: Vec<WarmSource> = Vec::new();
     if shared.cache_enabled {
-        let mut cache = shared.cache.lock().unwrap();
-        for &v in variants.as_slice() {
-            if let Some(hit) = cache.lookup(&entry.name, v) {
-                if !warm.iter().any(|w| w.variant == hit.variant) {
-                    warm.push(WarmSource {
-                        variant: hit.variant,
-                        result: hit.result,
-                    });
+        let mut hits = 0u32;
+        {
+            let mut cache = shared.cache.lock().unwrap();
+            for &v in variants.as_slice() {
+                if let Some(hit) = cache.lookup(&entry.name, v) {
+                    hits += 1;
+                    if !warm.iter().any(|w| w.variant == hit.variant) {
+                        warm.push(WarmSource {
+                            variant: hit.variant,
+                            result: hit.result,
+                        });
+                    }
                 }
             }
+        }
+        for _ in 0..hits {
+            shared.metrics.record_event(TraceEvent::CacheHit);
         }
     }
 
     let t0 = Instant::now();
-    let report = match shared
-        .engine
-        .try_run_prepared_warm(&entry.index, &variants, &warm)
-    {
+    let request = RunRequest::prepared(&entry.index, &variants).warm(&warm);
+    let report = match shared.engine.execute(&request) {
         Ok(report) => report,
-        Err(panic) => {
+        Err(EngineError::JobPanic(panic)) => {
+            shared.metrics.observe_panic();
             if variants.len() == 1 {
                 // The poisoned variant is isolated: fail exactly these
                 // jobs with a typed message, keep the dispatcher alive.
@@ -550,13 +674,34 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             }
             return;
         }
+        Err(other) => {
+            // Prepared input is finite by construction and warm sources
+            // come from the same index, so this arm is unreachable in
+            // practice — but a typed error must still terminate every job.
+            shared.account_terminal(batch.len() as u64, true);
+            let msg = other.to_string();
+            for job in batch {
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+            return;
+        }
     };
     let busy = t0.elapsed();
+    shared.metrics.observe_run(&report);
 
     if shared.cache_enabled {
-        let mut cache = shared.cache.lock().unwrap();
-        for (i, &v) in variants.as_slice().iter().enumerate() {
-            cache.insert(&entry.name, v, Arc::clone(&report.results[i]));
+        let evicted = {
+            let mut cache = shared.cache.lock().unwrap();
+            let before = cache.stats().evictions;
+            for (i, &v) in variants.as_slice().iter().enumerate() {
+                cache.insert(&entry.name, v, Arc::clone(&report.results[i]));
+            }
+            cache.stats().evictions - before
+        };
+        if evicted > 0 {
+            shared.metrics.record_event(TraceEvent::CacheEvicted {
+                entries: u32::try_from(evicted).unwrap_or(u32::MAX),
+            });
         }
     }
 
@@ -614,6 +759,7 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
             }
             Ok(LineEvent::Overflow) => {
                 shared.stats.lock().unwrap().protocol_errors += 1;
+                shared.metrics.record_event(TraceEvent::ProtocolError);
                 let reply = err_line(
                     ErrorCode::Protocol,
                     &format!("line exceeds {} bytes", shared.max_line_bytes),
@@ -624,6 +770,7 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
             }
             Ok(LineEvent::InvalidUtf8) => {
                 shared.stats.lock().unwrap().protocol_errors += 1;
+                shared.metrics.record_event(TraceEvent::ProtocolError);
                 if io
                     .send_line(&err_line(ErrorCode::Protocol, "line is not valid UTF-8"))
                     .is_err()
@@ -655,7 +802,7 @@ fn respond<T: Transport>(line: &str, shared: &Shared, io: &mut LineIo<T>) -> Res
         }
     };
     match request {
-        Request::Hello => send_line(io, "OK vbp-service 1"),
+        Request::Hello => send_line(io, &format!("OK vbp-service {PROTOCOL_VERSION}")),
         Request::Quit => {
             let _ = send_line(io, "OK bye");
             Err(())
@@ -668,6 +815,18 @@ fn respond<T: Transport>(line: &str, shared: &Shared, io: &mut LineIo<T>) -> Res
             send_line(io, &out)
         }
         Request::Stats => send_line(io, &format!("OK {}", shared.stats_json())),
+        Request::Metrics => {
+            // `OK <n>` followed by exactly `n` continuation lines: the
+            // client (and the protocol fuzzer) can frame the exposition
+            // without sniffing line shapes.
+            let text = shared.metrics_text();
+            let lines: Vec<&str> = text.lines().collect();
+            send_line(io, &format!("OK {}", lines.len()))?;
+            for l in lines {
+                send_line(io, l)?;
+            }
+            Ok(())
+        }
         Request::Shutdown => {
             shared.draining.store(true, Ordering::Release);
             shared.queue_cv.notify_all();
@@ -792,6 +951,7 @@ mod tests {
             write_timeout: Duration::from_secs(5),
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
+            metrics: Metrics::new(),
             started: Instant::now(),
         }
     }
@@ -881,9 +1041,77 @@ mod tests {
         handle.serve_transport(mem).join().unwrap();
         let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "OK vbp-service 1");
+        assert_eq!(lines[0], &format!("OK vbp-service {PROTOCOL_VERSION}"));
         assert!(lines[1].starts_with("ERR bad-request"), "{text}");
         assert_eq!(lines[2], "OK bye");
+        let mut handle = handle;
+        handle.shutdown();
+    }
+
+    /// Parses `name value` out of a metrics exposition; panics when the
+    /// metric is absent (tests want missing metrics loud).
+    fn metric(text: &str, name: &str) -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("metric '{name}' missing"))
+            .parse()
+            .unwrap_or_else(|_| panic!("metric '{name}' is not a u64"))
+    }
+
+    #[test]
+    fn metrics_text_agrees_with_stats_and_holds_the_invariant() {
+        let shared = bare_shared(8);
+        for _ in 0..5 {
+            shared.submit(dummy_job()).unwrap();
+        }
+        shared.account_terminal(2, false);
+        shared.account_terminal(1, true);
+        let text = shared.metrics_text();
+        let (sub, done, failed, inflight) = (
+            metric(&text, "vbp_jobs_submitted_total"),
+            metric(&text, "vbp_jobs_completed_total"),
+            metric(&text, "vbp_jobs_failed_total"),
+            metric(&text, "vbp_jobs_in_flight"),
+        );
+        assert_eq!((sub, done, failed, inflight), (5, 2, 1, 2));
+        assert_eq!(sub, done + failed + inflight, "admission invariant");
+        // Per-phase histogram framing: each phase carries a +Inf bucket
+        // whose cumulative count equals its _count line.
+        for phase in ["scratch", "reuse", "lock_wait", "sched"] {
+            let inf = metric(
+                &text,
+                &format!("vbp_phase_latency_ns_bucket{{phase=\"{phase}\",le=\"+Inf\"}}"),
+            );
+            let count = metric(
+                &text,
+                &format!("vbp_phase_latency_ns_count{{phase=\"{phase}\"}}"),
+            );
+            assert_eq!(inf, count, "{phase} +Inf bucket must equal the count");
+        }
+        // Every line is `name value` with a vbp_ namespace.
+        for line in text.lines() {
+            assert!(line.starts_with("vbp_"), "bad metric line {line:?}");
+            assert_eq!(line.split(' ').count(), 2, "bad metric line {line:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_verb_frames_its_continuation_lines() {
+        let handle = tiny_server(4, 1 << 20);
+        let (mem, out) = MemTransport::new(vec![Step::Recv(b"METRICS\nQUIT\n".to_vec())]);
+        handle.serve_transport(mem).join().unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let n: usize = lines[0]
+            .strip_prefix("OK ")
+            .expect("METRICS answers OK <n>")
+            .parse()
+            .expect("continuation count");
+        assert_eq!(lines.len(), n + 2, "OK <n>, n lines, OK bye");
+        assert_eq!(lines[n + 1], "OK bye");
+        for l in &lines[1..=n] {
+            assert!(l.starts_with("vbp_"), "continuation line {l:?}");
+        }
         let mut handle = handle;
         handle.shutdown();
     }

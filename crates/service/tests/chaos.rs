@@ -33,8 +33,11 @@ use std::net::TcpStream;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use common::{assert_isomorphic, assert_stats_consistent, brute_core_points, field_u64, Watchdog};
-use variantdbscan::{Engine, Variant, VariantSet};
+use common::{
+    assert_isomorphic, assert_metrics_match_stats, assert_stats_consistent, brute_core_points,
+    field_u64, metric_u64, Watchdog,
+};
+use variantdbscan::{Engine, RunRequest, Variant, VariantSet};
 use vbp_data::Pcg32;
 use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
 use vbp_geom::{Point2, PointId};
@@ -73,7 +76,10 @@ fn oracle() -> &'static Oracle {
         let mut direct = Vec::new();
         let mut cores = Vec::new();
         for &(eps, minpts) in &pool {
-            let report = engine.run(&points, &VariantSet::new(vec![Variant::new(eps, minpts)]));
+            let variants = VariantSet::new(vec![Variant::new(eps, minpts)]);
+            let report = engine
+                .execute(&RunRequest::new(&points, &variants))
+                .unwrap();
             direct.push(ClusterResult::from_labels(Labels::from_raw(
                 report.result_in_caller_order(0),
             )));
@@ -271,6 +277,45 @@ fn run_schedule(seed: u64) {
         .cache_invariants()
         .unwrap_or_else(|e| panic!("{ctx_seed}: cache invariant broken: {e}"));
 
+    // Invariant 4: the METRICS exposition agrees with STATS at rest.
+    // Fire-and-forget submissions (actions 3/4) are admitted by handler
+    // threads asynchronously, so "at rest" means: two STATS samples with
+    // the METRICS fetch *between* them show the same submitted count and
+    // zero in-flight — counters are monotone, so the exposition in the
+    // middle must carry exactly those values.
+    let mut settled = false;
+    for _ in 0..500 {
+        let before = client.stats_json().unwrap();
+        let metrics = client.metrics().unwrap();
+        let after = client.stats_json().unwrap();
+        let keys = [
+            "submitted",
+            "completed",
+            "failed",
+            "rejected_overloaded",
+            "rejected_draining",
+            "unknown_dataset",
+            "bad_request",
+            "protocol_errors",
+            "batches",
+            "reuse_hits",
+            "in_run_reused",
+            "from_scratch",
+        ];
+        let stable = keys
+            .iter()
+            .all(|k| field_u64(&before, k) == field_u64(&after, k))
+            && field_u64(&before, "in_flight") == 0
+            && field_u64(&after, "in_flight") == 0;
+        if stable {
+            assert_metrics_match_stats(&metrics, &before, &ctx_seed);
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(settled, "{ctx_seed}: traffic never quiesced");
+
     // Invariant 3: bounded full drain with every thread joined.
     client.shutdown().unwrap();
     let t0 = Instant::now();
@@ -366,10 +411,10 @@ fn panicking_variant_fails_one_job_and_daemon_keeps_serving() {
     let reply = client.submit(DATASET, poison_eps, 4, true).unwrap();
     let served = ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap()));
     let engine = Engine::new(common::engine_config(2));
-    let direct = engine.run(
-        &o.points,
-        &VariantSet::new(vec![Variant::new(poison_eps, 4)]),
-    );
+    let poison_set = VariantSet::new(vec![Variant::new(poison_eps, 4)]);
+    let direct = engine
+        .execute(&RunRequest::new(&o.points, &poison_set))
+        .unwrap();
     assert_isomorphic(
         &ClusterResult::from_labels(Labels::from_raw(direct.result_in_caller_order(0))),
         &served,
@@ -377,10 +422,17 @@ fn panicking_variant_fails_one_job_and_daemon_keeps_serving() {
         "containment: disarmed resubmission",
     );
 
-    // Accounting: exactly one failure, invariant intact.
+    // Accounting: exactly one failure, invariant intact — and the
+    // exposition carries both the same counters and the contained panic.
     let stats = client.stats_json().unwrap();
     assert_eq!(field_u64(&stats, "failed"), 1, "{stats}");
     assert_stats_consistent(&stats, "containment");
+    let metrics = client.metrics().unwrap();
+    assert_metrics_match_stats(&metrics, &stats, "containment");
+    assert!(
+        metric_u64(&metrics, "vbp_engine_panics_contained_total") >= 1,
+        "contained panic missing from exposition:\n{metrics}"
+    );
 
     client.shutdown().unwrap();
     let t0 = Instant::now();

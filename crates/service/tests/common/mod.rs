@@ -157,3 +157,55 @@ pub fn assert_stats_consistent(json: &str, ctx: &str) {
         "{ctx}: stats invariant broken in {json}"
     );
 }
+
+/// Pulls one `name value` line out of a Prometheus-style `METRICS`
+/// exposition; the name must match exactly up to the separating space
+/// (labels included, e.g. `vbp_rejected_total{reason="draining"}`).
+pub fn metric_u64(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("no metric {name} in exposition:\n{text}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not a u64"))
+}
+
+/// Asserts the `METRICS` exposition carries the same job counters as a
+/// `STATS` JSON line sampled at the same quiescent point, and that the
+/// admission invariant (`submitted = completed + failed + in_flight`)
+/// holds *inside* the exposition itself.
+pub fn assert_metrics_match_stats(metrics: &str, stats: &str, ctx: &str) {
+    for (metric_name, json_key) in [
+        ("vbp_jobs_submitted_total", "submitted"),
+        ("vbp_jobs_completed_total", "completed"),
+        ("vbp_jobs_failed_total", "failed"),
+        ("vbp_jobs_in_flight", "in_flight"),
+        (
+            "vbp_rejected_total{reason=\"overloaded\"}",
+            "rejected_overloaded",
+        ),
+        (
+            "vbp_rejected_total{reason=\"draining\"}",
+            "rejected_draining",
+        ),
+        ("vbp_unknown_dataset_total", "unknown_dataset"),
+        ("vbp_bad_request_total", "bad_request"),
+        ("vbp_protocol_errors_total", "protocol_errors"),
+        ("vbp_batches_total", "batches"),
+        ("vbp_reuse_hits_total", "reuse_hits"),
+        ("vbp_in_run_reused_total", "in_run_reused"),
+        ("vbp_from_scratch_total", "from_scratch"),
+    ] {
+        assert_eq!(
+            metric_u64(metrics, metric_name),
+            field_u64(stats, json_key),
+            "{ctx}: METRICS '{metric_name}' disagrees with STATS '{json_key}'"
+        );
+    }
+    assert_eq!(
+        metric_u64(metrics, "vbp_jobs_submitted_total"),
+        metric_u64(metrics, "vbp_jobs_completed_total")
+            + metric_u64(metrics, "vbp_jobs_failed_total")
+            + metric_u64(metrics, "vbp_jobs_in_flight"),
+        "{ctx}: admission invariant broken inside METRICS"
+    );
+}

@@ -19,7 +19,7 @@ mod common;
 use std::time::{Duration, Instant};
 
 use common::{assert_isomorphic, brute_core_points, field_u64, start_server, Watchdog};
-use variantdbscan::{Engine, VariantSet};
+use variantdbscan::{Engine, RunReport, RunRequest, VariantSet};
 use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
 use vbp_geom::Point2;
 use vbp_rtree::PackedRTree;
@@ -37,6 +37,14 @@ fn smoke_server(cache_bytes: usize) -> ServerHandle {
             ..ServiceConfig::default()
         },
     )
+}
+
+/// One direct single-variant engine run — the per-request oracle.
+fn direct_run(engine: &Engine, points: &[vbp_geom::Point2], eps: f64, minpts: usize) -> RunReport {
+    let variants = VariantSet::new(vec![variantdbscan::Variant::new(eps, minpts)]);
+    engine
+        .execute(&RunRequest::new(points, &variants))
+        .expect("direct oracle run")
 }
 
 /// Ten variants per dataset, scaled off the dataset's k-dist knee so the
@@ -74,10 +82,7 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
         // batch, so it must match the direct run *exactly*.
         for (i, &(eps, minpts)) in variants.iter().enumerate() {
             let reply = client.submit(name, eps, minpts, true).unwrap();
-            let direct = engine.run(
-                &points,
-                &VariantSet::new(vec![variantdbscan::Variant::new(eps, minpts)]),
-            );
+            let direct = direct_run(&engine, &points, eps, minpts);
             let direct_labels = direct.result_in_caller_order(0);
             let served_labels = reply.labels.clone().unwrap();
             assert_eq!(reply.clusters, direct.results[0].num_clusters());
@@ -105,10 +110,7 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
             let reply = client.submit(name, eps, minpts, true).unwrap();
             assert!(reply.warm, "{name} variant {i}: expected a cache hit");
             let cores = brute_core_points(&points, eps, minpts);
-            let direct = engine.run(
-                &points,
-                &VariantSet::new(vec![variantdbscan::Variant::new(eps, minpts)]),
-            );
+            let direct = direct_run(&engine, &points, eps, minpts);
             assert_isomorphic(
                 &ClusterResult::from_labels(Labels::from_raw(direct.result_in_caller_order(0))),
                 &ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap())),
@@ -128,6 +130,28 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
     common::assert_stats_consistent(&stats, "post-workload");
     let cache_at = stats.find("\"cache\":").unwrap();
     assert!(field_u64(&stats[cache_at..], "hits") > 0);
+
+    // The version-2 METRICS exposition over the same connection: the
+    // client saw the version in HELLO, and the counters agree with
+    // STATS (only this client drives the daemon, so it is at rest).
+    assert!(
+        client.protocol_version() >= 2,
+        "server must advertise the METRICS-capable protocol"
+    );
+    let metrics = client.metrics().unwrap();
+    common::assert_metrics_match_stats(&metrics, &stats, "post-workload");
+    assert!(
+        common::metric_u64(&metrics, "vbp_cache_hits_total") > 0,
+        "cache hits missing from exposition"
+    );
+    assert!(
+        common::metric_u64(&metrics, "vbp_engine_runs_total") > 0
+            && common::metric_u64(
+                &metrics,
+                "vbp_phase_latency_ns_bucket{phase=\"scratch\",le=\"+Inf\"}"
+            ) > 0,
+        "engine histograms missing from exposition:\n{metrics}"
+    );
 
     client.shutdown().unwrap();
     let t0 = Instant::now();

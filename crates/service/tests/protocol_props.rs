@@ -56,8 +56,9 @@ proptest! {
     /// Layer 1b: NUL bytes and truncated multi-byte sequences never
     /// smuggle a verb past the tokenizer.
     #[test]
-    fn nul_and_truncation_probes(prefix in 0usize..6, junk in collection::vec(any::<u8>(), 0..16)) {
-        let verb: &[u8] = [&b"HELLO"[..], b"DATASETS", b"SUBMIT", b"STATS", b"SHUTDOWN", b"QUIT"][prefix];
+    fn nul_and_truncation_probes(prefix in 0usize..7, junk in collection::vec(any::<u8>(), 0..16)) {
+        let verb: &[u8] =
+            [&b"HELLO"[..], b"DATASETS", b"SUBMIT", b"STATS", b"METRICS", b"SHUTDOWN", b"QUIT"][prefix];
         let mut bytes = verb.to_vec();
         bytes.push(0);
         bytes.extend_from_slice(&junk);
@@ -112,8 +113,8 @@ proptest! {
             steps.push(Step::Recv(chunk));
         }
         // The leading newline terminates any partial junk line, so the
-        // STATS request is guaranteed to sit on a line of its own.
-        steps.push(Step::Recv(b"\nSTATS\n".to_vec()));
+        // STATS and METRICS requests are guaranteed lines of their own.
+        steps.push(Step::Recv(b"\nSTATS\nMETRICS\n".to_vec()));
         steps.push(Step::Close);
 
         let (transport, out) = MemTransport::new(steps);
@@ -122,7 +123,25 @@ proptest! {
         let out = out.lock().unwrap();
         let text = String::from_utf8(out.clone()).expect("server replies are UTF-8");
         let mut saw_ok_stats = false;
-        for line in text.lines() {
+        let mut saw_metrics = false;
+        let mut lines = text.lines();
+        while let Some(line) = lines.next() {
+            // METRICS is the one verb with continuation lines: `OK <n>`
+            // (n a bare integer — no other reply has that shape) followed
+            // by exactly n exposition lines outside the OK/ERR framing.
+            if let Some(n) = line
+                .strip_prefix("OK ")
+                .and_then(|rest| rest.parse::<usize>().ok())
+            {
+                saw_metrics = true;
+                for _ in 0..n {
+                    let cont = lines.next();
+                    prop_assert!(cont.is_some(), "METRICS truncated its exposition");
+                    let cont = cont.unwrap();
+                    prop_assert!(cont.starts_with("vbp_"), "bad exposition line {:?}", cont);
+                }
+                continue;
+            }
             if let Some(rest) = line.strip_prefix("ERR ") {
                 let code = rest.split_ascii_whitespace().next().unwrap_or("");
                 prop_assert!(
@@ -134,9 +153,10 @@ proptest! {
                 saw_ok_stats |= line.contains("\"submitted\":");
             }
         }
-        // The trailing well-formed STATS must have survived whatever the
-        // byte soup did to the connection state.
+        // The trailing well-formed STATS and METRICS must have survived
+        // whatever the byte soup did to the connection state.
         prop_assert!(saw_ok_stats, "no STATS reply in {:?}", text);
+        prop_assert!(saw_metrics, "no METRICS reply in {:?}", text);
 
         let stats = handle.stats_json();
         assert_stats_consistent(&stats, "protocol-props live handler");

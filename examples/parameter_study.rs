@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
 use vbp::vbp_data::{SyntheticClass, SyntheticSpec};
 
 fn main() {
@@ -32,7 +32,8 @@ fn main() {
 
     // Reference for all speedups.
     let reference = Engine::new(EngineConfig::reference())
-        .run(&points, &variants)
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap()
         .total_time;
     println!(
         "reference (T=1, r=1, no reuse): {:.1} ms\n",
@@ -59,7 +60,9 @@ fn main() {
                         .with_reuse(scheme)
                         .with_keep_results(false),
                 );
-                let report = engine.run(&points, &variants);
+                let report = engine
+                    .execute(&RunRequest::new(&points, &variants))
+                    .unwrap();
                 print_row(
                     scheduler,
                     scheme,

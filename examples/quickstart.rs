@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use vbp::prelude::*;
 use vbp::variantdbscan::Engine as VEngine;
-use vbp::variantdbscan::{EngineConfig, Scheduler};
+use vbp::variantdbscan::{EngineConfig, RunRequest, Scheduler};
 use vbp::vbp_data::SyntheticSpec;
 
 fn main() {
@@ -29,7 +29,9 @@ fn main() {
 
     // 3. The reference implementation: one thread, r = 1, no reuse.
     let t0 = Instant::now();
-    let reference = VEngine::new(EngineConfig::reference()).run(&points, &variants);
+    let reference = VEngine::new(EngineConfig::reference())
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
     let ref_time = t0.elapsed();
 
     // 4. VariantDBSCAN with everything on: tuned index (r = 80),
@@ -42,7 +44,9 @@ fn main() {
             .with_reuse(ReuseScheme::ClusDensity),
     );
     let t0 = Instant::now();
-    let report = engine.run(&points, &variants);
+    let report = engine
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
     let opt_time = t0.elapsed();
 
     // 5. Per-variant summary.

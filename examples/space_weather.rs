@@ -11,7 +11,7 @@
 //! ```
 
 use vbp::prelude::*;
-use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler, VariantSet};
+use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler, VariantSet};
 use vbp::vbp_data::SpaceWeatherSpec;
 use vbp::vbp_dbscan::suggest_eps;
 use vbp::vbp_rtree::PackedRTree;
@@ -51,7 +51,9 @@ fn main() {
             .with_scheduler(Scheduler::SchedGreedy)
             .with_reuse(ReuseScheme::ClusDensity),
     );
-    let report = engine.run(&points, &variants);
+    let report = engine
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
 
     println!(
         "{:<16} {:>9} {:>8} {:>12} {:>10}",

@@ -14,7 +14,10 @@
 # disconnects, injected engine panics) against live daemons, asserting
 # consistent counters, label-isomorphic replies, and bounded drains
 # after every schedule. Every service stage is wrapped in a hard wall
-# clock so a wedged daemon fails the gate instead of hanging it.
+# clock so a wedged daemon fails the gate instead of hanging it. A
+# trace-overhead stage (skipped under --fast) replays the
+# engine_contention workload with tracing off/spans/full interleaved and
+# fails if the disabled-mode A/A delta exceeds max(1%, measured noise).
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget and widens the chaos sweep to 96
@@ -50,6 +53,12 @@ timeout 300 cargo test -q -p vbp-service --test chaos
 echo "==> service protocol properties + stats consistency"
 timeout 300 cargo test -q -p vbp-service --test protocol_props
 timeout 300 cargo test -q -p vbp-service --test stats_consistency
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> trace overhead gate (engine_contention workload, off vs on)"
+  timeout 600 cargo run --release -q -p vbp-bench --bin trace_overhead -- \
+    --points 3000 --trials 6 --threads 2
+fi
 
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   echo "==> conformance (release, VBP_CONFORMANCE_FULL=1)"

@@ -27,7 +27,8 @@ pub use vbp_rtree;
 /// consumer of the library.
 pub mod prelude {
     pub use variantdbscan::{
-        Engine, EngineConfig, ReuseScheme, RunReport, Scheduler, Variant, VariantSet,
+        Engine, EngineConfig, EngineError, ReuseScheme, RunReport, RunRequest, Scheduler,
+        TraceLevel, Variant, VariantSet,
     };
     pub use vbp_data::{DatasetSpec, SyntheticClass};
     pub use vbp_dbscan::{dbscan, ClusterResult, DbscanParams};

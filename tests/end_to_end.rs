@@ -3,7 +3,7 @@
 //! the same path the paper's evaluation exercises, at test-friendly scale.
 
 use vbp::prelude::*;
-use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, Scheduler};
+use vbp::variantdbscan::{Engine, EngineConfig, ReuseScheme, RunRequest, Scheduler};
 use vbp::vbp_data::{SpaceWeatherSpec, SyntheticSpec};
 use vbp::vbp_dbscan::{dbscan, quality_score, DbscanParams};
 use vbp::vbp_rtree::PackedRTree;
@@ -23,7 +23,9 @@ fn synthetic_pipeline_matches_direct_dbscan() {
             .with_r(70)
             .with_reuse(ReuseScheme::ClusDensity),
     );
-    let report = engine.run(&points, &variants);
+    let report = engine
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
     assert_eq!(report.outcomes.len(), 6);
 
     let (tree, _) = PackedRTree::build(&points, 70);
@@ -53,7 +55,8 @@ fn space_weather_pipeline_finds_wave_structure() {
             .with_r(70)
             .with_reuse(ReuseScheme::ClusDensity),
     )
-    .run(&points, &variants);
+    .execute(&RunRequest::new(&points, &variants))
+    .unwrap();
 
     // The loosest variant must find real clusters covering a good chunk
     // of the map (the TID bands), not one megacluster and not all noise.
@@ -71,7 +74,9 @@ fn optimized_engine_agrees_with_reference_and_reuses() {
     let points = SyntheticSpec::new(SyntheticClass::CF, 5_000, 0.10, 21).generate();
     let variants = VariantSet::cartesian(&[0.4, 0.6, 0.8], &[4, 8]);
 
-    let reference = Engine::new(EngineConfig::reference()).run(&points, &variants);
+    let reference = Engine::new(EngineConfig::reference())
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
     let optimized = Engine::new(
         EngineConfig::default()
             .with_threads(1)
@@ -79,7 +84,8 @@ fn optimized_engine_agrees_with_reference_and_reuses() {
             .with_scheduler(Scheduler::SchedGreedy)
             .with_reuse(ReuseScheme::ClusDensity),
     )
-    .run(&points, &variants);
+    .execute(&RunRequest::new(&points, &variants))
+    .unwrap();
 
     for i in 0..variants.len() {
         assert_eq!(
@@ -119,9 +125,12 @@ fn io_roundtrip_preserves_clustering() {
     assert_eq!(points, from_bin);
 
     let variants = VariantSet::cartesian(&[0.5], &[4]);
-    let a = Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&points, &variants);
-    let b =
-        Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&from_bin, &variants);
+    let a = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
+    let b = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
+        .execute(&RunRequest::new(&from_bin, &variants))
+        .unwrap();
     assert_eq!(a.results[0].num_clusters(), b.results[0].num_clusters());
     assert_eq!(a.results[0].noise_count(), b.results[0].noise_count());
 }
@@ -132,8 +141,9 @@ fn io_roundtrip_preserves_clustering() {
 fn caller_order_results_are_consistent() {
     let points = SyntheticSpec::new(SyntheticClass::CF, 1_500, 0.1, 55).generate();
     let variants = VariantSet::cartesian(&[0.5, 0.7], &[4]);
-    let report =
-        Engine::new(EngineConfig::default().with_threads(2).with_r(32)).run(&points, &variants);
+    let report = Engine::new(EngineConfig::default().with_threads(2).with_r(32))
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
 
     for i in 0..variants.len() {
         let remapped = report.result_in_caller_order(i);
@@ -171,7 +181,8 @@ fn optics_covers_eps_families_only() {
             .with_r(70)
             .with_reuse(ReuseScheme::ClusDensity),
     )
-    .run(&points, &variants);
+    .execute(&RunRequest::new(&points, &variants))
+    .unwrap();
 
     for (i, v) in variants.iter().enumerate() {
         let from_optics = optics.extract_dbscan(v.eps);

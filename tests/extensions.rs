@@ -156,8 +156,9 @@ fn prelude_is_sufficient_for_the_quickstart_flow() {
     use vbp::prelude::*;
     let points = DatasetSpec::by_name("cF_10k_5N@1000").unwrap().generate();
     let variants = VariantSet::cartesian(&[0.8], &[4]);
-    let report =
-        Engine::new(EngineConfig::default().with_threads(1).with_r(16)).run(&points, &variants);
+    let report = Engine::new(EngineConfig::default().with_threads(1).with_r(16))
+        .execute(&RunRequest::new(&points, &variants))
+        .unwrap();
     assert_eq!(report.outcomes.len(), 1);
     let result: &ClusterResult = &report.results[0];
     assert!(result.num_clusters() >= 1);
