@@ -149,9 +149,11 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     let variants = VariantSet::cartesian(&eps, &minpts);
     let config = engine_config(args)?;
     let engine = Engine::new(config);
-    let report = engine
-        .execute(&RunRequest::new(&points, &variants))
-        .map_err(|e| e.to_string())?;
+    let mut request = RunRequest::new(&points, &variants);
+    if let Some(policy) = sharding_policy(args)? {
+        request = request.sharding(policy);
+    }
+    let report = engine.execute(&request).map_err(|e| e.to_string())?;
 
     if args.has("json") {
         return Ok(format!("{}\n", report.to_json()));
@@ -236,9 +238,11 @@ pub fn trace(args: &Args) -> Result<String, String> {
     if !level.enabled() {
         return Err("--level off records nothing; use spans or full".into());
     }
-    let report = engine
-        .execute(&RunRequest::new(&points, &variants).trace(level))
-        .map_err(|e| e.to_string())?;
+    let mut request = RunRequest::new(&points, &variants).trace(level);
+    if let Some(policy) = sharding_policy(args)? {
+        request = request.sharding(policy);
+    }
+    let report = engine.execute(&request).map_err(|e| e.to_string())?;
 
     if args.has("json") {
         return Ok(format!("{}\n", report.to_json()));
@@ -432,6 +436,7 @@ fn service_config(args: &Args, addr: String) -> Result<vbp_service::ServiceConfi
         queue_cap: args.num("queue-cap", 256usize)?.max(1),
         cache_bytes: args.num("cache-mb", 64usize)? << 20,
         batch_window: std::time::Duration::from_millis(args.num("batch-ms", 2u64)?),
+        shards: args.num("shards", 0usize)?,
         ..vbp_service::ServiceConfig::default()
     })
 }
@@ -568,6 +573,14 @@ pub fn bench_service(args: &Args) -> Result<String, String> {
     Ok(s)
 }
 
+/// Parses `--shards N` into the optional intra-variant sharding policy:
+/// absent, `0`, and `1` all mean "variant-parallel only" (the default
+/// placement); `N > 1` opts the run in with the default width gate.
+fn sharding_policy(args: &Args) -> Result<Option<variantdbscan::Sharding>, String> {
+    let shards = args.num("shards", 0usize)?;
+    Ok((shards > 1).then(|| variantdbscan::Sharding::new(shards)))
+}
+
 /// Builds the engine configuration from common flags.
 fn engine_config(args: &Args) -> Result<EngineConfig, String> {
     let scheduler = match args.get("scheduler").unwrap_or("greedy") {
@@ -641,18 +654,21 @@ commands:
   sweep    (--dataset … | --input F)          VariantDBSCAN over V = eps × minpts
            --eps E1,E2,… --minpts M1,M2,…
            [--threads T] [--r R|auto] [--scheduler greedy|minpts]
-           [--reuse off|default|density|ptssq] [--json]
+           [--reuse off|default|density|ptssq] [--json] [--shards S]
            (--r auto tunes r empirically at index-build time;
-            --json emits the full RunReport as one JSON line)
+            --json emits the full RunReport as one JSON line;
+            --shards S > 1 splits wide variants into S spatial shards)
   trace    (--dataset … | --input F)          traced VariantDBSCAN run: per-variant
            --eps E1,… --minpts M1,…            span dump + per-phase latency
            [--level spans|full] [--json]       histograms (--json embeds the trace
-           [--threads T] [--r R|auto] …        snapshot in the RunReport line)
+           [--threads T] [--r R|auto]          snapshot in the RunReport line;
+           [--shards S] …                       full level records shard merges)
   simulate --eps … --minpts … [--threads T]   analytic scheduler comparison
   serve    --datasets NAME[@N],…              run the clustering daemon until a
            [--addr HOST:PORT] [--threads T]   client sends SHUTDOWN; datasets are
            [--r R|auto] [--queue-cap N]       indexed once at startup and results
            [--cache-mb MB] [--batch-ms MS]    are cached across requests
+           [--shards S]                       (S > 1 shards wide variants)
   submit   --dataset NAME --eps E             send one variant to a daemon
            [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
   metrics  [--addr HOST:PORT]                 fetch a daemon's Prometheus-style
@@ -685,6 +701,7 @@ mod tests {
             "cache-mb",
             "batch-ms",
             "level",
+            "shards",
         ],
         switches: &["render", "json", "labels"],
     };
@@ -741,6 +758,28 @@ mod tests {
         .unwrap();
         assert!(out.contains("|V| = 4"), "{out}");
         assert!(out.matches("scratch").count() >= 1, "{out}");
+    }
+
+    #[test]
+    fn sweep_with_shards_reports_shard_totals_in_json() {
+        let out = sweep(&parse(&[
+            "sweep",
+            "--dataset",
+            "cF_10k_5N@6000",
+            "--eps",
+            "0.5",
+            "--minpts",
+            "4",
+            "--threads",
+            "2",
+            "--shards",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        // 6000 points clears the default width gate, so the lone
+        // from-scratch variant shards and the totals land in the report.
+        assert!(out.contains("\"sharding\":{\"variants\":1"), "{out}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ const SPEC: Spec = Spec {
         "cache-mb",
         "batch-ms",
         "level",
+        "shards",
     ],
     switches: &["render", "json", "labels"],
 };

@@ -67,12 +67,12 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use vbp_dbscan::{dbscan_with_scratch, ClusterResult, DbscanScratch};
+use vbp_dbscan::{dbscan_with_scratch, sharded_dbscan, ClusterResult, DbscanScratch};
 use vbp_geom::{BinOrder, Point2, PointId};
 use vbp_rtree::{tune_r_sampled, PackedRTree, TuneReport};
 
 use crate::expand::cluster_with_reuse_traced;
-use crate::metrics::{ExecutionPath, RunReport, VariantOutcome, WorkerStats};
+use crate::metrics::{ExecutionPath, RunReport, ShardTotals, VariantOutcome, WorkerStats};
 use crate::scheduler::{ScheduleState, Scheduler};
 use crate::seeds::ReuseScheme;
 use crate::trace::{
@@ -405,6 +405,77 @@ pub enum RunSource<'a> {
     Prepared(&'a PreparedIndex),
 }
 
+/// Intra-variant sharding policy for a [`RunRequest`] — the engine's
+/// second placement level.
+///
+/// Variant-level parallelism (the paper's axis) caps a run's makespan at
+/// its *largest variant*: one huge variant keeps one worker busy while
+/// the rest idle. When a request opts in via [`RunRequest::sharding`],
+/// the engine places work on two levels instead:
+///
+/// - **wide runs** (dataset at least [`Sharding::min_points`] points)
+///   trade variant-parallel workers for shard teams — each from-scratch
+///   clustering executes as [`vbp_dbscan::sharded_dbscan`] over `shards`
+///   ε-halo'd spatial shards, with a team of `min(shards, threads)`
+///   threads, and the engine spawns `threads / team` outer workers so
+///   the two levels multiply back to the configured thread budget;
+/// - **narrow runs** pack variant-parallel exactly as before — sharding
+///   tiny variants would pay partition/merge overhead for no win.
+///
+/// Sharding never changes results: shard-merged labels are bit-identical
+/// to the unsharded kernel at every shard count and thread interleaving
+/// (see `vbp_dbscan::sharded`), and reuse-path assignments are untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sharding {
+    shards: usize,
+    min_points: usize,
+}
+
+impl Sharding {
+    /// Default width gate: datasets below this many points stay on the
+    /// packed variant-parallel path.
+    pub const DEFAULT_MIN_POINTS: usize = 4_096;
+
+    /// Policy with `shards` spatial shards per wide variant and the
+    /// default width gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Sharding {
+        assert!(shards >= 1, "need at least one shard");
+        Sharding {
+            shards,
+            min_points: Self::DEFAULT_MIN_POINTS,
+        }
+    }
+
+    /// Overrides the width gate: datasets with fewer points than this
+    /// run unsharded.
+    pub fn with_min_points(mut self, min_points: usize) -> Sharding {
+        self.min_points = min_points;
+        self
+    }
+
+    /// Shards per wide variant.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The width gate (minimum dataset size to shard).
+    pub fn min_points(&self) -> usize {
+        self.min_points
+    }
+}
+
+/// Resolved per-run placement: how many shards each from-scratch
+/// clustering splits into and how many threads its team gets.
+#[derive(Clone, Copy, Debug)]
+struct ShardPlan {
+    shards: usize,
+    team: usize,
+}
+
 /// One engine run, described declaratively: the database, the variant
 /// set, and the run's options — warm reuse sources, [`TraceLevel`], and
 /// an optional progress channel. The builder replaces the former
@@ -425,6 +496,7 @@ pub struct RunRequest<'a> {
     warm: &'a [WarmSource],
     trace: TraceLevel,
     progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
+    sharding: Option<Sharding>,
 }
 
 impl<'a> RunRequest<'a> {
@@ -446,6 +518,7 @@ impl<'a> RunRequest<'a> {
             warm: &[],
             trace: TraceLevel::Off,
             progress: None,
+            sharding: None,
         }
     }
 
@@ -489,9 +562,23 @@ impl<'a> RunRequest<'a> {
         self.warm
     }
 
+    /// Opts the run into intra-variant sharding (default off): wide
+    /// variants execute as shard teams under the given [`Sharding`]
+    /// policy, narrow ones pack variant-parallel as before. Labels are
+    /// unaffected — only placement changes.
+    pub fn sharding(mut self, policy: Sharding) -> RunRequest<'a> {
+        self.sharding = Some(policy);
+        self
+    }
+
     /// The request's trace level.
     pub fn trace_level(&self) -> TraceLevel {
         self.trace
+    }
+
+    /// The request's sharding policy, if opted in.
+    pub fn sharding_policy(&self) -> Option<Sharding> {
+        self.sharding
     }
 }
 
@@ -570,6 +657,7 @@ impl Engine {
             request.warm,
             request.progress.clone(),
             request.trace,
+            request.sharding,
         )?;
         report.index_build_time = build_time;
         Ok(report)
@@ -755,9 +843,26 @@ impl Engine {
         warm: &[WarmSource],
         progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
         trace: TraceLevel,
+        sharding: Option<Sharding>,
     ) -> Result<RunReport, JobPanic> {
         use crate::progress::ProgressEvent;
         let n_var = variants.len();
+
+        // Two-level placement: a wide sharded run trades outer
+        // variant-parallel workers for intra-variant shard teams so the
+        // levels multiply back to (at most) the configured thread budget.
+        // Narrow runs, single-shard policies, and non-opted runs keep
+        // today's one-level packing.
+        let shard_plan: Option<ShardPlan> = sharding.and_then(|policy| {
+            (policy.shards() > 1 && index.len() >= policy.min_points()).then(|| ShardPlan {
+                shards: policy.shards(),
+                team: policy.shards().min(self.config.threads),
+            })
+        });
+        let outer_threads = match shard_plan {
+            Some(plan) => (self.config.threads / plan.team).max(1),
+            None => self.config.threads,
+        };
 
         // The three-way shared state split (see module docs): a small
         // mutex for the schedule, lock-free once-cells for results, and a
@@ -783,7 +888,7 @@ impl Engine {
 
         let t0 = Instant::now();
         let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.config.threads)
+            let handles: Vec<_> = (0..outer_threads)
                 .map(|thread_id| {
                     let schedule = &schedule;
                     let results = &results[..];
@@ -805,6 +910,7 @@ impl Engine {
                             t0,
                             progress,
                             trace,
+                            shard_plan,
                         )
                     })
                 })
@@ -821,8 +927,10 @@ impl Engine {
         let mut worker_stats = Vec::with_capacity(outputs.len());
         let mut phases = PhaseHistograms::new();
         let mut tracers = Vec::with_capacity(outputs.len());
+        let mut shard_totals = ShardTotals::default();
         for out in outputs {
             phases.merge(&out.phases);
+            shard_totals.merge(&out.sharding);
             worker_stats.push(out.stats);
             tracers.push(out.tracer);
         }
@@ -868,6 +976,7 @@ impl Engine {
             worker_stats,
             warm_seeds: warm.len(),
             phases,
+            sharding: shard_totals,
             trace: trace_snapshot,
         })
     }
@@ -892,6 +1001,7 @@ struct WorkerOutput {
     stats: WorkerStats,
     tracer: WorkerTracer,
     phases: PhaseHistograms,
+    sharding: ShardTotals,
 }
 
 /// One worker: pull → cluster → publish, until the schedule drains.
@@ -917,10 +1027,12 @@ fn worker_loop(
     t0: Instant,
     progress: Option<mpsc::Sender<crate::progress::ProgressEvent>>,
     trace: TraceLevel,
+    shard_plan: Option<ShardPlan>,
 ) -> WorkerOutput {
     let mut scratch = DbscanScratch::new();
     let mut stats = WorkerStats::new(thread_id);
     let mut phases = PhaseHistograms::new();
+    let mut shard_totals = ShardTotals::default();
     let mut tracer = WorkerTracer::new(u16::try_from(thread_id).unwrap_or(u16::MAX - 1), trace, t0);
     let worker_start = Instant::now();
     loop {
@@ -1004,16 +1116,37 @@ fn worker_loop(
                                 stats,
                             },
                             from_warm,
+                            None,
                         )
                     }
                     _ => {
-                        let (result, stats) = dbscan_with_scratch(t_low, variant.params(), scratch);
-                        (result, ExecutionPath::FromScratch(stats), false)
+                        if let Some(plan) = shard_plan {
+                            // Second placement level: split this wide
+                            // variant into ε-halo'd shards and cluster
+                            // them with the worker's team. A capacity
+                            // overflow (> u32::MAX − 1 points) panics
+                            // here and is contained as a JobPanic like
+                            // any other job failure.
+                            let (result, shard_stats) =
+                                sharded_dbscan(t_low, variant.params(), plan.shards, plan.team)
+                                    .unwrap_or_else(|e| panic!("sharded clustering: {e}"));
+                            let stats = shard_stats.dbscan;
+                            (
+                                result,
+                                ExecutionPath::FromScratch(stats),
+                                false,
+                                Some(shard_stats),
+                            )
+                        } else {
+                            let (result, stats) =
+                                dbscan_with_scratch(t_low, variant.params(), scratch);
+                            (result, ExecutionPath::FromScratch(stats), false, None)
+                        }
                     }
                 }
             }))
         };
-        let (result, path, from_warm) = match clustered {
+        let (result, path, from_warm, shard_stats) = match clustered {
             Ok(done) => done,
             Err(payload) => {
                 // Containment: record the first panic, poison the schedule
@@ -1037,6 +1170,26 @@ fn worker_loop(
         match &path {
             ExecutionPath::FromScratch(_) => phases.scratch.record(busy),
             ExecutionPath::Reused { .. } => phases.reuse.record(busy),
+        }
+        if let Some(ss) = &shard_stats {
+            // Shard-phase observability: per-shard local latencies and
+            // the merge latency feed their own histograms, the census
+            // feeds the run's ShardTotals, and (at TraceLevel::Full) a
+            // ShardMerge detail event lands in the trace ring.
+            for &ns in &ss.local_ns {
+                phases.shard_local.record_ns(ns);
+            }
+            phases.shard_merge.record_ns(ss.merge_ns);
+            shard_totals.variants += 1;
+            shard_totals.shards += ss.shards as u64;
+            shard_totals.border_points += ss.border_points as u64;
+            shard_totals.cross_unions += ss.cross_unions;
+            tracer.record_full(TraceEvent::ShardMerge {
+                variant: variant_idx,
+                shards: ss.shards.min(u32::MAX as usize) as u32,
+                border_points: ss.border_points.min(u32::MAX as usize) as u32,
+                cross_unions: ss.cross_unions.min(u64::from(u32::MAX)) as u32,
+            });
         }
         tracer.record(TraceEvent::Finished {
             variant: variant_idx,
@@ -1090,6 +1243,7 @@ fn worker_loop(
         stats,
         tracer,
         phases,
+        sharding: shard_totals,
     }
 }
 
@@ -1168,6 +1322,69 @@ mod tests {
             assert_eq!(o.index, i);
             assert_eq!(report.results[i].num_clusters(), o.clusters);
         }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_and_reports_totals() {
+        let points = blobs(1500, 4, 99);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(4).with_r(16));
+        let plain = run(&engine, &points, &variants);
+        let sharded = engine
+            .execute(
+                &RunRequest::new(&points, &variants)
+                    .sharding(Sharding::new(4).with_min_points(0))
+                    .trace(TraceLevel::Full),
+            )
+            .expect("test input is valid");
+
+        // Sharding changes placement, never structure: cluster and noise
+        // counts are invariants of the geometry (only deterministic
+        // border membership may move between the sequential scratch
+        // kernel and the shard-merged one).
+        for (a, b) in plain.outcomes.iter().zip(&sharded.outcomes) {
+            assert_eq!(a.clusters, b.clusters, "{}", a.variant);
+            assert_eq!(a.noise, b.noise, "{}", a.variant);
+        }
+        for (a, b) in plain.results.iter().zip(&sharded.results) {
+            assert!(quality_score(a, b).mean_score > 0.99);
+        }
+
+        // Every from-scratch assignment went through the shard path and
+        // left its footprint in the totals, histograms, and trace.
+        let scratch = sharded.from_scratch_count() as u64;
+        assert!(scratch >= 1);
+        assert_eq!(sharded.sharding.variants, scratch);
+        assert!(sharded.sharding.shards >= scratch, "{:?}", sharded.sharding);
+        assert_eq!(sharded.phases.shard_merge.count(), scratch);
+        assert!(sharded.phases.shard_local.count() >= scratch);
+        let trace = sharded.trace.as_ref().expect("trace requested");
+        let merges = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ShardMerge { .. }))
+            .count() as u64;
+        assert_eq!(merges, scratch);
+
+        // Unsharded runs carry zero shard accounting.
+        assert_eq!(plain.sharding, crate::metrics::ShardTotals::default());
+        assert_eq!(plain.phases.shard_local.count(), 0);
+        assert_eq!(plain.phases.shard_merge.count(), 0);
+    }
+
+    #[test]
+    fn narrow_runs_ignore_the_sharding_policy() {
+        let points = blobs(400, 3, 17);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        // 400 points sits far below the default width gate.
+        let report = engine
+            .execute(&RunRequest::new(&points, &variants).sharding(Sharding::new(4)))
+            .expect("test input is valid");
+        assert_eq!(report.sharding, crate::metrics::ShardTotals::default());
+        assert_eq!(report.phases.shard_local.count(), 0);
+        // The packed path keeps the full worker complement.
+        assert_eq!(report.worker_stats.len(), 2);
     }
 
     #[test]

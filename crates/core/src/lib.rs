@@ -58,12 +58,12 @@ pub mod variant;
 pub use deptree::DependencyTree;
 pub use engine::{
     Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, RunRequest, RunSource,
-    WarmSource,
+    Sharding, WarmSource,
 };
 pub use expand::{cluster_with_reuse, ReuseStats};
 pub use metrics::{
-    tune_report_to_json, ExecutionPath, JsonArray, JsonObject, RunReport, VariantOutcome,
-    WorkerStats,
+    tune_report_to_json, ExecutionPath, JsonArray, JsonObject, RunReport, ShardTotals,
+    VariantOutcome, WorkerStats,
 };
 pub use progress::ProgressEvent;
 pub use scheduler::{Assignment, ReferenceScheduleState, ScheduleSource, ScheduleState, Scheduler};

@@ -130,6 +130,41 @@ impl WorkerStats {
     }
 }
 
+/// Aggregate counters for the intra-variant sharded executions of one
+/// run (all zero when no variant took the sharded path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTotals {
+    /// Variants executed through the sharded path.
+    pub variants: u64,
+    /// Shard tasks executed across those variants.
+    pub shards: u64,
+    /// Points found with at least one ε-neighbor in another shard.
+    pub border_points: u64,
+    /// Cross-shard core-core unions applied in merge phases.
+    pub cross_unions: u64,
+}
+
+impl ShardTotals {
+    /// Adds another total in (associative, like the phase histograms the
+    /// workers fold alongside it).
+    pub fn merge(&mut self, other: &ShardTotals) {
+        self.variants += other.variants;
+        self.shards += other.shards;
+        self.border_points += other.border_points;
+        self.cross_unions += other.cross_unions;
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .uint("variants", self.variants)
+            .uint("shards", self.shards)
+            .uint("border_points", self.border_points)
+            .uint("cross_unions", self.cross_unions)
+            .finish()
+    }
+}
+
 /// The complete record of an engine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -164,9 +199,14 @@ pub struct RunReport {
     /// [`Engine::run_prepared_warm`](crate::Engine)).
     pub warm_seeds: usize,
     /// Per-phase latency histograms (scratch/reuse busy time, lock wait,
-    /// schedule decisions), merged across workers. Always recorded — the
-    /// per-sample cost is one `leading_zeros` and two adds.
+    /// schedule decisions, shard local/merge), merged across workers.
+    /// Always recorded — the per-sample cost is one `leading_zeros` and
+    /// two adds.
     pub phases: PhaseHistograms,
+    /// Aggregate counters of the run's intra-variant sharded executions
+    /// (all zero unless the request opted in via
+    /// [`RunRequest::sharding`](crate::RunRequest::sharding)).
+    pub sharding: ShardTotals,
     /// The run's merged trace, when the request asked for a
     /// [`TraceLevel`](crate::trace::TraceLevel) above `Off`.
     pub trace: Option<TraceSnapshot>,
@@ -334,6 +374,7 @@ impl RunReport {
             .float("lock_wait_share", self.lock_wait_share())
             .raw("tune", &tune)
             .raw("phases", &self.phases.to_json())
+            .raw("sharding", &self.sharding.to_json())
             .raw("outcomes", &outcomes.finish())
             .raw("worker_stats", &workers.finish());
         match &self.trace {
@@ -620,6 +661,7 @@ mod tests {
             worker_stats: Vec::new(),
             warm_seeds: 0,
             phases: PhaseHistograms::new(),
+            sharding: ShardTotals::default(),
             trace: None,
         }
     }

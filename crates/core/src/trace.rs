@@ -169,6 +169,19 @@ pub enum TraceEvent {
         /// Noise points.
         noise: u32,
     },
+    /// A from-scratch job ran the intra-variant sharded path: its points
+    /// were partitioned into ε-halo'd shards, clustered concurrently, and
+    /// merged through the cross-shard union phase.
+    ShardMerge {
+        /// Variant index.
+        variant: u32,
+        /// Shards the variant's points were partitioned into.
+        shards: u32,
+        /// Points with at least one ε-neighbor in another shard.
+        border_points: u32,
+        /// Cross-shard core-core unions applied in the merge phase.
+        cross_unions: u32,
+    },
     /// A clustering job panicked and was contained in its worker.
     PanicContained {
         /// Variant index of the offending job.
@@ -196,6 +209,7 @@ impl TraceEvent {
             TraceEvent::FrontierBatch { .. } => "frontier-batch",
             TraceEvent::ExpandWave { .. } => "expand-wave",
             TraceEvent::Finished { .. } => "finished",
+            TraceEvent::ShardMerge { .. } => "shard-merge",
             TraceEvent::PanicContained { .. } => "panic-contained",
             TraceEvent::CacheHit => "cache-hit",
             TraceEvent::CacheEvicted { .. } => "cache-evicted",
@@ -249,6 +263,16 @@ impl TraceRecord {
                 .uint("variant", variant as u64)
                 .uint("clusters", clusters as u64)
                 .uint("noise", noise as u64),
+            TraceEvent::ShardMerge {
+                variant,
+                shards,
+                border_points,
+                cross_unions,
+            } => obj
+                .uint("variant", variant as u64)
+                .uint("shards", shards as u64)
+                .uint("border_points", border_points as u64)
+                .uint("cross_unions", cross_unions as u64),
             TraceEvent::PanicContained { variant } => obj.uint("variant", variant as u64),
             TraceEvent::CacheEvicted { entries } => obj.uint("entries", entries as u64),
             TraceEvent::CacheHit | TraceEvent::ProtocolError => obj,
@@ -649,10 +673,16 @@ impl Histogram {
     }
 
     /// Records one sample of `ns` nanoseconds.
+    ///
+    /// Every counter add saturates: a histogram that has absorbed
+    /// `u64::MAX` samples (a long-lived daemon merging forever) pins at
+    /// the ceiling instead of overflow-panicking in debug builds —
+    /// consistent with `sum_ns`, which has always saturated.
     #[inline]
     pub fn record_ns(&mut self, ns: u64) {
-        self.counts[Self::bucket(ns)] += 1;
-        self.count += 1;
+        let b = Self::bucket(ns);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum_ns = self.sum_ns.saturating_add(ns);
     }
 
@@ -662,12 +692,13 @@ impl Histogram {
         self.record_ns(saturating_ns(d));
     }
 
-    /// Adds every sample of `other` into `self`.
+    /// Adds every sample of `other` into `self`. Saturating, like
+    /// [`Histogram::record_ns`].
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
     }
 
@@ -716,7 +747,7 @@ impl Histogram {
         let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return Self::bucket_upper_ns(i);
             }
@@ -742,7 +773,7 @@ impl Histogram {
         let mut out = Vec::new();
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            cum += c;
+            cum = cum.saturating_add(c);
             if c > 0 || i == HISTOGRAM_BUCKETS - 1 {
                 out.push((Self::bucket_upper_ns(i), cum));
             }
@@ -783,6 +814,12 @@ pub struct PhaseHistograms {
     pub lock_wait: Histogram,
     /// In-lock schedule decision latency (same two sample points).
     pub sched: Histogram,
+    /// Per-shard local clustering latency (core flagging + intra-shard
+    /// unions), one sample per shard task of a sharded execution. Empty
+    /// unless a run requested intra-variant sharding.
+    pub shard_local: Histogram,
+    /// Cross-shard merge latency, one sample per sharded variant.
+    pub shard_merge: Histogram,
 }
 
 impl PhaseHistograms {
@@ -798,15 +835,19 @@ impl PhaseHistograms {
         self.reuse.merge(&other.reuse);
         self.lock_wait.merge(&other.lock_wait);
         self.sched.merge(&other.sched);
+        self.shard_local.merge(&other.shard_local);
+        self.shard_merge.merge(&other.shard_merge);
     }
 
     /// The phases as `(name, histogram)` pairs, in stable order.
-    pub fn phases(&self) -> [(&'static str, &Histogram); 4] {
+    pub fn phases(&self) -> [(&'static str, &Histogram); 6] {
         [
             ("scratch", &self.scratch),
             ("reuse", &self.reuse),
             ("lock_wait", &self.lock_wait),
             ("sched", &self.sched),
+            ("shard_local", &self.shard_local),
+            ("shard_merge", &self.shard_merge),
         ]
     }
 
@@ -840,6 +881,14 @@ pub struct MetricsSnapshot {
     /// Cold-path events recorded (cache hits/evictions, protocol
     /// errors), including any the shared ring has since dropped.
     pub events_recorded: u64,
+    /// Jobs executed through the intra-variant sharded path.
+    pub sharded_variants: u64,
+    /// Shard tasks executed across those jobs.
+    pub shard_tasks: u64,
+    /// Points found with at least one ε-neighbor in another shard.
+    pub shard_border_points: u64,
+    /// Cross-shard core-core unions applied in merge phases.
+    pub shard_cross_unions: u64,
     /// Merged per-phase latency histograms across observed runs.
     pub phases: PhaseHistograms,
 }
@@ -902,6 +951,10 @@ impl Metrics {
             .iter()
             .filter(|o| o.reused_from().is_some() && !o.warm)
             .count() as u64;
+        snap.sharded_variants += report.sharding.variants;
+        snap.shard_tasks += report.sharding.shards;
+        snap.shard_border_points += report.sharding.border_points;
+        snap.shard_cross_unions += report.sharding.cross_unions;
         snap.phases.merge(&report.phases);
     }
 
@@ -1114,6 +1167,32 @@ mod tests {
             u64::MAX,
             "tail bucket"
         );
+    }
+
+    #[test]
+    fn histogram_counters_saturate_at_u64_max_neighborhood() {
+        // Merge-doubling reaches the u64 ceiling in ~64 rounds; every
+        // counter (bucket, count, sum) must pin there instead of
+        // overflow-panicking in debug builds.
+        let mut h = Histogram::new();
+        h.record_ns(100); // bucket upper bound 128
+        for _ in 0..70 {
+            let copy = h.clone();
+            h.merge(&copy);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum_ns(), u64::MAX);
+        assert_eq!(h.nonzero_buckets(), vec![(128, u64::MAX)]);
+        // Further traffic at the ceiling stays saturated.
+        h.record_ns(100);
+        h.record_ns(u64::MAX);
+        let copy = h.clone();
+        h.merge(&copy);
+        assert_eq!(h.count(), u64::MAX);
+        // Derived views survive a saturated histogram too.
+        assert_eq!(h.quantile_upper_ns(0.5), 128);
+        assert_eq!(h.cumulative_buckets().last().unwrap().1, u64::MAX);
+        assert_eq!(h.mean_ns(), 1.0);
     }
 
     #[test]

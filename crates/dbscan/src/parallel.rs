@@ -41,11 +41,54 @@ use crate::unionfind::ConcurrentDisjointSets;
 /// Sentinel for "no border claim yet".
 const UNCLAIMED: u32 = u32::MAX;
 
+/// Maximum dataset size the claim/point-id machinery supports.
+///
+/// Point ids and border claims are `u32`, and `u32::MAX` is reserved as
+/// the [`UNCLAIMED`] sentinel — a dataset of `u32::MAX` points would give
+/// its last point an id that aliases the sentinel (and the sequential
+/// label machinery additionally reserves `u32::MAX - 1` for
+/// "unclassified"). Both `parallel_dbscan` and the sharded path refuse
+/// larger inputs; see [`check_point_id_capacity`].
+pub const MAX_POINTS: usize = (u32::MAX - 1) as usize;
+
+/// Verifies `n` points fit the `u32` point-id space without aliasing the
+/// claim sentinel. Returns the offending size on failure so callers can
+/// surface a typed error.
+pub fn check_point_id_capacity(n: usize) -> Result<(), CapacityError> {
+    if n > MAX_POINTS {
+        Err(CapacityError { points: n })
+    } else {
+        Ok(())
+    }
+}
+
+/// A dataset too large for the `u32` point-id/claim machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The rejected dataset size.
+    pub points: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dataset of {} points exceeds the {} supported by u32 point ids \
+             (u32::MAX is the unclaimed-border sentinel)",
+            self.points, MAX_POINTS
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// Runs disjoint-set parallel DBSCAN with `threads` worker threads.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads == 0`, or if the dataset exceeds [`MAX_POINTS`]
+/// (point ids must stay below the `u32::MAX` claim sentinel; the sharded
+/// path returns the same bound as a typed [`CapacityError`] instead).
 #[allow(clippy::needless_range_loop)] // core/claim/points are parallel arrays indexed together
 pub fn parallel_dbscan<I: SpatialIndex + ?Sized>(
     index: &I,
@@ -54,6 +97,9 @@ pub fn parallel_dbscan<I: SpatialIndex + ?Sized>(
 ) -> ClusterResult {
     assert!(threads >= 1, "need at least one thread");
     let n = index.len();
+    if let Err(e) = check_point_id_capacity(n) {
+        panic!("parallel_dbscan: {e}");
+    }
     if n == 0 {
         return ClusterResult::empty();
     }
@@ -275,5 +321,23 @@ mod tests {
     fn zero_threads_rejected() {
         let idx = BruteForce::new(shared_points([]));
         parallel_dbscan(&idx, DbscanParams::new(1.0, 3), 0);
+    }
+
+    #[test]
+    fn point_id_capacity_bound_is_pinned() {
+        // The bound itself: ids must stay strictly below the u32::MAX
+        // claim sentinel, so u32::MAX - 1 points (ids 0..=u32::MAX - 2)
+        // is the largest legal dataset. (Allocating 4 G points to hit the
+        // panic for real is not practical; the check function carries the
+        // contract and `parallel_dbscan` routes through it.)
+        assert_eq!(MAX_POINTS, u32::MAX as usize - 1);
+        assert_eq!(check_point_id_capacity(0), Ok(()));
+        assert_eq!(check_point_id_capacity(MAX_POINTS), Ok(()));
+        let err = check_point_id_capacity(MAX_POINTS + 1).unwrap_err();
+        assert_eq!(err.points, u32::MAX as usize);
+        let msg = err.to_string();
+        assert!(msg.contains("u32"), "{msg}");
+        assert!(msg.contains("sentinel"), "{msg}");
+        assert!(check_point_id_capacity(usize::MAX).is_err());
     }
 }

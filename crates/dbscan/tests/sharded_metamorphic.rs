@@ -1,0 +1,320 @@
+//! Shard-merge metamorphic suite.
+//!
+//! The metamorphic relation under test: for every adversarial point-set
+//! family, shard-merged DBSCAN labels must be **bit-identical to the
+//! unsharded disjoint-set kernel** for every shard count × thread count
+//! combination (the shard/merge split and the interleaving must be
+//! invisible), and **label-isomorphic to sequential DBSCAN**:
+//!
+//! 1. the noise sets are identical (noise status is order-independent);
+//! 2. the cluster counts are identical;
+//! 3. the map `sequential cluster → sharded cluster` restricted to
+//!    *core* points (whose assignment is order-independent, unlike
+//!    border points) is a well-defined bijection — core status is
+//!    established by brute-force neighbor counting, independent of every
+//!    index backend.
+//!
+//! The families mirror the ε-neighborhood conformance suite (random,
+//! duplicate-heavy, collinear, dense blob) and keep its exact-boundary ε
+//! values — including spacings that put points at distance *exactly* ε
+//! across shard-halo boundaries, where an open-predicate or off-by-one
+//! halo bug silently splits clusters.
+//!
+//! Budget: case count scales under `VBP_CONFORMANCE_FULL=1` (the
+//! `CHECK_FULL=1` path of `scripts/check.sh`).
+
+use std::collections::{HashMap, HashSet};
+
+use vbp_dbscan::{dbscan, parallel_dbscan, sharded_dbscan, ClusterId, ClusterResult, DbscanParams};
+use vbp_geom::{Point2, PointId};
+use vbp_rtree::{PackedRTree, SpatialIndex};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Scales the family sizes: 1 by default, 2 under `VBP_CONFORMANCE_FULL=1`
+/// (quadratic brute-force oracles bound the full budget).
+fn budget() -> usize {
+    match std::env::var("VBP_CONFORMANCE_FULL") {
+        Ok(v) if v != "0" && !v.is_empty() => 2,
+        _ => 1,
+    }
+}
+
+/// Deterministic splitmix64 stream (same seed as the conformance suite).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A named point-set family plus the (ε, minpts) pairs worth probing.
+struct Family {
+    name: &'static str,
+    points: Vec<Point2>,
+    params: Vec<(f64, usize)>,
+}
+
+fn families() -> Vec<Family> {
+    let scale = budget();
+    let mut rng = Rng(0x5EED_CAFE);
+    let mut out = Vec::new();
+
+    // Random uniform cloud: generic geometry, clusters straddle every
+    // stripe boundary at the permissive ε.
+    let n = 400 * scale;
+    out.push(Family {
+        name: "random",
+        points: (0..n)
+            .map(|_| Point2::new(rng.unit() * 20.0, rng.unit() * 20.0))
+            .collect(),
+        params: vec![(0.3, 4), (0.9, 4), (5.0, 8)],
+    });
+
+    // Duplicate-heavy: 25 integer sites. ε = 1 and 2 hit inter-site
+    // distances exactly, so halo membership rides the closed predicate.
+    let n = 300 * scale;
+    out.push(Family {
+        name: "duplicates",
+        points: (0..n)
+            .map(|_| {
+                let site = rng.next_u64() % 25;
+                Point2::new((site % 5) as f64, (site / 5) as f64)
+            })
+            .collect(),
+        params: vec![(0.0, 4), (1.0, 4), (2.0, 8), (1.5, 12)],
+    });
+
+    // Collinear: evenly spaced 0.5 apart with every third duplicated.
+    // ε = 0.5 puts consecutive points at distance exactly ε, so every
+    // stripe boundary has an exact-ε edge straddling the halo; ε = 0.49
+    // must instead keep the chain apart everywhere.
+    let n = 250 * scale;
+    out.push(Family {
+        name: "collinear",
+        points: (0..n)
+            .flat_map(|i| {
+                let p = Point2::new(i as f64 * 0.5, 3.0);
+                if i % 3 == 0 {
+                    vec![p, p]
+                } else {
+                    vec![p]
+                }
+            })
+            .collect(),
+        params: vec![(0.5, 3), (1.0, 4), (0.49, 2)],
+    });
+
+    // Single dense blob: one ε-cell holds everything at the larger ε
+    // (stripe collapse), many microcells at the smaller.
+    let n = 300 * scale;
+    out.push(Family {
+        name: "dense-blob",
+        points: (0..n)
+            .map(|_| {
+                Point2::new(
+                    100.0 + (rng.unit() - 0.5) * 0.2,
+                    -40.0 + (rng.unit() - 0.5) * 0.2,
+                )
+            })
+            .collect(),
+        params: vec![(0.05, 4), (0.2, 4), (1.0, 4)],
+    });
+
+    out
+}
+
+/// Core points of `(eps, minpts)` by brute force — the oracle no index
+/// backend or partition can bias.
+fn brute_core_points(points: &[Point2], eps: f64, minpts: usize) -> Vec<PointId> {
+    let eps_sq = eps * eps;
+    (0..points.len())
+        .filter(|&i| {
+            points
+                .iter()
+                .filter(|q| points[i].dist_sq(q) <= eps_sq)
+                .count()
+                >= minpts
+        })
+        .map(|i| i as PointId)
+        .collect()
+}
+
+/// The three-part label-isomorphism relation between the sequential
+/// clustering and a shard-merged clustering of the same parameters.
+fn check_isomorphic(
+    direct: &ClusterResult,
+    sharded: &ClusterResult,
+    n: usize,
+    cores: &[PointId],
+    ctx: &str,
+) {
+    for p in 0..n as PointId {
+        assert_eq!(
+            direct.labels().is_noise(p),
+            sharded.labels().is_noise(p),
+            "{ctx}: noise status of point {p} differs"
+        );
+    }
+    assert_eq!(
+        direct.num_clusters(),
+        sharded.num_clusters(),
+        "{ctx}: cluster counts differ"
+    );
+    let mut forward: HashMap<ClusterId, ClusterId> = HashMap::new();
+    let mut images: HashSet<ClusterId> = HashSet::new();
+    for &p in cores {
+        let a = direct
+            .labels()
+            .cluster(p)
+            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered sequentially"));
+        let b = sharded
+            .labels()
+            .cluster(p)
+            .unwrap_or_else(|| panic!("{ctx}: core point {p} unclustered sharded"));
+        match forward.get(&a) {
+            Some(&mapped) => assert_eq!(
+                mapped, b,
+                "{ctx}: sequential cluster {a} split across sharded clusters at core {p}"
+            ),
+            None => {
+                assert!(
+                    images.insert(b),
+                    "{ctx}: sharded cluster {b} absorbed two sequential clusters"
+                );
+                forward.insert(a, b);
+            }
+        }
+    }
+}
+
+/// The main grid: every family × (ε, minpts) × shard count × thread
+/// count. Bit-equality against the unsharded kernel, isomorphism against
+/// sequential DBSCAN.
+#[test]
+fn shard_merged_labels_match_single_shard_on_every_family() {
+    for family in families() {
+        let (tree, _) = PackedRTree::build(&family.points, 16);
+        let points = tree.points().to_vec();
+        for &(eps, minpts) in &family.params {
+            let params = DbscanParams::new(eps, minpts);
+            let unsharded = parallel_dbscan(&tree, params, 1);
+            let (single, _) = sharded_dbscan(&tree, params, 1, 1).expect("within capacity");
+            assert_eq!(
+                single, unsharded,
+                "{}: ε={eps} minpts={minpts}: single-shard run diverged from the kernel",
+                family.name
+            );
+            let sequential = dbscan(&tree, params);
+            let cores = brute_core_points(&points, eps, minpts);
+            for shards in SHARD_COUNTS {
+                for threads in THREAD_COUNTS {
+                    let ctx = format!(
+                        "{}: ε={eps} minpts={minpts} shards={shards} threads={threads}",
+                        family.name
+                    );
+                    let (result, stats) =
+                        sharded_dbscan(&tree, params, shards, threads).expect("within capacity");
+                    assert_eq!(
+                        result, single,
+                        "{ctx}: shard-merged labels are not shard-count invariant"
+                    );
+                    assert_eq!(
+                        stats.points_per_shard.iter().sum::<usize>(),
+                        points.len(),
+                        "{ctx}: partition lost points"
+                    );
+                    check_isomorphic(&sequential, &result, points.len(), &cores, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Exact-ε halo bridge: two dense blobs joined by a chain of points
+/// spaced *exactly* ε apart that crosses every stripe boundary. Dropping
+/// any cross-shard edge — or treating the closed ε predicate as open in
+/// the halo — splits the single true cluster.
+#[test]
+fn exact_epsilon_bridge_across_shard_halos_stays_one_cluster() {
+    let eps = 0.5;
+    let mut points = Vec::new();
+    for i in 0..40 {
+        // Two 5×8 lattice blobs at x ∈ [0, 2] and x ∈ [20, 22], spaced
+        // exactly ε so the blob edge (2, 0) reaches the chain start.
+        let (bx, by) = ((i % 5) as f64 * eps, (i / 5) as f64 * eps);
+        points.push(Point2::new(bx, by));
+        points.push(Point2::new(bx + 20.0, by));
+    }
+    // Chain from (2, 0) to (20, 0) at exact-ε spacing.
+    let mut x = 2.0 + eps;
+    while x < 20.0 {
+        points.push(Point2::new(x, 0.0));
+        x += eps;
+    }
+    points.push(Point2::new(20.0, 0.0));
+
+    let (tree, _) = PackedRTree::build(&points, 8);
+    let params = DbscanParams::new(eps, 2);
+    let reference = parallel_dbscan(&tree, params, 1);
+    assert_eq!(
+        reference.num_clusters(),
+        1,
+        "construction must be one connected cluster"
+    );
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let (result, stats) = sharded_dbscan(&tree, params, shards, threads).unwrap();
+            assert_eq!(result, reference, "shards={shards} threads={threads}");
+            if stats.shards > 1 {
+                assert!(
+                    stats.cross_unions > 0,
+                    "shards={shards}: the bridge must cross a stripe boundary ({stats:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Border points adjacent to cores in two different shards must resolve
+/// by the same deterministic lowest-core-id claim as the unsharded
+/// kernel — whichever shard's task runs first.
+#[test]
+fn cross_shard_border_claims_are_deterministic() {
+    // A non-core point at the midpoint of two cores ~2ε apart, repeated
+    // along y so the stripe partition separates the cores at some shard
+    // count. minpts = 3 makes the column points cores and the midpoints
+    // borders.
+    let eps = 1.0;
+    let mut points = Vec::new();
+    for i in 0..30 {
+        let y = i as f64 * 0.4;
+        points.push(Point2::new(0.0, y)); // left column (cores)
+        points.push(Point2::new(1.9, y)); // right column (cores)
+        points.push(Point2::new(0.95, y)); // midpoint (border to both)
+    }
+    let (tree, _) = PackedRTree::build(&points, 8);
+    let params = DbscanParams::new(eps, 6);
+    let reference = parallel_dbscan(&tree, params, 1);
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            for run in 0..3 {
+                let (result, _) = sharded_dbscan(&tree, params, shards, threads).unwrap();
+                assert_eq!(
+                    result, reference,
+                    "shards={shards} threads={threads} run={run}"
+                );
+            }
+        }
+    }
+}

@@ -169,7 +169,16 @@ impl DominanceCache {
             self.misses += 1;
             return None;
         }
-        let eps_range = (eps_hi - eps_lo).max(f64::MIN_POSITIVE);
+        // Zero-width guard: when every candidate (and `v` itself) shares
+        // one ε — or one minpts — that component's spread is 0 and the
+        // normalized distance would divide by it. Substituting a neutral
+        // divisor of 1.0 makes the degenerate component contribute
+        // exactly 0 for every candidate (all numerators are 0 too),
+        // instead of routing 0/0-shaped inputs through subnormal
+        // divisors. Distances stay finite for every entry — pinned by
+        // the `cache_props` zero-width property test.
+        let eps_width = eps_hi - eps_lo;
+        let eps_range = if eps_width > 0.0 { eps_width } else { 1.0 };
         let minpts_range = (mp_hi - mp_lo).max(1) as f64;
 
         let mut best: Option<(f64, usize)> = None;
@@ -178,6 +187,7 @@ impl DominanceCache {
                 continue;
             }
             let d = v.param_distance(&e.variant, eps_range, minpts_range);
+            debug_assert!(d.is_finite(), "non-finite candidate distance {d}");
             let better = match best {
                 None => true,
                 Some((bd, bi)) => {

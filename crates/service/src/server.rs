@@ -56,8 +56,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use variantdbscan::{
-    Engine, EngineError, JsonObject, Metrics, RunRequest, TraceEvent, Variant, VariantSet,
-    WarmSource,
+    Engine, EngineError, JsonObject, Metrics, RunRequest, Sharding, TraceEvent, Variant,
+    VariantSet, WarmSource,
 };
 
 use crate::cache::DominanceCache;
@@ -89,6 +89,12 @@ pub struct ServiceConfig {
     /// Socket write timeout, so a client that stops draining its
     /// receive buffer cannot wedge a handler mid-reply forever.
     pub write_timeout: Duration,
+    /// Intra-variant shards for wide datasets; `0` or `1` keeps the
+    /// engine's default variant-parallel placement. When `> 1`, every
+    /// engine run opts in via [`RunRequest::sharding`] with this shard
+    /// count and the default width gate, and the shard counters show up
+    /// non-zero in `METRICS`.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +108,7 @@ impl Default for ServiceConfig {
             max_line_bytes: 8192,
             job_timeout: Duration::from_secs(600),
             write_timeout: Duration::from_secs(30),
+            shards: 0,
         }
     }
 }
@@ -181,6 +188,7 @@ struct Shared {
     max_line_bytes: usize,
     job_timeout: Duration,
     write_timeout: Duration,
+    sharding: Option<Sharding>,
     draining: AtomicBool,
     stats: Mutex<ServiceStats>,
     metrics: Metrics,
@@ -336,6 +344,18 @@ impl Shared {
             m.panics_contained,
         );
         u(&mut out, "vbp_events_recorded_total", m.events_recorded);
+        u(&mut out, "vbp_shard_variants_total", m.sharded_variants);
+        u(&mut out, "vbp_shard_tasks_total", m.shard_tasks);
+        u(
+            &mut out,
+            "vbp_shard_border_points_total",
+            m.shard_border_points,
+        );
+        u(
+            &mut out,
+            "vbp_shard_cross_unions_total",
+            m.shard_cross_unions,
+        );
         for (phase, hist) in m.phases.phases() {
             for (le, cum) in hist.cumulative_buckets() {
                 if le == u64::MAX {
@@ -402,6 +422,7 @@ impl Server {
             max_line_bytes: config.max_line_bytes,
             job_timeout: config.job_timeout,
             write_timeout: config.write_timeout,
+            sharding: (config.shards > 1).then(|| Sharding::new(config.shards)),
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
             metrics: Metrics::new(),
@@ -643,7 +664,10 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 
     let t0 = Instant::now();
-    let request = RunRequest::prepared(&entry.index, &variants).warm(&warm);
+    let mut request = RunRequest::prepared(&entry.index, &variants).warm(&warm);
+    if let Some(policy) = shared.sharding {
+        request = request.sharding(policy);
+    }
     let report = match shared.engine.execute(&request) {
         Ok(report) => report,
         Err(EngineError::JobPanic(panic)) => {
@@ -949,6 +973,7 @@ mod tests {
             max_line_bytes: 256,
             job_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            sharding: None,
             draining: AtomicBool::new(false),
             stats: Mutex::new(ServiceStats::default()),
             metrics: Metrics::new(),
@@ -1077,7 +1102,14 @@ mod tests {
         assert_eq!(sub, done + failed + inflight, "admission invariant");
         // Per-phase histogram framing: each phase carries a +Inf bucket
         // whose cumulative count equals its _count line.
-        for phase in ["scratch", "reuse", "lock_wait", "sched"] {
+        for phase in [
+            "scratch",
+            "reuse",
+            "lock_wait",
+            "sched",
+            "shard_local",
+            "shard_merge",
+        ] {
             let inf = metric(
                 &text,
                 &format!("vbp_phase_latency_ns_bucket{{phase=\"{phase}\",le=\"+Inf\"}}"),
@@ -1087,6 +1119,15 @@ mod tests {
                 &format!("vbp_phase_latency_ns_count{{phase=\"{phase}\"}}"),
             );
             assert_eq!(inf, count, "{phase} +Inf bucket must equal the count");
+        }
+        // Shard counters are always exposed (zero while nothing shards).
+        for name in [
+            "vbp_shard_variants_total",
+            "vbp_shard_tasks_total",
+            "vbp_shard_border_points_total",
+            "vbp_shard_cross_unions_total",
+        ] {
+            assert_eq!(metric(&text, name), 0, "{name} without sharded runs");
         }
         // Every line is `name value` with a vbp_ namespace.
         for line in text.lines() {

@@ -137,4 +137,84 @@ proptest! {
             }
         }
     }
+
+    /// Zero-width candidate neighborhoods — every candidate sharing the
+    /// probe's ε, or every candidate sharing one minpts — must produce a
+    /// deterministic nearest pick that does not depend on insertion
+    /// order (the regression behind the explicit zero-width range guard
+    /// in `DominanceCache::lookup`).
+    #[test]
+    fn zero_width_ranges_pick_deterministically(
+        minpts_raw in proptest::collection::vec(2usize..40, 2..7),
+        eps_raw in proptest::collection::vec(1u32..60, 2..7),
+        seed in any::<u64>(),
+    ) {
+        let _wd = Watchdog::arm("cache-props-zero-width", Duration::from_secs(120));
+        let mut minpts_set = minpts_raw;
+        minpts_set.sort_unstable();
+        minpts_set.dedup();
+        let mut eps_steps = eps_raw;
+        eps_steps.sort_unstable();
+        eps_steps.dedup();
+
+        // Case A: shared ε (ε spread is exactly 0 across probe and every
+        // candidate). The minpts axis alone decides: the smallest
+        // dominated minpts is strictly nearest to a probe below the set.
+        let mut order = minpts_set.clone();
+        shuffle(&mut order, seed);
+        let mut cache = DominanceCache::new(usize::MAX);
+        for &m in &order {
+            cache.insert("d", Variant::new(1.0, m), result_of(16));
+        }
+        let probe = Variant::new(1.0, 1);
+        let hit = cache.lookup("d", probe).expect("all candidates dominated");
+        prop_assert_eq!(hit.variant, Variant::new(1.0, minpts_set[0]));
+
+        // Case B: shared minpts (minpts spread 0). The ε axis decides:
+        // the largest dominated ε is nearest to a probe above the set.
+        let mut eps_order = eps_steps.clone();
+        shuffle(&mut eps_order, seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut cache = DominanceCache::new(usize::MAX);
+        for &e in &eps_order {
+            cache.insert("d", Variant::new(f64::from(e) * 0.05, 4), result_of(16));
+        }
+        let top = f64::from(*eps_steps.last().unwrap()) * 0.05;
+        let probe = Variant::new(top + 0.01, 4);
+        let hit = cache.lookup("d", probe).expect("all candidates dominated");
+        prop_assert_eq!(hit.variant, Variant::new(top, 4));
+    }
+}
+
+/// Deterministic Fisher–Yates driven by splitmix64 — enough entropy to
+/// vary insertion order without pulling in an RNG dependency.
+fn shuffle<T>(v: &mut [T], mut state: u64) {
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        v.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Exact distance ties must fall to the pinned deterministic tie-break
+/// (ascending ε, then descending minpts) in every insertion order.
+#[test]
+fn exact_tie_breaks_by_eps_then_minpts_in_any_order() {
+    // probe (1.0, 10): (0.8, 10) is 0.2/0.2 = 1.0 away on ε alone;
+    // (1.0, 12) is 2/2 = 1.0 away on minpts alone. Ascending ε wins.
+    let probe = Variant::new(1.0, 10);
+    let a = Variant::new(0.8, 10);
+    let b = Variant::new(1.0, 12);
+    for pair in [[a, b], [b, a]] {
+        let mut cache = DominanceCache::new(usize::MAX);
+        for v in pair {
+            cache.insert("d", v, result_of(16));
+        }
+        let hit = cache.lookup("d", probe).expect("both are dominated");
+        assert_eq!(hit.variant, a, "tie must break toward ascending ε");
+    }
 }

@@ -15,6 +15,9 @@
 # consistent counters, label-isomorphic replies, and bounded drains
 # after every schedule. Every service stage is wrapped in a hard wall
 # clock so a wedged daemon fails the gate instead of hanging it. A
+# shard metamorphic stage pins shard-merged DBSCAN labels to the
+# single-shard output across shard x thread grids under its own hard
+# timeout. A
 # trace-overhead stage (skipped under --fast) replays the
 # engine_contention workload with tracing off/spans/full interleaved and
 # fails if the disabled-mode A/A delta exceeds max(1%, measured noise).
@@ -54,6 +57,9 @@ echo "==> service protocol properties + stats consistency"
 timeout 300 cargo test -q -p vbp-service --test protocol_props
 timeout 300 cargo test -q -p vbp-service --test stats_consistency
 
+echo "==> shard metamorphic suite (shard-merged labels vs single-shard)"
+timeout 300 cargo test -q -p vbp-dbscan --test sharded_metamorphic
+
 if [[ $fast -eq 0 ]]; then
   echo "==> trace overhead gate (engine_contention workload, off vs on)"
   timeout 600 cargo run --release -q -p vbp-bench --bin trace_overhead -- \
@@ -64,6 +70,7 @@ if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   echo "==> conformance (release, VBP_CONFORMANCE_FULL=1)"
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p vbp-rtree --test conformance
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p variantdbscan --test metamorphic_reuse
+  VBP_CONFORMANCE_FULL=1 timeout 600 cargo test -q --release -p vbp-dbscan --test sharded_metamorphic
   echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 schedules)"
   VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test chaos
 fi
