@@ -32,7 +32,7 @@ fn main() {
     let config = EngineConfig::default().with_threads(threads).with_r(70);
     let engine = Engine::new(config);
 
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     let mut names = Vec::new();
     for base in DATASETS {
         let name = if opts.full {

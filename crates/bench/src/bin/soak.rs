@@ -55,7 +55,7 @@ fn main() {
     let soak_secs = opts.trials.max(1) as u64;
     let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(70));
 
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     let mut grids: Vec<(String, Vec<(f64, usize)>)> = Vec::new();
     for base in DATASETS {
         let name = if opts.full {

@@ -422,7 +422,7 @@ fn build_registry(engine: &Engine, names: &[String]) -> Result<vbp_service::Regi
     if names.is_empty() {
         return Err("--datasets: at least one dataset is required".into());
     }
-    let mut registry = vbp_service::Registry::new();
+    let registry = vbp_service::Registry::new();
     for name in names {
         registry.load(engine, name)?;
     }
@@ -503,6 +503,90 @@ pub fn submit(args: &Args) -> Result<String, String> {
         let _ = writeln!(s, "labels: {}", rendered.join(","));
     }
     Ok(s)
+}
+
+/// Parses `--points "x,y;x,y;…"` into a point batch.
+fn parse_point_list(raw: &str) -> Result<Vec<Point2>, String> {
+    let mut points = Vec::new();
+    for pair in raw.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let (x, y) = pair
+            .split_once(',')
+            .ok_or_else(|| format!("--points: '{pair}' is not x,y"))?;
+        let x: f64 = x
+            .trim()
+            .parse()
+            .map_err(|_| format!("--points: bad x in '{pair}'"))?;
+        let y: f64 = y
+            .trim()
+            .parse()
+            .map_err(|_| format!("--points: bad y in '{pair}'"))?;
+        points.push(Point2::new(x, y));
+    }
+    if points.is_empty() {
+        return Err("--points: at least one x,y pair is required".into());
+    }
+    Ok(points)
+}
+
+/// `vbp append --dataset NAME --points "x,y;x,y;…" [--addr HOST:PORT]` —
+/// stream a batch of points into a daemon's registered dataset.
+pub fn append(args: &Args) -> Result<String, String> {
+    let dataset = args.require("dataset")?;
+    let points = parse_point_list(args.require("points")?)?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = vbp_service::Client::connect(addr).map_err(|e| e.to_string())?;
+    let reply = client.append(dataset, &points).map_err(|e| e.to_string())?;
+    client.quit();
+    Ok(format!(
+        "{dataset}: appended {} points → {} total in {:.2} ms (cache: {} repaired, {} dropped)\n",
+        reply.appended, reply.total, reply.ms, reply.repaired, reply.dropped
+    ))
+}
+
+/// `vbp watch --dataset NAME --eps E [--minpts M] [--count N]
+/// [--addr HOST:PORT]` — subscribe to cluster deltas and print one line
+/// per append batch; exits after N deltas (0 = until the daemon drains).
+pub fn watch(args: &Args) -> Result<String, String> {
+    let dataset = args.require("dataset")?;
+    let eps: f64 = args
+        .require("eps")?
+        .parse()
+        .map_err(|_| "--eps: not a number".to_string())?;
+    let minpts = args.num("minpts", 4usize)?;
+    let count = args.num("count", 0usize)?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = vbp_service::Client::connect(addr).map_err(|e| e.to_string())?;
+    let census = client
+        .watch(dataset, eps, minpts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "watching {dataset} at ε = {eps}, minpts = {minpts}: {} clusters, {} noise",
+        census.clusters, census.noise
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let mut seen = 0usize;
+    while count == 0 || seen < count {
+        match client.poll_delta(std::time::Duration::from_millis(500)) {
+            Ok(Some(delta)) => {
+                seen += 1;
+                println!(
+                    "+{} points → {} clusters ({} new, {} absorbed, {} promoted), {} noise",
+                    delta.appended,
+                    delta.clusters,
+                    delta.new,
+                    delta.absorbed,
+                    delta.promoted,
+                    delta.noise
+                );
+                let _ = std::io::stdout().flush();
+            }
+            Ok(None) => continue,
+            Err(vbp_service::ClientError::Protocol(m)) if m.contains("closed") => break,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(format!("{seen} deltas observed\n"))
 }
 
 /// `vbp bench-service [--datasets …]` — in-process cold-vs-warm
@@ -671,6 +755,12 @@ commands:
            [--shards S]                       (S > 1 shards wide variants)
   submit   --dataset NAME --eps E             send one variant to a daemon
            [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
+  append   --dataset NAME                     stream points into a daemon's
+           --points \"x,y;x,y;…\"              dataset: incremental index
+           [--addr HOST:PORT]                 maintenance + cache repair
+  watch    --dataset NAME --eps E             subscribe to cluster deltas
+           [--minpts M] [--count N]           (one line per append batch;
+           [--addr HOST:PORT]                 N = 0 follows until drain)
   metrics  [--addr HOST:PORT]                 fetch a daemon's Prometheus-style
                                               text exposition (METRICS verb)
   bench-service [--datasets …] [--out F]      in-process cold-vs-warm cache
@@ -702,6 +792,8 @@ mod tests {
             "batch-ms",
             "level",
             "shards",
+            "points",
+            "count",
         ],
         switches: &["render", "json", "labels"],
     };

@@ -27,6 +27,8 @@ const SPEC: Spec = Spec {
         "batch-ms",
         "level",
         "shards",
+        "points",
+        "count",
     ],
     switches: &["render", "json", "labels"],
 };
@@ -49,6 +51,8 @@ fn main() {
         "simulate" => commands::simulate_cmd(&args),
         "serve" => commands::serve(&args),
         "submit" => commands::submit(&args),
+        "append" => commands::append(&args),
+        "watch" => commands::watch(&args),
         "metrics" => commands::metrics_cmd(&args),
         "bench-service" => commands::bench_service(&args),
         other => Err(format!(

@@ -69,7 +69,8 @@ use std::time::{Duration, Instant};
 
 use vbp_dbscan::{dbscan_with_scratch, sharded_dbscan, ClusterResult, DbscanScratch};
 use vbp_geom::{BinOrder, Point2, PointId};
-use vbp_rtree::{tune_r_sampled, PackedRTree, TuneReport};
+use vbp_rtree::traits::shared_points;
+use vbp_rtree::{tune_r_sampled, DynamicRTree, PackedRTree, SpatialIndex, TuneReport};
 
 use crate::expand::cluster_with_reuse_traced;
 use crate::metrics::{ExecutionPath, RunReport, ShardTotals, VariantOutcome, WorkerStats};
@@ -316,6 +317,12 @@ pub struct PreparedIndex {
     chosen_r: usize,
     tune: Option<TuneReport>,
     build_time: Duration,
+    /// Caller-order insertion-capable mirror, materialized on the first
+    /// [`Engine::append_to_prepared`] and maintained incrementally after.
+    dynamic: Option<DynamicRTree>,
+    /// Points appended (at the tree tail, outside bin order) since the
+    /// last full bin sort — the maintain-vs-resort policy input.
+    appended_since_sort: usize,
 }
 
 impl PreparedIndex {
@@ -360,9 +367,36 @@ impl PreparedIndex {
         self.tune.as_ref()
     }
 
-    /// Wall time spent bin-sorting, tuning, and building both trees.
+    /// Wall time spent bin-sorting, tuning, and building both trees,
+    /// plus any streaming maintenance applied since.
     pub fn build_time(&self) -> Duration {
         self.build_time
+    }
+
+    /// The caller-order [`DynamicRTree`] mirror, present once the handle
+    /// has been through at least one [`Engine::append_to_prepared`].
+    /// Point ids in this tree ARE caller ids, so `id < old_len` tells an
+    /// original point from an appended one — the affected-ε-region test
+    /// the service's cache repair runs.
+    pub fn dynamic(&self) -> Option<&DynamicRTree> {
+        self.dynamic.as_ref()
+    }
+
+    /// Points appended at the tree tail since the last full bin sort.
+    /// Zero for a freshly prepared (or freshly re-sorted) handle.
+    pub fn appended_since_sort(&self) -> usize {
+        self.appended_since_sort
+    }
+
+    /// The accumulated database in the caller's original point order
+    /// (inverts [`PreparedIndex::permutation`]).
+    pub fn caller_points(&self) -> Vec<Point2> {
+        let tree_points = self.t_low.shared_points();
+        let mut caller = vec![Point2::new(0.0, 0.0); self.permutation.len()];
+        for (tree_idx, &orig) in self.permutation.iter().enumerate() {
+            caller[orig as usize] = tree_points[tree_idx];
+        }
+        caller
     }
 
     /// Maps a tree-order clustering of this index back to the caller's
@@ -379,6 +413,27 @@ impl PreparedIndex {
         }
         remapped
     }
+}
+
+/// Unsorted-tail fraction above which [`Engine::append_to_prepared`]
+/// re-sorts the whole handle instead of maintaining the packed arrays in
+/// place. Appends land at the tail of tree order (outside bin order), so
+/// query locality degrades with the tail; a quarter of the dataset is
+/// where the one-off O(n log n) re-sort starts paying for itself.
+pub const APPEND_RESORT_FRACTION: f64 = 0.25;
+
+/// Record of one [`Engine::append_to_prepared`] batch.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendReport {
+    /// Points inserted by this batch.
+    pub appended: usize,
+    /// Dataset size after the batch.
+    pub total: usize,
+    /// Whether the handle crossed [`APPEND_RESORT_FRACTION`] and was
+    /// rebuilt with a full bin sort (tail reset to zero).
+    pub resorted: bool,
+    /// Wall time spent maintaining or re-sorting the handle.
+    pub time: Duration,
 }
 
 /// An externally completed clustering offered to a run as a reuse source
@@ -752,7 +807,103 @@ impl Engine {
             chosen_r,
             tune,
             build_time: build_start.elapsed(),
+            dynamic: None,
+            appended_since_sort: 0,
         }
+    }
+
+    /// Applies one streaming APPEND batch to a prepared handle, returning
+    /// the successor handle (functional update — in-flight runs over the
+    /// old handle stay valid) plus an [`AppendReport`].
+    ///
+    /// The maintain path appends the new points at the *tail of tree
+    /// order* and rebuilds the packed `T_low`/`T_high` arrays with
+    /// [`PackedRTree::from_sorted`] — no bin sort and no `r` re-tune, the
+    /// O(n) cost that makes appends cheap relative to a full
+    /// [`Engine::prepare`]. Appended caller ids continue the old
+    /// numbering (`old_len..old_len+k`). Once the unsorted tail exceeds
+    /// [`APPEND_RESORT_FRACTION`] of the dataset, the handle is re-sorted
+    /// from scratch (same `chosen_r`; the tail fraction resets to zero)
+    /// so query locality cannot degrade without bound.
+    ///
+    /// Either way the caller-order [`DynamicRTree`] mirror is maintained
+    /// incrementally (materialized from the accumulated points on the
+    /// first append).
+    pub fn append_to_prepared(
+        &self,
+        index: &PreparedIndex,
+        new_points: &[Point2],
+    ) -> Result<(PreparedIndex, AppendReport), EngineError> {
+        if let Some(bad) = new_points.iter().position(|p| !p.is_finite()) {
+            return Err(EngineError::NonFinitePoint {
+                index: bad,
+                point: new_points[bad],
+            });
+        }
+        let start = Instant::now();
+        let old_n = index.len();
+        let total = old_n + new_points.len();
+
+        let mut dynamic = match &index.dynamic {
+            Some(tree) => tree.clone(),
+            None => DynamicRTree::from_points(&index.caller_points()),
+        };
+        for &p in new_points {
+            dynamic.insert(p);
+        }
+
+        let unsorted_tail = index.appended_since_sort + new_points.len();
+        let resorted = unsorted_tail as f64 > total as f64 * APPEND_RESORT_FRACTION;
+        let mut next = if resorted {
+            // Full re-sort: bin-sort the accumulated caller-order points
+            // with the already-chosen r (no re-tune).
+            let (t_low, permutation) = PackedRTree::build_with_order(
+                dynamic.points(),
+                index.chosen_r,
+                self.config.bin_order,
+            );
+            let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
+            PreparedIndex {
+                t_low,
+                t_high,
+                permutation,
+                chosen_r: index.chosen_r,
+                tune: index.tune.clone(),
+                build_time: index.build_time,
+                dynamic: Some(dynamic),
+                appended_since_sort: 0,
+            }
+        } else {
+            // Maintain: new tree order = old tree order ++ new points.
+            let mut tree_points: Vec<Point2> = index.t_low.shared_points().to_vec();
+            tree_points.extend_from_slice(new_points);
+            let shared = shared_points(tree_points);
+            let t_low = PackedRTree::from_sorted(shared.clone(), index.chosen_r);
+            let t_high = PackedRTree::from_sorted(shared, 1);
+            let mut permutation = index.permutation.clone();
+            permutation.extend((old_n..total).map(|i| i as PointId));
+            PreparedIndex {
+                t_low,
+                t_high,
+                permutation,
+                chosen_r: index.chosen_r,
+                tune: index.tune.clone(),
+                build_time: index.build_time,
+                dynamic: Some(dynamic),
+                appended_since_sort: unsorted_tail,
+            }
+        };
+        let time = start.elapsed();
+        next.build_time += time;
+        Ok((
+            next,
+            AppendReport {
+                appended: new_points.len(),
+                total,
+                resorted,
+                time,
+            },
+        ))
     }
 
     /// Clusters `variants` over a prebuilt index.
@@ -1322,6 +1473,69 @@ mod tests {
             assert_eq!(o.index, i);
             assert_eq!(report.results[i].num_clusters(), o.clusters);
         }
+    }
+
+    /// Canonicalizes raw caller-order labels by first appearance so two
+    /// labelings compare equal iff they induce the same partition (noise
+    /// preserved as noise).
+    fn canonical(labels: &[u32]) -> Vec<u32> {
+        let mut map = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                if l == u32::MAX {
+                    u32::MAX
+                } else {
+                    let next = map.len() as u32;
+                    *map.entry(l).or_insert(next)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_to_prepared_is_equivalent_to_fresh_prepare() {
+        let all = blobs(700, 4, 7);
+        let variants = small_grid();
+        let engine = Engine::new(EngineConfig::default().with_threads(2).with_r(16));
+        let mut index = engine.prepare(&all[..400], Some(1.2)).expect("finite");
+        assert!(index.dynamic().is_none());
+
+        // First batch (100 on 400: tail 20% — maintain), second batch
+        // (+100: tail 200/600 = 33% — resort).
+        let mut saw_resort = false;
+        for (start, end) in [(400, 500), (500, 700)] {
+            let (next, report) = engine
+                .append_to_prepared(&index, &all[start..end])
+                .expect("finite batch");
+            assert_eq!(report.appended, end - start);
+            assert_eq!(report.total, end);
+            saw_resort |= report.resorted;
+            index = next;
+
+            assert_eq!(index.len(), end);
+            assert_eq!(index.caller_points(), all[..end].to_vec());
+            let dynamic = index.dynamic().expect("mirror materialized");
+            assert_eq!(dynamic.len(), end);
+            assert_eq!(dynamic.points(), &all[..end]);
+
+            let streamed = run_prepared(&engine, &index, &variants);
+            let fresh = run(&engine, &all[..end], &variants);
+            for v in 0..variants.len() {
+                assert_eq!(
+                    canonical(&streamed.result_in_caller_order(v)),
+                    canonical(&fresh.result_in_caller_order(v)),
+                    "variant {v} diverged after appending to {end} points"
+                );
+            }
+        }
+        assert!(saw_resort, "second batch must cross APPEND_RESORT_FRACTION");
+        assert_eq!(index.appended_since_sort(), 0, "resort resets the tail");
+
+        let err = engine
+            .append_to_prepared(&index, &[Point2::new(f64::NAN, 0.0)])
+            .expect_err("non-finite appends are rejected");
+        assert!(matches!(err, EngineError::NonFinitePoint { index: 0, .. }));
     }
 
     #[test]

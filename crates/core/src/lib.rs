@@ -57,8 +57,8 @@ pub mod variant;
 
 pub use deptree::DependencyTree;
 pub use engine::{
-    Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, RunRequest, RunSource,
-    Sharding, WarmSource,
+    AppendReport, Engine, EngineConfig, EngineError, JobPanic, PreparedIndex, RChoice, RunRequest,
+    RunSource, Sharding, WarmSource, APPEND_RESORT_FRACTION,
 };
 pub use expand::{cluster_with_reuse, ReuseStats};
 pub use metrics::{

@@ -197,6 +197,25 @@ pub enum TraceEvent {
     /// A connection produced a protocol-level error (oversized line,
     /// invalid UTF-8, unparseable request).
     ProtocolError,
+    /// A streaming APPEND batch was applied to a registered dataset.
+    AppendApplied {
+        /// Points inserted by this batch.
+        points: u32,
+        /// Dataset size after the batch.
+        total: u32,
+    },
+    /// The dominance cache was maintained after an APPEND: entries whose
+    /// cached clustering was provably untouched were extended to the new
+    /// dataset length, entries intersecting the insertion's affected
+    /// ε-region were dropped.
+    CacheRepaired {
+        /// Entries kept verbatim (zero-length appends only).
+        kept: u32,
+        /// Entries dropped because the insertion touched their ε-region.
+        dropped: u32,
+        /// Entries repaired (extended) to cover the appended points.
+        repaired: u32,
+    },
 }
 
 impl TraceEvent {
@@ -214,6 +233,8 @@ impl TraceEvent {
             TraceEvent::CacheHit => "cache-hit",
             TraceEvent::CacheEvicted { .. } => "cache-evicted",
             TraceEvent::ProtocolError => "protocol-error",
+            TraceEvent::AppendApplied { .. } => "append-applied",
+            TraceEvent::CacheRepaired { .. } => "cache-repaired",
         }
     }
 }
@@ -275,6 +296,17 @@ impl TraceRecord {
                 .uint("cross_unions", cross_unions as u64),
             TraceEvent::PanicContained { variant } => obj.uint("variant", variant as u64),
             TraceEvent::CacheEvicted { entries } => obj.uint("entries", entries as u64),
+            TraceEvent::AppendApplied { points, total } => obj
+                .uint("points", points as u64)
+                .uint("total", total as u64),
+            TraceEvent::CacheRepaired {
+                kept,
+                dropped,
+                repaired,
+            } => obj
+                .uint("kept", kept as u64)
+                .uint("dropped", dropped as u64)
+                .uint("repaired", repaired as u64),
             TraceEvent::CacheHit | TraceEvent::ProtocolError => obj,
         };
         obj.finish()
@@ -889,6 +921,16 @@ pub struct MetricsSnapshot {
     pub shard_border_points: u64,
     /// Cross-shard core-core unions applied in merge phases.
     pub shard_cross_unions: u64,
+    /// Streaming APPEND batches applied to registered datasets.
+    pub appends_applied: u64,
+    /// Points inserted across all applied APPEND batches.
+    pub append_points: u64,
+    /// Dominance-cache entries repaired (extended) after appends.
+    pub cache_entries_repaired: u64,
+    /// Dominance-cache entries dropped by append invalidation.
+    pub cache_entries_dropped: u64,
+    /// Cluster-delta lines pushed to WATCH subscribers.
+    pub watch_deltas: u64,
     /// Merged per-phase latency histograms across observed runs.
     pub phases: PhaseHistograms,
 }
@@ -976,6 +1018,43 @@ impl Metrics {
         let mut inner = self.inner.lock().expect("metrics mutex poisoned");
         inner.events.push(at_ns, event);
         inner.snapshot.events_recorded += 1;
+    }
+
+    /// Counts one applied streaming APPEND batch and records the
+    /// [`TraceEvent::AppendApplied`] event in the shared ring.
+    pub fn observe_append(&self, points: u32, total: u32) {
+        let at_ns = saturating_ns(self.epoch.elapsed());
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.snapshot.appends_applied += 1;
+        inner.snapshot.append_points += points as u64;
+        inner
+            .events
+            .push(at_ns, TraceEvent::AppendApplied { points, total });
+        inner.snapshot.events_recorded += 1;
+    }
+
+    /// Counts one post-append dominance-cache maintenance pass and
+    /// records the [`TraceEvent::CacheRepaired`] event.
+    pub fn observe_cache_repair(&self, kept: u32, dropped: u32, repaired: u32) {
+        let at_ns = saturating_ns(self.epoch.elapsed());
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.snapshot.cache_entries_repaired += repaired as u64;
+        inner.snapshot.cache_entries_dropped += dropped as u64;
+        inner.events.push(
+            at_ns,
+            TraceEvent::CacheRepaired {
+                kept,
+                dropped,
+                repaired,
+            },
+        );
+        inner.snapshot.events_recorded += 1;
+    }
+
+    /// Counts cluster-delta lines pushed to WATCH subscribers.
+    pub fn observe_watch_deltas(&self, deltas: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.snapshot.watch_deltas += deltas;
     }
 
     /// A decoupled copy of the current counters and histograms.

@@ -70,6 +70,10 @@ pub struct CacheStats {
     pub evicted_bytes: u64,
     /// Inserts rejected because one entry exceeded the whole budget.
     pub rejected_oversize: u64,
+    /// Entries repaired (extended in place) by append maintenance.
+    pub repaired: u64,
+    /// Entries dropped by append maintenance (ε-region touched).
+    pub repair_dropped: u64,
 }
 
 impl CacheStats {
@@ -85,8 +89,20 @@ impl CacheStats {
             .uint("evictions", self.evictions)
             .uint("evicted_bytes", self.evicted_bytes)
             .uint("rejected_oversize", self.rejected_oversize)
+            .uint("repaired", self.repaired)
+            .uint("repair_dropped", self.repair_dropped)
             .finish()
     }
+}
+
+/// Outcome of one [`DominanceCache::maintain_after_append`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Entries whose results were repaired (extended to the appended
+    /// dataset length) and kept.
+    pub repaired: usize,
+    /// Entries dropped because the insertion touched their ε-region.
+    pub dropped: usize,
 }
 
 /// An LRU-bounded store of completed clusterings, keyed by dataset name
@@ -108,6 +124,8 @@ pub struct DominanceCache {
     evictions: u64,
     evicted_bytes: u64,
     rejected_oversize: u64,
+    repaired: u64,
+    repair_dropped: u64,
 }
 
 /// Estimated resident size of one cached result: the label array plus the
@@ -133,6 +151,8 @@ impl DominanceCache {
             evictions: 0,
             evicted_bytes: 0,
             rejected_oversize: 0,
+            repaired: 0,
+            repair_dropped: 0,
         }
     }
 
@@ -243,6 +263,12 @@ impl DominanceCache {
             });
             self.bytes += bytes;
         }
+        self.evict_to_budget();
+    }
+
+    /// Evicts least-recently-used entries until the byte ledger fits the
+    /// budget again.
+    fn evict_to_budget(&mut self) {
         while self.bytes > self.budget {
             let stalest = self
                 .entries
@@ -256,6 +282,59 @@ impl DominanceCache {
             self.evictions += 1;
             self.evicted_bytes += gone.bytes as u64;
         }
+    }
+
+    /// Maintains every entry of `dataset` after a streaming append: the
+    /// judge inspects each `(variant, cached result)` and returns either
+    /// the repaired result (the old clustering extended to the mutated
+    /// dataset's length — only sound when the insertion provably did not
+    /// touch the entry's ε-region) or `None` to drop the entry. Repaired
+    /// entries are re-charged at their new size and the LRU is re-evicted
+    /// to budget afterwards; dropped entries do not count as evictions.
+    pub fn maintain_after_append(
+        &mut self,
+        dataset: &str,
+        mut judge: impl FnMut(&Variant, &ClusterResult) -> Option<Arc<ClusterResult>>,
+    ) -> RepairStats {
+        let mut stats = RepairStats::default();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].dataset != dataset {
+                i += 1;
+                continue;
+            }
+            match judge(&self.entries[i].variant, &self.entries[i].result) {
+                Some(next) => {
+                    let bytes = result_bytes(&next);
+                    let e = &mut self.entries[i];
+                    self.bytes = self.bytes - e.bytes + bytes;
+                    e.result = next;
+                    e.bytes = bytes;
+                    stats.repaired += 1;
+                    i += 1;
+                }
+                None => {
+                    // swap_remove moves an unvisited tail entry into `i`,
+                    // so the index is intentionally not advanced.
+                    let gone = self.entries.swap_remove(i);
+                    self.bytes -= gone.bytes;
+                    stats.dropped += 1;
+                }
+            }
+        }
+        self.repaired += stats.repaired as u64;
+        self.repair_dropped += stats.dropped as u64;
+        self.evict_to_budget();
+        stats
+    }
+
+    /// A counter-neutral copy of every live entry — the streaming
+    /// equivalence suite audits these against the mutated datasets.
+    pub fn snapshot_entries(&self) -> Vec<(String, Variant, Arc<ClusterResult>)> {
+        self.entries
+            .iter()
+            .map(|e| (e.dataset.clone(), e.variant, Arc::clone(&e.result)))
+            .collect()
     }
 
     /// Structural self-check, used by the chaos suite after every fault
@@ -304,6 +383,8 @@ impl DominanceCache {
             evictions: self.evictions,
             evicted_bytes: self.evicted_bytes,
             rejected_oversize: self.rejected_oversize,
+            repaired: self.repaired,
+            repair_dropped: self.repair_dropped,
         }
     }
 }
@@ -399,6 +480,64 @@ mod tests {
             cache.check_invariants().unwrap();
         }
         assert!(cache.stats().evictions > 0, "churn must have evicted");
+    }
+
+    #[test]
+    fn maintain_after_append_repairs_and_drops() {
+        let mut cache = DominanceCache::new(1 << 20);
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 0]));
+        cache.insert("d", Variant::new(2.0, 4), result_of(vec![0, 1]));
+        cache.insert("other", Variant::new(3.0, 4), result_of(vec![0]));
+        let stats = cache.maintain_after_append("d", |v, r| {
+            if v.eps > 1.5 {
+                None // pretend the insertion touched this ε-region
+            } else {
+                let mut raw: Vec<u32> = r.labels().iter_raw().collect();
+                raw.push(u32::MAX); // appended point judged noise
+                Some(result_of(raw))
+            }
+        });
+        assert_eq!(
+            stats,
+            RepairStats {
+                repaired: 1,
+                dropped: 1
+            }
+        );
+        cache.check_invariants().unwrap();
+        let hit = cache.lookup("d", Variant::new(1.0, 4)).unwrap();
+        assert_eq!(hit.result.len(), 3, "repaired entry was extended");
+        assert!(
+            cache
+                .lookup("d", Variant::new(2.5, 4))
+                .unwrap()
+                .result
+                .len()
+                == 3,
+            "dropped entry must not answer; nearest survivor does"
+        );
+        let untouched = cache.lookup("other", Variant::new(3.0, 4)).unwrap();
+        assert_eq!(untouched.result.len(), 1, "other datasets untouched");
+        let s = cache.stats();
+        assert_eq!((s.repaired, s.repair_dropped), (1, 1));
+        assert_eq!(cache.snapshot_entries().len(), 2);
+    }
+
+    #[test]
+    fn maintain_after_append_re_evicts_to_budget() {
+        let small = result_bytes(&result_of(vec![0, 0, 1, 1]));
+        let mut cache = DominanceCache::new(2 * small);
+        cache.insert("d", Variant::new(1.0, 9), result_of(vec![0, 0, 1, 1]));
+        cache.insert("d", Variant::new(0.5, 5), result_of(vec![0, 0, 1, 1]));
+        // Repair doubles every entry: the ledger overflows and the LRU
+        // must shed entries until the budget holds again.
+        cache.maintain_after_append("d", |_, r| {
+            let mut raw: Vec<u32> = r.labels().iter_raw().collect();
+            raw.extend_from_slice(&[u32::MAX; 8]);
+            Some(result_of(raw))
+        });
+        cache.check_invariants().unwrap();
+        assert!(cache.stats().evictions > 0);
     }
 
     #[test]

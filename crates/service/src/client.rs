@@ -1,8 +1,11 @@
 //! Blocking client for the `vbp-service` line protocol.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use vbp_geom::Point2;
 
 use crate::protocol::{ErrorCode, Request};
 
@@ -65,6 +68,87 @@ pub struct SubmitReply {
     pub labels: Option<Vec<u32>>,
 }
 
+/// The answer to a successful `APPEND`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppendReply {
+    /// Points inserted by this batch.
+    pub appended: usize,
+    /// Dataset size after the batch.
+    pub total: usize,
+    /// Cache entries incrementally repaired (extended in place).
+    pub repaired: usize,
+    /// Cache entries dropped because the batch touched their ε-region.
+    pub dropped: usize,
+    /// Server-side append time.
+    pub ms: f64,
+}
+
+/// The answer to a successful `WATCH`: the census at subscription time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchReply {
+    /// Clusters at subscription time.
+    pub clusters: usize,
+    /// Noise points at subscription time.
+    pub noise: usize,
+}
+
+/// One `DELTA` push line, parsed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Dataset the delta describes.
+    pub dataset: String,
+    /// ε of the watched variant.
+    pub eps: f64,
+    /// minpts of the watched variant.
+    pub minpts: usize,
+    /// Points the triggering append inserted.
+    pub appended: usize,
+    /// Clusters born in this batch (no pre-batch core among members).
+    pub new: usize,
+    /// Previously-distinct clusters merged away by this batch.
+    pub absorbed: usize,
+    /// Points promoted to core by this batch.
+    pub promoted: usize,
+    /// Census after the batch.
+    pub clusters: usize,
+    /// Noise count after the batch.
+    pub noise: usize,
+}
+
+impl Delta {
+    /// Parses a `DELTA <ds> <eps> <minpts> k=v…` line; `None` when the
+    /// line is not a well-formed delta push.
+    pub fn parse(line: &str) -> Option<Delta> {
+        let rest = line.strip_prefix("DELTA ")?;
+        let mut tokens = rest.split_ascii_whitespace();
+        let mut delta = Delta {
+            dataset: tokens.next()?.to_string(),
+            eps: tokens.next()?.parse().ok()?,
+            minpts: tokens.next()?.parse().ok()?,
+            appended: 0,
+            new: 0,
+            absorbed: 0,
+            promoted: 0,
+            clusters: 0,
+            noise: 0,
+        };
+        for tok in tokens {
+            let (key, value) = tok.split_once('=')?;
+            let value: usize = value.parse().ok()?;
+            match key {
+                "appended" => delta.appended = value,
+                "new" => delta.new = value,
+                "absorbed" => delta.absorbed = value,
+                "promoted" => delta.promoted = value,
+                "clusters" => delta.clusters = value,
+                "noise" => delta.noise = value,
+                _ => {} // forward compatibility
+            }
+        }
+        Some(delta)
+    }
+}
+
 /// The client-side framing cap: a reply line longer than this is a
 /// protocol violation, not something to buffer. Sized for the worst
 /// legitimate line (a `LABELS` continuation for a millions-of-points
@@ -93,6 +177,9 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     protocol_version: u32,
+    /// `DELTA` pushes that arrived while waiting for a reply; served to
+    /// [`Client::poll_delta`] in arrival order.
+    pending_deltas: VecDeque<String>,
 }
 
 impl Client {
@@ -109,6 +196,7 @@ impl Client {
             reader,
             writer: stream,
             protocol_version: 0,
+            pending_deltas: VecDeque::new(),
         };
         let line = client.round_trip(&Request::Hello)?;
         if !line.starts_with("vbp-service") {
@@ -150,22 +238,32 @@ impl Client {
     }
 
     /// Sends `request`, returns the `OK` payload or a typed rejection.
+    /// `DELTA` pushes arriving ahead of the reply are stashed for
+    /// [`Client::poll_delta`] — the server only interleaves them
+    /// *between* exchanges, never inside one.
     fn round_trip(&mut self, request: &Request) -> Result<String, ClientError> {
         self.send(request)?;
-        let line = self.read_line()?;
-        if let Some(payload) = line.strip_prefix("OK") {
-            return Ok(payload.trim_start().to_string());
+        loop {
+            let line = self.read_line()?;
+            if line.starts_with("DELTA ") {
+                self.pending_deltas.push_back(line);
+                continue;
+            }
+            if let Some(payload) = line.strip_prefix("OK") {
+                return Ok(payload.trim_start().to_string());
+            }
+            if let Some(rest) = line.strip_prefix("ERR ") {
+                let (code_token, message) = rest.split_once(' ').unwrap_or((rest, ""));
+                let code = ErrorCode::from_str_token(code_token).ok_or_else(|| {
+                    ClientError::Protocol(format!("unknown ERR code '{code_token}'"))
+                })?;
+                return Err(ClientError::Rejected {
+                    code,
+                    message: message.to_string(),
+                });
+            }
+            return Err(ClientError::Protocol(format!("unparseable reply '{line}'")));
         }
-        if let Some(rest) = line.strip_prefix("ERR ") {
-            let (code_token, message) = rest.split_once(' ').unwrap_or((rest, ""));
-            let code = ErrorCode::from_str_token(code_token)
-                .ok_or_else(|| ClientError::Protocol(format!("unknown ERR code '{code_token}'")))?;
-            return Err(ClientError::Rejected {
-                code,
-                message: message.to_string(),
-            });
-        }
-        Err(ClientError::Protocol(format!("unparseable reply '{line}'")))
     }
 
     /// Lists datasets as `(name, points)` pairs.
@@ -247,6 +345,113 @@ impl Client {
             reply.labels = Some(labels);
         }
         Ok(reply)
+    }
+
+    /// Streams a batch of points into a registered dataset (`APPEND`,
+    /// protocol version ≥ 3).
+    pub fn append(&mut self, dataset: &str, points: &[Point2]) -> Result<AppendReply, ClientError> {
+        if self.protocol_version < 3 {
+            return Err(ClientError::Protocol(format!(
+                "server protocol version {} predates APPEND (needs >= 3)",
+                self.protocol_version
+            )));
+        }
+        let payload = self.round_trip(&Request::Append {
+            dataset: dataset.to_string(),
+            points: points.to_vec(),
+        })?;
+        let mut reply = AppendReply {
+            appended: 0,
+            total: 0,
+            repaired: 0,
+            dropped: 0,
+            ms: 0.0,
+        };
+        for tok in payload.split_ascii_whitespace() {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(ClientError::Protocol(format!("bad reply token '{tok}'")));
+            };
+            match key {
+                "appended" => reply.appended = parse_num(tok, value)?,
+                "total" => reply.total = parse_num(tok, value)?,
+                "repaired" => reply.repaired = parse_num(tok, value)?,
+                "dropped" => reply.dropped = parse_num(tok, value)?,
+                "ms" => {
+                    reply.ms = value
+                        .parse()
+                        .map_err(|_| ClientError::Protocol(format!("bad ms '{tok}'")))?
+                }
+                _ => {} // forward compatibility
+            }
+        }
+        Ok(reply)
+    }
+
+    /// Subscribes this connection to cluster deltas for `(dataset, eps,
+    /// minpts)` (`WATCH`, protocol version ≥ 3). Subsequent appends to
+    /// the dataset push `DELTA` lines, read via [`Client::poll_delta`].
+    pub fn watch(
+        &mut self,
+        dataset: &str,
+        eps: f64,
+        minpts: usize,
+    ) -> Result<WatchReply, ClientError> {
+        if self.protocol_version < 3 {
+            return Err(ClientError::Protocol(format!(
+                "server protocol version {} predates WATCH (needs >= 3)",
+                self.protocol_version
+            )));
+        }
+        let payload = self.round_trip(&Request::Watch {
+            dataset: dataset.to_string(),
+            eps,
+            minpts,
+        })?;
+        let mut reply = WatchReply {
+            clusters: 0,
+            noise: 0,
+        };
+        for tok in payload.split_ascii_whitespace() {
+            if let Some((key, value)) = tok.split_once('=') {
+                match key {
+                    "clusters" => reply.clusters = parse_num(tok, value)?,
+                    "noise" => reply.noise = parse_num(tok, value)?,
+                    _ => {}
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    /// Waits up to `timeout` for the next `DELTA` push on this
+    /// connection; `Ok(None)` on timeout. Pushes that arrived stashed
+    /// behind an earlier reply are returned first, in order.
+    pub fn poll_delta(&mut self, timeout: Duration) -> Result<Option<Delta>, ClientError> {
+        if let Some(line) = self.pending_deltas.pop_front() {
+            return Delta::parse(&line)
+                .map(Some)
+                .ok_or_else(|| ClientError::Protocol(format!("bad DELTA line '{line}'")));
+        }
+        self.writer.set_read_timeout(Some(timeout))?;
+        let result = bounded_line(&mut self.reader, MAX_REPLY_BYTES);
+        let _ = self.writer.set_read_timeout(None);
+        match result {
+            Ok(line) if line.starts_with("DELTA ") => Delta::parse(&line)
+                .map(Some)
+                .ok_or_else(|| ClientError::Protocol(format!("bad DELTA line '{line}'"))),
+            Ok(line) => Err(ClientError::Protocol(format!(
+                "expected a DELTA push, got '{line}'"
+            ))),
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Fetches the service counters as one JSON line.

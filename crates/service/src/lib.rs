@@ -38,8 +38,8 @@ pub mod server;
 pub mod transport;
 pub mod workload;
 
-pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache};
-pub use client::{Client, ClientError, SubmitReply};
+pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache, RepairStats};
+pub use client::{AppendReply, Client, ClientError, Delta, SubmitReply, WatchReply};
 pub use fault::{FaultPlan, FaultTransport, MemTransport, Step};
 pub use protocol::{parse_request, ErrorCode, Request};
 pub use registry::{DatasetEntry, Registry};

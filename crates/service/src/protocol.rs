@@ -12,34 +12,58 @@
 //! request  = "HELLO"
 //!          | "DATASETS"
 //!          | "SUBMIT" SP dataset SP eps SP minpts [SP "LABELS"]
+//!          | "APPEND" SP dataset SP x1 SP y1 [SP x2 SP y2 …]
+//!          | "WATCH" SP dataset SP eps SP minpts
 //!          | "STATS"
 //!          | "METRICS"
 //!          | "SHUTDOWN"
 //!          | "QUIT"
 //! response = "OK" [SP payload]
 //!          | "ERR" SP code SP message
+//! push     = "DELTA" SP dataset SP eps SP minpts SP "appended=" k
+//!            SP "new=" n SP "absorbed=" m SP "promoted=" p
+//!            SP "clusters=" C SP "noise=" N
 //! code     = "bad-request" | "unknown-dataset" | "overloaded"
 //!          | "draining" | "internal" | "protocol"
 //! ```
 //!
 //! `HELLO` answers `OK vbp-service <protocol-version>`; the version is an
 //! integer clients use for capability detection ([`PROTOCOL_VERSION`] —
-//! version 2 added `METRICS`). `SUBMIT` answers `OK clusters=<n>
-//! noise=<n> warm=<0|1> reused=<0|1> ms=<float>`; with the `LABELS` flag
-//! the next line is `LABELS <n> <l_0> … <l_{n-1}>` in the submitter's
-//! point order (noise is `u32::MAX`). `STATS` answers `OK <json>` with a
+//! version 2 added `METRICS`, version 3 added `APPEND`/`WATCH`). `SUBMIT`
+//! answers `OK clusters=<n> noise=<n> warm=<0|1> reused=<0|1>
+//! ms=<float>`; with the `LABELS` flag the next line is `LABELS <n> <l_0>
+//! … <l_{n-1}>` in the submitter's point order (noise is `u32::MAX`).
+//! `APPEND` inserts a batch of points into a registered dataset (every
+//! coordinate must be finite; an odd coordinate count or an empty batch
+//! is `ERR bad-request`) and answers `OK appended=<k> total=<n>
+//! repaired=<r> dropped=<d> ms=<float>` — appended points take caller
+//! ids continuing the dataset's existing numbering. A torn `APPEND` line
+//! (connection cut mid-line) mutates nothing: the framer only delivers
+//! complete lines. `WATCH` subscribes this connection to cluster deltas
+//! of one `(dataset, ε, minpts)` stream; it answers `OK watching
+//! <dataset> <eps> <minpts> clusters=<C> noise=<N>` (the census at
+//! subscription time) and thereafter the server pushes one `DELTA` line
+//! per applied APPEND batch, interleaved between (never inside)
+//! request/response exchanges on the connection. `new`/`absorbed` count
+//! cluster births and merge-absorptions so `census + Σnew − Σabsorbed`
+//! replays to the final cluster count; `promoted` counts points promoted
+//! to core status by the batch. `STATS` answers `OK <json>` with a
 //! single-line JSON document. `METRICS` answers `OK <n>` followed by `n`
 //! continuation lines of Prometheus-style text exposition (counters and
 //! `_bucket{le=…}` histograms derived from the same counters `STATS`
 //! reports). `SHUTDOWN` flips the server into draining mode: queued and
-//! in-flight requests complete, new `SUBMIT`s get `ERR draining`.
+//! in-flight requests complete, new `SUBMIT`s/`APPEND`s get `ERR
+//! draining`.
 
 use std::fmt;
 
+use vbp_geom::Point2;
+
 /// The protocol version `HELLO` advertises. History: 1 = the original
-/// verb set; 2 = added `METRICS`. Clients gate version-dependent calls on
-/// the number they saw at connect time.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// verb set; 2 = added `METRICS`; 3 = added `APPEND`/`WATCH` streaming
+/// mutation. Clients gate version-dependent calls on the number they saw
+/// at connect time.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Typed rejection codes carried in `ERR` responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +135,25 @@ pub enum Request {
         /// Ask for the full label vector as a continuation line.
         labels: bool,
     },
+    /// Inserts a batch of points into a registered dataset (protocol
+    /// version ≥ 3). Coordinates are interleaved `x y` pairs; every
+    /// value must be finite.
+    Append {
+        /// Registry key.
+        dataset: String,
+        /// The batch, in append order.
+        points: Vec<Point2>,
+    },
+    /// Subscribes this connection to cluster-delta pushes for one
+    /// `(dataset, ε, minpts)` stream (protocol version ≥ 3).
+    Watch {
+        /// Registry key.
+        dataset: String,
+        /// Variant ε.
+        eps: f64,
+        /// Variant minpts.
+        minpts: usize,
+    },
     /// Service counters as one JSON line.
     Stats,
     /// Prometheus-style text exposition of service counters and latency
@@ -141,6 +184,18 @@ impl Request {
                 }
                 s
             }
+            Request::Append { dataset, points } => {
+                let mut s = format!("APPEND {dataset}");
+                for p in points {
+                    s.push_str(&format!(" {} {}", p.x, p.y));
+                }
+                s
+            }
+            Request::Watch {
+                dataset,
+                eps,
+                minpts,
+            } => format!("WATCH {dataset} {eps} {minpts}"),
             Request::Stats => "STATS".into(),
             Request::Metrics => "METRICS".into(),
             Request::Shutdown => "SHUTDOWN".into(),
@@ -188,6 +243,54 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 eps,
                 minpts,
                 labels,
+            }
+        }
+        "APPEND" => {
+            let dataset = tokens.next().ok_or("APPEND: missing dataset")?.to_string();
+            let mut coords = Vec::new();
+            for t in tokens.by_ref() {
+                let c: f64 = t
+                    .parse()
+                    .map_err(|_| format!("APPEND: '{t}' is not a number"))?;
+                if !c.is_finite() {
+                    return Err("APPEND: coordinates must be finite".into());
+                }
+                coords.push(c);
+            }
+            if coords.is_empty() {
+                return Err("APPEND: missing points".into());
+            }
+            if coords.len() % 2 != 0 {
+                return Err("APPEND: odd coordinate count (need x y pairs)".into());
+            }
+            let points = coords
+                .chunks_exact(2)
+                .map(|c| Point2::new(c[0], c[1]))
+                .collect();
+            Request::Append { dataset, points }
+        }
+        "WATCH" => {
+            let dataset = tokens.next().ok_or("WATCH: missing dataset")?.to_string();
+            let eps: f64 = tokens
+                .next()
+                .ok_or("WATCH: missing eps")?
+                .parse()
+                .map_err(|_| "WATCH: eps is not a number")?;
+            if !eps.is_finite() || eps <= 0.0 {
+                return Err("WATCH: eps must be finite and positive".into());
+            }
+            let minpts: usize = tokens
+                .next()
+                .ok_or("WATCH: missing minpts")?
+                .parse()
+                .map_err(|_| "WATCH: minpts is not an integer")?;
+            if minpts == 0 {
+                return Err("WATCH: minpts must be at least 1".into());
+            }
+            Request::Watch {
+                dataset,
+                eps,
+                minpts,
             }
         }
         other => return Err(format!("unknown verb '{other}'")),
@@ -242,6 +345,48 @@ mod tests {
             Request::Quit,
         ] {
             assert_eq!(parse_request(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn append_and_watch_roundtrip() {
+        let req = Request::Append {
+            dataset: "SW1@2000".into(),
+            points: vec![Point2::new(1.5, -2.25), Point2::new(0.0, 1e9)],
+        };
+        assert_eq!(req.encode(), "APPEND SW1@2000 1.5 -2.25 0 1000000000");
+        assert_eq!(parse_request(&req.encode()).unwrap(), req);
+
+        let watch = Request::Watch {
+            dataset: "d".into(),
+            eps: 0.75,
+            minpts: 4,
+        };
+        assert_eq!(watch.encode(), "WATCH d 0.75 4");
+        assert_eq!(parse_request(&watch.encode()).unwrap(), watch);
+    }
+
+    #[test]
+    fn append_and_watch_reject_malformed_lines() {
+        for bad in [
+            "APPEND",
+            "APPEND d",
+            "APPEND d 1.0",
+            "APPEND d 1.0 2.0 3.0",
+            "APPEND d 1.0 x",
+            "APPEND d nan 2.0",
+            "APPEND d inf 2.0",
+            "APPEND d 1.0 -inf",
+            "WATCH",
+            "WATCH d",
+            "WATCH d 1.0",
+            "WATCH d 0 4",
+            "WATCH d nan 4",
+            "WATCH d 1.0 0",
+            "WATCH d 1.0 x",
+            "WATCH d 1.0 4 EXTRA",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
     }
 

@@ -13,7 +13,7 @@
 //! `"SW2@5000"` is the SW2 distribution at 5 000 points.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use variantdbscan::{Engine, PreparedIndex};
 use vbp_data::DatasetSpec;
@@ -40,9 +40,17 @@ pub struct DatasetEntry {
 }
 
 /// Name → dataset map owned by the server.
+///
+/// Entries are immutable snapshots behind `Arc`s: a streaming APPEND
+/// never mutates a live [`DatasetEntry`] — it builds a successor entry
+/// and [`Registry::swap`]s the map pointer, so in-flight batches keep
+/// clustering against the snapshot they resolved (copy-on-write). The
+/// map itself sits behind an `RwLock`; readers (`get`, `list`) never
+/// block each other, and the write lock is held only for the pointer
+/// swap, never during index construction.
 #[derive(Debug, Default)]
 pub struct Registry {
-    datasets: BTreeMap<String, Arc<DatasetEntry>>,
+    datasets: RwLock<BTreeMap<String, Arc<DatasetEntry>>>,
 }
 
 impl Registry {
@@ -53,7 +61,7 @@ impl Registry {
 
     /// Loads a catalog dataset by name (`"cF_10k_5N"`, `"SW1@2000"`, …)
     /// and prebuilds its indexes with `engine`'s configuration.
-    pub fn load(&mut self, engine: &Engine, name: &str) -> Result<(), String> {
+    pub fn load(&self, engine: &Engine, name: &str) -> Result<(), String> {
         let spec = DatasetSpec::by_name(name)
             .ok_or_else(|| format!("unknown dataset '{name}' (try `vbp datasets`)"))?;
         let points = spec.generate();
@@ -64,43 +72,56 @@ impl Registry {
     /// indexes. A representative ε is estimated from the k-dist plot so
     /// [`RChoice::Auto`](variantdbscan::RChoice) tunes against realistic
     /// query radii even before the first request arrives.
-    pub fn register(
-        &mut self,
-        engine: &Engine,
-        name: &str,
-        points: Vec<Point2>,
-    ) -> Result<(), String> {
+    pub fn register(&self, engine: &Engine, name: &str, points: Vec<Point2>) -> Result<(), String> {
         let suggested_eps = representative_eps(&points);
         let index = engine
             .prepare(&points, suggested_eps)
             .map_err(|e| format!("dataset '{name}': {e}"))?;
-        self.datasets.insert(
-            name.to_string(),
-            Arc::new(DatasetEntry {
-                name: name.to_string(),
-                points,
-                index,
-                suggested_eps,
-            }),
-        );
+        self.swap(Arc::new(DatasetEntry {
+            name: name.to_string(),
+            points,
+            index,
+            suggested_eps,
+        }));
         Ok(())
     }
 
-    /// Looks a dataset up by registry key.
-    pub fn get(&self, name: &str) -> Option<&Arc<DatasetEntry>> {
-        self.datasets.get(name)
+    /// Installs `entry` under its own name, replacing any previous
+    /// snapshot. The write lock is held only for the map operation.
+    pub fn swap(&self, entry: Arc<DatasetEntry>) {
+        self.datasets
+            .write()
+            .expect("registry lock poisoned")
+            .insert(entry.name.clone(), entry);
     }
 
-    /// Iterates over the registered entries in name order — the soak
-    /// bench uses this to spread load across every dataset without
-    /// re-resolving names per request.
-    pub fn entries(&self) -> impl Iterator<Item = &Arc<DatasetEntry>> {
-        self.datasets.values()
+    /// Looks a dataset up by registry key, returning the current
+    /// snapshot.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.datasets
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// The registered entries in name order — the soak bench uses this
+    /// to spread load across every dataset without re-resolving names
+    /// per request.
+    pub fn entries(&self) -> Vec<Arc<DatasetEntry>> {
+        self.datasets
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Registered names with sizes, in name order.
     pub fn list(&self) -> Vec<(String, usize)> {
         self.datasets
+            .read()
+            .expect("registry lock poisoned")
             .iter()
             .map(|(k, v)| (k.clone(), v.points.len()))
             .collect()
@@ -108,12 +129,12 @@ impl Registry {
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.datasets.read().expect("registry lock poisoned").len()
     }
 
     /// Returns `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.len() == 0
     }
 }
 
@@ -137,7 +158,7 @@ mod tests {
     #[test]
     fn load_by_catalog_name_prebuilds_index() {
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         reg.load(&engine, "cF_10k_5N@500").unwrap();
         let entry = reg.get("cF_10k_5N@500").unwrap();
         assert_eq!(entry.points.len(), 500);
@@ -147,9 +168,41 @@ mod tests {
     }
 
     #[test]
+    fn swap_is_copy_on_write() {
+        let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
+        let reg = Registry::new();
+        reg.register(
+            &engine,
+            "s",
+            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)],
+        )
+        .unwrap();
+        let before = reg.get("s").unwrap();
+        let mut points = before.points.clone();
+        points.push(Point2::new(2.0, 2.0));
+        let (index, _) = engine
+            .append_to_prepared(&before.index, &points[2..])
+            .unwrap();
+        reg.swap(Arc::new(DatasetEntry {
+            name: "s".into(),
+            points,
+            index,
+            suggested_eps: before.suggested_eps,
+        }));
+        // The old snapshot is untouched — in-flight batches holding it
+        // keep clustering against a consistent (points, index) pair.
+        assert_eq!(before.points.len(), 2);
+        assert_eq!(before.index.len(), 2);
+        let after = reg.get("s").unwrap();
+        assert_eq!(after.points.len(), 3);
+        assert_eq!(after.index.len(), 3);
+        assert_eq!(reg.list(), vec![("s".to_string(), 3)]);
+    }
+
+    #[test]
     fn unknown_name_is_a_typed_error() {
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(16));
-        let mut reg = Registry::new();
+        let reg = Registry::new();
         let err = reg.load(&engine, "no_such_dataset").unwrap_err();
         assert!(err.contains("unknown dataset"));
         assert!(reg.is_empty());

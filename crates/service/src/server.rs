@@ -59,10 +59,14 @@ use variantdbscan::{
     Engine, EngineError, JsonObject, Metrics, RunRequest, Sharding, TraceEvent, Variant,
     VariantSet, WarmSource,
 };
+use vbp_dbscan::algorithm::dbscan_brute_force;
+use vbp_dbscan::{ClusterResult, DbscanParams, IncrementalDbscan, Labels, MAX_CLUSTER_ID};
+use vbp_geom::Point2;
+use vbp_rtree::SpatialIndex;
 
-use crate::cache::DominanceCache;
+use crate::cache::{DominanceCache, RepairStats};
 use crate::protocol::{err_line, parse_request, ErrorCode, Request, PROTOCOL_VERSION};
-use crate::registry::Registry;
+use crate::registry::{DatasetEntry, Registry};
 use crate::transport::{LineEvent, LineIo, TcpTransport, Transport};
 
 /// Tunables of one server instance.
@@ -156,6 +160,12 @@ struct JobDone {
 /// and `in_flight` together; terminal accounting moves a job from
 /// `in_flight` to exactly one of `completed`/`failed` under the same
 /// lock.
+///
+/// A second invariant covers the streaming verbs: `appends ==
+/// appends_applied + appends_rejected`. `APPEND` is synchronous (no
+/// in-flight component) — the triple is bumped in a single lock
+/// acquisition once the outcome is known, so the identity holds at
+/// arbitrary observation points just like the admission one.
 #[derive(Clone, Copy, Debug, Default)]
 struct ServiceStats {
     submitted: u64,
@@ -173,6 +183,39 @@ struct ServiceStats {
     engine_in_run_reused: u64,
     engine_scratch: u64,
     engine_busy: Duration,
+    appends: u64,
+    appends_applied: u64,
+    appends_rejected: u64,
+    append_points: u64,
+    watches: u64,
+    watch_deltas: u64,
+}
+
+/// One live `WATCH` stream: an insertion-maintained clustering for a
+/// `(dataset, variant)` pair, the bookkeeping needed to describe each
+/// append as a cluster delta, and the subscribed connections.
+///
+/// Delta semantics: after a batch of `k` insertions the stream reports
+/// `new` (clusters whose members were all noise or newly-appended
+/// before the batch), `absorbed` (previously-distinct clusters merged
+/// into a survivor), and `promoted` (points that crossed the core
+/// threshold). The census replays: `clusters_before + new - absorbed ==
+/// clusters_after`, which the streaming-equivalence suite checks over
+/// the whole delta history.
+struct WatchStream {
+    dataset: String,
+    variant: Variant,
+    inc: IncrementalDbscan,
+    /// Raw caller-order labels at the last snapshot.
+    labels: Vec<u32>,
+    /// Core flags at the last snapshot. Cluster correspondence is
+    /// computed over *cores only*: a core never leaves its cluster
+    /// (components only merge), while a border point may be re-claimed
+    /// by a newly-promoted core of another cluster.
+    core: Vec<bool>,
+    clusters: usize,
+    noise: usize,
+    subscribers: Vec<mpsc::Sender<String>>,
 }
 
 struct Shared {
@@ -193,6 +236,14 @@ struct Shared {
     stats: Mutex<ServiceStats>,
     metrics: Metrics,
     started: Instant,
+    /// Serializes `APPEND`s (and `WATCH` registration, which must see a
+    /// registry snapshot consistent with the watch streams). Never held
+    /// while clustering a batch — `SUBMIT` traffic proceeds against its
+    /// copy-on-write registry snapshot throughout an append.
+    append_lock: Mutex<()>,
+    /// Live `WATCH` streams. Locked after `append_lock`, never while
+    /// holding the cache lock.
+    watchers: Mutex<Vec<WatchStream>>,
 }
 
 impl Shared {
@@ -262,6 +313,12 @@ impl Shared {
             .uint("in_run_reused", s.engine_in_run_reused)
             .uint("from_scratch", s.engine_scratch)
             .float("engine_busy_ms", s.engine_busy.as_secs_f64() * 1e3)
+            .uint("appends", s.appends)
+            .uint("appends_applied", s.appends_applied)
+            .uint("appends_rejected", s.appends_rejected)
+            .uint("append_points", s.append_points)
+            .uint("watches", s.watches)
+            .uint("watch_deltas", s.watch_deltas)
             .raw("cache", &cache.to_json())
             .raw("datasets", &datasets.finish())
             .finish()
@@ -332,6 +389,27 @@ impl Shared {
             "vbp_cache_rejected_oversize_total",
             cache.rejected_oversize,
         );
+        u(&mut out, "vbp_cache_repaired_total", cache.repaired);
+        u(
+            &mut out,
+            "vbp_cache_repair_dropped_total",
+            cache.repair_dropped,
+        );
+        u(&mut out, "vbp_append_batches_total", s.appends);
+        u(&mut out, "vbp_append_applied_total", s.appends_applied);
+        u(&mut out, "vbp_append_rejected_total", s.appends_rejected);
+        u(&mut out, "vbp_append_points_total", s.append_points);
+        u(&mut out, "vbp_watch_subscriptions_total", s.watches);
+        u(&mut out, "vbp_watch_deltas_total", s.watch_deltas);
+        let (streams, subscribers) = {
+            let w = self.watchers.lock().unwrap();
+            (
+                w.len(),
+                w.iter().map(|s| s.subscribers.len()).sum::<usize>(),
+            )
+        };
+        u(&mut out, "vbp_watch_streams", streams as u64);
+        u(&mut out, "vbp_watch_subscribers", subscribers as u64);
         u(&mut out, "vbp_engine_runs_total", m.runs);
         u(
             &mut out,
@@ -427,6 +505,8 @@ impl Server {
             stats: Mutex::new(ServiceStats::default()),
             metrics: Metrics::new(),
             started: Instant::now(),
+            append_lock: Mutex::new(()),
+            watchers: Mutex::new(Vec::new()),
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -574,6 +654,19 @@ impl ServerHandle {
     pub fn cache_invariants(&self) -> Result<(), String> {
         self.shared.cache.lock().unwrap().check_invariants()
     }
+
+    /// Counter-neutral snapshot of the cache's live entries — the
+    /// streaming-equivalence suite audits every surviving entry against
+    /// the mutated dataset after each append.
+    pub fn cache_entries(&self) -> Vec<(String, Variant, Arc<ClusterResult>)> {
+        self.shared.cache.lock().unwrap().snapshot_entries()
+    }
+
+    /// Current caller-order points of a registered dataset (the latest
+    /// copy-on-write snapshot), or `None` when unknown.
+    pub fn dataset_points(&self, name: &str) -> Option<Vec<Point2>> {
+        self.shared.registry.get(name).map(|e| e.points.clone())
+    }
 }
 
 /// Dispatcher: pop → linger one batch window → drain same-dataset queue
@@ -648,6 +741,13 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             let mut cache = shared.cache.lock().unwrap();
             for &v in variants.as_slice() {
                 if let Some(hit) = cache.lookup(&entry.name, v) {
+                    // A concurrent APPEND may leave entries sized for a
+                    // different snapshot than the one this batch holds;
+                    // they are valid for *their* generation but unusable
+                    // as warm sources here.
+                    if hit.result.len() != entry.index.len() {
+                        continue;
+                    }
                     hits += 1;
                     if !warm.iter().any(|w| w.variant == hit.variant) {
                         warm.push(WarmSource {
@@ -716,9 +816,19 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     if shared.cache_enabled {
         let evicted = {
             let mut cache = shared.cache.lock().unwrap();
+            // Insert only while this batch's snapshot is still current:
+            // the registry read happens *under the cache lock*, the same
+            // lock `APPEND`'s repair pass holds, so a stale-generation
+            // result can never slip in behind the repair sweep.
+            let current = shared
+                .registry
+                .get(&entry.name)
+                .is_some_and(|e| e.index.len() == entry.index.len());
             let before = cache.stats().evictions;
-            for (i, &v) in variants.as_slice().iter().enumerate() {
-                cache.insert(&entry.name, v, Arc::clone(&report.results[i]));
+            if current {
+                for (i, &v) in variants.as_slice().iter().enumerate() {
+                    cache.insert(&entry.name, v, Arc::clone(&report.results[i]));
+                }
             }
             cache.stats().evictions - before
         };
@@ -767,6 +877,224 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 }
 
+/// What one applied `APPEND` did, as reported on the wire.
+struct AppendOutcome {
+    appended: usize,
+    total: usize,
+    repaired: usize,
+    dropped: usize,
+    deltas: u64,
+    ms: f64,
+}
+
+/// Applies one `APPEND` batch end to end, under the append lock:
+/// incremental index maintenance, copy-on-write registry swap, cache
+/// repair, and watch-stream deltas. Returns a typed rejection without
+/// having mutated anything when the batch is unusable — a torn or
+/// invalid `APPEND` must leave the dataset at its pre-append snapshot.
+fn apply_append(
+    shared: &Shared,
+    dataset: &str,
+    points: &[Point2],
+) -> Result<AppendOutcome, (ErrorCode, String)> {
+    let _guard = shared.append_lock.lock().unwrap();
+    let Some(old_entry) = shared.registry.get(dataset) else {
+        return Err((
+            ErrorCode::UnknownDataset,
+            format!("dataset '{dataset}' is not registered"),
+        ));
+    };
+    let t0 = Instant::now();
+    let (index, report) = shared
+        .engine
+        .append_to_prepared(&old_entry.index, points)
+        .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
+
+    // Swap the registry *before* repairing the cache: any in-flight
+    // batch that tries to insert an old-generation result after this
+    // point sees a length mismatch (checked under the cache lock) and
+    // skips; anything inserted before is swept by the repair below.
+    let mut all_points = old_entry.points.clone();
+    all_points.extend_from_slice(points);
+    let entry = Arc::new(DatasetEntry {
+        name: old_entry.name.clone(),
+        points: all_points,
+        index,
+        suggested_eps: old_entry.suggested_eps,
+    });
+    shared.registry.swap(Arc::clone(&entry));
+
+    let repair = repair_cache(shared, &old_entry, &entry, points);
+    let deltas = notify_watchers(shared, dataset, points);
+
+    shared
+        .metrics
+        .observe_append(points.len() as u32, report.total as u32);
+    shared
+        .metrics
+        .observe_cache_repair(0, repair.dropped as u32, repair.repaired as u32);
+    Ok(AppendOutcome {
+        appended: points.len(),
+        total: report.total,
+        repaired: repair.repaired,
+        dropped: repair.dropped,
+        deltas,
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Incremental [`DominanceCache`] repair after an append: each cached
+/// entry for the dataset is either *extended* (when the insertion
+/// provably cannot have changed any old label) or *dropped* (when its
+/// ε-region was touched, or it belongs to an older generation).
+///
+/// The untouched test is exact, not heuristic: an entry at variant `v`
+/// is untouched iff no inserted point has a pre-append point within
+/// `v.eps`. Then every old point keeps its ε-neighborhood, hence its
+/// count, core status, and label; the inserted points cluster purely
+/// among themselves and are spliced on with offset cluster ids.
+fn repair_cache(
+    shared: &Shared,
+    old_entry: &DatasetEntry,
+    entry: &DatasetEntry,
+    appended: &[Point2],
+) -> RepairStats {
+    if !shared.cache_enabled {
+        return RepairStats::default();
+    }
+    let old_n = old_entry.points.len();
+    // The successor index's dynamic mirror answers ε-queries in caller
+    // id space, so "pre-append point" is simply `id < old_n`.
+    let dynamic = entry
+        .index
+        .dynamic()
+        .expect("append_to_prepared always materializes the dynamic mirror");
+    let mut neighbors: Vec<vbp_geom::PointId> = Vec::new();
+    let mut cache = shared.cache.lock().unwrap();
+    cache.maintain_after_append(&entry.name, |variant, result| {
+        if result.len() != old_n {
+            // An older generation (raced a previous append's sweep);
+            // nothing to extend it from.
+            return None;
+        }
+        for &p in appended {
+            neighbors.clear();
+            dynamic.epsilon_neighbors(p, variant.eps, &mut neighbors);
+            if neighbors.iter().any(|&q| (q as usize) < old_n) {
+                return None; // ε-region touched: old labels may shift
+            }
+        }
+        // Untouched: splice. Old labels come out in caller order via the
+        // *old* permutation, the appended points are clustered alone and
+        // offset past the old cluster ids, and the combined caller-order
+        // labeling is mapped into the successor index's tree order.
+        let old_caller = old_entry.index.labels_in_caller_order(result);
+        let offset = result.num_clusters() as u32;
+        let tail = dbscan_brute_force(appended, DbscanParams::new(variant.eps, variant.minpts));
+        let mut caller: Vec<u32> = old_caller;
+        caller.extend(tail.labels().iter_raw().map(|l| {
+            if l <= MAX_CLUSTER_ID {
+                l + offset
+            } else {
+                l // noise / unclassified sentinels pass through
+            }
+        }));
+        let tree: Vec<u32> = entry
+            .index
+            .permutation()
+            .iter()
+            .map(|&orig| caller[orig as usize])
+            .collect();
+        Some(Arc::new(ClusterResult::from_labels(Labels::from_raw(tree))))
+    })
+}
+
+/// Feeds an applied append batch to every watch stream of `dataset`,
+/// broadcasting one `DELTA` line per subscriber, and prunes dead
+/// subscribers and empty streams. Returns the number of delta lines
+/// actually delivered.
+fn notify_watchers(shared: &Shared, dataset: &str, appended: &[Point2]) -> u64 {
+    let mut watchers = shared.watchers.lock().unwrap();
+    let mut delivered = 0u64;
+    for stream in watchers.iter_mut().filter(|s| s.dataset == dataset) {
+        let mut promoted = 0usize;
+        for &p in appended {
+            promoted += stream.inc.insert(p).newly_core.len();
+        }
+        let snapshot = stream.inc.snapshot();
+        let labels: Vec<u32> = snapshot.labels().iter_raw().collect();
+        let core: Vec<bool> = (0..labels.len())
+            .map(|p| stream.inc.is_core(p as u32))
+            .collect();
+        let (born, absorbed) = delta_counts(
+            &stream.labels,
+            &stream.core,
+            &labels,
+            snapshot.num_clusters(),
+        );
+        let clusters = snapshot.num_clusters();
+        let noise = snapshot.noise_count();
+        debug_assert_eq!(stream.clusters + born - absorbed, clusters);
+        let line = format!(
+            "DELTA {} {} {} appended={} new={} absorbed={} promoted={} clusters={} noise={}",
+            stream.dataset,
+            stream.variant.eps,
+            stream.variant.minpts,
+            appended.len(),
+            born,
+            absorbed,
+            promoted,
+            clusters,
+            noise
+        );
+        stream.labels = labels;
+        stream.core = core;
+        stream.clusters = clusters;
+        stream.noise = noise;
+        stream
+            .subscribers
+            .retain(|tx| tx.send(line.clone()).is_ok());
+        delivered += stream.subscribers.len() as u64;
+    }
+    watchers.retain(|s| !s.subscribers.is_empty());
+    if delivered > 0 {
+        shared.metrics.observe_watch_deltas(delivered);
+    }
+    delivered
+}
+
+/// Cluster-delta census between two snapshots of an insertion-only
+/// clustering: `(born, absorbed)` such that `clusters_before + born -
+/// absorbed == clusters_after`.
+///
+/// Correspondence is computed over points that were *core before* —
+/// cores never leave their cluster under insertion (components only
+/// merge), while border points may be re-claimed across clusters, which
+/// would double-count a cluster as both surviving and absorbed.
+fn delta_counts(
+    before: &[u32],
+    core_before: &[bool],
+    after: &[u32],
+    clusters_after: usize,
+) -> (usize, usize) {
+    use std::collections::BTreeSet;
+    let mut sources: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); clusters_after];
+    for p in 0..before.len() {
+        if core_before[p] && before[p] <= MAX_CLUSTER_ID {
+            let a = after[p];
+            debug_assert!(a <= MAX_CLUSTER_ID, "a core point cannot become noise");
+            sources[a as usize].insert(before[p]);
+        }
+    }
+    let born = sources.iter().filter(|s| s.is_empty()).count();
+    let absorbed = sources
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| s.len() - 1)
+        .sum();
+    (born, absorbed)
+}
+
 /// Per-connection request loop over any [`Transport`], with bounded
 /// line framing. Framing violations cost one `ERR protocol` each and
 /// resynchronize; only EOF, a fatal I/O error, `QUIT`, or the stop flag
@@ -774,10 +1102,19 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
 fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &AtomicBool) {
     let _ = transport.set_read_timeout(Some(shared.poll_interval));
     let mut io = LineIo::new(transport, shared.max_line_bytes);
+    // `WATCH` subscriptions this connection holds: `DELTA` pushes are
+    // drained between request/response exchanges and at every
+    // read-timeout poll, never inside an exchange. Dropping the
+    // receivers on exit is the unsubscribe — the next broadcast prunes
+    // the dead sender.
+    let mut watches: Vec<mpsc::Receiver<String>> = Vec::new();
     loop {
         match io.next_event() {
             Ok(LineEvent::Line(line)) => {
-                if respond(line.trim(), shared, &mut io).is_err() {
+                if respond(line.trim(), shared, &mut io, &mut watches).is_err() {
+                    break;
+                }
+                if drain_watches(&mut io, &mut watches).is_err() {
                     break;
                 }
             }
@@ -806,6 +1143,9 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
+                if drain_watches(&mut io, &mut watches).is_err() {
+                    break;
+                }
             }
             Ok(LineEvent::Eof) | Err(_) => break,
         }
@@ -813,8 +1153,38 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
     io.transport_mut().close();
 }
 
+/// Flushes every pending `DELTA` push to the wire; drops receivers
+/// whose stream has been pruned server-side.
+fn drain_watches<T: Transport>(
+    io: &mut LineIo<T>,
+    watches: &mut Vec<mpsc::Receiver<String>>,
+) -> Result<(), ()> {
+    let mut i = 0;
+    'streams: while i < watches.len() {
+        loop {
+            match watches[i].try_recv() {
+                Ok(line) => send_line(io, &line)?,
+                Err(mpsc::TryRecvError::Empty) => {
+                    i += 1;
+                    continue 'streams;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    watches.swap_remove(i);
+                    continue 'streams;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Handles one request line; `Err(())` means "close this connection".
-fn respond<T: Transport>(line: &str, shared: &Shared, io: &mut LineIo<T>) -> Result<(), ()> {
+fn respond<T: Transport>(
+    line: &str,
+    shared: &Shared,
+    io: &mut LineIo<T>,
+    watches: &mut Vec<mpsc::Receiver<String>>,
+) -> Result<(), ()> {
     if line.is_empty() {
         return Ok(());
     }
@@ -926,6 +1296,120 @@ fn respond<T: Transport>(line: &str, shared: &Shared, io: &mut LineIo<T>) -> Res
                 }
             }
         }
+        Request::Append { dataset, points } => {
+            if shared.draining.load(Ordering::Acquire) {
+                let mut s = shared.stats.lock().unwrap();
+                s.appends += 1;
+                s.appends_rejected += 1;
+                drop(s);
+                return send_line(
+                    io,
+                    &err_line(ErrorCode::Draining, "server is shutting down"),
+                );
+            }
+            match apply_append(shared, &dataset, &points) {
+                Ok(outcome) => {
+                    {
+                        let mut s = shared.stats.lock().unwrap();
+                        s.appends += 1;
+                        s.appends_applied += 1;
+                        s.append_points += outcome.appended as u64;
+                        s.watch_deltas += outcome.deltas;
+                    }
+                    send_line(
+                        io,
+                        &format!(
+                            "OK appended={} total={} repaired={} dropped={} ms={:.3}",
+                            outcome.appended,
+                            outcome.total,
+                            outcome.repaired,
+                            outcome.dropped,
+                            outcome.ms
+                        ),
+                    )
+                }
+                Err((code, msg)) => {
+                    {
+                        let mut s = shared.stats.lock().unwrap();
+                        s.appends += 1;
+                        s.appends_rejected += 1;
+                        if code == ErrorCode::UnknownDataset {
+                            s.unknown_dataset += 1;
+                        }
+                    }
+                    send_line(io, &err_line(code, &msg))
+                }
+            }
+        }
+        Request::Watch {
+            dataset,
+            eps,
+            minpts,
+        } => {
+            if shared.draining.load(Ordering::Acquire) {
+                return send_line(
+                    io,
+                    &err_line(ErrorCode::Draining, "server is shutting down"),
+                );
+            }
+            // The append lock keeps the registry snapshot and the new
+            // stream's replayed state consistent: no append can land
+            // between reading the points and registering the stream.
+            let guard = shared.append_lock.lock().unwrap();
+            let Some(entry) = shared.registry.get(&dataset) else {
+                drop(guard);
+                shared.stats.lock().unwrap().unknown_dataset += 1;
+                return send_line(
+                    io,
+                    &err_line(
+                        ErrorCode::UnknownDataset,
+                        &format!("dataset '{dataset}' is not registered"),
+                    ),
+                );
+            };
+            let variant = Variant::new(eps, minpts);
+            let (tx, rx) = mpsc::channel();
+            let (clusters, noise) = {
+                let mut watchers = shared.watchers.lock().unwrap();
+                match watchers
+                    .iter_mut()
+                    .find(|s| s.dataset == dataset && s.variant == variant)
+                {
+                    Some(stream) => {
+                        stream.subscribers.push(tx);
+                        (stream.clusters, stream.noise)
+                    }
+                    None => {
+                        let mut inc = IncrementalDbscan::new(DbscanParams::new(eps, minpts));
+                        for &p in &entry.points {
+                            inc.insert(p);
+                        }
+                        let snapshot = inc.snapshot();
+                        let labels: Vec<u32> = snapshot.labels().iter_raw().collect();
+                        let core = (0..labels.len()).map(|p| inc.is_core(p as u32)).collect();
+                        let census = (snapshot.num_clusters(), snapshot.noise_count());
+                        watchers.push(WatchStream {
+                            dataset: dataset.clone(),
+                            variant,
+                            inc,
+                            labels,
+                            core,
+                            clusters: census.0,
+                            noise: census.1,
+                            subscribers: vec![tx],
+                        });
+                        census
+                    }
+                }
+            };
+            drop(guard);
+            shared.stats.lock().unwrap().watches += 1;
+            watches.push(rx);
+            send_line(
+                io,
+                &format!("OK watching {dataset} {eps} {minpts} clusters={clusters} noise={noise}"),
+            )
+        }
     }
 }
 
@@ -941,7 +1425,7 @@ mod tests {
 
     fn tiny_server(queue_cap: usize, cache_bytes: usize) -> ServerHandle {
         let engine = Engine::new(EngineConfig::default().with_threads(1).with_r(8));
-        let mut registry = Registry::new();
+        let registry = Registry::new();
         registry.load(&engine, "cF_10k_5N@300").unwrap();
         Server::start(
             engine,
@@ -978,6 +1462,8 @@ mod tests {
             stats: Mutex::new(ServiceStats::default()),
             metrics: Metrics::new(),
             started: Instant::now(),
+            append_lock: Mutex::new(()),
+            watchers: Mutex::new(Vec::new()),
         }
     }
 
@@ -1134,6 +1620,61 @@ mod tests {
             assert!(line.starts_with("vbp_"), "bad metric line {line:?}");
             assert_eq!(line.split(' ').count(), 2, "bad metric line {line:?}");
         }
+    }
+
+    #[test]
+    fn delta_counts_replays_the_census() {
+        // before: clusters {0} (cores), {1} (cores); after: cluster 0
+        // absorbed cluster 1, and a brand-new cluster 1 appeared among
+        // previously-noise points.
+        let before = vec![0, 0, 1, 1, NOISE_RAW, NOISE_RAW];
+        let core_before = vec![true, true, true, true, false, false];
+        let after = vec![0, 0, 0, 0, 1, 1];
+        let (born, absorbed) = delta_counts(&before, &core_before, &after, 2);
+        assert_eq!((born, absorbed), (1, 1));
+        // census replay: 2 before + 1 born - 1 absorbed = 2 after
+        assert_eq!(2 + born - absorbed, 2);
+    }
+    const NOISE_RAW: u32 = u32::MAX;
+
+    #[test]
+    fn append_and_watch_round_trip_through_the_handler() {
+        let handle = tiny_server(4, 1 << 20);
+        let (mem, out) = MemTransport::new(vec![
+            Step::Recv(b"WATCH cF_10k_5N@300 2.0 4\n".to_vec()),
+            Step::Recv(b"APPEND cF_10k_5N@300 0.0 0.0 0.05 0.05\n".to_vec()),
+            Step::Idle,
+            Step::Recv(b"QUIT\n".to_vec()),
+        ]);
+        handle.serve_transport(mem).join().unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("OK watching cF_10k_5N@300 2 4 clusters="),
+            "{text}"
+        );
+        assert!(lines[1].starts_with("OK appended=2 total=302"), "{text}");
+        assert!(
+            lines[2].starts_with("DELTA cF_10k_5N@300 2 4 appended=2"),
+            "{text}"
+        );
+        assert_eq!(*lines.last().unwrap(), "OK bye");
+        // The streaming invariant holds in both expositions.
+        let stats = handle.stats_json();
+        assert!(stats.contains("\"appends\":1"), "{stats}");
+        assert!(stats.contains("\"appends_applied\":1"), "{stats}");
+        assert!(stats.contains("\"appends_rejected\":0"), "{stats}");
+        let metrics = handle.metrics_text();
+        assert_eq!(metric(&metrics, "vbp_append_batches_total"), 1);
+        assert_eq!(metric(&metrics, "vbp_append_points_total"), 2);
+        assert_eq!(metric(&metrics, "vbp_watch_deltas_total"), 1);
+        assert_eq!(
+            handle.dataset_points("cF_10k_5N@300").unwrap().len(),
+            302,
+            "registry swapped to the successor snapshot"
+        );
+        let mut handle = handle;
+        handle.shutdown();
     }
 
     #[test]

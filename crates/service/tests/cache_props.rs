@@ -183,6 +183,92 @@ proptest! {
         let hit = cache.lookup("d", probe).expect("all candidates dominated");
         prop_assert_eq!(hit.variant, Variant::new(top, 4));
     }
+
+    /// Insertion invalidation: after an append, maintenance runs the
+    /// service's exact repair criterion — an entry survives only if no
+    /// appended point lands within its ε of any pre-existing point
+    /// (repaired to the grown length), else it is dropped. Afterwards no
+    /// lookup, at any probe, may ever return an entry whose ε-region the
+    /// append touched, nor one still sized for the old dataset — either
+    /// would hand the engine a stale warm source. Entries of *other*
+    /// datasets must ride through maintenance untouched.
+    #[test]
+    fn append_maintenance_never_leaks_a_touched_entry(
+        variants in proptest::collection::vec(arb_variant(), 1..10),
+        other in proptest::collection::vec(arb_variant(), 0..4),
+        base_n in 8usize..24,
+        appended_raw in proptest::collection::vec(0u32..10_000, 1..6),
+        probes in proptest::collection::vec(arb_variant(), 1..8),
+    ) {
+        let _wd = Watchdog::arm("cache-props-append", Duration::from_secs(120));
+        // Base points on the integer line [0, base_n); appended points
+        // land in [0, ~2·base_n), so each batch straddles touched and
+        // untouched regimes depending on the entry's ε.
+        let base: Vec<f64> = (0..base_n).map(|i| i as f64).collect();
+        let appended: Vec<f64> = appended_raw
+            .iter()
+            .map(|&r| f64::from(r) / 10_000.0 * 2.0 * base_n as f64)
+            .collect();
+        let total = base_n + appended.len();
+        let touched = |eps: f64| {
+            appended
+                .iter()
+                .any(|a| base.iter().any(|b| (a - b).abs() <= eps))
+        };
+
+        let mut cache = DominanceCache::new(usize::MAX);
+        for v in &variants {
+            cache.insert("alpha", *v, result_of(base_n));
+        }
+        for v in &other {
+            cache.insert("beta", *v, result_of(base_n));
+        }
+        let mut distinct: Vec<Variant> = Vec::new();
+        for v in &variants {
+            if !distinct.contains(v) {
+                distinct.push(*v);
+            }
+        }
+        let alpha_before = distinct.len();
+
+        let stats = cache.maintain_after_append("alpha", |variant, result| {
+            assert_eq!(result.len(), base_n, "judge saw a non-alpha or mutated entry");
+            if touched(variant.eps) {
+                None
+            } else {
+                Some(result_of(total))
+            }
+        });
+        prop_assert_eq!(
+            stats.repaired + stats.dropped,
+            alpha_before,
+            "maintenance must visit every entry of the dataset exactly once"
+        );
+
+        for probe in &probes {
+            if let Some(hit) = cache.lookup("alpha", *probe) {
+                prop_assert!(
+                    !touched(hit.variant.eps),
+                    "lookup returned {} whose ε-region the append touched",
+                    hit.variant
+                );
+                prop_assert_eq!(
+                    hit.result.len(),
+                    total,
+                    "surviving entry {} not repaired to the grown dataset",
+                    hit.variant
+                );
+            }
+            if let Some(hit) = cache.lookup("beta", *probe) {
+                prop_assert_eq!(
+                    hit.result.len(),
+                    base_n,
+                    "maintenance of alpha mutated beta's entry {}",
+                    hit.variant
+                );
+            }
+        }
+    }
 }
 
 /// Deterministic Fisher–Yates driven by splitmix64 — enough entropy to

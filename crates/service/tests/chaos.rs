@@ -25,6 +25,16 @@
 //! job must fail with `ERR internal` while the same connection, dataset,
 //! and daemon keep serving — and must fail *fast*, not after the old
 //! 600 s reply timeout.
+//!
+//! The *streaming* schedules mix `APPEND` and `WATCH` into the fault
+//! soup: healthy appends, torn-write appends (which must apply whole),
+//! connections cut mid-`APPEND`-line (which must not mutate at all),
+//! appends to unknown datasets, non-finite coordinates, and watchers
+//! that vanish with deltas in flight. Afterwards the dataset length must
+//! equal exactly the sum of the *acknowledged* appends — a torn or cut
+//! line that partially mutated the registry shows up as a length drift —
+//! and `appends == appends_applied + appends_rejected` holds alongside
+//! the submit invariant. Replay with `VBP_CHAOS_STREAM_SEED=0x...`.
 
 mod common;
 
@@ -326,6 +336,222 @@ fn run_schedule(seed: u64) {
     );
 }
 
+/// One seeded point; `remote` points land far outside the data's
+/// bounding box (cache repair path), near ones inside it (drop path).
+fn seeded_point(rng: &mut Pcg32, base: &[Point2], remote: bool) -> Point2 {
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in base {
+        lo_x = lo_x.min(p.x);
+        hi_x = hi_x.max(p.x);
+        lo_y = lo_y.min(p.y);
+        hi_y = hi_y.max(p.y);
+    }
+    let (w, h) = (hi_x - lo_x, hi_y - lo_y);
+    let offset = if remote { 50.0 * (w + h + 1.0) } else { 0.0 };
+    let fx = rng.below(10_000) as f64 / 10_000.0;
+    let fy = rng.below(10_000) as f64 / 10_000.0;
+    Point2::new(lo_x + offset + fx * w, lo_y + offset + fy * h)
+}
+
+/// Appends one seeded point through a torn-write transport (client-side
+/// writes split at seeded byte boundaries). The line arrives whole, so
+/// the append must apply whole — torn *writes* are invisible to the
+/// request boundary.
+fn torn_append(handle: &ServerHandle, sub_seed: u64, p: Point2, total_before: usize, ctx: &str) {
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = stream.try_clone().unwrap();
+    let mut transport =
+        FaultTransport::new(TcpTransport::new(stream), FaultPlan::torn_writes(sub_seed));
+    transport
+        .write_all(format!("APPEND {DATASET} {} {}\n", p.x, p.y).as_bytes())
+        .unwrap();
+    let mut head = String::new();
+    BufReader::new(reader).read_line(&mut head).unwrap();
+    assert!(
+        head.starts_with("OK appended=1 "),
+        "{ctx}: torn append answered {head:?}"
+    );
+    assert!(
+        head.contains(&format!("total={}", total_before + 1)),
+        "{ctx}: torn append total drifted: {head:?}"
+    );
+}
+
+/// One seeded *streaming* fault schedule: APPEND/WATCH traffic woven
+/// into the hostile mix, with the dataset-length ledger and both counter
+/// invariants checked at the end.
+fn run_streaming_schedule(seed: u64) {
+    let ctx_seed = format!("stream-chaos 0x{seed:x}");
+    let mut rng = Pcg32::seeded(seed);
+    let o = oracle();
+    let mut handle = chaos_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    // The ledger: every acknowledged append bumps it; nothing else may.
+    let mut expected_total = o.points.len();
+    let (mut applied_local, mut rejected_local) = (0u64, 0u64);
+    let mut watchers: Vec<Client> = Vec::new();
+
+    let actions = 10 + rng.below(6) as usize;
+    for a in 0..actions {
+        let ctx = format!("{ctx_seed} action {a}");
+        match rng.below(9) {
+            // Healthy submit riding along (no labels — the dataset
+            // mutates under this schedule, so the oracle is stale; the
+            // equivalence suite owns label checking).
+            0 => {
+                let (eps, minpts) = o.pool[rng.below(o.pool.len() as u32) as usize];
+                client
+                    .submit(DATASET, eps, minpts, false)
+                    .unwrap_or_else(|e| panic!("{ctx}: submit failed: {e}"));
+            }
+            // Healthy append of a seeded batch.
+            1 | 2 => {
+                let k = 1 + rng.below(6) as usize;
+                let remote = rng.below(2) == 0;
+                let batch: Vec<Point2> = (0..k)
+                    .map(|_| seeded_point(&mut rng, &o.points, remote))
+                    .collect();
+                let reply = client
+                    .append(DATASET, &batch)
+                    .unwrap_or_else(|e| panic!("{ctx}: append failed: {e}"));
+                expected_total += k;
+                applied_local += 1;
+                assert_eq!(reply.appended, k, "{ctx}");
+                assert_eq!(reply.total, expected_total, "{ctx}: append total");
+            }
+            // Torn-write append: must apply whole.
+            3 => {
+                let remote = rng.below(2) == 0;
+                let p = seeded_point(&mut rng, &o.points, remote);
+                torn_append(&handle, rng.next_u64(), p, expected_total, &ctx);
+                expected_total += 1;
+                applied_local += 1;
+            }
+            // Connection cut mid-APPEND-line: must not mutate at all
+            // (the final ledger check catches any partial apply).
+            4 => {
+                let full = format!("APPEND {DATASET} 1.25 2.5 3.75 4.125");
+                let cut = 1 + rng.below(full.len() as u32 - 1) as usize;
+                if let Ok(mut s) = TcpStream::connect(handle.local_addr()) {
+                    let _ = s.write_all(&full.as_bytes()[..cut]);
+                    drop(s);
+                }
+            }
+            // Append to an unknown dataset: typed rejection, counted.
+            5 => {
+                let err = client
+                    .append("no_such_dataset", &[Point2::new(1.0, 2.0)])
+                    .expect_err("append to unknown dataset must fail");
+                assert_eq!(err.code(), Some(ErrorCode::UnknownDataset), "{ctx}: {err}");
+                rejected_local += 1;
+            }
+            // Non-finite coordinates die at the parser (a protocol
+            // error, not an append) and must not mutate.
+            6 => {
+                let bad = ["nan", "inf", "-inf"][rng.below(3) as usize];
+                let reply =
+                    raw_exchange(&handle, format!("APPEND {DATASET} {bad} 1.0\n").as_bytes())
+                        .unwrap_or_else(|| panic!("{ctx}: non-finite append got no reply"));
+                assert!(
+                    reply.starts_with("ERR "),
+                    "{ctx}: non-finite append got {reply:?}"
+                );
+            }
+            // Subscribe a watcher — or vanish one with deltas pending.
+            7 => {
+                if !watchers.is_empty() && rng.below(3) == 0 {
+                    drop(watchers.swap_remove(rng.below(watchers.len() as u32) as usize));
+                } else {
+                    let mut w = Client::connect(handle.local_addr()).unwrap();
+                    let (eps, minpts) = o.pool[rng.below(o.pool.len() as u32) as usize];
+                    w.watch(DATASET, eps, minpts)
+                        .unwrap_or_else(|e| panic!("{ctx}: watch failed: {e}"));
+                    watchers.push(w);
+                }
+            }
+            // Classic fault soup: garbage or oversized line.
+            _ => {
+                if rng.below(2) == 0 {
+                    let n = 1 + rng.below(40) as usize;
+                    let mut payload: Vec<u8> = (0..n).map(|_| 33 + (rng.below(94) as u8)).collect();
+                    payload.push(b'\n');
+                    if let Some(reply) = raw_exchange(&handle, &payload) {
+                        assert!(reply.starts_with("ERR "), "{ctx}: garbage got {reply:?}");
+                    }
+                } else {
+                    let mut payload = vec![b'x'; MAX_LINE + 1 + rng.below(2048) as usize];
+                    payload.push(b'\n');
+                    let reply = raw_exchange(&handle, &payload)
+                        .unwrap_or_else(|| panic!("{ctx}: oversized line got no reply"));
+                    assert!(
+                        reply.starts_with("ERR protocol"),
+                        "{ctx}: oversized line got {reply:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // The ledger: exactly the acknowledged appends mutated the dataset —
+    // a cut or torn line that half-applied shows up right here.
+    assert_eq!(
+        handle.dataset_points(DATASET).unwrap().len(),
+        expected_total,
+        "{ctx_seed}: dataset length drifted from the append ledger"
+    );
+
+    // Both counter invariants, plus exact append accounting.
+    let stats = client.stats_json().unwrap();
+    assert_stats_consistent(&stats, &ctx_seed);
+    assert_eq!(field_u64(&stats, "failed"), 0, "{ctx_seed}: failed jobs");
+    assert_eq!(
+        field_u64(&stats, "appends_applied"),
+        applied_local,
+        "{ctx_seed}: applied count in {stats}"
+    );
+    assert_eq!(
+        field_u64(&stats, "appends_rejected"),
+        rejected_local,
+        "{ctx_seed}: rejected count in {stats}"
+    );
+    handle
+        .cache_invariants()
+        .unwrap_or_else(|e| panic!("{ctx_seed}: cache invariant broken: {e}"));
+
+    // METRICS agrees with STATS once the (cut-line) stragglers settle.
+    let mut settled = false;
+    for _ in 0..500 {
+        let before = client.stats_json().unwrap();
+        let metrics = client.metrics().unwrap();
+        let after = client.stats_json().unwrap();
+        let stable = ["submitted", "protocol_errors", "bad_request", "appends"]
+            .iter()
+            .all(|k| field_u64(&before, k) == field_u64(&after, k))
+            && field_u64(&after, "in_flight") == 0;
+        if stable {
+            assert_metrics_match_stats(&metrics, &before, &ctx_seed);
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(settled, "{ctx_seed}: traffic never quiesced");
+
+    drop(watchers);
+    client.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "{ctx_seed}: drain did not bound"
+    );
+}
+
 fn schedule_seeds() -> Vec<u64> {
     if let Ok(replay) = std::env::var("VBP_CHAOS_SEED") {
         let hex = replay.trim().trim_start_matches("0x");
@@ -357,6 +583,41 @@ fn seeded_fault_schedules_preserve_all_three_invariants() {
             panic!(
                 "chaos schedule failed: {msg}\n\
                  replay with: VBP_CHAOS_SEED=0x{seed:x} cargo test -p vbp-service --test chaos"
+            );
+        }
+    }
+}
+
+fn streaming_schedule_seeds() -> Vec<u64> {
+    if let Ok(replay) = std::env::var("VBP_CHAOS_STREAM_SEED") {
+        let hex = replay.trim().trim_start_matches("0x");
+        let seed = u64::from_str_radix(hex, 16)
+            .unwrap_or_else(|_| panic!("VBP_CHAOS_STREAM_SEED={replay} is not hex"));
+        return vec![seed];
+    }
+    let full = matches!(std::env::var("VBP_CHAOS_FULL"), Ok(v) if v != "0" && !v.is_empty());
+    let count = if full { 24 } else { 8 };
+    (0..count)
+        .map(|i: u64| 0xBEE5_7EAD ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+#[test]
+fn seeded_streaming_fault_schedules_preserve_the_append_ledger() {
+    let _wd = Watchdog::arm("chaos-streaming-schedules", Duration::from_secs(570));
+    for seed in streaming_schedule_seeds() {
+        if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_streaming_schedule(seed)
+        })) {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            panic!(
+                "streaming chaos schedule failed: {msg}\n\
+                 replay with: VBP_CHAOS_STREAM_SEED=0x{seed:x} \
+                 cargo test -p vbp-service --test chaos"
             );
         }
     }

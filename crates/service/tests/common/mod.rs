@@ -61,7 +61,7 @@ pub fn engine_config(threads: usize) -> EngineConfig {
 /// Starts a daemon over the named catalog datasets.
 pub fn start_server(datasets: &[&str], threads: usize, config: ServiceConfig) -> ServerHandle {
     let engine = Engine::new(engine_config(threads));
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     for name in datasets {
         registry.load(&engine, name).unwrap();
     }
@@ -156,6 +156,16 @@ pub fn assert_stats_consistent(json: &str, ctx: &str) {
         completed + failed + in_flight,
         "{ctx}: stats invariant broken in {json}"
     );
+    // The streaming twin: every well-formed APPEND is exactly one of
+    // applied or rejected (synchronous verb — no in-flight component).
+    let appends = field_u64(json, "appends");
+    let applied = field_u64(json, "appends_applied");
+    let rejected = field_u64(json, "appends_rejected");
+    assert_eq!(
+        appends,
+        applied + rejected,
+        "{ctx}: append invariant broken in {json}"
+    );
 }
 
 /// Pulls one `name value` line out of a Prometheus-style `METRICS`
@@ -194,6 +204,12 @@ pub fn assert_metrics_match_stats(metrics: &str, stats: &str, ctx: &str) {
         ("vbp_reuse_hits_total", "reuse_hits"),
         ("vbp_in_run_reused_total", "in_run_reused"),
         ("vbp_from_scratch_total", "from_scratch"),
+        ("vbp_append_batches_total", "appends"),
+        ("vbp_append_applied_total", "appends_applied"),
+        ("vbp_append_rejected_total", "appends_rejected"),
+        ("vbp_append_points_total", "append_points"),
+        ("vbp_watch_subscriptions_total", "watches"),
+        ("vbp_watch_deltas_total", "watch_deltas"),
     ] {
         assert_eq!(
             metric_u64(metrics, metric_name),

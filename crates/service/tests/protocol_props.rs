@@ -21,6 +21,7 @@ use common::{assert_stats_consistent, Watchdog};
 use proptest::prelude::*;
 use proptest::{collection, proptest};
 use variantdbscan::Engine;
+use vbp_geom::Point2;
 use vbp_service::{parse_request, ErrorCode, MemTransport, Registry, Request, Server, Step};
 
 /// Charset for generated dataset tokens: protocol-legal, whitespace-free.
@@ -56,9 +57,11 @@ proptest! {
     /// Layer 1b: NUL bytes and truncated multi-byte sequences never
     /// smuggle a verb past the tokenizer.
     #[test]
-    fn nul_and_truncation_probes(prefix in 0usize..7, junk in collection::vec(any::<u8>(), 0..16)) {
-        let verb: &[u8] =
-            [&b"HELLO"[..], b"DATASETS", b"SUBMIT", b"STATS", b"METRICS", b"SHUTDOWN", b"QUIT"][prefix];
+    fn nul_and_truncation_probes(prefix in 0usize..9, junk in collection::vec(any::<u8>(), 0..16)) {
+        let verb: &[u8] = [
+            &b"HELLO"[..], b"DATASETS", b"SUBMIT", b"STATS", b"METRICS", b"SHUTDOWN", b"QUIT",
+            b"APPEND", b"WATCH",
+        ][prefix];
         let mut bytes = verb.to_vec();
         bytes.push(0);
         bytes.extend_from_slice(&junk);
@@ -88,6 +91,67 @@ proptest! {
             labels,
         };
         prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+    }
+
+    /// Layer 2b: well-formed APPENDs round-trip exactly — every
+    /// coordinate survives float formatting bit-for-bit, in order.
+    #[test]
+    fn append_roundtrip_is_identity(
+        name_idx in collection::vec(any::<u8>(), 1..24),
+        coords in collection::vec((-1e12f64..1e12, -1e12f64..1e12), 1..16),
+    ) {
+        let req = Request::Append {
+            dataset: dataset_name(&name_idx),
+            points: coords.iter().map(|&(x, y)| Point2::new(x, y)).collect(),
+        };
+        prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+    }
+
+    /// Layer 2c: well-formed WATCH subscriptions round-trip exactly.
+    #[test]
+    fn watch_roundtrip_is_identity(
+        name_idx in collection::vec(any::<u8>(), 1..24),
+        eps in 1e-9f64..1e9,
+        minpts in 1usize..100_000,
+    ) {
+        let req = Request::Watch {
+            dataset: dataset_name(&name_idx),
+            eps,
+            minpts,
+        };
+        prop_assert_eq!(parse_request(&req.encode()), Ok(req));
+    }
+
+    /// Non-finite coordinates never parse into an APPEND (or WATCH ε) —
+    /// they die at the tokenizer with a reasoned rejection, so no
+    /// NaN/∞ ever reaches the spatial index.
+    #[test]
+    fn non_finite_floats_never_parse(
+        name_idx in collection::vec(any::<u8>(), 1..12),
+        good in collection::vec((-1e9f64..1e9, -1e9f64..1e9), 0..4),
+        bad_at in 0usize..64,
+        bad_idx in 0usize..5,
+        watch in any::<bool>(),
+    ) {
+        let bad_tok = ["nan", "NaN", "inf", "-inf", "infinity"][bad_idx];
+        let ds = dataset_name(&name_idx);
+        let line = if watch {
+            format!("WATCH {ds} {bad_tok} 4")
+        } else {
+            let mut toks: Vec<String> = good
+                .iter()
+                .flat_map(|&(x, y)| [x.to_string(), y.to_string()])
+                .collect();
+            toks.insert(bad_at % (toks.len() + 1), bad_tok.to_string());
+            // Keep the coordinate count even so only finiteness can be
+            // the reason for rejection.
+            toks.push("1.0".to_string());
+            format!("APPEND {ds} {}", toks.join(" "))
+        };
+        match parse_request(&line) {
+            Ok(req) => prop_assert!(false, "non-finite line parsed: {:?} -> {:?}", line, req),
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
     }
 
     /// Layer 3: arbitrary byte streams through the real connection

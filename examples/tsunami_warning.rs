@@ -1,5 +1,5 @@
-//! Tsunami early-warning scenario: tracking a circular ionospheric
-//! disturbance with spatiotemporal clustering.
+//! Tsunami early-warning scenario: a live detection stream triggering
+//! through the daemon, confirmed by spatiotemporal clustering.
 //!
 //! The paper's introduction motivates VariantDBSCAN with tsunami- and
 //! earthquake-induced ionospheric signatures (Occhipinti et al., their
@@ -7,33 +7,111 @@
 //! gravity-wave rings through the ionosphere, expanding at roughly the
 //! tsunami propagation speed (~200 m/s ≈ 0.1°/min at TEC heights).
 //!
-//! This example simulates thresholded TEC detections of such a ring over
-//! a background of unrelated scatter, clusters the stream with ST-DBSCAN
-//! (time-windowed), and estimates the ring's expansion speed from the
-//! per-window cluster geometry — the quantity a warning system compares
-//! against tsunami physics to confirm the hazard.
+//! This example runs the realistic two-stage pipeline:
+//!
+//! 1. **Streaming trigger** — thresholded TEC detections arrive
+//!    minute-by-minute as `APPEND` batches to the in-process daemon; a
+//!    `WATCH` subscription turns each batch into a cluster delta, and
+//!    the cheap trigger fires once a coherent structure (sustained core
+//!    promotions into few clusters) emerges from the scatter.
+//! 2. **Confirmation** — only then does the expensive analysis run:
+//!    ST-DBSCAN over the archived spatiotemporal samples, tracking the
+//!    ring's expansion speed against tsunami physics.
 //!
 //! ```text
 //! cargo run --release --example tsunami_warning
 //! ```
 
+use std::time::Duration;
+
+use vbp::prelude::{Engine, EngineConfig};
 use vbp::vbp_data::Pcg32;
 use vbp::vbp_dbscan::{st_dbscan, StDbscanParams, StIndex, StPoint};
 use vbp::vbp_geom::Point2;
+use vbp::vbp_service::{Client, Registry, Server, ServiceConfig};
 
 /// Ring expansion speed in degrees per minute (ground truth).
 const TRUE_SPEED: f64 = 0.12;
 /// Epicenter (longitude, latitude).
 const EPICENTER: Point2 = Point2::new(-96.0, 36.0);
+const DATASET: &str = "tec_detections";
 
 fn main() {
-    let samples = simulate_detections(40, 400);
+    let minutes = 40;
+    let samples = simulate_detections(minutes, 400);
     println!(
-        "{} TEC detections over 40 minutes around epicenter {}",
+        "{} TEC detections over {minutes} minutes around epicenter {}",
         samples.len(),
         EPICENTER
     );
 
+    // ── Stage 1: streaming trigger through the daemon ──
+    // Minute 0 seeds the live dataset; each following minute arrives as
+    // one APPEND batch and returns one DELTA on the WATCH stream.
+    let by_minute: Vec<Vec<Point2>> = (0..minutes)
+        .map(|m| {
+            samples
+                .iter()
+                .filter(|s| s.t >= m as f64 && s.t < (m + 1) as f64)
+                .map(|s| s.pos)
+                .collect()
+        })
+        .collect();
+    let engine = Engine::new(EngineConfig::default().with_threads(4));
+    let registry = Registry::new();
+    registry
+        .register(&engine, DATASET, by_minute[0].clone())
+        .expect("register first minute");
+    let mut handle = Server::start(
+        engine,
+        registry,
+        ServiceConfig {
+            batch_window: Duration::ZERO,
+            // A full minute of detections rides in one APPEND line.
+            max_line_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    client.watch(DATASET, 0.5, 6).expect("watch");
+
+    // Trigger rule: a hazard ring keeps promoting cores into the *same*
+    // few structures; uncorrelated scatter does not. Fire once the
+    // trailing three minutes each promoted a sustained core count.
+    let mut sustained = 0usize;
+    let mut trigger_minute = None;
+    for (minute, batch) in by_minute.iter().enumerate().skip(1) {
+        client.append(DATASET, batch).expect("append");
+        let delta = loop {
+            match client.poll_delta(Duration::from_secs(60)).expect("delta") {
+                Some(d) => break d,
+                None => continue,
+            }
+        };
+        sustained = if delta.promoted >= 20 {
+            sustained + 1
+        } else {
+            0
+        };
+        if sustained >= 3 && trigger_minute.is_none() {
+            trigger_minute = Some(minute);
+            println!(
+                "  t={minute:>2} min: trigger — {} cores promoted this minute into {} \
+                 structure(s); dispatching confirmation analysis",
+                delta.promoted, delta.clusters
+            );
+        }
+    }
+    client.shutdown().ok();
+    handle.wait();
+    let Some(trigger_minute) = trigger_minute else {
+        println!("\nstream ended without a streaming trigger — no warning issued");
+        return;
+    };
+
+    // ── Stage 2: spatiotemporal confirmation ──
     // Spatiotemporal clustering separates the moving disturbance (a
     // single connected spatiotemporal cluster — the ring sweeps less than
     // the spatial ε between temporally adjacent windows) from the
@@ -41,7 +119,8 @@ fn main() {
     let index = StIndex::build(&samples);
     let result = st_dbscan(&index, StDbscanParams::new(0.5, 3.0, 6));
     println!(
-        "ST-DBSCAN: {} spatiotemporal clusters, {} noise of {} samples",
+        "\nconfirmation (triggered at minute {trigger_minute}): ST-DBSCAN finds {} \
+         spatiotemporal clusters, {} noise of {} samples",
         result.num_clusters(),
         result.noise_count(),
         samples.len()

@@ -13,7 +13,11 @@
 # schedules (torn writes, garbage/oversized lines, mid-request
 # disconnects, injected engine panics) against live daemons, asserting
 # consistent counters, label-isomorphic replies, and bounded drains
-# after every schedule. Every service stage is wrapped in a hard wall
+# after every schedule — plus 8 streaming schedules mixing APPEND/WATCH
+# into the fault soup under an exact append ledger. A streaming-
+# equivalence stage replays seeded APPEND/SUBMIT/WATCH interleavings and
+# pins every post-append result to a from-scratch batch run. Every
+# service stage is wrapped in a hard wall
 # clock so a wedged daemon fails the gate instead of hanging it. A
 # shard metamorphic stage pins shard-merged DBSCAN labels to the
 # single-shard output across shard x thread grids under its own hard
@@ -24,7 +28,8 @@
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget and widens the chaos sweep to 96
-# seeded schedules; the default run already executes the fast budgets
+# seeded schedules (24 streaming) plus the enlarged streaming-equivalence
+# sweep (VBP_STREAM_FULL=1); the default run already executes the fast budgets
 # via the workspace test pass, so tier-1 runtime is unchanged.
 
 set -euo pipefail
@@ -50,8 +55,11 @@ cargo test --workspace -q
 echo "==> service loopback smoke (2 datasets x 20 variants over TCP)"
 timeout 300 cargo test -q -p vbp-service --test loopback_smoke
 
-echo "==> service chaos (24 seeded fault schedules + panic containment)"
+echo "==> service chaos (24 fault + 8 streaming schedules, panic containment)"
 timeout 300 cargo test -q -p vbp-service --test chaos
+
+echo "==> streaming equivalence (APPEND/SUBMIT/WATCH vs batch truth)"
+timeout 300 cargo test -q -p vbp-service --test streaming_equivalence
 
 echo "==> service protocol properties + stats consistency"
 timeout 300 cargo test -q -p vbp-service --test protocol_props
@@ -71,8 +79,10 @@ if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p vbp-rtree --test conformance
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p variantdbscan --test metamorphic_reuse
   VBP_CONFORMANCE_FULL=1 timeout 600 cargo test -q --release -p vbp-dbscan --test sharded_metamorphic
-  echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 schedules)"
+  echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 + 24 schedules)"
   VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test chaos
+  echo "==> streaming equivalence extended sweep (release, VBP_STREAM_FULL=1)"
+  VBP_STREAM_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test streaming_equivalence
 fi
 
 echo "All checks passed."

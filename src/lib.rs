@@ -16,12 +16,15 @@
 //!   multithreaded execution engine.
 //! - [`vbp_data`] — synthetic `cF-`/`cV-` dataset generators, the simulated
 //!   space-weather TEC maps standing in for SW1–SW4, and dataset IO.
+//! - [`vbp_service`] — the network daemon: `SUBMIT`/`APPEND`/`WATCH`
+//!   protocol, dominance cache, and the loopback client.
 
 pub use variantdbscan;
 pub use vbp_data;
 pub use vbp_dbscan;
 pub use vbp_geom;
 pub use vbp_rtree;
+pub use vbp_service;
 
 /// Convenience prelude that pulls in the types used by virtually every
 /// consumer of the library.
