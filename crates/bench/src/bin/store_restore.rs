@@ -1,0 +1,146 @@
+//! Warm-restore gate — proves the persistent store earns its keep.
+//!
+//! Measures, over an S1-scale dataset, the two ways a daemon can reach
+//! a servable prepared index:
+//!
+//! - **cold prepare** — `Engine::prepare` with auto-tuned `r`: bin
+//!   sort, T_low build, T_high build, and the empirical tune sweep;
+//! - **warm restore** — read the dataset's `.vbpstore` container and
+//!   `PreparedIndex::restore` it: checksum validation plus structural
+//!   re-checks, no sort, no builds, no sweep.
+//!
+//! Both paths are then driven through the same variant to prove the
+//! restored index answers bit-identical caller-order labels. The gate
+//! fails (non-zero exit, a `scripts/check.sh` stage) if the median
+//! restore is not at least 10x faster than the median cold prepare —
+//! the floor the store's design is accountable to; measured speedups
+//! are far higher. A positional argument writes the table to that path
+//! (e.g. `results/store_restore.txt`).
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin store_restore -- \
+//!     [--points N] [--trials K] [results/store_restore.txt]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use variantdbscan::{Engine, EngineConfig, PreparedIndex, RunRequest, Variant, VariantSet};
+use vbp_bench::BenchOpts;
+
+/// The minimum cold/restore ratio the gate accepts.
+const FLOOR: f64 = 10.0;
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+/// Caller-order labels of one variant on a prepared handle.
+fn labels_on(engine: &Engine, index: &PreparedIndex, eps: f64, minpts: usize) -> Vec<u32> {
+    let variants = VariantSet::new(vec![Variant::new(eps, minpts)]);
+    let report = engine
+        .execute(&RunRequest::prepared(index, &variants))
+        .expect("bench variant executes");
+    report.result_in_caller_order(0)
+}
+
+fn main() {
+    let (opts, positional) = BenchOpts::parse();
+    let spec = vbp_data::DatasetSpec::by_name("cF_100k_5N").expect("catalog dataset");
+    let points = vbp_bench::scale_dataset(&spec, opts.points, opts.full).generate();
+    let eps = 0.5; // the S1 scenarios' representative ε for cF data
+
+    let engine = Engine::new(EngineConfig::default().with_auto_r());
+
+    // Cold prepares; the last one becomes the snapshot source. One
+    // untimed warmup first, so the medians reflect steady state rather
+    // than allocator and page-cache warmup.
+    let _ = engine.prepare(&points, Some(eps)).expect("finite points");
+    let mut cold_ms = Vec::with_capacity(opts.trials);
+    let mut prepared = None;
+    for _ in 0..opts.trials.max(1) {
+        let t0 = Instant::now();
+        let index = engine.prepare(&points, Some(eps)).expect("finite points");
+        cold_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        prepared = Some(index);
+    }
+    let prepared = prepared.unwrap();
+
+    let file =
+        std::env::temp_dir().join(format!("vbp-store-restore-{}.vbpstore", std::process::id()));
+    let bytes = prepared.snapshot_bytes();
+    std::fs::write(&file, &bytes).expect("write snapshot");
+
+    // Warm restores: full read + checksum + structural validation.
+    // Same untimed warmup as the cold path.
+    {
+        let raw = std::fs::read(&file).expect("read snapshot");
+        let _ = PreparedIndex::restore(&mut raw.as_slice()).expect("restore snapshot");
+    }
+    let mut restore_ms = Vec::with_capacity(opts.trials);
+    let mut restored = None;
+    for _ in 0..opts.trials.max(1) {
+        let t0 = Instant::now();
+        let raw = std::fs::read(&file).expect("read snapshot");
+        let index = PreparedIndex::restore(&mut raw.as_slice()).expect("restore snapshot");
+        restore_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        restored = Some(index);
+    }
+    let restored = restored.unwrap();
+    let _ = std::fs::remove_file(&file);
+
+    // The restored index must be indistinguishable where it counts.
+    assert_eq!(
+        labels_on(&engine, &prepared, eps, 4),
+        labels_on(&engine, &restored, eps, 4),
+        "restored index answered different labels"
+    );
+
+    let cold = median(&cold_ms);
+    let warm = median(&restore_ms);
+    let speedup = cold / warm;
+
+    let mut table = String::new();
+    let _ = writeln!(table, "store_restore: cold prepare vs warm restore");
+    let _ = writeln!(
+        table,
+        "dataset cF_100k_5N @ {} points, auto-tuned r = {}, snapshot {} bytes, {} trials",
+        points.len(),
+        prepared.chosen_r(),
+        bytes.len(),
+        opts.trials
+    );
+    let _ = writeln!(
+        table,
+        "cold prepare (sort + 2 builds + tune):{cold:>12.3} ms"
+    );
+    let _ = writeln!(
+        table,
+        "warm restore (read + validate):       {warm:>12.3} ms"
+    );
+    let _ = writeln!(
+        table,
+        "speedup:                              {speedup:>12.1}x (gate: >= {FLOOR}x)"
+    );
+    print!("{table}");
+
+    if let Some(path) = positional.first() {
+        std::fs::write(path, &table).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if speedup < FLOOR {
+        eprintln!("GATE FAILED: restore is only {speedup:.1}x faster than cold prepare");
+        std::process::exit(1);
+    }
+}

@@ -441,21 +441,39 @@ fn service_config(args: &Args, addr: String) -> Result<vbp_service::ServiceConfi
     })
 }
 
-/// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT]` — run the daemon
-/// until a client sends `SHUTDOWN`.
+/// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT] [--store DIR]`
+/// — run the daemon until a client sends `SHUTDOWN`. With `--store`,
+/// datasets are restored warm from DIR when valid snapshot files exist
+/// (cold-rebuilt otherwise) and the warm state is persisted back on
+/// drain.
 pub fn serve(args: &Args) -> Result<String, String> {
     let config = engine_config(args)?;
     let engine = Engine::new(config);
     let names = dataset_list(args, "");
-    let registry = build_registry(&engine, &names)?;
+    if names.is_empty() {
+        return Err("--datasets: at least one dataset is required".into());
+    }
+    let store_dir = args.get("store").map(std::path::PathBuf::from);
+    let (registry, boot) = match &store_dir {
+        Some(dir) => vbp_service::boot_from_store(&engine, &names, dir)?,
+        None => (
+            build_registry(&engine, &names)?,
+            vbp_service::StoreBoot::default(),
+        ),
+    };
     let loaded: Vec<String> = registry
         .list()
         .into_iter()
         .map(|(n, s)| format!("{n} ({s} points)"))
         .collect();
-    let service = service_config(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?;
-    let mut handle =
-        vbp_service::Server::start(engine, registry, service).map_err(|e| e.to_string())?;
+    let mut service = service_config(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?;
+    service.store_dir = store_dir;
+    let restored = boot.restored;
+    let mut handle = vbp_service::Server::start_with_store(engine, registry, service, boot)
+        .map_err(|e| e.to_string())?;
+    if restored > 0 {
+        println!("vbp-store: restored {restored} dataset(s) warm");
+    }
     // Announce readiness immediately — scripts parse this line for the
     // resolved (possibly ephemeral) port; the command only returns after
     // the drain completes.
@@ -468,6 +486,112 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let _ = std::io::stdout().flush();
     handle.wait();
     Ok(format!("drained; final stats: {}\n", handle.stats_json()))
+}
+
+/// `vbp store inspect FILE` / `vbp store verify DIR` — offline tooling
+/// over the daemon's warm-state container files. Takes positional
+/// operands, so it is routed around the flag parser in `main`.
+pub fn store_cmd(raw: &[String]) -> Result<String, String> {
+    match raw {
+        [sub, path] if sub == "inspect" => store_inspect(std::path::Path::new(path)),
+        [sub, dir] if sub == "verify" => store_verify(std::path::Path::new(dir)),
+        _ => Err("usage: vbp store inspect FILE | vbp store verify DIR".into()),
+    }
+}
+
+/// Dumps one store file: container header, section directory, then the
+/// decoded dataset/index/cache summary (or the typed validation error).
+fn store_inspect(path: &std::path::Path) -> Result<String, String> {
+    use std::io::Read as _;
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut bytes = Vec::new();
+    f.take(vbp_store::MAX_FILE_BYTES + 1)
+        .read_to_end(&mut bytes)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let container = vbp_store::Container::parse(bytes.clone())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{}: vbp-store container v{}, {} bytes, {} sections",
+        path.display(),
+        container.version(),
+        bytes.len(),
+        container.sections().len()
+    );
+    for info in container.sections() {
+        let _ = writeln!(
+            s,
+            "  section 0x{:04x}: {} bytes, crc32 {:08x}",
+            info.id, info.len, info.crc
+        );
+    }
+    let snapshot = vbp_store::DatasetSnapshot::decode(&bytes)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let index = &snapshot.index;
+    let _ = writeln!(s, "dataset '{}':", snapshot.meta.name);
+    let _ = writeln!(
+        s,
+        "  {} points, r = {}, fanout = {}, {} appended since last sort",
+        index.points.len(),
+        index.chosen_r,
+        index.fanout,
+        index.appended_since_sort
+    );
+    match snapshot.meta.suggested_eps {
+        Some(eps) => {
+            let _ = writeln!(s, "  suggested ε = {eps}");
+        }
+        None => {
+            let _ = writeln!(s, "  suggested ε = none");
+        }
+    }
+    match &index.tune {
+        Some(t) => {
+            let _ = writeln!(
+                s,
+                "  tuned: best r = {} over {} candidates ({} samples)",
+                t.best_r,
+                t.timings.len(),
+                t.sample_size
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  tuned: no (fixed r)");
+        }
+    }
+    let _ = writeln!(s, "  cache entries: {}", snapshot.cache.len());
+    for rec in &snapshot.cache {
+        let _ = writeln!(s, "    ε = {}, minpts = {}", rec.eps, rec.minpts);
+    }
+    Ok(s)
+}
+
+/// Validates every store file under a directory; any failure makes the
+/// whole command fail (nonzero exit) after reporting all verdicts.
+fn store_verify(dir: &std::path::Path) -> Result<String, String> {
+    let verdicts = vbp_service::verify_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if verdicts.is_empty() {
+        return Ok(format!("{}: no .vbpstore files\n", dir.display()));
+    }
+    let mut s = String::new();
+    let mut failed = 0usize;
+    for (file, verdict) in &verdicts {
+        match verdict {
+            Ok(summary) => {
+                let _ = writeln!(s, "OK      {file}: {summary}");
+            }
+            Err(reason) => {
+                failed += 1;
+                let _ = writeln!(s, "FAILED  {file}: {reason}");
+            }
+        }
+    }
+    let _ = writeln!(s, "{} file(s), {failed} failed", verdicts.len());
+    if failed > 0 {
+        return Err(s);
+    }
+    Ok(s)
 }
 
 /// `vbp submit --dataset NAME --eps E [--minpts M] [--addr HOST:PORT]
@@ -753,6 +877,8 @@ commands:
            [--r R|auto] [--queue-cap N]       indexed once at startup and results
            [--cache-mb MB] [--batch-ms MS]    are cached across requests
            [--shards S]                       (S > 1 shards wide variants)
+           [--store DIR]                      (restore warm state from DIR at
+                                              boot, persist it back on drain)
   submit   --dataset NAME --eps E             send one variant to a daemon
            [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
   append   --dataset NAME                     stream points into a daemon's
@@ -765,6 +891,8 @@ commands:
                                               text exposition (METRICS verb)
   bench-service [--datasets …] [--out F]      in-process cold-vs-warm cache
            [--threads T] [--cache-mb MB]      throughput probe over loopback TCP
+  store inspect FILE                          dump a .vbpstore warm-state file
+  store verify DIR                            validate every store file in DIR
 "
     .to_string()
 }
@@ -794,6 +922,7 @@ mod tests {
             "shards",
             "points",
             "count",
+            "store",
         ],
         switches: &["render", "json", "labels"],
     };

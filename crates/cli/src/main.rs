@@ -29,6 +29,7 @@ const SPEC: Spec = Spec {
         "shards",
         "points",
         "count",
+        "store",
     ],
     switches: &["render", "json", "labels"],
 };
@@ -37,6 +38,19 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
         print!("{}", commands::usage());
+        return;
+    }
+    // `store` takes positional operands (`vbp store inspect FILE`,
+    // `vbp store verify DIR`), which the flag grammar rejects — route
+    // it before the parser.
+    if raw[0] == "store" {
+        match commands::store_cmd(&raw[1..]) {
+            Ok(output) => print!("{output}"),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     let result = Args::parse(&raw, &SPEC).and_then(|args| match args.command.as_str() {

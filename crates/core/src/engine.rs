@@ -71,6 +71,7 @@ use vbp_dbscan::{dbscan_with_scratch, sharded_dbscan, ClusterResult, DbscanScrat
 use vbp_geom::{BinOrder, Point2, PointId};
 use vbp_rtree::traits::shared_points;
 use vbp_rtree::{tune_r_sampled, DynamicRTree, PackedRTree, SpatialIndex, TuneReport};
+use vbp_store::{Container, IndexSnapshot, StoreError};
 
 use crate::expand::cluster_with_reuse_traced;
 use crate::metrics::{ExecutionPath, RunReport, ShardTotals, VariantOutcome, WorkerStats};
@@ -399,6 +400,175 @@ impl PreparedIndex {
         caller
     }
 
+    /// Writes this handle's complete warm state into `w` as one
+    /// checksummed [`vbp_store`] container: the tree-order points, the
+    /// permutation, the tuned-`r` report, and the append generation
+    /// counter. [`PreparedIndex::restore`] on those bytes skips the bin
+    /// sort and the auto-tune sweep entirely and re-derives both packed
+    /// trees from the stored order in O(n).
+    ///
+    /// The caller-order [`DynamicRTree`] mirror is *not* serialized —
+    /// a restored handle has [`PreparedIndex::dynamic`] `== None` and
+    /// the first append rematerializes it, exactly like a freshly
+    /// prepared handle. Callers that want a clean generation on disk
+    /// should flush a dirty tail through [`Engine::resort_prepared`]
+    /// first; snapshotting a dirty handle is still correct (the counter
+    /// round-trips), it just persists tail-degraded query locality.
+    pub fn snapshot<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.snapshot_bytes())
+    }
+
+    /// [`PreparedIndex::snapshot`] into an owned buffer.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.to_snapshot().encode()
+    }
+
+    /// This handle's warm state as plain store data, ready to embed in
+    /// a dataset file.
+    pub fn to_snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot {
+            points: self.t_low.shared_points(),
+            permutation: self.permutation.clone(),
+            chosen_r: self.chosen_r,
+            fanout: self.t_low.fanout(),
+            tune: self.tune.clone(),
+            build_time_ns: self.build_time.as_nanos().min(u128::from(u64::MAX)) as u64,
+            appended_since_sort: self.appended_since_sort as u64,
+        }
+    }
+
+    /// Rebuilds a handle from [`PreparedIndex::snapshot`] bytes without
+    /// bin-sorting or tuning — the store's near-instant warm restart.
+    /// Total on arbitrary input: every checksum, length, and
+    /// permutation invariant is validated and any violation comes back
+    /// as a typed [`StoreError`], never a panic and never an index that
+    /// could drop neighbors.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, StoreError> {
+        let container = Container::read_from(r)?;
+        Self::restore_container(&container)
+    }
+
+    /// [`PreparedIndex::restore`] over an already-parsed container.
+    pub fn restore_container(container: &Container) -> Result<Self, StoreError> {
+        // Decode has already proven every invariant `from_snapshot`
+        // re-checks, so the trusted constructor applies directly.
+        Ok(Self::from_snapshot_trusted(
+            IndexSnapshot::decode_container(container)?,
+        ))
+    }
+
+    /// Rebuilds a handle from decoded snapshot data.
+    ///
+    /// Both packed trees are *derived* from the stored tree-order
+    /// points — `PackedRTree::from_sorted_with_fanout` is the single
+    /// construction path fresh prepares, maintained appends, and
+    /// re-sorts all go through, so the derived trees are bit-identical
+    /// to the ones that were snapshotted, in every append-generation
+    /// state. Deriving (instead of trusting level MBBs from disk) also
+    /// closes the one hole checksums cannot: a CRC-valid but *crafted*
+    /// file whose boxes fail to cover their points would silently drop
+    /// neighbors; boxes computed from the validated points cannot.
+    ///
+    /// The snapshot's fields are re-validated here (decode already
+    /// guarantees them, but the struct is plain public data), so this
+    /// is total even on a hand-built snapshot.
+    pub fn from_snapshot(snap: IndexSnapshot) -> Result<Self, StoreError> {
+        let malformed = |section: u32, reason: String| StoreError::Malformed { section, reason };
+        let n = snap.points.len();
+        if snap.chosen_r < 1 {
+            return Err(malformed(
+                vbp_store::section_id::INDEX_META,
+                format!("bad r {}", snap.chosen_r),
+            ));
+        }
+        if snap.fanout < 2 {
+            return Err(malformed(
+                vbp_store::section_id::INDEX_META,
+                format!("bad fanout {}", snap.fanout),
+            ));
+        }
+        if snap.appended_since_sort > n as u64 {
+            return Err(malformed(
+                vbp_store::section_id::INDEX_META,
+                format!(
+                    "append generation {} exceeds {n} points",
+                    snap.appended_since_sort
+                ),
+            ));
+        }
+        if snap.permutation.len() != n {
+            return Err(malformed(
+                vbp_store::section_id::PERMUTATION,
+                format!("{} entries for {n} points", snap.permutation.len()),
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &i in &snap.permutation {
+            match seen.get_mut(i as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => {
+                    return Err(malformed(
+                        vbp_store::section_id::PERMUTATION,
+                        format!("permutation is not a bijection (entry {i})"),
+                    ))
+                }
+            }
+        }
+        if let Some(bad) = snap.points.iter().position(|p| !p.is_finite()) {
+            return Err(malformed(
+                vbp_store::section_id::POINTS,
+                format!("point {bad} has non-finite coordinates"),
+            ));
+        }
+        Ok(Self::from_snapshot_trusted(snap))
+    }
+
+    /// Dataset size from which the two tree derivations run on separate
+    /// threads — below this the spawn overhead eats the win.
+    const PARALLEL_RESTORE_MIN: usize = 8 * 1024;
+
+    /// [`PreparedIndex::from_snapshot`] minus the validation pass, for
+    /// callers (decode, `from_snapshot` itself) that have already proven
+    /// `chosen_r ≥ 1`, `fanout ≥ 2`, a bijective permutation covering
+    /// the points, finite coordinates, and a bounded append counter.
+    fn from_snapshot_trusted(snap: IndexSnapshot) -> Self {
+        let IndexSnapshot {
+            points,
+            permutation,
+            chosen_r,
+            fanout,
+            tune,
+            build_time_ns,
+            appended_since_sort,
+        } = snap;
+        let shared = points;
+        let xs: Arc<[f64]> = shared.iter().map(|p| p.x).collect();
+        let ys: Arc<[f64]> = shared.iter().map(|p| p.y).collect();
+        let (t_low, t_high) = if shared.len() >= Self::PARALLEL_RESTORE_MIN {
+            std::thread::scope(|s| {
+                let (hp, hx, hy) = (Arc::clone(&shared), Arc::clone(&xs), Arc::clone(&ys));
+                let high =
+                    s.spawn(move || PackedRTree::from_sorted_with_coords(hp, 1, fanout, hx, hy));
+                let t_low = PackedRTree::from_sorted_with_coords(shared, chosen_r, fanout, xs, ys);
+                (t_low, high.join().expect("tree derivation does not panic"))
+            })
+        } else {
+            let t_low = PackedRTree::from_sorted_with_coords(shared, chosen_r, fanout, xs, ys);
+            let t_high = high_tree_for(&t_low);
+            (t_low, t_high)
+        };
+        Self {
+            t_low,
+            t_high,
+            permutation,
+            chosen_r,
+            tune,
+            build_time: Duration::from_nanos(build_time_ns),
+            dynamic: None,
+            appended_since_sort: appended_since_sort as usize,
+        }
+    }
+
     /// Maps a tree-order clustering of this index back to the caller's
     /// original point order (raw label values, noise included).
     pub fn labels_in_caller_order(&self, result: &ClusterResult) -> Vec<u32> {
@@ -413,6 +583,15 @@ impl PreparedIndex {
         }
         remapped
     }
+}
+
+/// The `r = 1` companion tree (`T_high`) over an existing tree's point
+/// order, reusing its SoA coordinate mirror instead of re-collecting
+/// two `f64` arrays — the pair always shares one point order, so the
+/// mirror is materialized exactly once per index.
+fn high_tree_for(t_low: &PackedRTree) -> PackedRTree {
+    let (xs, ys) = t_low.shared_coords();
+    PackedRTree::from_sorted_with_coords(t_low.shared_points(), 1, t_low.fanout(), xs, ys)
 }
 
 /// Unsorted-tail fraction above which [`Engine::append_to_prepared`]
@@ -799,7 +978,7 @@ impl Engine {
         };
         let (t_low, permutation) =
             PackedRTree::build_with_order(points, chosen_r, self.config.bin_order);
-        let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
+        let t_high = high_tree_for(&t_low);
         PreparedIndex {
             t_low,
             t_high,
@@ -862,7 +1041,7 @@ impl Engine {
                 index.chosen_r,
                 self.config.bin_order,
             );
-            let t_high = PackedRTree::from_sorted(t_low.shared_points(), 1);
+            let t_high = high_tree_for(&t_low);
             PreparedIndex {
                 t_low,
                 t_high,
@@ -878,8 +1057,8 @@ impl Engine {
             let mut tree_points: Vec<Point2> = index.t_low.shared_points().to_vec();
             tree_points.extend_from_slice(new_points);
             let shared = shared_points(tree_points);
-            let t_low = PackedRTree::from_sorted(shared.clone(), index.chosen_r);
-            let t_high = PackedRTree::from_sorted(shared, 1);
+            let t_low = PackedRTree::from_sorted(shared, index.chosen_r);
+            let t_high = high_tree_for(&t_low);
             let mut permutation = index.permutation.clone();
             permutation.extend((old_n..total).map(|i| i as PointId));
             PreparedIndex {
@@ -904,6 +1083,37 @@ impl Engine {
                 time,
             },
         ))
+    }
+
+    /// Flushes a handle's unsorted append tail through the same full
+    /// re-sort [`Engine::append_to_prepared`] applies when the tail
+    /// crosses [`APPEND_RESORT_FRACTION`]: bin-sort the accumulated
+    /// caller-order points with the already-chosen `r` (no re-tune) and
+    /// rebuild both packed trees. The returned handle answers the same
+    /// queries with `appended_since_sort == 0` — the clean generation
+    /// the warm-state store persists before shutdown. A handle that is
+    /// already clean is returned as a cheap clone.
+    pub fn resort_prepared(&self, index: &PreparedIndex) -> PreparedIndex {
+        if index.appended_since_sort == 0 {
+            return index.clone();
+        }
+        let start = Instant::now();
+        let caller = index.caller_points();
+        let (t_low, permutation) =
+            PackedRTree::build_with_order(&caller, index.chosen_r, self.config.bin_order);
+        let t_high = high_tree_for(&t_low);
+        let mut next = PreparedIndex {
+            t_low,
+            t_high,
+            permutation,
+            chosen_r: index.chosen_r,
+            tune: index.tune.clone(),
+            build_time: index.build_time,
+            dynamic: index.dynamic.clone(),
+            appended_since_sort: 0,
+        };
+        next.build_time += start.elapsed();
+        next
     }
 
     /// Clusters `variants` over a prebuilt index.

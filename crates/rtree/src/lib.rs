@@ -49,5 +49,5 @@ pub use packed::PackedRTree;
 pub use stats::TreeStats;
 pub use str_bulk::StrRTree;
 pub use ti::TiIndex;
-pub use traits::SpatialIndex;
+pub use traits::{shared_points, SharedPoints, SpatialIndex};
 pub use tuner::{tune_r, tune_r_default, tune_r_sampled, TuneReport, DEFAULT_R_CANDIDATES};

@@ -31,10 +31,12 @@ pub struct PackedRTree {
     /// SoA mirror of `points`: all x coordinates, contiguous in tree
     /// order. The ε-query hot loop streams `xs`/`ys` instead of chasing
     /// `Point2` structs — the coordinates of a leaf's points sit in two
-    /// dense `f64` runs the compiler can vectorize over.
-    xs: Vec<f64>,
+    /// dense `f64` runs the compiler can vectorize over. Shared
+    /// (`Arc`) because the `T_low`/`T_high` pair is always built over
+    /// the *same* point order: one materialization serves both trees.
+    xs: Arc<[f64]>,
     /// SoA mirror of `points`: all y coordinates.
-    ys: Vec<f64>,
+    ys: Arc<[f64]>,
     /// Points per leaf MBB (the paper's `r`).
     r: usize,
     /// Internal fanout.
@@ -62,17 +64,47 @@ impl PackedRTree {
     ///
     /// Panics if `r == 0` or `fanout < 2`.
     pub fn from_sorted_with_fanout(points: SharedPoints, r: usize, fanout: usize) -> Self {
+        let xs: Arc<[f64]> = points.iter().map(|p| p.x).collect();
+        let ys: Arc<[f64]> = points.iter().map(|p| p.y).collect();
+        Self::from_sorted_with_coords(points, r, fanout, xs, ys)
+    }
+
+    /// [`PackedRTree::from_sorted_with_fanout`] over an already
+    /// materialized SoA coordinate mirror — how the second tree of a
+    /// `T_low`/`T_high` pair (and a warm restore) reuses the first's
+    /// arrays instead of re-collecting two `f64` vectors per tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`, `fanout < 2`, or `xs`/`ys` do not mirror
+    /// `points`.
+    pub fn from_sorted_with_coords(
+        points: SharedPoints,
+        r: usize,
+        fanout: usize,
+        xs: Arc<[f64]>,
+        ys: Arc<[f64]>,
+    ) -> Self {
         assert!(r >= 1, "r (points per leaf MBB) must be ≥ 1");
         assert!(fanout >= 2, "fanout must be ≥ 2");
+        assert_eq!(xs.len(), points.len(), "xs must mirror points");
+        assert_eq!(ys.len(), points.len(), "ys must mirror points");
 
         let n = points.len();
         let mut levels: Vec<Vec<Mbb>> = Vec::new();
         if n > 0 {
-            // Leaf level: one MBB per r consecutive points.
+            // Leaf level: one MBB per r consecutive points. r = 1 (the
+            // T_high shape) gets a direct map — every leaf is the
+            // degenerate box of its single point, and skipping the
+            // chunk iterator halves the warm-restore derivation cost.
             let mut leaves = Vec::with_capacity(n.div_ceil(r));
-            for chunk in points.chunks(r) {
-                // chunks() never yields an empty slice.
-                leaves.push(Mbb::from_points(chunk.iter()).unwrap());
+            if r == 1 {
+                leaves.extend(points.iter().map(|p| Mbb::new(*p, *p)));
+            } else {
+                for chunk in points.chunks(r) {
+                    // chunks() never yields an empty slice.
+                    leaves.push(Mbb::from_points(chunk.iter()).unwrap());
+                }
             }
             levels.push(leaves);
             // Pack parents until a single root remains.
@@ -89,8 +121,6 @@ impl PackedRTree {
                 levels.push(level);
             }
         }
-        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
         Self {
             points,
             xs,
@@ -230,6 +260,13 @@ impl PackedRTree {
     #[inline]
     pub fn coords(&self) -> (&[f64], &[f64]) {
         (&self.xs, &self.ys)
+    }
+
+    /// Shared handles to the SoA coordinate mirror, for building a
+    /// second tree over the same point order without re-collecting
+    /// (see [`PackedRTree::from_sorted_with_coords`]).
+    pub fn shared_coords(&self) -> (Arc<[f64]>, Arc<[f64]>) {
+        (Arc::clone(&self.xs), Arc::clone(&self.ys))
     }
 
     /// The pre-SoA reference formulation of the ε-query: filter through
@@ -556,5 +593,26 @@ mod tests {
             .map(|(i, _)| i as PointId)
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn from_sorted_is_a_pure_function_of_points_r_fanout() {
+        // The warm-state store leans on this: rebuilding over the same
+        // tree-order points with the same parameters must reproduce the
+        // exact level MBBs, so snapshots need not persist any geometry.
+        let pts = grid_points(13, 7);
+        let (built, _) = PackedRTree::build(&pts, 5);
+        let again = PackedRTree::from_sorted_with_fanout(
+            built.shared_points(),
+            built.points_per_leaf(),
+            built.fanout(),
+        );
+        assert_eq!(again.levels, built.levels);
+        let query = Point2::new(6.0, 3.0);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        built.epsilon_neighbors(query, 2.0, &mut a);
+        again.epsilon_neighbors(query, 2.0, &mut b);
+        assert_eq!(a, b);
     }
 }

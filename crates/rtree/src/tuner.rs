@@ -18,7 +18,7 @@ use crate::traits::SpatialIndex;
 pub const DEFAULT_R_CANDIDATES: [usize; 7] = [1, 10, 30, 70, 90, 110, 150];
 
 /// Result of a tuning sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TuneReport {
     /// The winning `r`.
     pub best_r: usize,

@@ -328,13 +328,62 @@ impl DominanceCache {
         stats
     }
 
-    /// A counter-neutral copy of every live entry — the streaming
-    /// equivalence suite audits these against the mutated datasets.
+    /// A counter-neutral copy of every live entry, in deterministic
+    /// `(dataset, ε, minpts)` order regardless of insertion, refresh, or
+    /// `swap_remove` history — the streaming equivalence suite audits
+    /// these against the mutated datasets, and the warm-state store
+    /// relies on the ordering so that snapshotting an unchanged daemon
+    /// twice yields byte-identical files.
     pub fn snapshot_entries(&self) -> Vec<(String, Variant, Arc<ClusterResult>)> {
-        self.entries
+        let mut out: Vec<_> = self
+            .entries
             .iter()
             .map(|e| (e.dataset.clone(), e.variant, Arc::clone(&e.result)))
-            .collect()
+            .collect();
+        out.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.eps.total_cmp(&b.1.eps))
+                .then_with(|| a.1.minpts.cmp(&b.1.minpts))
+        });
+        out
+    }
+
+    /// Rewrites the stored result of every entry of `dataset` through
+    /// `f`, dropping entries for which `f` returns `None`. Counter-
+    /// neutral: unlike [`DominanceCache::maintain_after_append`] this
+    /// touches neither the repaired/dropped counters nor the eviction
+    /// counters beyond what a genuine size increase forces — it exists
+    /// for *order-preserving* rewrites, specifically re-keying cached
+    /// tree-order labels after the warm-state store flushes a dirty
+    /// append tail through a full re-sort (same points, new
+    /// permutation).
+    pub fn remap_results(
+        &mut self,
+        dataset: &str,
+        mut f: impl FnMut(&Variant, &ClusterResult) -> Option<Arc<ClusterResult>>,
+    ) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].dataset != dataset {
+                i += 1;
+                continue;
+            }
+            match f(&self.entries[i].variant, &self.entries[i].result) {
+                Some(next) => {
+                    let bytes = result_bytes(&next);
+                    let e = &mut self.entries[i];
+                    self.bytes = self.bytes - e.bytes + bytes;
+                    e.result = next;
+                    e.bytes = bytes;
+                    i += 1;
+                }
+                None => {
+                    let gone = self.entries.swap_remove(i);
+                    self.bytes -= gone.bytes;
+                }
+            }
+        }
+        self.evict_to_budget();
     }
 
     /// Structural self-check, used by the chaos suite after every fault
@@ -538,6 +587,77 @@ mod tests {
         });
         cache.check_invariants().unwrap();
         assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn snapshot_entries_order_is_deterministic() {
+        // Two caches fed the same entries through *different* histories
+        // (insertion order, refreshes, interleaved lookups) must snapshot
+        // identically — the warm-state store's repeat-snapshot guarantee.
+        let entries = [
+            ("b", Variant::new(1.0, 4)),
+            ("a", Variant::new(2.0, 4)),
+            ("a", Variant::new(1.0, 9)),
+            ("a", Variant::new(1.0, 4)),
+        ];
+        let mut x = DominanceCache::new(1 << 20);
+        for (d, v) in entries {
+            x.insert(d, v, result_of(vec![0, 0]));
+        }
+        let mut y = DominanceCache::new(1 << 20);
+        for (d, v) in entries.iter().rev() {
+            y.insert(d, *v, result_of(vec![0, 0]));
+            let _ = y.lookup(d, Variant::new(9.0, 1));
+        }
+        // Refresh one entry in place; order must not depend on it.
+        y.insert("a", Variant::new(1.0, 9), result_of(vec![0, 0]));
+        let key = |s: &[(String, Variant, Arc<ClusterResult>)]| -> Vec<(String, u64, usize)> {
+            s.iter()
+                .map(|(d, v, _)| (d.clone(), v.eps.to_bits(), v.minpts))
+                .collect()
+        };
+        assert_eq!(key(&x.snapshot_entries()), key(&y.snapshot_entries()));
+        assert_eq!(
+            key(&x.snapshot_entries()),
+            vec![
+                ("a".to_string(), 1.0f64.to_bits(), 4),
+                ("a".to_string(), 1.0f64.to_bits(), 9),
+                ("a".to_string(), 2.0f64.to_bits(), 4),
+                ("b".to_string(), 1.0f64.to_bits(), 4),
+            ]
+        );
+        // Repeat snapshots of one unchanged cache are identical.
+        assert_eq!(key(&x.snapshot_entries()), key(&x.snapshot_entries()));
+    }
+
+    #[test]
+    fn remap_results_is_counter_neutral() {
+        let mut cache = DominanceCache::new(1 << 20);
+        cache.insert("d", Variant::new(1.0, 4), result_of(vec![0, 0, 1]));
+        cache.insert("d", Variant::new(2.0, 4), result_of(vec![0, 1, 1]));
+        cache.insert("other", Variant::new(1.0, 4), result_of(vec![0]));
+        let before = cache.stats();
+        cache.remap_results("d", |v, r| {
+            if v.eps > 1.5 {
+                None
+            } else {
+                // An order-preserving rewrite: same length, same size.
+                let mut raw: Vec<u32> = r.labels().iter_raw().collect();
+                raw.reverse();
+                Some(result_of(raw))
+            }
+        });
+        cache.check_invariants().unwrap();
+        let after = cache.stats();
+        assert_eq!(after.entries, 2);
+        assert_eq!((after.repaired, after.repair_dropped), (0, 0));
+        assert_eq!(after.evictions, before.evictions);
+        assert_eq!(after.insertions, before.insertions);
+        let hit = cache.lookup("d", Variant::new(1.0, 4)).unwrap();
+        assert_eq!(
+            hit.result.labels().iter_raw().collect::<Vec<_>>(),
+            vec![1, 0, 0]
+        );
     }
 
     #[test]

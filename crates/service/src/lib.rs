@@ -21,6 +21,10 @@
 //!   framing over a [`Transport`] trait) and its deterministic
 //!   fault-injecting test implementations (seeded torn writes, scripted
 //!   byte schedules, mid-stream cuts);
+//! - [`store`] — persistent warm state: checksummed on-disk snapshots
+//!   of every prepared index and the surviving cache entries, written
+//!   on graceful drain and restored on boot without rebuilding
+//!   anything;
 //! - [`workload`] — the cold-vs-warm throughput probe used by
 //!   `vbp bench-service` and the `service_throughput` bench.
 //!
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod store;
 pub mod transport;
 pub mod workload;
 
@@ -44,5 +49,9 @@ pub use fault::{FaultPlan, FaultTransport, MemTransport, Step};
 pub use protocol::{parse_request, ErrorCode, Request};
 pub use registry::{DatasetEntry, Registry};
 pub use server::{Server, ServerHandle, ServiceConfig, SubmitError};
+pub use store::{
+    boot_from_store, dataset_path, persist_all, persist_dataset, restore_dataset, verify_dir,
+    RestoredDataset, StoreBoot, STORE_EXT,
+};
 pub use transport::{LineEvent, LineIo, TcpTransport, Transport};
 pub use workload::{run_cold_warm, ColdWarmReport};

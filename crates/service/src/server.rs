@@ -67,6 +67,7 @@ use vbp_rtree::SpatialIndex;
 use crate::cache::{DominanceCache, RepairStats};
 use crate::protocol::{err_line, parse_request, ErrorCode, Request, PROTOCOL_VERSION};
 use crate::registry::{DatasetEntry, Registry};
+use crate::store::StoreBoot;
 use crate::transport::{LineEvent, LineIo, TcpTransport, Transport};
 
 /// Tunables of one server instance.
@@ -99,6 +100,14 @@ pub struct ServiceConfig {
     /// count and the default width gate, and the shard counters show up
     /// non-zero in `METRICS`.
     pub shards: usize,
+    /// Warm-state store directory. When set, a graceful drain persists
+    /// every dataset's prepared index and surviving cache entries as
+    /// checksummed container files under this directory (see
+    /// [`crate::store`]); boot with
+    /// [`Server::start_with_store`] + [`crate::store::boot_from_store`]
+    /// to restore them without rebuilding. `None` (the default) keeps
+    /// the daemon fully in-memory.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -113,6 +122,7 @@ impl Default for ServiceConfig {
             job_timeout: Duration::from_secs(600),
             write_timeout: Duration::from_secs(30),
             shards: 0,
+            store_dir: None,
         }
     }
 }
@@ -189,6 +199,8 @@ struct ServiceStats {
     append_points: u64,
     watches: u64,
     watch_deltas: u64,
+    store_restored: u64,
+    store_restore_failed: u64,
 }
 
 /// One live `WATCH` stream: an insertion-maintained clustering for a
@@ -244,6 +256,9 @@ struct Shared {
     /// Live `WATCH` streams. Locked after `append_lock`, never while
     /// holding the cache lock.
     watchers: Mutex<Vec<WatchStream>>,
+    /// Warm-state store directory; `Some` makes a graceful drain
+    /// persist every dataset + cache under it.
+    store_dir: Option<std::path::PathBuf>,
 }
 
 impl Shared {
@@ -319,6 +334,8 @@ impl Shared {
             .uint("append_points", s.append_points)
             .uint("watches", s.watches)
             .uint("watch_deltas", s.watch_deltas)
+            .uint("store_restored", s.store_restored)
+            .uint("store_restore_failed", s.store_restore_failed)
             .raw("cache", &cache.to_json())
             .raw("datasets", &datasets.finish())
             .finish()
@@ -401,6 +418,8 @@ impl Shared {
         u(&mut out, "vbp_append_points_total", s.append_points);
         u(&mut out, "vbp_watch_subscriptions_total", s.watches);
         u(&mut out, "vbp_watch_deltas_total", s.watch_deltas);
+        u(&mut out, "vbp_store_restored", s.store_restored);
+        u(&mut out, "vbp_store_restore_failed", s.store_restore_failed);
         let (streams, subscribers) = {
             let w = self.watchers.lock().unwrap();
             (
@@ -485,12 +504,46 @@ impl Server {
         registry: Registry,
         config: ServiceConfig,
     ) -> std::io::Result<ServerHandle> {
+        Self::start_with_store(engine, registry, config, StoreBoot::default())
+    }
+
+    /// [`Server::start`] seeded with restored warm state — the entry
+    /// point of a `--store` boot. `boot` carries what
+    /// [`boot_from_store`](crate::store::boot_from_store) recovered:
+    /// cache entries to pre-insert (each validated against the live
+    /// registry before insertion — an entry whose label vector does not
+    /// cover the registered index is silently skipped, which can only
+    /// happen when a caller mixes a stale boot with a fresh registry)
+    /// and the restore counters surfaced as `vbp_store_restored` /
+    /// `vbp_store_restore_failed`.
+    pub fn start_with_store(
+        engine: Engine,
+        registry: Registry,
+        config: ServiceConfig,
+        boot: StoreBoot,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let mut cache = DominanceCache::new(config.cache_bytes);
+        if config.cache_bytes > 0 {
+            for (dataset, variant, result) in boot.cache_seed {
+                let valid = registry
+                    .get(&dataset)
+                    .is_some_and(|e| e.index.len() == result.len());
+                if valid {
+                    cache.insert(&dataset, variant, result);
+                }
+            }
+        }
+        let stats = ServiceStats {
+            store_restored: boot.restored,
+            store_restore_failed: boot.restore_failed,
+            ..ServiceStats::default()
+        };
         let shared = Arc::new(Shared {
             engine,
             registry,
-            cache: Mutex::new(DominanceCache::new(config.cache_bytes)),
+            cache: Mutex::new(cache),
             cache_enabled: config.cache_bytes > 0,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -502,11 +555,12 @@ impl Server {
             write_timeout: config.write_timeout,
             sharding: (config.shards > 1).then(|| Sharding::new(config.shards)),
             draining: AtomicBool::new(false),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: Mutex::new(stats),
             metrics: Metrics::new(),
             started: Instant::now(),
             append_lock: Mutex::new(()),
             watchers: Mutex::new(Vec::new()),
+            store_dir: config.store_dir,
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -626,6 +680,74 @@ impl ServerHandle {
         let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
         for h in handlers {
             let _ = h.join();
+        }
+        // Every thread is joined: the registry, cache, and indexes are
+        // quiescent. Persist the warm state now (covers both the wire
+        // `SHUTDOWN` and a handle-initiated drain — both funnel through
+        // this join). Persistence failures are logged, never fatal: the
+        // daemon is exiting either way, and a partial store only costs
+        // the next boot a cold rebuild of the affected datasets.
+        if let Some(dir) = self.shared.store_dir.clone() {
+            self.persist_store(&dir);
+        }
+    }
+
+    /// Flushes dirty append tails and writes every dataset + its cache
+    /// entries under `dir`. Only sound at quiescence (all server
+    /// threads joined), which [`ServerHandle::wait`] guarantees.
+    fn persist_store(&self, dir: &std::path::Path) {
+        // A handle with an unsorted append tail would persist (and then
+        // restore) tail-degraded query locality forever. Flush it
+        // through the engine's re-sort path first, re-keying the
+        // dataset's cached tree-order labels through old-permutation →
+        // caller order → new-permutation (counter-neutral: nothing was
+        // repaired or dropped, only re-ordered).
+        for entry in self.shared.registry.entries() {
+            if entry.index.appended_since_sort() == 0 {
+                continue;
+            }
+            let old_perm = entry.index.permutation().to_vec();
+            let clean = self.shared.engine.resort_prepared(&entry.index);
+            let new_perm = clean.permutation();
+            // caller id -> old tree position.
+            let mut old_pos = vec![0u32; old_perm.len()];
+            for (tree_idx, &caller) in old_perm.iter().enumerate() {
+                old_pos[caller as usize] = tree_idx as u32;
+            }
+            let remap: Vec<usize> = new_perm
+                .iter()
+                .map(|&caller| old_pos[caller as usize] as usize)
+                .collect();
+            self.shared
+                .cache
+                .lock()
+                .unwrap()
+                .remap_results(&entry.name, |_, result| {
+                    if result.len() != remap.len() {
+                        // Covers a different generation (e.g. inserted
+                        // mid-drain race) — cannot be re-keyed soundly.
+                        return None;
+                    }
+                    let old_raw: Vec<u32> = result.labels().iter_raw().collect();
+                    let new_raw: Vec<u32> = remap.iter().map(|&i| old_raw[i]).collect();
+                    Some(Arc::new(ClusterResult::from_labels(Labels::from_raw(
+                        new_raw,
+                    ))))
+                });
+            self.shared.registry.swap(Arc::new(DatasetEntry {
+                name: entry.name.clone(),
+                points: entry.points.clone(),
+                index: clean,
+                suggested_eps: entry.suggested_eps,
+            }));
+        }
+        let cache_entries = self.shared.cache.lock().unwrap().snapshot_entries();
+        match crate::store::persist_all(dir, &self.shared.registry, &cache_entries) {
+            Ok(n) => eprintln!("vbp-store: persisted {n} dataset(s) to {}", dir.display()),
+            Err(e) => eprintln!(
+                "vbp-store: failed to persist warm state to {}: {e}",
+                dir.display()
+            ),
         }
     }
 
@@ -1464,6 +1586,7 @@ mod tests {
             started: Instant::now(),
             append_lock: Mutex::new(()),
             watchers: Mutex::new(Vec::new()),
+            store_dir: None,
         }
     }
 

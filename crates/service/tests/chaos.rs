@@ -35,6 +35,16 @@
 //! line that partially mutated the registry shows up as a length drift —
 //! and `appends == appends_applied + appends_rejected` holds alongside
 //! the submit invariant. Replay with `VBP_CHAOS_STREAM_SEED=0x...`.
+//!
+//! The *store* schedules kill and restart the daemon around its
+//! warm-state store: a persist-bearing drain, then a doomed incarnation
+//! whose work never reaches disk (the SIGKILL emulation — from the
+//! store's point of view, a kill and a no-persist exit are the same
+//! event), then a restart with `--store` that must restore the persisted
+//! generation exactly — label-isomorphic results against a direct engine
+//! run over the restored points, warm cache hits included. A corrupted
+//! or truncated store file must instead fall back to a cold rebuild,
+//! bump `vbp_store_restore_failed`, and still answer correct labels.
 
 mod common;
 
@@ -702,6 +712,260 @@ fn panicking_variant_fails_one_job_and_daemon_keeps_serving() {
         t0.elapsed() < Duration::from_secs(30),
         "drain did not bound"
     );
+}
+
+/// A fresh, empty store directory under the system temp dir, unique per
+/// process and test.
+fn fresh_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vbp-chaos-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Boots a store-enabled daemon over [`DATASET`]: restore-or-cold from
+/// `dir` at boot, persist back to `dir` on drain.
+fn store_server(dir: &std::path::Path) -> ServerHandle {
+    let engine = Engine::new(common::engine_config(2));
+    let names = vec![DATASET.to_string()];
+    let (registry, boot) = vbp_service::boot_from_store(&engine, &names, dir).unwrap();
+    vbp_service::Server::start_with_store(
+        engine,
+        registry,
+        ServiceConfig {
+            queue_cap: 8,
+            cache_bytes: 8 << 20,
+            batch_window: Duration::ZERO,
+            max_line_bytes: MAX_LINE,
+            job_timeout: Duration::from_secs(30),
+            store_dir: Some(dir.to_path_buf()),
+            ..ServiceConfig::default()
+        },
+        boot,
+    )
+    .unwrap()
+}
+
+/// Direct engine labels (caller order) for one variant over an explicit
+/// point set — the oracle for post-append generations the precomputed
+/// [`oracle`] can't cover.
+fn direct_result(points: &[Point2], eps: f64, minpts: usize) -> ClusterResult {
+    let engine = Engine::new(common::engine_config(2));
+    let variants = VariantSet::new(vec![Variant::new(eps, minpts)]);
+    let report = engine.execute(&RunRequest::new(points, &variants)).unwrap();
+    ClusterResult::from_labels(Labels::from_raw(report.result_in_caller_order(0)))
+}
+
+/// Submits one variant with labels and checks it against a direct engine
+/// run over `points`; returns the reply's warm flag.
+fn submit_vs_direct(
+    client: &mut Client,
+    points: &[Point2],
+    eps: f64,
+    minpts: usize,
+    ctx: &str,
+) -> bool {
+    let reply = client
+        .submit(DATASET, eps, minpts, true)
+        .unwrap_or_else(|e| panic!("{ctx}: submit failed: {e}"));
+    let served = ClusterResult::from_labels(Labels::from_raw(reply.labels.unwrap()));
+    assert_eq!(served.len(), points.len(), "{ctx}: label count");
+    assert_isomorphic(
+        &direct_result(points, eps, minpts),
+        &served,
+        &brute_core_points(points, eps, minpts),
+        ctx,
+    );
+    reply.warm
+}
+
+/// Kill-and-restart-warm: incarnation A appends (dirtying the index
+/// tail) and caches results, then drains — persisting the flushed,
+/// remapped generation. Incarnation B (the kill emulation) mutates the
+/// same dataset *without* a store and exits, so its work never reaches
+/// disk, exactly like a SIGKILL between persists. Incarnation C boots
+/// with the store and must resurrect A's generation precisely: same
+/// points, warm cache hits for A's variants, and labels isomorphic to a
+/// direct engine run over the restored point set.
+#[test]
+fn kill_and_restart_with_store_restores_warm_and_correct() {
+    let _wd = Watchdog::arm("chaos-store-restart", Duration::from_secs(480));
+    let o = oracle();
+    let dir = fresh_store_dir("warm");
+    let mut rng = Pcg32::seeded(0x0005_704E_A11E);
+    let ctx = "store-restart";
+
+    // Incarnation A: dirty the index tail, populate the cache, drain.
+    let pts_a: Vec<Point2>;
+    {
+        let mut handle = store_server(&dir);
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let batch: Vec<Point2> = (0..7)
+            .map(|_| seeded_point(&mut rng, &o.points, false))
+            .collect();
+        client.append(DATASET, &batch).unwrap();
+        pts_a = handle.dataset_points(DATASET).unwrap();
+        assert_eq!(pts_a.len(), o.points.len() + 7, "{ctx}: A's append");
+        for k in [0usize, 1] {
+            let (eps, minpts) = o.pool[k];
+            submit_vs_direct(
+                &mut client,
+                &pts_a,
+                eps,
+                minpts,
+                &format!("{ctx} A pool[{k}]"),
+            );
+        }
+        let stats = client.stats_json().unwrap();
+        assert_eq!(field_u64(&stats, "store_restored"), 0, "{ctx}: A restored");
+        client.shutdown().unwrap();
+        handle.wait(); // persists: resorts the dirty tail, remaps the cache
+    }
+
+    // Incarnation B: same dataset, no store — appends and caches more,
+    // then exits. Nothing it did may be visible after the restart.
+    {
+        let mut handle = chaos_server();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let batch: Vec<Point2> = (0..5)
+            .map(|_| seeded_point(&mut rng, &o.points, true))
+            .collect();
+        client.append(DATASET, &batch).unwrap();
+        let (eps, minpts) = o.pool[2];
+        client.submit(DATASET, eps, minpts, false).unwrap();
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+
+    // Incarnation C: restore. A's generation, exactly.
+    {
+        let mut handle = store_server(&dir);
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let pts_c = handle.dataset_points(DATASET).unwrap();
+        assert_eq!(
+            pts_c, pts_a,
+            "{ctx}: restored points differ from A's generation"
+        );
+
+        // A's cached variants hit warm; their labels must match a direct
+        // engine run over the restored points bit-for-bit in structure.
+        for k in [0usize, 1] {
+            let (eps, minpts) = o.pool[k];
+            let warm = submit_vs_direct(
+                &mut client,
+                &pts_a,
+                eps,
+                minpts,
+                &format!("{ctx} C pool[{k}]"),
+            );
+            assert!(warm, "{ctx}: restored cache missed pool[{k}]");
+        }
+        // An uncached variant still answers correctly on the restored
+        // index (it may legally warm-start off a restored dominating
+        // entry — correctness is the invariant, not coldness).
+        let (eps, minpts) = o.pool[4];
+        submit_vs_direct(
+            &mut client,
+            &pts_a,
+            eps,
+            minpts,
+            &format!("{ctx} C uncached"),
+        );
+
+        let stats = client.stats_json().unwrap();
+        assert_stats_consistent(&stats, ctx);
+        assert_eq!(field_u64(&stats, "store_restored"), 1, "{ctx}: {stats}");
+        assert_eq!(
+            field_u64(&stats, "store_restore_failed"),
+            0,
+            "{ctx}: {stats}"
+        );
+        let metrics = client.metrics().unwrap();
+        assert_metrics_match_stats(&metrics, &stats, ctx);
+        handle
+            .cache_invariants()
+            .unwrap_or_else(|e| panic!("{ctx}: cache invariant broken: {e}"));
+
+        client.shutdown().unwrap();
+        let t0 = Instant::now();
+        handle.wait();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "{ctx}: drain did not bound"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged store file must never restore: every corruption style falls
+/// back to a cold rebuild of the catalog dataset, bumps
+/// `vbp_store_restore_failed`, and still answers oracle-correct labels.
+#[test]
+fn corrupt_store_files_fall_back_to_cold_rebuild() {
+    let _wd = Watchdog::arm("chaos-store-corrupt", Duration::from_secs(480));
+    let o = oracle();
+    let dir = fresh_store_dir("corrupt");
+    let path = vbp_service::dataset_path(&dir, DATASET);
+
+    // Seed the store with one clean persist.
+    {
+        let mut handle = store_server(&dir);
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        healthy_submit(&mut client, 0, "store-corrupt seed");
+        client.shutdown().unwrap();
+        handle.wait();
+    }
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(!pristine.is_empty());
+
+    for style in ["bit-flip", "truncate", "garbage"] {
+        let ctx = format!("store-corrupt {style}");
+        let mutated = match style {
+            "bit-flip" => {
+                let mut b = pristine.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+                b
+            }
+            "truncate" => pristine[..pristine.len() / 3].to_vec(),
+            _ => b"VBPSTORE but not really".to_vec(),
+        };
+        std::fs::write(&path, &mutated).unwrap();
+
+        let mut handle = store_server(&dir);
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        // Cold rebuild: the catalog generation, not whatever the damaged
+        // file might have smuggled.
+        assert_eq!(
+            handle.dataset_points(DATASET).unwrap(),
+            o.points,
+            "{ctx}: fallback is not the catalog dataset"
+        );
+        let warm = healthy_submit(&mut client, 0, &ctx);
+        assert!(!warm, "{ctx}: a damaged store may not seed the cache");
+        let stats = client.stats_json().unwrap();
+        assert_stats_consistent(&stats, &ctx);
+        assert_eq!(field_u64(&stats, "store_restored"), 0, "{ctx}: {stats}");
+        assert_eq!(
+            field_u64(&stats, "store_restore_failed"),
+            1,
+            "{ctx}: {stats}"
+        );
+        let metrics = client.metrics().unwrap();
+        assert_metrics_match_stats(&metrics, &stats, &ctx);
+        client.shutdown().unwrap();
+        handle.wait(); // re-persists a clean file…
+        assert!(
+            vbp_service::restore_dataset(&path).is_ok(),
+            "{ctx}: drain did not heal the store"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A poisoned variant riding in a *multi-variant batch* must not drag

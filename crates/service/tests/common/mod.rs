@@ -210,6 +210,8 @@ pub fn assert_metrics_match_stats(metrics: &str, stats: &str, ctx: &str) {
         ("vbp_append_points_total", "append_points"),
         ("vbp_watch_subscriptions_total", "watches"),
         ("vbp_watch_deltas_total", "watch_deltas"),
+        ("vbp_store_restored", "store_restored"),
+        ("vbp_store_restore_failed", "store_restore_failed"),
     ] {
         assert_eq!(
             metric_u64(metrics, metric_name),

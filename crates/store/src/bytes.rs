@@ -1,0 +1,199 @@
+//! Little-endian byte serialization primitives.
+//!
+//! [`ByteWriter`] is a thin builder over `Vec<u8>`; [`ByteReader`] is the
+//! bounded, total counterpart — every read checks the remaining length
+//! first and fails with a typed [`StoreError::Malformed`] instead of
+//! slicing out of bounds. Floats travel as raw IEEE-754 bits
+//! (`f64::to_bits`/`from_bits`), so encode → decode → encode is
+//! byte-identical even for NaNs and signed zeros.
+
+use crate::error::StoreError;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounded little-endian decoder over one section payload.
+///
+/// The `section` id only labels errors; all bounds come from the slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: u32,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, labeling failures with `section`.
+    pub fn new(buf: &'a [u8], section: u32) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn fail(&self, reason: impl Into<String>) -> StoreError {
+        StoreError::Malformed {
+            section: self.section,
+            reason: reason.into(),
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(self.fail(format!(
+                "needs {n} more bytes, only {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` and checks it fits both `usize` and an
+    /// element-count budget derived from the bytes actually present:
+    /// a count of `n` must be backed by at least `n * min_elem_bytes`
+    /// remaining bytes, so a corrupt length can never drive an
+    /// allocation beyond the input's own size.
+    pub fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, StoreError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw).map_err(|_| self.fail(format!("{what} count overflows")))?;
+        let need = n.checked_mul(min_elem_bytes);
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(self.fail(format!(
+                "{what} count {n} not backed by the {} bytes present",
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Succeeds only when every byte has been consumed — trailing garbage
+    /// is corruption, not padding.
+    pub fn done(&self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(self.fail(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bytes(b"xyz");
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf, 1);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.bytes(3).unwrap(), b"xyz");
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_typed() {
+        let mut r = ByteReader::new(&[1, 2], 9);
+        assert!(matches!(
+            r.u32(),
+            Err(StoreError::Malformed { section: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn count_rejects_unbacked_lengths() {
+        let mut w = ByteWriter::new();
+        w.u64(1 << 40); // claims a trillion elements
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf, 2);
+        assert!(r.count(4, "points").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[0], 3);
+        assert!(r.done().is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! The versioned, checksummed container: fixed header, section
+//! directory, then CRC-validated section payloads.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic "VBPSTORE" (8)  │ version u32 │ flags u32 │ count u32  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ directory: count × { id u32, offset u64, len u64, crc u32 }  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ header_crc u32  — CRC-32 over every byte above               │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ section payloads, packed in directory order                  │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Two checksum layers close the corruption surface: each payload
+//! carries its own CRC in the directory, and the header CRC covers the
+//! magic, version, flags, count, and the whole directory — including
+//! every per-section CRC. A single flipped bit anywhere in the file
+//! therefore fails exactly one of the two layers (CRC-32 detects all
+//! single-bit errors), so the reader can never be steered to the wrong
+//! bytes by a corrupt offset, length, or stored checksum.
+
+use std::io::Read;
+use std::path::Path;
+
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::crc32::crc32;
+use crate::error::StoreError;
+
+/// First eight bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"VBPSTORE";
+
+/// The only format version this reader understands.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Hard cap on directory entries — far above any layout this crate
+/// writes, low enough that a corrupt count cannot drive allocation.
+pub const MAX_SECTIONS: u32 = 64;
+
+/// Hard cap on one section payload (1 GiB).
+pub const MAX_SECTION_BYTES: u64 = 1 << 30;
+
+/// Hard cap on a whole container (2 GiB).
+pub const MAX_FILE_BYTES: u64 = 1 << 31;
+
+/// Bytes of one directory entry: id + offset + len + crc.
+/// Bytes per section-directory entry (id, offset, length, CRC).
+pub const DIR_ENTRY_BYTES: usize = 4 + 8 + 8 + 4;
+
+/// Fixed bytes before the directory: magic + version + flags + count.
+/// Bytes in the fixed header (magic, version, flags, section count).
+pub const FIXED_HEADER_BYTES: usize = 8 + 4 + 4 + 4;
+
+/// One directory row, as [`Container::sections`] reports it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id (see [`crate::section_id`]).
+    pub id: u32,
+    /// Payload offset from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Payload CRC-32 as recorded in the directory.
+    pub crc: u32,
+}
+
+/// Builds a container in memory. Sections are emitted in insertion
+/// order, so identical inputs produce identical bytes.
+#[derive(Debug, Default)]
+pub struct ContainerWriter {
+    flags: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ContainerWriter {
+    /// An empty container with zero flags.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already added or the caps are exceeded —
+    /// writer misuse is a bug in this crate's callers, not a runtime
+    /// condition.
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) -> &mut Self {
+        assert!(
+            self.sections.iter().all(|(other, _)| *other != id),
+            "section {id:#06x} added twice"
+        );
+        assert!(
+            self.sections.len() < MAX_SECTIONS as usize,
+            "too many sections"
+        );
+        assert!(
+            payload.len() as u64 <= MAX_SECTION_BYTES,
+            "section {id:#06x} exceeds the size cap"
+        );
+        self.sections.push((id, payload));
+        self
+    }
+
+    /// Serializes the container.
+    pub fn finish(self) -> Vec<u8> {
+        let dir_bytes = self.sections.len() * DIR_ENTRY_BYTES;
+        let payload_base = (FIXED_HEADER_BYTES + dir_bytes + 4) as u64;
+        let mut header = ByteWriter::new();
+        header.bytes(&MAGIC);
+        header.u32(FORMAT_VERSION);
+        header.u32(self.flags);
+        header.u32(self.sections.len() as u32);
+        let mut offset = payload_base;
+        for (id, payload) in &self.sections {
+            header.u32(*id);
+            header.u64(offset);
+            header.u64(payload.len() as u64);
+            header.u32(crc32(payload));
+            offset += payload.len() as u64;
+        }
+        let mut out = header.finish();
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// A parsed, fully-validated container. Construction succeeds only
+/// after every checksum (header and per-section) has been verified, so
+/// section accessors hand out trustworthy bytes.
+#[derive(Debug)]
+pub struct Container {
+    bytes: Vec<u8>,
+    version: u32,
+    flags: u32,
+    sections: Vec<SectionInfo>,
+}
+
+impl Container {
+    /// Parses and validates `bytes` as a container.
+    pub fn parse(bytes: Vec<u8>) -> Result<Self, StoreError> {
+        if bytes.len() as u64 > MAX_FILE_BYTES {
+            return Err(StoreError::TooLarge {
+                len: bytes.len() as u64,
+                cap: MAX_FILE_BYTES,
+            });
+        }
+        if bytes.len() < FIXED_HEADER_BYTES + 4 {
+            return Err(StoreError::TruncatedHeader);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut fixed = ByteReader::new(&bytes[8..FIXED_HEADER_BYTES], 0);
+        let version = fixed.u32().expect("fixed header length checked");
+        let flags = fixed.u32().expect("fixed header length checked");
+        let count = fixed.u32().expect("fixed header length checked");
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { got: version });
+        }
+        if count > MAX_SECTIONS {
+            return Err(StoreError::TooManySections { count });
+        }
+        let dir_end = FIXED_HEADER_BYTES + count as usize * DIR_ENTRY_BYTES;
+        if bytes.len() < dir_end + 4 {
+            return Err(StoreError::TruncatedHeader);
+        }
+        // Header CRC first: it covers the directory (offsets, lengths,
+        // and the per-section CRCs), so everything read below it is
+        // already known-good.
+        let mut tail = ByteReader::new(&bytes[dir_end..dir_end + 4], 0);
+        let expected = tail.u32().expect("length checked");
+        let got = crc32(&bytes[..dir_end]);
+        if expected != got {
+            return Err(StoreError::HeaderChecksum { expected, got });
+        }
+        let mut dir = ByteReader::new(&bytes[FIXED_HEADER_BYTES..dir_end], 0);
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let info = SectionInfo {
+                id: dir.u32().expect("directory length checked"),
+                offset: dir.u64().expect("directory length checked"),
+                len: dir.u64().expect("directory length checked"),
+                crc: dir.u32().expect("directory length checked"),
+            };
+            if sections.iter().any(|s: &SectionInfo| s.id == info.id) {
+                return Err(StoreError::DuplicateSection { id: info.id });
+            }
+            if info.len > MAX_SECTION_BYTES {
+                return Err(StoreError::SectionTooLarge {
+                    id: info.id,
+                    len: info.len,
+                });
+            }
+            let end = info.offset.checked_add(info.len);
+            match end {
+                Some(end) if info.offset >= (dir_end + 4) as u64 && end <= bytes.len() as u64 => {}
+                _ => return Err(StoreError::SectionBounds { id: info.id }),
+            }
+            let payload = &bytes[info.offset as usize..(info.offset + info.len) as usize];
+            let got = crc32(payload);
+            if got != info.crc {
+                return Err(StoreError::SectionChecksum {
+                    id: info.id,
+                    expected: info.crc,
+                    got,
+                });
+            }
+            sections.push(info);
+        }
+        Ok(Self {
+            bytes,
+            version,
+            flags,
+            sections,
+        })
+    }
+
+    /// Reads a container from `r`, bounded at [`MAX_FILE_BYTES`] — a
+    /// hostile or corrupt stream can never drive unbounded buffering.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        let read = r
+            .by_ref()
+            .take(MAX_FILE_BYTES + 1)
+            .read_to_end(&mut bytes)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        if read as u64 > MAX_FILE_BYTES {
+            return Err(StoreError::TooLarge {
+                len: read as u64,
+                cap: MAX_FILE_BYTES,
+            });
+        }
+        Self::parse(bytes)
+    }
+
+    /// Opens and validates a container file.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut f = std::fs::File::open(path).map_err(|e| StoreError::Io(e.to_string()))?;
+        Self::read_from(&mut f)
+    }
+
+    /// The format version (always [`FORMAT_VERSION`] after a successful
+    /// parse).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The header flags.
+    pub fn flags(&self) -> u32 {
+        self.flags
+    }
+
+    /// The directory, in file order.
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.sections
+    }
+
+    /// The payload of section `id`, if present.
+    pub fn section(&self, id: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| &self.bytes[s.offset as usize..(s.offset + s.len) as usize])
+    }
+
+    /// The payload of section `id`, or [`StoreError::MissingSection`].
+    pub fn require(&self, id: u32) -> Result<&[u8], StoreError> {
+        self.section(id).ok_or(StoreError::MissingSection { id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_bytes() -> Vec<u8> {
+        let mut w = ContainerWriter::new();
+        w.section(1, b"alpha".to_vec());
+        w.section(2, vec![0u8; 100]);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = two_section_bytes();
+        let c = Container::parse(bytes).unwrap();
+        assert_eq!(c.version(), FORMAT_VERSION);
+        assert_eq!(c.sections().len(), 2);
+        assert_eq!(c.require(1).unwrap(), b"alpha");
+        assert_eq!(c.require(2).unwrap().len(), 100);
+        assert_eq!(c.section(3), None);
+        assert!(matches!(
+            c.require(3),
+            Err(StoreError::MissingSection { id: 3 })
+        ));
+    }
+
+    #[test]
+    fn identical_input_identical_bytes() {
+        assert_eq!(two_section_bytes(), two_section_bytes());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = two_section_bytes();
+        for cut in 0..bytes.len() {
+            let err = Container::parse(bytes[..cut].to_vec());
+            assert!(err.is_err(), "accepted a {cut}-byte truncation");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = two_section_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    Container::parse(flipped).is_err(),
+                    "accepted a flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut w = ContainerWriter::new();
+        w.section(1, vec![1]);
+        let mut bytes = w.finish();
+        // Bump the version field and re-seal the header CRC so only the
+        // version check can object.
+        bytes[8] = 9;
+        let dir_end = FIXED_HEADER_BYTES + DIR_ENTRY_BYTES;
+        let crc = crc32(&bytes[..dir_end]).to_le_bytes();
+        bytes[dir_end..dir_end + 4].copy_from_slice(&crc);
+        assert!(matches!(
+            Container::parse(bytes),
+            Err(StoreError::UnsupportedVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn byte_soup_never_panics() {
+        // Deterministic splitmix-style soup; the property test in
+        // `tests/` covers far more ground — this is the smoke version.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 7, 16, 20, 64, 300] {
+            let mut soup = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                soup.push(x as u8);
+            }
+            assert!(Container::parse(soup).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_stream_is_capped() {
+        struct Endless;
+        impl Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                for b in buf.iter_mut() {
+                    *b = 0;
+                }
+                Ok(buf.len())
+            }
+        }
+        assert!(matches!(
+            Container::read_from(&mut Endless),
+            Err(StoreError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! The store's typed failure domain.
+//!
+//! Every reader in this crate is *total*: arbitrary bytes — truncations,
+//! bit flips, hostile section directories — always come back as one of
+//! these variants, never as a panic and never as a silently-accepted
+//! corrupt payload. This mirrors the discipline `LineIo` established for
+//! the wire protocol.
+
+/// Why a store read was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O operation failed (file reads; never produced by
+    /// the pure byte parsers).
+    Io(String),
+    /// The input exceeds the hard file-size cap.
+    TooLarge {
+        /// Observed (or lower-bounded) input length.
+        len: u64,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+    /// The first bytes are not the store magic.
+    BadMagic,
+    /// The container was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        got: u32,
+    },
+    /// The input ends before the fixed header + section directory.
+    TruncatedHeader,
+    /// The section count exceeds the directory cap.
+    TooManySections {
+        /// The count field found in the header.
+        count: u32,
+    },
+    /// The checksum over the header + directory does not match.
+    HeaderChecksum {
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum computed over the bytes actually present.
+        got: u32,
+    },
+    /// A directory entry points outside the file.
+    SectionBounds {
+        /// The offending section id.
+        id: u32,
+    },
+    /// A directory entry exceeds the per-section size cap.
+    SectionTooLarge {
+        /// The offending section id.
+        id: u32,
+        /// Its declared length.
+        len: u64,
+    },
+    /// The directory lists one section id twice.
+    DuplicateSection {
+        /// The duplicated id.
+        id: u32,
+    },
+    /// A section payload does not match its directory checksum.
+    SectionChecksum {
+        /// The offending section id.
+        id: u32,
+        /// Checksum recorded in the directory.
+        expected: u32,
+        /// Checksum computed over the payload bytes.
+        got: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent id.
+        id: u32,
+    },
+    /// A section's payload failed semantic validation (bad lengths,
+    /// non-bijective permutation, sentinel labels, …).
+    Malformed {
+        /// The section whose payload was rejected.
+        section: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::TooLarge { len, cap } => {
+                write!(f, "input of {len} bytes exceeds the {cap}-byte cap")
+            }
+            StoreError::BadMagic => write!(f, "not a vbp store file (bad magic)"),
+            StoreError::UnsupportedVersion { got } => {
+                write!(f, "unsupported store format version {got}")
+            }
+            StoreError::TruncatedHeader => write!(f, "truncated header or section directory"),
+            StoreError::TooManySections { count } => {
+                write!(f, "section count {count} exceeds the directory cap")
+            }
+            StoreError::HeaderChecksum { expected, got } => write!(
+                f,
+                "header checksum mismatch: file says {expected:#010x}, computed {got:#010x}"
+            ),
+            StoreError::SectionBounds { id } => {
+                write!(f, "section {id:#06x} points outside the file")
+            }
+            StoreError::SectionTooLarge { id, len } => {
+                write!(f, "section {id:#06x} of {len} bytes exceeds the size cap")
+            }
+            StoreError::DuplicateSection { id } => {
+                write!(f, "section {id:#06x} listed twice in the directory")
+            }
+            StoreError::SectionChecksum { id, expected, got } => write!(
+                f,
+                "section {id:#06x} checksum mismatch: directory says {expected:#010x}, \
+                 computed {got:#010x}"
+            ),
+            StoreError::MissingSection { id } => {
+                write!(f, "required section {id:#06x} is missing")
+            }
+            StoreError::Malformed { section, reason } => {
+                write!(f, "section {section:#06x} payload malformed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -25,6 +25,10 @@
 # trace-overhead stage (skipped under --fast) replays the
 # engine_contention workload with tracing off/spans/full interleaved and
 # fails if the disabled-mode A/A delta exceeds max(1%, measured noise).
+# A store property stage replays the on-disk reader totality suite (byte
+# soup, truncations, single-bit flips against the two-layer CRCs), and a
+# store-restore gate (skipped under --fast) fails unless a warm restore
+# of a 100k-point snapshot is at least 10x faster than a cold prepare.
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget and widens the chaos sweep to 96
@@ -68,10 +72,17 @@ timeout 300 cargo test -q -p vbp-service --test stats_consistency
 echo "==> shard metamorphic suite (shard-merged labels vs single-shard)"
 timeout 300 cargo test -q -p vbp-dbscan --test sharded_metamorphic
 
+echo "==> store reader totality properties (soup, truncations, bit flips)"
+timeout 300 cargo test -q -p vbp-store
+
 if [[ $fast -eq 0 ]]; then
   echo "==> trace overhead gate (engine_contention workload, off vs on)"
   timeout 600 cargo run --release -q -p vbp-bench --bin trace_overhead -- \
     --points 3000 --trials 6 --threads 2
+
+  echo "==> store restore gate (warm restore >= 10x cold prepare)"
+  timeout 600 cargo run --release -q -p vbp-bench --bin store_restore -- \
+    --points 100000 results/store_restore.txt
 fi
 
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
