@@ -1,0 +1,278 @@
+//! HTTP gateway load gate — ≥ 1000 concurrent keep-alive clients.
+//!
+//! Boots `vbp-service` in-process with both doors open (line protocol +
+//! HTTP gateway on loopback), connects exactly [`CLIENTS`] concurrent
+//! `HttpClient` connections (each one a real TCP socket held open for
+//! the whole run — all of them established before the first request via
+//! a barrier rendezvous), then for a fixed
+//! wall-clock window (`--trials` is reused as *seconds*, default 3 —
+//! the same convention as `soak`) every client issues back-to-back
+//! `POST /v1/submit` requests over its single keep-alive connection:
+//!
+//! - a rotating variant grid around the dataset's k-dist knee, warmed
+//!   once before the window so the measurement exercises the gateway
+//!   and the admission queue rather than cold clustering;
+//! - roughly 1 % of requests ask for full label arrays, so large
+//!   responses stay in the mix;
+//! - `503` + `Retry-After` answers are counted as load-shed
+//!   rejections (never failures) and the client backs off briefly;
+//!   any other non-`200` status aborts the run.
+//!
+//! Every client records per-request latency into its own
+//! [`variantdbscan::Histogram`] — the engine's log-bucketed trace
+//! histogram — and the per-client histograms are merged (merge is
+//! associative, pinned in core) for the reported p50/p99. Concurrently
+//! a poller scrapes `GET /v1/stats` and asserts the admission
+//! invariant `submitted = completed + failed + in_flight` on every
+//! observation; one violation fails the gate. The report (jobs/sec,
+//! quantiles, rejection counts, invariant checks) is printed and
+//! written to the positional output path (e.g. `results/http_load.txt`).
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin http_load -- \
+//!     [--points N] [--threads T] [--trials SECONDS] [results/http_load.txt]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use variantdbscan::{Engine, EngineConfig, Histogram};
+use vbp_bench::BenchOpts;
+use vbp_service::{HttpClient, Registry, Server, ServiceConfig};
+
+/// Concurrent keep-alive connections — the gate's headline number.
+const CLIENTS: usize = 1000;
+
+/// The dataset every client hammers (scaled by `--points`).
+const DATASET: &str = "cF_10k_5N";
+
+/// What one client thread brings home.
+struct ClientTally {
+    hist: Histogram,
+    ok: u64,
+    rejected: u64,
+}
+
+fn main() {
+    let (opts, positional) = BenchOpts::parse();
+    let threads = opts.threads.min(8);
+    let window_secs = opts.trials.max(1) as u64;
+    let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(70));
+
+    let name = if opts.full {
+        DATASET.to_string()
+    } else {
+        format!("{DATASET}@{}", opts.points)
+    };
+    let registry = Registry::new();
+    registry.load(&engine, &name).expect("catalog dataset");
+    let knee = registry
+        .get(&name)
+        .and_then(|e| e.suggested_eps)
+        .unwrap_or(1.0);
+    let grid: Vec<(f64, usize)> = [0.9, 1.0, 1.1, 1.3]
+        .iter()
+        .flat_map(|scale| [4usize, 8].map(|minpts| (knee * scale, minpts)))
+        .collect();
+
+    let mut handle = Server::start(
+        engine,
+        registry,
+        ServiceConfig {
+            queue_cap: 512,
+            batch_window: Duration::from_millis(2),
+            http_addr: Some("127.0.0.1:0".into()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let http_addr = handle.http_addr().expect("http gateway bound");
+
+    // Warm the grid through the gateway so the window measures the HTTP
+    // path over a hot cache, not eight cold clusterings.
+    {
+        let mut warm = HttpClient::connect(http_addr).expect("warmup connect");
+        warm.set_timeout(Some(Duration::from_secs(600))).unwrap();
+        for (eps, minpts) in &grid {
+            let body =
+                format!(r#"{{"dataset":"{name}","eps":{eps},"minpts":{minpts},"labels":false}}"#);
+            let resp = warm.post("/v1/submit", &body).expect("warmup submit");
+            assert_eq!(resp.status, 200, "warmup answered {}", resp.body_str());
+        }
+    }
+
+    println!(
+        "http_load: {CLIENTS} keep-alive clients x POST /v1/submit on {name}, \
+         {} variants, T = {threads}, {window_secs} s window",
+        grid.len()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Clients connect first, then rendezvous here so all CLIENTS sockets
+    // are simultaneously open before the first request is sent.
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let mut workers = Vec::with_capacity(CLIENTS);
+    for id in 0..CLIENTS {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let name = name.clone();
+        let grid = grid.clone();
+        workers.push(std::thread::spawn(move || -> ClientTally {
+            // The accept backlog is finite and 1000 peers connect at
+            // once; retry until the listener drains us in.
+            let mut client = loop {
+                match HttpClient::connect(http_addr) {
+                    Ok(c) => break c,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            client.set_timeout(Some(Duration::from_secs(600))).unwrap();
+            barrier.wait();
+            let mut tally = ClientTally {
+                hist: Histogram::new(),
+                ok: 0,
+                rejected: 0,
+            };
+            let mut i = id;
+            while !stop.load(Ordering::Acquire) {
+                let (eps, minpts) = grid[i % grid.len()];
+                let labels = i % 97 == 0;
+                let body = format!(
+                    r#"{{"dataset":"{name}","eps":{eps},"minpts":{minpts},"labels":{labels}}}"#
+                );
+                let t = Instant::now();
+                let resp = client.post("/v1/submit", &body).expect("keep-alive submit");
+                match resp.status {
+                    200 => {
+                        tally.hist.record(t.elapsed());
+                        tally.ok += 1;
+                    }
+                    503 => {
+                        assert!(
+                            resp.header("retry-after").is_some(),
+                            "mid-window 503 must be overload, got {}",
+                            resp.body_str()
+                        );
+                        tally.rejected += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    status => panic!("client {id}: status {status}: {}", resp.body_str()),
+                }
+                i += 1;
+            }
+            tally
+        }));
+    }
+
+    // Invariant poller: scrapes /v1/stats through the gateway for the
+    // whole window; every observation must balance.
+    let checks = Arc::new(AtomicU64::new(0));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let checks = Arc::clone(&checks);
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(http_addr).expect("poller connect");
+            client.set_timeout(Some(Duration::from_secs(600))).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                let resp = client.get("/v1/stats").expect("poller GET /v1/stats");
+                assert_eq!(resp.status, 200, "stats answered {}", resp.body_str());
+                let doc = resp.json().expect("stats body is JSON");
+                let get = |key: &str| -> u64 {
+                    doc.get(key)
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or_else(|| panic!("stats missing {key}")) as u64
+                };
+                assert_eq!(
+                    get("submitted"),
+                    get("completed") + get("failed") + get("in_flight"),
+                    "admission invariant broken mid-run: {}",
+                    resp.body_str()
+                );
+                checks.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs(window_secs));
+    stop.store(true, Ordering::Release);
+
+    let mut merged = Histogram::new();
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    let mut active_clients = 0u64;
+    for w in workers {
+        let tally = w.join().expect("client thread panicked");
+        if tally.ok + tally.rejected > 0 {
+            active_clients += 1;
+        }
+        ok += tally.ok;
+        rejected += tally.rejected;
+        merged.merge(&tally.hist);
+    }
+    poller.join().expect("stats poller panicked");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let checks = checks.load(Ordering::Relaxed);
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "http_load: {CLIENTS} concurrent keep-alive HTTP clients, {name}, \
+         {} variants, T = {threads}",
+        grid.len()
+    );
+    let _ = writeln!(
+        table,
+        "window: {elapsed:.2} s   completed jobs: {ok}   load-shed 503s: {rejected}"
+    );
+    let _ = writeln!(
+        table,
+        "throughput: {:>10.1} jobs/sec over the HTTP gateway",
+        ok as f64 / elapsed
+    );
+    let _ = writeln!(
+        table,
+        "latency (trace histogram, {} samples): p50 {:>9.3} ms   p99 {:>9.3} ms   mean {:>9.3} ms",
+        merged.count(),
+        merged.quantile_upper_ns(0.50) as f64 / 1e6,
+        merged.quantile_upper_ns(0.99) as f64 / 1e6,
+        merged.mean_ns() / 1e6
+    );
+    let _ = writeln!(
+        table,
+        "admission invariant: {checks} observations, 0 violations (a violation aborts the run)"
+    );
+    let _ = writeln!(
+        table,
+        "clients that completed work: {active_clients}/{CLIENTS}"
+    );
+    print!("{table}");
+
+    let stats = handle.stats_json();
+    println!("final STATS: {stats}");
+    handle
+        .cache_invariants()
+        .expect("cache structural self-check");
+    let drain0 = Instant::now();
+    handle.shutdown();
+    println!("drain: {:?} (all threads joined)", drain0.elapsed());
+
+    if let Some(path) = positional.first() {
+        std::fs::write(path, &table).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    assert!(ok > 0, "no HTTP submission completed");
+    assert!(checks > 0, "the invariant poller never ran");
+    assert_eq!(
+        active_clients, CLIENTS as u64,
+        "every keep-alive client must complete at least one request"
+    );
+}

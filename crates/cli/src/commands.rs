@@ -441,11 +441,14 @@ fn service_config(args: &Args, addr: String) -> Result<vbp_service::ServiceConfi
     })
 }
 
-/// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT] [--store DIR]`
-/// — run the daemon until a client sends `SHUTDOWN`. With `--store`,
-/// datasets are restored warm from DIR when valid snapshot files exist
-/// (cold-rebuilt otherwise) and the warm state is persisted back on
-/// drain.
+/// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT] [--http PORT]
+/// [--store DIR]` — run the daemon until a client sends `SHUTDOWN`.
+/// With `--http`, an HTTP/1.1 gateway listens alongside the line
+/// protocol, against the same admission queue, dispatcher, and
+/// dominance cache (`PORT` may be `0` for an ephemeral port, or a full
+/// `HOST:PORT`). With `--store`, datasets are restored warm from DIR
+/// when valid snapshot files exist (cold-rebuilt otherwise) and the
+/// warm state is persisted back on drain.
 pub fn serve(args: &Args) -> Result<String, String> {
     let config = engine_config(args)?;
     let engine = Engine::new(config);
@@ -468,6 +471,14 @@ pub fn serve(args: &Args) -> Result<String, String> {
         .collect();
     let mut service = service_config(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?;
     service.store_dir = store_dir;
+    // `--http PORT` (bare port binds 127.0.0.1) or `--http HOST:PORT`.
+    service.http_addr = args.get("http").map(|spec| {
+        if spec.contains(':') {
+            spec.to_string()
+        } else {
+            format!("127.0.0.1:{spec}")
+        }
+    });
     let restored = boot.restored;
     let mut handle = vbp_service::Server::start_with_store(engine, registry, service, boot)
         .map_err(|e| e.to_string())?;
@@ -482,6 +493,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
         handle.local_addr(),
         loaded.join(", ")
     );
+    if let Some(http_addr) = handle.http_addr() {
+        println!("vbp-service http gateway on {http_addr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
@@ -877,6 +891,9 @@ commands:
            [--r R|auto] [--queue-cap N]       indexed once at startup and results
            [--cache-mb MB] [--batch-ms MS]    are cached across requests
            [--shards S]                       (S > 1 shards wide variants)
+           [--http PORT|HOST:PORT]            (also serve an HTTP/1.1 gateway:
+                                              POST /v1/submit|append,
+                                              GET /v1/datasets|/metrics|/healthz)
            [--store DIR]                      (restore warm state from DIR at
                                               boot, persist it back on drain)
   submit   --dataset NAME --eps E             send one variant to a daemon

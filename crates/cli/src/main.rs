@@ -21,6 +21,7 @@ const SPEC: Spec = Spec {
         "scheduler",
         "reuse",
         "addr",
+        "http",
         "datasets",
         "queue-cap",
         "cache-mb",

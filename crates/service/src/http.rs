@@ -1,0 +1,1476 @@
+//! The HTTP/1.1 gateway: a second front door to the same daemon.
+//!
+//! ROADMAP item 1 asks for an HTTP surface so ordinary tooling (curl,
+//! load balancers, Prometheus scrapers) can reach the variant engine
+//! without speaking the line protocol. The build environment is
+//! offline, so this is a hand-rolled `std`-only implementation layered
+//! on the same [`Transport`] seam the line protocol uses — which means
+//! the whole fault battery (scripted byte schedules, torn writes,
+//! mid-stream cuts) drives this handler too.
+//!
+//! # Framing posture
+//!
+//! Request framing is bounded everywhere, mirroring [`LineIo`]'s
+//! posture (`LineIo` itself is line-oriented and cannot frame a binary
+//! body, so the gateway reads the [`Transport`] directly with the same
+//! chunked-read/timeout-as-event discipline):
+//!
+//! - request line over [`MAX_REQUEST_LINE_BYTES`] ⇒ `400` and close;
+//! - header block over [`MAX_HEADER_BYTES`] or more than
+//!   [`MAX_HEADERS`] headers ⇒ `431` and close;
+//! - declared body over [`MAX_BODY_BYTES`] ⇒ `413` and close;
+//! - anything unframeable (no CRLF discipline required — bare `LF`
+//!   line endings are tolerated) ⇒ a typed status and close, never
+//!   unbounded buffering and never a hung handler.
+//!
+//! Every framing violation counts one `protocol_errors` tick and a
+//! `ProtocolError` trace event — the same accounting a garbage line
+//! costs the line protocol.
+//!
+//! # Admission mapping
+//!
+//! `POST /v1/submit` builds the *same* [`Job`](crate::server) the line
+//! protocol's `SUBMIT` builds and funnels it through the same bounded
+//! queue and batching dispatcher, so an HTTP submission's labels are
+//! identical to the line protocol's for the same `(dataset, ε,
+//! minpts)`. The status-code contract:
+//!
+//! | condition                  | line protocol      | HTTP              |
+//! |----------------------------|--------------------|-------------------|
+//! | malformed framing          | `ERR protocol`     | `400`/`431`/`413` |
+//! | bad JSON / bad params      | `ERR bad-request`  | `400`             |
+//! | unknown dataset            | `ERR unknown-dataset` | `404`          |
+//! | queue full                 | `ERR overloaded`   | `503` + `Retry-After: 1` |
+//! | draining                   | `ERR draining`     | `503`             |
+//! | engine failure / timeout   | `ERR internal`     | `500`             |
+//!
+//! Error bodies are JSON `{"error": <wire token>, "message": …}` using
+//! the exact [`ErrorCode`] tokens of the line protocol.
+//!
+//! `GET /metrics` renders the Prometheus exposition from one
+//! [`ServiceStats`](crate::server) copy under the stats lock — the
+//! admission invariant (`submitted == completed + failed + in_flight`)
+//! holds inside any single scrape, exactly as it does for the line
+//! protocol's `METRICS` verb.
+//!
+//! # JSON
+//!
+//! Responses are built with the engine's hand-rolled writer
+//! ([`JsonObject`]/[`JsonArray`]); requests are parsed with
+//! [`parse_json`], a total recursive-descent parser (depth-capped,
+//! surrogate-aware, trailing-garbage rejecting) written here because no
+//! serialization crate exists in the build environment.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use variantdbscan::{JsonArray, JsonObject, Variant};
+use vbp_geom::Point2;
+
+use crate::protocol::ErrorCode;
+use crate::server::{apply_append, Job, Shared};
+use crate::transport::Transport;
+
+/// Hard cap on the request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4096;
+/// Hard cap on the header block (request line excluded), bytes.
+pub const MAX_HEADER_BYTES: usize = 8192;
+/// Hard cap on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a declared request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite — the grammar cannot spell NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys are kept; lookups
+    /// answer the first).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match), `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number payload, `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in source order, `None` for non-objects.
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth [`parse_json`] accepts; deeper documents are
+/// rejected instead of recursing toward a stack overflow.
+const MAX_JSON_DEPTH: usize = 64;
+
+/// Parses one complete JSON document. Total: every input answers
+/// `Ok` or a descriptive `Err` — no panic, no unbounded recursion
+/// (depth-capped at [`MAX_JSON_DEPTH`]), trailing non-whitespace
+/// rejected.
+pub fn parse_json(bytes: &[u8]) -> Result<JsonValue, String> {
+    let s = std::str::from_utf8(bytes).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let mut p = JsonParser { s, i: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn bytes(&self) -> &[u8] {
+        self.s.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.s[self.i..].starts_with(word) {
+            self.i += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(format!("nesting deeper than {MAX_JSON_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(format!("unexpected byte at {}", self.i)),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.i;
+            // Copy the longest run free of escapes, terminators, and
+            // control bytes in one slice (multi-byte UTF-8 included —
+            // the input is a validated &str and the scan only stops at
+            // ASCII bytes, so the slice boundary is a char boundary).
+            while let Some(b) = self.peek() {
+                match b {
+                    b'"' | b'\\' => break,
+                    0x00..=0x1f => return Err(format!("control byte in string at {}", self.i)),
+                    _ => self.i += 1,
+                }
+            }
+            out.push_str(&self.s[start..self.i]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), String> {
+        let Some(b) = self.peek() else {
+            return Err("unterminated escape".into());
+        };
+        self.i += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..=0xDBFF).contains(&hi) {
+                    // High surrogate: a \uDC00-\uDFFF low half must
+                    // follow to form one scalar value.
+                    if self.peek() != Some(b'\\') {
+                        return Err("lone high surrogate".into());
+                    }
+                    self.i += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err("lone high surrogate".into());
+                    }
+                    self.i += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                        return Err("invalid low surrogate".into());
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or("invalid surrogate pair")?
+                } else if (0xDC00..=0xDFFF).contains(&hi) {
+                    return Err("lone low surrogate".into());
+                } else {
+                    char::from_u32(hi).ok_or("invalid \\u escape")?
+                };
+                out.push(c);
+            }
+            _ => return Err(format!("bad escape '\\{}'", char::from(b))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.i.checked_add(4).filter(|&e| e <= self.s.len());
+        let Some(end) = end else {
+            return Err("truncated \\u escape".into());
+        };
+        let hex = &self.s[self.i..end];
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err("non-hex \\u escape".into());
+        }
+        self.i = end;
+        Ok(u32::from_str_radix(hex, 16).expect("validated hex"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let int_start = self.i;
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if int_digits > 1 && self.bytes()[int_start] == b'0' {
+            // JSON forbids leading zeros: "01" is two tokens, not one.
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if self.digits() == 0 {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if self.digits() == 0 {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        let n: f64 = self.s[start..self.i]
+            .parse()
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("number overflows f64 at byte {start}"));
+        }
+        Ok(JsonValue::Num(n))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        self.i - start
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request framing
+// ---------------------------------------------------------------------------
+
+/// One framed request head.
+struct HttpRequest {
+    method: String,
+    target: String,
+    keep_alive: bool,
+    expect_continue: bool,
+    content_length: usize,
+}
+
+/// What reading one request produced.
+enum ReadOutcome {
+    /// A well-framed head; the body (if any) is read separately.
+    Request(HttpRequest),
+    /// A framing violation: answer `status` once, then close.
+    Malformed { status: u16, message: String },
+    /// EOF (clean between requests, or torn mid-head — either way the
+    /// connection is over; a partial head is dropped, never parsed).
+    Closed,
+    /// The stop flag was observed at a read-timeout poll.
+    Stopped,
+}
+
+/// Bounded HTTP framing over any [`Transport`], plus response writes.
+struct HttpIo<T> {
+    transport: T,
+    /// Received but unconsumed bytes (keep-alive pipelining leftover).
+    buf: Vec<u8>,
+}
+
+impl<T: Transport> HttpIo<T> {
+    fn new(transport: T) -> HttpIo<T> {
+        HttpIo {
+            transport,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads until `self.buf` satisfies `ready` (which answers how many
+    /// bytes are consumable) or a cap/EOF/stop intervenes.
+    fn fill_until(
+        &mut self,
+        stop: &AtomicBool,
+        ready: impl Fn(&[u8]) -> Option<usize>,
+        over_cap: impl Fn(&[u8]) -> Option<(u16, String)>,
+    ) -> Result<usize, ReadOutcome> {
+        loop {
+            if let Some(n) = ready(&self.buf) {
+                return Ok(n);
+            }
+            if let Some((status, message)) = over_cap(&self.buf) {
+                return Err(ReadOutcome::Malformed { status, message });
+            }
+            let mut chunk = [0u8; 4096];
+            match self.transport.read(&mut chunk) {
+                Ok(0) => return Err(ReadOutcome::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::Acquire) {
+                        return Err(ReadOutcome::Stopped);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(ReadOutcome::Closed),
+            }
+        }
+    }
+
+    /// Frames one request head. Leading blank lines (a tolerated client
+    /// sloppiness after a previous body) are skipped.
+    fn read_request(&mut self, stop: &AtomicBool) -> ReadOutcome {
+        // Drop blank lines before the request line so `curl`-style
+        // keep-alive reuse with stray CRLFs still frames.
+        loop {
+            match self.buf.first() {
+                Some(b'\r') if self.buf.get(1) == Some(&b'\n') => {
+                    self.buf.drain(..2);
+                }
+                Some(b'\n') => {
+                    self.buf.drain(..1);
+                }
+                Some(b'\r') if self.buf.len() == 1 => {
+                    // Need one more byte to decide; fall through to the
+                    // head read below (a lone CR is never a valid head
+                    // start, the parser rejects it).
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let head_end = match self.fill_until(stop, find_head_end, |buf| {
+            let line_done = buf.contains(&b'\n');
+            if !line_done && buf.len() > MAX_REQUEST_LINE_BYTES + 2 {
+                Some((
+                    400,
+                    format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                ))
+            } else if buf.len() > MAX_REQUEST_LINE_BYTES + MAX_HEADER_BYTES {
+                Some((
+                    431,
+                    format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+                ))
+            } else {
+                None
+            }
+        }) {
+            Ok(n) => n,
+            Err(outcome) => {
+                // Between requests, a clean EOF is just the peer
+                // hanging up; distinguish it from a torn head so the
+                // caller does not count it as a violation.
+                return outcome;
+            }
+        };
+        let head: Vec<u8> = self.buf.drain(..head_end).collect();
+        parse_head(&head)
+    }
+
+    /// Reads exactly `len` body bytes (the head's `Content-Length`).
+    fn read_body(&mut self, len: usize, stop: &AtomicBool) -> Result<Vec<u8>, ReadOutcome> {
+        let got = self.fill_until(stop, |buf| (buf.len() >= len).then_some(len), |_| None)?;
+        Ok(self.buf.drain(..got).collect())
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.transport.write_all(bytes)
+    }
+
+    fn close(&mut self) {
+        self.transport.close();
+    }
+}
+
+/// Index one past the blank line ending the head, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while let Some(rel) = buf[i..].iter().position(|&b| b == b'\n') {
+        let nl = i + rel;
+        let mut line_end = nl;
+        if line_end > i && buf[line_end - 1] == b'\r' {
+            line_end -= 1;
+        }
+        if i > 0 && line_end == i {
+            return Some(nl + 1);
+        }
+        i = nl + 1;
+    }
+    None
+}
+
+/// Parses a complete head (request line + headers + blank line).
+fn parse_head(head: &[u8]) -> ReadOutcome {
+    let malformed = |status: u16, _reason: &'static str, message: String| ReadOutcome::Malformed {
+        status,
+        message,
+    };
+    let Ok(text) = std::str::from_utf8(head) else {
+        return malformed(400, "Bad Request", "head is not valid UTF-8".into());
+    };
+    let mut lines = text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .filter(|l| !l.is_empty());
+    let Some(request_line) = lines.next() else {
+        return malformed(400, "Bad Request", "empty request head".into());
+    };
+    if request_line.len() > MAX_REQUEST_LINE_BYTES {
+        return malformed(
+            400,
+            "Bad Request",
+            format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+        );
+    }
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return malformed(400, "Bad Request", "malformed request line".into());
+    };
+    if !version.starts_with("HTTP/1.") {
+        return malformed(
+            400,
+            "Bad Request",
+            format!("unsupported protocol '{version}'"),
+        );
+    }
+    // HTTP/1.0 defaults to close, HTTP/1.1 to keep-alive.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut expect_continue = false;
+    let mut content_length: Option<usize> = None;
+    let mut header_count = 0usize;
+    let mut header_bytes = 0usize;
+    for line in lines {
+        header_count += 1;
+        header_bytes += line.len() + 2;
+        if header_count > MAX_HEADERS {
+            return malformed(
+                431,
+                "Request Header Fields Too Large",
+                format!("more than {MAX_HEADERS} header fields"),
+            );
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return malformed(
+                431,
+                "Request Header Fields Too Large",
+                format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+            );
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return malformed(400, "Bad Request", format!("malformed header '{line}'"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name.is_empty() || name.contains(' ') {
+            return malformed(400, "Bad Request", format!("malformed header '{line}'"));
+        }
+        match name.as_str() {
+            "content-length" => {
+                let Ok(n) = value.parse::<usize>() else {
+                    return malformed(400, "Bad Request", format!("bad content-length '{value}'"));
+                };
+                if content_length.is_some_and(|prev| prev != n) {
+                    return malformed(400, "Bad Request", "conflicting content-length".into());
+                }
+                if n > MAX_BODY_BYTES {
+                    return malformed(
+                        413,
+                        "Content Too Large",
+                        format!("body exceeds {MAX_BODY_BYTES} bytes"),
+                    );
+                }
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                // Chunked bodies are unbounded-by-construction; the
+                // gateway only frames declared lengths.
+                return malformed(
+                    400,
+                    "Bad Request",
+                    "transfer-encoding is not supported".into(),
+                );
+            }
+            "connection" => {
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => keep_alive = false,
+                        "keep-alive" => keep_alive = true,
+                        _ => {}
+                    }
+                }
+            }
+            "expect" => {
+                if value.eq_ignore_ascii_case("100-continue") {
+                    expect_continue = true;
+                } else {
+                    return malformed(400, "Bad Request", format!("unsupported expect '{value}'"));
+                }
+            }
+            _ => {}
+        }
+    }
+    ReadOutcome::Request(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        keep_alive,
+        expect_continue,
+        content_length: content_length.unwrap_or(0),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response writing
+// ---------------------------------------------------------------------------
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes one complete response (status line, headers, body) in a
+/// single `write_all`. Every response carries an exact
+/// `Content-Length` and an explicit `Connection` header, so clients
+/// (and the fuzz validator) can frame it without sniffing.
+fn write_response<T: Transport>(
+    io: &mut HttpIo<T>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = String::with_capacity(128);
+    let _ = write!(head, "HTTP/1.1 {status} {}\r\n", reason_for(status));
+    let _ = write!(head, "Content-Type: {content_type}\r\n");
+    let _ = write!(head, "Content-Length: {}\r\n", body.len());
+    let _ = write!(
+        head,
+        "Connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    io.write_all(&out)
+}
+
+/// `{"error": <wire token>, "message": …}` with the line protocol's
+/// exact [`ErrorCode`] tokens.
+fn error_json(code: ErrorCode, message: &str) -> String {
+    JsonObject::new()
+        .str("error", code.as_str())
+        .str("message", message)
+        .finish()
+}
+
+fn write_error<T: Transport>(
+    io: &mut HttpIo<T>,
+    status: u16,
+    code: ErrorCode,
+    message: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    write_response(
+        io,
+        status,
+        "application/json",
+        error_json(code, message).as_bytes(),
+        keep_alive,
+        extra_headers,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Connection handler
+// ---------------------------------------------------------------------------
+
+/// Per-connection request loop of the HTTP gateway, over any
+/// [`Transport`]. Keep-alive: well-formed exchanges loop; a framing
+/// violation answers one typed status and closes; EOF, a fatal I/O
+/// error, or the stop flag end the loop.
+pub(crate) fn handle_http_connection<T: Transport>(
+    mut transport: T,
+    shared: &Shared,
+    stop: &AtomicBool,
+) {
+    let _ = transport.set_read_timeout(Some(shared.poll_interval()));
+    let mut io = HttpIo::new(transport);
+    loop {
+        match io.read_request(stop) {
+            ReadOutcome::Request(req) => {
+                if req.expect_continue
+                    && req.content_length > 0
+                    && io.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+                {
+                    break;
+                }
+                let body = match io.read_body(req.content_length, stop) {
+                    Ok(body) => body,
+                    Err(_) => break, // torn mid-body: nothing was admitted
+                };
+                // A drain observed now makes this exchange the last on
+                // the connection, like the line handler's stop poll.
+                let keep_alive = req.keep_alive && !stop.load(Ordering::Acquire);
+                if respond_http(&mut io, shared, &req, &body, keep_alive).is_err() {
+                    break;
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            ReadOutcome::Malformed { status, message } => {
+                shared.note_protocol_error();
+                let _ = write_error(&mut io, status, ErrorCode::Protocol, &message, false, &[]);
+                break;
+            }
+            ReadOutcome::Closed | ReadOutcome::Stopped => break,
+        }
+    }
+    io.close();
+}
+
+/// Routes one well-framed request; `Err(())` means the write failed and
+/// the connection is over.
+fn respond_http<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &Shared,
+    req: &HttpRequest,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<(), ()> {
+    let written = match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => {
+            let draining = shared.is_draining();
+            let body = JsonObject::new()
+                .str("status", if draining { "draining" } else { "ok" })
+                .boolean("draining", draining)
+                .finish();
+            write_response(
+                io,
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        ("GET", "/v1/datasets") => {
+            let mut datasets = JsonArray::new();
+            for (name, size) in shared.registry().list() {
+                datasets.push_raw(
+                    &JsonObject::new()
+                        .str("name", &name)
+                        .uint("points", size as u64)
+                        .finish(),
+                );
+            }
+            let body = JsonObject::new()
+                .raw("datasets", &datasets.finish())
+                .finish();
+            write_response(
+                io,
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        ("GET", "/v1/stats") => write_response(
+            io,
+            200,
+            "application/json",
+            shared.stats_json().as_bytes(),
+            keep_alive,
+            &[],
+        ),
+        ("GET", "/metrics") => write_response(
+            io,
+            200,
+            "text/plain; version=0.0.4",
+            shared.metrics_text().as_bytes(),
+            keep_alive,
+            &[],
+        ),
+        ("POST", "/v1/submit") => respond_submit(io, shared, body, keep_alive),
+        ("POST", "/v1/append") => respond_append(io, shared, body, keep_alive),
+        (_, "/healthz" | "/v1/datasets" | "/v1/stats" | "/metrics") => write_error(
+            io,
+            405,
+            ErrorCode::BadRequest,
+            &format!("{} only supports GET", req.target),
+            keep_alive,
+            &[("Allow", "GET")],
+        ),
+        (_, "/v1/submit" | "/v1/append") => write_error(
+            io,
+            405,
+            ErrorCode::BadRequest,
+            &format!("{} only supports POST", req.target),
+            keep_alive,
+            &[("Allow", "POST")],
+        ),
+        _ => write_error(
+            io,
+            404,
+            ErrorCode::BadRequest,
+            &format!("no route for {}", req.target),
+            keep_alive,
+            &[],
+        ),
+    };
+    written.map_err(|_| ())
+}
+
+/// Field-by-field validation of a submit body, mirroring the line
+/// protocol's `SUBMIT` parser (including its strictness: unknown
+/// fields are rejected the way trailing tokens are).
+fn parse_submit_body(body: &[u8]) -> Result<(String, f64, usize, bool), String> {
+    let json = parse_json(body)?;
+    let fields = json.entries().ok_or("body must be a JSON object")?;
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "dataset" | "eps" | "minpts" | "labels") {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    let dataset = json
+        .get("dataset")
+        .and_then(JsonValue::as_str)
+        .ok_or("'dataset' must be a string")?
+        .to_string();
+    let eps = json
+        .get("eps")
+        .and_then(JsonValue::as_f64)
+        .ok_or("'eps' must be a number")?;
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err("'eps' must be finite and positive".into());
+    }
+    let minpts_raw = json
+        .get("minpts")
+        .and_then(JsonValue::as_f64)
+        .ok_or("'minpts' must be a number")?;
+    if minpts_raw.fract() != 0.0 || minpts_raw < 1.0 || minpts_raw > u32::MAX as f64 {
+        return Err("'minpts' must be an integer of at least 1".into());
+    }
+    let labels = match json.get("labels") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("'labels' must be a boolean")?,
+    };
+    Ok((dataset, eps, minpts_raw as usize, labels))
+}
+
+fn respond_submit<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &Shared,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let (dataset, eps, minpts, labels) = match parse_submit_body(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            shared.note_bad_request();
+            return write_error(io, 400, ErrorCode::BadRequest, &msg, keep_alive, &[]);
+        }
+    };
+    if shared.registry().get(&dataset).is_none() {
+        shared.note_unknown_dataset();
+        return write_error(
+            io,
+            404,
+            ErrorCode::UnknownDataset,
+            &format!("dataset '{dataset}' is not registered"),
+            keep_alive,
+            &[],
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        dataset,
+        variant: Variant::new(eps, minpts),
+        want_labels: labels,
+        want_report: true,
+        reply: tx,
+    };
+    if let Err(e) = shared.submit(job) {
+        let (msg, extra): (&str, &[(&str, &str)]) = match e {
+            crate::server::SubmitError::Overloaded => ("queue full", &[("Retry-After", "1")]),
+            crate::server::SubmitError::Draining => ("server is shutting down", &[]),
+        };
+        return write_error(io, 503, e.code(), msg, keep_alive, extra);
+    }
+    match rx.recv_timeout(shared.job_timeout()) {
+        Ok(Ok(done)) => {
+            let mut obj = JsonObject::new()
+                .uint("clusters", done.clusters as u64)
+                .uint("noise", done.noise as u64)
+                .boolean("warm", done.warm)
+                .boolean("reused", done.reused)
+                .float("ms", done.ms);
+            if let Some(labels) = done.labels {
+                let mut arr = JsonArray::new();
+                for l in labels {
+                    arr.push_uint(l as u64);
+                }
+                obj = obj.raw("labels", &arr.finish());
+            }
+            if let Some(report) = done.report_json {
+                obj = obj.raw("report", &report);
+            }
+            write_response(
+                io,
+                200,
+                "application/json",
+                obj.finish().as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        Ok(Err(msg)) => write_error(io, 500, ErrorCode::Internal, &msg, keep_alive, &[]),
+        Err(mpsc::RecvTimeoutError::Timeout) => write_error(
+            io,
+            500,
+            ErrorCode::Internal,
+            "job timed out in the engine",
+            keep_alive,
+            &[],
+        ),
+        Err(mpsc::RecvTimeoutError::Disconnected) => write_error(
+            io,
+            503,
+            ErrorCode::Draining,
+            "request dropped during shutdown",
+            keep_alive,
+            &[],
+        ),
+    }
+}
+
+/// Validates an append body, mirroring the line protocol's `APPEND`
+/// parser: a non-empty batch of finite `[x, y]` pairs.
+fn parse_append_body(body: &[u8]) -> Result<(String, Vec<Point2>), String> {
+    let json = parse_json(body)?;
+    let fields = json.entries().ok_or("body must be a JSON object")?;
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "dataset" | "points") {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    let dataset = json
+        .get("dataset")
+        .and_then(JsonValue::as_str)
+        .ok_or("'dataset' must be a string")?
+        .to_string();
+    let items = json
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or("'points' must be an array")?;
+    if items.is_empty() {
+        return Err("'points' must not be empty".into());
+    }
+    let mut points = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item.as_array().ok_or("each point must be [x, y]")?;
+        if pair.len() != 2 {
+            return Err("each point must be [x, y]".into());
+        }
+        let x = pair[0].as_f64().ok_or("coordinates must be numbers")?;
+        let y = pair[1].as_f64().ok_or("coordinates must be numbers")?;
+        points.push(Point2::new(x, y));
+    }
+    Ok((dataset, points))
+}
+
+fn respond_append<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &Shared,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let (dataset, points) = match parse_append_body(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            shared.note_bad_request();
+            return write_error(io, 400, ErrorCode::BadRequest, &msg, keep_alive, &[]);
+        }
+    };
+    if shared.is_draining() {
+        shared.note_append_rejected(None);
+        return write_error(
+            io,
+            503,
+            ErrorCode::Draining,
+            "server is shutting down",
+            keep_alive,
+            &[],
+        );
+    }
+    match apply_append(shared, &dataset, &points) {
+        Ok(outcome) => {
+            shared.note_append_applied(&outcome);
+            let body = JsonObject::new()
+                .uint("appended", outcome.appended as u64)
+                .uint("total", outcome.total as u64)
+                .uint("repaired", outcome.repaired as u64)
+                .uint("dropped", outcome.dropped as u64)
+                .float("ms", outcome.ms)
+                .finish();
+            write_response(
+                io,
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        Err((code, msg)) => {
+            shared.note_append_rejected(Some(code));
+            let status = if code == ErrorCode::UnknownDataset {
+                404
+            } else {
+                400
+            };
+            write_error(io, status, code, &msg, keep_alive, &[])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client
+// ---------------------------------------------------------------------------
+
+/// A minimal blocking keep-alive HTTP/1.1 client for the gateway, used
+/// by the test suites and the `http_load` bench. One client owns one
+/// connection; requests on it are sequential.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// One parsed HTTP response.
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header fields in response order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics when it is not — gateway responses
+    /// always are).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<JsonValue, String> {
+        parse_json(&self.body)
+    }
+}
+
+impl HttpClient {
+    /// Connects (with `TCP_NODELAY`) to a gateway address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Bounds how long one response read may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// `GET` with no body.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// One request/response exchange on the kept-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        use std::fmt::Write as _;
+        use std::io::Write as _;
+        let mut head = String::with_capacity(128);
+        let _ = write!(head, "{method} {path} HTTP/1.1\r\nHost: vbp\r\n");
+        if let Some(body) = body {
+            let _ = write!(
+                head,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            );
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        if let Some(body) = body {
+            out.extend_from_slice(body.as_bytes());
+        }
+        self.stream.write_all(&out)?;
+        self.read_response()
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        use std::io::Read as _;
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            )),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let head_end = loop {
+            if let Some(n) = find_head_end(&self.buf) {
+                break n;
+            }
+            if self.buf.len() > MAX_REQUEST_LINE_BYTES + MAX_HEADER_BYTES {
+                return Err(bad("response head exceeds the cap"));
+            }
+            self.fill()?;
+        };
+        let head: Vec<u8> = self.buf.drain(..head_end).collect();
+        let text = std::str::from_utf8(&head).map_err(|_| bad("response head is not UTF-8"))?;
+        let mut lines = text
+            .split('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .filter(|l| !l.is_empty());
+        let status_line = lines.next().ok_or_else(|| bad("empty response head"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("not an HTTP/1.x response"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status code"))?;
+        if status == 100 {
+            // Interim response (the server acknowledged an Expect this
+            // client never sends, but tolerate it): read the real one.
+            return self.read_response();
+        }
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(bad("response body exceeds the cap"));
+                }
+            }
+            headers.push((name, value));
+        }
+        while self.buf.len() < content_length {
+            self.fill()?;
+        }
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_scalars_and_containers() {
+        assert_eq!(parse_json(b"null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(b"true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json(b"-1.5e2").unwrap(), JsonValue::Num(-150.0));
+        assert_eq!(
+            parse_json(br#""a\nb\u0041\ud83d\ude00""#).unwrap(),
+            JsonValue::Str("a\nbA\u{1F600}".into())
+        );
+        let doc = parse_json(br#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap(),
+            &[JsonValue::Num(1.0), JsonValue::Num(2.0)]
+        );
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_documents() {
+        for bad in [
+            &b""[..],
+            b"nul",
+            b"[1,]",
+            b"{\"a\":}",
+            b"{\"a\" 1}",
+            b"\"unterminated",
+            b"\"\\u12\"",
+            b"\"\\ud800\"",
+            b"\"\\udc00\"",
+            b"01",
+            b"1.",
+            b".5",
+            b"+1",
+            b"1e",
+            b"--1",
+            b"1e999",
+            b"{} trailing",
+            b"\xff\xfe",
+            b"\"ctrl\x01char\"",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth cap: 100 nested arrays reject, shallow ones parse.
+        let deep: Vec<u8> = b"["
+            .repeat(100)
+            .into_iter()
+            .chain(b"]".repeat(100))
+            .collect();
+        assert!(parse_json(&deep).is_err());
+        let shallow: Vec<u8> = b"[".repeat(10).into_iter().chain(b"]".repeat(10)).collect();
+        assert!(parse_json(&shallow).is_ok());
+    }
+
+    #[test]
+    fn json_number_grammar_cannot_spell_non_finite() {
+        for bad in [&b"NaN"[..], b"Infinity", b"-Infinity", b"inf", b"nan"] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn head_end_detection_handles_both_terminators() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\nA: b\n\r\n"), Some(22));
+    }
+
+    #[test]
+    fn parse_head_extracts_framing_fields() {
+        let head = b"POST /v1/submit HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\nConnection: close\r\n\r\n";
+        match parse_head(head) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.target, "/v1/submit");
+                assert_eq!(req.content_length, 12);
+                assert!(!req.keep_alive);
+                assert!(!req.expect_continue);
+            }
+            _ => panic!("well-formed head rejected"),
+        }
+    }
+
+    #[test]
+    fn parse_head_rejects_violations_with_typed_statuses() {
+        let cases: Vec<(Vec<u8>, u16)> = vec![
+            (b"GARBAGE\r\n\r\n".to_vec(), 400),
+            (b"GET /x SPDY/3\r\n\r\n".to_vec(), 400),
+            (b"GET / HTTP/1.1\r\nbad header line\r\n\r\n".to_vec(), 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                format!(
+                    "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .into_bytes(),
+                413,
+            ),
+            (
+                {
+                    let mut head = b"GET / HTTP/1.1\r\n".to_vec();
+                    for i in 0..(MAX_HEADERS + 1) {
+                        head.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+                    }
+                    head.extend_from_slice(b"\r\n");
+                    head
+                },
+                431,
+            ),
+        ];
+        for (head, want) in cases {
+            match parse_head(&head) {
+                ReadOutcome::Malformed { status, .. } => {
+                    assert_eq!(status, want, "head {:?}", String::from_utf8_lossy(&head));
+                }
+                _ => panic!("accepted {:?}", String::from_utf8_lossy(&head)),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_body_parser_mirrors_line_protocol_strictness() {
+        let ok = parse_submit_body(br#"{"dataset":"d","eps":1.5,"minpts":4}"#).unwrap();
+        assert_eq!(ok, ("d".into(), 1.5, 4, false));
+        let with_labels =
+            parse_submit_body(br#"{"dataset":"d","eps":0.5,"minpts":1,"labels":true}"#).unwrap();
+        assert!(with_labels.3);
+        for bad in [
+            &br#"{"eps":1.0,"minpts":4}"#[..],
+            br#"{"dataset":"d","minpts":4}"#,
+            br#"{"dataset":"d","eps":0,"minpts":4}"#,
+            br#"{"dataset":"d","eps":-1,"minpts":4}"#,
+            br#"{"dataset":"d","eps":1.0,"minpts":0}"#,
+            br#"{"dataset":"d","eps":1.0,"minpts":2.5}"#,
+            br#"{"dataset":"d","eps":1.0,"minpts":4,"extra":1}"#,
+            br#"{"dataset":"d","eps":1.0,"minpts":4,"labels":"yes"}"#,
+            br#"[1,2,3]"#,
+            br#"not json"#,
+        ] {
+            assert!(parse_submit_body(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn append_body_parser_requires_finite_pairs() {
+        let (dataset, points) =
+            parse_append_body(br#"{"dataset":"d","points":[[1.0,2.0],[3,4]]}"#).unwrap();
+        assert_eq!(dataset, "d");
+        assert_eq!(points, vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)]);
+        for bad in [
+            &br#"{"dataset":"d","points":[]}"#[..],
+            br#"{"dataset":"d","points":[[1.0]]}"#,
+            br#"{"dataset":"d","points":[[1.0,2.0,3.0]]}"#,
+            br#"{"dataset":"d","points":[["a","b"]]}"#,
+            br#"{"dataset":"d"}"#,
+            br#"{"points":[[1,2]]}"#,
+        ] {
+            assert!(parse_append_body(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

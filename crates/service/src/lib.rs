@@ -17,6 +17,10 @@
 //!   cache, and graceful drain on shutdown;
 //! - [`protocol`] / [`client`] — the line protocol and a blocking
 //!   client;
+//! - [`http`] — an HTTP/1.1 gateway over the same [`Transport`] seam,
+//!   queue, and dispatcher (bounded framing with typed `400`/`431`
+//!   responses, JSON submit/append, Prometheus `/metrics` under the
+//!   stats lock), plus a blocking keep-alive [`HttpClient`];
 //! - [`transport`] / [`fault`] — the connection I/O seam (bounded line
 //!   framing over a [`Transport`] trait) and its deterministic
 //!   fault-injecting test implementations (seeded torn writes, scripted
@@ -36,6 +40,7 @@
 pub mod cache;
 pub mod client;
 pub mod fault;
+pub mod http;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -46,6 +51,7 @@ pub mod workload;
 pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache, RepairStats};
 pub use client::{AppendReply, Client, ClientError, Delta, SubmitReply, WatchReply};
 pub use fault::{FaultPlan, FaultTransport, MemTransport, Step};
+pub use http::{parse_json, HttpClient, HttpResponse, JsonValue};
 pub use protocol::{parse_request, ErrorCode, Request};
 pub use registry::{DatasetEntry, Registry};
 pub use server::{Server, ServerHandle, ServiceConfig, SubmitError};

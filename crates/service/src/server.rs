@@ -108,6 +108,11 @@ pub struct ServiceConfig {
     /// to restore them without rebuilding. `None` (the default) keeps
     /// the daemon fully in-memory.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Optional second bind address for the HTTP/1.1 gateway
+    /// ([`crate::http`]). `None` (the default) serves the line protocol
+    /// only; when set, both protocols run simultaneously against the
+    /// same admission queue, dispatcher, cache, and counters.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +128,7 @@ impl Default for ServiceConfig {
             write_timeout: Duration::from_secs(30),
             shards: 0,
             store_dir: None,
+            http_addr: None,
         }
     }
 }
@@ -137,7 +143,7 @@ pub enum SubmitError {
 }
 
 impl SubmitError {
-    fn code(self) -> ErrorCode {
+    pub(crate) fn code(self) -> ErrorCode {
         match self {
             SubmitError::Overloaded => ErrorCode::Overloaded,
             SubmitError::Draining => ErrorCode::Draining,
@@ -145,22 +151,32 @@ impl SubmitError {
     }
 }
 
-/// One admitted unit of work.
-struct Job {
-    dataset: String,
-    variant: Variant,
-    want_labels: bool,
-    reply: mpsc::Sender<Result<JobDone, String>>,
+/// One admitted unit of work. Both protocol surfaces (line and HTTP)
+/// build the same `Job` and funnel it through [`Shared::submit`], so a
+/// submission's journey — admission, batching, cache seeding, labeling
+/// — is identical regardless of which wire it arrived on.
+pub(crate) struct Job {
+    pub(crate) dataset: String,
+    pub(crate) variant: Variant,
+    pub(crate) want_labels: bool,
+    /// HTTP responses embed the full [`RunReport`] JSON; the line
+    /// protocol never asks, so the render cost is paid only when an
+    /// HTTP job is in the batch.
+    pub(crate) want_report: bool,
+    pub(crate) reply: mpsc::Sender<Result<JobDone, String>>,
 }
 
 /// A finished job, as the handler reports it to the client.
-struct JobDone {
-    clusters: usize,
-    noise: usize,
-    warm: bool,
-    reused: bool,
-    ms: f64,
-    labels: Option<Vec<u32>>,
+pub(crate) struct JobDone {
+    pub(crate) clusters: usize,
+    pub(crate) noise: usize,
+    pub(crate) warm: bool,
+    pub(crate) reused: bool,
+    pub(crate) ms: f64,
+    pub(crate) labels: Option<Vec<u32>>,
+    /// The batch's `RunReport::to_json`, rendered once and shared by
+    /// every job in the batch that asked for it.
+    pub(crate) report_json: Option<Arc<str>>,
 }
 
 /// Service-level counters (the engine and cache keep their own).
@@ -230,7 +246,7 @@ struct WatchStream {
     subscribers: Vec<mpsc::Sender<String>>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     engine: Engine,
     registry: Registry,
     cache: Mutex<DominanceCache>,
@@ -264,7 +280,7 @@ struct Shared {
 impl Shared {
     /// Admission control: reject when draining or full, enqueue and wake
     /// the dispatcher otherwise.
-    fn submit(&self, job: Job) -> Result<(), SubmitError> {
+    pub(crate) fn submit(&self, job: Job) -> Result<(), SubmitError> {
         if self.draining.load(Ordering::Acquire) {
             self.stats.lock().unwrap().rejected_draining += 1;
             return Err(SubmitError::Draining);
@@ -298,7 +314,67 @@ impl Shared {
         s.in_flight = s.in_flight.saturating_sub(n);
     }
 
-    fn stats_json(&self) -> String {
+    /// The registered datasets, shared by both protocol surfaces.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Whether a graceful drain has begun.
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Handler read-timeout (the stop-flag poll cadence).
+    pub(crate) fn poll_interval(&self) -> Duration {
+        self.poll_interval
+    }
+
+    /// How long a handler waits on a job reply before `internal`.
+    pub(crate) fn job_timeout(&self) -> Duration {
+        self.job_timeout
+    }
+
+    /// One framing violation (oversized line, invalid UTF-8, malformed
+    /// HTTP head): counter + trace event, the same pair whichever
+    /// protocol the bytes arrived on.
+    pub(crate) fn note_protocol_error(&self) {
+        self.stats.lock().unwrap().protocol_errors += 1;
+        self.metrics.record_event(TraceEvent::ProtocolError);
+    }
+
+    /// A well-framed request that failed to parse (bad verb, bad JSON,
+    /// out-of-range parameters).
+    pub(crate) fn note_bad_request(&self) {
+        self.stats.lock().unwrap().bad_request += 1;
+    }
+
+    /// A request named a dataset the registry does not hold.
+    pub(crate) fn note_unknown_dataset(&self) {
+        self.stats.lock().unwrap().unknown_dataset += 1;
+    }
+
+    /// Streaming ledger, applied side: `appends == appends_applied +
+    /// appends_rejected` is bumped in one lock acquisition.
+    pub(crate) fn note_append_applied(&self, outcome: &AppendOutcome) {
+        let mut s = self.stats.lock().unwrap();
+        s.appends += 1;
+        s.appends_applied += 1;
+        s.append_points += outcome.appended as u64;
+        s.watch_deltas += outcome.deltas;
+    }
+
+    /// Streaming ledger, rejected side (draining pre-check, unknown
+    /// dataset, or an invalid batch).
+    pub(crate) fn note_append_rejected(&self, code: Option<ErrorCode>) {
+        let mut s = self.stats.lock().unwrap();
+        s.appends += 1;
+        s.appends_rejected += 1;
+        if code == Some(ErrorCode::UnknownDataset) {
+            s.unknown_dataset += 1;
+        }
+    }
+
+    pub(crate) fn stats_json(&self) -> String {
         let s = *self.stats.lock().unwrap();
         let cache = self.cache.lock().unwrap().stats();
         let mut datasets = variantdbscan::JsonArray::new();
@@ -349,7 +425,7 @@ impl Shared {
     /// under the stats lock — so the exposition can never structurally
     /// disagree with `STATS`, and the admission invariant (`submitted ==
     /// completed + failed + in_flight`) holds inside any one exposition.
-    fn metrics_text(&self) -> String {
+    pub(crate) fn metrics_text(&self) -> String {
         use std::fmt::Write as _;
         let s = *self.stats.lock().unwrap();
         let cache = self.cache.lock().unwrap().stats();
@@ -490,9 +566,11 @@ pub struct Server;
 /// Join/shutdown handle returned by [`Server::start`].
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     stop_accept: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    http_accept: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -524,6 +602,10 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let http_listener = match &config.http_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         let mut cache = DominanceCache::new(config.cache_bytes);
         if config.cache_bytes > 0 {
             for (dataset, variant, result) in boot.cache_seed {
@@ -571,62 +653,109 @@ impl Server {
                 .name("vbp-dispatch".into())
                 .spawn(move || dispatcher_loop(&shared))?
         };
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let stop = Arc::clone(&stop_accept);
-            let handlers = Arc::clone(&handlers);
-            std::thread::Builder::new()
-                .name("vbp-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let _ = stream.set_nodelay(true);
-                        let _ = stream.set_write_timeout(Some(shared.write_timeout));
-                        let shared = Arc::clone(&shared);
-                        let stop = Arc::clone(&stop);
-                        let handle =
-                            std::thread::Builder::new()
-                                .name("vbp-conn".into())
-                                .spawn(move || {
-                                    handle_connection(TcpTransport::new(stream), &shared, &stop)
-                                });
-                        let mut hs = handlers.lock().unwrap();
-                        // Reap finished handlers so the registry stays
-                        // proportional to *live* connections instead of
-                        // growing for the daemon's lifetime.
-                        let mut i = 0;
-                        while i < hs.len() {
-                            if hs[i].is_finished() {
-                                let _ = hs.swap_remove(i).join();
-                            } else {
-                                i += 1;
-                            }
-                        }
-                        if let Ok(h) = handle {
-                            hs.push(h);
-                        }
-                    }
-                })?
+        let accept = spawn_accept_loop(
+            listener,
+            Arc::clone(&shared),
+            Arc::clone(&stop_accept),
+            Arc::clone(&handlers),
+            false,
+        )?;
+        let (http_addr, http_accept) = match http_listener {
+            Some(listener) => {
+                let addr = listener.local_addr()?;
+                let accept = spawn_accept_loop(
+                    listener,
+                    Arc::clone(&shared),
+                    Arc::clone(&stop_accept),
+                    Arc::clone(&handlers),
+                    true,
+                )?;
+                (Some(addr), Some(accept))
+            }
+            None => (None, None),
         };
 
         Ok(ServerHandle {
             local_addr,
+            http_addr,
             shared,
             stop_accept,
             accept: Some(accept),
+            http_accept,
             dispatcher: Some(dispatcher),
             handlers,
         })
     }
 }
 
+/// Spawns one accept loop. Every accepted socket gets its own handler
+/// thread — the line-protocol handler or the HTTP gateway's, selected
+/// by `http` — against the *same* shared state: both listeners feed one
+/// admission queue, one dispatcher, one cache, one set of counters.
+fn spawn_accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    http: bool,
+) -> std::io::Result<JoinHandle<()>> {
+    let accept_name = if http {
+        "vbp-http-accept"
+    } else {
+        "vbp-accept"
+    };
+    let conn_name = if http { "vbp-http-conn" } else { "vbp-conn" };
+    std::thread::Builder::new()
+        .name(accept_name.into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(shared.write_timeout));
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name(conn_name.into())
+                    .spawn(move || {
+                        let transport = TcpTransport::new(stream);
+                        if http {
+                            crate::http::handle_http_connection(transport, &shared, &stop);
+                        } else {
+                            handle_connection(transport, &shared, &stop);
+                        }
+                    });
+                let mut hs = handlers.lock().unwrap();
+                // Reap finished handlers so the registry stays
+                // proportional to *live* connections instead of
+                // growing for the daemon's lifetime.
+                let mut i = 0;
+                while i < hs.len() {
+                    if hs[i].is_finished() {
+                        let _ = hs.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Ok(h) = handle {
+                    hs.push(h);
+                }
+            }
+        })
+}
+
 impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The HTTP gateway's bound address (resolves port 0), or `None`
+    /// when [`ServiceConfig::http_addr`] was not set.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// Runs the full connection-handler loop over an arbitrary
@@ -643,14 +772,29 @@ impl ServerHandle {
             .expect("spawn transport handler")
     }
 
+    /// [`Self::serve_transport`]'s HTTP twin: runs the HTTP gateway's
+    /// connection handler over an arbitrary [`Transport`], against the
+    /// same shared state as socket-accepted connections.
+    pub fn serve_http_transport<T: Transport + 'static>(&self, transport: T) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::clone(&self.stop_accept);
+        std::thread::Builder::new()
+            .name("vbp-http-conn-test".into())
+            .spawn(move || crate::http::handle_http_connection(transport, &shared, &stop))
+            .expect("spawn http transport handler")
+    }
+
     /// Begins a graceful drain (idempotent): stop admitting, finish
     /// what's queued, wake the accept loop.
     pub fn begin_shutdown(&self) {
         self.shared.draining.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
         self.stop_accept.store(true, Ordering::Release);
-        // Wake the blocking accept() with a throwaway connection.
+        // Wake the blocking accept()s with throwaway connections.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.http_addr {
+            let _ = TcpStream::connect(addr);
+        }
     }
 
     /// Waits for every server thread to finish. Only returns once a
@@ -660,10 +804,17 @@ impl ServerHandle {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        // Dispatcher exit implies draining; make sure accept wakes too.
+        // Dispatcher exit implies draining; make sure the accepts wake
+        // too.
         self.stop_accept.store(true, Ordering::Release);
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(addr) = self.http_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.http_accept.take() {
             let _ = h.join();
         }
         // Any job enqueued in the shutdown race has no dispatcher left;
@@ -978,6 +1129,12 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 
     let ms = busy.as_secs_f64() * 1e3;
+    // Rendered once per batch, only when an HTTP job asked for it; the
+    // line protocol never pays for the report serialization.
+    let report_json: Option<Arc<str>> = batch
+        .iter()
+        .any(|j| j.want_report)
+        .then(|| Arc::from(report.to_json()));
     for job in batch {
         let i = variants
             .as_slice()
@@ -988,6 +1145,11 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
         let labels = job
             .want_labels
             .then(|| entry.index.labels_in_caller_order(&report.results[i]));
+        let report_json = if job.want_report {
+            report_json.as_ref().map(Arc::clone)
+        } else {
+            None
+        };
         let _ = job.reply.send(Ok(JobDone {
             clusters: outcome.clusters,
             noise: outcome.noise,
@@ -995,18 +1157,19 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
             reused: outcome.reused_from().is_some(),
             ms,
             labels,
+            report_json,
         }));
     }
 }
 
 /// What one applied `APPEND` did, as reported on the wire.
-struct AppendOutcome {
-    appended: usize,
-    total: usize,
-    repaired: usize,
-    dropped: usize,
-    deltas: u64,
-    ms: f64,
+pub(crate) struct AppendOutcome {
+    pub(crate) appended: usize,
+    pub(crate) total: usize,
+    pub(crate) repaired: usize,
+    pub(crate) dropped: usize,
+    pub(crate) deltas: u64,
+    pub(crate) ms: f64,
 }
 
 /// Applies one `APPEND` batch end to end, under the append lock:
@@ -1014,7 +1177,7 @@ struct AppendOutcome {
 /// repair, and watch-stream deltas. Returns a typed rejection without
 /// having mutated anything when the batch is unusable — a torn or
 /// invalid `APPEND` must leave the dataset at its pre-append snapshot.
-fn apply_append(
+pub(crate) fn apply_append(
     shared: &Shared,
     dataset: &str,
     points: &[Point2],
@@ -1241,8 +1404,7 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
                 }
             }
             Ok(LineEvent::Overflow) => {
-                shared.stats.lock().unwrap().protocol_errors += 1;
-                shared.metrics.record_event(TraceEvent::ProtocolError);
+                shared.note_protocol_error();
                 let reply = err_line(
                     ErrorCode::Protocol,
                     &format!("line exceeds {} bytes", shared.max_line_bytes),
@@ -1252,8 +1414,7 @@ fn handle_connection<T: Transport>(mut transport: T, shared: &Shared, stop: &Ato
                 }
             }
             Ok(LineEvent::InvalidUtf8) => {
-                shared.stats.lock().unwrap().protocol_errors += 1;
-                shared.metrics.record_event(TraceEvent::ProtocolError);
+                shared.note_protocol_error();
                 if io
                     .send_line(&err_line(ErrorCode::Protocol, "line is not valid UTF-8"))
                     .is_err()
@@ -1313,7 +1474,7 @@ fn respond<T: Transport>(
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(msg) => {
-            shared.stats.lock().unwrap().bad_request += 1;
+            shared.note_bad_request();
             return send_line(io, &err_line(ErrorCode::BadRequest, &msg));
         }
     };
@@ -1355,7 +1516,7 @@ fn respond<T: Transport>(
             labels,
         } => {
             if shared.registry.get(&dataset).is_none() {
-                shared.stats.lock().unwrap().unknown_dataset += 1;
+                shared.note_unknown_dataset();
                 return send_line(
                     io,
                     &err_line(
@@ -1369,6 +1530,7 @@ fn respond<T: Transport>(
                 dataset,
                 variant: Variant::new(eps, minpts),
                 want_labels: labels,
+                want_report: false,
                 reply: tx,
             };
             if let Err(e) = shared.submit(job) {
@@ -1419,11 +1581,8 @@ fn respond<T: Transport>(
             }
         }
         Request::Append { dataset, points } => {
-            if shared.draining.load(Ordering::Acquire) {
-                let mut s = shared.stats.lock().unwrap();
-                s.appends += 1;
-                s.appends_rejected += 1;
-                drop(s);
+            if shared.is_draining() {
+                shared.note_append_rejected(None);
                 return send_line(
                     io,
                     &err_line(ErrorCode::Draining, "server is shutting down"),
@@ -1431,13 +1590,7 @@ fn respond<T: Transport>(
             }
             match apply_append(shared, &dataset, &points) {
                 Ok(outcome) => {
-                    {
-                        let mut s = shared.stats.lock().unwrap();
-                        s.appends += 1;
-                        s.appends_applied += 1;
-                        s.append_points += outcome.appended as u64;
-                        s.watch_deltas += outcome.deltas;
-                    }
+                    shared.note_append_applied(&outcome);
                     send_line(
                         io,
                         &format!(
@@ -1451,14 +1604,7 @@ fn respond<T: Transport>(
                     )
                 }
                 Err((code, msg)) => {
-                    {
-                        let mut s = shared.stats.lock().unwrap();
-                        s.appends += 1;
-                        s.appends_rejected += 1;
-                        if code == ErrorCode::UnknownDataset {
-                            s.unknown_dataset += 1;
-                        }
-                    }
+                    shared.note_append_rejected(Some(code));
                     send_line(io, &err_line(code, &msg))
                 }
             }
@@ -1480,7 +1626,7 @@ fn respond<T: Transport>(
             let guard = shared.append_lock.lock().unwrap();
             let Some(entry) = shared.registry.get(&dataset) else {
                 drop(guard);
-                shared.stats.lock().unwrap().unknown_dataset += 1;
+                shared.note_unknown_dataset();
                 return send_line(
                     io,
                     &err_line(
@@ -1597,6 +1743,7 @@ mod tests {
             dataset: "d".into(),
             variant: Variant::new(1.0, 4),
             want_labels: false,
+            want_report: false,
             reply: tx,
         }
     }

@@ -136,16 +136,20 @@ impl<T: Transport> LineIo<T> {
                     self.discarding = false;
                     continue;
                 }
-                if nl > self.max_line_bytes {
+                // The cap applies to line *content*: a trailing `\r`
+                // is framing, not payload, so a CRLF client gets the
+                // same budget as an LF client.
+                let mut end = nl;
+                if end > 0 && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                if end > self.max_line_bytes {
                     // The whole oversized line (newline included) is
                     // already buffered: discard it in one step.
                     self.buf.drain(..=nl);
                     return Ok(LineEvent::Overflow);
                 }
-                let mut line: Vec<u8> = self.buf.drain(..=nl).take(nl).collect();
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
+                let line: Vec<u8> = self.buf.drain(..=nl).take(end).collect();
                 return Ok(match String::from_utf8(line) {
                     Ok(s) => LineEvent::Line(s),
                     Err(_) => LineEvent::InvalidUtf8,
@@ -154,7 +158,11 @@ impl<T: Transport> LineIo<T> {
             if self.discarding {
                 // Still inside the oversized line: drop what we have.
                 self.buf.clear();
-            } else if self.buf.len() > self.max_line_bytes {
+            } else if self.buf.len() > self.max_line_bytes + 1 {
+                // One byte of slack: a buffered cap-length line plus a
+                // `\r` awaiting its `\n` is still within budget. At
+                // cap + 2 the content exceeds the cap no matter what
+                // the final byte turns out to be.
                 self.buf.clear();
                 self.discarding = true;
                 return Ok(LineEvent::Overflow);
@@ -227,6 +235,53 @@ mod tests {
                 LineEvent::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn crlf_line_at_exact_cap_is_not_overflow() {
+        // A line whose *content* is exactly the cap must frame whether
+        // the client terminates with LF or CRLF; one byte over the cap
+        // must overflow in both terminations.
+        let cap = 16;
+        let at_cap = vec![b'a'; cap];
+        let over = vec![b'b'; cap + 1];
+        for terminator in [&b"\n"[..], &b"\r\n"[..]] {
+            let mut bytes = at_cap.clone();
+            bytes.extend_from_slice(terminator);
+            bytes.extend_from_slice(&over);
+            bytes.extend_from_slice(terminator);
+            bytes.extend_from_slice(b"HELLO");
+            bytes.extend_from_slice(terminator);
+            let (mem, _out) = MemTransport::new(vec![Step::Recv(bytes)]);
+            let mut io = LineIo::new(mem, cap);
+            assert_eq!(
+                events(&mut io),
+                vec![
+                    LineEvent::Line(String::from_utf8(at_cap.clone()).unwrap()),
+                    LineEvent::Overflow,
+                    LineEvent::Line("HELLO".into()),
+                    LineEvent::Eof,
+                ],
+                "terminator {terminator:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crlf_line_at_exact_cap_frames_across_partial_reads() {
+        // The buffered-bytes guard must tolerate a cap-length line
+        // whose `\r` has arrived but whose `\n` has not.
+        let cap = 8;
+        let (mem, _out) = MemTransport::new(vec![
+            Step::Recv(b"exactly8\r".to_vec()),
+            Step::Idle,
+            Step::Recv(b"\nHELLO\r\n".to_vec()),
+        ]);
+        let mut io = LineIo::new(mem, cap);
+        assert_eq!(io.next_event().unwrap(), LineEvent::Timeout);
+        assert_eq!(io.next_event().unwrap(), LineEvent::Line("exactly8".into()));
+        assert_eq!(io.next_event().unwrap(), LineEvent::Line("HELLO".into()));
+        assert_eq!(io.next_event().unwrap(), LineEvent::Eof);
     }
 
     #[test]

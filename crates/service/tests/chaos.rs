@@ -36,6 +36,17 @@
 //! and `appends == appends_applied + appends_rejected` holds alongside
 //! the submit invariant. Replay with `VBP_CHAOS_STREAM_SEED=0x...`.
 //!
+//! The *HTTP* schedules open the daemon's second front door and pour
+//! the same fault soup through it — garbage and oversized HTTP heads,
+//! requests cut mid-head and mid-body, torn-write submissions —
+//! interleaved with healthy clients on *both* protocols against one
+//! shared daemon. Every healthy result (either door) must stay
+//! label-isomorphic to the direct engine, `submitted == completed +
+//! failed + in_flight` must hold under the mixed load, METRICS must
+//! equal STATS at rest, and the dataset must not mutate (the HTTP
+//! faults include a rejected append). Replay with
+//! `VBP_CHAOS_HTTP_SEED=0x...`.
+//!
 //! The *store* schedules kill and restart the daemon around its
 //! warm-state store: a persist-bearing drain, then a doomed incarnation
 //! whose work never reaches disk (the SIGKILL emulation — from the
@@ -63,8 +74,8 @@ use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
 use vbp_geom::{Point2, PointId};
 use vbp_rtree::PackedRTree;
 use vbp_service::{
-    Client, ErrorCode, FaultPlan, FaultTransport, ServerHandle, ServiceConfig, TcpTransport,
-    Transport,
+    parse_json, Client, ErrorCode, FaultPlan, FaultTransport, HttpClient, JsonValue, ServerHandle,
+    ServiceConfig, TcpTransport, Transport,
 };
 
 const DATASET: &str = "cF_10k_5N@300";
@@ -560,6 +571,320 @@ fn run_streaming_schedule(seed: u64) {
         t0.elapsed() < Duration::from_secs(30),
         "{ctx_seed}: drain did not bound"
     );
+}
+
+/// A chaos daemon with the HTTP door open on an ephemeral port.
+fn http_chaos_server() -> ServerHandle {
+    common::start_server(
+        &[DATASET],
+        2,
+        ServiceConfig {
+            queue_cap: 8,
+            cache_bytes: 8 << 20,
+            batch_window: Duration::ZERO,
+            max_line_bytes: MAX_LINE,
+            job_timeout: Duration::from_secs(30),
+            http_addr: Some("127.0.0.1:0".into()),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Submits pool variant `i` over a healthy keep-alive HTTP client and
+/// checks the labels against the oracle; returns the warm flag.
+fn http_healthy_submit(http: &mut HttpClient, i: usize, ctx: &str) -> bool {
+    let o = oracle();
+    let (eps, minpts) = o.pool[i];
+    let body = format!(r#"{{"dataset":"{DATASET}","eps":{eps},"minpts":{minpts},"labels":true}}"#);
+    let resp = http
+        .post("/v1/submit", &body)
+        .unwrap_or_else(|e| panic!("{ctx}: HTTP submit failed: {e}"));
+    assert_eq!(resp.status, 200, "{ctx}: {}", resp.body_str());
+    let doc = resp.json().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    let labels: Vec<u32> = doc
+        .get("labels")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| panic!("{ctx}: no labels in {}", resp.body_str()))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric label") as u32)
+        .collect();
+    let served = ClusterResult::from_labels(Labels::from_raw(labels));
+    assert_eq!(served.len(), o.points.len(), "{ctx}: label count");
+    assert_isomorphic(&o.direct[i], &served, &o.cores[i], ctx);
+    doc.get("warm")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or_else(|| panic!("{ctx}: no warm flag"))
+}
+
+/// Writes raw bytes to the HTTP port on a fresh connection and reads
+/// whatever comes back until close or timeout (None when nothing does —
+/// acceptable for connection-killing payloads).
+fn http_raw_exchange(handle: &ServerHandle, payload: &[u8]) -> Option<Vec<u8>> {
+    let mut stream = TcpStream::connect(handle.http_addr().expect("http door")).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(payload).ok()?;
+    let mut out = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut stream, &mut out);
+    (!out.is_empty()).then_some(out)
+}
+
+/// The status line of a raw HTTP response capture.
+fn http_status_line(raw: &[u8]) -> String {
+    let end = raw.iter().position(|&b| b == b'\n').unwrap_or(raw.len());
+    String::from_utf8_lossy(&raw[..end]).trim_end().to_string()
+}
+
+/// Submits pool variant `i` over HTTP through a torn-write transport
+/// (client-side writes split at seeded byte boundaries). The request
+/// arrives whole, so the gateway must answer a complete, oracle-correct
+/// `200` — torn writes are invisible to the request boundary.
+fn torn_http_submit(handle: &ServerHandle, sub_seed: u64, i: usize, ctx: &str) {
+    let o = oracle();
+    let (eps, minpts) = o.pool[i];
+    let body = format!(r#"{{"dataset":"{DATASET}","eps":{eps},"minpts":{minpts},"labels":true}}"#);
+    let request = format!(
+        "POST /v1/submit HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let stream = TcpStream::connect(handle.http_addr().expect("http door")).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    let mut transport =
+        FaultTransport::new(TcpTransport::new(stream), FaultPlan::torn_writes(sub_seed));
+    transport.write_all(request.as_bytes()).unwrap();
+    let mut out = Vec::new();
+    std::io::Read::read_to_end(&mut reader, &mut out)
+        .unwrap_or_else(|e| panic!("{ctx}: torn HTTP submit read failed: {e}"));
+    let head_end = out
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("{ctx}: unframed response {:?}", http_status_line(&out)))
+        + 4;
+    assert!(
+        out.starts_with(b"HTTP/1.1 200"),
+        "{ctx}: torn HTTP submit answered {:?}",
+        http_status_line(&out)
+    );
+    let doc = parse_json(&out[head_end..]).unwrap_or_else(|e| panic!("{ctx}: bad body: {e}"));
+    let labels: Vec<u32> = doc
+        .get("labels")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| panic!("{ctx}: no labels"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric label") as u32)
+        .collect();
+    let served = ClusterResult::from_labels(Labels::from_raw(labels));
+    assert_isomorphic(&o.direct[i], &served, &o.cores[i], ctx);
+}
+
+/// One seeded *mixed-protocol* fault schedule: hostile and healthy HTTP
+/// traffic interleaved with healthy line-protocol clients on one shared
+/// daemon, then the full invariant battery.
+fn run_http_schedule(seed: u64) {
+    let ctx_seed = format!("http-chaos 0x{seed:x}");
+    let mut rng = Pcg32::seeded(seed);
+    let o = oracle();
+    let mut handle = http_chaos_server();
+    let mut line = Client::connect(handle.local_addr()).unwrap();
+    line.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut http = HttpClient::connect(handle.http_addr().expect("http door")).unwrap();
+    http.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    // Anchors: pool[0] lands cold through the line door, pool[1] cold
+    // through the HTTP door, so the post-loop warm checks below prove
+    // the cache is shared in both directions under fault load.
+    healthy_submit(&mut line, 0, &format!("{ctx_seed} line anchor"));
+    http_healthy_submit(&mut http, 1, &format!("{ctx_seed} http anchor"));
+
+    let actions = 8 + rng.below(5) as usize;
+    for a in 0..actions {
+        let ctx = format!("{ctx_seed} action {a}");
+        match rng.below(8) {
+            // Healthy line-protocol submit, oracle-checked.
+            0 => {
+                let i = rng.below(o.pool.len() as u32) as usize;
+                healthy_submit(&mut line, i, &ctx);
+            }
+            // Healthy keep-alive HTTP submit, oracle-checked.
+            1 => {
+                let i = rng.below(o.pool.len() as u32) as usize;
+                http_healthy_submit(&mut http, i, &ctx);
+            }
+            // Garbage HTTP head: printable soup framed with CRLFCRLF —
+            // must come back as a typed 4xx, never a hang or a 200.
+            2 => {
+                let n = 1 + rng.below(40) as usize;
+                let mut payload: Vec<u8> = (0..n).map(|_| 33 + (rng.below(94) as u8)).collect();
+                payload.extend_from_slice(b"\r\n\r\n");
+                let raw = http_raw_exchange(&handle, &payload)
+                    .unwrap_or_else(|| panic!("{ctx}: garbage HTTP head got no reply"));
+                assert!(
+                    raw.starts_with(b"HTTP/1.1 4"),
+                    "{ctx}: garbage HTTP head got {:?}",
+                    http_status_line(&raw)
+                );
+            }
+            // Oversized request line, never terminated: the cap must
+            // answer 400 on its own, without waiting for framing.
+            3 => {
+                let n = vbp_service::http::MAX_REQUEST_LINE_BYTES + 3 + rng.below(2048) as usize;
+                let payload = vec![b'z'; n];
+                let raw = http_raw_exchange(&handle, &payload)
+                    .unwrap_or_else(|| panic!("{ctx}: oversized HTTP line got no reply"));
+                assert!(
+                    raw.starts_with(b"HTTP/1.1 400"),
+                    "{ctx}: oversized HTTP line got {:?}",
+                    http_status_line(&raw)
+                );
+            }
+            // Request cut mid-head or mid-body, then disconnect: no
+            // reply owed, nothing may be admitted.
+            4 => {
+                let body = format!(r#"{{"dataset":"{DATASET}","eps":1.0,"minpts":4}}"#);
+                let full = format!(
+                    "POST /v1/submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let cut = 1 + rng.below(full.len() as u32 - 1) as usize;
+                if let Some(addr) = handle.http_addr() {
+                    if let Ok(mut s) = TcpStream::connect(addr) {
+                        let _ = s.write_all(&full.as_bytes()[..cut]);
+                        drop(s);
+                    }
+                }
+            }
+            // Torn-write HTTP submit: must apply whole, oracle-checked.
+            5 => {
+                let i = rng.below(o.pool.len() as u32) as usize;
+                torn_http_submit(&handle, rng.next_u64(), i, &ctx);
+            }
+            // A malformed append body (trailing garbage after the JSON):
+            // typed 400, and the dataset must not mutate (the post-loop
+            // length check catches any partial apply).
+            6 => {
+                let body = format!(r#"{{"dataset":"{DATASET}","points":[[1,2]]}}###"#);
+                let payload = format!(
+                    "POST /v1/append HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let raw = http_raw_exchange(&handle, payload.as_bytes())
+                    .unwrap_or_else(|| panic!("{ctx}: bad append got no reply"));
+                assert!(
+                    raw.starts_with(b"HTTP/1.1 400"),
+                    "{ctx}: bad append got {:?}",
+                    http_status_line(&raw)
+                );
+            }
+            // Classic line-protocol garbage riding along, so the mix is
+            // genuinely cross-protocol.
+            _ => {
+                let n = 1 + rng.below(40) as usize;
+                let mut payload: Vec<u8> = (0..n).map(|_| 33 + (rng.below(94) as u8)).collect();
+                payload.push(b'\n');
+                if let Some(reply) = raw_exchange(&handle, &payload) {
+                    assert!(reply.starts_with("ERR "), "{ctx}: garbage got {reply:?}");
+                }
+            }
+        }
+    }
+
+    // Shared-cache warm checks across the doors: the line anchor must be
+    // warm over HTTP, the HTTP anchor warm over the line protocol.
+    assert!(
+        http_healthy_submit(&mut http, 0, &format!("{ctx_seed} cross-warm http")),
+        "{ctx_seed}: line-protocol anchor not warm through the HTTP door"
+    );
+    assert!(
+        healthy_submit(&mut line, 1, &format!("{ctx_seed} cross-warm line")),
+        "{ctx_seed}: HTTP anchor not warm through the line door"
+    );
+
+    // Nothing in the fault soup may have mutated the dataset.
+    assert_eq!(
+        handle.dataset_points(DATASET).unwrap().len(),
+        o.points.len(),
+        "{ctx_seed}: dataset length drifted under HTTP faults"
+    );
+
+    // Counter invariants under mixed-protocol load.
+    let stats = line.stats_json().unwrap();
+    assert_stats_consistent(&stats, &ctx_seed);
+    assert_eq!(field_u64(&stats, "failed"), 0, "{ctx_seed}: failed jobs");
+    handle
+        .cache_invariants()
+        .unwrap_or_else(|e| panic!("{ctx_seed}: cache invariant broken: {e}"));
+
+    // METRICS == STATS at rest, sampled through *both* doors: the HTTP
+    // scrape renders under the stats lock, so between two stable STATS
+    // samples it must agree exactly.
+    let mut settled = false;
+    for _ in 0..500 {
+        let before = line.stats_json().unwrap();
+        let scrape = http.get("/metrics").unwrap();
+        assert_eq!(scrape.status, 200);
+        let after = line.stats_json().unwrap();
+        let stable = ["submitted", "protocol_errors", "bad_request", "appends"]
+            .iter()
+            .all(|k| field_u64(&before, k) == field_u64(&after, k))
+            && field_u64(&before, "in_flight") == 0
+            && field_u64(&after, "in_flight") == 0;
+        if stable {
+            assert_metrics_match_stats(scrape.body_str(), &before, &ctx_seed);
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(settled, "{ctx_seed}: traffic never quiesced");
+
+    // Bounded drain with the HTTP accept loop joined too.
+    line.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "{ctx_seed}: drain did not bound"
+    );
+}
+
+fn http_schedule_seeds() -> Vec<u64> {
+    if let Ok(replay) = std::env::var("VBP_CHAOS_HTTP_SEED") {
+        let hex = replay.trim().trim_start_matches("0x");
+        let seed = u64::from_str_radix(hex, 16)
+            .unwrap_or_else(|_| panic!("VBP_CHAOS_HTTP_SEED={replay} is not hex"));
+        return vec![seed];
+    }
+    let full = matches!(std::env::var("VBP_CHAOS_FULL"), Ok(v) if v != "0" && !v.is_empty());
+    let count = if full { 24 } else { 8 };
+    (0..count)
+        .map(|i: u64| 0x477E_60D0 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+#[test]
+fn seeded_http_fault_schedules_preserve_invariants_across_protocols() {
+    let _wd = Watchdog::arm("chaos-http-schedules", Duration::from_secs(570));
+    for seed in http_schedule_seeds() {
+        if let Err(panic) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_http_schedule(seed)))
+        {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            panic!(
+                "HTTP chaos schedule failed: {msg}\n\
+                 replay with: VBP_CHAOS_HTTP_SEED=0x{seed:x} cargo test -p vbp-service --test chaos"
+            );
+        }
+    }
 }
 
 fn schedule_seeds() -> Vec<u64> {

@@ -23,7 +23,7 @@ use variantdbscan::{Engine, RunReport, RunRequest, VariantSet};
 use vbp_dbscan::{suggest_eps, ClusterResult, Labels};
 use vbp_geom::Point2;
 use vbp_rtree::PackedRTree;
-use vbp_service::{Client, ErrorCode, ServerHandle, ServiceConfig};
+use vbp_service::{Client, ErrorCode, HttpClient, JsonValue, ServerHandle, ServiceConfig};
 
 const DATASETS: [&str; 2] = ["cF_10k_5N@600", "SW1@600"];
 
@@ -154,6 +154,135 @@ fn twenty_variant_workload_matches_direct_engine_and_reuses_across_runs() {
     );
 
     client.shutdown().unwrap();
+    let t0 = Instant::now();
+    handle.wait();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "drain did not bound"
+    );
+}
+
+/// One `POST /v1/submit` with labels over the HTTP gateway; asserts the
+/// embedded engine report is present and returns `(labels, warm)`.
+fn http_submit(http: &mut HttpClient, dataset: &str, eps: f64, minpts: usize) -> (Vec<u32>, bool) {
+    let body = format!(r#"{{"dataset":"{dataset}","eps":{eps},"minpts":{minpts},"labels":true}}"#);
+    let resp = http.post("/v1/submit", &body).unwrap();
+    assert_eq!(resp.status, 200, "submit failed: {}", resp.body_str());
+    let doc = resp.json().unwrap();
+    let warm = doc
+        .get("warm")
+        .and_then(JsonValue::as_bool)
+        .expect("warm flag");
+    let labels: Vec<u32> = doc
+        .get("labels")
+        .and_then(JsonValue::as_array)
+        .expect("labels array")
+        .iter()
+        .map(|v| v.as_f64().expect("numeric label") as u32)
+        .collect();
+    assert!(
+        doc.get("report").and_then(JsonValue::entries).is_some(),
+        "response must embed the engine's RunReport"
+    );
+    (labels, warm)
+}
+
+/// The dual-protocol equivalence gate: the same variant grid submitted
+/// over HTTP and over the line protocol — cold on one side, resubmitted
+/// on the *other* — must be label-isomorphic to the direct engine in
+/// both directions, and the resubmission must hit the dominance cache
+/// populated by the opposite protocol (one shared cache, two doors).
+#[test]
+fn http_and_line_protocol_are_label_isomorphic_and_share_the_cache() {
+    let _wd = Watchdog::arm("loopback-dual-protocol", Duration::from_secs(240));
+    let mut handle = start_server(
+        &DATASETS,
+        2,
+        ServiceConfig {
+            cache_bytes: 64 << 20,
+            batch_window: Duration::ZERO,
+            http_addr: Some("127.0.0.1:0".into()),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut line = Client::connect(handle.local_addr()).unwrap();
+    let mut http = HttpClient::connect(handle.http_addr().expect("http listener")).unwrap();
+    http.set_timeout(Some(Duration::from_secs(120))).unwrap();
+
+    // The two doors list the same catalog.
+    let listed = line.datasets().unwrap();
+    let datasets_doc = http.get("/v1/datasets").unwrap();
+    assert_eq!(datasets_doc.status, 200);
+    let via_http = datasets_doc.json().unwrap();
+    let via_http = via_http
+        .get("datasets")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert_eq!(via_http.len(), listed.len());
+    for (name, size) in &listed {
+        assert!(
+            via_http.iter().any(|d| {
+                d.get("name").and_then(JsonValue::as_str) == Some(name)
+                    && d.get("points").and_then(JsonValue::as_f64) == Some(*size as f64)
+            }),
+            "dataset {name} ({size} pts) missing from HTTP listing"
+        );
+    }
+
+    let name = DATASETS[0];
+    let points = vbp_data::DatasetSpec::by_name(name).unwrap().generate();
+    let engine = Engine::new(common::engine_config(2));
+
+    for (i, &(eps, minpts)) in workload(&points).iter().enumerate() {
+        let cores = brute_core_points(&points, eps, minpts);
+        let direct = direct_run(&engine, &points, eps, minpts);
+        let direct_result =
+            ClusterResult::from_labels(Labels::from_raw(direct.result_in_caller_order(0)));
+
+        // Cold side alternates per variant; the identical resubmission
+        // goes through the opposite door and must find the distance-0
+        // cache entry the first door populated.
+        let (cold_labels, warm_labels, warm_flag) = if i % 2 == 0 {
+            let cold = line.submit(name, eps, minpts, true).unwrap();
+            let (warm_labels, warm) = http_submit(&mut http, name, eps, minpts);
+            (cold.labels.unwrap(), warm_labels, warm)
+        } else {
+            let (cold_labels, _) = http_submit(&mut http, name, eps, minpts);
+            let warm = line.submit(name, eps, minpts, true).unwrap();
+            (cold_labels, warm.labels.clone().unwrap(), warm.warm)
+        };
+        assert!(
+            warm_flag,
+            "variant {i} ({eps:.3}, {minpts}): resubmission through the other protocol \
+             did not hit the shared cache"
+        );
+        for (which, labels) in [("cold", cold_labels), ("warm", warm_labels)] {
+            assert_isomorphic(
+                &direct_result,
+                &ClusterResult::from_labels(Labels::from_raw(labels)),
+                &cores,
+                &format!("{name} variant {i} ({eps:.3}, {minpts}) {which} side"),
+            );
+        }
+    }
+
+    // Both doors drove one shared daemon: the counters add up, reuse is
+    // visible, and the HTTP Prometheus scrape agrees with line-protocol
+    // STATS at rest (the exposition renders under the stats lock).
+    let stats = line.stats_json().unwrap();
+    common::assert_stats_consistent(&stats, "dual-protocol");
+    assert_eq!(field_u64(&stats, "completed"), 20);
+    assert!(field_u64(&stats, "reuse_hits") >= 10, "stats: {stats}");
+    let scrape = http.get("/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    common::assert_metrics_match_stats(scrape.body_str(), &stats, "dual-protocol scrape");
+
+    // The HTTP stats document satisfies the same admission invariant.
+    let http_stats = http.get("/v1/stats").unwrap();
+    assert_eq!(http_stats.status, 200);
+    common::assert_stats_consistent(http_stats.body_str(), "dual-protocol http stats");
+
+    line.shutdown().unwrap();
     let t0 = Instant::now();
     handle.wait();
     assert!(

@@ -22,7 +22,9 @@ use proptest::prelude::*;
 use proptest::{collection, proptest};
 use variantdbscan::Engine;
 use vbp_geom::Point2;
-use vbp_service::{parse_request, ErrorCode, MemTransport, Registry, Request, Server, Step};
+use vbp_service::{
+    parse_request, ErrorCode, LineEvent, LineIo, MemTransport, Registry, Request, Server, Step,
+};
 
 /// Charset for generated dataset tokens: protocol-legal, whitespace-free.
 const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_@.-";
@@ -152,6 +154,44 @@ proptest! {
             Ok(req) => prop_assert!(false, "non-finite line parsed: {:?} -> {:?}", line, req),
             Err(reason) => prop_assert!(!reason.is_empty()),
         }
+    }
+
+    /// A CRLF client of the line protocol is indistinguishable from an
+    /// LF client: the same line contents produce the exact same framing
+    /// event stream under the same cap, including contents exactly at
+    /// the per-line byte cap (the trailing `\r` is framing, not
+    /// payload, and must not count against the budget).
+    #[test]
+    fn crlf_and_lf_clients_frame_identically(
+        raw_lines in collection::vec(collection::vec(any::<u8>(), 0..40), 1..8),
+        cap in 8usize..32,
+    ) {
+        // Line *contents* must not contain terminator bytes — the
+        // terminators under test are appended below.
+        let lines: Vec<Vec<u8>> = raw_lines
+            .into_iter()
+            .map(|l| l.into_iter().filter(|&b| b != b'\n' && b != b'\r').collect())
+            .collect();
+        let events_for = |terminator: &[u8]| {
+            let mut bytes = Vec::new();
+            for line in &lines {
+                bytes.extend_from_slice(line);
+                bytes.extend_from_slice(terminator);
+            }
+            let (mem, _out) = MemTransport::new(vec![Step::Recv(bytes)]);
+            let mut io = LineIo::new(mem, cap);
+            let mut events = Vec::new();
+            loop {
+                let ev = io.next_event().unwrap();
+                let done = ev == LineEvent::Eof;
+                events.push(ev);
+                if done {
+                    break;
+                }
+            }
+            events
+        };
+        prop_assert_eq!(events_for(b"\n"), events_for(b"\r\n"));
     }
 
     /// Layer 3: arbitrary byte streams through the real connection

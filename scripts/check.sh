@@ -8,16 +8,23 @@
 # This is the bar every change must clear before merging. Tier-1 is the
 # build + test pair; fmt and clippy (warnings denied) keep the tree clean.
 # A loopback service smoke stage drives the vbp-service daemon over real
-# TCP (two datasets, twenty variants, cold and warm rounds) after the
+# TCP (two datasets, twenty variants, cold and warm rounds, plus a
+# dual-protocol pass proving HTTP and line submissions label-isomorphic
+# on one daemon) after the
 # workspace test pass, and a chaos stage replays 24 seeded fault
 # schedules (torn writes, garbage/oversized lines, mid-request
 # disconnects, injected engine panics) against live daemons, asserting
 # consistent counters, label-isomorphic replies, and bounded drains
 # after every schedule — plus 8 streaming schedules mixing APPEND/WATCH
-# into the fault soup under an exact append ledger. A streaming-
+# into the fault soup under an exact append ledger, and 8 HTTP schedules
+# interleaving hostile HTTP traffic (garbage heads, oversized request
+# lines, truncations, torn writes, malformed appends) with healthy
+# submissions on both doors at once. A streaming-
 # equivalence stage replays seeded APPEND/SUBMIT/WATCH interleavings and
-# pins every post-append result to a from-scratch batch run. Every
-# service stage is wrapped in a hard wall
+# pins every post-append result to a from-scratch batch run. An HTTP
+# property stage fuzzes the gateway's framing (byte soup, truncations,
+# keep-alive reuse, cap violations) against a strict response-stream
+# oracle. Every service stage is wrapped in a hard wall
 # clock so a wedged daemon fails the gate instead of hanging it. A
 # shard metamorphic stage pins shard-merged DBSCAN labels to the
 # single-shard output across shard x thread grids under its own hard
@@ -29,10 +36,15 @@
 # soup, truncations, single-bit flips against the two-layer CRCs), and a
 # store-restore gate (skipped under --fast) fails unless a warm restore
 # of a 100k-point snapshot is at least 10x faster than a cold prepare.
+# An http_load gate (skipped under --fast) holds 1000 concurrent
+# keep-alive HTTP clients against an in-process daemon and fails on any
+# admission-invariant violation, writing jobs/sec and trace-histogram
+# p99 to results/http_load.txt.
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget and widens the chaos sweep to 96
-# seeded schedules (24 streaming) plus the enlarged streaming-equivalence
+# seeded schedules (24 streaming, 24 HTTP) plus the enlarged
+# streaming-equivalence
 # sweep (VBP_STREAM_FULL=1); the default run already executes the fast budgets
 # via the workspace test pass, so tier-1 runtime is unchanged.
 
@@ -59,8 +71,8 @@ cargo test --workspace -q
 echo "==> service loopback smoke (2 datasets x 20 variants over TCP)"
 timeout 300 cargo test -q -p vbp-service --test loopback_smoke
 
-echo "==> service chaos (24 fault + 8 streaming schedules, panic containment)"
-timeout 300 cargo test -q -p vbp-service --test chaos
+echo "==> service chaos (24 fault + 8 streaming + 8 HTTP schedules, panic containment)"
+timeout 600 cargo test -q -p vbp-service --test chaos
 
 echo "==> streaming equivalence (APPEND/SUBMIT/WATCH vs batch truth)"
 timeout 300 cargo test -q -p vbp-service --test streaming_equivalence
@@ -68,6 +80,9 @@ timeout 300 cargo test -q -p vbp-service --test streaming_equivalence
 echo "==> service protocol properties + stats consistency"
 timeout 300 cargo test -q -p vbp-service --test protocol_props
 timeout 300 cargo test -q -p vbp-service --test stats_consistency
+
+echo "==> http gateway properties (framing fuzz vs response-stream oracle)"
+timeout 300 cargo test -q -p vbp-service --test http_props
 
 echo "==> shard metamorphic suite (shard-merged labels vs single-shard)"
 timeout 300 cargo test -q -p vbp-dbscan --test sharded_metamorphic
@@ -83,6 +98,10 @@ if [[ $fast -eq 0 ]]; then
   echo "==> store restore gate (warm restore >= 10x cold prepare)"
   timeout 600 cargo run --release -q -p vbp-bench --bin store_restore -- \
     --points 100000 results/store_restore.txt
+
+  echo "==> http load gate (1000 keep-alive clients, invariant under load)"
+  timeout 600 cargo run --release -q -p vbp-bench --bin http_load -- \
+    results/http_load.txt
 fi
 
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
@@ -90,7 +109,7 @@ if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p vbp-rtree --test conformance
   VBP_CONFORMANCE_FULL=1 cargo test -q --release -p variantdbscan --test metamorphic_reuse
   VBP_CONFORMANCE_FULL=1 timeout 600 cargo test -q --release -p vbp-dbscan --test sharded_metamorphic
-  echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 + 24 schedules)"
+  echo "==> chaos extended sweep (release, VBP_CHAOS_FULL=1: 96 + 24 + 24 schedules)"
   VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test chaos
   echo "==> streaming equivalence extended sweep (release, VBP_STREAM_FULL=1)"
   VBP_STREAM_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test streaming_equivalence
