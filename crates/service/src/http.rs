@@ -82,6 +82,11 @@ pub const MAX_HEADER_BYTES: usize = 8192;
 pub const MAX_HEADERS: usize = 64;
 /// Hard cap on a declared request body, bytes.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Cap on a response body the bundled [`HttpClient`] will accept, bytes.
+/// Deliberately larger than [`MAX_BODY_BYTES`]: a `labels=true` submit
+/// reply (labels array + embedded RunReport) legitimately exceeds the
+/// request-side cap on large datasets.
+pub const MAX_CLIENT_RESPONSE_BYTES: usize = 64 << 20;
 
 // ---------------------------------------------------------------------------
 // JSON parsing
@@ -358,15 +363,18 @@ impl<'a> JsonParser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, String> {
+        // Slice the byte view, not the &str: `i + 4` may land inside a
+        // multi-byte character and str indexing would panic there.
         let end = self.i.checked_add(4).filter(|&e| e <= self.s.len());
-        let Some(end) = end else {
-            return Err("truncated \\u escape".into());
+        let hex: [u8; 4] = match end.and_then(|e| self.bytes().get(self.i..e)) {
+            Some(h) => h.try_into().expect("4-byte slice"),
+            None => return Err("truncated \\u escape".into()),
         };
-        let hex = &self.s[self.i..end];
-        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        if !hex.iter().all(|b| b.is_ascii_hexdigit()) {
             return Err("non-hex \\u escape".into());
         }
-        self.i = end;
+        self.i += 4;
+        let hex = std::str::from_utf8(&hex).expect("validated ASCII hex");
         Ok(u32::from_str_radix(hex, 16).expect("validated hex"))
     }
 
@@ -635,6 +643,12 @@ fn parse_head(head: &[u8]) -> ReadOutcome {
         let Some((name, value)) = line.split_once(':') else {
             return malformed(400, "Bad Request", format!("malformed header '{line}'"));
         };
+        // RFC 9112 §5.1: whitespace between the field name and colon must
+        // be rejected — intermediaries disagree on how to parse it, which
+        // turns "Content-Length : 5" into a request-smuggling vector.
+        if name.ends_with([' ', '\t']) {
+            return malformed(400, "Bad Request", format!("malformed header '{line}'"));
+        }
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
         if name.is_empty() || name.contains(' ') {
@@ -642,6 +656,12 @@ fn parse_head(head: &[u8]) -> ReadOutcome {
         }
         match name.as_str() {
             "content-length" => {
+                // RFC 9110 limits Content-Length to DIGIT only; usize's
+                // FromStr also accepts "+5", which a fronting proxy may
+                // frame differently (smuggling vector).
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return malformed(400, "Bad Request", format!("bad content-length '{value}'"));
+                }
                 let Ok(n) = value.parse::<usize>() else {
                     return malformed(400, "Bad Request", format!("bad content-length '{value}'"));
                 };
@@ -1280,7 +1300,7 @@ impl HttpClient {
             let value = value.trim().to_string();
             if name == "content-length" {
                 content_length = value.parse().map_err(|_| bad("bad content-length"))?;
-                if content_length > MAX_BODY_BYTES {
+                if content_length > MAX_CLIENT_RESPONSE_BYTES {
                     return Err(bad("response body exceeds the cap"));
                 }
             }
@@ -1331,6 +1351,11 @@ mod tests {
             b"\"\\u12\"",
             b"\"\\ud800\"",
             b"\"\\udc00\"",
+            // `\u` + 1 hex digit + a multi-byte char: hex4 must not slice
+            // the &str at a non-char boundary (regression: panicked).
+            "\"\\u0\u{10348}\"".as_bytes(),
+            "\"\\u\u{e9}99\"".as_bytes(),
+            "\"\\ud800\\u\u{10348}1\"".as_bytes(),
             b"01",
             b"1.",
             b".5",
@@ -1393,6 +1418,16 @@ mod tests {
             (b"GET / HTTP/1.1\r\nbad header line\r\n\r\n".to_vec(), 400),
             (
                 b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n".to_vec(),
+                400,
+            ),
+            // RFC 9110: Content-Length is DIGIT only — no sign.
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\n".to_vec(),
+                400,
+            ),
+            // RFC 9112 §5.1: no whitespace between field name and colon.
+            (
+                b"POST / HTTP/1.1\r\nContent-Length : 5\r\n\r\n".to_vec(),
                 400,
             ),
             (

@@ -469,3 +469,55 @@ fn routes_answer_their_documented_statuses() {
     let mut handle = handle;
     handle.shutdown();
 }
+
+/// Regression corpus: adversarial requests that once panicked the
+/// handler or exploited header-parsing laxity. Each must come back as
+/// exactly one typed response — never a dropped connection.
+#[test]
+fn adversarial_corpus_answers_typed_responses() {
+    let _wd = Watchdog::arm("http-adversarial-corpus", Duration::from_secs(60));
+    let handle = bare_server();
+    let submit_with_body = |body: &str| {
+        format!(
+            "POST /v1/submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let exchanges: Vec<(String, u16)> = vec![
+        // `\u` + 1 hex digit + a 4-byte char: hex4 once sliced the &str
+        // at byte i+4, a non-char boundary, and panicked the handler.
+        (submit_with_body("{\"dataset\":\"\\u0\u{10348}\"}"), 400),
+        (submit_with_body("{\"dataset\":\"\\u\u{e9}99\"}"), 400),
+        (
+            submit_with_body("{\"dataset\":\"\\ud800\\u\u{10348}1\"}"),
+            400,
+        ),
+        // Content-Length is DIGIT only (usize::from_str accepts "+5").
+        (
+            "POST /v1/submit HTTP/1.1\r\nContent-Length: +5\r\n\r\n".into(),
+            400,
+        ),
+        // Whitespace before the colon on a framing header (RFC 9112 §5.1).
+        (
+            "POST /v1/submit HTTP/1.1\r\nContent-Length : 5\r\n\r\nhello".into(),
+            400,
+        ),
+    ];
+    for (request, want) in exchanges {
+        let out = drive(
+            &handle,
+            vec![Step::Recv(request.as_bytes().to_vec()), Step::Close],
+        );
+        let responses = parse_response_stream(&out).unwrap_or_else(|e| panic!("{request:?}: {e}"));
+        assert_eq!(responses.len(), 1, "{request:?}");
+        assert_eq!(responses[0].status, want, "{request:?}");
+    }
+    let stats = handle.stats_json();
+    assert_stats_consistent(&stats, "http adversarial corpus");
+    // Three well-framed-but-bad JSON bodies; two unframeable heads.
+    assert_eq!(common::field_u64(&stats, "bad_request"), 3);
+    assert_eq!(common::field_u64(&stats, "protocol_errors"), 2);
+    let mut handle = handle;
+    handle.shutdown();
+}
