@@ -1,0 +1,426 @@
+//! Router scale-out gate — the same workload against three deployments.
+//!
+//! Measures engine-bound submit throughput (every request is a fresh
+//! variant, so each one costs real clustering work on its backend)
+//! through three front doors, same clients, same seeded workload:
+//!
+//! 1. **direct** — one daemon, clients on its HTTP gateway;
+//! 2. **router x1** — the same single daemon behind `vbp route`
+//!    (isolates pure router overhead);
+//! 3. **router x2** — two daemons behind the router, the catalog
+//!    consistent-hashed across them.
+//!
+//! A stats poller scrapes `/v1/stats` through whichever door is being
+//! measured for the whole window and asserts the admission invariant
+//! `submitted = completed + failed + in_flight` on every observation
+//! (the merged router document must satisfy it too — the sum of
+//! consistent snapshots is consistent); one violation aborts the run.
+//!
+//! After the `router x2` window one backend is shut down and the gate
+//! checks per-backend degradation: every request for a surviving
+//! dataset still answers `200`, every request for the dead backend's
+//! datasets answers a typed `503` (`unavailable` + `Retry-After`).
+//!
+//! **Adaptive scale gate.** The 2-backend deployment must reach
+//! `>= 1.6x` the direct daemon's throughput — but only where that is
+//! physically possible: each daemon runs `max(1, cpus/2)` engine
+//! threads so the two-backend fleet can actually occupy more cores
+//! than the single daemon. On a single-CPU host every deployment
+//! timeshares one core and the router can only *cost*; there the gate
+//! degrades to correctness (0 invariant violations, kill semantics)
+//! plus a bounded-overhead floor (`router x2 >= 0.35x direct`), and
+//! the measured scale is recorded for the table instead of gated.
+//! `EXPERIMENTS.md` documents the math.
+//!
+//! ```text
+//! cargo run --release -p vbp-bench --bin router_load -- \
+//!     [--points N] [--threads T] [--trials SECONDS] [results/router_load.txt]
+//! ```
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use variantdbscan::{Engine, EngineConfig};
+use vbp_bench::BenchOpts;
+use vbp_service::{
+    HttpClient, JsonValue, Registry, Router, RouterConfig, Server, ServerHandle, ServiceConfig,
+};
+
+/// Concurrent keep-alive clients per measured window.
+const CLIENTS: usize = 32;
+
+/// Base dataset family; the catalog scales it to 12 distinct names so
+/// the ring has something to partition.
+const DATASET: &str = "cF_10k_5N";
+
+/// What one measured window reports.
+struct WindowReport {
+    label: &'static str,
+    ok: u64,
+    rejected: u64,
+    secs: f64,
+}
+
+impl WindowReport {
+    fn rate(&self) -> f64 {
+        self.ok as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// A seeded, per-request-unique variant: every submit is fresh engine
+/// work, so throughput is backend-bound, not proxy-bound.
+fn variant_for(knee: f64, i: u64) -> (f64, usize) {
+    let jitter = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % 1024;
+    let eps = knee * (0.85 + 0.3 * jitter as f64 / 1024.0);
+    let minpts = if i.is_multiple_of(2) { 4 } else { 8 };
+    (eps, minpts)
+}
+
+/// One daemon with the full catalog registered and its HTTP door open.
+fn start_backend(catalog: &[String], threads: usize) -> (ServerHandle, f64) {
+    let engine = Engine::new(EngineConfig::default().with_threads(threads).with_r(70));
+    let registry = Registry::new();
+    let mut knee = 1.0;
+    for name in catalog {
+        registry.load(&engine, name).expect("catalog dataset");
+        if let Some(k) = registry.get(name).and_then(|e| e.suggested_eps) {
+            knee = k;
+        }
+    }
+    let handle = Server::start(
+        engine,
+        registry,
+        ServiceConfig {
+            queue_cap: 512,
+            batch_window: Duration::from_millis(2),
+            http_addr: Some("127.0.0.1:0".into()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (handle, knee)
+}
+
+/// Drives [`CLIENTS`] keep-alive clients against `addr` for
+/// `window_secs`, with the invariant poller riding along. Panics on any
+/// violation or non-shed error status.
+fn measure(
+    label: &'static str,
+    addr: SocketAddr,
+    catalog: &[String],
+    knee: f64,
+    window_secs: u64,
+    checks_total: &Arc<AtomicU64>,
+) -> WindowReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let mut workers = Vec::with_capacity(CLIENTS);
+    for id in 0..CLIENTS {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let catalog = catalog.to_vec();
+        workers.push(std::thread::spawn(move || -> (u64, u64) {
+            let mut client = loop {
+                match HttpClient::connect(addr) {
+                    Ok(c) => break c,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            client.set_timeout(Some(Duration::from_secs(600))).unwrap();
+            barrier.wait();
+            let (mut ok, mut rejected) = (0u64, 0u64);
+            let mut i = (id as u64) << 32;
+            while !stop.load(Ordering::Acquire) {
+                let name = &catalog[i as usize % catalog.len()];
+                let (eps, minpts) = variant_for(knee, i);
+                let body = format!(
+                    r#"{{"dataset":"{name}","eps":{eps},"minpts":{minpts},"labels":false}}"#
+                );
+                let resp = client.post("/v1/submit", &body).expect("keep-alive submit");
+                match resp.status {
+                    200 => ok += 1,
+                    503 => {
+                        assert!(
+                            resp.header("retry-after").is_some(),
+                            "mid-window 503 must carry Retry-After: {}",
+                            resp.body_str()
+                        );
+                        rejected += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    status => panic!("client {id}: status {status}: {}", resp.body_str()),
+                }
+                i += 1;
+            }
+            (ok, rejected)
+        }));
+    }
+
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let checks = Arc::clone(checks_total);
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("poller connect");
+            client.set_timeout(Some(Duration::from_secs(600))).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                let resp = client.get("/v1/stats").expect("poller GET /v1/stats");
+                assert_eq!(resp.status, 200, "stats answered {}", resp.body_str());
+                let doc = resp.json().expect("stats body is JSON");
+                let get = |key: &str| -> u64 {
+                    doc.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or_else(|| panic!("stats missing {key}")) as u64
+                };
+                assert_eq!(
+                    get("submitted"),
+                    get("completed") + get("failed") + get("in_flight"),
+                    "admission invariant broken mid-run ({}): {}",
+                    resp.body_str().len(),
+                    resp.body_str()
+                );
+                checks.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs(window_secs));
+    stop.store(true, Ordering::Release);
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    for w in workers {
+        let (o, r) = w.join().expect("client thread panicked");
+        ok += o;
+        rejected += r;
+    }
+    poller.join().expect("stats poller panicked");
+    WindowReport {
+        label,
+        ok,
+        rejected,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let (opts, positional) = BenchOpts::parse();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Half the cores per daemon, so the two-backend fleet has headroom
+    // the single daemon does not — the whole point of the comparison.
+    let threads = (cpus / 2).clamp(1, opts.threads.max(1));
+    let window_secs = opts.trials.max(1) as u64;
+    let base = opts.points.clamp(200, 2000);
+    let catalog: Vec<String> = (0..12)
+        .map(|i| format!("{DATASET}@{}", base + 40 * i))
+        .collect();
+
+    println!(
+        "router_load: {CLIENTS} keep-alive clients, {} datasets @~{base} pts, \
+         {threads} engine thread(s)/daemon, {window_secs} s windows, cpus = {cpus}",
+        catalog.len()
+    );
+
+    let checks = Arc::new(AtomicU64::new(0));
+
+    // Window 1: direct single daemon.
+    let direct = {
+        let (mut daemon, knee) = start_backend(&catalog, threads);
+        let report = measure(
+            "direct single daemon",
+            daemon.http_addr().unwrap(),
+            &catalog,
+            knee,
+            window_secs,
+            &checks,
+        );
+        daemon.shutdown();
+        report
+    };
+
+    // Window 2: the same single daemon behind the router.
+    let routed1 = {
+        let (mut daemon, knee) = start_backend(&catalog, threads);
+        let mut router = Router::start(
+            RouterConfig::builder()
+                .backends(vec![daemon.http_addr().unwrap().to_string()])
+                .pool_per_backend(CLIENTS + 2)
+                .build()
+                .unwrap(),
+        )
+        .expect("router binds");
+        let report = measure(
+            "router + 1 backend",
+            router.http_addr(),
+            &catalog,
+            knee,
+            window_secs,
+            &checks,
+        );
+        router.shutdown();
+        daemon.shutdown();
+        report
+    };
+
+    // Window 3: two daemons behind the router, then the kill phase.
+    let (routed2, survivor_ok, dead_typed) = {
+        let (mut b0, knee) = start_backend(&catalog, threads);
+        let (mut b1, _) = start_backend(&catalog, threads);
+        let addrs = vec![
+            b0.http_addr().unwrap().to_string(),
+            b1.http_addr().unwrap().to_string(),
+        ];
+        let mut router = Router::start(
+            RouterConfig::builder()
+                .backends(addrs.clone())
+                .pool_per_backend(CLIENTS + 2)
+                .build()
+                .unwrap(),
+        )
+        .expect("router binds");
+        let report = measure(
+            "router + 2 backends",
+            router.http_addr(),
+            &catalog,
+            knee,
+            window_secs,
+            &checks,
+        );
+
+        // Kill phase: shut one backend down; its datasets must answer
+        // typed 503s while the survivor's keep serving.
+        let dead_ds: Vec<&String> = catalog
+            .iter()
+            .filter(|n| router.placement(n) == addrs[1])
+            .collect();
+        let live_ds: Vec<&String> = catalog
+            .iter()
+            .filter(|n| router.placement(n) == addrs[0])
+            .collect();
+        assert!(
+            !dead_ds.is_empty() && !live_ds.is_empty(),
+            "12 datasets left one backend empty — ring spread is broken"
+        );
+        b1.shutdown();
+        let mut client = HttpClient::connect(router.http_addr()).expect("kill-phase connect");
+        client.set_timeout(Some(Duration::from_secs(600))).unwrap();
+        let mut survivor_ok = 0u32;
+        for i in 0..20u64 {
+            let name = live_ds[i as usize % live_ds.len()];
+            let (eps, minpts) = variant_for(knee, 0xDEAD_0000 + i);
+            let body =
+                format!(r#"{{"dataset":"{name}","eps":{eps},"minpts":{minpts},"labels":false}}"#);
+            let resp = client.post("/v1/submit", &body).expect("survivor submit");
+            assert_eq!(
+                resp.status,
+                200,
+                "survivor dataset {name} failed after the kill: {}",
+                resp.body_str()
+            );
+            survivor_ok += 1;
+        }
+        let mut dead_typed = 0u32;
+        for i in 0..10u64 {
+            let name = dead_ds[i as usize % dead_ds.len()];
+            let (eps, minpts) = variant_for(knee, 0xD1ED_0000 + i);
+            let body =
+                format!(r#"{{"dataset":"{name}","eps":{eps},"minpts":{minpts},"labels":false}}"#);
+            let resp = client.post("/v1/submit", &body).expect("dead-shard submit");
+            assert_eq!(
+                resp.status,
+                503,
+                "dead backend's dataset {name} answered {}: {}",
+                resp.status,
+                resp.body_str()
+            );
+            assert!(
+                resp.header("retry-after").is_some(),
+                "dead-shard 503 lacks Retry-After"
+            );
+            assert!(
+                resp.body_str().contains("unavailable"),
+                "dead-shard 503 is not typed: {}",
+                resp.body_str()
+            );
+            dead_typed += 1;
+        }
+        router.shutdown();
+        b0.shutdown();
+        (report, survivor_ok, dead_typed)
+    };
+
+    let checks = checks.load(Ordering::Relaxed);
+    let overhead = routed1.rate() / direct.rate().max(1e-9);
+    let scale = routed2.rate() / direct.rate().max(1e-9);
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "router_load: {CLIENTS} keep-alive clients, {} datasets @~{base} pts, \
+         {threads} engine thread(s)/daemon, {window_secs} s windows, cpus = {cpus}",
+        catalog.len()
+    );
+    for r in [&direct, &routed1, &routed2] {
+        let _ = writeln!(
+            table,
+            "{:<22} {:>10.1} jobs/sec   (ok {}, load-shed {})",
+            r.label,
+            r.rate(),
+            r.ok,
+            r.rejected
+        );
+    }
+    let _ = writeln!(
+        table,
+        "router overhead (x1 vs direct): {overhead:.2}x   scale (x2 vs direct): {scale:.2}x"
+    );
+    let _ = writeln!(
+        table,
+        "admission invariant: {checks} observations across all windows, 0 violations"
+    );
+    let _ = writeln!(
+        table,
+        "kill phase: survivor datasets {survivor_ok}/20 ok, \
+         dead datasets {dead_typed}/10 typed 503 (unavailable + Retry-After)"
+    );
+    let gate_line = if cpus >= 2 {
+        format!("gate: multicore (cpus = {cpus}) — require scale >= 1.6x: measured {scale:.2}x")
+    } else {
+        format!(
+            "gate: single CPU — scale gate waived (ceiling is 1.0x on one core; \
+             see EXPERIMENTS.md), measured {scale:.2}x, overhead floor 0.35x: {overhead:.2}x"
+        )
+    };
+    let _ = writeln!(table, "{gate_line}");
+    print!("{table}");
+
+    if let Some(path) = positional.first() {
+        std::fs::write(path, &table).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    assert!(
+        direct.ok > 0 && routed1.ok > 0 && routed2.ok > 0,
+        "a window completed no jobs"
+    );
+    assert!(checks > 0, "the invariant poller never ran");
+    assert_eq!(survivor_ok, 20, "survivor datasets must not fail");
+    assert_eq!(dead_typed, 10, "dead datasets must answer typed 503s");
+    if cpus >= 2 {
+        assert!(
+            scale >= 1.6,
+            "2-backend deployment reached only {scale:.2}x the direct daemon (need 1.6x)"
+        );
+    } else {
+        assert!(
+            overhead >= 0.35 && scale >= 0.35,
+            "router overhead out of bounds on one CPU: x1 {overhead:.2}x, x2 {scale:.2}x"
+        );
+    }
+}

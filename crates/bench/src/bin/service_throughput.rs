@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use variantdbscan::{Engine, EngineConfig};
 use vbp_bench::BenchOpts;
-use vbp_service::{run_cold_warm, Registry, Server, ServiceConfig};
+use vbp_service::{run_cold_warm_on, Client, Registry, Server, ServiceConfig};
 
 const DATASETS: [&str; 2] = ["cF_10k_5N", "SW1"];
 
@@ -75,7 +75,9 @@ fn main() {
         requests.len(),
         names
     );
-    let report = run_cold_warm(handle.local_addr(), &requests).expect("workload");
+    let mut probe = Client::connect(handle.local_addr()).expect("connect probe");
+    let report = run_cold_warm_on(&mut probe, &requests).expect("workload");
+    probe.quit();
     handle.shutdown();
 
     println!(

@@ -429,16 +429,19 @@ fn build_registry(engine: &Engine, names: &[String]) -> Result<vbp_service::Regi
     Ok(registry)
 }
 
-/// The service tunables shared by `serve` and `bench-service`.
-fn service_config(args: &Args, addr: String) -> Result<vbp_service::ServiceConfig, String> {
-    Ok(vbp_service::ServiceConfig {
-        addr,
-        queue_cap: args.num("queue-cap", 256usize)?.max(1),
-        cache_bytes: args.num("cache-mb", 64usize)? << 20,
-        batch_window: std::time::Duration::from_millis(args.num("batch-ms", 2u64)?),
-        shards: args.num("shards", 0usize)?,
-        ..vbp_service::ServiceConfig::default()
-    })
+/// The service tunables shared by `serve` and `bench-service`: every
+/// flag maps 1:1 onto a [`vbp_service::ServiceConfigBuilder`] setter,
+/// and validation happens in one place (`build()`), with the typed
+/// [`vbp_service::ConfigError`] rendered as the CLI error.
+fn service_builder(args: &Args, addr: String) -> Result<vbp_service::ServiceConfigBuilder, String> {
+    Ok(vbp_service::ServiceConfig::builder()
+        .addr(addr)
+        .queue_cap(args.num("queue-cap", 256usize)?)
+        .cache_bytes(args.num("cache-mb", 64usize)? << 20)
+        .batch_window(std::time::Duration::from_millis(
+            args.num("batch-ms", 2u64)?,
+        ))
+        .shards(args.num("shards", 0usize)?))
 }
 
 /// `vbp serve --datasets NAME[@N],… [--addr HOST:PORT] [--http PORT]
@@ -469,16 +472,19 @@ pub fn serve(args: &Args) -> Result<String, String> {
         .into_iter()
         .map(|(n, s)| format!("{n} ({s} points)"))
         .collect();
-    let mut service = service_config(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?;
-    service.store_dir = store_dir;
     // `--http PORT` (bare port binds 127.0.0.1) or `--http HOST:PORT`.
-    service.http_addr = args.get("http").map(|spec| {
+    let http_addr = args.get("http").map(|spec| {
         if spec.contains(':') {
             spec.to_string()
         } else {
             format!("127.0.0.1:{spec}")
         }
     });
+    let service = service_builder(args, args.get("addr").unwrap_or(DEFAULT_ADDR).to_string())?
+        .store_dir(store_dir)
+        .http_addr(http_addr)
+        .build()
+        .map_err(|e| e.to_string())?;
     let restored = boot.restored;
     let mut handle = vbp_service::Server::start_with_store(engine, registry, service, boot)
         .map_err(|e| e.to_string())?;
@@ -500,6 +506,50 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let _ = std::io::stdout().flush();
     handle.wait();
     Ok(format!("drained; final stats: {}\n", handle.stats_json()))
+}
+
+/// `vbp route --backends HOST:PORT,… [--http PORT|HOST:PORT]
+/// [--vnodes N] [--pool N]` — run the consistent-hash router in front
+/// of a fleet of daemons' HTTP gateways, until the process is killed.
+/// Every dataset-scoped request is proxied to the backend that owns
+/// the dataset on the ring; fleet-wide reads (`/v1/datasets`,
+/// `/v1/stats`, `/metrics`, `/healthz`) fan out and merge.
+pub fn route(args: &Args) -> Result<String, String> {
+    let backends: Vec<String> = args
+        .get("backends")
+        .map(|list| {
+            list.split(',')
+                .map(|b| b.trim().to_string())
+                .filter(|b| !b.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    // `--http PORT` (bare port binds 127.0.0.1) or `--http HOST:PORT`,
+    // like `serve`; the router defaults to an ephemeral port.
+    let http_addr = match args.get("http") {
+        Some(spec) if spec.contains(':') => spec.to_string(),
+        Some(spec) => format!("127.0.0.1:{spec}"),
+        None => "127.0.0.1:0".to_string(),
+    };
+    let config = vbp_service::RouterConfig::builder()
+        .http_addr(http_addr)
+        .backends(backends)
+        .virtual_nodes(args.num("vnodes", 64usize)?)
+        .pool_per_backend(args.num("pool", 8usize)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let backend_count = config.backends.len();
+    let mut handle = vbp_service::Router::start(config).map_err(|e| e.to_string())?;
+    // Announce readiness immediately — scripts parse this line for the
+    // resolved (possibly ephemeral) port.
+    println!(
+        "vbp-router listening on {} over {backend_count} backend(s)",
+        handle.http_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(String::new())
 }
 
 /// `vbp store inspect FILE` / `vbp store verify DIR` — offline tooling
@@ -751,11 +801,14 @@ pub fn bench_service(args: &Args) -> Result<String, String> {
         }
     }
 
-    let service = service_config(args, "127.0.0.1:0".to_string())?;
+    let service = service_builder(args, "127.0.0.1:0".to_string())?
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut handle =
         vbp_service::Server::start(engine, registry, service).map_err(|e| e.to_string())?;
-    let report =
-        vbp_service::run_cold_warm(handle.local_addr(), &requests).map_err(|e| e.to_string())?;
+    let mut probe = vbp_service::Client::connect(handle.local_addr()).map_err(|e| e.to_string())?;
+    let report = vbp_service::run_cold_warm_on(&mut probe, &requests).map_err(|e| e.to_string())?;
+    probe.quit();
     handle.shutdown();
 
     let mut s = String::new();
@@ -896,6 +949,11 @@ commands:
                                               GET /v1/datasets|/metrics|/healthz)
            [--store DIR]                      (restore warm state from DIR at
                                               boot, persist it back on drain)
+  route    --backends HOST:PORT,…             consistent-hash router over a fleet
+           [--http PORT|HOST:PORT]            of daemons' HTTP gateways: datasets
+           [--vnodes N] [--pool N]            hash to owning backends, fleet reads
+                                              (/v1/stats, /metrics, /healthz)
+                                              fan out and merge; runs until killed
   submit   --dataset NAME --eps E             send one variant to a daemon
            [--minpts M] [--addr HOST:PORT]    ([--labels] prints the label vector)
   append   --dataset NAME                     stream points into a daemon's
@@ -940,6 +998,9 @@ mod tests {
             "points",
             "count",
             "store",
+            "backends",
+            "vnodes",
+            "pool",
         ],
         switches: &["render", "json", "labels"],
     };

@@ -31,6 +31,9 @@ const SPEC: Spec = Spec {
         "points",
         "count",
         "store",
+        "backends",
+        "vnodes",
+        "pool",
     ],
     switches: &["render", "json", "labels"],
 };
@@ -65,6 +68,7 @@ fn main() {
         "trace" => commands::trace(&args),
         "simulate" => commands::simulate_cmd(&args),
         "serve" => commands::serve(&args),
+        "route" => commands::route(&args),
         "submit" => commands::submit(&args),
         "append" => commands::append(&args),
         "watch" => commands::watch(&args),

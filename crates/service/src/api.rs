@@ -1,0 +1,127 @@
+//! The transport-agnostic client API: one trait, two wire formats.
+//!
+//! PR 3 grew a line-protocol [`Client`](crate::client::Client) and PR 9
+//! an [`HttpClient`](crate::http::HttpClient) with overlapping but
+//! incompatible surfaces: the line client answered typed replies
+//! ([`SubmitReply`]/[`AppendReply`]/[`ClientError`]) while the HTTP
+//! client answered raw [`HttpResponse`](crate::http::HttpResponse)s the
+//! caller had to status-check and JSON-pick by hand. Anything written
+//! against one could not drive the other — and the router, which is
+//! simultaneously an HTTP server and an N-way client of backend
+//! daemons, needs exactly one backend abstraction.
+//!
+//! [`DatasetService`] is that abstraction: the six verbs every daemon
+//! door answers, with the *same* typed reply model and the same typed
+//! error model on both transports. `Client` implements it over the line
+//! protocol, `HttpClient` over HTTP/1.1; the workload probe
+//! ([`crate::workload`]), the benches, and the router's backend pool
+//! ([`crate::pool`]) are all written against the trait, so swapping the
+//! wire under any of them is a one-line change.
+//!
+//! The error contract is shared too: admission backpressure surfaces as
+//! [`ClientError::Overloaded`] with the server's parsed `Retry-After`
+//! hint on both transports (the HTTP header, or the line protocol's
+//! `retry-after=N` message token), so backoff logic written once works
+//! against either door.
+
+use vbp_geom::Point2;
+
+use crate::client::{AppendReply, ClientError, SubmitReply};
+
+/// One liveness probe answer, shared by both transports.
+///
+/// `reachable` is implied by `Ok(_)` (an unreachable daemon answers
+/// `Err`); the flag that matters is `draining` — a draining daemon
+/// still answers reads but admits no new work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Health {
+    /// The daemon is still admitting work.
+    pub accepting: bool,
+    /// The daemon is shutting down (reads still answered).
+    pub draining: bool,
+}
+
+/// The transport-agnostic surface of one `vbp-service` daemon.
+///
+/// Implemented by [`Client`](crate::client::Client) (line protocol) and
+/// [`HttpClient`](crate::http::HttpClient) (HTTP/1.1 gateway) with
+/// identical semantics: same typed replies, same [`ClientError`]
+/// taxonomy, same [`ErrorCode`](crate::protocol::ErrorCode) tokens on
+/// rejection. Methods take `&mut self` because both implementations own
+/// one sequential connection.
+pub trait DatasetService {
+    /// Clusters one `(ε, minpts)` variant on a named dataset.
+    fn submit(
+        &mut self,
+        dataset: &str,
+        eps: f64,
+        minpts: usize,
+        want_labels: bool,
+    ) -> Result<SubmitReply, ClientError>;
+
+    /// Streams a batch of points into a registered dataset.
+    fn append(&mut self, dataset: &str, points: &[Point2]) -> Result<AppendReply, ClientError>;
+
+    /// Lists registered datasets as `(name, points)` pairs.
+    fn datasets(&mut self) -> Result<Vec<(String, usize)>, ClientError>;
+
+    /// The service counters as one JSON document.
+    fn stats_json(&mut self) -> Result<String, ClientError>;
+
+    /// The Prometheus-style text exposition.
+    fn metrics(&mut self) -> Result<String, ClientError>;
+
+    /// Liveness probe: is the daemon answering, and is it draining?
+    fn healthz(&mut self) -> Result<Health, ClientError>;
+}
+
+/// Parses the typed backoff hint out of an overloaded rejection.
+///
+/// Both doors spell the hint the same way in their message text — a
+/// `retry-after=N` token (whole seconds) — and the HTTP door *also*
+/// sends the standard `Retry-After: N` header; callers of this helper
+/// pass whichever text they have. Absent or unparseable hints answer
+/// `None` (back off with your own policy), never an error: the hint is
+/// advisory.
+pub fn parse_retry_after(message: &str) -> Option<std::time::Duration> {
+    message.split_ascii_whitespace().find_map(|tok| {
+        tok.strip_prefix("retry-after=")?
+            .parse::<u64>()
+            .ok()
+            .map(std::time::Duration::from_secs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn retry_after_token_parses_from_any_position() {
+        assert_eq!(
+            parse_retry_after("retry-after=1 queue full"),
+            Some(Duration::from_secs(1))
+        );
+        assert_eq!(
+            parse_retry_after("queue full retry-after=30"),
+            Some(Duration::from_secs(30))
+        );
+        assert_eq!(parse_retry_after("retry-after=0"), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn missing_or_malformed_hint_is_none_not_an_error() {
+        for msg in [
+            "queue full",
+            "",
+            "retry-after=",
+            "retry-after=soon",
+            "retry-after=-1",
+            "retry-after=1.5",
+            "Retry-After=1", // the token is lowercase on the wire
+        ] {
+            assert_eq!(parse_retry_after(msg), None, "{msg:?}");
+        }
+    }
+}

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use vbp_geom::Point2;
 
+use crate::api::{DatasetService, Health};
 use crate::protocol::{ErrorCode, Request};
 
 /// A client-side failure.
@@ -14,7 +15,21 @@ use crate::protocol::{ErrorCode, Request};
 pub enum ClientError {
     /// Socket-level trouble.
     Io(std::io::Error),
-    /// The server answered `ERR`.
+    /// Admission backpressure: the server refused the request because
+    /// its bounded queue is full, and (when it said so) how long to
+    /// back off before retrying. Both transports produce this variant —
+    /// the line protocol via a `retry-after=N` message token, HTTP via
+    /// the `Retry-After` header — so backoff logic written against the
+    /// [`DatasetService`](crate::api::DatasetService) trait works on
+    /// either wire.
+    Overloaded {
+        /// The server's parsed backoff hint, when it sent one.
+        retry_after: Option<Duration>,
+        /// Human-readable detail (hint token included, verbatim).
+        message: String,
+    },
+    /// The server answered `ERR` (any code other than `overloaded`,
+    /// which gets the typed [`ClientError::Overloaded`] above).
     Rejected {
         /// Typed rejection code.
         code: ErrorCode,
@@ -29,6 +44,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Overloaded { message, .. } => {
+                write!(f, "rejected (overloaded): {message}")
+            }
             ClientError::Rejected { code, message } => write!(f, "rejected ({code}): {message}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
@@ -42,10 +60,35 @@ impl From<std::io::Error> for ClientError {
 }
 
 impl ClientError {
+    /// Builds the typed rejection for one `(code, message)` pair, giving
+    /// `overloaded` its dedicated variant with the parsed backoff hint.
+    /// Both transports funnel their server rejections through here so
+    /// the taxonomy cannot drift between wires.
+    pub(crate) fn rejected(code: ErrorCode, message: String) -> ClientError {
+        if code == ErrorCode::Overloaded {
+            ClientError::Overloaded {
+                retry_after: crate::api::parse_retry_after(&message),
+                message,
+            }
+        } else {
+            ClientError::Rejected { code, message }
+        }
+    }
+
     /// Returns the typed rejection code, if this is a server rejection.
     pub fn code(&self) -> Option<ErrorCode> {
         match self {
+            ClientError::Overloaded { .. } => Some(ErrorCode::Overloaded),
             ClientError::Rejected { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// The server's backoff hint, if this is an overloaded rejection
+    /// that carried one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Overloaded { retry_after, .. } => *retry_after,
             _ => None,
         }
     }
@@ -257,10 +300,7 @@ impl Client {
                 let code = ErrorCode::from_str_token(code_token).ok_or_else(|| {
                     ClientError::Protocol(format!("unknown ERR code '{code_token}'"))
                 })?;
-                return Err(ClientError::Rejected {
-                    code,
-                    message: message.to_string(),
-                });
+                return Err(ClientError::rejected(code, message.to_string()));
             }
             return Err(ClientError::Protocol(format!("unparseable reply '{line}'")));
         }
@@ -491,6 +531,55 @@ impl Client {
     pub fn quit(&mut self) {
         let _ = self.send(&Request::Quit);
     }
+
+    /// Liveness probe over the line protocol. The wire has no dedicated
+    /// verb; a `STATS` round trip both proves the daemon is answering
+    /// and carries the `draining` flag in its JSON document.
+    pub fn healthz(&mut self) -> Result<Health, ClientError> {
+        let stats = self.stats_json()?;
+        let doc = crate::http::parse_json(stats.as_bytes())
+            .map_err(|e| ClientError::Protocol(format!("unparseable STATS document: {e}")))?;
+        let draining = doc
+            .get("draining")
+            .and_then(crate::http::JsonValue::as_bool)
+            .ok_or_else(|| ClientError::Protocol("STATS lacks the 'draining' flag".into()))?;
+        Ok(Health {
+            accepting: !draining,
+            draining,
+        })
+    }
+}
+
+impl DatasetService for Client {
+    fn submit(
+        &mut self,
+        dataset: &str,
+        eps: f64,
+        minpts: usize,
+        want_labels: bool,
+    ) -> Result<SubmitReply, ClientError> {
+        Client::submit(self, dataset, eps, minpts, want_labels)
+    }
+
+    fn append(&mut self, dataset: &str, points: &[Point2]) -> Result<AppendReply, ClientError> {
+        Client::append(self, dataset, points)
+    }
+
+    fn datasets(&mut self) -> Result<Vec<(String, usize)>, ClientError> {
+        Client::datasets(self)
+    }
+
+    fn stats_json(&mut self) -> Result<String, ClientError> {
+        Client::stats_json(self)
+    }
+
+    fn metrics(&mut self) -> Result<String, ClientError> {
+        Client::metrics(self)
+    }
+
+    fn healthz(&mut self) -> Result<Health, ClientError> {
+        Client::healthz(self)
+    }
 }
 
 fn parse_num(tok: &str, value: &str) -> Result<usize, ClientError> {
@@ -503,6 +592,30 @@ fn parse_num(tok: &str, value: &str) -> Result<usize, ClientError> {
 mod tests {
     use super::*;
     use std::io::Cursor;
+
+    /// Pins the line-protocol half of the typed-backoff contract: an
+    /// `ERR overloaded` whose message carries the `retry-after=N` token
+    /// becomes [`ClientError::Overloaded`] with the parsed hint, while
+    /// a hint-less message still maps to the typed variant with `None`.
+    #[test]
+    fn overloaded_rejections_carry_the_typed_backoff_hint() {
+        let err = ClientError::rejected(ErrorCode::Overloaded, "retry-after=1 queue full".into());
+        assert_eq!(err.code(), Some(ErrorCode::Overloaded));
+        assert_eq!(err.retry_after(), Some(Duration::from_secs(1)));
+        assert!(
+            matches!(&err, ClientError::Overloaded { message, .. } if message.contains("queue full")),
+            "{err}"
+        );
+
+        let bare = ClientError::rejected(ErrorCode::Overloaded, "queue full".into());
+        assert_eq!(bare.code(), Some(ErrorCode::Overloaded));
+        assert_eq!(bare.retry_after(), None);
+
+        // Every other code keeps the plain Rejected shape.
+        let other = ClientError::rejected(ErrorCode::Draining, "retry-after=1 going down".into());
+        assert!(matches!(other, ClientError::Rejected { .. }));
+        assert_eq!(other.retry_after(), None);
+    }
 
     #[test]
     fn bounded_line_frames_and_refuses() {

@@ -70,6 +70,8 @@ use std::time::Duration;
 use variantdbscan::{JsonArray, JsonObject, Variant};
 use vbp_geom::Point2;
 
+use crate::api::{DatasetService, Health};
+use crate::client::{AppendReply, ClientError, SubmitReply};
 use crate::protocol::ErrorCode;
 use crate::server::{apply_append, Job, Shared};
 use crate::transport::Transport;
@@ -430,16 +432,16 @@ impl<'a> JsonParser<'a> {
 // ---------------------------------------------------------------------------
 
 /// One framed request head.
-struct HttpRequest {
-    method: String,
-    target: String,
-    keep_alive: bool,
-    expect_continue: bool,
-    content_length: usize,
+pub(crate) struct HttpRequest {
+    pub(crate) method: String,
+    pub(crate) target: String,
+    pub(crate) keep_alive: bool,
+    pub(crate) expect_continue: bool,
+    pub(crate) content_length: usize,
 }
 
 /// What reading one request produced.
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     /// A well-framed head; the body (if any) is read separately.
     Request(HttpRequest),
     /// A framing violation: answer `status` once, then close.
@@ -452,14 +454,14 @@ enum ReadOutcome {
 }
 
 /// Bounded HTTP framing over any [`Transport`], plus response writes.
-struct HttpIo<T> {
+pub(crate) struct HttpIo<T> {
     transport: T,
     /// Received but unconsumed bytes (keep-alive pipelining leftover).
     buf: Vec<u8>,
 }
 
 impl<T: Transport> HttpIo<T> {
-    fn new(transport: T) -> HttpIo<T> {
+    pub(crate) fn new(transport: T) -> HttpIo<T> {
         HttpIo {
             transport,
             buf: Vec::new(),
@@ -501,7 +503,7 @@ impl<T: Transport> HttpIo<T> {
 
     /// Frames one request head. Leading blank lines (a tolerated client
     /// sloppiness after a previous body) are skipped.
-    fn read_request(&mut self, stop: &AtomicBool) -> ReadOutcome {
+    pub(crate) fn read_request(&mut self, stop: &AtomicBool) -> ReadOutcome {
         // Drop blank lines before the request line so `curl`-style
         // keep-alive reuse with stray CRLFs still frames.
         loop {
@@ -550,16 +552,20 @@ impl<T: Transport> HttpIo<T> {
     }
 
     /// Reads exactly `len` body bytes (the head's `Content-Length`).
-    fn read_body(&mut self, len: usize, stop: &AtomicBool) -> Result<Vec<u8>, ReadOutcome> {
+    pub(crate) fn read_body(
+        &mut self,
+        len: usize,
+        stop: &AtomicBool,
+    ) -> Result<Vec<u8>, ReadOutcome> {
         let got = self.fill_until(stop, |buf| (buf.len() >= len).then_some(len), |_| None)?;
         Ok(self.buf.drain(..got).collect())
     }
 
-    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+    pub(crate) fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.transport.write_all(bytes)
     }
 
-    fn close(&mut self) {
+    pub(crate) fn close(&mut self) {
         self.transport.close();
     }
 }
@@ -718,6 +724,19 @@ fn parse_head(head: &[u8]) -> ReadOutcome {
 // Response writing
 // ---------------------------------------------------------------------------
 
+/// The status code a typed [`ErrorCode`] travels under, the inverse of
+/// the admission-mapping table in the module docs. The router reuses
+/// this when relaying a backend's typed rejection to its own caller,
+/// so a rejection crosses the proxy hop without losing its status.
+pub(crate) fn status_for(code: ErrorCode) -> u16 {
+    match code {
+        ErrorCode::BadRequest | ErrorCode::Protocol => 400,
+        ErrorCode::UnknownDataset => 404,
+        ErrorCode::Overloaded | ErrorCode::Draining | ErrorCode::Unavailable => 503,
+        ErrorCode::Internal => 500,
+    }
+}
+
 fn reason_for(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -736,7 +755,7 @@ fn reason_for(status: u16) -> &'static str {
 /// single `write_all`. Every response carries an exact
 /// `Content-Length` and an explicit `Connection` header, so clients
 /// (and the fuzz validator) can frame it without sniffing.
-fn write_response<T: Transport>(
+pub(crate) fn write_response<T: Transport>(
     io: &mut HttpIo<T>,
     status: u16,
     content_type: &str,
@@ -765,14 +784,14 @@ fn write_response<T: Transport>(
 
 /// `{"error": <wire token>, "message": …}` with the line protocol's
 /// exact [`ErrorCode`] tokens.
-fn error_json(code: ErrorCode, message: &str) -> String {
+pub(crate) fn error_json(code: ErrorCode, message: &str) -> String {
     JsonObject::new()
         .str("error", code.as_str())
         .str("message", message)
         .finish()
 }
 
-fn write_error<T: Transport>(
+pub(crate) fn write_error<T: Transport>(
     io: &mut HttpIo<T>,
     status: u16,
     code: ErrorCode,
@@ -904,6 +923,56 @@ fn respond_http<T: Transport>(
         ),
         ("POST", "/v1/submit") => respond_submit(io, shared, body, keep_alive),
         ("POST", "/v1/append") => respond_append(io, shared, body, keep_alive),
+        // Dataset-scoped read, so a router (or curl) can ask one daemon
+        // whether it owns a dataset without listing everything.
+        ("GET", target)
+            if target
+                .strip_prefix("/v1/datasets/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            let name = &target["/v1/datasets/".len()..];
+            match shared.registry().get(name) {
+                Some(entry) => {
+                    let body = JsonObject::new()
+                        .str("name", name)
+                        .uint("points", entry.points.len() as u64)
+                        .finish();
+                    write_response(
+                        io,
+                        200,
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                        &[],
+                    )
+                }
+                None => {
+                    shared.note_unknown_dataset();
+                    write_error(
+                        io,
+                        404,
+                        ErrorCode::UnknownDataset,
+                        &format!("dataset '{name}' is not registered"),
+                        keep_alive,
+                        &[],
+                    )
+                }
+            }
+        }
+        (_, target)
+            if target
+                .strip_prefix("/v1/datasets/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            write_error(
+                io,
+                405,
+                ErrorCode::BadRequest,
+                &format!("{} only supports GET", req.target),
+                keep_alive,
+                &[("Allow", "GET")],
+            )
+        }
         (_, "/healthz" | "/v1/datasets" | "/v1/stats" | "/metrics") => write_error(
             io,
             405,
@@ -935,7 +1004,7 @@ fn respond_http<T: Transport>(
 /// Field-by-field validation of a submit body, mirroring the line
 /// protocol's `SUBMIT` parser (including its strictness: unknown
 /// fields are rejected the way trailing tokens are).
-fn parse_submit_body(body: &[u8]) -> Result<(String, f64, usize, bool), String> {
+pub(crate) fn parse_submit_body(body: &[u8]) -> Result<(String, f64, usize, bool), String> {
     let json = parse_json(body)?;
     let fields = json.entries().ok_or("body must be a JSON object")?;
     for (key, _) in fields {
@@ -1003,7 +1072,11 @@ fn respond_submit<T: Transport>(
     };
     if let Err(e) = shared.submit(job) {
         let (msg, extra): (&str, &[(&str, &str)]) = match e {
-            crate::server::SubmitError::Overloaded => ("queue full", &[("Retry-After", "1")]),
+            crate::server::SubmitError::Overloaded => {
+                // Hint in the header (authoritative) and as the same
+                // `retry-after=N` message token the line protocol uses.
+                ("retry-after=1 queue full", &[("Retry-After", "1")])
+            }
             crate::server::SubmitError::Draining => ("server is shutting down", &[]),
         };
         return write_error(io, 503, e.code(), msg, keep_alive, extra);
@@ -1057,7 +1130,7 @@ fn respond_submit<T: Transport>(
 
 /// Validates an append body, mirroring the line protocol's `APPEND`
 /// parser: a non-empty batch of finite `[x, y]` pairs.
-fn parse_append_body(body: &[u8]) -> Result<(String, Vec<Point2>), String> {
+pub(crate) fn parse_append_body(body: &[u8]) -> Result<(String, Vec<Point2>), String> {
     let json = parse_json(body)?;
     let fields = json.entries().ok_or("body must be a JSON object")?;
     for (key, _) in fields {
@@ -1318,9 +1391,241 @@ impl HttpClient {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Typed client surface (the DatasetService impl)
+// ---------------------------------------------------------------------------
+
+fn proto_err(msg: impl Into<String>) -> ClientError {
+    ClientError::Protocol(msg.into())
+}
+
+fn req_f64(json: &JsonValue, key: &str) -> Result<f64, ClientError> {
+    json.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| proto_err(format!("response is missing numeric '{key}'")))
+}
+
+fn req_bool(json: &JsonValue, key: &str) -> Result<bool, ClientError> {
+    json.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| proto_err(format!("response is missing boolean '{key}'")))
+}
+
+/// Maps a non-200 gateway answer onto the shared [`ClientError`]
+/// taxonomy: the JSON error body carries the line protocol's exact
+/// [`ErrorCode`] token, and an `overloaded` rejection's `Retry-After`
+/// header (authoritative, with the `retry-after=N` message token as
+/// fallback) becomes the typed backoff hint — the same shape the line
+/// client produces, so backoff logic is transport-blind.
+fn typed_error(resp: &HttpResponse) -> ClientError {
+    let json = match resp.json() {
+        Ok(json) => json,
+        Err(_) => {
+            return proto_err(format!("HTTP {} with a non-JSON error body", resp.status));
+        }
+    };
+    let code = json
+        .get("error")
+        .and_then(JsonValue::as_str)
+        .and_then(ErrorCode::from_str_token);
+    let message = json
+        .get("message")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    match code {
+        Some(ErrorCode::Overloaded) => ClientError::Overloaded {
+            retry_after: resp
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs)
+                .or_else(|| crate::api::parse_retry_after(&message)),
+            message,
+        },
+        Some(code) => ClientError::Rejected { code, message },
+        None => proto_err(format!("HTTP {} with an untyped error body", resp.status)),
+    }
+}
+
+fn expect_json(resp: HttpResponse) -> Result<JsonValue, ClientError> {
+    if resp.status != 200 {
+        return Err(typed_error(&resp));
+    }
+    resp.json()
+        .map_err(|e| proto_err(format!("unparseable 200 body: {e}")))
+}
+
+fn expect_text(resp: HttpResponse) -> Result<String, ClientError> {
+    if resp.status != 200 {
+        return Err(typed_error(&resp));
+    }
+    String::from_utf8(resp.body).map_err(|_| proto_err("200 body is not UTF-8"))
+}
+
+impl DatasetService for HttpClient {
+    fn submit(
+        &mut self,
+        dataset: &str,
+        eps: f64,
+        minpts: usize,
+        want_labels: bool,
+    ) -> Result<SubmitReply, ClientError> {
+        let mut body = JsonObject::new()
+            .str("dataset", dataset)
+            .float("eps", eps)
+            .uint("minpts", minpts as u64);
+        if want_labels {
+            body = body.boolean("labels", true);
+        }
+        let resp = self
+            .post("/v1/submit", &body.finish())
+            .map_err(ClientError::Io)?;
+        let json = expect_json(resp)?;
+        let labels = match json.get("labels") {
+            None => None,
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| proto_err("'labels' is not an array"))?;
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = item
+                        .as_f64()
+                        .ok_or_else(|| proto_err("label is not a number"))?;
+                    out.push(n as u32);
+                }
+                Some(out)
+            }
+        };
+        Ok(SubmitReply {
+            clusters: req_f64(&json, "clusters")? as usize,
+            noise: req_f64(&json, "noise")? as usize,
+            warm: req_bool(&json, "warm")?,
+            reused: req_bool(&json, "reused")?,
+            ms: req_f64(&json, "ms")?,
+            labels,
+        })
+    }
+
+    fn append(&mut self, dataset: &str, points: &[Point2]) -> Result<AppendReply, ClientError> {
+        let mut arr = JsonArray::new();
+        for p in points {
+            let mut pair = JsonArray::new();
+            pair.push_float(p.x);
+            pair.push_float(p.y);
+            arr.push_raw(&pair.finish());
+        }
+        let body = JsonObject::new()
+            .str("dataset", dataset)
+            .raw("points", &arr.finish())
+            .finish();
+        let resp = self.post("/v1/append", &body).map_err(ClientError::Io)?;
+        let json = expect_json(resp)?;
+        Ok(AppendReply {
+            appended: req_f64(&json, "appended")? as usize,
+            total: req_f64(&json, "total")? as usize,
+            repaired: req_f64(&json, "repaired")? as usize,
+            dropped: req_f64(&json, "dropped")? as usize,
+            ms: req_f64(&json, "ms")?,
+        })
+    }
+
+    fn datasets(&mut self) -> Result<Vec<(String, usize)>, ClientError> {
+        let resp = self.get("/v1/datasets").map_err(ClientError::Io)?;
+        let json = expect_json(resp)?;
+        let items = json
+            .get("datasets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| proto_err("'datasets' is not an array"))?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| proto_err("dataset entry is missing 'name'"))?;
+            let points = req_f64(item, "points")? as usize;
+            out.push((name.to_string(), points));
+        }
+        Ok(out)
+    }
+
+    fn stats_json(&mut self) -> Result<String, ClientError> {
+        expect_text(self.get("/v1/stats").map_err(ClientError::Io)?)
+    }
+
+    fn metrics(&mut self) -> Result<String, ClientError> {
+        expect_text(self.get("/metrics").map_err(ClientError::Io)?)
+    }
+
+    fn healthz(&mut self) -> Result<Health, ClientError> {
+        let resp = self.get("/healthz").map_err(ClientError::Io)?;
+        let json = expect_json(resp)?;
+        let draining = req_bool(&json, "draining")?;
+        Ok(Health {
+            accepting: !draining,
+            draining,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_after_header_becomes_the_typed_backoff_hint() {
+        // Header present: authoritative, even with no message token.
+        let resp = HttpResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "7".into())],
+            body: error_json(ErrorCode::Overloaded, "queue full").into_bytes(),
+        };
+        match typed_error(&resp) {
+            ClientError::Overloaded {
+                retry_after,
+                message,
+            } => {
+                assert_eq!(retry_after, Some(Duration::from_secs(7)));
+                assert_eq!(message, "queue full");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // No header: the message token is the fallback.
+        let resp = HttpResponse {
+            status: 503,
+            headers: vec![],
+            body: error_json(ErrorCode::Overloaded, "retry-after=2 queue full").into_bytes(),
+        };
+        assert_eq!(
+            typed_error(&resp).retry_after(),
+            Some(Duration::from_secs(2))
+        );
+        // Non-overloaded codes keep the plain Rejected shape.
+        let resp = HttpResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "7".into())],
+            body: error_json(ErrorCode::Draining, "server is shutting down").into_bytes(),
+        };
+        match typed_error(&resp) {
+            ClientError::Rejected { code, .. } => assert_eq!(code, ErrorCode::Draining),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_for_inverts_the_admission_mapping() {
+        for (code, status) in [
+            (ErrorCode::BadRequest, 400),
+            (ErrorCode::Protocol, 400),
+            (ErrorCode::UnknownDataset, 404),
+            (ErrorCode::Overloaded, 503),
+            (ErrorCode::Draining, 503),
+            (ErrorCode::Unavailable, 503),
+            (ErrorCode::Internal, 500),
+        ] {
+            assert_eq!(status_for(code), status, "{code}");
+        }
+    }
 
     #[test]
     fn json_parser_round_trips_scalars_and_containers() {

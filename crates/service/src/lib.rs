@@ -30,34 +30,55 @@
 //!   on graceful drain and restored on boot without rebuilding
 //!   anything;
 //! - [`workload`] — the cold-vs-warm throughput probe used by
-//!   `vbp bench-service` and the `service_throughput` bench.
+//!   `vbp bench-service` and the `service_throughput` bench;
+//! - [`api`] — the transport-agnostic [`DatasetService`] trait both
+//!   clients implement, so everything above the wire is written once;
+//! - [`config`] — validated builders for [`ServiceConfig`] and
+//!   [`RouterConfig`] with typed [`ConfigError`]s;
+//! - [`ring`] / [`pool`] / [`router`] — many-daemon scale-out: a
+//!   consistent-hash ring over backend daemons, bounded per-backend
+//!   connection pools with a connect-failure breaker, and the
+//!   `vbp route` HTTP front door that proxies dataset-scoped traffic
+//!   to the owning backend and merges fan-out reads.
 //!
 //! Everything is plain `std` — the build environment is offline, so no
 //! async runtime, serialization crate, or protocol framework is used.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod client;
+pub mod config;
 pub mod fault;
 pub mod http;
+pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod store;
 pub mod transport;
 pub mod workload;
 
+pub use api::{parse_retry_after, DatasetService, Health};
 pub use cache::{result_bytes, CacheHit, CacheStats, DominanceCache, RepairStats};
 pub use client::{AppendReply, Client, ClientError, Delta, SubmitReply, WatchReply};
+pub use config::{ConfigError, RouterConfigBuilder, ServiceConfigBuilder};
 pub use fault::{FaultPlan, FaultTransport, MemTransport, Step};
 pub use http::{parse_json, HttpClient, HttpResponse, JsonValue};
+pub use pool::{BackendCounters, BackendPool, PoolError};
 pub use protocol::{parse_request, ErrorCode, Request};
 pub use registry::{DatasetEntry, Registry};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerHandle, ServiceConfig, SubmitError};
 pub use store::{
     boot_from_store, dataset_path, persist_all, persist_dataset, restore_dataset, verify_dir,
     RestoredDataset, StoreBoot, STORE_EXT,
 };
 pub use transport::{LineEvent, LineIo, TcpTransport, Transport};
-pub use workload::{run_cold_warm, ColdWarmReport};
+#[allow(deprecated)]
+pub use workload::run_cold_warm;
+pub use workload::{run_cold_warm_on, ColdWarmReport};

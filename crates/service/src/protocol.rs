@@ -82,6 +82,11 @@ pub enum ErrorCode {
     /// invalid UTF-8) — the offending line was discarded and the
     /// connection resynchronized at the next newline.
     Protocol,
+    /// A proxy (the router) could not reach the backend that owns the
+    /// named dataset. Never emitted by a daemon itself; carried in the
+    /// router's `503 + Retry-After` answers so callers can tell "the
+    /// owner is down" apart from "the owner is overloaded".
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -94,6 +99,7 @@ impl ErrorCode {
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
             ErrorCode::Protocol => "protocol",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 
@@ -106,6 +112,7 @@ impl ErrorCode {
             "draining" => ErrorCode::Draining,
             "internal" => ErrorCode::Internal,
             "protocol" => ErrorCode::Protocol,
+            "unavailable" => ErrorCode::Unavailable,
             _ => return None,
         })
     }

@@ -1,0 +1,1109 @@
+//! `vbp route` — a consistent-hash router for many-daemon scale-out.
+//!
+//! One daemon's warm state (prepared indexes, dominance cache) is the
+//! whole point of the service tier, and it does not shard itself: a
+//! dataset's requests must keep landing on the daemon holding that
+//! dataset's investment. The router is the thin process that makes a
+//! fleet of daemons look like one: it speaks the exact HTTP surface of
+//! the gateway ([`crate::http`]), hashes the `dataset` of every
+//! dataset-scoped request onto a static consistent-hash ring
+//! ([`HashRing`]) of backend daemons, and proxies the exchange over a
+//! bounded per-backend connection pool ([`BackendPool`]).
+//!
+//! # Route classes
+//!
+//! | route                       | behaviour                               |
+//! |-----------------------------|-----------------------------------------|
+//! | `POST /v1/submit`           | parse → hash `dataset` → proxy to owner |
+//! | `POST /v1/append`           | parse → hash `dataset` → proxy to owner |
+//! | `GET /v1/datasets/<name>`   | hash `<name>` → ask the owner           |
+//! | `GET /v1/datasets`          | fan out, merge (owner's entry wins)     |
+//! | `GET /v1/stats`             | fan out, sum counters + router section  |
+//! | `GET /metrics`              | fan out, sum series + `vbp_backend_*`   |
+//! | `GET /healthz`              | probe all, answer by quorum             |
+//!
+//! Bodies are parsed *at the router* with the gateway's own parsers, so
+//! a malformed submit costs a local `400` and never touches a backend.
+//! Proxied replies are re-rendered from the typed
+//! [`DatasetService`](crate::api::DatasetService) reply; the one field
+//! that does not survive the hop is the submit `report` embed (the
+//! trait reply does not carry it — scrape a backend directly when you
+//! want its RunReport).
+//!
+//! # Degradation
+//!
+//! A dead backend takes down *its* datasets only: their requests answer
+//! a typed `503 {"error":"unavailable"}` with a `Retry-After` header
+//! (a code no daemon ever emits, so callers can tell "my dataset's
+//! shard is down" from "the shard is overloaded/draining"). The ring is
+//! static — ownership never migrates at runtime, because the survivors
+//! never registered the dead backend's datasets and a silent remap
+//! would fork append streams. Fan-out reads skip dead backends and say
+//! so (`"up": false` in `/v1/stats`, `vbp_backend_up 0` in `/metrics`,
+//! quorum in `/healthz`).
+//!
+//! # Counters
+//!
+//! The router keeps its own admission ledger under one lock with the
+//! same shape the daemon pins in its test suite:
+//! `received == answered_ok + answered_err + in_flight`, with framing
+//! violations counted separately as `protocol_errors`. Summed backend
+//! counters stay internally consistent too: each backend snapshot
+//! satisfies the admission invariant on its own, so any sum of
+//! snapshots does as well — which is why the merged `/v1/stats`
+//! document passes the exact invariant check the per-daemon stats do.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use variantdbscan::{JsonArray, JsonObject};
+
+use crate::api::{DatasetService, Health};
+use crate::client::ClientError;
+use crate::http::{
+    parse_append_body, parse_json, parse_submit_body, status_for, write_error, write_response,
+    HttpClient, HttpIo, JsonValue, ReadOutcome,
+};
+use crate::pool::{BackendPool, PoolError, PooledService};
+use crate::protocol::ErrorCode;
+use crate::ring::HashRing;
+use crate::transport::{TcpTransport, Transport};
+
+/// Router configuration; build one with
+/// [`RouterConfig::builder`](crate::config::RouterConfigBuilder).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address of the router's HTTP door; port 0 for ephemeral.
+    pub http_addr: String,
+    /// Backend daemon HTTP (gateway) addresses. Order is placement-
+    /// relevant only through the vnode hashes, but keep it stable
+    /// across restarts anyway — it is part of the deployment's
+    /// identity.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the ring (spread granularity).
+    pub virtual_nodes: usize,
+    /// Connection-pool cap per backend.
+    pub pool_per_backend: usize,
+    /// Handler read-timeout; bounds how fast connections notice a
+    /// shutdown.
+    pub poll_interval: Duration,
+    /// Socket write timeout toward router clients.
+    pub write_timeout: Duration,
+    /// Read timeout on backend connections — bounds one proxied
+    /// exchange, so it must cover a full engine run (the daemon's own
+    /// job timeout is 600s by default).
+    pub backend_timeout: Duration,
+    /// How long a handler waits for a pooled backend connection before
+    /// answering `503 overloaded`.
+    pub checkout_timeout: Duration,
+    /// Consecutive failed connect-sequences before a backend's breaker
+    /// opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fast-fails before probing again.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            http_addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            virtual_nodes: 64,
+            pool_per_backend: 8,
+            poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(30),
+            backend_timeout: Duration::from_secs(600),
+            checkout_timeout: Duration::from_secs(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The router's own admission ledger, kept under one lock so the
+/// invariant `received == answered_ok + answered_err + in_flight` is
+/// never observably violated.
+#[derive(Clone, Copy, Debug, Default)]
+struct RouterStats {
+    received: u64,
+    answered_ok: u64,
+    answered_err: u64,
+    in_flight: u64,
+    protocol_errors: u64,
+    proxied: u64,
+    fanouts: u64,
+}
+
+pub(crate) struct RouterShared {
+    ring: HashRing,
+    /// One pool per backend, parallel to `ring.backends()`.
+    pools: Vec<BackendPool>,
+    stats: Mutex<RouterStats>,
+    started: Instant,
+    poll_interval: Duration,
+    draining: AtomicBool,
+}
+
+impl RouterShared {
+    fn new(config: &RouterConfig) -> RouterShared {
+        let ring = HashRing::new(&config.backends, config.virtual_nodes);
+        let pools = config
+            .backends
+            .iter()
+            .map(|addr| {
+                let dial_addr = addr.clone();
+                let backend_timeout = config.backend_timeout;
+                BackendPool::new(
+                    addr.clone(),
+                    config.pool_per_backend,
+                    config.checkout_timeout,
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                    Box::new(move || {
+                        let mut client = HttpClient::connect(dial_addr.as_str())?;
+                        client.set_timeout(Some(backend_timeout))?;
+                        Ok(Box::new(client) as PooledService)
+                    }),
+                )
+            })
+            .collect();
+        RouterShared {
+            ring,
+            pools,
+            stats: Mutex::new(RouterStats::default()),
+            started: Instant::now(),
+            poll_interval: config.poll_interval,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    fn owner_pool(&self, dataset: &str) -> &BackendPool {
+        &self.pools[self.ring.owner_index(dataset)]
+    }
+
+    fn begin_request(&self) {
+        let mut s = self.stats.lock().expect("router stats lock poisoned");
+        s.received += 1;
+        s.in_flight += 1;
+    }
+
+    fn end_request(&self, ok: bool) {
+        let mut s = self.stats.lock().expect("router stats lock poisoned");
+        s.in_flight -= 1;
+        if ok {
+            s.answered_ok += 1;
+        } else {
+            s.answered_err += 1;
+        }
+    }
+
+    fn note_protocol_error(&self) {
+        self.stats
+            .lock()
+            .expect("router stats lock poisoned")
+            .protocol_errors += 1;
+    }
+
+    fn note_proxied(&self) {
+        self.stats
+            .lock()
+            .expect("router stats lock poisoned")
+            .proxied += 1;
+    }
+
+    fn note_fanout(&self) {
+        self.stats
+            .lock()
+            .expect("router stats lock poisoned")
+            .fanouts += 1;
+    }
+
+    /// The `"router"` object embedded in `/v1/stats`: the admission
+    /// ledger plus per-backend pool counters.
+    fn router_json(&self) -> String {
+        let s = *self.stats.lock().expect("router stats lock poisoned");
+        let mut backends = JsonArray::new();
+        for pool in &self.pools {
+            let c = pool.counters();
+            backends.push_raw(
+                &JsonObject::new()
+                    .str("backend", pool.addr())
+                    .boolean("breaker_open", pool.breaker_open())
+                    .uint("connects", c.connects)
+                    .uint("connect_failures", c.connect_failures)
+                    .uint("checkouts", c.checkouts)
+                    .uint("busy_timeouts", c.busy_timeouts)
+                    .uint("breaker_trips", c.breaker_trips)
+                    .uint("breaker_fast_fails", c.breaker_fast_fails)
+                    .uint("dropped_conns", c.dropped)
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .uint("received", s.received)
+            .uint("answered_ok", s.answered_ok)
+            .uint("answered_err", s.answered_err)
+            .uint("in_flight", s.in_flight)
+            .uint("protocol_errors", s.protocol_errors)
+            .uint("proxied", s.proxied)
+            .uint("fanouts", s.fanouts)
+            .raw("pools", &backends.finish())
+            .finish()
+    }
+
+    /// Fans one closure out to every backend, answering
+    /// `(addr, Some(result))` for live ones and `(addr, None)` for
+    /// unreachable ones. Serial on purpose: the fleet sizes this
+    /// router targets (a handful of daemons) do not justify a thread
+    /// per probe, and a dead backend costs at most one bounded
+    /// connect-timeout (then its breaker fast-fails).
+    fn fan_out<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn DatasetService) -> Result<R, ClientError>,
+    ) -> Vec<(String, Option<R>)> {
+        self.note_fanout();
+        self.pools
+            .iter()
+            .map(|pool| {
+                let got = pool.with_conn(&mut f).ok();
+                (pool.addr().to_string(), got)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+/// One merged metric sample: integer counters sum exactly; anything
+/// that ever carried a decimal point sums as a float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum MetricValue {
+    Uint(u64),
+    Float(f64),
+}
+
+impl MetricValue {
+    fn add(&mut self, other: MetricValue) {
+        *self = match (*self, other) {
+            (MetricValue::Uint(a), MetricValue::Uint(b)) => MetricValue::Uint(a + b),
+            (a, b) => MetricValue::Float(a.as_f64() + b.as_f64()),
+        };
+    }
+
+    fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::Uint(v) => v as f64,
+            MetricValue::Float(v) => v,
+        }
+    }
+}
+
+/// Sums expositions line-wise: `name{labels} value` series with the
+/// same name sum across backends; first-seen order is kept so the
+/// merged document reads like a daemon's. Unparseable lines are
+/// dropped (the daemon never emits any; a torn scrape already failed
+/// at the pool layer).
+fn merge_metric_texts<'a>(texts: impl Iterator<Item = &'a str>) -> Vec<(String, MetricValue)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, MetricValue> = HashMap::new();
+    for text in texts {
+        for line in text.lines() {
+            let Some((name, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let parsed = if value.contains(['.', 'e', 'E']) {
+                value.parse::<f64>().ok().map(MetricValue::Float)
+            } else {
+                value.parse::<u64>().ok().map(MetricValue::Uint)
+            };
+            let Some(parsed) = parsed else { continue };
+            match merged.get_mut(name) {
+                Some(v) => v.add(parsed),
+                None => {
+                    order.push(name.to_string());
+                    merged.insert(name.to_string(), parsed);
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let v = merged[&name];
+            (name, v)
+        })
+        .collect()
+}
+
+/// The daemon stats counters the router sums across backends, in the
+/// daemon's own field order. `max_batch` takes the max instead — a
+/// fleet's widest batch, not a meaningless sum of widths.
+const SUMMED_STATS_FIELDS: &[&str] = &[
+    "submitted",
+    "completed",
+    "failed",
+    "in_flight",
+    "rejected_overloaded",
+    "rejected_draining",
+    "unknown_dataset",
+    "bad_request",
+    "protocol_errors",
+    "batches",
+    "max_batch",
+    "reuse_hits",
+    "in_run_reused",
+    "from_scratch",
+    "appends",
+    "appends_applied",
+    "appends_rejected",
+    "append_points",
+    "watches",
+    "watch_deltas",
+    "store_restored",
+    "store_restore_failed",
+];
+
+/// The quorum rule `/healthz` answers by: all up is `ok`, a strict
+/// majority is `degraded` (still `200` — the fleet is serving), and
+/// anything below quorum is `unavailable` with `503`.
+fn quorum_status(up: usize, total: usize) -> (&'static str, u16) {
+    let quorum = total / 2 + 1;
+    if up == total {
+        ("ok", 200)
+    } else if up >= quorum {
+        ("degraded", 200)
+    } else {
+        ("unavailable", 503)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Per-connection request loop of the router, over any [`Transport`] —
+/// the same framing discipline as the gateway's handler, including the
+/// typed `400`/`431`/`413` answers and the keep-alive rules.
+pub(crate) fn handle_router_connection<T: Transport>(
+    mut transport: T,
+    shared: &RouterShared,
+    stop: &AtomicBool,
+) {
+    let _ = transport.set_read_timeout(Some(shared.poll_interval));
+    let mut io = HttpIo::new(transport);
+    loop {
+        match io.read_request(stop) {
+            ReadOutcome::Request(req) => {
+                if req.expect_continue
+                    && req.content_length > 0
+                    && io.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+                {
+                    break;
+                }
+                let body = match io.read_body(req.content_length, stop) {
+                    Ok(body) => body,
+                    Err(_) => break,
+                };
+                let keep_alive = req.keep_alive && !stop.load(Ordering::Acquire);
+                shared.begin_request();
+                let answered = respond_router(
+                    &mut io,
+                    shared,
+                    req.method.as_str(),
+                    req.target.as_str(),
+                    &body,
+                    keep_alive,
+                );
+                match answered {
+                    Ok(status) => shared.end_request(status < 400),
+                    Err(_) => {
+                        // The write failed — the answer never reached
+                        // the client, but the request was handled.
+                        shared.end_request(false);
+                        break;
+                    }
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            ReadOutcome::Malformed { status, message } => {
+                shared.note_protocol_error();
+                let _ = write_error(&mut io, status, ErrorCode::Protocol, &message, false, &[]);
+                break;
+            }
+            ReadOutcome::Closed | ReadOutcome::Stopped => break,
+        }
+    }
+    io.close();
+}
+
+/// Routes one request; `Ok(status)` is what was answered, `Err(())`
+/// means the response write failed.
+fn respond_router<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    match (method, target) {
+        ("GET", "/healthz") => respond_healthz(io, shared, keep_alive),
+        ("GET", "/v1/datasets") => respond_datasets(io, shared, keep_alive),
+        ("GET", "/v1/stats") => {
+            let body = router_stats_json(shared);
+            write_status(io, 200, "application/json", body.as_bytes(), keep_alive)
+        }
+        ("GET", "/metrics") => {
+            let body = router_metrics_text(shared);
+            write_status(
+                io,
+                200,
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        ("POST", "/v1/submit") => respond_proxy_submit(io, shared, body, keep_alive),
+        ("POST", "/v1/append") => respond_proxy_append(io, shared, body, keep_alive),
+        ("GET", _)
+            if target
+                .strip_prefix("/v1/datasets/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            respond_dataset_scoped(io, shared, &target["/v1/datasets/".len()..], keep_alive)
+        }
+        (_, "/healthz" | "/v1/datasets" | "/v1/stats" | "/metrics") => write_typed(
+            io,
+            405,
+            ErrorCode::BadRequest,
+            &format!("{target} only supports GET"),
+            keep_alive,
+            &[("Allow", "GET")],
+        ),
+        (_, "/v1/submit" | "/v1/append") => write_typed(
+            io,
+            405,
+            ErrorCode::BadRequest,
+            &format!("{target} only supports POST"),
+            keep_alive,
+            &[("Allow", "POST")],
+        ),
+        (_, _)
+            if target
+                .strip_prefix("/v1/datasets/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            write_typed(
+                io,
+                405,
+                ErrorCode::BadRequest,
+                &format!("{target} only supports GET"),
+                keep_alive,
+                &[("Allow", "GET")],
+            )
+        }
+        _ => write_typed(
+            io,
+            404,
+            ErrorCode::BadRequest,
+            &format!("no route for {target}"),
+            keep_alive,
+            &[],
+        ),
+    }
+}
+
+fn write_status<T: Transport>(
+    io: &mut HttpIo<T>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    write_response(io, status, content_type, body, keep_alive, &[])
+        .map(|()| status)
+        .map_err(|_| ())
+}
+
+fn write_typed<T: Transport>(
+    io: &mut HttpIo<T>,
+    status: u16,
+    code: ErrorCode,
+    message: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> Result<u16, ()> {
+    write_error(io, status, code, message, keep_alive, extra)
+        .map(|()| status)
+        .map_err(|_| ())
+}
+
+/// Maps a failed proxied exchange onto the wire: every shape lands on
+/// a typed JSON error with the right status, and everything
+/// retryable-later carries a `Retry-After`.
+fn write_pool_error<T: Transport>(
+    io: &mut HttpIo<T>,
+    e: PoolError,
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    match e {
+        PoolError::Busy => write_typed(
+            io,
+            503,
+            ErrorCode::Overloaded,
+            "retry-after=1 router connection pool busy",
+            keep_alive,
+            &[("Retry-After", "1")],
+        ),
+        PoolError::Unavailable { message } => write_typed(
+            io,
+            503,
+            ErrorCode::Unavailable,
+            &format!("retry-after=1 {message}"),
+            keep_alive,
+            &[("Retry-After", "1")],
+        ),
+        PoolError::Service(ClientError::Overloaded {
+            retry_after,
+            message,
+        }) => {
+            let secs = retry_after.map(|d| d.as_secs().max(1)).unwrap_or(1);
+            let header = secs.to_string();
+            write_typed(
+                io,
+                503,
+                ErrorCode::Overloaded,
+                &message,
+                keep_alive,
+                &[("Retry-After", header.as_str())],
+            )
+        }
+        PoolError::Service(ClientError::Rejected { code, message }) => {
+            write_typed(io, status_for(code), code, &message, keep_alive, &[])
+        }
+        // with_conn never surfaces Io/Protocol as Service, but the
+        // types allow it; treat it as the backend having died.
+        PoolError::Service(e) => write_typed(
+            io,
+            503,
+            ErrorCode::Unavailable,
+            &format!("retry-after=1 backend failed: {e}"),
+            keep_alive,
+            &[("Retry-After", "1")],
+        ),
+    }
+}
+
+fn respond_proxy_submit<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    let (dataset, eps, minpts, labels) = match parse_submit_body(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return write_typed(io, 400, ErrorCode::BadRequest, &msg, keep_alive, &[]),
+    };
+    shared.note_proxied();
+    let pool = shared.owner_pool(&dataset);
+    match pool.with_conn(|svc| svc.submit(&dataset, eps, minpts, labels)) {
+        Ok(reply) => {
+            let mut obj = JsonObject::new()
+                .uint("clusters", reply.clusters as u64)
+                .uint("noise", reply.noise as u64)
+                .boolean("warm", reply.warm)
+                .boolean("reused", reply.reused)
+                .float("ms", reply.ms);
+            if let Some(labels) = reply.labels {
+                let mut arr = JsonArray::new();
+                for l in labels {
+                    arr.push_uint(l as u64);
+                }
+                obj = obj.raw("labels", &arr.finish());
+            }
+            write_status(
+                io,
+                200,
+                "application/json",
+                obj.finish().as_bytes(),
+                keep_alive,
+            )
+        }
+        Err(e) => write_pool_error(io, e, keep_alive),
+    }
+}
+
+fn respond_proxy_append<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    let (dataset, points) = match parse_append_body(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return write_typed(io, 400, ErrorCode::BadRequest, &msg, keep_alive, &[]),
+    };
+    shared.note_proxied();
+    let pool = shared.owner_pool(&dataset);
+    match pool.with_conn(|svc| svc.append(&dataset, &points)) {
+        Ok(reply) => {
+            let body = JsonObject::new()
+                .uint("appended", reply.appended as u64)
+                .uint("total", reply.total as u64)
+                .uint("repaired", reply.repaired as u64)
+                .uint("dropped", reply.dropped as u64)
+                .float("ms", reply.ms)
+                .finish();
+            write_status(io, 200, "application/json", body.as_bytes(), keep_alive)
+        }
+        Err(e) => write_pool_error(io, e, keep_alive),
+    }
+}
+
+fn respond_dataset_scoped<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    name: &str,
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    shared.note_proxied();
+    let pool = shared.owner_pool(name);
+    match pool.with_conn(|svc| svc.datasets()) {
+        Ok(list) => match list.iter().find(|(n, _)| n == name) {
+            Some((_, points)) => {
+                let body = JsonObject::new()
+                    .str("name", name)
+                    .uint("points", *points as u64)
+                    .str("backend", pool.addr())
+                    .finish();
+                write_status(io, 200, "application/json", body.as_bytes(), keep_alive)
+            }
+            None => write_typed(
+                io,
+                404,
+                ErrorCode::UnknownDataset,
+                &format!("dataset '{name}' is not registered on its shard"),
+                keep_alive,
+                &[],
+            ),
+        },
+        Err(e) => write_pool_error(io, e, keep_alive),
+    }
+}
+
+fn respond_healthz<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    let probes = shared.fan_out(|svc| svc.healthz());
+    let up = probes.iter().filter(|(_, h)| h.is_some()).count();
+    let (status_word, status) = quorum_status(up, probes.len());
+    let mut backends = JsonArray::new();
+    for (addr, health) in &probes {
+        backends.push_raw(
+            &JsonObject::new()
+                .str("backend", addr)
+                .boolean("up", health.is_some())
+                .boolean(
+                    "draining",
+                    matches!(health, Some(Health { draining: true, .. })),
+                )
+                .finish(),
+        );
+    }
+    let body = JsonObject::new()
+        .str("status", status_word)
+        .boolean("draining", shared.draining.load(Ordering::Acquire))
+        .uint("backends_up", up as u64)
+        .uint("backends_total", probes.len() as u64)
+        .raw("backends", &backends.finish())
+        .finish();
+    write_status(io, status, "application/json", body.as_bytes(), keep_alive)
+}
+
+fn respond_datasets<T: Transport>(
+    io: &mut HttpIo<T>,
+    shared: &RouterShared,
+    keep_alive: bool,
+) -> Result<u16, ()> {
+    let listings = shared.fan_out(|svc| svc.datasets());
+    // Dedupe by name. Backends may all register the same catalog (the
+    // superset deployment the tests use); the entry that wins is the
+    // ring owner's, because that is where the router sends traffic.
+    let mut merged: Vec<(String, usize)> = Vec::new();
+    for (addr, listing) in listings.into_iter() {
+        let Some(listing) = listing else { continue };
+        for (name, points) in listing {
+            let owner_is_this = shared.ring.owner(&name) == addr;
+            match merged.iter_mut().find(|(n, _)| *n == name) {
+                Some(entry) => {
+                    if owner_is_this {
+                        entry.1 = points;
+                    }
+                }
+                None => merged.push((name, points)),
+            }
+        }
+    }
+    let mut arr = JsonArray::new();
+    for (name, points) in &merged {
+        arr.push_raw(
+            &JsonObject::new()
+                .str("name", name)
+                .uint("points", *points as u64)
+                .str("backend", shared.ring.owner(name))
+                .finish(),
+        );
+    }
+    let body = JsonObject::new().raw("datasets", &arr.finish()).finish();
+    write_status(io, 200, "application/json", body.as_bytes(), keep_alive)
+}
+
+/// The merged `/v1/stats` document: summed daemon counters (the sum of
+/// internally-consistent snapshots is itself consistent), per-backend
+/// raw embeds, and the router's own ledger.
+fn router_stats_json(shared: &RouterShared) -> String {
+    let replies = shared.fan_out(|svc| svc.stats_json());
+    let mut sums: HashMap<&str, u64> = HashMap::new();
+    let mut engine_busy_ms = 0.0f64;
+    let mut backends = JsonArray::new();
+    for (addr, raw) in &replies {
+        let parsed = raw.as_deref().and_then(|r| parse_json(r.as_bytes()).ok());
+        let up = parsed.is_some();
+        let mut entry = JsonObject::new().str("backend", addr).boolean("up", up);
+        if let Some(doc) = parsed {
+            for &field in SUMMED_STATS_FIELDS {
+                let v = doc.get(field).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+                let slot = sums.entry(field).or_insert(0);
+                if field == "max_batch" {
+                    *slot = (*slot).max(v);
+                } else {
+                    *slot += v;
+                }
+            }
+            engine_busy_ms += doc
+                .get("engine_busy_ms")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            if let Some(raw) = raw {
+                entry = entry.raw("stats", raw);
+            }
+        }
+        backends.push_raw(&entry.finish());
+    }
+    let mut obj = JsonObject::new()
+        .uint("uptime_ms", shared.started.elapsed().as_millis() as u64)
+        .boolean("draining", shared.draining.load(Ordering::Acquire));
+    for &field in SUMMED_STATS_FIELDS {
+        obj = obj.uint(field, sums.get(field).copied().unwrap_or(0));
+        if field == "from_scratch" {
+            // Keep the daemon's field order: engine_busy_ms follows
+            // the engine counters.
+            obj = obj.float("engine_busy_ms", engine_busy_ms);
+        }
+    }
+    obj.raw("router", &shared.router_json())
+        .raw("backends", &backends.finish())
+        .finish()
+}
+
+/// The merged `/metrics` exposition: backend series summed name-wise,
+/// then the router's own `vbp_router_*` ledger and per-backend
+/// `vbp_backend_*` series.
+fn router_metrics_text(shared: &RouterShared) -> String {
+    use std::fmt::Write as _;
+    let replies = shared.fan_out(|svc| svc.metrics());
+    let merged = merge_metric_texts(replies.iter().filter_map(|(_, text)| text.as_deref()));
+    let mut out = String::with_capacity(4096);
+    for (name, value) in merged {
+        match value {
+            MetricValue::Uint(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Float(v) => {
+                let _ = writeln!(out, "{name} {v:.6}");
+            }
+        }
+    }
+    let s = *shared.stats.lock().expect("router stats lock poisoned");
+    let _ = writeln!(out, "vbp_router_received_total {}", s.received);
+    let _ = writeln!(out, "vbp_router_answered_ok_total {}", s.answered_ok);
+    let _ = writeln!(out, "vbp_router_answered_err_total {}", s.answered_err);
+    let _ = writeln!(out, "vbp_router_in_flight {}", s.in_flight);
+    let _ = writeln!(
+        out,
+        "vbp_router_protocol_errors_total {}",
+        s.protocol_errors
+    );
+    let _ = writeln!(out, "vbp_router_proxied_total {}", s.proxied);
+    let _ = writeln!(out, "vbp_router_fanouts_total {}", s.fanouts);
+    let _ = writeln!(
+        out,
+        "vbp_router_uptime_seconds {:.3}",
+        shared.started.elapsed().as_secs_f64()
+    );
+    for pool in &shared.pools {
+        let c = pool.counters();
+        let addr = pool.addr();
+        let _ = writeln!(
+            out,
+            "vbp_backend_up{{backend=\"{addr}\"}} {}",
+            if pool.breaker_open() { 0 } else { 1 }
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_connects_total{{backend=\"{addr}\"}} {}",
+            c.connects
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_connect_failures_total{{backend=\"{addr}\"}} {}",
+            c.connect_failures
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_checkouts_total{{backend=\"{addr}\"}} {}",
+            c.checkouts
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_busy_timeouts_total{{backend=\"{addr}\"}} {}",
+            c.busy_timeouts
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_breaker_trips_total{{backend=\"{addr}\"}} {}",
+            c.breaker_trips
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_breaker_fast_fails_total{{backend=\"{addr}\"}} {}",
+            c.breaker_fast_fails
+        );
+        let _ = writeln!(
+            out,
+            "vbp_backend_dropped_conns_total{{backend=\"{addr}\"}} {}",
+            c.dropped
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The router process
+// ---------------------------------------------------------------------------
+
+/// Entry point: [`Router::start`] binds and serves.
+pub struct Router;
+
+/// A running router: bound address, counters, and shutdown.
+pub struct RouterHandle {
+    http_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds the router's HTTP door and spawns the accept loop.
+    pub fn start(config: RouterConfig) -> io::Result<RouterHandle> {
+        let listener = TcpListener::bind(&config.http_addr)?;
+        let http_addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared::new(&config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let write_timeout = config.write_timeout;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("vbp-route-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(write_timeout));
+                        let shared = Arc::clone(&shared);
+                        let stop = Arc::clone(&stop);
+                        let handle = std::thread::Builder::new()
+                            .name("vbp-route-conn".into())
+                            .spawn(move || {
+                                handle_router_connection(TcpTransport::new(stream), &shared, &stop);
+                            });
+                        let mut hs = handlers.lock().unwrap();
+                        // Reap finished handlers, like the daemon's
+                        // accept loop, so the registry tracks live
+                        // connections only.
+                        let mut i = 0;
+                        while i < hs.len() {
+                            if hs[i].is_finished() {
+                                let _ = hs.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        if let Ok(handle) = handle {
+                            hs.push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(RouterHandle {
+            http_addr,
+            shared,
+            stop,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound HTTP address (resolves port 0).
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Which backend owns this dataset on the ring.
+    pub fn placement(&self, dataset: &str) -> String {
+        self.shared.ring.owner(dataset).to_string()
+    }
+
+    /// The router's own STATS document (what `GET /v1/stats` embeds
+    /// under `"router"`).
+    pub fn stats_json(&self) -> String {
+        self.shared.router_json()
+    }
+
+    /// The full merged exposition, as `GET /metrics` would answer it.
+    pub fn metrics_text(&self) -> String {
+        router_metrics_text(&self.shared)
+    }
+
+    /// Runs the router's connection handler over an arbitrary
+    /// [`Transport`] — the fault-injection entry point, mirroring
+    /// [`ServerHandle::serve_transport`](crate::server::ServerHandle::serve_transport).
+    /// The caller owns the join.
+    pub fn serve_transport<T: Transport + 'static>(&self, transport: T) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::clone(&self.stop);
+        std::thread::Builder::new()
+            .name("vbp-route-conn-test".into())
+            .spawn(move || handle_router_connection(transport, &shared, &stop))
+            .expect("spawn router transport handler")
+    }
+
+    /// Stops accepting (idempotent); established connections finish
+    /// their current exchange and close.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.http_addr);
+    }
+
+    /// Joins the accept loop and every connection handler. Blocks
+    /// until a shutdown has begun (via [`Self::begin_shutdown`] or a
+    /// process signal killing the listener) — `vbp route` parks here
+    /// for the router's whole life.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Self::begin_shutdown`] + [`Self::wait`].
+    pub fn shutdown(&mut self) {
+        self.begin_shutdown();
+        self.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_merge_sums_uints_exactly_and_floats_loosely() {
+        let a = "vbp_jobs_submitted_total 10\nvbp_engine_busy_seconds_total 1.500000\n";
+        let b = "vbp_jobs_submitted_total 32\nvbp_engine_busy_seconds_total 0.250000\n";
+        let merged = merge_metric_texts([a, b].into_iter());
+        assert_eq!(merged[0].0, "vbp_jobs_submitted_total");
+        assert_eq!(merged[0].1, MetricValue::Uint(42));
+        assert_eq!(merged[1].0, "vbp_engine_busy_seconds_total");
+        match merged[1].1 {
+            MetricValue::Float(v) => assert!((v - 1.75).abs() < 1e-9),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metric_merge_keeps_labelled_series_distinct_and_ordered() {
+        let a = "vbp_rejected_total{reason=\"overloaded\"} 1\nvbp_rejected_total{reason=\"draining\"} 2\n";
+        let b = "vbp_rejected_total{reason=\"overloaded\"} 3\n";
+        let merged = merge_metric_texts([a, b].into_iter());
+        assert_eq!(
+            merged,
+            vec![
+                (
+                    "vbp_rejected_total{reason=\"overloaded\"}".to_string(),
+                    MetricValue::Uint(4)
+                ),
+                (
+                    "vbp_rejected_total{reason=\"draining\"}".to_string(),
+                    MetricValue::Uint(2)
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn quorum_rule_matches_the_documented_table() {
+        assert_eq!(quorum_status(2, 2), ("ok", 200));
+        assert_eq!(quorum_status(3, 3), ("ok", 200));
+        assert_eq!(quorum_status(2, 3), ("degraded", 200));
+        assert_eq!(quorum_status(1, 2), ("unavailable", 503));
+        assert_eq!(quorum_status(1, 3), ("unavailable", 503));
+        assert_eq!(quorum_status(0, 1), ("unavailable", 503));
+        assert_eq!(quorum_status(1, 1), ("ok", 200));
+    }
+
+    #[test]
+    fn router_stats_ledger_holds_its_invariant_under_churn() {
+        let shared = RouterShared::new(&RouterConfig {
+            backends: vec!["127.0.0.1:1".into()],
+            ..RouterConfig::default()
+        });
+        for i in 0..50u64 {
+            shared.begin_request();
+            if i % 3 == 0 {
+                shared.end_request(false);
+            } else {
+                shared.end_request(true);
+            }
+        }
+        shared.begin_request(); // one left in flight
+        let s = *shared.stats.lock().unwrap();
+        assert_eq!(s.received, 51);
+        assert_eq!(s.received, s.answered_ok + s.answered_err + s.in_flight);
+        assert_eq!(s.in_flight, 1);
+    }
+}

@@ -1535,7 +1535,10 @@ fn respond<T: Transport>(
             };
             if let Err(e) = shared.submit(job) {
                 let msg = match e {
-                    SubmitError::Overloaded => "queue full",
+                    // The `retry-after=N` token is the line protocol's
+                    // spelling of HTTP's `Retry-After` header; clients
+                    // parse it into the typed backoff hint.
+                    SubmitError::Overloaded => "retry-after=1 queue full",
                     SubmitError::Draining => "server is shutting down",
                 };
                 return send_line(io, &err_line(e.code(), msg));

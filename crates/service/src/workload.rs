@@ -5,9 +5,15 @@
 //! workload twice over one connection, once against an empty cache
 //! (cold) and once against the cache the first round populated (warm),
 //! and compare variants/second.
+//!
+//! The probe is written against the transport-agnostic
+//! [`DatasetService`] trait, so the same measurement runs over the
+//! line protocol, the HTTP gateway, or through the router — whichever
+//! service the caller hands in.
 
 use std::time::Instant;
 
+use crate::api::DatasetService;
 use crate::client::{Client, ClientError};
 
 /// One cold round + one warm round of the same workload.
@@ -42,27 +48,25 @@ impl ColdWarmReport {
     }
 }
 
-/// Submits `(dataset, eps, minpts)` requests in order, twice, against
-/// `addr`. The caller must guarantee the daemon's cache started empty,
-/// otherwise the "cold" round is already warm.
-pub fn run_cold_warm(
-    addr: std::net::SocketAddr,
+/// Submits `(dataset, eps, minpts)` requests in order, twice, over any
+/// [`DatasetService`]. The caller must guarantee the service's cache
+/// started empty, otherwise the "cold" round is already warm.
+pub fn run_cold_warm_on(
+    service: &mut dyn DatasetService,
     requests: &[(String, f64, usize)],
 ) -> Result<ColdWarmReport, ClientError> {
-    let mut client = Client::connect(addr)?;
-    let run_round = |client: &mut Client| -> Result<(f64, usize), ClientError> {
+    let run_round = |service: &mut dyn DatasetService| -> Result<(f64, usize), ClientError> {
         let t0 = Instant::now();
         let mut hits = 0;
         for (dataset, eps, minpts) in requests {
-            let reply = client.submit(dataset, *eps, *minpts, false)?;
+            let reply = service.submit(dataset, *eps, *minpts, false)?;
             hits += usize::from(reply.warm);
         }
         Ok((t0.elapsed().as_secs_f64(), hits))
     };
-    let (cold_secs, _) = run_round(&mut client)?;
-    let (warm_secs, warm_hits) = run_round(&mut client)?;
-    let stats_json = client.stats_json()?;
-    client.quit();
+    let (cold_secs, _) = run_round(service)?;
+    let (warm_secs, warm_hits) = run_round(service)?;
+    let stats_json = service.stats_json()?;
     Ok(ColdWarmReport {
         requests: requests.len(),
         cold_secs,
@@ -70,4 +74,38 @@ pub fn run_cold_warm(
         warm_hits,
         stats_json,
     })
+}
+
+/// Line-protocol-only predecessor of [`run_cold_warm_on`].
+#[deprecated(
+    since = "0.1.0",
+    note = "connect a `Client` (or any `DatasetService`) and call `run_cold_warm_on`"
+)]
+pub fn run_cold_warm(
+    addr: std::net::SocketAddr,
+    requests: &[(String, f64, usize)],
+) -> Result<ColdWarmReport, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let report = run_cold_warm_on(&mut client, requests)?;
+    client.quit();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    /// The deprecated wrapper must keep its legacy contract: the
+    /// original `(SocketAddr, requests)` signature, with connect
+    /// failure surfaced as `ClientError::Io`.
+    #[test]
+    #[allow(deprecated, clippy::disallowed_methods)]
+    fn legacy_run_cold_warm_keeps_its_signature_and_io_errors() {
+        // Nothing listens on a reserved low port from an unprivileged
+        // test; the wrapper must answer Io, not panic.
+        let addr: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+        match super::run_cold_warm(addr, &[]) {
+            Err(crate::client::ClientError::Io(_)) => {}
+            Err(other) => panic!("expected Io, got {other}"),
+            Ok(_) => panic!("connect to a dead port cannot succeed"),
+        }
+    }
 }

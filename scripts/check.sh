@@ -40,12 +40,30 @@
 # keep-alive HTTP clients against an in-process daemon and fails on any
 # admission-invariant violation, writing jobs/sec and trace-histogram
 # p99 to results/http_load.txt.
+# A router equivalence stage proves the consistent-hash router preserves
+# the single-daemon HTTP surface: routed submissions land on the ring
+# owner with label-isomorphic replies, fanned-out /v1/stats and /metrics
+# equal the per-backend sums at rest, and /healthz degrades by quorum as
+# backends die. A router chaos stage replays 8 seeded schedules that
+# kill one of two backends mid-stream (overlapped in-flight requests,
+# garbage heads, torn writes) and asserts the survivor's shard serves
+# with zero failures while the dead shard answers typed 503 unavailable
+# with Retry-After, the router's request ledger stays balanced, and
+# merged stats stay consistent. A router_load gate (skipped under
+# --fast) measures the same engine-bound workload against a direct
+# daemon, router+1, and router+2 deployments, enforces the kill-phase
+# semantics and a zero-violation admission invariant, and requires 2
+# backends >= 1.6x direct throughput wherever more than one CPU exists
+# (on one CPU the scale gate is waived and recorded; see EXPERIMENTS.md);
+# the table lands in results/router_load.txt.
 # CHECK_FULL=1 additionally re-runs the differential suites (cross-backend
 # ε-neighborhood conformance, metamorphic reuse equivalence) in release
 # mode with a 4x-larger case budget and widens the chaos sweep to 96
 # seeded schedules (24 streaming, 24 HTTP) plus the enlarged
 # streaming-equivalence
-# sweep (VBP_STREAM_FULL=1); the default run already executes the fast budgets
+# sweep (VBP_STREAM_FULL=1) and a widened router chaos sweep (24 seeded
+# backend-kill schedules, VBP_CHAOS_FULL=1); the default run already
+# executes the fast budgets
 # via the workspace test pass, so tier-1 runtime is unchanged.
 
 set -euo pipefail
@@ -84,6 +102,12 @@ timeout 300 cargo test -q -p vbp-service --test stats_consistency
 echo "==> http gateway properties (framing fuzz vs response-stream oracle)"
 timeout 300 cargo test -q -p vbp-service --test http_props
 
+echo "==> router equivalence (ring placement, merged stats/metrics, quorum)"
+timeout 300 cargo test -q -p vbp-service --test router_equivalence
+
+echo "==> router chaos (8 seeded backend-kill schedules, shard degradation)"
+timeout 600 cargo test -q -p vbp-service --test router_chaos
+
 echo "==> shard metamorphic suite (shard-merged labels vs single-shard)"
 timeout 300 cargo test -q -p vbp-dbscan --test sharded_metamorphic
 
@@ -102,6 +126,10 @@ if [[ $fast -eq 0 ]]; then
   echo "==> http load gate (1000 keep-alive clients, invariant under load)"
   timeout 600 cargo run --release -q -p vbp-bench --bin http_load -- \
     results/http_load.txt
+
+  echo "==> router load gate (direct vs router x1 vs router x2, kill phase)"
+  timeout 600 cargo run --release -q -p vbp-bench --bin router_load -- \
+    results/router_load.txt
 fi
 
 if [[ "${CHECK_FULL:-0}" != "0" ]]; then
@@ -113,6 +141,8 @@ if [[ "${CHECK_FULL:-0}" != "0" ]]; then
   VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test chaos
   echo "==> streaming equivalence extended sweep (release, VBP_STREAM_FULL=1)"
   VBP_STREAM_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test streaming_equivalence
+  echo "==> router chaos extended sweep (release, VBP_CHAOS_FULL=1: 24 schedules)"
+  VBP_CHAOS_FULL=1 timeout 900 cargo test -q --release -p vbp-service --test router_chaos
 fi
 
 echo "All checks passed."
